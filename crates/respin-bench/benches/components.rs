@@ -1,0 +1,130 @@
+//! Microbenchmarks of the simulator substrates: cache arrays, the MESI
+//! directory, the shared-L1 controller, workload generation, the variation
+//! model, and raw chip stepping throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use respin_power::{array_params, CacheGeometry, MemTech};
+use respin_sim::cache::{CacheArray, LineState};
+use respin_sim::directory::Directory;
+use respin_sim::shared_l1::SharedL1;
+use respin_sim::{Chip, ChipConfig};
+use respin_variation::{FrequencyBand, VariationConfig, VariationMap};
+use respin_workloads::{Benchmark, ThreadGen};
+
+fn bench_cache_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_array");
+    g.throughput(Throughput::Elements(1));
+    let geometry = CacheGeometry::new(256 * 1024, 32, 4);
+    g.bench_function("touch_hit", |b| {
+        let mut arr = CacheArray::new(geometry);
+        arr.fill(0x1000, LineState::Exclusive);
+        b.iter(|| black_box(arr.touch(black_box(0x1000))))
+    });
+    g.bench_function("fill_evict", |b| {
+        let mut arr = CacheArray::new(geometry);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x10000) & 0xFF_FFFF;
+            black_box(arr.fill(black_box(addr), LineState::Modified))
+        })
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesi_directory");
+    g.bench_function("read_write_evict", |b| {
+        let mut dir = Directory::new();
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 64) & 0xFFFF;
+            dir.read(line, 0);
+            dir.read(line, 1);
+            dir.write(line, 2);
+            dir.evict(line, 2);
+        })
+    });
+    g.finish();
+}
+
+fn bench_shared_l1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_l1");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tick_with_traffic", |b| {
+        let geometry = CacheGeometry::new(256 * 1024, 32, 4);
+        let params = array_params(MemTech::SttRam, geometry, 1.0);
+        let mut l1 = SharedL1::new(geometry, &params, 1, 14, 16, 0.6, 2);
+        for i in 0..16u64 {
+            l1.enqueue_fill(i << 10, 0, LineState::Exclusive);
+        }
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            events.clear();
+            let core = (t % 16) as usize;
+            if t.is_multiple_of(4) && l1.can_accept_read(core) {
+                l1.issue_read(core, (core as u64) << 10, t, 4);
+            }
+            l1.tick(t, &mut events);
+            t += 1;
+            black_box(events.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.throughput(Throughput::Elements(1));
+    for bench in [Benchmark::Fft, Benchmark::Radiosity] {
+        g.bench_function(bench.name(), |b| {
+            let mut spec = bench.spec();
+            spec.instructions_per_thread = u64::MAX / 2;
+            let mut gen = ThreadGen::new(&spec, 0, 1);
+            b.iter(|| black_box(gen.next_op()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_variation(c: &mut Criterion) {
+    c.bench_function("variation_map_64_cores", |b| {
+        let cfg = VariationConfig::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, seed))
+        })
+    });
+}
+
+fn bench_chip_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chip_step");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("shared_16_cores_1k_ticks", |b| {
+        let mut config = ChipConfig::nt_base();
+        config.clusters = 1;
+        config.instructions_per_thread = Some(u64::MAX / 4);
+        let mut spec = Benchmark::Fft.spec();
+        spec.instructions_per_thread = u64::MAX / 4;
+        let mut chip = Chip::new(config, &spec, 1);
+        b.iter(|| {
+            for _ in 0..1000 {
+                chip.step();
+            }
+            black_box(chip.tick)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_array,
+    bench_directory,
+    bench_shared_l1,
+    bench_workload_gen,
+    bench_variation,
+    bench_chip_step
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Benches of the §III consolidation machinery: the greedy search itself,
+//! clone-replay oracle decisions, migration, and the consolidation figures
+//! (9, 12/13, 14) at micro scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respin_core::arch::ArchConfig;
+use respin_core::consolidation::{oracle_decide, GreedyConfig, GreedySearch};
+use respin_core::experiments::{fig12_13, fig14, fig9, ExpParams, RunCache};
+use respin_sim::{CacheSizeClass, Chip};
+use respin_workloads::Benchmark;
+
+fn micro() -> ExpParams {
+    ExpParams {
+        instructions_per_thread: 2_000,
+        warmup_per_thread: 500,
+        epoch_instructions: 1_000,
+        seed: 42,
+    }
+}
+
+fn micro_chip() -> Chip {
+    let mut config = ArchConfig::ShSttCc.chip_config(CacheSizeClass::Medium, 8);
+    config.clusters = 1;
+    config.instructions_per_thread = Some(1 << 40);
+    config.epoch_instructions = 2_000;
+    Chip::new(config, &Benchmark::Radix.spec(), 1)
+}
+
+fn bench_greedy_search(c: &mut Criterion) {
+    c.bench_function("greedy_decide", |b| {
+        let mut g = GreedySearch::new(16, GreedyConfig::default());
+        let mut epi = 100.0;
+        let mut current = 16;
+        b.iter(|| {
+            epi *= 0.999;
+            current = g.decide(black_box(epi), current);
+            black_box(current)
+        })
+    });
+}
+
+fn bench_oracle_decide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle");
+    g.sample_size(10);
+    g.bench_function("oracle_decide_radius2", |b| {
+        let mut chip = micro_chip();
+        chip.run_epoch();
+        b.iter(|| black_box(oracle_decide(&chip, 2)))
+    });
+    g.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(10);
+    g.bench_function("set_active_cores_roundtrip", |b| {
+        let mut chip = micro_chip();
+        chip.run_epoch();
+        b.iter(|| {
+            chip.set_active_cores(0, 4);
+            chip.set_active_cores(0, 8);
+            black_box(chip.clusters[0].active_cores)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.bench_function("fig9_energy", |b| {
+        b.iter(|| {
+            let cache = RunCache::new();
+            black_box(fig9::generate(&cache, &micro()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12_13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.bench_function("fig12_13_traces", |b| {
+        b.iter(|| {
+            let cache = RunCache::new();
+            black_box(fig12_13::generate(
+                &cache,
+                &micro(),
+                "Figure 12",
+                Benchmark::Radix,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.bench_function("fig14_active_cores", |b| {
+        b.iter(|| {
+            let cache = RunCache::new();
+            black_box(fig14::generate(&cache, &micro()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_search,
+    bench_oracle_decide,
+    bench_migration,
+    bench_fig9,
+    bench_fig12_13,
+    bench_fig14
+);
+criterion_main!(benches);

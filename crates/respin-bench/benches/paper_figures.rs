@@ -1,0 +1,58 @@
+//! Benches regenerating each figure of §V at micro scale (the full-scale
+//! harness is the `respin-experiments` binary; these keep the regeneration
+//! paths exercised and timed under `cargo bench`).
+//!
+//! One Criterion benchmark per figure: 1 / 6 / 7 / 8 / 10 / 11 and the
+//! §V-D cluster sweep. Figures 9/12/13/14 (the consolidation set) live in
+//! `consolidation.rs`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respin_core::experiments::{cluster_sweep, fig1, fig10, fig11, fig6, fig7, fig8};
+use respin_core::experiments::{ExpParams, RunCache};
+
+/// Micro-scale parameters so a single regeneration fits a bench iteration.
+fn micro() -> ExpParams {
+    ExpParams {
+        instructions_per_thread: 2_000,
+        warmup_per_thread: 500,
+        epoch_instructions: 1_000,
+        seed: 42,
+    }
+}
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $name:literal, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group("paper_figures");
+            g.sample_size(10);
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    // Fresh cache each iteration: measure the real work.
+                    let cache = RunCache::new();
+                    black_box($module::generate(&cache, &micro()))
+                })
+            });
+            g.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig1, "fig1_power_breakdown", fig1);
+fig_bench!(bench_fig6, "fig6_power", fig6);
+fig_bench!(bench_fig7, "fig7_perf", fig7);
+fig_bench!(bench_fig8, "fig8_energy_size", fig8);
+fig_bench!(bench_fig10, "fig10_arrivals", fig10);
+fig_bench!(bench_fig11, "fig11_latency", fig11);
+fig_bench!(bench_cluster, "cluster_sweep", cluster_sweep);
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig10,
+    bench_fig11,
+    bench_cluster
+);
+criterion_main!(benches);

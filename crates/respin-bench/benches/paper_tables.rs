@@ -1,0 +1,50 @@
+//! Benches regenerating the paper's tables: the Table III technology
+//! model, the Table I/IV configuration builders, and chip construction
+//! for every Table IV configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respin_core::arch::ArchConfig;
+use respin_sim::{CacheSizeClass, Chip};
+use respin_workloads::Benchmark;
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_technology_model", |b| {
+        b.iter(|| black_box(respin_power::table3::generate()))
+    });
+}
+
+fn bench_table1_geometries(c: &mut Criterion) {
+    c.bench_function("table1_cache_geometries", |b| {
+        b.iter(|| {
+            for size in CacheSizeClass::ALL {
+                let cfg = ArchConfig::ShStt.chip_config(size, 16);
+                black_box(cfg.l1d_geometry());
+                black_box(cfg.l2_geometry());
+                black_box(cfg.l3_geometry());
+            }
+        })
+    });
+}
+
+fn bench_table4_chip_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_chip_construction");
+    g.sample_size(10);
+    for arch in [ArchConfig::PrSramNt, ArchConfig::ShStt, ArchConfig::ShSttCc] {
+        g.bench_function(arch.name(), |b| {
+            let spec = Benchmark::Fft.spec();
+            b.iter(|| {
+                let config = arch.chip_config(CacheSizeClass::Medium, 16);
+                black_box(Chip::new(config, &spec, 1))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_table1_geometries,
+    bench_table4_chip_construction
+);
+criterion_main!(benches);

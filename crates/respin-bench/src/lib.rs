@@ -1,0 +1,9 @@
+//! Benchmark harness crate for the Respin reproduction.
+//!
+//! All substance lives in the Criterion benches under `benches/`; this
+//! library only hosts shared helpers for them.
+
+#![warn(missing_docs)]
+
+/// Re-exported so benches share one place to pick deterministic seeds.
+pub const BENCH_SEED: u64 = 0x5e5_c0ffee;

@@ -1,0 +1,216 @@
+//! The eight architecture configurations of the paper's Table IV.
+
+use respin_power::MemTech;
+use respin_sim::{CacheSizeClass, ChipConfig, CtxSwitchModel, L1Org};
+use respin_variation::FrequencyBand;
+use serde::{Deserialize, Serialize};
+
+/// Which consolidation policy a configuration runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No consolidation: all cores stay on.
+    None,
+    /// The §III-B greedy search at every epoch (hardware switching).
+    Greedy,
+    /// Clone-replay oracle: best active-core count per epoch.
+    Oracle,
+    /// Greedy, but decisions and context switches at OS granularity (1 ms).
+    OsGreedy,
+}
+
+/// The Table IV configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchConfig {
+    /// Baseline: NT chip, private SRAM L1s (0.65 V rail), shared L2/L3.
+    PrSramNt,
+    /// Conventional high-performance chip: everything SRAM at nominal
+    /// voltage and frequency.
+    HpSramCmp,
+    /// The shared-L1 organisation built from SRAM at nominal voltage.
+    ShSramNom,
+    /// The proposed design: shared STT-RAM caches at nominal voltage,
+    /// NT cores. No consolidation.
+    ShStt,
+    /// SH-STT plus dynamic core consolidation (greedy, hardware switched).
+    ShSttCc,
+    /// SH-STT plus oracle consolidation (upper bound).
+    ShSttCcOracle,
+    /// Core consolidation over *private* STT-RAM L1s (locality is lost on
+    /// migration).
+    PrSttCc,
+    /// Consolidation driven by the OS at 1 ms quanta.
+    ShSttCcOs,
+}
+
+impl ArchConfig {
+    /// All configurations, in Table IV order.
+    pub const ALL: [ArchConfig; 8] = [
+        ArchConfig::PrSramNt,
+        ArchConfig::HpSramCmp,
+        ArchConfig::ShSramNom,
+        ArchConfig::ShStt,
+        ArchConfig::ShSttCc,
+        ArchConfig::ShSttCcOracle,
+        ArchConfig::PrSttCc,
+        ArchConfig::ShSttCcOs,
+    ];
+
+    /// The paper's label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchConfig::PrSramNt => "PR-SRAM-NT",
+            ArchConfig::HpSramCmp => "HP-SRAM-CMP",
+            ArchConfig::ShSramNom => "SH-SRAM-Nom",
+            ArchConfig::ShStt => "SH-STT",
+            ArchConfig::ShSttCc => "SH-STT-CC",
+            ArchConfig::ShSttCcOracle => "SH-STT-CC-Oracle",
+            ArchConfig::PrSttCc => "PR-STT-CC",
+            ArchConfig::ShSttCcOs => "SH-STT-CC-OS",
+        }
+    }
+
+    /// The paper's one-line description (Table IV).
+    pub fn description(self) -> &'static str {
+        match self {
+            ArchConfig::PrSramNt => {
+                "NT chip with SRAM private L1(I/D) cache and shared L2/L3 cache (baseline)"
+            }
+            ArchConfig::HpSramCmp => {
+                "conventional high-performance CMP: cores and SRAM caches at nominal voltage"
+            }
+            ArchConfig::ShSramNom => {
+                "NT cores with cluster-shared SRAM caches on a nominal-voltage rail"
+            }
+            ArchConfig::ShStt => {
+                "NT cores with cluster-shared STT-RAM caches on a nominal-voltage rail"
+            }
+            ArchConfig::ShSttCc => "SH-STT with greedy dynamic core consolidation",
+            ArchConfig::ShSttCcOracle => "SH-STT with oracle core consolidation (upper bound)",
+            ArchConfig::PrSttCc => "core consolidation with private STT-RAM L1 caches",
+            ArchConfig::ShSttCcOs => "core consolidation handled by the OS at 1 ms intervals",
+        }
+    }
+
+    /// Looks a configuration up by its paper label.
+    pub fn from_name(name: &str) -> Option<ArchConfig> {
+        ArchConfig::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// The consolidation policy this configuration runs.
+    pub fn policy(self) -> PolicyKind {
+        match self {
+            ArchConfig::ShSttCc | ArchConfig::PrSttCc => PolicyKind::Greedy,
+            ArchConfig::ShSttCcOracle => PolicyKind::Oracle,
+            ArchConfig::ShSttCcOs => PolicyKind::OsGreedy,
+            _ => PolicyKind::None,
+        }
+    }
+
+    /// Builds the simulator configuration for this architecture.
+    pub fn chip_config(self, size: CacheSizeClass, cores_per_cluster: usize) -> ChipConfig {
+        let mut c = ChipConfig::nt_base();
+        c.size_class = size;
+        c.cores_per_cluster = cores_per_cluster;
+        // Keep the 64-core chip of the paper across cluster-size sweeps.
+        c.clusters = (64 / cores_per_cluster).max(1);
+        match self {
+            ArchConfig::PrSramNt => {
+                c.l1_org = L1Org::Private;
+                c.cache_tech = MemTech::Sram;
+                c.cache_vdd = 0.65;
+            }
+            ArchConfig::HpSramCmp => {
+                c.l1_org = L1Org::Private;
+                c.cache_tech = MemTech::Sram;
+                c.cache_vdd = 1.0;
+                c.core_vdd = 1.0;
+                c.band = FrequencyBand::NOMINAL;
+            }
+            ArchConfig::ShSramNom => {
+                c.cache_tech = MemTech::Sram;
+            }
+            ArchConfig::ShStt => {}
+            ArchConfig::ShSttCc => {
+                c.consolidation = true;
+            }
+            ArchConfig::ShSttCcOracle => {
+                c.consolidation = true;
+            }
+            ArchConfig::PrSttCc => {
+                c.l1_org = L1Org::Private;
+                c.consolidation = true;
+            }
+            ArchConfig::ShSttCcOs => {
+                c.consolidation = true;
+                c.ctx_switch = CtxSwitchModel::Os;
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_build_valid_chip_configs() {
+        for a in ArchConfig::ALL {
+            for size in CacheSizeClass::ALL {
+                let c = a.chip_config(size, 16);
+                c.validate().unwrap_or_else(|e| panic!("{}: {e}", a.name()));
+                assert_eq!(c.total_cores(), 64);
+            }
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for a in ArchConfig::ALL {
+            assert_eq!(ArchConfig::from_name(a.name()), Some(a));
+        }
+        assert_eq!(ArchConfig::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn baseline_matches_table4() {
+        let c = ArchConfig::PrSramNt.chip_config(CacheSizeClass::Medium, 16);
+        assert_eq!(c.l1_org, L1Org::Private);
+        assert_eq!(c.cache_tech, MemTech::Sram);
+        assert!((c.cache_vdd - 0.65).abs() < 1e-12);
+        assert!((c.core_vdd - 0.4).abs() < 1e-12);
+        assert!(!c.consolidation);
+    }
+
+    #[test]
+    fn proposed_design_matches_table4() {
+        let c = ArchConfig::ShStt.chip_config(CacheSizeClass::Medium, 16);
+        assert_eq!(c.l1_org, L1Org::SharedPerCluster);
+        assert_eq!(c.cache_tech, MemTech::SttRam);
+        assert!((c.cache_vdd - 1.0).abs() < 1e-12);
+        assert!(c.has_dual_rails());
+    }
+
+    #[test]
+    fn cluster_sweep_keeps_64_cores() {
+        for n in [4, 8, 16, 32] {
+            let c = ArchConfig::ShStt.chip_config(CacheSizeClass::Medium, n);
+            assert_eq!(c.total_cores(), 64);
+        }
+    }
+
+    #[test]
+    fn policies_match_configs() {
+        assert_eq!(ArchConfig::ShStt.policy(), PolicyKind::None);
+        assert_eq!(ArchConfig::ShSttCc.policy(), PolicyKind::Greedy);
+        assert_eq!(ArchConfig::ShSttCcOracle.policy(), PolicyKind::Oracle);
+        assert_eq!(ArchConfig::ShSttCcOs.policy(), PolicyKind::OsGreedy);
+        assert_eq!(ArchConfig::PrSttCc.policy(), PolicyKind::Greedy);
+    }
+
+    #[test]
+    fn os_variant_uses_os_switching() {
+        let c = ArchConfig::ShSttCcOs.chip_config(CacheSizeClass::Medium, 16);
+        assert_eq!(c.ctx_switch, CtxSwitchModel::Os);
+    }
+}

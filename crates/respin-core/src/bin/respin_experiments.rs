@@ -1,0 +1,168 @@
+//! CLI regenerating every table and figure of the Respin paper.
+//!
+//! ```text
+//! respin-experiments <experiment|all> [--quick] [--out DIR]
+//!
+//! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
+//!              fig10 fig11 fig12 fig13 fig14 cluster
+//! ```
+//!
+//! Each experiment prints its text table and, when `--out` is given (or
+//! for `all`, defaulting to `results/`), writes `<name>.txt` and
+//! `<name>.json`.
+
+use respin_core::experiments::{
+    ablation, cluster_sweep, fig1, fig10, fig11, fig12_13, fig14, fig6, fig7, fig8, fig9, tables,
+    voltage, ExpParams, RunCache,
+};
+use respin_core::report::to_json;
+use respin_workloads::Benchmark;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 17] = [
+    "table1", "table2", "table3", "table4", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "cluster", "ablation", "voltage",
+];
+
+struct Args {
+    names: Vec<String>,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut names = Vec::new();
+    let mut quick = false;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next().expect("--out requires a directory"),
+                ));
+            }
+            "all" => names = EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
+            name if EXPERIMENTS.contains(&name) => names.push(name.to_string()),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: respin-experiments <{}|all> [--quick] [--out DIR]",
+                    EXPERIMENTS.join("|")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if names.is_empty() {
+        eprintln!(
+            "usage: respin-experiments <{}|all> [--quick] [--out DIR]",
+            EXPERIMENTS.join("|")
+        );
+        std::process::exit(2);
+    }
+    Args { names, quick, out }
+}
+
+fn main() {
+    let args = parse_args();
+    let params = if args.quick {
+        ExpParams::quick()
+    } else {
+        ExpParams::full()
+    };
+    let out_dir = args.out.clone().or_else(|| {
+        if args.names.len() == EXPERIMENTS.len() {
+            Some(PathBuf::from("results"))
+        } else {
+            None
+        }
+    });
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    let cache = RunCache::new();
+
+    let emit = |name: &str, text: String, json: String| {
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            fs::write(dir.join(format!("{name}.txt")), &text).expect("write text");
+            fs::write(dir.join(format!("{name}.json")), &json).expect("write json");
+        }
+    };
+
+    for name in &args.names {
+        let t = Instant::now();
+        match name.as_str() {
+            "table1" => emit("table1", tables::table1_text(), "{}".into()),
+            "table2" => emit("table2", tables::table2_text(), "{}".into()),
+            "table3" => emit(
+                "table3",
+                tables::table3_text(),
+                to_json(&respin_power::table3::generate()),
+            ),
+            "table4" => emit("table4", tables::table4_text(), "{}".into()),
+            "fig1" => {
+                let d = fig1::generate(&cache, &params);
+                emit("fig1", d.render_text(), to_json(&d));
+            }
+            "fig6" => {
+                let d = fig6::generate(&cache, &params);
+                emit("fig6", d.render_text(), to_json(&d));
+            }
+            "fig7" => {
+                let d = fig7::generate(&cache, &params);
+                emit("fig7", d.render_text(), to_json(&d));
+            }
+            "fig8" => {
+                let d = fig8::generate(&cache, &params);
+                emit("fig8", d.render_text(), to_json(&d));
+            }
+            "fig9" => {
+                let d = fig9::generate(&cache, &params);
+                emit("fig9", d.render_text(), to_json(&d));
+            }
+            "fig10" => {
+                let d = fig10::generate(&cache, &params);
+                emit("fig10", d.render_text(), to_json(&d));
+            }
+            "fig11" => {
+                let d = fig11::generate(&cache, &params);
+                emit("fig11", d.render_text(), to_json(&d));
+            }
+            "fig12" => {
+                let d = fig12_13::generate(&cache, &params, "Figure 12", Benchmark::Radix);
+                emit("fig12", d.render_text(), to_json(&d));
+            }
+            "fig13" => {
+                let d = fig12_13::generate(&cache, &params, "Figure 13", Benchmark::Lu);
+                emit("fig13", d.render_text(), to_json(&d));
+            }
+            "fig14" => {
+                let d = fig14::generate(&cache, &params);
+                emit("fig14", d.render_text(), to_json(&d));
+            }
+            "cluster" => {
+                let d = cluster_sweep::generate(&cache, &params);
+                emit("cluster", d.render_text(), to_json(&d));
+            }
+            "ablation" => {
+                let d = ablation::generate(&cache, &params);
+                emit("ablation", d.render_text(), to_json(&d));
+            }
+            "voltage" => {
+                let d = voltage::generate(&cache, &params);
+                emit("voltage", d.render_text(), to_json(&d));
+            }
+            _ => unreachable!("validated in parse_args"),
+        }
+        eprintln!(
+            "[{name} done in {:.1?}; {} cached runs]",
+            t.elapsed(),
+            cache.len()
+        );
+    }
+}

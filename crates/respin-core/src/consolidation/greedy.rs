@@ -1,0 +1,252 @@
+//! The Figure 5 greedy energy-optimisation search.
+//!
+//! Execution is broken into epochs. At each epoch boundary the search
+//! compares the epoch's EPI with the previous epoch's:
+//!
+//! * change below the threshold → **hold** the current core count (avoids
+//!   state churn for minor benefits);
+//! * EPI improved → keep moving in the current direction (keep shutting
+//!   down, or keep waking up);
+//! * EPI worsened → **reverse** direction;
+//! * the search starts with all cores on and shuts one core down after the
+//!   first epoch;
+//! * an oscillation between two neighbouring states triggers an
+//!   **exponential back-off**: the state is held for 2, 4, 8, 16, then 32
+//!   epochs before the next change is allowed.
+
+use super::vcm::EpiMonitor;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tunables of the greedy search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GreedyConfig {
+    /// Relative EPI change below which the state is held.
+    pub threshold: f64,
+    /// Smallest number of active cores the search may reach.
+    pub min_cores: usize,
+    /// Back-off cap in epochs (the paper's 2→32 sequence).
+    pub max_backoff: u32,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.02,
+            min_cores: 1,
+            max_backoff: 32,
+        }
+    }
+}
+
+/// Greedy search state for one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GreedySearch {
+    config: GreedyConfig,
+    /// Physical cores in the cluster (upper bound of the search).
+    max_cores: usize,
+    monitor: EpiMonitor,
+    /// −1 = shutting cores down, +1 = turning cores on.
+    direction: i64,
+    /// Epochs left to hold the current state (back-off).
+    hold: u32,
+    /// Next back-off length on oscillation.
+    backoff: u32,
+    /// Recent decisions, for oscillation detection.
+    history: VecDeque<usize>,
+}
+
+impl GreedySearch {
+    /// New search over a cluster of `max_cores` physical cores.
+    pub fn new(max_cores: usize, config: GreedyConfig) -> Self {
+        Self {
+            config,
+            max_cores,
+            monitor: EpiMonitor::new(),
+            direction: -1,
+            hold: 0,
+            backoff: 2,
+            history: VecDeque::with_capacity(8),
+        }
+    }
+
+    /// Decides the active-core count for the next epoch given this epoch's
+    /// `epi` and the `current` count.
+    pub fn decide(&mut self, epi: f64, current: usize) -> usize {
+        if !epi.is_finite() || epi <= 0.0 {
+            // Unusable measurement (cluster retired nothing): hold.
+            return current;
+        }
+        if self.hold > 0 {
+            self.hold -= 1;
+            // Keep the EPI history warm so the comparison after the hold is
+            // against fresh data.
+            self.monitor.observe(epi);
+            return current;
+        }
+        let delta = match self.monitor.observe(epi) {
+            // First measured epoch: the paper shuts one core down to start
+            // the search.
+            None => return self.record(self.step(current)),
+            Some(d) => d,
+        };
+
+        if delta.abs() < self.config.threshold {
+            return current;
+        }
+        if delta > 0.0 {
+            self.direction = -self.direction;
+        }
+        let next = self.step(current);
+        let next = self.record(next);
+        if self.is_oscillating() {
+            self.hold = self.backoff;
+            self.backoff = (self.backoff * 2).min(self.config.max_backoff);
+        }
+        next
+    }
+
+    fn step(&self, current: usize) -> usize {
+        let next = current as i64 + self.direction;
+        next.clamp(self.config.min_cores as i64, self.max_cores as i64) as usize
+    }
+
+    fn record(&mut self, next: usize) -> usize {
+        if self.history.len() == 8 {
+            self.history.pop_front();
+        }
+        self.history.push_back(next);
+        next
+    }
+
+    /// True when recent decisions bounce around a narrow band instead of
+    /// progressing: the last 8 decisions span at most 2 counts and include
+    /// both upward and downward moves (catches period-2 *and* period-4
+    /// cycles around a sharp minimum).
+    fn is_oscillating(&self) -> bool {
+        if self.history.len() < 8 {
+            return false;
+        }
+        let min = *self.history.iter().min().expect("non-empty");
+        let max = *self.history.iter().max().expect("non-empty");
+        if max - min > 2 {
+            return false;
+        }
+        let mut up = false;
+        let mut down = false;
+        for w in self.history.iter().zip(self.history.iter().skip(1)) {
+            match w.1.cmp(w.0) {
+                std::cmp::Ordering::Greater => up = true,
+                std::cmp::Ordering::Less => down = true,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        up && down
+    }
+
+    /// Current search direction (−1 shutting down, +1 waking up).
+    pub fn direction(&self) -> i64 {
+        self.direction
+    }
+
+    /// Epochs remaining in the current hold.
+    pub fn holding(&self) -> u32 {
+        self.hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search() -> GreedySearch {
+        GreedySearch::new(16, GreedyConfig::default())
+    }
+
+    #[test]
+    fn first_epoch_shuts_one_core_down() {
+        let mut g = search();
+        assert_eq!(g.decide(100.0, 16), 15);
+    }
+
+    #[test]
+    fn improving_epi_keeps_shutting_down() {
+        let mut g = search();
+        let mut current = 16;
+        let mut epi = 100.0;
+        for _ in 0..5 {
+            current = g.decide(epi, current);
+            epi *= 0.9; // each consolidation helps
+        }
+        assert!(current <= 12, "should keep descending, got {current}");
+    }
+
+    #[test]
+    fn worsening_epi_reverses() {
+        let mut g = search();
+        let c1 = g.decide(100.0, 16); // → 15
+        let c2 = g.decide(90.0, c1); // better → 14
+        let c3 = g.decide(120.0, c2); // worse → back to 15
+        assert_eq!((c1, c2, c3), (15, 14, 15));
+    }
+
+    #[test]
+    fn small_changes_hold_state() {
+        let mut g = search();
+        let c1 = g.decide(100.0, 16); // 15
+        let c2 = g.decide(99.0, c1); // |Δ| = 1% < 2% → hold
+        assert_eq!(c2, c1);
+    }
+
+    #[test]
+    fn oscillation_triggers_exponential_backoff() {
+        let mut g = search();
+        let mut current = 16;
+        // Construct an EPI landscape with a sharp minimum: moving off 14
+        // always hurts, so the search bounces 15→14→15→14…
+        let epi_for = |count: usize| 100.0 + 10.0 * (count as f64 - 14.0).abs();
+        let mut changes = Vec::new();
+        for _ in 0..30 {
+            let next = g.decide(epi_for(current), current);
+            changes.push(next);
+            current = next;
+        }
+        // Back-off must kick in: long stretches without state change.
+        let mut longest_hold = 0;
+        let mut run = 1;
+        for w in changes.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                longest_hold = longest_hold.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(
+            longest_hold >= 4,
+            "expected back-off holds, trace {changes:?}"
+        );
+    }
+
+    #[test]
+    fn clamps_at_bounds() {
+        let mut g = GreedySearch::new(4, GreedyConfig::default());
+        let mut current = 4;
+        let mut epi = 100.0;
+        for _ in 0..10 {
+            current = g.decide(epi, current);
+            epi *= 0.8;
+        }
+        assert_eq!(current, 1, "descends to min_cores and stays");
+    }
+
+    #[test]
+    fn infinite_epi_holds() {
+        let mut g = search();
+        assert_eq!(g.decide(f64::INFINITY, 16), 16);
+        // The next measured epoch starts the search (first shut-down).
+        assert_eq!(g.decide(100.0, 16), 15);
+        // Improvement keeps descending.
+        assert_eq!(g.decide(95.0, 15), 14);
+    }
+}

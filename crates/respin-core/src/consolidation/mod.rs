@@ -1,0 +1,27 @@
+//! Dynamic core management (§III of the paper).
+//!
+//! The pieces map one-to-one onto Figure 4:
+//!
+//! * the **virtual core monitor** ([`vcm`]) measures energy per instruction
+//!   per cluster from the chip's epoch reports;
+//! * the **energy optimisation algorithm** ([`greedy`]) is the Figure 5
+//!   greedy search with its hysteresis threshold and exponential back-off;
+//! * the **oracle** ([`oracle`]) replays each upcoming epoch on cloned
+//!   simulator state across candidate core counts and picks the argmin —
+//!   the paper's SH-STT-CC-Oracle upper bound;
+//! * the **OS variant** ([`os`]) makes the same greedy decisions but only
+//!   at 1 ms quanta (the chip additionally uses expensive OS context
+//!   switches in that configuration).
+//!
+//! The *mechanism* (virtual→physical remapping, migration, power gating)
+//! lives in `respin-sim`; these modules are pure policy.
+
+pub mod greedy;
+pub mod oracle;
+pub mod os;
+pub mod vcm;
+
+pub use greedy::{GreedyConfig, GreedySearch};
+pub use oracle::oracle_decide;
+pub use os::OsGreedy;
+pub use vcm::EpiMonitor;

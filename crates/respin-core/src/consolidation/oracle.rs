@@ -1,0 +1,113 @@
+//! Oracle consolidation: clone-replay of the upcoming epoch.
+//!
+//! The paper's SH-STT-CC-Oracle picks the optimal number of active cores at
+//! every evaluation interval. Our simulator makes that directly computable:
+//! the whole [`Chip`] is `Clone`, so before running an epoch we replay it
+//! on copies with the active-core count shifted by −radius…+radius (applied
+//! to every cluster uniformly per copy, which keeps the replay count at
+//! `2·radius + 1` instead of exponential), then pick the offset that
+//! minimised *chip-wide* energy per instruction. Clusters are coupled by
+//! global barriers, so a chip-wide objective is both what the firmware can
+//! actually measure and what avoids cost-externalising; the replay includes
+//! all migration and power-gating overheads because it goes through exactly
+//! the same machinery.
+
+use respin_sim::Chip;
+
+/// Picks the active-core count for the next epoch, per cluster.
+///
+/// `radius` bounds how far from the current count the oracle may jump in
+/// one epoch (the paper's oracle "adapts immediately"; radius 3–4 lets it
+/// cross the whole 4–16 range in a few epochs while keeping replay cost at
+/// `2·radius + 1` epoch-runs).
+pub fn oracle_decide(chip: &Chip, radius: usize) -> Vec<usize> {
+    let max_cores = chip.config.cores_per_cluster;
+    let current: Vec<usize> = chip.clusters.iter().map(|c| c.active_cores).collect();
+
+    let mut best_epi = f64::INFINITY;
+    let mut best_count = current.clone();
+
+    let r = radius as i64;
+    for d in -r..=r {
+        let candidate: Vec<usize> = current
+            .iter()
+            .map(|&c| (c as i64 + d).clamp(1, max_cores as i64) as usize)
+            .collect();
+        // Skip offsets that clamp to an already-evaluated vector.
+        if d != 0 && candidate == current {
+            continue;
+        }
+        let mut replay = chip.clone();
+        for (k, &count) in candidate.iter().enumerate() {
+            replay.set_active_cores(k, count);
+        }
+        let report = replay.run_epoch();
+        let instr: u64 = report.cluster_instructions.iter().sum();
+        let epi = if instr == 0 {
+            f64::INFINITY
+        } else {
+            report.cluster_energy_pj.iter().sum::<f64>() / instr as f64
+        };
+        if epi < best_epi {
+            best_epi = epi;
+            best_count = candidate;
+        }
+    }
+    best_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use respin_sim::CacheSizeClass;
+    use respin_workloads::Benchmark;
+
+    fn small_oracle_chip() -> Chip {
+        let mut config = ArchConfig::ShSttCcOracle.chip_config(CacheSizeClass::Medium, 4);
+        config.clusters = 1;
+        config.instructions_per_thread = Some(6_000);
+        config.epoch_instructions = 1_500;
+        Chip::new(config, &Benchmark::Radix.spec(), 1)
+    }
+
+    #[test]
+    fn oracle_returns_valid_counts() {
+        let mut chip = small_oracle_chip();
+        chip.run_epoch();
+        let counts = oracle_decide(&chip, 2);
+        assert_eq!(counts.len(), 1);
+        assert!((1..=4).contains(&counts[0]));
+    }
+
+    #[test]
+    fn oracle_does_not_mutate_the_chip() {
+        let mut chip = small_oracle_chip();
+        chip.run_epoch();
+        let before_tick = chip.tick;
+        let before_instr = chip.total_instructions();
+        let _ = oracle_decide(&chip, 2);
+        assert_eq!(chip.tick, before_tick);
+        assert_eq!(chip.total_instructions(), before_instr);
+    }
+
+    #[test]
+    fn oracle_prefers_fewer_cores_on_idle_heavy_work() {
+        // Radix has deeply idle phases; with 4 cores in a cluster the
+        // oracle should consolidate below the maximum at least sometimes.
+        let mut chip = small_oracle_chip();
+        chip.run_epoch();
+        let mut saw_consolidation = false;
+        for _ in 0..3 {
+            let counts = oracle_decide(&chip, 3);
+            if counts[0] < 4 {
+                saw_consolidation = true;
+            }
+            chip.set_active_cores(0, counts[0]);
+            if chip.run_epoch().finished {
+                break;
+            }
+        }
+        assert!(saw_consolidation, "oracle never consolidated radix");
+    }
+}

@@ -1,0 +1,114 @@
+//! OS-driven consolidation (the SH-STT-CC-OS comparison point, §V-C).
+//!
+//! The OS variant differs from the hardware mechanism in two ways, both
+//! modelled:
+//!
+//! 1. **Decision granularity** — the OS evaluates at its 1 ms scheduling
+//!    quantum, roughly [`OS_DECISION_STRIDE`] hardware epochs, and compares
+//!    EPI aggregated over the whole window.
+//! 2. **Context-switch cost** — the chip configuration for this variant
+//!    uses [`respin_sim::CtxSwitchModel::Os`], so stacked virtual cores are
+//!    switched at 1 ms quanta with microsecond-scale overhead, which is
+//!    what lets critical threads bottleneck barrier-heavy applications.
+
+use super::greedy::{GreedyConfig, GreedySearch};
+use serde::{Deserialize, Serialize};
+
+/// Hardware epochs per OS decision. The paper's 1 ms OS interval is ≈ 25
+/// hardware epochs; our synthetic runs are short enough that 25 would mean
+/// *zero* OS decisions per run, so the stride is scaled to 8 — still an
+/// order of magnitude coarser than the hardware mechanism, which is the
+/// property §V-C's comparison tests.
+pub const OS_DECISION_STRIDE: u32 = 8;
+
+/// Greedy search that only acts every [`OS_DECISION_STRIDE`] epochs,
+/// aggregating energy and instructions over the window in between.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsGreedy {
+    inner: GreedySearch,
+    stride: u32,
+    counter: u32,
+    window_energy_pj: f64,
+    window_instructions: u64,
+}
+
+impl OsGreedy {
+    /// New OS-granularity search over `max_cores`.
+    pub fn new(max_cores: usize, config: GreedyConfig) -> Self {
+        Self::with_stride(max_cores, config, OS_DECISION_STRIDE)
+    }
+
+    /// As [`Self::new`] with an explicit decision stride (for tests and
+    /// sensitivity studies).
+    pub fn with_stride(max_cores: usize, config: GreedyConfig, stride: u32) -> Self {
+        Self {
+            inner: GreedySearch::new(max_cores, config),
+            stride: stride.max(1),
+            counter: 0,
+            window_energy_pj: 0.0,
+            window_instructions: 0,
+        }
+    }
+
+    /// Feeds one hardware epoch's cluster totals; returns a new core count
+    /// when an OS decision falls on this epoch, `None` otherwise.
+    pub fn observe_epoch(
+        &mut self,
+        energy_pj: f64,
+        instructions: u64,
+        current: usize,
+    ) -> Option<usize> {
+        self.window_energy_pj += energy_pj;
+        self.window_instructions += instructions;
+        self.counter += 1;
+        if self.counter < self.stride {
+            return None;
+        }
+        let epi = if self.window_instructions == 0 {
+            f64::INFINITY
+        } else {
+            self.window_energy_pj / self.window_instructions as f64
+        };
+        self.counter = 0;
+        self.window_energy_pj = 0.0;
+        self.window_instructions = 0;
+        Some(self.inner.decide(epi, current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_only_on_stride_boundaries() {
+        let mut os = OsGreedy::with_stride(16, GreedyConfig::default(), 3);
+        assert_eq!(os.observe_epoch(100.0, 10, 16), None);
+        assert_eq!(os.observe_epoch(100.0, 10, 16), None);
+        // Third epoch: first decision = initial shut-down.
+        assert_eq!(os.observe_epoch(100.0, 10, 16), Some(15));
+    }
+
+    #[test]
+    fn window_epi_aggregates() {
+        let mut os = OsGreedy::with_stride(16, GreedyConfig::default(), 2);
+        os.observe_epoch(50.0, 5, 16);
+        let d = os.observe_epoch(150.0, 15, 16); // window EPI = 200/20 = 10
+        assert_eq!(d, Some(15));
+        // Second window with much better EPI keeps descending.
+        os.observe_epoch(40.0, 10, 15);
+        assert_eq!(os.observe_epoch(40.0, 10, 15), Some(14));
+    }
+
+    #[test]
+    fn empty_window_holds() {
+        let mut os = OsGreedy::with_stride(16, GreedyConfig::default(), 1);
+        assert_eq!(os.observe_epoch(0.0, 0, 16), Some(16));
+    }
+
+    #[test]
+    fn default_stride_much_coarser_than_hardware() {
+        let stride = OS_DECISION_STRIDE;
+        assert!(stride >= 8, "stride {stride}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Virtual core monitor: per-cluster energy-per-instruction measurement.
+//!
+//! The paper's VCM reads hardware energy counters each epoch; here the
+//! counters are the simulator's per-cluster energy book. The monitor keeps
+//! the previous epoch's EPI so policies can evaluate the relative change
+//! the Figure 5 flowchart branches on.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the EPI of consecutive epochs for one cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpiMonitor {
+    previous: Option<f64>,
+}
+
+impl EpiMonitor {
+    /// New monitor with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records this epoch's EPI and returns the relative change from the
+    /// previous epoch: `(epi − prev) / prev`. Returns `None` on the first
+    /// epoch or when either measurement is unusable (no instructions
+    /// retired).
+    pub fn observe(&mut self, epi: f64) -> Option<f64> {
+        if !epi.is_finite() || epi <= 0.0 {
+            return None;
+        }
+        let delta = self.previous.map(|prev| (epi - prev) / prev);
+        self.previous = Some(epi);
+        delta
+    }
+
+    /// The last recorded EPI.
+    pub fn previous(&self) -> Option<f64> {
+        self.previous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_has_no_delta() {
+        let mut m = EpiMonitor::new();
+        assert_eq!(m.observe(10.0), None);
+        assert_eq!(m.previous(), Some(10.0));
+    }
+
+    #[test]
+    fn relative_delta() {
+        let mut m = EpiMonitor::new();
+        m.observe(10.0);
+        assert!((m.observe(11.0).unwrap() - 0.1).abs() < 1e-12);
+        assert!((m.observe(9.9).unwrap() + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unusable_epochs_are_skipped_without_clobbering_history() {
+        let mut m = EpiMonitor::new();
+        m.observe(10.0);
+        assert_eq!(m.observe(f64::INFINITY), None);
+        assert_eq!(m.previous(), Some(10.0));
+        assert_eq!(m.observe(0.0), None);
+        assert_eq!(m.observe(12.0), Some(0.2));
+    }
+}

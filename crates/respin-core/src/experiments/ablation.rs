@@ -1,0 +1,231 @@
+//! Ablation studies for the design choices the paper asserts but does not
+//! plot:
+//!
+//! * **Consolidation interval** (§III-D): "remapping performed every 160 K
+//!   instructions carries only a small performance penalty and returns
+//!   optimal energy savings" — sweep the epoch length and watch energy go
+//!   through a minimum (too short → migration churn; too long → the search
+//!   cannot track phases).
+//! * **Level-shifter delay** (§II): the 0.75 ns up-shift costs 2 of the
+//!   4–6 cache cycles of a core period. Sweep the delivery latency to
+//!   quantify how much headroom the single-cycle-hit guarantee has.
+//! * **Greedy threshold** (§III-B): the hysteresis that suppresses state
+//!   churn for minor EPI changes.
+
+use super::common::{ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::consolidation::{GreedyConfig, GreedySearch};
+use crate::report::{pct, TextTable};
+use crate::runner;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One epoch-length point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochPoint {
+    /// Epoch length, instructions per cluster.
+    pub epoch_instructions: u64,
+    /// Energy vs the no-consolidation SH-STT run (− = saving).
+    pub energy_vs_no_cc: f64,
+    /// Execution-time overhead vs SH-STT.
+    pub time_vs_no_cc: f64,
+    /// Migrations performed.
+    pub migrations: u64,
+}
+
+/// One delivery-latency point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeliveryPoint {
+    /// Core→cache delivery latency, ticks.
+    pub delivery_ticks: u64,
+    /// Execution time vs the 2-tick default.
+    pub time_vs_default: f64,
+    /// One-core-cycle service fraction at the shared DL1.
+    pub one_cycle_fraction: f64,
+    /// Half-miss fraction.
+    pub half_miss: f64,
+}
+
+/// One greedy-threshold point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// Relative EPI threshold.
+    pub threshold: f64,
+    /// Energy vs SH-STT.
+    pub energy_vs_no_cc: f64,
+    /// Consolidation state changes over the run.
+    pub state_changes: usize,
+}
+
+/// All three ablations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Benchmark used (radix: the consolidation showcase).
+    pub benchmark: String,
+    /// Epoch-length sweep.
+    pub epochs: Vec<EpochPoint>,
+    /// Delivery-latency sweep.
+    pub delivery: Vec<DeliveryPoint>,
+    /// Greedy-threshold sweep.
+    pub thresholds: Vec<ThresholdPoint>,
+}
+
+/// Runs the three ablations.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Ablation {
+    let bench = Benchmark::Radix;
+
+    // Reference: SH-STT without consolidation.
+    let base = cache.run(&params.options(ArchConfig::ShStt, bench));
+
+    // 1. Epoch-length sweep.
+    let mut epochs = Vec::new();
+    for epoch in [
+        params.epoch_instructions / 4,
+        params.epoch_instructions,
+        params.epoch_instructions * 4,
+        params.epoch_instructions * 16,
+    ] {
+        let mut o = params.options(ArchConfig::ShSttCc, bench);
+        o.epoch_instructions = Some(epoch);
+        let r = cache.run(&o);
+        epochs.push(EpochPoint {
+            epoch_instructions: epoch,
+            energy_vs_no_cc: r.energy.chip_total_pj() / base.energy.chip_total_pj() - 1.0,
+            time_vs_no_cc: r.ticks as f64 / base.ticks as f64 - 1.0,
+            migrations: r.stats.migrations,
+        });
+    }
+
+    // 2. Delivery-latency sweep (custom chips; not cached — cheap runs).
+    let mut delivery = Vec::new();
+    let mut default_ticks = 0u64;
+    for ticks in [0u64, 1, 2, 3, 4] {
+        let o = params.options(ArchConfig::ShStt, bench);
+        let mut config = o.arch.chip_config(o.size, o.cores_per_cluster);
+        config.clusters = o.clusters;
+        config.instructions_per_thread = Some(o.measured_per_thread() / 2 + o.warmup_per_thread);
+        config.delivery_ticks = ticks;
+        let mut chip = respin_sim::Chip::new(config, &bench.spec(), o.seed);
+        chip.run_warmup(o.warmup_per_thread * 64);
+        let r = chip.run_to_completion();
+        if ticks == 2 {
+            default_ticks = r.ticks;
+        }
+        let s = r.stats.shared_l1d_merged();
+        delivery.push(DeliveryPoint {
+            delivery_ticks: ticks,
+            time_vs_default: r.ticks as f64, // normalised below
+            one_cycle_fraction: s.one_cycle_hit_fraction(),
+            half_miss: s.half_miss_fraction(),
+        });
+    }
+    for p in &mut delivery {
+        p.time_vs_default = p.time_vs_default / default_ticks as f64 - 1.0;
+    }
+
+    // 3. Greedy-threshold sweep.
+    let mut thresholds = Vec::new();
+    for threshold in [0.005, 0.02, 0.08] {
+        let mut chip = {
+            let o = params.options(ArchConfig::ShSttCc, bench);
+            let mut config = o.arch.chip_config(o.size, o.cores_per_cluster);
+            config.clusters = o.clusters;
+            config.instructions_per_thread =
+                Some(o.measured_per_thread() + o.warmup_per_thread);
+            config.epoch_instructions = params.epoch_instructions;
+            respin_sim::Chip::new(config, &bench.spec(), o.seed)
+        };
+        chip.run_warmup(params.warmup_per_thread * 64);
+        let n = chip.config.cores_per_cluster;
+        let mut policies: Vec<GreedySearch> = (0..chip.clusters.len())
+            .map(|_| {
+                GreedySearch::new(
+                    n,
+                    GreedyConfig {
+                        threshold,
+                        ..GreedyConfig::default()
+                    },
+                )
+            })
+            .collect();
+        loop {
+            let report = chip.run_epoch();
+            if report.finished {
+                break;
+            }
+            let epi = runner::epoch_epi_public(&report);
+            for (k, policy) in policies.iter_mut().enumerate() {
+                let next = policy.decide(epi, report.active_cores[k]);
+                if next != report.active_cores[k] {
+                    chip.set_active_cores(k, next);
+                }
+            }
+        }
+        let r = chip.result();
+        thresholds.push(ThresholdPoint {
+            threshold,
+            energy_vs_no_cc: r.energy.chip_total_pj() / base.energy.chip_total_pj() - 1.0,
+            state_changes: r.stats.consolidation_trace.len(),
+        });
+    }
+
+    Ablation {
+        benchmark: bench.name().into(),
+        epochs,
+        delivery,
+        thresholds,
+    }
+}
+
+impl Ablation {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("Ablations ({}):\n\n", self.benchmark);
+
+        let mut t = TextTable::new(vec![
+            "epoch (instr/cluster)",
+            "energy vs SH-STT",
+            "time vs SH-STT",
+            "migrations",
+        ]);
+        for p in &self.epochs {
+            t.row(vec![
+                format!("{}", p.epoch_instructions),
+                pct(p.energy_vs_no_cc),
+                pct(p.time_vs_no_cc),
+                format!("{}", p.migrations),
+            ]);
+        }
+        out.push_str("Consolidation interval (§III-D):\n");
+        out.push_str(&t.render());
+
+        let mut t = TextTable::new(vec![
+            "delivery ticks",
+            "time vs default",
+            "1-cycle",
+            "half-miss",
+        ]);
+        for p in &self.delivery {
+            t.row(vec![
+                format!("{}", p.delivery_ticks),
+                pct(p.time_vs_default),
+                pct(p.one_cycle_fraction),
+                pct(p.half_miss),
+            ]);
+        }
+        out.push_str("\nLevel-shifter / wire delivery latency (§II):\n");
+        out.push_str(&t.render());
+
+        let mut t = TextTable::new(vec!["threshold", "energy vs SH-STT", "state changes"]);
+        for p in &self.thresholds {
+            t.row(vec![
+                format!("{:.3}", p.threshold),
+                pct(p.energy_vs_no_cc),
+                format!("{}", p.state_changes),
+            ]);
+        }
+        out.push_str("\nGreedy hysteresis threshold (§III-B):\n");
+        out.push_str(&t.render());
+        out
+    }
+}

@@ -1,0 +1,107 @@
+//! §V-D: optimal cluster size.
+//!
+//! Paper: SH-STT's speedup over PR-SRAM-NT grows from 5% to 11% as the
+//! cluster size goes 4 → 16 (the shared L1 is scaled proportionally), then
+//! collapses to 2.5% at 32 cores per cluster — the larger, slower shared
+//! array is overwhelmed by twice as many requesters. 16 is optimal.
+
+use super::common::{geomean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{pct, TextTable};
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One cluster-size point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterRow {
+    /// Cores per cluster.
+    pub cores_per_cluster: usize,
+    /// Shared L1D capacity at that size, KiB.
+    pub shared_l1_kib: u64,
+    /// SH-STT execution time / PR-SRAM-NT execution time (suite geomean).
+    pub time_ratio: f64,
+    /// Speedup over the baseline (− = faster).
+    pub speedup: f64,
+    /// Half-miss fraction at the shared DL1.
+    pub half_miss: f64,
+    /// Paper's speedup where published.
+    pub paper_speedup: Option<f64>,
+}
+
+/// Cluster-size sweep data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSweep {
+    /// Rows for 4/8/16/32 cores per cluster.
+    pub rows: Vec<ClusterRow>,
+}
+
+/// Regenerates the §V-D sweep. The baseline is the paper's default
+/// PR-SRAM-NT machine (16-core clusters): its private-L1 organisation does
+/// not vary with the cluster knob being studied.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> ClusterSweep {
+    let mut rows = Vec::new();
+    for &n in &[4usize, 8, 16, 32] {
+        let ratios: Vec<f64> = Benchmark::ALL
+            .iter()
+            .map(|&b| {
+                let base_opts = params.options(ArchConfig::PrSramNt, b);
+                let mut sh_opts = params.options(ArchConfig::ShStt, b);
+                sh_opts.cores_per_cluster = n;
+                sh_opts.clusters = 64 / n;
+                let base = cache.run(&base_opts);
+                let sh = cache.run(&sh_opts);
+                sh.ticks as f64 / base.ticks as f64
+            })
+            .collect();
+        let ratio = geomean(ratios.iter().copied());
+
+        // Half-miss statistics from one representative run.
+        let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+        o.cores_per_cluster = n;
+        o.clusters = 64 / n;
+        let half_miss = cache.run(&o).stats.shared_l1d_merged().half_miss_fraction();
+
+        rows.push(ClusterRow {
+            cores_per_cluster: n,
+            shared_l1_kib: 16 * n as u64,
+            time_ratio: ratio,
+            speedup: 1.0 - ratio,
+            half_miss,
+            paper_speedup: match n {
+                4 => Some(0.05),
+                16 => Some(0.11),
+                32 => Some(0.025),
+                _ => None,
+            },
+        });
+    }
+    ClusterSweep { rows }
+}
+
+impl ClusterSweep {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "cores/cluster",
+            "shared L1D",
+            "time ratio",
+            "speedup",
+            "half-miss",
+            "paper speedup",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{}", r.cores_per_cluster),
+                format!("{} KiB", r.shared_l1_kib),
+                format!("{:.3}", r.time_ratio),
+                pct(r.speedup),
+                pct(r.half_miss),
+                r.paper_speedup.map(pct).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        format!(
+            "Cluster-size sweep (§V-D): SH-STT vs PR-SRAM-NT, 64 cores total\n{}",
+            t.render()
+        )
+    }
+}

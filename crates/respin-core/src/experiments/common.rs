@@ -1,0 +1,185 @@
+//! Shared plumbing for the experiment drivers: run parameters, a
+//! memoising run cache (several figures share the same underlying runs),
+//! and parallel sweep helpers.
+
+use crate::arch::ArchConfig;
+use crate::runner::{run, RunOptions};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use respin_sim::{CacheSizeClass, RunResult};
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scale of an experiment campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpParams {
+    /// Measured instructions per thread.
+    pub instructions_per_thread: u64,
+    /// Warm-up instructions per thread.
+    pub warmup_per_thread: u64,
+    /// Consolidation epoch, instructions per cluster.
+    pub epoch_instructions: u64,
+    /// Seed for variation + workloads.
+    pub seed: u64,
+}
+
+impl ExpParams {
+    /// Full scale: enough epochs for the consolidation searches to
+    /// converge; a full campaign takes minutes.
+    pub fn full() -> Self {
+        Self {
+            instructions_per_thread: 256_000,
+            warmup_per_thread: 16_000,
+            epoch_instructions: 40_000,
+            seed: 42,
+        }
+    }
+
+    /// Quick scale for tests and Criterion benches (seconds, same shapes
+    /// with more noise).
+    pub fn quick() -> Self {
+        Self {
+            instructions_per_thread: 40_000,
+            warmup_per_thread: 8_000,
+            epoch_instructions: 10_000,
+            seed: 42,
+        }
+    }
+
+    /// Builds run options at this scale.
+    pub fn options(&self, arch: ArchConfig, benchmark: Benchmark) -> RunOptions {
+        let mut o = RunOptions::new(arch, benchmark);
+        o.instructions_per_thread = Some(self.instructions_per_thread);
+        o.warmup_per_thread = self.warmup_per_thread;
+        o.epoch_instructions = Some(self.epoch_instructions);
+        o.seed = self.seed;
+        o
+    }
+}
+
+/// Memoising run cache shared by the experiment drivers.
+#[derive(Clone, Default)]
+pub struct RunCache {
+    inner: Arc<Mutex<HashMap<String, Arc<RunResult>>>>,
+}
+
+impl RunCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `opts` (or returns the memoised result).
+    pub fn run(&self, opts: &RunOptions) -> Arc<RunResult> {
+        let key = serde_json::to_string(opts).expect("options serialise");
+        if let Some(hit) = self.inner.lock().get(&key) {
+            return hit.clone();
+        }
+        let result = Arc::new(run(opts));
+        self.inner
+            .lock()
+            .entry(key)
+            .or_insert_with(|| result.clone())
+            .clone()
+    }
+
+    /// Runs a batch in parallel (deduplicated through the cache).
+    pub fn run_all(&self, batch: &[RunOptions]) -> Vec<Arc<RunResult>> {
+        batch.par_iter().map(|o| self.run(o)).collect()
+    }
+
+    /// Number of memoised runs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// Sweep helper: (arch × benchmark) at `size`, in parallel, returning
+/// results in input order.
+pub fn sweep(
+    cache: &RunCache,
+    params: &ExpParams,
+    archs: &[ArchConfig],
+    benches: &[Benchmark],
+    size: CacheSizeClass,
+) -> Vec<(ArchConfig, Benchmark, Arc<RunResult>)> {
+    let combos: Vec<(ArchConfig, Benchmark)> = archs
+        .iter()
+        .flat_map(|&a| benches.iter().map(move |&b| (a, b)))
+        .collect();
+    combos
+        .par_iter()
+        .map(|&(a, b)| {
+            let mut o = params.options(a, b);
+            o.size = size;
+            (a, b, cache.run(&o))
+        })
+        .collect()
+}
+
+/// Geometric mean (the conventional average for normalised ratios).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean([1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
+    }
+
+    #[test]
+    fn cache_deduplicates() {
+        let cache = RunCache::new();
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+        let a = cache.run(&o);
+        let b = cache.run(&o);
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn quick_params_are_smaller() {
+        assert!(ExpParams::quick().instructions_per_thread < ExpParams::full().instructions_per_thread);
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 1: leakage/dynamic power breakdown of a 64-core CMP at nominal
+//! voltage and at near-threshold voltage.
+//!
+//! The paper reports: at 1.0 V, caches contribute ~14% leakage and ~14%
+//! dynamic power, with dynamic power ~60% of the total; at NT (cores
+//! 0.4 V, SRAM caches 0.65 V) leakage dominates at ~75%, close to half of
+//! it from caches.
+
+use super::common::{mean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{frac, TextTable};
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One operating point's power split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// "nominal" or "near-threshold".
+    pub point: String,
+    /// Configuration that realises the point.
+    pub config: String,
+    /// Fraction of CMP power in core dynamic.
+    pub core_dynamic: f64,
+    /// Core leakage fraction.
+    pub core_leakage: f64,
+    /// Cache dynamic fraction.
+    pub cache_dynamic: f64,
+    /// Cache leakage fraction.
+    pub cache_leakage: f64,
+    /// Interconnect/level-shifter fraction.
+    pub other: f64,
+    /// Total leakage fraction (paper: ~40% nominal, ~75% NT).
+    pub leakage_total: f64,
+}
+
+/// Figure 1 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// The two operating points.
+    pub rows: Vec<Fig1Row>,
+    /// Paper's headline values for comparison.
+    pub paper_note: String,
+}
+
+/// Regenerates Figure 1 (suite mean at each operating point).
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig1 {
+    let points = [
+        ("nominal", ArchConfig::HpSramCmp),
+        ("near-threshold", ArchConfig::PrSramNt),
+    ];
+    let mut rows = Vec::new();
+    for (label, arch) in points {
+        let batch: Vec<_> = Benchmark::ALL
+            .iter()
+            .map(|&b| params.options(arch, b))
+            .collect();
+        let results = cache.run_all(&batch);
+        let split = |f: &dyn Fn(&respin_sim::EnergyBreakdown) -> f64| {
+            mean(results.iter().map(|r| f(&r.energy) / r.energy.chip_total_pj()))
+        };
+        rows.push(Fig1Row {
+            point: label.into(),
+            config: arch.name().into(),
+            core_dynamic: split(&|e| e.core_dynamic_pj),
+            core_leakage: split(&|e| e.core_leakage_pj),
+            cache_dynamic: split(&|e| e.cache_dynamic_pj),
+            cache_leakage: split(&|e| e.cache_leakage_pj),
+            other: split(&|e| e.interconnect_pj),
+            leakage_total: split(&|e| e.leakage_pj()),
+        });
+    }
+    Fig1 {
+        rows,
+        paper_note: "paper: nominal ≈ 60% dynamic (caches 14% leak + 14% dyn); \
+                     NT ≈ 75% leakage, caches ≈ half of it"
+            .into(),
+    }
+}
+
+impl Fig1 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "operating point",
+            "config",
+            "core dyn",
+            "core leak",
+            "cache dyn",
+            "cache leak",
+            "other",
+            "leakage total",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.point.clone(),
+                r.config.clone(),
+                frac(r.core_dynamic),
+                frac(r.core_leakage),
+                frac(r.cache_dynamic),
+                frac(r.cache_leakage),
+                frac(r.other),
+                frac(r.leakage_total),
+            ]);
+        }
+        format!(
+            "Figure 1: CMP power breakdown, nominal vs near-threshold\n{}\n({})\n",
+            t.render(),
+            self.paper_note
+        )
+    }
+}

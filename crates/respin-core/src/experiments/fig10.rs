@@ -1,0 +1,96 @@
+//! Figure 10: histogram of requests arriving at the shared DL1 per cache
+//! cycle (reads, writes, and line fills).
+//!
+//! Paper (mean over the suite): 49% of cache cycles see no request, 21%
+//! one, 15% two, 9% three, 6% four or more.
+
+use super::common::{ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{frac, TextTable};
+use respin_sim::SharedL1Stats;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Arrival distribution of one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Benchmark name ("mean" for the summary row).
+    pub benchmark: String,
+    /// Fractions of cache cycles with 0,1,2,3,4+ arrivals.
+    pub fractions: [f64; 5],
+}
+
+/// Figure 10 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// The five benchmarks the paper plots plus the suite mean.
+    pub rows: Vec<Fig10Row>,
+    /// Paper's suite-mean distribution.
+    pub paper_mean: [f64; 5],
+}
+
+/// The five benchmarks the paper's Figure 10 shows individually.
+pub const FIG10_BENCHMARKS: [Benchmark; 5] = [
+    Benchmark::Fft,
+    Benchmark::Lu,
+    Benchmark::Ocean,
+    Benchmark::Radix,
+    Benchmark::Raytrace,
+];
+
+fn fractions(stats: &SharedL1Stats) -> [f64; 5] {
+    let mut out = [0.0; 5];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = stats.arrival_fraction(i);
+    }
+    out
+}
+
+/// Regenerates Figure 10 from SH-STT runs.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig10 {
+    let batch: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|&b| params.options(ArchConfig::ShStt, b))
+        .collect();
+    let results = cache.run_all(&batch);
+
+    let mut rows = Vec::new();
+    let mut merged = SharedL1Stats::default();
+    for (b, r) in Benchmark::ALL.iter().zip(&results) {
+        let s = r.stats.shared_l1d_merged();
+        if FIG10_BENCHMARKS.contains(b) {
+            rows.push(Fig10Row {
+                benchmark: b.name().into(),
+                fractions: fractions(&s),
+            });
+        }
+        merged.merge(&s);
+    }
+    rows.push(Fig10Row {
+        benchmark: "mean".into(),
+        fractions: fractions(&merged),
+    });
+    Fig10 {
+        rows,
+        paper_mean: [0.49, 0.21, 0.15, 0.09, 0.06],
+    }
+}
+
+impl Fig10 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec!["benchmark", "0", "1", "2", "3", "4+"]);
+        for r in &self.rows {
+            let mut cells = vec![r.benchmark.clone()];
+            cells.extend(r.fractions.iter().map(|&f| frac(f)));
+            t.row(cells);
+        }
+        let mut cells = vec!["paper mean".to_string()];
+        cells.extend(self.paper_mean.iter().map(|&f| frac(f)));
+        t.row(cells);
+        format!(
+            "Figure 10: requests arriving at the shared DL1 per cache cycle\n{}",
+            t.render()
+        )
+    }
+}

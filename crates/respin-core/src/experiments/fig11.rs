@@ -1,0 +1,96 @@
+//! Figure 11: fraction of read-hit requests the shared DL1 services in
+//! 1, 2, or more core cycles.
+//!
+//! Paper: 95.8% of read hits complete within a single core cycle; ~4% of
+//! requests become half-misses, and over 99% of those finish in 2 cycles.
+
+use super::common::{ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{frac, TextTable};
+use respin_sim::SharedL1Stats;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Service-latency distribution of one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Row {
+    /// Benchmark name ("mean" for the summary).
+    pub benchmark: String,
+    /// Fractions serviced in 1, 2, ≥3 core cycles.
+    pub cycles: [f64; 3],
+    /// Half-miss fraction over all reads.
+    pub half_miss: f64,
+}
+
+/// Figure 11 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Per-benchmark rows plus the mean.
+    pub rows: Vec<Fig11Row>,
+    /// Paper: 1-cycle fraction / half-miss fraction.
+    pub paper_one_cycle: f64,
+    /// Paper's half-miss fraction.
+    pub paper_half_miss: f64,
+}
+
+fn row(name: &str, s: &SharedL1Stats) -> Fig11Row {
+    let total: u64 = s.read_hit_core_cycles.iter().sum();
+    let f = |i: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            s.read_hit_core_cycles[i] as f64 / total as f64
+        }
+    };
+    Fig11Row {
+        benchmark: name.into(),
+        cycles: [f(0), f(1), f(2)],
+        half_miss: s.half_miss_fraction(),
+    }
+}
+
+/// Regenerates Figure 11 from SH-STT runs.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig11 {
+    let batch: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|&b| params.options(ArchConfig::ShStt, b))
+        .collect();
+    let results = cache.run_all(&batch);
+
+    let mut rows = Vec::new();
+    let mut merged = SharedL1Stats::default();
+    for (b, r) in Benchmark::ALL.iter().zip(&results) {
+        let s = r.stats.shared_l1d_merged();
+        rows.push(row(b.name(), &s));
+        merged.merge(&s);
+    }
+    rows.push(row("mean", &merged));
+    Fig11 {
+        rows,
+        paper_one_cycle: 0.958,
+        paper_half_miss: 0.04,
+    }
+}
+
+impl Fig11 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec!["benchmark", "1 cycle", "2 cycles", "3+ cycles", "half-miss"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.benchmark.clone(),
+                frac(r.cycles[0]),
+                frac(r.cycles[1]),
+                frac(r.cycles[2]),
+                frac(r.half_miss),
+            ]);
+        }
+        format!(
+            "Figure 11: shared DL1 read-hit service latency in core cycles\n{}\n\
+             (paper mean: {} in 1 cycle, {} half-misses)\n",
+            t.render(),
+            frac(self.paper_one_cycle),
+            frac(self.paper_half_miss)
+        )
+    }
+}

@@ -1,0 +1,116 @@
+//! Figures 12 and 13: runtime consolidation traces of radix and lu,
+//! greedy (SH-STT-CC) vs oracle (SH-STT-CC-Oracle).
+//!
+//! Paper: the radix greedy trace tracks the oracle closely (48% vs 50%
+//! energy saving against PR-SRAM-NT); on lu the greedy lags the oracle's
+//! immediate adaptation (29% vs 38%).
+
+use super::common::{ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{pct, TextTable};
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One configuration's trace for one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Configuration label.
+    pub config: String,
+    /// (time µs, active cores per cluster, averaged) samples.
+    pub series: Vec<(f64, f64)>,
+    /// Energy relative to PR-SRAM-NT (− = saving).
+    pub energy_vs_baseline: f64,
+    /// Paper's value where published.
+    pub paper_vs_baseline: Option<f64>,
+}
+
+/// One benchmark's figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsolidationTraceFigure {
+    /// "Figure 12" or "Figure 13".
+    pub figure: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Greedy and oracle traces.
+    pub traces: Vec<Trace>,
+}
+
+fn paper_value(figure: &str, arch: ArchConfig) -> Option<f64> {
+    match (figure, arch) {
+        ("Figure 12", ArchConfig::ShSttCc) => Some(-0.48),
+        ("Figure 12", ArchConfig::ShSttCcOracle) => Some(-0.50),
+        ("Figure 13", ArchConfig::ShSttCc) => Some(-0.29),
+        ("Figure 13", ArchConfig::ShSttCcOracle) => Some(-0.38),
+        _ => None,
+    }
+}
+
+/// Regenerates one of the two trace figures.
+pub fn generate(
+    cache: &RunCache,
+    params: &ExpParams,
+    figure: &str,
+    benchmark: Benchmark,
+) -> ConsolidationTraceFigure {
+    let clusters = 4.0;
+    let baseline = cache.run(&params.options(ArchConfig::PrSramNt, benchmark));
+    let mut traces = Vec::new();
+    for arch in [ArchConfig::ShSttCc, ArchConfig::ShSttCcOracle] {
+        let r = cache.run(&params.options(arch, benchmark));
+        let t0 = r.stats.consolidation_trace.first().map(|&(t, _)| t).unwrap_or(0);
+        let series = r
+            .stats
+            .consolidation_trace
+            .iter()
+            .map(|&(t, active)| {
+                (
+                    (t - t0) as f64 * 0.4 / 1_000.0, // ticks → µs
+                    active as f64 / clusters,
+                )
+            })
+            .collect();
+        traces.push(Trace {
+            config: arch.name().into(),
+            series,
+            energy_vs_baseline: r.energy.chip_total_pj() / baseline.energy.chip_total_pj() - 1.0,
+            paper_vs_baseline: paper_value(figure, arch),
+        });
+    }
+    ConsolidationTraceFigure {
+        figure: figure.into(),
+        benchmark: benchmark.name().into(),
+        traces,
+    }
+}
+
+impl ConsolidationTraceFigure {
+    /// Text rendering: energy summary plus a coarse textual trace.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "{} ({}): consolidation trace, greedy vs oracle\n",
+            self.figure, self.benchmark
+        );
+        let mut t = TextTable::new(vec!["config", "energy vs baseline", "paper", "state changes"]);
+        for tr in &self.traces {
+            t.row(vec![
+                tr.config.clone(),
+                pct(tr.energy_vs_baseline),
+                tr.paper_vs_baseline.map(pct).unwrap_or_else(|| "-".into()),
+                format!("{}", tr.series.len()),
+            ]);
+        }
+        out.push_str(&t.render());
+        for tr in &self.traces {
+            out.push_str(&format!("\n{} trace (t µs → active cores/cluster):\n  ", tr.config));
+            // Print up to 24 evenly-spaced samples.
+            let step = (tr.series.len() / 24).max(1);
+            for (i, (t_us, a)) in tr.series.iter().enumerate() {
+                if i % step == 0 {
+                    out.push_str(&format!("{t_us:.0}:{a:.0} "));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

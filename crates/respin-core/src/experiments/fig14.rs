@@ -1,0 +1,93 @@
+//! Figure 14: average (and min/max) active cores per cluster under dynamic
+//! core consolidation, per benchmark.
+//!
+//! Paper: on average only ~10 of 16 cores in a cluster stay active; most
+//! benchmarks span the full 4–16 range, radix never activates more than 11
+//! and blackscholes never drops below 6.
+
+use super::common::{mean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::TextTable;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Active-core statistics of one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14Row {
+    /// Benchmark name ("mean" for the summary).
+    pub benchmark: String,
+    /// Epoch-weighted average active cores per cluster.
+    pub avg: f64,
+    /// Minimum observed at any epoch boundary (any cluster).
+    pub min: usize,
+    /// Maximum observed.
+    pub max: usize,
+}
+
+/// Figure 14 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14 {
+    /// Rows per benchmark plus the mean.
+    pub rows: Vec<Fig14Row>,
+    /// Paper's suite average (~10 of 16).
+    pub paper_avg: f64,
+}
+
+/// Regenerates Figure 14 from SH-STT-CC runs.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig14 {
+    let batch: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|&b| params.options(ArchConfig::ShSttCc, b))
+        .collect();
+    let results = cache.run_all(&batch);
+
+    let mut rows: Vec<Fig14Row> = Benchmark::ALL
+        .iter()
+        .zip(&results)
+        .map(|(&b, r)| {
+            // active_core_samples: per cluster (Σ active over epochs, min, max).
+            let epochs = r.stats.epochs.max(1);
+            let per_cluster = &r.stats.active_core_samples;
+            let avg = mean(per_cluster.iter().map(|&(sum, _, _)| sum as f64)) / epochs as f64;
+            let min = per_cluster.iter().map(|&(_, lo, _)| lo).min().unwrap_or(0);
+            let max = per_cluster.iter().map(|&(_, _, hi)| hi).max().unwrap_or(0);
+            Fig14Row {
+                benchmark: b.name().into(),
+                avg,
+                min,
+                max,
+            }
+        })
+        .collect();
+    rows.push(Fig14Row {
+        benchmark: "mean".into(),
+        avg: mean(rows.iter().map(|r| r.avg)),
+        min: rows.iter().map(|r| r.min).min().unwrap_or(0),
+        max: rows.iter().map(|r| r.max).max().unwrap_or(0),
+    });
+    Fig14 {
+        rows,
+        paper_avg: 10.0,
+    }
+}
+
+impl Fig14 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec!["benchmark", "avg active", "min", "max"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.benchmark.clone(),
+                format!("{:.1}", r.avg),
+                format!("{}", r.min),
+                format!("{}", r.max),
+            ]);
+        }
+        format!(
+            "Figure 14: active cores per 16-core cluster under consolidation\n{}\n\
+             (paper: suite average ≈ {:.0}/16; radix ≤ 11; blackscholes ≥ 6)\n",
+            t.render(),
+            self.paper_avg
+        )
+    }
+}

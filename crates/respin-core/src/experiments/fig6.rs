@@ -1,0 +1,122 @@
+//! Figure 6: total CMP power of SH-STT vs the baselines across the three
+//! cache sizings, with leakage/dynamic split.
+//!
+//! Paper: SH-STT uses 2.1% / 12.9% / 22.1% less power than PR-SRAM-NT for
+//! small/medium/large; SH-SRAM-Nom uses 22–65% *more* power than SH-STT.
+
+use super::common::{mean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{pct, TextTable};
+use respin_sim::CacheSizeClass;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Power of one (configuration, cache size) point, suite mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Configuration label.
+    pub config: String,
+    /// Cache sizing class.
+    pub size: String,
+    /// Average CMP power, mW.
+    pub power_mw: f64,
+    /// Leakage share of that power.
+    pub leakage_mw: f64,
+    /// Dynamic share.
+    pub dynamic_mw: f64,
+    /// Power relative to PR-SRAM-NT at the same size (− = saving).
+    pub vs_baseline: f64,
+    /// Paper's value of `vs_baseline` where published.
+    pub paper_vs_baseline: Option<f64>,
+}
+
+/// Figure 6 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// All (config, size) rows.
+    pub rows: Vec<Fig6Row>,
+}
+
+const ARCHS: [ArchConfig; 3] = [
+    ArchConfig::PrSramNt,
+    ArchConfig::ShStt,
+    ArchConfig::ShSramNom,
+];
+
+fn paper_value(arch: ArchConfig, size: CacheSizeClass) -> Option<f64> {
+    match (arch, size) {
+        (ArchConfig::ShStt, CacheSizeClass::Small) => Some(-0.021),
+        (ArchConfig::ShStt, CacheSizeClass::Medium) => Some(-0.129),
+        (ArchConfig::ShStt, CacheSizeClass::Large) => Some(-0.221),
+        (ArchConfig::PrSramNt, _) => Some(0.0),
+        _ => None,
+    }
+}
+
+/// Regenerates Figure 6.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig6 {
+    let mut rows = Vec::new();
+    for size in CacheSizeClass::ALL {
+        let mut base_power = f64::NAN;
+        for arch in ARCHS {
+            let batch: Vec<_> = Benchmark::ALL
+                .iter()
+                .map(|&b| {
+                    let mut o = params.options(arch, b);
+                    o.size = size;
+                    o
+                })
+                .collect();
+            let results = cache.run_all(&batch);
+            let power = mean(results.iter().map(|r| r.average_power_mw()));
+            let leak = mean(
+                results
+                    .iter()
+                    .map(|r| r.energy.leakage_pj() / r.time_ps * 1_000.0),
+            );
+            if arch == ArchConfig::PrSramNt {
+                base_power = power;
+            }
+            rows.push(Fig6Row {
+                config: arch.name().into(),
+                size: size.name().into(),
+                power_mw: power,
+                leakage_mw: leak,
+                dynamic_mw: power - leak,
+                vs_baseline: power / base_power - 1.0,
+                paper_vs_baseline: paper_value(arch, size),
+            });
+        }
+    }
+    Fig6 { rows }
+}
+
+impl Fig6 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "config",
+            "size",
+            "power mW",
+            "leak mW",
+            "dyn mW",
+            "vs baseline",
+            "paper",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.config.clone(),
+                r.size.clone(),
+                format!("{:.1}", r.power_mw),
+                format!("{:.1}", r.leakage_mw),
+                format!("{:.1}", r.dynamic_mw),
+                pct(r.vs_baseline),
+                r.paper_vs_baseline.map(pct).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        format!(
+            "Figure 6: CMP power by configuration and cache size (suite mean)\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 7: per-benchmark execution time, normalised to PR-SRAM-NT
+//! (medium caches).
+//!
+//! Paper: SH-STT reduces execution time by 11% on average (raytrace and
+//! ocean benefit most); SH-SRAM-Nom is marginally slower than SH-STT
+//! (~1.2%); HP-SRAM-CMP is fastest outright.
+
+use super::common::{geomean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::TextTable;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Normalised execution times of one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Benchmark name ("geomean" for the summary row).
+    pub benchmark: String,
+    /// SH-STT time / baseline time.
+    pub sh_stt: f64,
+    /// SH-SRAM-Nom time / baseline time.
+    pub sh_sram_nom: f64,
+    /// HP-SRAM-CMP time / baseline time.
+    pub hp_sram_cmp: f64,
+}
+
+/// Figure 7 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// Per-benchmark rows plus the geomean.
+    pub rows: Vec<Fig7Row>,
+    /// Paper's SH-STT average (0.89×).
+    pub paper_sh_stt_mean: f64,
+}
+
+/// Regenerates Figure 7.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig7 {
+    let archs = [
+        ArchConfig::PrSramNt,
+        ArchConfig::ShStt,
+        ArchConfig::ShSramNom,
+        ArchConfig::HpSramCmp,
+    ];
+    let batch: Vec<_> = archs
+        .iter()
+        .flat_map(|&a| Benchmark::ALL.iter().map(move |&b| params.options(a, b)))
+        .collect();
+    let results = cache.run_all(&batch);
+    let get = |a: ArchConfig, b: Benchmark| -> Arc<respin_sim::RunResult> {
+        let ai = archs.iter().position(|&x| x == a).expect("arch in sweep");
+        let bi = Benchmark::ALL.iter().position(|&x| x == b).expect("bench");
+        results[ai * Benchmark::ALL.len() + bi].clone()
+    };
+
+    let mut rows: Vec<Fig7Row> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let base = get(ArchConfig::PrSramNt, b).ticks as f64;
+            Fig7Row {
+                benchmark: b.name().into(),
+                sh_stt: get(ArchConfig::ShStt, b).ticks as f64 / base,
+                sh_sram_nom: get(ArchConfig::ShSramNom, b).ticks as f64 / base,
+                hp_sram_cmp: get(ArchConfig::HpSramCmp, b).ticks as f64 / base,
+            }
+        })
+        .collect();
+    rows.push(Fig7Row {
+        benchmark: "geomean".into(),
+        sh_stt: geomean(rows.iter().map(|r| r.sh_stt)),
+        sh_sram_nom: geomean(rows.iter().map(|r| r.sh_sram_nom)),
+        hp_sram_cmp: geomean(rows.iter().map(|r| r.hp_sram_cmp)),
+    });
+    Fig7 {
+        rows,
+        paper_sh_stt_mean: 0.89,
+    }
+}
+
+impl Fig7 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec!["benchmark", "SH-STT", "SH-SRAM-Nom", "HP-SRAM-CMP"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.benchmark.clone(),
+                format!("{:.3}", r.sh_stt),
+                format!("{:.3}", r.sh_sram_nom),
+                format!("{:.3}", r.hp_sram_cmp),
+            ]);
+        }
+        format!(
+            "Figure 7: execution time normalised to PR-SRAM-NT (medium caches)\n{}\n\
+             (paper: SH-STT mean {:.2}; HP fastest; SH-SRAM-Nom ≈ SH-STT + ~1%)\n",
+            t.render(),
+            self.paper_sh_stt_mean
+        )
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 8: CMP energy vs cache size, normalised to PR-SRAM-NT.
+//!
+//! Paper: SH-STT uses 13% / 23% / 31% less energy than the baseline for
+//! small / medium / large; SH-SRAM-Nom uses 8–16% *more*.
+
+use super::common::{geomean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::{pct, TextTable};
+use respin_sim::CacheSizeClass;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One (config, size) energy point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Configuration label.
+    pub config: String,
+    /// Cache sizing class.
+    pub size: String,
+    /// Energy relative to PR-SRAM-NT at the same size (− = saving).
+    pub vs_baseline: f64,
+    /// Paper's value where published.
+    pub paper_vs_baseline: Option<f64>,
+}
+
+/// Figure 8 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// All rows.
+    pub rows: Vec<Fig8Row>,
+}
+
+fn paper_value(arch: ArchConfig, size: CacheSizeClass) -> Option<f64> {
+    match (arch, size) {
+        (ArchConfig::ShStt, CacheSizeClass::Small) => Some(-0.13),
+        (ArchConfig::ShStt, CacheSizeClass::Medium) => Some(-0.23),
+        (ArchConfig::ShStt, CacheSizeClass::Large) => Some(-0.31),
+        // "8-16% more energy" across sizes:
+        (ArchConfig::ShSramNom, CacheSizeClass::Small) => Some(0.08),
+        (ArchConfig::ShSramNom, CacheSizeClass::Large) => Some(0.16),
+        (ArchConfig::ShSramNom, CacheSizeClass::Medium) => Some(0.12),
+        _ => None,
+    }
+}
+
+/// Regenerates Figure 8.
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig8 {
+    let mut rows = Vec::new();
+    for size in CacheSizeClass::ALL {
+        let energy_of = |arch: ArchConfig| -> Vec<f64> {
+            let batch: Vec<_> = Benchmark::ALL
+                .iter()
+                .map(|&b| {
+                    let mut o = params.options(arch, b);
+                    o.size = size;
+                    o
+                })
+                .collect();
+            cache
+                .run_all(&batch)
+                .iter()
+                .map(|r| r.energy.chip_total_pj())
+                .collect()
+        };
+        let base = energy_of(ArchConfig::PrSramNt);
+        for arch in [ArchConfig::ShStt, ArchConfig::ShSramNom] {
+            let e = energy_of(arch);
+            let ratio = geomean(e.iter().zip(&base).map(|(a, b)| a / b));
+            rows.push(Fig8Row {
+                config: arch.name().into(),
+                size: size.name().into(),
+                vs_baseline: ratio - 1.0,
+                paper_vs_baseline: paper_value(arch, size),
+            });
+        }
+    }
+    Fig8 { rows }
+}
+
+impl Fig8 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec!["config", "size", "energy vs baseline", "paper"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.config.clone(),
+                r.size.clone(),
+                pct(r.vs_baseline),
+                r.paper_vs_baseline.map(pct).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        format!(
+            "Figure 8: CMP energy vs cache size, normalised to PR-SRAM-NT (suite geomean)\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 9: per-benchmark CMP energy of every non-baseline configuration,
+//! normalised to PR-SRAM-NT (medium caches).
+//!
+//! Paper averages: SH-STT −23%, SH-SRAM-Nom +12%, HP-SRAM-CMP +40%,
+//! SH-STT-CC −33%, SH-STT-CC-Oracle −36%, PR-STT-CC −24%, and
+//! SH-STT-CC-OS +27% *relative to SH-STT*.
+
+use super::common::{geomean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::TextTable;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// The configurations plotted in Figure 9, in the paper's order.
+pub const FIG9_CONFIGS: [ArchConfig; 7] = [
+    ArchConfig::ShSramNom,
+    ArchConfig::HpSramCmp,
+    ArchConfig::ShStt,
+    ArchConfig::ShSttCc,
+    ArchConfig::ShSttCcOracle,
+    ArchConfig::PrSttCc,
+    ArchConfig::ShSttCcOs,
+];
+
+/// Normalised energies of one benchmark (order of [`FIG9_CONFIGS`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Benchmark name ("geomean" for the summary).
+    pub benchmark: String,
+    /// Energy / baseline energy, per configuration.
+    pub energy: Vec<f64>,
+}
+
+/// Figure 9 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// Configuration labels (column order).
+    pub configs: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Fig9Row>,
+    /// Paper's mean values, same column order.
+    pub paper_means: Vec<f64>,
+}
+
+/// Regenerates Figure 9. This is the heavy experiment (the oracle replays
+/// every epoch 2·radius+1 times).
+pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig9 {
+    let mut all_archs = vec![ArchConfig::PrSramNt];
+    all_archs.extend(FIG9_CONFIGS);
+    let batch: Vec<_> = all_archs
+        .iter()
+        .flat_map(|&a| Benchmark::ALL.iter().map(move |&b| params.options(a, b)))
+        .collect();
+    let results = cache.run_all(&batch);
+    let energy = |a: ArchConfig, b: Benchmark| -> f64 {
+        let ai = all_archs.iter().position(|&x| x == a).expect("arch");
+        let bi = Benchmark::ALL.iter().position(|&x| x == b).expect("bench");
+        results[ai * Benchmark::ALL.len() + bi].energy.chip_total_pj()
+    };
+
+    let mut rows: Vec<Fig9Row> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let base = energy(ArchConfig::PrSramNt, b);
+            Fig9Row {
+                benchmark: b.name().into(),
+                energy: FIG9_CONFIGS.iter().map(|&a| energy(a, b) / base).collect(),
+            }
+        })
+        .collect();
+    let means: Vec<f64> = (0..FIG9_CONFIGS.len())
+        .map(|i| geomean(rows.iter().map(|r| r.energy[i])))
+        .collect();
+    rows.push(Fig9Row {
+        benchmark: "geomean".into(),
+        energy: means,
+    });
+
+    Fig9 {
+        configs: FIG9_CONFIGS.iter().map(|a| a.name().to_string()).collect(),
+        rows,
+        // SH-SRAM-Nom +12%, HP +40%, SH-STT −23%, CC −33%, Oracle −36%,
+        // PR-STT-CC −24%, CC-OS = SH-STT × 1.27.
+        paper_means: vec![1.12, 1.40, 0.77, 0.67, 0.64, 0.76, 0.77 * 1.27],
+    }
+}
+
+impl Fig9 {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(self.configs.clone());
+        let mut t = TextTable::new(header);
+        for r in &self.rows {
+            let mut cells = vec![r.benchmark.clone()];
+            cells.extend(r.energy.iter().map(|e| format!("{e:.3}")));
+            t.row(cells);
+        }
+        let mut cells = vec!["paper mean".to_string()];
+        cells.extend(self.paper_means.iter().map(|e| format!("{e:.3}")));
+        t.row(cells);
+        format!(
+            "Figure 9: CMP energy normalised to PR-SRAM-NT (medium caches)\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment drivers: one module per table/figure of the paper's §V.
+//!
+//! Every driver produces a serialisable result struct plus an aligned text
+//! rendering, and records the paper's published values next to the
+//! regenerated ones so EXPERIMENTS.md can compare shape directly. The
+//! `respin-experiments` binary is the CLI over these modules.
+//!
+//! Underlying runs are memoised in a [`common::RunCache`] because several
+//! figures share configurations (e.g. the `PR-SRAM-NT` × medium × suite
+//! runs feed Figures 6, 7, 8, and 9).
+
+pub mod ablation;
+pub mod cluster_sweep;
+pub mod common;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig14;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+pub mod voltage;
+
+pub use common::{ExpParams, RunCache};

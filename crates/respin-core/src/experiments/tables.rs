@@ -1,0 +1,137 @@
+//! Tables I–IV: the static configuration tables of §IV.
+
+use crate::arch::ArchConfig;
+use crate::report::TextTable;
+use respin_sim::{CacheSizeClass, ChipConfig, L1Org};
+
+/// Renders Table I (cache hierarchy configurations).
+pub fn table1_text() -> String {
+    let mut t = TextTable::new(vec!["level", "size", "block", "assoc", "ports"]);
+    let private = {
+        let mut c = ChipConfig::nt_base();
+        c.l1_org = L1Org::Private;
+        c
+    };
+    let shared = ChipConfig::nt_base();
+    t.row(vec![
+        "L1I (private / shared w/i cluster)".to_string(),
+        format!(
+            "{} KiB / {} KiB",
+            private.l1i_geometry().capacity_bytes / 1024,
+            shared.l1i_geometry().capacity_bytes / 1024
+        ),
+        "32 B".into(),
+        "2-way".into(),
+        "1R/1W".into(),
+    ]);
+    t.row(vec![
+        "L1D (private / shared w/i cluster)".to_string(),
+        format!(
+            "{} KiB / {} KiB",
+            private.l1d_geometry().capacity_bytes / 1024,
+            shared.l1d_geometry().capacity_bytes / 1024
+        ),
+        "32 B".into(),
+        "4-way".into(),
+        "1R/1W".into(),
+    ]);
+    let mib = |b: u64| b / (1024 * 1024);
+    t.row(vec![
+        "L2 (shared w/i cluster)".to_string(),
+        format!(
+            "{} / {} / {} MiB",
+            mib(CacheSizeClass::Small.l2_bytes()),
+            mib(CacheSizeClass::Medium.l2_bytes()),
+            mib(CacheSizeClass::Large.l2_bytes())
+        ),
+        "64 B".into(),
+        "8-way".into(),
+        "1R/1W".into(),
+    ]);
+    t.row(vec![
+        "L3 (shared w/i chip)".to_string(),
+        format!(
+            "{} / {} / {} MiB",
+            mib(CacheSizeClass::Small.l3_bytes()),
+            mib(CacheSizeClass::Medium.l3_bytes()),
+            mib(CacheSizeClass::Large.l3_bytes())
+        ),
+        "128 B".into(),
+        "16-way".into(),
+        "1R/1W".into(),
+    ]);
+    format!("Table I: cache configurations\n{}", t.render())
+}
+
+/// Renders Table II (baseline architecture parameters).
+pub fn table2_text() -> String {
+    let c = ChipConfig::nt_base();
+    let mut t = TextTable::new(vec!["parameter", "value"]);
+    t.row(vec!["cores".to_string(), format!("{}", c.total_cores())]);
+    t.row(vec![
+        "clusters".to_string(),
+        format!("{} × {} cores", c.clusters, c.cores_per_cluster),
+    ]);
+    t.row(vec!["core".to_string(), "dual-issue, in-order completion".to_string()]);
+    t.row(vec!["core Vdd (NT)".to_string(), format!("{} V", c.core_vdd)]);
+    t.row(vec![
+        "core frequency (NT)".to_string(),
+        "417–625 MHz (period = 4–6 × 0.4 ns, per-core from variation)".to_string(),
+    ]);
+    t.row(vec!["cache Vdd".to_string(), format!("{} V", c.cache_vdd)]);
+    t.row(vec!["cache reference clock".to_string(), "2.5 GHz (0.4 ns)".to_string()]);
+    t.row(vec![
+        "store buffer".to_string(),
+        format!("{} entries/core", respin_sim::consts::STORE_BUFFER_DEPTH),
+    ]);
+    t.row(vec![
+        "mispredict penalty".to_string(),
+        format!(
+            "{} core cycles",
+            respin_sim::consts::MISPREDICT_PENALTY_CORE_CYCLES
+        ),
+    ]);
+    t.row(vec![
+        "main memory".to_string(),
+        format!(
+            "{} ns",
+            respin_sim::consts::MEM_LATENCY_TICKS as f64 * 0.4
+        ),
+    ]);
+    t.row(vec![
+        "consolidation epoch".to_string(),
+        format!(
+            "{} K instructions / cluster",
+            respin_sim::consts::EPOCH_INSTRUCTIONS / 1000
+        ),
+    ]);
+    format!("Table II: architecture configuration\n{}", t.render())
+}
+
+/// Renders Table III via the power models (model vs paper).
+pub fn table3_text() -> String {
+    respin_power::table3::render_text()
+}
+
+/// Renders Table IV (evaluated configurations).
+pub fn table4_text() -> String {
+    let mut t = TextTable::new(vec!["configuration", "description"]);
+    for a in ArchConfig::ALL {
+        t.row(vec![a.name().to_string(), a.description().to_string()]);
+    }
+    format!("Table IV: architecture configurations\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        assert!(table1_text().contains("256 KiB"));
+        assert!(table2_text().contains("dual-issue"));
+        assert!(table3_text().contains("STT-RAM"));
+        assert!(table4_text().contains("PR-SRAM-NT"));
+        assert_eq!(table4_text().matches('\n').count(), 11); // title + header + rule + 8 rows
+    }
+}

@@ -1,0 +1,124 @@
+//! Voltage sweep: the near-threshold motivation itself.
+//!
+//! The paper's Introduction: lowering Vdd from nominal into the
+//! near-threshold range slows the chip ~10× but cuts power ~100×,
+//! "potentially resulting in a full order of magnitude in energy savings".
+//! This sweep runs the shared-STT chip across core voltages from 1.0 V
+//! down to 0.4 V (the cache rail stays at nominal, as in the design) and
+//! reports frequency, power, and energy per instruction — the U-shaped EPI
+//! curve whose low-voltage side is exactly where Respin operates.
+//!
+//! (The runs use custom voltage configurations, so they bypass the shared
+//! run cache; the `_cache` parameter keeps the driver signature uniform.)
+
+use super::common::{mean, ExpParams, RunCache};
+use crate::arch::ArchConfig;
+use crate::report::TextTable;
+use respin_variation::FrequencyBand;
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One operating-voltage point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VoltagePoint {
+    /// Core Vdd, volts.
+    pub core_vdd: f64,
+    /// Mean core frequency after quantisation, MHz.
+    pub mean_core_mhz: f64,
+    /// Execution time relative to the 1.0 V point.
+    pub time_vs_nominal: f64,
+    /// CMP power relative to the 1.0 V point.
+    pub power_vs_nominal: f64,
+    /// Energy per instruction relative to the 1.0 V point.
+    pub epi_vs_nominal: f64,
+}
+
+/// The voltage sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VoltageSweep {
+    /// Benchmarks averaged.
+    pub benchmarks: Vec<String>,
+    /// Points from nominal down to near threshold.
+    pub points: Vec<VoltagePoint>,
+}
+
+/// Voltages swept: nominal down to the paper's NT operating point.
+pub const VOLTAGES: [f64; 7] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+
+/// Benchmarks used (a fast, representative trio).
+pub const SWEEP_BENCHMARKS: [Benchmark; 3] =
+    [Benchmark::Fft, Benchmark::WaterNsq, Benchmark::Swaptions];
+
+/// Runs the sweep.
+pub fn generate(_cache: &RunCache, params: &ExpParams) -> VoltageSweep {
+    let mut points = Vec::new();
+    let mut nominal: Option<(f64, f64, f64)> = None; // (time, power, epi)
+    for &vdd in &VOLTAGES {
+        let mut times = Vec::new();
+        let mut powers = Vec::new();
+        let mut epis = Vec::new();
+        let mut mhz = Vec::new();
+        for &bench in &SWEEP_BENCHMARKS {
+            let o = params.options(ArchConfig::ShStt, bench);
+            let mut config = o.arch.chip_config(o.size, o.cores_per_cluster);
+            config.clusters = o.clusters;
+            config.core_vdd = vdd;
+            config.band = FrequencyBand::WIDE;
+            config.instructions_per_thread =
+                Some(o.measured_per_thread() / 2 + o.warmup_per_thread);
+            let mut chip = respin_sim::Chip::new(config, &bench.spec(), o.seed);
+            mhz.push(mean(
+                chip.clusters
+                    .iter()
+                    .flat_map(|cl| cl.cores.iter().map(|c| 2500.0 / c.mult as f64)),
+            ));
+            chip.run_warmup(o.warmup_per_thread * 64);
+            let r = chip.run_to_completion();
+            times.push(r.time_ps);
+            powers.push(r.average_power_mw());
+            epis.push(r.epi_pj());
+        }
+        let (t, p, e) = (mean(times), mean(powers), mean(epis));
+        let base = *nominal.get_or_insert((t, p, e));
+        points.push(VoltagePoint {
+            core_vdd: vdd,
+            mean_core_mhz: mean(mhz),
+            time_vs_nominal: t / base.0,
+            power_vs_nominal: p / base.1,
+            epi_vs_nominal: e / base.2,
+        });
+    }
+    VoltageSweep {
+        benchmarks: SWEEP_BENCHMARKS.iter().map(|b| b.name().to_string()).collect(),
+        points,
+    }
+}
+
+impl VoltageSweep {
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "core Vdd",
+            "mean f (MHz)",
+            "time ×",
+            "power ×",
+            "EPI ×",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.2} V", p.core_vdd),
+                format!("{:.0}", p.mean_core_mhz),
+                format!("{:.2}", p.time_vs_nominal),
+                format!("{:.3}", p.power_vs_nominal),
+                format!("{:.3}", p.epi_vs_nominal),
+            ]);
+        }
+        format!(
+            "Voltage sweep (Introduction motivation): mean over {:?}\n{}\n\
+             (paper: NT ≈ 10× slower, ~100× less power, ~10× less energy for the cores;\n\
+              the chip-level numbers here include the nominal-voltage cache rail)\n",
+            self.benchmarks,
+            t.render()
+        )
+    }
+}

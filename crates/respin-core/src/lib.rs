@@ -1,0 +1,46 @@
+//! # respin-core — the Respin architecture
+//!
+//! This crate is the paper's contribution layer on top of the simulator
+//! substrate:
+//!
+//! * [`arch`] — the eight architecture configurations of Table IV
+//!   (`PR-SRAM-NT`, `HP-SRAM-CMP`, `SH-SRAM-Nom`, `SH-STT`, `SH-STT-CC`,
+//!   `SH-STT-CC-Oracle`, `PR-STT-CC`, `SH-STT-CC-OS`), each a recipe for a
+//!   [`respin_sim::ChipConfig`] plus a consolidation policy.
+//! * [`consolidation`] — the §III dynamic core-management system: the
+//!   virtual-core monitor's EPI tracking, the Figure 5 greedy search with
+//!   hysteresis threshold and exponential back-off, the clone-replay
+//!   oracle, and the coarse OS-interval variant.
+//! * [`runner`] — builds a chip for (configuration, benchmark, cache size,
+//!   cluster size, seed), drives epochs through the policy, and returns a
+//!   [`respin_sim::RunResult`].
+//! * [`experiments`] — one module per table/figure of §V, regenerating the
+//!   paper's rows; the `respin-experiments` binary is their CLI.
+//! * [`report`] — text-table and JSON rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use respin_core::{arch::ArchConfig, runner::{self, RunOptions}};
+//! use respin_workloads::Benchmark;
+//!
+//! let mut opts = RunOptions::new(ArchConfig::ShStt, Benchmark::Fft);
+//! opts.instructions_per_thread = Some(2_000); // keep the doctest fast
+//! opts.warmup_per_thread = 500;
+//! opts.clusters = 1;
+//! opts.cores_per_cluster = 4;
+//! let result = runner::run(&opts);
+//! assert!(result.instructions >= 4 * 1_500);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arch;
+pub mod consolidation;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use arch::ArchConfig;
+pub use runner::{run, RunOptions};

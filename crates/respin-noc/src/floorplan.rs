@@ -1,0 +1,137 @@
+//! Chip floorplan: cluster tiles on a near-square grid, L3 in the middle.
+
+use serde::{Deserialize, Serialize};
+
+/// Tile coordinates in router-grid units.
+pub type Coord = (i64, i64);
+
+/// A chip floorplan for `clusters` cluster tiles plus one L3 tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    cluster_coords: Vec<Coord>,
+    l3_coord: Coord,
+}
+
+impl Floorplan {
+    /// Lays `clusters` tiles out on a `ceil(sqrt(n))`-wide grid, scaled ×2
+    /// so the L3 can sit at the exact geometric centre between tiles.
+    pub fn new(clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        let cols = (clusters as f64).sqrt().ceil() as i64;
+        let rows = (clusters as i64 + cols - 1) / cols;
+        let cluster_coords: Vec<Coord> = (0..clusters as i64)
+            .map(|i| (2 * (i % cols), 2 * (i / cols)))
+            .collect();
+        // Centre of the occupied bounding box.
+        let l3_coord = (cols - 1, rows - 1);
+        Self {
+            cluster_coords,
+            l3_coord,
+        }
+    }
+
+    /// Number of cluster tiles.
+    pub fn clusters(&self) -> usize {
+        self.cluster_coords.len()
+    }
+
+    /// Coordinates of cluster `k`.
+    pub fn cluster(&self, k: usize) -> Coord {
+        self.cluster_coords[k]
+    }
+
+    /// Coordinates of the L3 tile.
+    pub fn l3(&self) -> Coord {
+        self.l3_coord
+    }
+
+    /// Manhattan (XY-routed) hop count from cluster `k` to the L3.
+    /// Always at least 1: even an adjacent tile crosses one router.
+    pub fn hops_to_l3(&self, k: usize) -> u64 {
+        let (x, y) = self.cluster(k);
+        let (lx, ly) = self.l3_coord;
+        (((x - lx).abs() + (y - ly).abs()) as u64).max(1)
+    }
+
+    /// Manhattan hop count between two clusters (for cluster-to-cluster
+    /// coherence transfers).
+    pub fn hops_between(&self, a: usize, b: usize) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let (ax, ay) = self.cluster(a);
+        let (bx, by) = self.cluster(b);
+        (((ax - bx).abs() + (ay - by).abs()) as u64).max(1)
+    }
+
+    /// The largest cluster→L3 hop count (the worst-case corner).
+    pub fn max_hops_to_l3(&self) -> u64 {
+        (0..self.clusters()).map(|k| self.hops_to_l3(k)).max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_clusters_form_a_square_around_the_l3() {
+        let f = Floorplan::new(4);
+        assert_eq!(f.clusters(), 4);
+        // 2×2 grid scaled ×2: tiles at (0,0),(2,0),(0,2),(2,2); L3 at (1,1).
+        assert_eq!(f.l3(), (1, 1));
+        for k in 0..4 {
+            assert_eq!(f.hops_to_l3(k), 2, "cluster {k} equidistant");
+        }
+    }
+
+    #[test]
+    fn sixteen_clusters_have_unequal_distances() {
+        let f = Floorplan::new(16);
+        let hops: Vec<u64> = (0..16).map(|k| f.hops_to_l3(k)).collect();
+        assert!(hops.iter().min().unwrap() < hops.iter().max().unwrap());
+        assert_eq!(f.max_hops_to_l3(), *hops.iter().max().unwrap());
+    }
+
+    #[test]
+    fn hops_between_is_symmetric_and_zero_on_self() {
+        let f = Floorplan::new(8);
+        for a in 0..8 {
+            assert_eq!(f.hops_between(a, a), 0);
+            for b in 0..8 {
+                assert_eq!(f.hops_between(a, b), f.hops_between(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_still_crosses_one_router() {
+        let f = Floorplan::new(1);
+        assert_eq!(f.hops_to_l3(0), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn triangle_inequality_through_l3(n in 2usize..32, a in 0usize..32, b in 0usize..32) {
+            let f = Floorplan::new(n);
+            let (a, b) = (a % n, b % n);
+            prop_assert!(f.hops_between(a, b) <= f.hops_to_l3(a) + f.hops_to_l3(b));
+        }
+
+        #[test]
+        fn all_distances_positive_and_bounded(n in 1usize..64) {
+            let f = Floorplan::new(n);
+            let side = 2 * (n as f64).sqrt() as u64 + 4;
+            for k in 0..n {
+                let h = f.hops_to_l3(k);
+                prop_assert!(h >= 1 && h <= 2 * side);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # respin-noc — the on-chip network substrate
+//!
+//! The Respin floorplan (the paper's Figure 2) places the clusters around a
+//! shared L3. Traffic between a cluster's L2 and the L3 crosses the chip's
+//! interconnect; this crate models that interconnect as a 2D mesh:
+//!
+//! * **Floorplan** — cluster tiles on a near-square grid with the L3 at the
+//!   geometric centre ([`Floorplan`]).
+//! * **Routing** — dimension-ordered (XY) hop counts between tiles; each
+//!   hop costs a fixed router+link traversal ([`HOP_TICKS`]).
+//! * **Contention** — the L3's ingress port accepts one message per
+//!   [`INGRESS_INTERVAL_TICKS`]; concurrent requests from the four clusters
+//!   queue ([`Mesh::traverse`] mutates per-destination schedules).
+//! * **Energy** — per hop per message ([`HOP_ENERGY_PJ`]); charged by the
+//!   caller into its interconnect account.
+//!
+//! Everything is deterministic and `Clone` (the simulator's oracle relies
+//! on cloned replay).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod floorplan;
+pub mod mesh;
+
+pub use floorplan::Floorplan;
+pub use mesh::{Mesh, HOP_ENERGY_PJ, HOP_TICKS, INGRESS_INTERVAL_TICKS};

@@ -1,0 +1,202 @@
+//! The mesh network: hop timing, ingress contention, and message energy.
+
+use crate::floorplan::Floorplan;
+use serde::{Deserialize, Serialize};
+
+/// Router + link traversal per hop, in 0.4 ns cache cycles. Nominal-voltage
+/// routers cross a hop in a couple of cycles; 5 hops ≈ the 4 ns flat
+/// cluster↔L3 figure the constant-latency model used.
+pub const HOP_TICKS: u64 = 2;
+
+/// Minimum spacing between messages accepted by one destination's ingress
+/// port (a 64-byte line at 16 B/cycle link width).
+pub const INGRESS_INTERVAL_TICKS: u64 = 4;
+
+/// Energy per message per hop, pJ (router crossbar + link at nominal Vdd).
+pub const HOP_ENERGY_PJ: f64 = 1.2;
+
+/// Destinations of mesh traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// Cluster tile `k`.
+    Cluster(usize),
+    /// The L3 tile.
+    L3,
+}
+
+/// The chip's mesh interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    floorplan: Floorplan,
+    /// Next tick each destination's ingress port is free
+    /// (index = cluster id, last slot = L3).
+    ingress_free: Vec<u64>,
+    /// Messages delivered, for diagnostics.
+    messages: u64,
+    /// Accumulated hop energy since the last drain, pJ.
+    pub energy_acc_pj: f64,
+}
+
+impl Mesh {
+    /// Builds the mesh over a floorplan for `clusters` clusters.
+    pub fn new(clusters: usize) -> Self {
+        Self {
+            floorplan: Floorplan::new(clusters),
+            ingress_free: vec![0; clusters + 1],
+            messages: 0,
+            energy_acc_pj: 0.0,
+        }
+    }
+
+    /// The underlying floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    fn ingress_slot(&mut self, dst: Endpoint) -> &mut u64 {
+        let idx = match dst {
+            Endpoint::Cluster(k) => k,
+            Endpoint::L3 => self.floorplan.clusters(),
+        };
+        &mut self.ingress_free[idx]
+    }
+
+    fn hops(&self, src: Endpoint, dst: Endpoint) -> u64 {
+        match (src, dst) {
+            (Endpoint::Cluster(a), Endpoint::Cluster(b)) => self.floorplan.hops_between(a, b),
+            (Endpoint::Cluster(k), Endpoint::L3) | (Endpoint::L3, Endpoint::Cluster(k)) => {
+                self.floorplan.hops_to_l3(k)
+            }
+            (Endpoint::L3, Endpoint::L3) => 0,
+        }
+    }
+
+    /// Sends one message from `src` to `dst`, departing no earlier than
+    /// `depart`. Returns the arrival tick, after hop latency and any wait
+    /// for the destination's ingress port. Charges hop energy.
+    pub fn traverse(&mut self, src: Endpoint, dst: Endpoint, depart: u64) -> u64 {
+        let hops = self.hops(src, dst);
+        self.energy_acc_pj += hops as f64 * HOP_ENERGY_PJ;
+        self.messages += 1;
+        let wire_arrival = depart + hops * HOP_TICKS;
+        let slot = self.ingress_slot(dst);
+        let arrival = wire_arrival.max(*slot);
+        *slot = arrival + INGRESS_INTERVAL_TICKS;
+        arrival
+    }
+
+    /// A full round trip `src → dst → src` (request + response), returning
+    /// the tick the response is back at `src`.
+    pub fn round_trip(&mut self, src: Endpoint, dst: Endpoint, depart: u64) -> u64 {
+        let there = self.traverse(src, dst, depart);
+        self.traverse(dst, src, there)
+    }
+
+    /// Messages delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Zeroes the counters (measurement warm-up reset).
+    pub fn reset_measurements(&mut self) {
+        self.messages = 0;
+        self.energy_acc_pj = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_latency_is_hops_times_hop_ticks() {
+        let mut m = Mesh::new(4);
+        // All four clusters are 2 hops from the L3.
+        let arrival = m.traverse(Endpoint::Cluster(0), Endpoint::L3, 100);
+        assert_eq!(arrival, 100 + 2 * HOP_TICKS);
+    }
+
+    #[test]
+    fn concurrent_messages_queue_at_the_ingress() {
+        let mut m = Mesh::new(4);
+        let a = m.traverse(Endpoint::Cluster(0), Endpoint::L3, 0);
+        let b = m.traverse(Endpoint::Cluster(1), Endpoint::L3, 0);
+        let c = m.traverse(Endpoint::Cluster(2), Endpoint::L3, 0);
+        assert_eq!(a, 4);
+        assert_eq!(b, a + INGRESS_INTERVAL_TICKS);
+        assert_eq!(c, b + INGRESS_INTERVAL_TICKS);
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_contend() {
+        let mut m = Mesh::new(4);
+        let a = m.traverse(Endpoint::Cluster(0), Endpoint::Cluster(1), 0);
+        let b = m.traverse(Endpoint::Cluster(2), Endpoint::Cluster(3), 0);
+        // Both arrive purely wire-limited.
+        assert_eq!(a, m.floorplan().hops_between(0, 1) * HOP_TICKS);
+        assert_eq!(b, m.floorplan().hops_between(2, 3) * HOP_TICKS);
+    }
+
+    #[test]
+    fn round_trip_is_two_traversals() {
+        let mut m = Mesh::new(4);
+        let back = m.round_trip(Endpoint::Cluster(0), Endpoint::L3, 10);
+        assert_eq!(back, 10 + 4 * HOP_TICKS);
+        assert_eq!(m.messages(), 2);
+    }
+
+    #[test]
+    fn energy_accumulates_per_hop() {
+        let mut m = Mesh::new(4);
+        m.traverse(Endpoint::Cluster(0), Endpoint::L3, 0); // 2 hops
+        assert!((m.energy_acc_pj - 2.0 * HOP_ENERGY_PJ).abs() < 1e-12);
+        m.reset_measurements();
+        assert_eq!(m.energy_acc_pj, 0.0);
+        assert_eq!(m.messages(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut m = Mesh::new(4);
+        m.traverse(Endpoint::Cluster(0), Endpoint::L3, 0);
+        let fork = m.clone();
+        m.traverse(Endpoint::Cluster(0), Endpoint::L3, 0);
+        assert_eq!(fork.messages(), 1);
+        assert_eq!(m.messages(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arrival_never_precedes_departure(
+            n in 1usize..16,
+            msgs in proptest::collection::vec((0usize..16, 0u64..1000), 1..50),
+        ) {
+            let mut m = Mesh::new(n);
+            let mut last_depart = 0;
+            for (k, dt) in msgs {
+                last_depart += dt;
+                let arrival = m.traverse(Endpoint::Cluster(k % n), Endpoint::L3, last_depart);
+                prop_assert!(arrival >= last_depart + HOP_TICKS);
+            }
+        }
+
+        #[test]
+        fn ingress_spacing_holds(n in 1usize..8, count in 2usize..20) {
+            let mut m = Mesh::new(n);
+            let mut arrivals = Vec::new();
+            for i in 0..count {
+                arrivals.push(m.traverse(Endpoint::Cluster(i % n), Endpoint::L3, 0));
+            }
+            arrivals.sort_unstable();
+            for w in arrivals.windows(2) {
+                prop_assert!(w[1] - w[0] >= INGRESS_INTERVAL_TICKS);
+            }
+        }
+    }
+}

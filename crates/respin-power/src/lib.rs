@@ -1,0 +1,203 @@
+//! # respin-power — technology and power models
+//!
+//! Analytical technology models standing in for the CACTI, NVSim, and McPAT
+//! tool chain used by the Respin paper (Pan, Bacha, Teodorescu, IPDPS 2017).
+//!
+//! The paper consumes only scalar outputs from those tools: per-structure
+//! access latency, per-access energy, leakage power, and area, at a given
+//! supply voltage. This crate produces the same scalars from compact
+//! analytical models that are **calibrated to reproduce the paper's
+//! Table III** (L1 data-cache technology parameters):
+//!
+//! | Array              | Vdd   | Area (mm²) | Rd/Wr lat (ps) | Rd/Wr energy (pJ) | Leakage (µW) |
+//! |--------------------|-------|------------|----------------|-------------------|---------|
+//! | SRAM 16 KB × 16    | 0.65  | 0.9176     | 1337           | 2.578             | 573     |
+//! | SRAM 16 KB × 16    | 1.0   | 0.9176     | 211.9          | 6.102             | 881     |
+//! | SRAM 256 KB        | 1.0   | 0.9176     | 533.6          | 42.41             | 881     |
+//! | STT-RAM 256 KB     | 1.0   | 0.2451     | 588.2 / 5208   | 29.32             | 114     |
+//!
+//! The published numbers pin down the scaling laws exactly:
+//!
+//! * **Leakage** is linear in capacity *and* in Vdd (573/881 = 0.650 = the
+//!   voltage ratio; 881 is the same for 16 × 16 KB and 1 × 256 KB).
+//! * **Dynamic energy** scales with `V²` (2.578/6.102 = 0.4225 = 0.65²) and
+//!   with `capacity^0.7` (42.41/6.102 ≈ 16^0.7).
+//! * **Latency** scales with `capacity^(1/3)` (533.6/211.9 ≈ 16^⅓) and with
+//!   the alpha-power-law delay model in voltage.
+//!
+//! Modules:
+//! * [`units`] — unit conventions and conversion helpers.
+//! * [`scaling`] — voltage/frequency/leakage scaling laws.
+//! * [`sram`] / [`sttram`] — memory-array models behind a common
+//!   [`CacheGeometry`] → [`ArrayParams`] interface.
+//! * [`logic`] — per-event core-logic energies (McPAT analogue).
+//! * [`level_shifter`] — cross-voltage-domain shifter overheads.
+//! * [`table3`] — regenerates the paper's Table III from these models.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod level_shifter;
+pub mod logic;
+pub mod scaling;
+pub mod sram;
+pub mod sttram;
+pub mod table3;
+pub mod units;
+
+pub use level_shifter::LevelShifter;
+pub use logic::{CoreEnergyModel, CoreEvent};
+pub use scaling::{alpha_power_delay_factor, VoltageScaling};
+pub use sram::SramModel;
+pub use sttram::SttRamModel;
+
+use serde::{Deserialize, Serialize};
+
+/// Memory technology used to implement a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemTech {
+    /// 6T CMOS SRAM.
+    Sram,
+    /// Spin-transfer-torque magnetic RAM (1T-1MTJ).
+    SttRam,
+}
+
+impl MemTech {
+    /// Human-readable name, matching the paper's configuration labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemTech::Sram => "SRAM",
+            MemTech::SttRam => "STT-RAM",
+        }
+    }
+}
+
+/// Physical organisation of a cache array, the input to the array models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total data capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Cache block (line) size in bytes.
+    pub block_bytes: u32,
+    /// Set associativity (ways).
+    pub associativity: u32,
+    /// Number of read ports.
+    pub read_ports: u32,
+    /// Number of write ports.
+    pub write_ports: u32,
+}
+
+impl CacheGeometry {
+    /// Convenience constructor with 1 read and 1 write port (the paper's
+    /// Table I uses 1R/1W for every level).
+    pub fn new(capacity_bytes: u64, block_bytes: u32, associativity: u32) -> Self {
+        Self {
+            capacity_bytes,
+            block_bytes,
+            associativity,
+            read_ports: 1,
+            write_ports: 1,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.block_bytes as u64 * self.associativity as u64)
+    }
+
+    /// Validates internal consistency (nonzero fields, whole sets). Set
+    /// counts need not be powers of two: the Respin L3 capacities are
+    /// 3·2^k, served by modulo indexing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_bytes == 0 || self.block_bytes == 0 || self.associativity == 0 {
+            return Err("cache geometry fields must be nonzero".into());
+        }
+        let line_capacity = self.block_bytes as u64 * self.associativity as u64;
+        if !self.capacity_bytes.is_multiple_of(line_capacity) {
+            return Err(format!(
+                "capacity {} not divisible by block×assoc {}",
+                self.capacity_bytes, line_capacity
+            ));
+        }
+        if self.sets() == 0 {
+            return Err("geometry yields zero sets".into());
+        }
+        Ok(())
+    }
+}
+
+/// Scalar technology parameters for one array at one operating voltage —
+/// the same tuple CACTI/NVSim report and the simulator consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayParams {
+    /// Die area of the array in mm².
+    pub area_mm2: f64,
+    /// Read access latency in picoseconds.
+    pub read_latency_ps: f64,
+    /// Write access latency in picoseconds.
+    pub write_latency_ps: f64,
+    /// Energy of one read access in picojoules.
+    pub read_energy_pj: f64,
+    /// Energy of one write access in picojoules.
+    pub write_energy_pj: f64,
+    /// Static (leakage) power in milliwatts at the given voltage.
+    pub leakage_mw: f64,
+}
+
+/// Common interface implemented by [`SramModel`] and [`SttRamModel`].
+pub trait ArrayModel {
+    /// Evaluates the model for `geometry` at supply voltage `vdd` (volts).
+    fn params(&self, geometry: CacheGeometry, vdd: f64) -> ArrayParams;
+
+    /// The technology this model describes.
+    fn tech(&self) -> MemTech;
+}
+
+/// Evaluates the appropriate array model for `tech`.
+pub fn array_params(tech: MemTech, geometry: CacheGeometry, vdd: f64) -> ArrayParams {
+    match tech {
+        MemTech::Sram => SramModel::default().params(geometry, vdd),
+        MemTech::SttRam => SttRamModel::default().params(geometry, vdd),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry::new(256 * 1024, 32, 4);
+        assert_eq!(g.sets(), 2048);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn geometry_allows_three_times_power_of_two_sets() {
+        // 48 MB, 16-way, 128 B blocks — the paper's medium L3.
+        let g = CacheGeometry::new(48 * 1024 * 1024, 128, 16);
+        assert_eq!(g.sets(), 24576);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn geometry_rejects_indivisible_capacity() {
+        let g = CacheGeometry::new(1000, 32, 3);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn geometry_rejects_zero() {
+        assert!(CacheGeometry::new(0, 32, 2).validate().is_err());
+        assert!(CacheGeometry::new(1024, 0, 2).validate().is_err());
+        assert!(CacheGeometry::new(1024, 32, 0).validate().is_err());
+    }
+
+    #[test]
+    fn dispatch_matches_direct_models() {
+        let g = CacheGeometry::new(256 * 1024, 32, 4);
+        let via_enum = array_params(MemTech::SttRam, g, 1.0);
+        let direct = SttRamModel::default().params(g, 1.0);
+        assert_eq!(via_enum, direct);
+    }
+}

@@ -1,0 +1,203 @@
+//! Core-logic energy model (McPAT analogue).
+//!
+//! The simulator counts micro-architectural *events* (ALU operations,
+//! register-file accesses, ROB dispatches, …) and multiplies each by a
+//! per-event energy from this model. Event energies are specified at 1.0 V
+//! and scale with `Vdd²`; core leakage is specified at 1.0 V and scales
+//! linearly with `Vdd` (see [`crate::scaling`]).
+//!
+//! Calibration: with a typical dynamic instruction mix (dual-issue, ~30%
+//! memory operations, ~15% branches, ~10% floating point) the per-instruction
+//! dynamic energy lands near 8.2 pJ at 1.0 V. Together with 11.6 mW of
+//! nominal per-core leakage this reproduces the chip-level split of the
+//! paper's Figure 1: at 1.0 V roughly 46% core dynamic / 26% core leakage /
+//! 14% cache dynamic / 14% cache leakage, flipping to a leakage-dominated
+//! (~75%) profile at near-threshold voltage.
+
+use crate::scaling::VoltageScaling;
+use serde::{Deserialize, Serialize};
+
+/// Micro-architectural events the simulator charges energy for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreEvent {
+    /// One fetch-group access of the front end (charged per fetch, not per
+    /// instruction; the L1I array access itself is charged separately).
+    Fetch,
+    /// Decode of one instruction.
+    Decode,
+    /// One branch-predictor lookup/update pair.
+    BranchPredict,
+    /// One register-file read port activation.
+    RegRead,
+    /// One register-file write port activation.
+    RegWrite,
+    /// One integer ALU operation.
+    IntAlu,
+    /// One floating-point unit operation.
+    FpAlu,
+    /// One address-generation operation (for loads/stores).
+    AddressGen,
+    /// One reorder-buffer dispatch + commit pair.
+    RobEntry,
+    /// One load/store-queue insertion + search.
+    LsqEntry,
+    /// One instruction-window wakeup/select.
+    WindowWakeup,
+    /// One cycle of clock-tree and pipeline-latch toggling, charged per
+    /// core cycle while the core is powered (consolidation's gating removes
+    /// it). McPAT attributes roughly a third of core dynamic power to the
+    /// clock network.
+    ClockTree,
+}
+
+impl CoreEvent {
+    /// All event kinds, for iteration in reports and tests.
+    pub const ALL: [CoreEvent; 12] = [
+        CoreEvent::Fetch,
+        CoreEvent::Decode,
+        CoreEvent::BranchPredict,
+        CoreEvent::RegRead,
+        CoreEvent::RegWrite,
+        CoreEvent::IntAlu,
+        CoreEvent::FpAlu,
+        CoreEvent::AddressGen,
+        CoreEvent::RobEntry,
+        CoreEvent::LsqEntry,
+        CoreEvent::WindowWakeup,
+        CoreEvent::ClockTree,
+    ];
+}
+
+/// Per-event energies (at 1.0 V) and leakage for one dual-issue OoO core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreEnergyModel {
+    /// Voltage scaling laws for core logic.
+    pub scaling: VoltageScaling,
+    /// Core leakage power at 1.0 V, milliwatts.
+    pub leakage_mw_nominal: f64,
+    /// Residual leakage fraction when the core is power-gated (header
+    /// transistor leakage; a few percent).
+    pub gated_leakage_fraction: f64,
+}
+
+impl Default for CoreEnergyModel {
+    fn default() -> Self {
+        Self {
+            scaling: VoltageScaling::core_logic(),
+            leakage_mw_nominal: 11.6,
+            gated_leakage_fraction: 0.02,
+        }
+    }
+}
+
+impl CoreEnergyModel {
+    /// Energy of one `event` at 1.0 V, in picojoules.
+    pub fn event_energy_nominal_pj(&self, event: CoreEvent) -> f64 {
+        match event {
+            CoreEvent::Fetch => 2.4,
+            CoreEvent::Decode => 0.8,
+            CoreEvent::BranchPredict => 0.5,
+            CoreEvent::RegRead => 0.7,
+            CoreEvent::RegWrite => 0.9,
+            CoreEvent::IntAlu => 1.6,
+            CoreEvent::FpAlu => 4.0,
+            CoreEvent::AddressGen => 1.0,
+            CoreEvent::RobEntry => 1.4,
+            CoreEvent::LsqEntry => 0.9,
+            CoreEvent::WindowWakeup => 1.0,
+            CoreEvent::ClockTree => 4.0,
+        }
+    }
+
+    /// Energy of one `event` at supply voltage `vdd`, in picojoules.
+    pub fn event_energy_pj(&self, event: CoreEvent, vdd: f64) -> f64 {
+        self.event_energy_nominal_pj(event) * self.scaling.dynamic_energy_factor(vdd)
+    }
+
+    /// Leakage power of an *active* core at `vdd`, with an optional
+    /// per-instance multiplier from process variation (leakier cores draw
+    /// more), in milliwatts.
+    pub fn leakage_mw(&self, vdd: f64, variation_factor: f64) -> f64 {
+        self.leakage_mw_nominal * self.scaling.leakage_factor(vdd) * variation_factor
+    }
+
+    /// Leakage power of a *power-gated* core, in milliwatts.
+    pub fn gated_leakage_mw(&self, vdd: f64, variation_factor: f64) -> f64 {
+        self.leakage_mw(vdd, variation_factor) * self.gated_leakage_fraction
+    }
+
+    /// Rough per-instruction dynamic energy for a typical mix at `vdd`
+    /// (documentation/calibration helper; the simulator charges real event
+    /// counts instead).
+    pub fn per_instruction_estimate_pj(&self, vdd: f64) -> f64 {
+        // Typical dynamic mix: dual-issue, 4-wide fetch groups, 30% memory
+        // ops, 15% branches, 10% FP, 70% int-ALU, 2 reg reads + 0.8 writes.
+        let e = |ev| self.event_energy_nominal_pj(ev);
+        let per_instr = e(CoreEvent::ClockTree) // ~IPC 1 at the design point
+            + e(CoreEvent::Fetch) / 4.0
+            + e(CoreEvent::Decode)
+            + 0.15 * e(CoreEvent::BranchPredict)
+            + 2.0 * e(CoreEvent::RegRead)
+            + 0.8 * e(CoreEvent::RegWrite)
+            + 0.70 * e(CoreEvent::IntAlu)
+            + 0.10 * e(CoreEvent::FpAlu)
+            + 0.30 * e(CoreEvent::AddressGen)
+            + e(CoreEvent::RobEntry)
+            + 0.30 * e(CoreEvent::LsqEntry)
+            + e(CoreEvent::WindowWakeup);
+        per_instr * self.scaling.dynamic_energy_factor(vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_instruction_calibration_point() {
+        let m = CoreEnergyModel::default();
+        let pj = m.per_instruction_estimate_pj(1.0);
+        assert!((11.0..=14.0).contains(&pj), "per-instr {pj} pJ");
+    }
+
+    #[test]
+    fn nt_dynamic_energy_is_16_percent() {
+        let m = CoreEnergyModel::default();
+        let ratio = m.event_energy_pj(CoreEvent::IntAlu, 0.4)
+            / m.event_energy_pj(CoreEvent::IntAlu, 1.0);
+        assert!((ratio - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gated_leakage_is_small() {
+        let m = CoreEnergyModel::default();
+        let active = m.leakage_mw(0.4, 1.0);
+        let gated = m.gated_leakage_mw(0.4, 1.0);
+        assert!(gated < active * 0.05);
+        assert!(gated > 0.0);
+    }
+
+    #[test]
+    fn variation_factor_scales_leakage() {
+        let m = CoreEnergyModel::default();
+        assert!(m.leakage_mw(0.4, 1.3) > m.leakage_mw(0.4, 1.0));
+        assert!((m.leakage_mw(0.4, 1.3) / m.leakage_mw(0.4, 1.0) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_events_have_positive_energy() {
+        let m = CoreEnergyModel::default();
+        for ev in CoreEvent::ALL {
+            assert!(m.event_energy_nominal_pj(ev) > 0.0, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn fp_costs_more_than_int() {
+        let m = CoreEnergyModel::default();
+        assert!(
+            m.event_energy_nominal_pj(CoreEvent::FpAlu)
+                > m.event_energy_nominal_pj(CoreEvent::IntAlu)
+        );
+    }
+}

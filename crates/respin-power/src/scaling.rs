@@ -1,0 +1,165 @@
+//! Voltage/frequency/leakage scaling laws.
+//!
+//! Three relations drive every number in this crate:
+//!
+//! 1. **Alpha-power-law gate delay** (Sakurai–Newton):
+//!    `delay ∝ Vdd / (Vdd − Vth)^α` with `α ≈ 1.3` for modern short-channel
+//!    devices. Near threshold the denominator collapses, which is exactly the
+//!    ~5–10× slowdown the paper relies on.
+//! 2. **Dynamic energy** per switching event `∝ C·Vdd²`.
+//! 3. **Leakage power** `∝ Vdd` over the 0.4–1.0 V range. This linear model
+//!    is what the paper states ("leakage power only scales linearly") and is
+//!    exactly consistent with Table III (573 → 881 over 0.65 → 1.0 V).
+
+use serde::{Deserialize, Serialize};
+
+/// Default velocity-saturation exponent for the alpha-power law.
+pub const DEFAULT_ALPHA: f64 = 1.3;
+
+/// Threshold voltage of core logic transistors (volts). Chosen so that
+/// scaling 1.0 V → 0.4 V slows a 2.5 GHz core to ≈ 500 MHz, the paper's
+/// mid-band NT core frequency.
+pub const CORE_LOGIC_VTH: f64 = 0.30;
+
+/// Effective threshold of the SRAM array critical path (volts). Higher than
+/// logic Vth because SRAM cells use the smallest devices and degrade fastest
+/// at low voltage; calibrated so 16 KB SRAM slows 211.9 ps → 1337 ps when
+/// dropping 1.0 V → 0.65 V (Table III).
+pub const SRAM_ARRAY_VTH: f64 = 0.577;
+
+/// Relative alpha-power-law delay at `vdd` normalised to 1.0 V.
+///
+/// Returns `f64::INFINITY` when `vdd <= vth` (the circuit does not switch).
+///
+/// ```
+/// use respin_power::scaling::{alpha_power_delay_factor, CORE_LOGIC_VTH, DEFAULT_ALPHA};
+/// let slow = alpha_power_delay_factor(0.4, CORE_LOGIC_VTH, DEFAULT_ALPHA);
+/// assert!(slow > 4.5 && slow < 5.5); // ≈ 5× slowdown at NT
+/// ```
+pub fn alpha_power_delay_factor(vdd: f64, vth: f64, alpha: f64) -> f64 {
+    if vdd <= vth {
+        return f64::INFINITY;
+    }
+    let delay = |v: f64| v / (v - vth).powf(alpha);
+    delay(vdd) / delay(1.0)
+}
+
+/// Bundle of the three scaling laws for one circuit family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageScaling {
+    /// Threshold voltage of this circuit family (volts).
+    pub vth: f64,
+    /// Alpha-power-law exponent.
+    pub alpha: f64,
+}
+
+impl VoltageScaling {
+    /// Scaling laws for core logic.
+    pub fn core_logic() -> Self {
+        Self {
+            vth: CORE_LOGIC_VTH,
+            alpha: DEFAULT_ALPHA,
+        }
+    }
+
+    /// Scaling laws for SRAM arrays.
+    pub fn sram_array() -> Self {
+        Self {
+            vth: SRAM_ARRAY_VTH,
+            alpha: DEFAULT_ALPHA,
+        }
+    }
+
+    /// Relative delay at `vdd` vs 1.0 V (≥ 1 below nominal).
+    pub fn delay_factor(&self, vdd: f64) -> f64 {
+        alpha_power_delay_factor(vdd, self.vth, self.alpha)
+    }
+
+    /// Relative dynamic energy per event at `vdd` vs 1.0 V (`Vdd²`).
+    pub fn dynamic_energy_factor(&self, vdd: f64) -> f64 {
+        vdd * vdd
+    }
+
+    /// Relative leakage power at `vdd` vs 1.0 V (linear, per Table III).
+    pub fn leakage_factor(&self, vdd: f64) -> f64 {
+        vdd
+    }
+
+    /// Maximum clock frequency (MHz) at `vdd` given the nominal (1.0 V)
+    /// frequency, with an optional per-instance threshold shift `dvth`
+    /// (volts) from process variation. Positive `dvth` (higher threshold)
+    /// slows the instance.
+    pub fn fmax_mhz(&self, nominal_mhz: f64, vdd: f64, dvth: f64) -> f64 {
+        let factor = alpha_power_delay_factor(vdd, self.vth + dvth, self.alpha);
+        if !factor.is_finite() {
+            return 0.0;
+        }
+        nominal_mhz / factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_one_at_nominal() {
+        let s = VoltageScaling::core_logic();
+        assert!((s.delay_factor(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_monotonically_decreasing_in_vdd() {
+        let s = VoltageScaling::core_logic();
+        let mut prev = f64::INFINITY;
+        let mut v = s.vth + 0.05;
+        while v <= 1.2 {
+            let d = s.delay_factor(v);
+            assert!(d < prev, "delay should fall as vdd rises");
+            prev = d;
+            v += 0.05;
+        }
+    }
+
+    #[test]
+    fn below_threshold_does_not_switch() {
+        let s = VoltageScaling::core_logic();
+        assert_eq!(s.delay_factor(0.2), f64::INFINITY);
+        assert_eq!(s.fmax_mhz(2500.0, 0.2, 0.0), 0.0);
+    }
+
+    #[test]
+    fn nt_core_frequency_band_matches_paper() {
+        // The paper's NT cores span roughly 417–625 MHz at 0.4 V depending on
+        // the per-core Vth draw. ±30 mV around the nominal threshold should
+        // bracket that band from a 2.5 GHz nominal design.
+        let s = VoltageScaling::core_logic();
+        let slow = s.fmax_mhz(2500.0, 0.4, 0.030);
+        let mid = s.fmax_mhz(2500.0, 0.4, 0.0);
+        let fast = s.fmax_mhz(2500.0, 0.4, -0.030);
+        assert!(slow < 450.0, "slow core {slow} MHz");
+        assert!(mid > 450.0 && mid < 560.0, "mid core {mid} MHz");
+        assert!(fast > 600.0, "fast core {fast} MHz");
+        // "fast cores are almost twice as fast as slow ones"
+        assert!(fast / slow > 1.6 && fast / slow < 2.6);
+    }
+
+    #[test]
+    fn sram_voltage_slowdown_matches_table3() {
+        // 1337 / 211.9 = 6.31× going 1.0 V → 0.65 V.
+        let s = VoltageScaling::sram_array();
+        let ratio = s.delay_factor(0.65);
+        let target = 1337.0 / 211.9;
+        assert!(
+            (ratio - target).abs() / target < 0.05,
+            "ratio {ratio} vs table {target}"
+        );
+    }
+
+    #[test]
+    fn energy_and_leakage_factors() {
+        let s = VoltageScaling::core_logic();
+        assert!((s.dynamic_energy_factor(0.65) - 0.4225).abs() < 1e-12);
+        assert!((s.leakage_factor(0.65) - 0.65).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! SRAM array model (CACTI analogue).
+//!
+//! Anchored to the paper's Table III at the 16 KB and 256 KB points and
+//! extrapolated with the scaling exponents those two points pin down:
+//! latency `∝ capacity^(1/3)`, dynamic energy `∝ capacity^0.7`, leakage and
+//! area linear in capacity. Associativity and port count add the usual
+//! CACTI-style secondary costs (wider tag match, duplicated wordlines).
+
+use crate::scaling::VoltageScaling;
+use crate::units::kib;
+use crate::{ArrayModel, ArrayParams, CacheGeometry, MemTech};
+use serde::{Deserialize, Serialize};
+
+/// Reference capacity the anchors are expressed at (16 KB).
+const REF_CAPACITY_BYTES: f64 = 16.0 * 1024.0;
+
+/// Table III anchors for a 16 KB, 4-way, 1R/1W SRAM array at 1.0 V.
+const ANCHOR_LATENCY_PS: f64 = 211.9;
+const ANCHOR_ENERGY_PJ: f64 = 6.102;
+/// Leakage anchor: Table III prints 881 (µW) per 256 KB at 1.0 V — the
+/// only reading consistent with the chip-level split of Figure 1 (a 114 MB
+/// hierarchy leaking ~0.4 W, not ~400 W). Stored here in mW per 16 KB.
+const ANCHOR_LEAKAGE_MW: f64 = 0.881 / 16.0;
+/// Area anchor: 0.9176 mm² / 256 KB ⇒ per-16 KB share.
+const ANCHOR_AREA_MM2: f64 = 0.9176 / 16.0;
+
+/// Capacity scaling exponents implied by Table III (see crate docs).
+const LATENCY_CAP_EXP: f64 = 1.0 / 3.0;
+const ENERGY_CAP_EXP: f64 = 0.7;
+
+/// Arrays beyond this capacity are banked: one access activates a single
+/// bank, so dynamic energy stops following the monolithic `capacity^0.7`
+/// law and only grows with the H-tree routing to the bank.
+const BANK_CAPACITY_BYTES: f64 = 256.0 * 1024.0;
+/// Routing-energy growth exponent beyond the bank size.
+const HTREE_ENERGY_EXP: f64 = 0.15;
+
+/// Dynamic-energy capacity factor with banking (relative to the 16 KB
+/// anchor). Exact for both Table III points (≤ 256 KB is monolithic).
+pub(crate) fn banked_energy_factor(capacity_bytes: f64) -> f64 {
+    let bank_ratio = BANK_CAPACITY_BYTES / REF_CAPACITY_BYTES;
+    if capacity_bytes <= BANK_CAPACITY_BYTES {
+        (capacity_bytes / REF_CAPACITY_BYTES).powf(ENERGY_CAP_EXP)
+    } else {
+        bank_ratio.powf(ENERGY_CAP_EXP)
+            * (capacity_bytes / BANK_CAPACITY_BYTES).powf(HTREE_ENERGY_EXP)
+    }
+}
+
+/// Reference associativity of the anchor array.
+const REF_ASSOC: f64 = 4.0;
+
+/// SRAM array model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Voltage scaling laws for the array critical path.
+    pub scaling: VoltageScaling,
+    /// Secondary latency cost per doubling of associativity beyond the
+    /// reference (CACTI shows a few percent per doubling from wider muxes).
+    pub assoc_latency_per_doubling: f64,
+    /// Secondary energy cost per doubling of associativity (more tag
+    /// comparators and way readout).
+    pub assoc_energy_per_doubling: f64,
+    /// Area/leakage/energy multiplier per port beyond 1R+1W.
+    pub extra_port_cost: f64,
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        Self {
+            scaling: VoltageScaling::sram_array(),
+            assoc_latency_per_doubling: 0.04,
+            assoc_energy_per_doubling: 0.10,
+            extra_port_cost: 0.35,
+        }
+    }
+}
+
+impl SramModel {
+    fn assoc_factor(per_doubling: f64, assoc: u32) -> f64 {
+        let doublings = (assoc.max(1) as f64 / REF_ASSOC).log2();
+        1.0 + per_doubling * doublings
+    }
+
+    fn port_factor(&self, geometry: CacheGeometry) -> f64 {
+        let extra = (geometry.read_ports + geometry.write_ports).saturating_sub(2);
+        1.0 + self.extra_port_cost * extra as f64
+    }
+}
+
+impl ArrayModel for SramModel {
+    fn params(&self, geometry: CacheGeometry, vdd: f64) -> ArrayParams {
+        let cap_ratio = geometry.capacity_bytes as f64 / REF_CAPACITY_BYTES;
+        let ports = self.port_factor(geometry);
+
+        let latency = ANCHOR_LATENCY_PS
+            * cap_ratio.powf(LATENCY_CAP_EXP)
+            * Self::assoc_factor(self.assoc_latency_per_doubling, geometry.associativity)
+            * self.scaling.delay_factor(vdd);
+        let energy = ANCHOR_ENERGY_PJ
+            * banked_energy_factor(geometry.capacity_bytes as f64)
+            * Self::assoc_factor(self.assoc_energy_per_doubling, geometry.associativity)
+            * ports
+            * self.scaling.dynamic_energy_factor(vdd);
+        let leakage = ANCHOR_LEAKAGE_MW * cap_ratio * ports * self.scaling.leakage_factor(vdd);
+        let area = ANCHOR_AREA_MM2 * cap_ratio * ports;
+
+        ArrayParams {
+            area_mm2: area,
+            read_latency_ps: latency,
+            // SRAM reads and writes have essentially the same access time;
+            // Table III reports a single Rd/Wr number.
+            write_latency_ps: latency,
+            read_energy_pj: energy,
+            write_energy_pj: energy,
+            leakage_mw: leakage,
+        }
+    }
+
+    fn tech(&self) -> MemTech {
+        MemTech::Sram
+    }
+}
+
+/// The 16 KB private L1D geometry from Table I (4-way, 32 B blocks).
+pub fn l1d_private_geometry() -> CacheGeometry {
+    CacheGeometry::new(kib(16), 32, 4)
+}
+
+/// The 256 KB shared L1D geometry from Table I (4-way, 32 B blocks).
+pub fn l1d_shared_geometry() -> CacheGeometry {
+    CacheGeometry::new(kib(256), 32, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected <= tol
+    }
+
+    #[test]
+    fn table3_16kb_nominal() {
+        let p = SramModel::default().params(l1d_private_geometry(), 1.0);
+        assert!(close(p.read_latency_ps, 211.9, 0.01), "{p:?}");
+        assert!(close(p.read_energy_pj, 6.102, 0.01), "{p:?}");
+        // 16 banks of 16 KB make up the Table III leakage/area row (µW).
+        assert!(close(p.leakage_mw * 16.0 * 1000.0, 881.0, 0.01), "{p:?}");
+        assert!(close(p.area_mm2 * 16.0, 0.9176, 0.01), "{p:?}");
+    }
+
+    #[test]
+    fn table3_16kb_low_voltage() {
+        let p = SramModel::default().params(l1d_private_geometry(), 0.65);
+        assert!(close(p.read_latency_ps, 1337.0, 0.05), "{p:?}");
+        assert!(close(p.read_energy_pj, 2.578, 0.01), "{p:?}");
+        assert!(close(p.leakage_mw * 16.0 * 1000.0, 573.0, 0.01), "{p:?}");
+    }
+
+    #[test]
+    fn table3_256kb_nominal() {
+        let p = SramModel::default().params(l1d_shared_geometry(), 1.0);
+        assert!(close(p.read_latency_ps, 533.6, 0.01), "{p:?}");
+        assert!(close(p.read_energy_pj, 42.41, 0.01), "{p:?}");
+        assert!(close(p.leakage_mw * 1000.0, 881.0, 0.01), "{p:?}");
+        assert!(close(p.area_mm2, 0.9176, 0.01), "{p:?}");
+    }
+
+    #[test]
+    fn banked_energy_saturates_beyond_bank_size() {
+        let m = SramModel::default();
+        let bank = m.params(CacheGeometry::new(kib(256), 64, 8), 1.0);
+        let big = m.params(CacheGeometry::new(16 * kib(1024), 64, 8), 1.0);
+        // 64× the capacity must cost well under 4× the access energy.
+        assert!(big.read_energy_pj < bank.read_energy_pj * 4.0);
+        assert!(big.read_energy_pj > bank.read_energy_pj);
+    }
+
+    #[test]
+    fn latency_grows_with_capacity() {
+        let m = SramModel::default();
+        let small = m.params(CacheGeometry::new(kib(16), 32, 4), 1.0);
+        let big = m.params(CacheGeometry::new(kib(1024), 32, 4), 1.0);
+        assert!(big.read_latency_ps > small.read_latency_ps);
+        assert!(big.leakage_mw > small.leakage_mw);
+        assert!(big.read_energy_pj > small.read_energy_pj);
+    }
+
+    #[test]
+    fn extra_ports_cost_area_and_energy() {
+        let m = SramModel::default();
+        let mut g = l1d_private_geometry();
+        let base = m.params(g, 1.0);
+        g.read_ports = 2;
+        let dual = m.params(g, 1.0);
+        assert!(dual.area_mm2 > base.area_mm2);
+        assert!(dual.read_energy_pj > base.read_energy_pj);
+        assert!(dual.leakage_mw > base.leakage_mw);
+    }
+
+    #[test]
+    fn associativity_secondary_costs() {
+        let m = SramModel::default();
+        let a4 = m.params(CacheGeometry::new(kib(256), 32, 4), 1.0);
+        let a16 = m.params(CacheGeometry::new(kib(256), 32, 16), 1.0);
+        assert!(a16.read_latency_ps > a4.read_latency_ps);
+        assert!(a16.read_energy_pj > a4.read_energy_pj);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn params_are_positive_and_finite(
+            cap_kb in 1u64..65536,
+            vdd in 0.60f64..1.2,
+        ) {
+            let g = CacheGeometry::new(kib(cap_kb.next_power_of_two()), 32, 4);
+            let p = SramModel::default().params(g, vdd);
+            prop_assert!(p.read_latency_ps.is_finite() && p.read_latency_ps > 0.0);
+            prop_assert!(p.read_energy_pj.is_finite() && p.read_energy_pj > 0.0);
+            prop_assert!(p.leakage_mw.is_finite() && p.leakage_mw > 0.0);
+            prop_assert!(p.area_mm2.is_finite() && p.area_mm2 > 0.0);
+        }
+
+        #[test]
+        fn lower_voltage_is_slower_but_cheaper(
+            cap_kb_pow in 4u32..14,
+        ) {
+            let g = CacheGeometry::new(1u64 << (cap_kb_pow + 10), 32, 4);
+            let m = SramModel::default();
+            let hi = m.params(g, 1.0);
+            let lo = m.params(g, 0.65);
+            prop_assert!(lo.read_latency_ps > hi.read_latency_ps);
+            prop_assert!(lo.read_energy_pj < hi.read_energy_pj);
+            prop_assert!(lo.leakage_mw < hi.leakage_mw);
+            prop_assert_eq!(lo.area_mm2, hi.area_mm2); // area is voltage-independent
+        }
+    }
+}

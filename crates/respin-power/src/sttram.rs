@@ -1,0 +1,235 @@
+//! STT-RAM array model (NVSim analogue).
+//!
+//! Anchored to the paper's Table III 256 KB row: 0.2451 mm² (≈ 3.74× denser
+//! than SRAM), 588.2 ps read / 5208 ps write at 1.0 V, 29.32 pJ per read,
+//! and 114 (units) leakage — about 1/7.7 of the equivalent SRAM, the paper's
+//! "one eighth the leakage" claim.
+//!
+//! Modelling notes, each a documented assumption:
+//!
+//! * **Read latency** scales like SRAM reads (`capacity^(1/3)` and the
+//!   alpha-power law): sensing is done by CMOS periphery.
+//! * **Write latency** is MTJ-switching limited. It is nearly independent of
+//!   capacity but strongly voltage-dependent (write current drops with the
+//!   overdrive of the drive transistor). Calibrated so that a write takes
+//!   5.2 ns at 1.0 V and ≈ 20 ns at 0.65 V — the paper's "10 cycles → about
+//!   3 cycles for a core running at 500 MHz".
+//! * **Write energy** is the CMOS periphery (≈ the read energy) plus a
+//!   per-bit MTJ switching term. Table III reports a *single* Rd/Wr energy
+//!   (29.32 pJ), implying a low-write-current MTJ; we use 0.1 pJ/bit, which
+//!   puts a 32 B-line write at ≈ 1.9× the read — between the paper's
+//!   face-value 1× and the pessimistic 3–4× older-generation MTJs. The MTJ
+//!   term scales linearly with Vdd (current-driven), the periphery with
+//!   Vdd².
+//! * **Leakage** is CMOS-periphery only (the MTJ itself is non-volatile and
+//!   leak-free), hence the 1/7.7 ratio; linear in capacity and Vdd.
+
+use crate::scaling::{VoltageScaling, DEFAULT_ALPHA};
+use crate::sram::banked_energy_factor;
+
+use crate::{ArrayModel, ArrayParams, CacheGeometry, MemTech};
+use serde::{Deserialize, Serialize};
+
+/// Reference capacity of the Table III STT-RAM row (256 KB).
+const REF_CAPACITY_BYTES: f64 = 256.0 * 1024.0;
+
+/// Table III anchors at 1.0 V.
+const ANCHOR_READ_LATENCY_PS: f64 = 588.2;
+const ANCHOR_WRITE_LATENCY_PS: f64 = 5208.0;
+const ANCHOR_READ_ENERGY_PJ: f64 = 29.32;
+const ANCHOR_LEAKAGE_MW: f64 = 0.114; // Table III prints 114 µW
+const ANCHOR_AREA_MM2: f64 = 0.2451;
+
+/// MTJ switching energy per written bit at 1.0 V, pJ (see module docs).
+pub const WRITE_PJ_PER_BIT: f64 = 0.1;
+
+/// Capacity scaling exponents (shared with the SRAM model — CMOS periphery
+/// dominates both; banking is handled by
+/// [`crate::sram::banked_energy_factor`], whose 16 KB reference is scaled
+/// to this model's 256 KB anchor below).
+const LATENCY_CAP_EXP: f64 = 1.0 / 3.0;
+const REF_ASSOC: f64 = 4.0;
+
+/// `banked_energy_factor` is anchored at 16 KB; renormalise it to this
+/// model's 256 KB anchor.
+fn stt_energy_factor(capacity_bytes: f64) -> f64 {
+    banked_energy_factor(capacity_bytes) / banked_energy_factor(REF_CAPACITY_BYTES)
+}
+
+/// Drive-transistor threshold governing MTJ write current.
+const WRITE_DRIVER_VTH: f64 = 0.30;
+/// Exponent calibrated so the 1.0 → 0.65 V write slows 5.2 → ~20 ns.
+const WRITE_LATENCY_EXP: f64 = 1.95;
+
+/// STT-RAM array model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SttRamModel {
+    /// Scaling of the CMOS read periphery. STT-RAM sensing tolerates low
+    /// voltage better than 6T cells, so it uses the logic threshold.
+    pub read_scaling: VoltageScaling,
+    /// Secondary associativity costs, as in the SRAM model.
+    pub assoc_latency_per_doubling: f64,
+    /// Secondary associativity energy cost.
+    pub assoc_energy_per_doubling: f64,
+}
+
+impl Default for SttRamModel {
+    fn default() -> Self {
+        Self {
+            read_scaling: VoltageScaling {
+                vth: crate::scaling::CORE_LOGIC_VTH,
+                alpha: DEFAULT_ALPHA,
+            },
+            assoc_latency_per_doubling: 0.04,
+            assoc_energy_per_doubling: 0.10,
+        }
+    }
+}
+
+impl SttRamModel {
+    fn assoc_factor(per_doubling: f64, assoc: u32) -> f64 {
+        1.0 + per_doubling * (assoc.max(1) as f64 / REF_ASSOC).log2()
+    }
+
+    /// MTJ write latency at `vdd`, independent of array size.
+    pub fn write_latency_ps(&self, vdd: f64) -> f64 {
+        if vdd <= WRITE_DRIVER_VTH {
+            return f64::INFINITY;
+        }
+        ANCHOR_WRITE_LATENCY_PS * ((1.0 - WRITE_DRIVER_VTH) / (vdd - WRITE_DRIVER_VTH)).powf(WRITE_LATENCY_EXP)
+    }
+}
+
+impl ArrayModel for SttRamModel {
+    fn params(&self, geometry: CacheGeometry, vdd: f64) -> ArrayParams {
+        let cap_ratio = geometry.capacity_bytes as f64 / REF_CAPACITY_BYTES;
+
+        let read_latency = ANCHOR_READ_LATENCY_PS
+            * cap_ratio.powf(LATENCY_CAP_EXP)
+            * Self::assoc_factor(self.assoc_latency_per_doubling, geometry.associativity)
+            * self.read_scaling.delay_factor(vdd);
+        let read_energy = ANCHOR_READ_ENERGY_PJ
+            * stt_energy_factor(geometry.capacity_bytes as f64)
+            * Self::assoc_factor(self.assoc_energy_per_doubling, geometry.associativity)
+            * self.read_scaling.dynamic_energy_factor(vdd);
+        // Write energy: periphery (≈ read) + per-bit MTJ switching term.
+        let mtj_pj = WRITE_PJ_PER_BIT * geometry.block_bytes as f64 * 8.0 * vdd;
+        let write_energy = read_energy + mtj_pj;
+        let leakage = ANCHOR_LEAKAGE_MW * cap_ratio * self.read_scaling.leakage_factor(vdd);
+        let area = ANCHOR_AREA_MM2 * cap_ratio;
+
+        ArrayParams {
+            area_mm2: area,
+            read_latency_ps: read_latency,
+            write_latency_ps: read_latency.max(self.write_latency_ps(vdd)),
+            read_energy_pj: read_energy,
+            write_energy_pj: write_energy,
+            leakage_mw: leakage,
+        }
+    }
+
+    fn tech(&self) -> MemTech {
+        MemTech::SttRam
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramModel;
+    use crate::units::kib;
+
+    fn close(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected <= tol
+    }
+
+    fn shared_l1d() -> CacheGeometry {
+        CacheGeometry::new(kib(256), 32, 4)
+    }
+
+    #[test]
+    fn table3_256kb_nominal() {
+        let p = SttRamModel::default().params(shared_l1d(), 1.0);
+        assert!(close(p.read_latency_ps, 588.2, 0.01), "{p:?}");
+        assert!(close(p.write_latency_ps, 5208.0, 0.01), "{p:?}");
+        assert!(close(p.read_energy_pj, 29.32, 0.01), "{p:?}");
+        assert!(close(p.leakage_mw * 1000.0, 114.0, 0.01), "{p:?}");
+        assert!(close(p.area_mm2, 0.2451, 0.01), "{p:?}");
+    }
+
+    #[test]
+    fn one_eighth_leakage_of_sram() {
+        let stt = SttRamModel::default().params(shared_l1d(), 1.0);
+        let sram = SramModel::default().params(shared_l1d(), 1.0);
+        let ratio = sram.leakage_mw / stt.leakage_mw;
+        assert!(ratio > 7.0 && ratio < 8.5, "leakage ratio {ratio}");
+    }
+
+    #[test]
+    fn density_advantage() {
+        let stt = SttRamModel::default().params(shared_l1d(), 1.0);
+        let sram = SramModel::default().params(shared_l1d(), 1.0);
+        let ratio = sram.area_mm2 / stt.area_mm2;
+        assert!(ratio > 3.5 && ratio < 4.0, "density ratio {ratio}");
+    }
+
+    #[test]
+    fn write_latency_matches_paper_cycle_claim() {
+        // §II: at 0.65 V a write costs ~10 cycles of a 500 MHz core (20 ns),
+        // at 1.0 V about 3 cycles (~5.2 ns, rounded up to 3 × 2 ns).
+        let m = SttRamModel::default();
+        let core_cycle_ps = 2000.0; // 500 MHz
+        let slow_cycles = (m.write_latency_ps(0.65) / core_cycle_ps).ceil();
+        let fast_cycles = (m.write_latency_ps(1.0) / core_cycle_ps).ceil();
+        assert_eq!(fast_cycles, 3.0);
+        assert!((9.0..=11.0).contains(&slow_cycles), "slow {slow_cycles}");
+    }
+
+    #[test]
+    fn write_below_driver_threshold_is_infinite() {
+        assert!(!SttRamModel::default().write_latency_ps(0.2).is_finite());
+    }
+
+    #[test]
+    fn write_energy_modestly_exceeds_read_energy() {
+        // ≈1.9× at the L1 point; the banked periphery grows slower than
+        // the (line-proportional) MTJ term at L2/L3 blocks, but the ratio
+        // must stay well-behaved everywhere.
+        let m = SttRamModel::default();
+        let l1 = m.params(shared_l1d(), 1.0);
+        let l1_ratio = l1.write_energy_pj / l1.read_energy_pj;
+        assert!((1.5..=2.5).contains(&l1_ratio), "L1 ratio {l1_ratio}");
+        let l2 = m.params(CacheGeometry::new(16 * 1024 * 1024, 64, 8), 1.0);
+        let l2_ratio = l2.write_energy_pj / l2.read_energy_pj;
+        assert!((1.0..=3.0).contains(&l2_ratio), "L2 ratio {l2_ratio}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn write_always_slower_than_read(
+            cap_pow in 14u32..25, // 16 KB .. 32 MB
+            vdd in 0.6f64..1.1,
+        ) {
+            let g = CacheGeometry::new(1u64 << cap_pow, 64, 8);
+            let p = SttRamModel::default().params(g, vdd);
+            prop_assert!(p.write_latency_ps >= p.read_latency_ps);
+            prop_assert!(p.write_energy_pj > p.read_energy_pj);
+        }
+
+        #[test]
+        fn leakage_linear_in_capacity(cap_pow in 14u32..24) {
+            let m = SttRamModel::default();
+            let g1 = CacheGeometry::new(1u64 << cap_pow, 64, 8);
+            let g2 = CacheGeometry::new(1u64 << (cap_pow + 1), 64, 8);
+            let p1 = m.params(g1, 1.0);
+            let p2 = m.params(g2, 1.0);
+            prop_assert!((p2.leakage_mw / p1.leakage_mw - 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Unit conventions used across the workspace.
+//!
+//! All models exchange plain `f64` values with unit-suffixed names rather
+//! than newtypes; this module centralises the conventions and conversion
+//! helpers so every crate agrees on them:
+//!
+//! * time — **picoseconds** (`_ps`)
+//! * energy — **picojoules** (`_pj`)
+//! * power — **milliwatts** (`_mw`)
+//! * area — **mm²** (`_mm2`)
+//! * voltage — **volts** (plain `vdd`)
+//! * frequency — **megahertz** (`_mhz`)
+//!
+//! The identity that ties the simulator's energy accounting together:
+//! `pJ = mW × ns`, i.e. `energy_pj = power_mw * time_ps / 1000`.
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: f64 = 1_000.0;
+
+/// Picoseconds per second.
+pub const PS_PER_S: f64 = 1e12;
+
+/// Converts a frequency in MHz to a clock period in picoseconds.
+///
+/// ```
+/// use respin_power::units::mhz_to_period_ps;
+/// assert_eq!(mhz_to_period_ps(2500.0), 400.0); // the paper's cache clock
+/// assert_eq!(mhz_to_period_ps(500.0), 2000.0); // a mid-band NT core
+/// ```
+pub fn mhz_to_period_ps(mhz: f64) -> f64 {
+    1e6 / mhz
+}
+
+/// Converts a clock period in picoseconds to a frequency in MHz.
+///
+/// ```
+/// use respin_power::units::period_ps_to_mhz;
+/// assert_eq!(period_ps_to_mhz(400.0), 2500.0);
+/// ```
+pub fn period_ps_to_mhz(period_ps: f64) -> f64 {
+    1e6 / period_ps
+}
+
+/// Integrates a constant power over an interval: `mW × ps → pJ`.
+///
+/// ```
+/// use respin_power::units::leakage_energy_pj;
+/// // 1 mW for 1 ns is 1 pJ.
+/// assert_eq!(leakage_energy_pj(1.0, 1000.0), 1.0);
+/// ```
+pub fn leakage_energy_pj(power_mw: f64, interval_ps: f64) -> f64 {
+    power_mw * interval_ps / PS_PER_NS
+}
+
+/// Average power from an energy total and an interval: `pJ / ps → mW`.
+///
+/// ```
+/// use respin_power::units::average_power_mw;
+/// assert_eq!(average_power_mw(10.0, 10_000.0), 1.0);
+/// ```
+pub fn average_power_mw(energy_pj: f64, interval_ps: f64) -> f64 {
+    if interval_ps <= 0.0 {
+        return 0.0;
+    }
+    energy_pj / interval_ps * PS_PER_NS
+}
+
+/// Kibibytes → bytes, for readable cache-size literals.
+pub const fn kib(n: u64) -> u64 {
+    n * 1024
+}
+
+/// Mebibytes → bytes, for readable cache-size literals.
+pub const fn mib(n: u64) -> u64 {
+    n * 1024 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_frequency_period() {
+        for mhz in [417.0, 500.0, 625.0, 2500.0] {
+            let p = mhz_to_period_ps(mhz);
+            assert!((period_ps_to_mhz(p) - mhz).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leakage_power_roundtrip() {
+        let e = leakage_energy_pj(3.5, 123_456.0);
+        assert!((average_power_mw(e, 123_456.0) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_zero_interval_is_zero() {
+        assert_eq!(average_power_mw(42.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn size_helpers() {
+        assert_eq!(kib(16), 16384);
+        assert_eq!(mib(1), 1024 * kib(1));
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-technology consistency of the array models: properties that must
+//! hold for any geometry/voltage the simulator can request, including the
+//! banked-energy boundary.
+
+use proptest::prelude::*;
+use respin_power::{array_params, CacheGeometry, MemTech};
+
+fn geom(cap_pow: u32, block: u32, assoc: u32) -> CacheGeometry {
+    CacheGeometry::new(1u64 << cap_pow, block, assoc)
+}
+
+proptest! {
+    /// Latency, energy, and leakage are monotone non-decreasing in
+    /// capacity for both technologies.
+    #[test]
+    fn monotone_in_capacity(
+        cap_pow in 14u32..26,
+        stt in proptest::bool::ANY,
+    ) {
+        let tech = if stt { MemTech::SttRam } else { MemTech::Sram };
+        let small = array_params(tech, geom(cap_pow, 64, 8), 1.0);
+        let big = array_params(tech, geom(cap_pow + 1, 64, 8), 1.0);
+        prop_assert!(big.read_latency_ps >= small.read_latency_ps);
+        prop_assert!(big.read_energy_pj >= small.read_energy_pj);
+        prop_assert!(big.leakage_mw >= small.leakage_mw);
+        prop_assert!(big.area_mm2 >= small.area_mm2);
+    }
+
+    /// Lowering the rail always slows the array and cuts dynamic energy
+    /// and leakage, for both technologies.
+    #[test]
+    fn monotone_in_voltage(
+        cap_pow in 14u32..24,
+        vdd in 0.62f64..0.98,
+        stt in proptest::bool::ANY,
+    ) {
+        let tech = if stt { MemTech::SttRam } else { MemTech::Sram };
+        let g = geom(cap_pow, 32, 4);
+        let lo = array_params(tech, g, vdd);
+        let hi = array_params(tech, g, 1.0);
+        prop_assert!(lo.read_latency_ps > hi.read_latency_ps);
+        prop_assert!(lo.read_energy_pj < hi.read_energy_pj);
+        prop_assert!(lo.leakage_mw < hi.leakage_mw);
+        prop_assert!((lo.area_mm2 - hi.area_mm2).abs() < 1e-12);
+    }
+
+    /// STT-RAM always leaks less and packs denser than SRAM at equal
+    /// geometry and voltage — the paper's two headline device claims.
+    #[test]
+    fn stt_beats_sram_on_leakage_and_density(
+        cap_pow in 14u32..26,
+        vdd in 0.65f64..1.0,
+    ) {
+        let g = geom(cap_pow, 64, 8);
+        let stt = array_params(MemTech::SttRam, g, vdd);
+        let sram = array_params(MemTech::Sram, g, vdd);
+        prop_assert!(stt.leakage_mw * 5.0 < sram.leakage_mw);
+        prop_assert!(stt.area_mm2 * 3.0 < sram.area_mm2);
+        // And writes are the price: slower than SRAM's.
+        prop_assert!(stt.write_latency_ps > sram.write_latency_ps);
+    }
+}
+
+/// The banked-energy law must be continuous at the bank boundary: a tiny
+/// step across 256 KB cannot jump the access energy.
+#[test]
+fn banked_energy_continuous_at_boundary() {
+    for tech in [MemTech::Sram, MemTech::SttRam] {
+        let below = array_params(tech, CacheGeometry::new(256 * 1024, 64, 8), 1.0);
+        let above = array_params(tech, CacheGeometry::new(512 * 1024, 64, 8), 1.0);
+        let ratio = above.read_energy_pj / below.read_energy_pj;
+        assert!(
+            (1.0..1.25).contains(&ratio),
+            "{tech:?}: doubling across the bank boundary scaled energy by {ratio}"
+        );
+    }
+}
+
+/// Leakage additivity: 16 private 16 KB arrays leak the same as one
+/// 256 KB array (the identity the paper's Table III encodes).
+#[test]
+fn leakage_is_additive_across_banking() {
+    for tech in [MemTech::Sram, MemTech::SttRam] {
+        let one = array_params(tech, CacheGeometry::new(16 * 1024, 32, 4), 0.65);
+        let big = array_params(tech, CacheGeometry::new(256 * 1024, 32, 4), 0.65);
+        let ratio = big.leakage_mw / (16.0 * one.leakage_mw);
+        assert!(
+            (0.99..1.01).contains(&ratio),
+            "{tech:?}: 16×16KB vs 256KB leakage ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,1566 @@
+//! The chip: clusters + L3 + main memory + synchronisation + the
+//! consolidation machinery, advanced one cache cycle at a time.
+//!
+//! Tick phases (all within [`Chip::step`]):
+//!
+//! 1. **Shared-L1 controllers** arbitrate their ports and emit events
+//!    (read done / miss, store drained / missed, writebacks) that the chip
+//!    resolves against the L2/L3/memory path and the inter-cluster
+//!    directory.
+//! 2. **Deferred events** (store-buffer slots freeing) are applied.
+//! 3. **Cores** whose cycle boundary falls on this tick execute one core
+//!    cycle: context-switch decisions, then up to two issued ops (at most
+//!    one memory op), with blocking loads and fire-and-forget stores.
+//! 4. **Cross-cluster coherence actions** queued during the tick are
+//!    applied (invalidations/downgrades of remote copies).
+//!
+//! The whole chip is `Clone`: the oracle consolidation policy replays
+//! epochs on copies and keeps the best outcome.
+
+use crate::cache::LineState;
+use crate::cluster::{Cluster, L1System};
+use crate::config::{ChipConfig, CtxSwitchModel, L1Org};
+use crate::consts;
+use crate::core::VcState;
+use crate::directory::Directory;
+use crate::energy::EnergyBreakdown;
+use crate::memsys::{MainMemory, MemLevel};
+use crate::shared_l1::L1Event;
+use crate::stats::ChipStats;
+use respin_noc::{mesh::Endpoint, Mesh};
+use respin_power::{array_params, CoreEnergyModel, CoreEvent};
+use respin_variation::{VariationConfig, VariationMap};
+use respin_workloads::{Op, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Safety valve: a single epoch may not run longer than this many ticks
+/// (a stuck epoch means a simulator bug; fail loudly instead of hanging).
+const MAX_EPOCH_TICKS: u64 = 200_000_000;
+
+/// Per-instruction-class dynamic energies, precomputed at the core rail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct InstrEnergies {
+    /// Decode + register file + ROB + window, charged on every instruction.
+    base_pj: f64,
+    int_pj: f64,
+    fp_pj: f64,
+    branch_pj: f64,
+    /// Address generation + LSQ, charged on memory ops.
+    mem_pj: f64,
+    /// Front-end fetch logic, charged once per issuing core cycle.
+    fetch_pj: f64,
+    /// Clock tree + latches, charged every cycle the core is powered.
+    clock_pj: f64,
+}
+
+/// Deferred timed events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+enum Deferred {
+    /// A store completed; free one store-buffer slot of (cluster, core).
+    FreeStoreSlot(usize, usize),
+}
+
+/// Cross-cluster coherence actions applied at end of tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RemoteOp {
+    /// Remove the line from the cluster's caches (a remote write).
+    Invalidate(usize, u64),
+    /// Demote the line to Shared (a remote read of a Modified line).
+    Downgrade(usize, u64),
+}
+
+#[derive(Debug, Clone, Default)]
+struct LockEntry {
+    holder: Option<(usize, usize)>,
+    waiters: VecDeque<(usize, usize)>,
+    /// Cluster that last held the lock (for the line-transfer penalty);
+    /// `usize::MAX` when never held.
+    last_cluster: usize,
+}
+
+/// Statistics and outcome of one consolidation epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Instructions retired per cluster during the epoch.
+    pub cluster_instructions: Vec<u64>,
+    /// Cluster-local energy spent during the epoch, pJ.
+    pub cluster_energy_pj: Vec<f64>,
+    /// Active physical cores per cluster at epoch end.
+    pub active_cores: Vec<usize>,
+    /// Energy per instruction per cluster (f64::INFINITY when a cluster
+    /// retired nothing).
+    pub cluster_epi: Vec<f64>,
+    /// Whether the whole workload finished during this epoch.
+    pub finished: bool,
+    /// Tick at epoch start / end.
+    pub start_tick: u64,
+    /// Tick at epoch end.
+    pub end_tick: u64,
+}
+
+/// Final outcome of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total ticks simulated.
+    pub ticks: u64,
+    /// Wall-clock time simulated, picoseconds.
+    pub time_ps: f64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Detailed statistics.
+    pub stats: ChipStats,
+}
+
+impl RunResult {
+    /// Average CMP power over the run, mW.
+    pub fn average_power_mw(&self) -> f64 {
+        self.energy.average_power_mw(self.time_ps)
+    }
+
+    /// Chip energy per instruction, pJ.
+    pub fn epi_pj(&self) -> f64 {
+        if self.instructions == 0 {
+            return f64::INFINITY;
+        }
+        self.energy.chip_total_pj() / self.instructions as f64
+    }
+}
+
+/// The simulated chip.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    /// The configuration this chip was built from.
+    pub config: ChipConfig,
+    core_model: CoreEnergyModel,
+    instr_e: InstrEnergies,
+    /// Clusters.
+    pub clusters: Vec<Cluster>,
+    l3: MemLevel,
+    l3_leak_mw: f64,
+    /// The chip's mesh interconnect (cluster tiles around the L3).
+    mesh: Mesh,
+    cluster_dir: Directory,
+    mem: MainMemory,
+    /// Current tick.
+    pub tick: u64,
+    /// Tick measurement started at (0, or the end of the warm-up).
+    measure_start_tick: u64,
+    barriers: HashMap<u32, u32>,
+    locks: HashMap<u32, LockEntry>,
+    deferred: BinaryHeap<Reverse<(u64, Deferred)>>,
+    pending_remote: Vec<RemoteOp>,
+    ev_scratch: Vec<L1Event>,
+    total_threads: u32,
+    chip_interconnect_pj: f64,
+    coherence_messages: u64,
+    migrations: u64,
+    context_switches: u64,
+    consolidation_trace: Vec<(u64, usize)>,
+    ctx_cost_core_cycles: u64,
+    slice_core_cycles: u64,
+}
+
+impl Chip {
+    /// Builds a chip running `spec` (one thread per virtual core) with the
+    /// given `seed` controlling process variation and workload streams.
+    pub fn new(config: ChipConfig, spec: &WorkloadSpec, seed: u64) -> Self {
+        config.validate().expect("invalid chip configuration");
+        let mut spec = spec.clone();
+        if let Some(n) = config.instructions_per_thread {
+            spec.instructions_per_thread = n;
+        }
+
+        let var_config = VariationConfig {
+            cores: config.total_cores(),
+            ..VariationConfig::default()
+        };
+        let variation = VariationMap::generate(&var_config, config.core_vdd, config.band, seed);
+
+        let core_model = CoreEnergyModel::default();
+        let e = |ev: CoreEvent| core_model.event_energy_pj(ev, config.core_vdd);
+        let instr_e = InstrEnergies {
+            base_pj: e(CoreEvent::Decode)
+                + 2.0 * e(CoreEvent::RegRead)
+                + 0.8 * e(CoreEvent::RegWrite)
+                + e(CoreEvent::RobEntry)
+                + e(CoreEvent::WindowWakeup),
+            int_pj: e(CoreEvent::IntAlu),
+            fp_pj: e(CoreEvent::FpAlu),
+            branch_pj: e(CoreEvent::BranchPredict),
+            mem_pj: e(CoreEvent::AddressGen) + e(CoreEvent::LsqEntry),
+            fetch_pj: e(CoreEvent::Fetch),
+            clock_pj: e(CoreEvent::ClockTree),
+        };
+
+        let clusters: Vec<Cluster> = (0..config.clusters)
+            .map(|k| Cluster::build(&config, &variation, &spec, k, seed, &core_model))
+            .collect();
+
+        let l3_geom = config.l3_geometry();
+        let l3_params = array_params(config.cache_tech, l3_geom, config.cache_vdd);
+        let l3 = MemLevel::new(
+            l3_geom,
+            &l3_params,
+            config.read_ticks(&l3_params, false),
+            config.write_ticks(&l3_params),
+            consts::L3_ACCEPT_INTERVAL_TICKS,
+        );
+
+        let (ctx_cost, slice) = match config.ctx_switch {
+            CtxSwitchModel::Hardware => (
+                consts::HW_CTX_SWITCH_CORE_CYCLES,
+                consts::HW_SLICE_CORE_CYCLES,
+            ),
+            CtxSwitchModel::Os => (
+                consts::OS_CTX_SWITCH_CORE_CYCLES,
+                consts::OS_SLICE_CORE_CYCLES,
+            ),
+        };
+
+        let total_threads = config.total_cores() as u32;
+        let total_cores = config.total_cores();
+        let mesh = Mesh::new(config.clusters);
+        Self {
+            config,
+            core_model,
+            instr_e,
+            clusters,
+            l3_leak_mw: l3_params.leakage_mw,
+            l3,
+            mesh,
+            cluster_dir: Directory::new(),
+            mem: MainMemory::default(),
+            tick: 0,
+            measure_start_tick: 0,
+            barriers: HashMap::new(),
+            locks: HashMap::new(),
+            deferred: BinaryHeap::new(),
+            pending_remote: Vec::new(),
+            ev_scratch: Vec::new(),
+            total_threads,
+            chip_interconnect_pj: 0.0,
+            coherence_messages: 0,
+            migrations: 0,
+            context_switches: 0,
+            consolidation_trace: vec![(0, total_cores)],
+            ctx_cost_core_cycles: ctx_cost,
+            slice_core_cycles: slice,
+        }
+    }
+
+    /// True when every thread has retired its full stream.
+    pub fn finished(&self) -> bool {
+        self.clusters.iter().all(Cluster::finished)
+    }
+
+    /// Total retired instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.clusters.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Advances the chip by one cache cycle.
+    pub fn step(&mut self) {
+        let now = self.tick;
+
+        // Phase 1: shared-L1 controllers.
+        for k in 0..self.clusters.len() {
+            let mut events = std::mem::take(&mut self.ev_scratch);
+            events.clear();
+            if let L1System::Shared(s) = &mut self.clusters[k].l1 {
+                s.tick(now, &mut events);
+            }
+            for ev in events.drain(..) {
+                self.handle_l1_event(k, ev, now);
+            }
+            self.ev_scratch = events;
+        }
+
+        // Phase 2: deferred completions.
+        while let Some(&Reverse((t, d))) = self.deferred.peek() {
+            if t > now {
+                break;
+            }
+            self.deferred.pop();
+            match d {
+                Deferred::FreeStoreSlot(k, c) => {
+                    let core = &mut self.clusters[k].cores[c];
+                    debug_assert!(core.pending_stores > 0);
+                    core.pending_stores = core.pending_stores.saturating_sub(1);
+                }
+            }
+        }
+
+        // Phase 3: core execution.
+        for k in 0..self.clusters.len() {
+            for c in 0..self.clusters[k].cores.len() {
+                self.exec_core_cycle(k, c, now);
+            }
+        }
+
+        // Phase 4: cross-cluster coherence actions.
+        if !self.pending_remote.is_empty() {
+            let ops = std::mem::take(&mut self.pending_remote);
+            for op in &ops {
+                self.apply_remote(*op);
+            }
+            self.pending_remote = ops;
+            self.pending_remote.clear();
+        }
+
+        self.tick = now + 1;
+    }
+
+    fn apply_remote(&mut self, op: RemoteOp) {
+        match op {
+            RemoteOp::Invalidate(k, line) => {
+                let cluster = &mut self.clusters[k];
+                match &mut cluster.l1 {
+                    L1System::Shared(s) => {
+                        s.invalidate(line);
+                    }
+                    L1System::Private { l1d, dir, .. } => {
+                        for (c, arr) in l1d.iter_mut().enumerate() {
+                            if arr.invalidate(line).is_some() {
+                                dir.evict(line, c as u8);
+                            }
+                        }
+                    }
+                }
+                cluster.l2.invalidate(cluster.l2.block_addr(line));
+            }
+            RemoteOp::Downgrade(k, line) => {
+                let cluster = &mut self.clusters[k];
+                match &mut cluster.l1 {
+                    L1System::Shared(s) => s.downgrade(line),
+                    L1System::Private { l1d, .. } => {
+                        for arr in l1d.iter_mut() {
+                            if arr.probe(line).is_some() {
+                                arr.set_state(line, LineState::Shared);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- L1 events
+
+    fn handle_l1_event(&mut self, k: usize, ev: L1Event, now: u64) {
+        match ev {
+            L1Event::ReadDone {
+                core: vc,
+                completion_tick,
+            } => {
+                self.clusters[k].vcores[vc].state = VcState::StallUntil(completion_tick);
+            }
+            L1Event::ReadMiss {
+                core: vc,
+                addr,
+                mult,
+                issue_tick,
+            } => {
+                let (ready, state) = self.cluster_read_path(k, addr, now + 1);
+                if let L1System::Shared(s) = &mut self.clusters[k].l1 {
+                    s.enqueue_fill(addr, ready, state);
+                }
+                let completion = align_boundary(issue_tick, mult, ready + 1);
+                self.clusters[k].vcores[vc].state = VcState::StallUntil(completion);
+            }
+            L1Event::StoreDrained {
+                core,
+                completion_tick,
+                needs_ownership,
+                addr,
+            } => {
+                // A line already held Modified was acquired earlier; for
+                // E/S lines confirm or obtain inter-cluster ownership (the
+                // adder is zero when we are already the sole sharer).
+                let mut completion = completion_tick;
+                if needs_ownership {
+                    completion += self.acquire_cluster_ownership(k, addr);
+                }
+                self.deferred
+                    .push(Reverse((completion, Deferred::FreeStoreSlot(k, core))));
+            }
+            L1Event::StoreMiss { core, addr } => {
+                let ready = {
+                    let (r, _) = self.cluster_read_path(k, addr, now + 1);
+                    r + self.acquire_cluster_ownership(k, addr)
+                };
+                let write_ticks = if let L1System::Shared(s) = &mut self.clusters[k].l1 {
+                    s.enqueue_fill(addr, ready, LineState::Modified);
+                    s.write_ticks()
+                } else {
+                    1
+                };
+                self.deferred.push(Reverse((
+                    ready + write_ticks,
+                    Deferred::FreeStoreSlot(k, core),
+                )));
+            }
+            L1Event::Writeback { addr } => {
+                let l2_addr = self.clusters[k].l2.block_addr(addr);
+                self.clusters[k].l2.write(l2_addr, now);
+            }
+        }
+    }
+
+    /// Obtains inter-cluster write ownership of `line` for cluster `k`.
+    /// Returns the latency adder; remote copies are queued for
+    /// invalidation.
+    fn acquire_cluster_ownership(&mut self, k: usize, line: u64) -> u64 {
+        let out = self.cluster_dir.write(line, k as u8);
+        let mut adder = 0;
+        if let Some(owner) = out.remote_fetch_from {
+            adder += consts::INTER_REMOTE_FETCH_TICKS;
+            self.pending_remote
+                .push(RemoteOp::Invalidate(owner as usize, line));
+            self.chip_interconnect_pj += 2.0 * consts::INTER_COHERENCE_MSG_PJ;
+            self.coherence_messages += 2;
+        }
+        let others = match out.remote_fetch_from {
+            Some(owner) => out.invalidate_mask & !(1u64 << owner),
+            None => out.invalidate_mask,
+        };
+        if others != 0 {
+            adder += consts::INTER_INVALIDATE_TICKS;
+            for kk in 0..self.clusters.len() {
+                if kk != k && (others >> kk) & 1 == 1 {
+                    self.pending_remote.push(RemoteOp::Invalidate(kk, line));
+                    self.chip_interconnect_pj += consts::INTER_COHERENCE_MSG_PJ;
+                    self.coherence_messages += 1;
+                }
+            }
+        }
+        adder
+    }
+
+    /// The read path below a cluster's L1: inter-cluster directory, the
+    /// cluster L2, the L3, then main memory. Returns the tick the data is
+    /// back at the cluster's L1 and the state it should be installed in.
+    fn cluster_read_path(&mut self, k: usize, line: u64, earliest: u64) -> (u64, LineState) {
+        let out = self.cluster_dir.read(line, k as u8);
+        // Prior holders may hold the line Exclusive; downgrade them so
+        // later silent upgrades stay coherent.
+        if out.prior_sharers != 0 {
+            for kk in 0..self.clusters.len() {
+                if kk != k && (out.prior_sharers >> kk) & 1 == 1 {
+                    self.pending_remote.push(RemoteOp::Downgrade(kk, line));
+                }
+            }
+        }
+        if let Some(owner) = out.remote_fetch_from {
+            self.pending_remote
+                .push(RemoteOp::Downgrade(owner as usize, line));
+            self.coherence_messages += 2;
+            // Request and response cross the mesh; the remote L2 lookup
+            // sits between them.
+            let at_owner = self
+                .mesh
+                .traverse(Endpoint::Cluster(k), Endpoint::Cluster(owner as usize), earliest);
+            let back = self.mesh.traverse(
+                Endpoint::Cluster(owner as usize),
+                Endpoint::Cluster(k),
+                at_owner + consts::REMOTE_LOOKUP_TICKS,
+            );
+            // The line also lands in our L2 on the way in.
+            let l2_addr = self.clusters[k].l2.block_addr(line);
+            self.clusters[k].l2.fill(l2_addr, false);
+            return (back, LineState::Shared);
+        }
+        let fill_state = out.fill_state;
+        let l2_addr = self.clusters[k].l2.block_addr(line);
+        let (t2, l2_hit) = self.clusters[k].l2.read(l2_addr, earliest);
+        if l2_hit {
+            return (t2, fill_state);
+        }
+        let l3_addr = self.l3.block_addr(line);
+        let at_l3 = self.mesh.traverse(Endpoint::Cluster(k), Endpoint::L3, t2);
+        let (t3, l3_hit) = self.l3.read(l3_addr, at_l3);
+        let below = if l3_hit {
+            t3
+        } else {
+            let tm = self.mem.read(t3);
+            self.l3.fill(l3_addr, false);
+            tm
+        };
+        if let Some(ev) = self.clusters[k].l2.fill(l2_addr, false) {
+            if ev.dirty {
+                // Victim drains when the eviction is decided (the tag
+                // lookup), not when the miss data returns; it also crosses
+                // the mesh.
+                let wb_at_l3 = self.mesh.traverse(Endpoint::Cluster(k), Endpoint::L3, t2);
+                self.l3.write(self.l3.block_addr(ev.addr), wb_at_l3);
+            }
+        }
+        let back = self.mesh.traverse(Endpoint::L3, Endpoint::Cluster(k), below);
+        (back, fill_state)
+    }
+
+    // ---------------------------------------------------------------- core cycle
+
+    fn exec_core_cycle(&mut self, k: usize, c: usize, now: u64) {
+        let mult = {
+            let core = &self.clusters[k].cores[c];
+            if !core.active || !now.is_multiple_of(core.mult) {
+                return;
+            }
+            core.mult
+        };
+        // The clock network toggles every cycle the core is powered,
+        // stalled or not; only power gating (consolidation) removes it.
+        self.charge_core(k, self.instr_e.clock_pj);
+        if now < self.clusters[k].cores[c].stall_until {
+            return;
+        }
+
+        // Context-switch decision. Hardware-stacked virtual cores behave
+        // like fine-grained multithreading: the register banks of all
+        // hosted threads stay resident, so when the current thread cannot
+        // issue this cycle the core selects a runnable sibling and executes
+        // it in the *same* cycle (the paper's "hardware context switches";
+        // the expensive case is migration *between* cores). The OS variant
+        // pays its full quantum-switch cost and only reconsiders a blocked
+        // thread at quantum granularity.
+        let hardware = self.config.ctx_switch == CtxSwitchModel::Hardware;
+        let ctx_threshold = 2 * self.ctx_cost_core_cycles * mult;
+        let switch = {
+            let cluster = &self.clusters[k];
+            let core = &cluster.cores[c];
+            if core.assigned.is_empty() {
+                return;
+            }
+            core.pick_switch_with(
+                |i| cluster.vcores[core.assigned[i]].runnable(now),
+                |i| {
+                    let v = &cluster.vcores[core.assigned[i]];
+                    if hardware {
+                        !v.runnable(now)
+                    } else {
+                        v.blocked_on_sync()
+                            || matches!(v.state, VcState::StallUntil(t) if t > now + ctx_threshold)
+                    }
+                },
+            )
+        };
+        if let Some(next) = switch {
+            let core = &mut self.clusters[k].cores[c];
+            core.current = next;
+            core.slice_left = self.slice_core_cycles;
+            self.context_switches += 1;
+            if !hardware {
+                core.stall_until = now + self.ctx_cost_core_cycles * mult;
+                return;
+            }
+            // Hardware: fall through and issue from the new thread now.
+        }
+
+        let vc_id = {
+            let core = &mut self.clusters[k].cores[c];
+            if core.slice_left != u64::MAX {
+                core.slice_left = core.slice_left.saturating_sub(1);
+            }
+            core.assigned[core.current]
+        };
+        if !self.clusters[k].vcores[vc_id].runnable(now) {
+            return;
+        }
+        self.clusters[k].vcores[vc_id].state = VcState::Ready;
+
+        let mut issued_any = false;
+        let mut issued_count = 0u32;
+        let mut mem_issued = false;
+        for _slot in 0..2 {
+            let op = {
+                let vc = &mut self.clusters[k].vcores[vc_id];
+                match vc.held.take() {
+                    Some(op) => op,
+                    None => vc.gen.next_op(),
+                }
+            };
+            match op {
+                Op::Int => {
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.int_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                }
+                Op::Fp => {
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.fp_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                }
+                Op::Branch { mispredict } => {
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.branch_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                    if mispredict {
+                        self.clusters[k].vcores[vc_id].state = VcState::StallUntil(
+                            now + consts::MISPREDICT_PENALTY_CORE_CYCLES * mult,
+                        );
+                        break;
+                    }
+                }
+                Op::Idle { cycles } => {
+                    self.clusters[k].vcores[vc_id].state =
+                        VcState::StallUntil(now + cycles as u64 * mult);
+                    break;
+                }
+                Op::Load { addr } => {
+                    if mem_issued {
+                        self.clusters[k].vcores[vc_id].held = Some(op);
+                        break;
+                    }
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                    match self.config.l1_org {
+                        L1Org::SharedPerCluster => {
+                            let cluster = &mut self.clusters[k];
+                            if let L1System::Shared(s) = &mut cluster.l1 {
+                                debug_assert!(s.can_accept_read(vc_id), "blocking loads");
+                                s.issue_read(vc_id, addr, now, mult);
+                            }
+                            cluster.vcores[vc_id].state = VcState::WaitRead;
+                        }
+                        L1Org::Private => {
+                            self.private_load(k, c, vc_id, addr, now, mult);
+                        }
+                    }
+                    break;
+                }
+                Op::Store { addr } => {
+                    if mem_issued {
+                        self.clusters[k].vcores[vc_id].held = Some(op);
+                        break;
+                    }
+                    if !self.clusters[k].cores[c].store_buffer_has_room() {
+                        let vc = &mut self.clusters[k].vcores[vc_id];
+                        vc.held = Some(op);
+                        vc.state = VcState::StallUntil(now + mult);
+                        break;
+                    }
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                    mem_issued = true;
+                    match self.config.l1_org {
+                        L1Org::SharedPerCluster => {
+                            let cluster = &mut self.clusters[k];
+                            if let L1System::Shared(s) = &mut cluster.l1 {
+                                s.issue_store(c, addr, now);
+                            }
+                            cluster.cores[c].pending_stores += 1;
+                        }
+                        L1Org::Private => {
+                            let completion = self.private_store(k, c, addr, now);
+                            self.clusters[k].cores[c].pending_stores += 1;
+                            self.deferred
+                                .push(Reverse((completion, Deferred::FreeStoreSlot(k, c))));
+                        }
+                    }
+                }
+                Op::Barrier { id } => {
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                    let arrivals = self.barriers.entry(id).or_insert(0);
+                    *arrivals += 1;
+                    if *arrivals == self.total_threads {
+                        self.barriers.remove(&id);
+                        self.release_barrier(id, k, now);
+                        self.clusters[k].vcores[vc_id].state = VcState::StallUntil(now + mult);
+                    } else {
+                        self.clusters[k].vcores[vc_id].state = VcState::AtBarrier(id);
+                    }
+                    break;
+                }
+                Op::LockAcq { lock } => {
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                    let (acquired, transfer_from) = {
+                        let e = self.locks.entry(lock).or_default();
+                        if e.holder.is_none() {
+                            e.holder = Some((k, vc_id));
+                            let from = e.last_cluster;
+                            e.last_cluster = k;
+                            (true, from)
+                        } else {
+                            e.waiters.push_back((k, vc_id));
+                            (false, usize::MAX)
+                        }
+                    };
+                    if acquired {
+                        let penalty = if transfer_from == usize::MAX {
+                            0
+                        } else {
+                            self.sync_transfer_ticks(transfer_from == k)
+                        };
+                        if penalty > 0 {
+                            self.clusters[k].vcores[vc_id].state =
+                                VcState::StallUntil(now + penalty);
+                        }
+                    } else {
+                        self.clusters[k].vcores[vc_id].state = VcState::WaitLock(lock);
+                    }
+                    break;
+                }
+                Op::LockRel { lock } => {
+                    self.retire(k, vc_id);
+                    self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
+                    issued_any = true;
+                    issued_count += 1;
+                    let wake = {
+                        let e = self
+                            .locks
+                            .get_mut(&lock)
+                            .expect("release of a lock that was never acquired");
+                        debug_assert_eq!(e.holder, Some((k, vc_id)));
+                        e.last_cluster = k;
+                        match e.waiters.pop_front() {
+                            Some(next) => {
+                                e.holder = Some(next);
+                                Some(next)
+                            }
+                            None => {
+                                e.holder = None;
+                                None
+                            }
+                        }
+                    };
+                    if let Some((kk, vv)) = wake {
+                        let penalty = self.sync_transfer_ticks(kk == k);
+                        self.clusters[kk].vcores[vv].state =
+                            VcState::StallUntil(now + penalty.max(1));
+                    }
+                    break;
+                }
+                Op::Done => {
+                    self.clusters[k].vcores[vc_id].state = VcState::Finished;
+                    break;
+                }
+            }
+        }
+
+        if issued_any {
+            self.charge_core(k, self.instr_e.fetch_pj);
+            // The L1I array is read once per ~6 sequential instructions
+            // (a 32 B line holds 8 fixed-width instructions; the fetch line
+            // buffer filters repeat reads, branches refetch early).
+            let cluster = &mut self.clusters[k];
+            cluster.ifetch_dyn_pj += cluster.l1_costs.i_read_pj * issued_count as f64 / 6.0;
+        }
+    }
+
+    /// Latency of moving a contended synchronisation line to a new user.
+    fn sync_transfer_ticks(&self, same_cluster: bool) -> u64 {
+        if !same_cluster {
+            consts::INTER_REMOTE_FETCH_TICKS
+        } else if self.config.l1_org == L1Org::Private {
+            consts::INTRA_REMOTE_FETCH_TICKS
+        } else {
+            1
+        }
+    }
+
+    fn release_barrier(&mut self, id: u32, releaser_cluster: usize, now: u64) {
+        let private = self.config.l1_org == L1Org::Private;
+        let mut msgs = 0u64;
+        let mut msg_pj = 0.0;
+        for kk in 0..self.clusters.len() {
+            let same = kk == releaser_cluster;
+            let penalty = if !same {
+                consts::INTER_REMOTE_FETCH_TICKS
+            } else if private {
+                consts::INTRA_REMOTE_FETCH_TICKS
+            } else {
+                1
+            };
+            for vc in self.clusters[kk].vcores.iter_mut() {
+                if vc.state == VcState::AtBarrier(id) {
+                    vc.state = VcState::StallUntil(now + penalty);
+                    if !same {
+                        msgs += 1;
+                        msg_pj += consts::INTER_COHERENCE_MSG_PJ;
+                    } else if private {
+                        msgs += 1;
+                        msg_pj += consts::INTRA_COHERENCE_MSG_PJ;
+                    }
+                }
+            }
+        }
+        self.coherence_messages += msgs;
+        self.chip_interconnect_pj += msg_pj;
+    }
+
+    // ------------------------------------------------------------- private L1
+
+    fn private_load(&mut self, k: usize, c: usize, vc_id: usize, addr: u64, now: u64, mult: u64) {
+        let (line, hit) = {
+            let cluster = &mut self.clusters[k];
+            let costs = cluster.l1_costs;
+            cluster.ifetch_dyn_pj += costs.d_read_pj;
+            cluster.interconnect_pj += costs.shifter_pj;
+            if let L1System::Private { l1d, stats, .. } = &mut cluster.l1 {
+                let line = l1d[c].block_addr(addr);
+                let hit = l1d[c].touch(line).is_some();
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                (line, hit)
+            } else {
+                unreachable!("private_load on a shared-L1 cluster")
+            }
+        };
+        if hit {
+            // Single-core-cycle hit: the load simply ends the issue group.
+            return;
+        }
+
+        // Intra-cluster directory.
+        let (data_ready, fill_state) = {
+            let intra = {
+                let cluster = &mut self.clusters[k];
+                if let L1System::Private { dir, .. } = &mut cluster.l1 {
+                    dir.read(line, c as u8)
+                } else {
+                    unreachable!()
+                }
+            };
+            if let Some(owner) = intra.remote_fetch_from {
+                let cluster = &mut self.clusters[k];
+                if let L1System::Private { l1d, .. } = &mut cluster.l1 {
+                    l1d[owner as usize].set_state(line, LineState::Shared);
+                }
+                cluster.interconnect_pj += 2.0 * consts::INTRA_COHERENCE_MSG_PJ;
+                self.coherence_messages += 2;
+                (now + consts::INTRA_REMOTE_FETCH_TICKS, LineState::Shared)
+            } else {
+                let (ready, cluster_state) = self.cluster_read_path(k, line, now + 1);
+                let state = if cluster_state == LineState::Shared {
+                    LineState::Shared
+                } else {
+                    intra.fill_state
+                };
+                (ready, state)
+            }
+        };
+
+        // Fill, handling the victim.
+        {
+            let cluster = &mut self.clusters[k];
+            let evicted = if let L1System::Private { l1d, dir, .. } = &mut cluster.l1 {
+                let ev = l1d[c].fill(line, fill_state);
+                if let Some(ev) = ev {
+                    dir.evict(ev.addr, c as u8);
+                }
+                ev
+            } else {
+                unreachable!()
+            };
+            if let Some(ev) = evicted {
+                if ev.dirty {
+                    // The victim drains independently of the miss's data
+                    // return; scheduling it at the return time would stall
+                    // the L2's accept pipeline ~a memory latency per miss.
+                    let l2_addr = cluster.l2.block_addr(ev.addr);
+                    cluster.l2.write(l2_addr, now);
+                }
+            }
+        }
+
+        self.clusters[k].vcores[vc_id].state =
+            VcState::StallUntil(align_boundary(now, mult, data_ready + 1));
+    }
+
+    fn private_store(&mut self, k: usize, c: usize, addr: u64, now: u64) -> u64 {
+        let write_ticks = self.clusters[k].l1_costs.d_write_ticks;
+        let (line, prior) = {
+            let cluster = &mut self.clusters[k];
+            let costs = cluster.l1_costs;
+            cluster.ifetch_dyn_pj += costs.d_write_pj;
+            cluster.interconnect_pj += costs.shifter_pj;
+            if let L1System::Private { l1d, stats, .. } = &mut cluster.l1 {
+                let line = l1d[c].block_addr(addr);
+                let prior = l1d[c].touch(line);
+                if prior.is_some() {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                (line, prior)
+            } else {
+                unreachable!("private_store on a shared-L1 cluster")
+            }
+        };
+
+        match prior {
+            Some(LineState::Modified) => now + write_ticks,
+            Some(LineState::Exclusive) => {
+                // Upgrade in place; keep directories exact. The masks are
+                // normally empty (Exclusive means sole holder) but stale
+                // directory entries from silent evictions are tolerated.
+                {
+                    let cluster = &mut self.clusters[k];
+                    if let L1System::Private { l1d, dir, .. } = &mut cluster.l1 {
+                        l1d[c].set_state(line, LineState::Modified);
+                        dir.write(line, c as u8);
+                    }
+                }
+                now + write_ticks + self.acquire_cluster_ownership(k, line)
+            }
+            Some(LineState::Shared) => {
+                // Upgrade: invalidate intra-cluster sharers, then get
+                // inter-cluster ownership.
+                let mut completion = now + write_ticks;
+                {
+                    let cluster = &mut self.clusters[k];
+                    if let L1System::Private { l1d, dir, .. } = &mut cluster.l1 {
+                        l1d[c].set_state(line, LineState::Modified);
+                        let out = dir.write(line, c as u8);
+                        if out.invalidate_mask != 0 {
+                            completion += consts::INTRA_INVALIDATE_TICKS;
+                            #[allow(clippy::needless_range_loop)] // index guards self-skip
+                            for o in 0..l1d.len() {
+                                if o != c && (out.invalidate_mask >> o) & 1 == 1 {
+                                    l1d[o].invalidate(line);
+                                    cluster.interconnect_pj += consts::INTRA_COHERENCE_MSG_PJ;
+                                    self.coherence_messages += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                completion + self.acquire_cluster_ownership(k, line)
+            }
+            None => {
+                // Write miss: get the line with ownership.
+                let intra = {
+                    let cluster = &mut self.clusters[k];
+                    if let L1System::Private { dir, .. } = &mut cluster.l1 {
+                        dir.write(line, c as u8)
+                    } else {
+                        unreachable!()
+                    }
+                };
+                let mut ready = if let Some(owner) = intra.remote_fetch_from {
+                    let cluster = &mut self.clusters[k];
+                    if let L1System::Private { l1d, .. } = &mut cluster.l1 {
+                        l1d[owner as usize].invalidate(line);
+                    }
+                    cluster.interconnect_pj += 2.0 * consts::INTRA_COHERENCE_MSG_PJ;
+                    self.coherence_messages += 2;
+                    now + consts::INTRA_REMOTE_FETCH_TICKS
+                } else {
+                    self.cluster_read_path(k, line, now + 1).0
+                };
+                if intra.invalidate_mask != 0 {
+                    let cluster = &mut self.clusters[k];
+                    if let L1System::Private { l1d, .. } = &mut cluster.l1 {
+                        #[allow(clippy::needless_range_loop)] // index guards self-skip
+                        for o in 0..l1d.len() {
+                            if o != c && (intra.invalidate_mask >> o) & 1 == 1 {
+                                l1d[o].invalidate(line);
+                                cluster.interconnect_pj += consts::INTRA_COHERENCE_MSG_PJ;
+                                self.coherence_messages += 1;
+                            }
+                        }
+                    }
+                    ready += consts::INTRA_INVALIDATE_TICKS;
+                }
+                ready += self.acquire_cluster_ownership(k, line);
+                // Fill dirty.
+                {
+                    let cluster = &mut self.clusters[k];
+                    let evicted = if let L1System::Private { l1d, dir, .. } = &mut cluster.l1 {
+                        let ev = l1d[c].fill(line, LineState::Modified);
+                        if let Some(ev) = ev {
+                            dir.evict(ev.addr, c as u8);
+                        }
+                        ev
+                    } else {
+                        unreachable!()
+                    };
+                    if let Some(ev) = evicted {
+                        if ev.dirty {
+                            // As in the load path: victim drain is
+                            // independent of the miss data return.
+                            let l2_addr = cluster.l2.block_addr(ev.addr);
+                            cluster.l2.write(l2_addr, now);
+                        }
+                    }
+                }
+                ready + write_ticks
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- helpers
+
+    #[inline]
+    fn retire(&mut self, k: usize, vc_id: usize) {
+        self.clusters[k].vcores[vc_id].retired += 1;
+        self.clusters[k].instructions += 1;
+    }
+
+    #[inline]
+    fn charge_core(&mut self, k: usize, pj: f64) {
+        self.clusters[k].core_dyn_pj += pj;
+    }
+
+    // --------------------------------------------------------- consolidation
+
+    /// Sets the number of active physical cores in cluster `k`, migrating
+    /// virtual cores as needed (§III-C). Requires the configuration to have
+    /// consolidation enabled.
+    pub fn set_active_cores(&mut self, k: usize, count: usize) {
+        assert!(
+            self.config.consolidation,
+            "consolidation disabled in this configuration"
+        );
+        let n = self.clusters[k].cores.len();
+        let count = count.clamp(1, n);
+        if count == self.clusters[k].active_cores {
+            return;
+        }
+        let now = self.tick;
+        let ranking = self.clusters[k].efficiency_ranking();
+        let target: Vec<bool> = {
+            let mut t = vec![false; n];
+            for &c in ranking.iter().take(count) {
+                t[c] = true;
+            }
+            t
+        };
+
+        // Power-off pass: move orphaned virtual cores to the least-loaded
+        // active target (ties toward the more efficient core).
+        for c in 0..n {
+            if !target[c] && self.clusters[k].cores[c].active {
+                let orphans = std::mem::take(&mut self.clusters[k].cores[c].assigned);
+                self.clusters[k].cores[c].active = false;
+                self.clusters[k].cores[c].current = 0;
+                for vc in orphans {
+                    let host = self.pick_host(k, &ranking, &target);
+                    self.migrate_vcore(k, vc, host, now);
+                }
+            }
+        }
+
+        // Power-on pass: wake targets and rebalance from the most loaded.
+        for &c in ranking.iter().take(count) {
+            if !self.clusters[k].cores[c].active {
+                let core = &mut self.clusters[k].cores[c];
+                core.active = true;
+                core.stall_until = now + consts::POWER_ON_STALL_CORE_CYCLES * core.mult;
+                loop {
+                    let (max_c, max_load) = {
+                        let cluster = &self.clusters[k];
+                        let mut best = (c, cluster.cores[c].assigned.len());
+                        for o in 0..n {
+                            if cluster.cores[o].active
+                                && cluster.cores[o].assigned.len() > best.1
+                            {
+                                best = (o, cluster.cores[o].assigned.len());
+                            }
+                        }
+                        best
+                    };
+                    let my_load = self.clusters[k].cores[c].assigned.len();
+                    if max_c == c || max_load <= my_load + 1 {
+                        break;
+                    }
+                    let vc = self.clusters[k].cores[max_c]
+                        .assigned
+                        .pop()
+                        .expect("load > 0");
+                    // If the donor's current index now dangles, clamp it.
+                    let donor = &mut self.clusters[k].cores[max_c];
+                    if donor.current >= donor.assigned.len() {
+                        donor.current = 0;
+                    }
+                    self.migrate_vcore(k, vc, c, now);
+                }
+            }
+        }
+
+        // Slice bookkeeping: single-tenant cores never slice.
+        for c in 0..n {
+            let core = &mut self.clusters[k].cores[c];
+            if core.assigned.len() > 1 {
+                if core.slice_left == u64::MAX {
+                    core.slice_left = self.slice_core_cycles;
+                }
+            } else {
+                core.slice_left = u64::MAX;
+            }
+            if core.current >= core.assigned.len() {
+                core.current = 0;
+            }
+        }
+
+        self.clusters[k].active_cores = count;
+        self.clusters[k].refresh_core_leakage(now, self.config.core_vdd, &self.core_model);
+        let total_active: usize = self.clusters.iter().map(|cl| cl.active_cores).sum();
+        self.consolidation_trace.push((now, total_active));
+        debug_assert!(self.check_assignment_invariant(k));
+    }
+
+    /// Chooses the host core for a migrating virtual core: the least-loaded
+    /// active target, ties broken toward the most efficient (§III-C's
+    /// round-robin from the fastest).
+    fn pick_host(&self, k: usize, ranking: &[usize], target: &[bool]) -> usize {
+        let cluster = &self.clusters[k];
+        let mut best: Option<usize> = None;
+        for &c in ranking {
+            if target[c] {
+                match best {
+                    None => best = Some(c),
+                    Some(b) if cluster.cores[c].assigned.len() < cluster.cores[b].assigned.len() => {
+                        best = Some(c)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        best.expect("at least one active core")
+    }
+
+    fn migrate_vcore(&mut self, k: usize, vc: usize, host: usize, now: u64) {
+        let mult = self.clusters[k].cores[host].mult;
+        self.clusters[k].cores[host].assigned.push(vc);
+        let penalty_cycles = consts::MIGRATION_DRAIN_CORE_CYCLES
+            + consts::MIGRATION_TRANSFER_CORE_CYCLES
+            + consts::MIGRATION_COLD_STATE_CORE_CYCLES;
+        let v = &mut self.clusters[k].vcores[vc];
+        // Threads blocked on sync or an outstanding read keep their state;
+        // the penalty applies only to runnable/stalled threads.
+        match v.state {
+            VcState::Ready => v.state = VcState::StallUntil(now + penalty_cycles * mult),
+            VcState::StallUntil(t) => {
+                v.state = VcState::StallUntil(t.max(now + penalty_cycles * mult))
+            }
+            _ => {}
+        }
+        self.migrations += 1;
+    }
+
+    fn check_assignment_invariant(&self, k: usize) -> bool {
+        let cluster = &self.clusters[k];
+        let mut seen = vec![0u32; cluster.vcores.len()];
+        for (c, core) in cluster.cores.iter().enumerate() {
+            if !core.active {
+                if !core.assigned.is_empty() {
+                    eprintln!("inactive core {c} still hosts vcores");
+                    return false;
+                }
+                continue;
+            }
+            for &vc in &core.assigned {
+                seen[vc] += 1;
+            }
+        }
+        seen.iter().all(|&s| s == 1)
+    }
+
+    // --------------------------------------------------------------- epochs
+
+    /// Runs one consolidation epoch: until `epoch_instructions × clusters`
+    /// further instructions retire chip-wide (or the workload finishes).
+    pub fn run_epoch(&mut self) -> EpochReport {
+        let start_tick = self.tick;
+        let start_instr: Vec<u64> = self.clusters.iter().map(|c| c.instructions).collect();
+        let start_energy: Vec<f64> = self
+            .clusters
+            .iter()
+            .map(|c| c.energy_pj(start_tick))
+            .collect();
+        let start_total: u64 = start_instr.iter().sum();
+        let target = self.config.epoch_instructions * self.clusters.len() as u64;
+
+        while !self.finished()
+            && self.total_instructions() - start_total < target
+        {
+            assert!(
+                self.tick - start_tick < MAX_EPOCH_TICKS,
+                "epoch exceeded {MAX_EPOCH_TICKS} ticks — simulator deadlock?"
+            );
+            self.step();
+        }
+
+        let end_tick = self.tick;
+        let mut report = EpochReport {
+            cluster_instructions: Vec::with_capacity(self.clusters.len()),
+            cluster_energy_pj: Vec::with_capacity(self.clusters.len()),
+            active_cores: Vec::with_capacity(self.clusters.len()),
+            cluster_epi: Vec::with_capacity(self.clusters.len()),
+            finished: self.finished(),
+            start_tick,
+            end_tick,
+        };
+        for (k, cluster) in self.clusters.iter_mut().enumerate() {
+            let instr = cluster.instructions - start_instr[k];
+            let energy = cluster.energy_pj(end_tick) - start_energy[k];
+            report.cluster_instructions.push(instr);
+            report.cluster_energy_pj.push(energy);
+            report.active_cores.push(cluster.active_cores);
+            report.cluster_epi.push(if instr == 0 {
+                f64::INFINITY
+            } else {
+                energy / instr as f64
+            });
+            // Figure 14 accounting.
+            cluster.epoch_count += 1;
+            cluster.active_sum += cluster.active_cores as u64;
+            cluster.active_min = cluster.active_min.min(cluster.active_cores);
+            cluster.active_max = cluster.active_max.max(cluster.active_cores);
+        }
+        report
+    }
+
+    /// Runs the chip until `total_instructions` have retired chip-wide,
+    /// then zeroes every statistic and energy account: caches stay warm,
+    /// threads keep their streams, but measurement starts fresh. This is
+    /// the "startup phase excluded" treatment the paper applies — without
+    /// it, short synthetic runs are dominated by compulsory misses.
+    pub fn run_warmup(&mut self, total_instructions: u64) {
+        while !self.finished() && self.total_instructions() < total_instructions {
+            self.step();
+        }
+        self.reset_measurements();
+    }
+
+    /// Zeroes all statistics and energy accounts at the current tick.
+    pub fn reset_measurements(&mut self) {
+        let now = self.tick;
+        self.measure_start_tick = now;
+        for cl in &mut self.clusters {
+            cl.instructions = 0;
+            cl.core_dyn_pj = 0.0;
+            cl.ifetch_dyn_pj = 0.0;
+            cl.interconnect_pj = 0.0;
+            cl.core_leak.set_power(now, cl.core_leak.power_mw());
+            cl.core_leak.rebase(now);
+            cl.measure_start_tick = now;
+            cl.l2.reset_measurements();
+            match &mut cl.l1 {
+                L1System::Shared(sh) => sh.reset_measurements(),
+                L1System::Private { stats, .. } => *stats = crate::stats::LevelStats::default(),
+            }
+            cl.epoch_count = 0;
+            cl.active_sum = 0;
+            cl.active_min = usize::MAX;
+            cl.active_max = 0;
+        }
+        self.l3.reset_measurements();
+        self.mesh.reset_measurements();
+        self.mem.reset_measurements();
+        self.chip_interconnect_pj = 0.0;
+        self.coherence_messages = 0;
+        self.migrations = 0;
+        self.context_switches = 0;
+        let total_active: usize = self.clusters.iter().map(|cl| cl.active_cores).sum();
+        self.consolidation_trace = vec![(now, total_active)];
+    }
+
+    /// Runs to completion with no consolidation decisions.
+    pub fn run_to_completion(&mut self) -> RunResult {
+        while !self.finished() {
+            self.run_epoch();
+        }
+        self.result()
+    }
+
+    /// Assembles the final result at the current tick. Ticks/time cover
+    /// the measured window (everything after the last warm-up reset).
+    pub fn result(&self) -> RunResult {
+        let ticks = self.tick - self.measure_start_tick;
+        RunResult {
+            ticks,
+            time_ps: ticks as f64 * consts::CACHE_PERIOD_PS,
+            instructions: self.total_instructions(),
+            energy: self.energy_breakdown(),
+            stats: self.stats(),
+        }
+    }
+
+    /// Current energy breakdown over the measured window.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        let t = self.tick;
+        let measured = (t - self.measure_start_tick) as f64;
+        let mut b = EnergyBreakdown::default();
+        for cl in &self.clusters {
+            b.core_dynamic_pj += cl.core_dyn_pj;
+            b.core_leakage_pj += cl.core_leak.energy_pj(t);
+            b.cache_leakage_pj += cl.cache_leak_mw * measured * consts::CACHE_PERIOD_PS / 1_000.0;
+            b.cache_dynamic_pj += cl.ifetch_dyn_pj + cl.l2.dyn_energy_pj;
+            b.interconnect_pj += cl.interconnect_pj;
+            if let L1System::Shared(s) = &cl.l1 {
+                b.cache_dynamic_pj += s.dyn_energy_pj;
+                b.interconnect_pj += s.shifter_acc_pj;
+            }
+        }
+        b.cache_dynamic_pj += self.l3.dyn_energy_pj;
+        b.cache_leakage_pj += self.l3_leak_mw * measured * consts::CACHE_PERIOD_PS / 1_000.0;
+        b.interconnect_pj += self.chip_interconnect_pj + self.mesh.energy_acc_pj;
+        b.offchip_pj = self.mem.energy_pj();
+        b
+    }
+
+    /// Assembles chip statistics (measured window).
+    pub fn stats(&self) -> ChipStats {
+        let mut s = ChipStats::new(self.clusters.len());
+        s.ticks = self.tick - self.measure_start_tick;
+        for (k, cl) in self.clusters.iter().enumerate() {
+            s.cluster_instructions[k] = cl.instructions;
+            s.l2[k] = cl.l2.stats;
+            match &cl.l1 {
+                L1System::Shared(sh) => s.shared_l1d[k] = sh.stats().clone(),
+                L1System::Private { stats, .. } => s.private_l1d[k] = *stats,
+            }
+            s.active_core_samples[k] = (
+                cl.active_sum,
+                if cl.active_min == usize::MAX {
+                    cl.active_cores
+                } else {
+                    cl.active_min
+                },
+                cl.active_max.max(cl.active_cores),
+            );
+        }
+        s.l3 = self.l3.stats;
+        s.epochs = self.clusters.iter().map(|c| c.epoch_count).max().unwrap_or(0);
+        s.coherence_messages = self.coherence_messages;
+        s.migrations = self.migrations;
+        s.context_switches = self.context_switches;
+        s.consolidation_trace = self.consolidation_trace.clone();
+        s
+    }
+
+    /// Per-cluster epoch counts (for averaging Figure 14).
+    pub fn cluster_epoch_counts(&self) -> Vec<u64> {
+        self.clusters.iter().map(|c| c.epoch_count).collect()
+    }
+}
+
+/// First core-cycle boundary of a core with period `mult` (phase-aligned to
+/// `issue`) strictly after `ready`.
+fn align_boundary(issue: u64, mult: u64, ready: u64) -> u64 {
+    if ready < issue {
+        return issue + mult;
+    }
+    issue + ((ready - issue) / mult + 1) * mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respin_power::MemTech;
+    use respin_variation::FrequencyBand;
+    use respin_workloads::Benchmark;
+
+    fn tiny_config(org: L1Org) -> ChipConfig {
+        let mut c = ChipConfig::nt_base();
+        c.clusters = 2;
+        c.cores_per_cluster = 4;
+        c.l1_org = org;
+        c.instructions_per_thread = Some(3_000);
+        c.epoch_instructions = 2_000;
+        c
+    }
+
+    fn spec() -> respin_workloads::WorkloadSpec {
+        Benchmark::Fft.spec()
+    }
+
+    #[test]
+    fn align_boundary_math() {
+        assert_eq!(align_boundary(0, 4, 0), 4);
+        assert_eq!(align_boundary(0, 4, 3), 4);
+        assert_eq!(align_boundary(0, 4, 4), 8);
+        assert_eq!(align_boundary(8, 5, 20), 23);
+        assert_eq!(align_boundary(8, 5, 7), 13);
+    }
+
+    #[test]
+    fn shared_chip_runs_to_completion() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        let res = chip.run_to_completion();
+        assert_eq!(res.instructions, 8 * 3_000);
+        assert!(res.ticks > 0);
+        assert!(res.energy.chip_total_pj() > 0.0);
+        let merged = res.stats.shared_l1d_merged();
+        assert!(merged.reads > 0);
+        assert!(merged.one_cycle_hit_fraction() > 0.5);
+    }
+
+    #[test]
+    fn private_chip_runs_to_completion() {
+        let mut chip = Chip::new(tiny_config(L1Org::Private), &spec(), 1);
+        let res = chip.run_to_completion();
+        assert_eq!(res.instructions, 8 * 3_000);
+        let l1 = &res.stats.private_l1d[0];
+        assert!(l1.hits + l1.misses > 0);
+        assert!(res.stats.coherence_messages > 0, "sharing must cause traffic");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 7);
+            chip.run_to_completion()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn clone_forks_identically() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 3);
+        chip.run_epoch();
+        let mut fork = chip.clone();
+        let a = chip.run_epoch();
+        let b = fork.run_epoch();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consolidation_moves_and_restores_threads() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.consolidation = true;
+        let mut chip = Chip::new(cfg, &spec(), 2);
+        chip.run_epoch();
+        chip.set_active_cores(0, 2);
+        assert!(chip.check_assignment_invariant(0));
+        assert_eq!(chip.clusters[0].active_cores, 2);
+        assert_eq!(
+            chip.clusters[0].cores.iter().filter(|c| c.active).count(),
+            2
+        );
+        let loads: Vec<usize> = chip.clusters[0]
+            .cores
+            .iter()
+            .filter(|c| c.active)
+            .map(|c| c.assigned.len())
+            .collect();
+        assert_eq!(loads.iter().sum::<usize>(), 4);
+        assert!(loads.iter().all(|&l| l == 2));
+        chip.run_epoch();
+        chip.set_active_cores(0, 4);
+        assert!(chip.check_assignment_invariant(0));
+        assert!(chip.stats().migrations > 0);
+        // And the run still completes correctly.
+        let res = chip.run_to_completion();
+        assert_eq!(res.instructions, 8 * 3_000);
+    }
+
+    #[test]
+    fn consolidation_saves_core_leakage() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.consolidation = true;
+        let spec = spec();
+        let full = Chip::new(cfg.clone(), &spec, 5).run_to_completion();
+        let mut half_chip = Chip::new(cfg, &spec, 5);
+        half_chip.set_active_cores(0, 2);
+        half_chip.set_active_cores(1, 2);
+        let half = half_chip.run_to_completion();
+        // Halving cores must cut average core-leakage *power*.
+        let full_leak_mw = full.energy.core_leakage_pj / full.time_ps * 1_000.0;
+        let half_leak_mw = half.energy.core_leakage_pj / half.time_ps * 1_000.0;
+        assert!(
+            half_leak_mw < full_leak_mw * 0.75,
+            "full {full_leak_mw} mW vs half {half_leak_mw} mW"
+        );
+        // But it should also be slower.
+        assert!(half.ticks > full.ticks);
+    }
+
+    #[test]
+    fn hp_nominal_config_is_faster() {
+        // Small working sets so the 3 000-instruction streams are not
+        // dominated by compulsory DRAM misses (which hit both designs
+        // equally and compress the ratio).
+        let mut spec = spec();
+        spec.private_ws_bytes = 4 * 1024;
+        spec.shared_ws_bytes = 8 * 1024;
+        let mut nt = tiny_config(L1Org::Private);
+        nt.cache_tech = MemTech::Sram;
+        nt.cache_vdd = 0.65;
+        let nt_res = Chip::new(nt, &spec, 4).run_to_completion();
+
+        let mut hp = tiny_config(L1Org::Private);
+        hp.cache_tech = MemTech::Sram;
+        hp.cache_vdd = 1.0;
+        hp.core_vdd = 1.0;
+        hp.band = FrequencyBand::NOMINAL;
+        let hp_res = Chip::new(hp, &spec, 4).run_to_completion();
+
+        // HP runs a 4-6× faster clock but pays more *cycles* per cache
+        // miss, so the end-to-end gap lands around 2×.
+        assert!(
+            (hp_res.ticks as f64) * 1.7 < nt_res.ticks as f64,
+            "hp {} vs nt {}",
+            hp_res.ticks,
+            nt_res.ticks
+        );
+    }
+
+    #[test]
+    fn barrier_synchronises_all_threads() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.instructions_per_thread = Some(5_000);
+        let mut spec = Benchmark::Ocean.spec(); // barrier-heavy
+        spec.instructions_per_thread = 5_000;
+        let mut chip = Chip::new(cfg, &spec, 1);
+        let res = chip.run_to_completion();
+        assert_eq!(res.instructions, 8 * 5_000);
+        assert!(chip.barriers.is_empty(), "all barriers must be released");
+    }
+
+    #[test]
+    fn locks_are_exclusive_and_all_released() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.instructions_per_thread = Some(5_000);
+        let mut spec = Benchmark::Radiosity.spec(); // lock-heavy
+        spec.instructions_per_thread = 5_000;
+        let mut chip = Chip::new(cfg, &spec, 1);
+        let res = chip.run_to_completion();
+        // Lock-bearing streams may retire a few extra instructions: an open
+        // critical section always completes before Done so locks balance.
+        assert!(res.instructions >= 8 * 5_000);
+        assert!(res.instructions < 8 * 5_000 + 100);
+        for (id, e) in &chip.locks {
+            assert!(e.holder.is_none(), "lock {id} still held at exit");
+            assert!(e.waiters.is_empty(), "lock {id} still has waiters");
+        }
+    }
+
+    #[test]
+    fn energy_components_all_positive() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        let res = chip.run_to_completion();
+        let e = res.energy;
+        assert!(e.core_dynamic_pj > 0.0);
+        assert!(e.core_leakage_pj > 0.0);
+        assert!(e.cache_dynamic_pj > 0.0);
+        assert!(e.cache_leakage_pj > 0.0);
+        assert!(e.interconnect_pj > 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Chip configuration: the knobs Table I / Table IV of the paper sweep.
+
+use crate::consts::{CACHE_PERIOD_PS, EPOCH_INSTRUCTIONS};
+
+use respin_power::units::{kib, mib};
+use respin_power::{array_params, ArrayParams, CacheGeometry, MemTech};
+use respin_variation::FrequencyBand;
+use serde::{Deserialize, Serialize};
+
+/// L1 organisation within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L1Org {
+    /// Conventional per-core private L1I/L1D (with MESI inside the cluster).
+    Private,
+    /// One L1I + one L1D time-multiplexed by all cores of the cluster
+    /// (the paper's design; no intra-cluster coherence).
+    SharedPerCluster,
+}
+
+/// Who performs context switches between consolidated virtual cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CtxSwitchModel {
+    /// Hardware switching at fine slices (the paper's mechanism).
+    Hardware,
+    /// OS-level switching at 1 ms quanta (the SH-STT-CC-OS comparison).
+    Os,
+}
+
+/// The small/medium/large cache sizings of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheSizeClass {
+    /// ≈1 MB of cache per core (L2 8 MB/cluster, L3 24 MB).
+    Small,
+    /// ≈2 MB per core (L2 16 MB/cluster, L3 48 MB) — the paper's default.
+    Medium,
+    /// ≈4 MB per core (L2 32 MB/cluster, L3 96 MB).
+    Large,
+}
+
+impl CacheSizeClass {
+    /// L2 capacity per cluster, bytes.
+    pub fn l2_bytes(self) -> u64 {
+        match self {
+            CacheSizeClass::Small => mib(8),
+            CacheSizeClass::Medium => mib(16),
+            CacheSizeClass::Large => mib(32),
+        }
+    }
+
+    /// L3 capacity (chip-wide), bytes.
+    pub fn l3_bytes(self) -> u64 {
+        match self {
+            CacheSizeClass::Small => mib(24),
+            CacheSizeClass::Medium => mib(48),
+            CacheSizeClass::Large => mib(96),
+        }
+    }
+
+    /// Paper label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheSizeClass::Small => "small",
+            CacheSizeClass::Medium => "medium",
+            CacheSizeClass::Large => "large",
+        }
+    }
+
+    /// All classes, for sweeps.
+    pub const ALL: [CacheSizeClass; 3] = [
+        CacheSizeClass::Small,
+        CacheSizeClass::Medium,
+        CacheSizeClass::Large,
+    ];
+}
+
+/// Full configuration of one simulated chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Cores per cluster (the paper sweeps 4/8/16/32; 16 is optimal).
+    pub cores_per_cluster: usize,
+    /// Core supply voltage, volts.
+    pub core_vdd: f64,
+    /// Quantisation band for core frequencies.
+    pub band: FrequencyBand,
+    /// L1 organisation.
+    pub l1_org: L1Org,
+    /// Technology of the entire cache hierarchy.
+    pub cache_tech: MemTech,
+    /// Cache supply voltage, volts (a second rail; §II).
+    pub cache_vdd: f64,
+    /// L2/L3 sizing class.
+    pub size_class: CacheSizeClass,
+    /// Whether the consolidation machinery (virtual cores, gating) is
+    /// enabled. When false, the chip runs one thread per core, all on.
+    pub consolidation: bool,
+    /// Context-switch model when consolidation stacks virtual cores.
+    pub ctx_switch: CtxSwitchModel,
+    /// Consolidation epoch length, retired instructions per cluster.
+    pub epoch_instructions: u64,
+    /// Retired instructions per thread (overrides the workload default when
+    /// `Some`).
+    pub instructions_per_thread: Option<u64>,
+    /// Request delivery latency from core to shared cache in ticks
+    /// (level shifters + wires; §II-A's 2 cycles). Exposed for the
+    /// level-shifter ablation.
+    pub delivery_ticks: u64,
+}
+
+impl ChipConfig {
+    /// The paper's 64-core NT chip skeleton; callers adjust organisation,
+    /// technology, and voltages to produce the Table IV configurations.
+    pub fn nt_base() -> Self {
+        Self {
+            clusters: 4,
+            cores_per_cluster: 16,
+            core_vdd: 0.4,
+            band: FrequencyBand::NT,
+            l1_org: L1Org::SharedPerCluster,
+            cache_tech: MemTech::SttRam,
+            cache_vdd: 1.0,
+            size_class: CacheSizeClass::Medium,
+            consolidation: false,
+            ctx_switch: CtxSwitchModel::Hardware,
+            epoch_instructions: EPOCH_INSTRUCTIONS,
+            instructions_per_thread: None,
+            delivery_ticks: crate::consts::DELIVERY_TICKS,
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// L1 instruction-cache geometry. Private: 16 KB, 2-way, 32 B blocks
+    /// (Table I). Shared: 16 KB × cluster size, so chip-wide L1 capacity is
+    /// constant across cluster sizes (§V-D).
+    pub fn l1i_geometry(&self) -> CacheGeometry {
+        match self.l1_org {
+            L1Org::Private => CacheGeometry::new(kib(16), 32, 2),
+            L1Org::SharedPerCluster => {
+                CacheGeometry::new(kib(16) * self.cores_per_cluster as u64, 32, 2)
+            }
+        }
+    }
+
+    /// L1 data-cache geometry: 16 KB 4-way private, or 16 KB/core shared.
+    pub fn l1d_geometry(&self) -> CacheGeometry {
+        match self.l1_org {
+            L1Org::Private => CacheGeometry::new(kib(16), 32, 4),
+            L1Org::SharedPerCluster => {
+                CacheGeometry::new(kib(16) * self.cores_per_cluster as u64, 32, 4)
+            }
+        }
+    }
+
+    /// L2 geometry (always shared within a cluster): 8-way, 64 B blocks.
+    pub fn l2_geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(self.size_class.l2_bytes(), 64, 8)
+    }
+
+    /// L3 geometry (chip-wide): 16-way, 128 B blocks.
+    pub fn l3_geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(self.size_class.l3_bytes(), 128, 16)
+    }
+
+    /// Technology parameters of an L1 array at the cache rail.
+    pub fn l1_params(&self, geometry: CacheGeometry) -> ArrayParams {
+        array_params(self.cache_tech, geometry, self.cache_vdd)
+    }
+
+    /// Read service time of a cache array in ticks. The paper rounds the
+    /// shared STT-RAM L1 read to the 0.4 ns reference cycle to align clock
+    /// edges (§IV); SRAM at nominal voltage is a shade slower and takes the
+    /// extra tick — the source of SH-STT's ~1% edge over SH-SRAM-Nom.
+    pub fn read_ticks(&self, params: &ArrayParams, is_l1: bool) -> u64 {
+        if is_l1 && self.cache_tech == MemTech::SttRam {
+            // Paper: "rounded STT-RAM cache read latency up to 0.4ns".
+            return 1;
+        }
+        (params.read_latency_ps / CACHE_PERIOD_PS).ceil().max(1.0) as u64
+    }
+
+    /// Write occupancy/latency of a cache array in ticks.
+    pub fn write_ticks(&self, params: &ArrayParams) -> u64 {
+        (params.write_latency_ps / CACHE_PERIOD_PS).ceil().max(1.0) as u64
+    }
+
+    /// True when the core and cache rails differ, i.e. requests cross level
+    /// shifters.
+    pub fn has_dual_rails(&self) -> bool {
+        (self.core_vdd - self.cache_vdd).abs() > 1e-9
+    }
+
+    /// Validates structural consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters == 0 || self.cores_per_cluster == 0 {
+            return Err("need at least one cluster and one core".into());
+        }
+        self.l1i_geometry().validate()?;
+        self.l1d_geometry().validate()?;
+        self.l2_geometry().validate()?;
+        self.l3_geometry().validate()?;
+        if !(0.3..=1.2).contains(&self.core_vdd) || !(0.3..=1.2).contains(&self.cache_vdd) {
+            return Err("supply voltages out of modelled range".into());
+        }
+        if self.epoch_instructions == 0 {
+            return Err("epoch length must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_is_valid() {
+        let c = ChipConfig::nt_base();
+        c.validate().unwrap();
+        assert_eq!(c.total_cores(), 64);
+    }
+
+    #[test]
+    fn shared_l1_scales_with_cluster_size() {
+        let mut c = ChipConfig::nt_base();
+        c.cores_per_cluster = 16;
+        assert_eq!(c.l1d_geometry().capacity_bytes, kib(256));
+        c.cores_per_cluster = 32;
+        assert_eq!(c.l1d_geometry().capacity_bytes, kib(512));
+        c.l1_org = L1Org::Private;
+        assert_eq!(c.l1d_geometry().capacity_bytes, kib(16));
+    }
+
+    #[test]
+    fn size_classes_match_table1() {
+        assert_eq!(CacheSizeClass::Small.l2_bytes(), mib(8));
+        assert_eq!(CacheSizeClass::Medium.l2_bytes(), mib(16));
+        assert_eq!(CacheSizeClass::Large.l2_bytes(), mib(32));
+        assert_eq!(CacheSizeClass::Medium.l3_bytes(), mib(48));
+    }
+
+    #[test]
+    fn stt_l1_reads_in_one_tick_sram_in_two() {
+        let stt = ChipConfig::nt_base();
+        let p = stt.l1_params(stt.l1d_geometry());
+        assert_eq!(stt.read_ticks(&p, true), 1);
+
+        let mut sram = ChipConfig::nt_base();
+        sram.cache_tech = MemTech::Sram;
+        let p = sram.l1_params(sram.l1d_geometry());
+        assert_eq!(sram.read_ticks(&p, true), 2);
+    }
+
+    #[test]
+    fn dual_rail_detection() {
+        let mut c = ChipConfig::nt_base();
+        assert!(c.has_dual_rails());
+        c.core_vdd = 1.0;
+        assert!(!c.has_dual_rails());
+    }
+
+    #[test]
+    fn stt_write_occupancy_is_long() {
+        let c = ChipConfig::nt_base();
+        let p = c.l1_params(c.l1d_geometry());
+        // 5.2 ns at 0.4 ns/tick ⇒ 13 ticks.
+        assert_eq!(c.write_ticks(&p), 14);
+    }
+
+    #[test]
+    fn rejects_silly_configs() {
+        let mut c = ChipConfig::nt_base();
+        c.clusters = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::nt_base();
+        c.core_vdd = 0.1;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::nt_base();
+        c.epoch_instructions = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Physical-core and virtual-core state.
+//!
+//! The paper's consolidation mechanism (§III) splits the classical notion
+//! of a core in two: **virtual cores** carry the architectural state the OS
+//! sees (here: the workload thread and its blocking state), **physical
+//! cores** are the execution resources that can be power-gated. The core
+//! *mapper* assigns every virtual core to exactly one active physical core;
+//! several virtual cores on one physical core are time-sliced by a hardware
+//! (or OS) context switcher.
+//!
+//! The issue engine itself lives in [`crate::chip`] (it needs the whole
+//! memory system); this module holds the state machines and the scheduling
+//! decisions that are local to a core.
+
+use respin_workloads::{Op, ThreadGen};
+use serde::{Deserialize, Serialize};
+
+/// Blocking state of a virtual core (thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcState {
+    /// Can issue instructions.
+    Ready,
+    /// Stalled until the given tick (idle ops, mispredicts, migration
+    /// penalties, store-buffer back-pressure retries).
+    StallUntil(u64),
+    /// Waiting for an L1 read response (event-driven completion).
+    WaitRead,
+    /// Arrived at barrier `id`, waiting for release.
+    AtBarrier(u32),
+    /// Waiting to acquire lock `id`.
+    WaitLock(u32),
+    /// Stream exhausted.
+    Finished,
+}
+
+/// A virtual core: one workload thread plus its micro-state.
+#[derive(Debug, Clone)]
+pub struct VirtualCore {
+    /// The op stream.
+    pub gen: ThreadGen,
+    /// Blocking state.
+    pub state: VcState,
+    /// An op fetched but not yet issuable (e.g. store-buffer full).
+    pub held: Option<Op>,
+    /// Retired instructions.
+    pub retired: u64,
+}
+
+impl VirtualCore {
+    /// New virtual core over a thread stream.
+    pub fn new(gen: ThreadGen) -> Self {
+        Self {
+            gen,
+            state: VcState::Ready,
+            held: None,
+            retired: 0,
+        }
+    }
+
+    /// True when this thread could issue at tick `now`.
+    pub fn runnable(&self, now: u64) -> bool {
+        match self.state {
+            VcState::Ready => true,
+            VcState::StallUntil(t) => now >= t,
+            _ => false,
+        }
+    }
+
+    /// True when blocked on something another thread must resolve
+    /// (worth context-switching away from immediately).
+    pub fn blocked_on_sync(&self) -> bool {
+        matches!(
+            self.state,
+            VcState::AtBarrier(_) | VcState::WaitLock(_) | VcState::Finished
+        )
+    }
+}
+
+/// A physical core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Clock period in ticks (4/5/6 at NT, 1 at nominal).
+    pub mult: u64,
+    /// Powered on?
+    pub active: bool,
+    /// Cluster-local ids of the virtual cores hosted here.
+    pub assigned: Vec<usize>,
+    /// Index into `assigned` of the currently running virtual core.
+    pub current: usize,
+    /// Core cycles left in the current time slice.
+    pub slice_left: u64,
+    /// The core cannot issue before this tick (context-switch or
+    /// power-on overhead).
+    pub stall_until: u64,
+    /// In-flight stores occupying buffer slots. Slots free when the chip's
+    /// deferred-event queue sees the store complete (the completion tick of
+    /// a store through the shared controller is only known at service
+    /// time).
+    pub pending_stores: u32,
+    /// Per-core leakage multiplier from process variation.
+    pub leak_factor: f64,
+}
+
+impl Core {
+    /// New active core.
+    pub fn new(mult: u64, leak_factor: f64) -> Self {
+        Self {
+            mult,
+            active: true,
+            assigned: Vec::new(),
+            current: 0,
+            slice_left: 0,
+            stall_until: 0,
+            pending_stores: 0,
+            leak_factor,
+        }
+    }
+
+    /// Whether the store buffer can accept another store.
+    pub fn store_buffer_has_room(&self) -> bool {
+        (self.pending_stores as usize) < crate::consts::STORE_BUFFER_DEPTH
+    }
+
+    /// Picks the next virtual core to run, if a switch is warranted.
+    /// `runnable(i)` / `blocked(i)` describe `assigned[i]`; returns
+    /// `Some(new_index)` when the core should switch.
+    ///
+    /// Switch policy: rotate when the slice is exhausted, or when the
+    /// current thread is blocked (synchronisation, or a stall long enough
+    /// to amortise the switch) and some other hosted thread is runnable.
+    /// If no other thread is runnable, stay — switching to an equally
+    /// blocked thread buys nothing.
+    pub fn pick_switch_with(
+        &self,
+        runnable: impl Fn(usize) -> bool,
+        blocked_or_long_stalled: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        if self.assigned.len() < 2 {
+            return None;
+        }
+        let cur = self.current;
+        let slice_over = self.slice_left == 0;
+        let cur_blocked = blocked_or_long_stalled(cur);
+        if !slice_over && !cur_blocked {
+            return None;
+        }
+        (1..self.assigned.len())
+            .map(|off| (cur + off) % self.assigned.len())
+            .find(|&i| runnable(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respin_workloads::{Benchmark, ThreadGen};
+
+    fn vc() -> VirtualCore {
+        let mut spec = Benchmark::Fft.spec();
+        spec.instructions_per_thread = 100;
+        VirtualCore::new(ThreadGen::new(&spec, 0, 1))
+    }
+
+    #[test]
+    fn runnable_states() {
+        let mut v = vc();
+        assert!(v.runnable(0));
+        v.state = VcState::StallUntil(10);
+        assert!(!v.runnable(9));
+        assert!(v.runnable(10));
+        v.state = VcState::AtBarrier(0);
+        assert!(!v.runnable(100));
+        assert!(v.blocked_on_sync());
+        v.state = VcState::WaitRead;
+        assert!(!v.runnable(100));
+        assert!(!v.blocked_on_sync());
+    }
+
+    #[test]
+    fn store_buffer_bounds() {
+        let mut c = Core::new(4, 1.0);
+        for _ in 0..crate::consts::STORE_BUFFER_DEPTH {
+            assert!(c.store_buffer_has_room());
+            c.pending_stores += 1;
+        }
+        assert!(!c.store_buffer_has_room());
+        // A completion frees a slot.
+        c.pending_stores -= 1;
+        assert!(c.store_buffer_has_room());
+    }
+
+    #[test]
+    fn switch_on_slice_expiry() {
+        let mut c = Core::new(4, 1.0);
+        c.assigned = vec![0, 1, 2];
+        c.current = 0;
+        c.slice_left = 0;
+        let pick = c.pick_switch_with(|_| true, |_| false);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn switch_on_block_to_runnable_thread() {
+        let mut c = Core::new(4, 1.0);
+        c.assigned = vec![0, 1];
+        c.current = 0;
+        c.slice_left = 500;
+        // Current blocked, other runnable → switch.
+        let pick = c.pick_switch_with(|i| i == 1, |i| i == 0);
+        assert_eq!(pick, Some(1));
+        // Current blocked, other also blocked → stay.
+        let pick = c.pick_switch_with(|_| false, |_| true);
+        assert_eq!(pick, None);
+        // Current running fine → stay.
+        let pick = c.pick_switch_with(|_| true, |_| false);
+        assert_eq!(pick, None);
+    }
+
+    #[test]
+    fn single_thread_never_switches() {
+        let mut c = Core::new(4, 1.0);
+        c.assigned = vec![0];
+        c.slice_left = 0;
+        assert_eq!(c.pick_switch_with(|_| true, |_| true), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! MESI directory controller.
+//!
+//! One instance lives at each shared level that keeps private children
+//! coherent: the cluster L2 tracks its private L1s (in the `Private` L1
+//! organisation), and the chip L3 tracks the four cluster L2s. Each entry
+//! holds a sharer bitmask and an optional owner (the single child holding
+//! the line Modified).
+//!
+//! The directory decides *protocol outcomes*; the caller applies them to the
+//! child tag arrays and charges the latency/energy adders from
+//! [`crate::consts`].
+
+use crate::cache::LineState;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Outcome of a read request at the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadOutcome {
+    /// The line had to be fetched from a Modified sibling (who is
+    /// downgraded to Shared).
+    pub remote_fetch_from: Option<u8>,
+    /// State the requesting child should install the line in.
+    pub fill_state: LineState,
+    /// Children that already held the line before this read (they may hold
+    /// it Exclusive and must be downgraded to Shared).
+    pub prior_sharers: u64,
+}
+
+/// Outcome of a write (ownership) request at the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteOutcome {
+    /// Bitmask of children whose copies must be invalidated.
+    pub invalidate_mask: u64,
+    /// The line had to be fetched from a Modified sibling first.
+    pub remote_fetch_from: Option<u8>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct DirEntry {
+    sharers: u64,
+    owner: Option<u8>,
+}
+
+/// Directory over up to 64 children.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Child `child` wants to read `line` (block-aligned address).
+    pub fn read(&mut self, line: u64, child: u8) -> ReadOutcome {
+        let e = self.entries.entry(line).or_default();
+        let prior = e.sharers & !(1 << child);
+        let remote = match e.owner {
+            Some(o) if o != child => {
+                // Downgrade the owner; both end up Shared.
+                e.owner = None;
+                Some(o)
+            }
+            _ => None,
+        };
+        e.sharers |= 1 << child;
+        let alone = e.sharers == 1 << child && e.owner.is_none();
+        ReadOutcome {
+            remote_fetch_from: remote,
+            fill_state: if alone {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            },
+            prior_sharers: prior,
+        }
+    }
+
+    /// Child `child` wants ownership of `line` to write it.
+    pub fn write(&mut self, line: u64, child: u8) -> WriteOutcome {
+        let e = self.entries.entry(line).or_default();
+        let remote = match e.owner {
+            Some(o) if o != child => Some(o),
+            _ => None,
+        };
+        let invalidate = e.sharers & !(1 << child);
+        e.sharers = 1 << child;
+        e.owner = Some(child);
+        WriteOutcome {
+            invalidate_mask: invalidate,
+            remote_fetch_from: remote,
+        }
+    }
+
+    /// Child `child` evicted its copy of `line`.
+    pub fn evict(&mut self, line: u64, child: u8) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << child);
+            if e.owner == Some(child) {
+                e.owner = None;
+            }
+            if e.sharers == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Current sharer mask (testing/diagnostics).
+    pub fn sharers(&self, line: u64) -> u64 {
+        self.entries.get(&line).map_or(0, |e| e.sharers)
+    }
+
+    /// Current owner (testing/diagnostics).
+    pub fn owner(&self, line: u64) -> Option<u8> {
+        self.entries.get(&line).and_then(|e| e.owner)
+    }
+
+    /// Number of tracked lines.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Protocol invariant: an owner is always the sole sharer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&line, e) in &self.entries {
+            if let Some(o) = e.owner {
+                if e.sharers != 1 << o {
+                    return Err(format!(
+                        "line {line:#x}: owner {o} but sharers {:#b}",
+                        e.sharers
+                    ));
+                }
+            }
+            if e.sharers == 0 {
+                return Err(format!("line {line:#x} tracked with no sharers"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reader_gets_exclusive() {
+        let mut d = Directory::new();
+        let o = d.read(0x100, 3);
+        assert_eq!(o.fill_state, LineState::Exclusive);
+        assert_eq!(o.remote_fetch_from, None);
+        assert_eq!(d.sharers(0x100), 1 << 3);
+    }
+
+    #[test]
+    fn second_reader_gets_shared() {
+        let mut d = Directory::new();
+        d.read(0x100, 0);
+        let o = d.read(0x100, 1);
+        assert_eq!(o.fill_state, LineState::Shared);
+        assert_eq!(d.sharers(0x100), 0b11);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = Directory::new();
+        d.read(0x100, 0);
+        d.read(0x100, 1);
+        d.read(0x100, 2);
+        let o = d.write(0x100, 1);
+        assert_eq!(o.invalidate_mask, 0b101);
+        assert_eq!(o.remote_fetch_from, None);
+        assert_eq!(d.owner(0x100), Some(1));
+        assert_eq!(d.sharers(0x100), 0b10);
+    }
+
+    #[test]
+    fn read_after_modified_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write(0x100, 0);
+        let o = d.read(0x100, 1);
+        assert_eq!(o.remote_fetch_from, Some(0));
+        assert_eq!(o.fill_state, LineState::Shared);
+        assert_eq!(d.owner(0x100), None);
+        assert_eq!(d.sharers(0x100), 0b11);
+    }
+
+    #[test]
+    fn write_after_remote_modified_fetches_and_invalidates() {
+        let mut d = Directory::new();
+        d.write(0x100, 0);
+        let o = d.write(0x100, 1);
+        assert_eq!(o.remote_fetch_from, Some(0));
+        assert_eq!(o.invalidate_mask, 0b01);
+        assert_eq!(d.owner(0x100), Some(1));
+    }
+
+    #[test]
+    fn own_write_upgrade_is_free() {
+        let mut d = Directory::new();
+        d.read(0x100, 2);
+        let o = d.write(0x100, 2);
+        assert_eq!(o.invalidate_mask, 0);
+        assert_eq!(o.remote_fetch_from, None);
+    }
+
+    #[test]
+    fn eviction_untracks_empty_lines() {
+        let mut d = Directory::new();
+        d.read(0x100, 0);
+        d.read(0x100, 1);
+        d.evict(0x100, 0);
+        assert_eq!(d.sharers(0x100), 0b10);
+        d.evict(0x100, 1);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn invariants_hold_under_random_traffic(
+            ops in proptest::collection::vec(
+                (0u64..8, 0u8..8, 0u8..3), 1..500),
+        ) {
+            let mut d = Directory::new();
+            for (line, child, kind) in ops {
+                let line = line << 6;
+                match kind {
+                    0 => { d.read(line, child); }
+                    1 => { d.write(line, child); }
+                    _ => { d.evict(line, child); }
+                }
+                prop_assert!(d.check_invariants().is_ok(), "{:?}", d);
+            }
+        }
+
+        #[test]
+        fn writer_is_always_sole_sharer(
+            readers in proptest::collection::vec(0u8..16, 0..16),
+            writer in 0u8..16,
+        ) {
+            let mut d = Directory::new();
+            for r in readers {
+                d.read(0x40, r);
+            }
+            d.write(0x40, writer);
+            prop_assert_eq!(d.sharers(0x40), 1u64 << writer);
+            prop_assert_eq!(d.owner(0x40), Some(writer));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # respin-sim — cycle-level near-threshold CMP simulator
+//!
+//! A from-scratch SESC-analogue driving the Respin reproduction. The
+//! simulator advances in **ticks of one cache reference cycle (0.4 ns)**;
+//! each core executes one core cycle every `period_mult` ticks (4/5/6 at
+//! near-threshold, 1 at nominal voltage), so cache requests align to tick
+//! boundaries exactly as the paper's clustered clocking scheme arranges.
+//!
+//! What is modelled cycle-by-cycle:
+//!
+//! * **Cores** — dual-issue, in-order-completion engines fed by
+//!   [`respin_workloads`] op streams: branch-mispredict flushes, blocking
+//!   loads, a draining store buffer, barrier/lock semantics, and `Idle`
+//!   dependency-stall ops.
+//! * **Shared L1 controller** (§II-A of the paper) — per-core request and
+//!   priority registers, deadline-ordered arbitration over a 1R/1W port
+//!   pair, *half-miss* responses and rescheduling, per-tick arrival and
+//!   service-latency histograms (Figures 10/11).
+//! * **Private-cache hierarchy with MESI directories** — the baseline
+//!   organisation, with directory state at the L2 (per-cluster) and L3
+//!   (chip) levels; invalidation/upgrade/remote-fetch latency and message
+//!   energy make coherence traffic a first-class cost.
+//! * **Energy** — every array access and core event is charged from
+//!   [`respin_power`] models; leakage is integrated over time with
+//!   power-gating tracked per core.
+//! * **Consolidation machinery** — virtual cores, hardware/OS context
+//!   switching, migration penalties, power-gating wake stalls. *Policies*
+//!   (greedy/oracle/OS) live in `respin-core`; the chip exposes
+//!   [`Chip::set_active_cores`] and epoch-granular stepping, and the whole
+//!   chip is `Clone` so an oracle can replay epochs on copies.
+//!
+//! Everything is deterministic in the construction seed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod chip;
+pub mod cluster;
+pub mod config;
+pub mod consts;
+pub mod core;
+pub mod directory;
+pub mod energy;
+pub mod memsys;
+pub mod shared_l1;
+pub mod stats;
+
+pub use chip::{Chip, EpochReport, RunResult};
+pub use config::{CacheSizeClass, ChipConfig, CtxSwitchModel, L1Org};
+pub use energy::EnergyBreakdown;
+pub use stats::{ChipStats, SharedL1Stats};

@@ -1,0 +1,557 @@
+//! The cluster-shared L1 cache controller (§II-A of the paper).
+//!
+//! One L1 (instruction or data) is time-multiplexed among all cores of a
+//! cluster. The controller keeps, per core, a *request register* (at most
+//! one outstanding read — loads are blocking) and a *priority register*
+//! (the number of cache cycles left before the response deadline). Each
+//! cache cycle the controller:
+//!
+//! 1. counts arrivals (reads, stores, line fills — Figure 10's histogram),
+//! 2. services **one read** through the read port, choosing the pending
+//!    request that expires soonest (ties rotate deterministically with the
+//!    tick, standing in for the paper's random pick),
+//! 3. services **one write** (store drain or line fill) through the write
+//!    port in FIFO order.
+//!
+//! A read that cannot be serviced before its deadline receives a
+//! **half-miss**: the core is told to expect the data one core cycle later
+//! and the request is rescheduled at top priority (its new deadline is the
+//! next core-cycle boundary), exactly the Figure 3 behaviour.
+
+use crate::cache::{CacheArray, LineState};
+use crate::stats::SharedL1Stats;
+use respin_power::{ArrayParams, CacheGeometry};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A pending read in a core's request register.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PendingRead {
+    addr: u64,
+    /// Core-cycle boundary the request was issued at.
+    issue_tick: u64,
+    /// The issuing core's period in ticks.
+    mult: u64,
+    /// Tick the request becomes visible to the controller.
+    arrival_tick: u64,
+}
+
+impl PendingRead {
+    /// The deadline currently in force: the first core-cycle boundary that
+    /// can still be met from tick `now`. Requests that slipped past their
+    /// original deadline escalate to the next boundary (the "reinitialised
+    /// priority register").
+    fn effective_deadline(&self, now: u64) -> u64 {
+        let first = self.issue_tick + self.mult;
+        if now < first {
+            return first;
+        }
+        let k = (now - self.issue_tick) / self.mult + 1;
+        self.issue_tick + k * self.mult
+    }
+}
+
+/// A queued write-port operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PendingWrite {
+    addr: u64,
+    arrival_tick: u64,
+    kind: WriteKind,
+    /// Core that issued it (for store-buffer completion), if any.
+    core: Option<usize>,
+}
+
+/// What a write-port operation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum WriteKind {
+    /// Store drain from a core's store buffer.
+    Store,
+    /// Line fill, installed in the given state (set by the inter-cluster
+    /// directory outcome, or Modified for write-miss fills).
+    Fill(LineState),
+}
+
+/// Events the controller hands back to the chip each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1Event {
+    /// A read hit completed; the core may resume at `completion_tick`.
+    ReadDone {
+        /// Requesting core slot (cluster-local).
+        core: usize,
+        /// Tick at which the core's load completes (a core-cycle boundary).
+        completion_tick: u64,
+    },
+    /// A read missed; the chip must fetch from L2 and call
+    /// [`SharedL1::enqueue_fill`] + complete the core itself.
+    ReadMiss {
+        /// Requesting core slot.
+        core: usize,
+        /// Block-aligned miss address.
+        addr: u64,
+        /// Core period in ticks (for boundary alignment of the completion).
+        mult: u64,
+        /// Core-cycle boundary the request was issued at.
+        issue_tick: u64,
+    },
+    /// A store finished occupying its buffer slot.
+    StoreDrained {
+        /// Issuing core slot.
+        core: usize,
+        /// Tick the write completes in the array.
+        completion_tick: u64,
+        /// The line was not already Modified — the chip must confirm or
+        /// obtain inter-cluster ownership (upgrade + invalidations).
+        needs_ownership: bool,
+        /// Block-aligned address (for the inter-cluster directory).
+        addr: u64,
+    },
+    /// A store missed: the chip fetches the line from L2, then re-enqueues
+    /// a dirty fill.
+    StoreMiss {
+        /// Issuing core slot.
+        core: usize,
+        /// Block-aligned address.
+        addr: u64,
+    },
+    /// A dirty victim must be written back to L2.
+    Writeback {
+        /// Block-aligned victim address.
+        addr: u64,
+    },
+}
+
+/// The shared L1 controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedL1 {
+    array: CacheArray,
+    reads: Vec<Option<PendingRead>>,
+    writes: VecDeque<PendingWrite>,
+    stats: SharedL1Stats,
+    /// Ticks a read takes to produce data (1 for the rounded STT-RAM array,
+    /// 2 for nominal-voltage SRAM).
+    read_ticks: u64,
+    /// Ticks a write occupies before its store-buffer slot frees.
+    write_ticks: u64,
+    /// Arrivals observed for the tick currently being assembled.
+    arrivals_this_tick: u32,
+    /// Per-access energies, pJ.
+    read_energy_pj: f64,
+    write_energy_pj: f64,
+    /// Level-shifter energy per request, pJ (0 on single-rail chips).
+    shifter_energy_pj: f64,
+    /// Request delivery latency (level shifters + wires), ticks.
+    delivery_ticks: u64,
+    /// Accumulated dynamic energy since last drain, pJ.
+    pub(crate) dyn_energy_pj: f64,
+    /// Accumulated interconnect (shifter) energy since last drain, pJ.
+    pub(crate) shifter_acc_pj: f64,
+}
+
+impl SharedL1 {
+    /// Builds the controller for `cores` cores.
+    pub fn new(
+        geometry: CacheGeometry,
+        params: &ArrayParams,
+        read_ticks: u64,
+        write_ticks: u64,
+        cores: usize,
+        shifter_energy_pj: f64,
+        delivery_ticks: u64,
+    ) -> Self {
+        Self {
+            array: CacheArray::new(geometry),
+            reads: vec![None; cores],
+            writes: VecDeque::new(),
+            stats: SharedL1Stats::default(),
+            read_ticks,
+            write_ticks,
+            arrivals_this_tick: 0,
+            read_energy_pj: params.read_energy_pj,
+            write_energy_pj: params.write_energy_pj,
+            shifter_energy_pj,
+            delivery_ticks,
+            dyn_energy_pj: 0.0,
+            shifter_acc_pj: 0.0,
+        }
+    }
+
+    /// True when `core`'s request register is free.
+    pub fn can_accept_read(&self, core: usize) -> bool {
+        self.reads[core].is_none()
+    }
+
+    /// Core `core` (period `mult` ticks) issues a read of `addr` at the
+    /// core-cycle boundary `issue_tick`. The request reaches the controller
+    /// after the level-shifter/wire delivery delay.
+    pub fn issue_read(&mut self, core: usize, addr: u64, issue_tick: u64, mult: u64) {
+        debug_assert!(self.reads[core].is_none(), "request register busy");
+        self.reads[core] = Some(PendingRead {
+            addr: self.array.block_addr(addr),
+            issue_tick,
+            mult,
+            arrival_tick: issue_tick + self.delivery_ticks,
+        });
+        self.stats.reads += 1;
+        self.shifter_acc_pj += self.shifter_energy_pj;
+    }
+
+    /// Core `core` drains a store of `addr`; it reaches the controller at
+    /// `issue_tick + delivery`.
+    pub fn issue_store(&mut self, core: usize, addr: u64, issue_tick: u64) {
+        self.writes.push_back(PendingWrite {
+            addr: self.array.block_addr(addr),
+            arrival_tick: issue_tick + self.delivery_ticks,
+            kind: WriteKind::Store,
+            core: Some(core),
+        });
+        self.stats.writes += 1;
+        self.shifter_acc_pj += self.shifter_energy_pj;
+    }
+
+    /// The chip enqueues a line fill (after an L2 round-trip) that becomes
+    /// serviceable at `ready_tick`, installed in `state` (from the
+    /// inter-cluster directory: Shared when other clusters hold copies).
+    pub fn enqueue_fill(&mut self, addr: u64, ready_tick: u64, state: LineState) {
+        self.writes.push_back(PendingWrite {
+            addr,
+            arrival_tick: ready_tick,
+            kind: WriteKind::Fill(state),
+            core: None,
+        });
+        self.stats.writes += 1;
+    }
+
+    /// Advances the controller by one cache cycle, appending events to
+    /// `events`.
+    pub fn tick(&mut self, now: u64, events: &mut Vec<L1Event>) {
+        // 1. Arrival accounting (Figure 10).
+        let mut arrivals = 0usize;
+        for r in self.reads.iter().flatten() {
+            if r.arrival_tick == now {
+                arrivals += 1;
+            }
+        }
+        for w in &self.writes {
+            if w.arrival_tick == now {
+                arrivals += 1;
+            }
+        }
+        self.stats.record_arrivals(arrivals);
+
+        // 2. Read port: pick the pending request that expires soonest.
+        let mut best: Option<(u64, usize)> = None;
+        for (slot, r) in self.reads.iter().enumerate() {
+            if let Some(r) = r {
+                if r.arrival_tick <= now {
+                    // Deterministic tie-break standing in for the paper's
+                    // random choice: rotate priority with the tick.
+                    let rot = (slot + now as usize) % self.reads.len();
+                    let key = r.effective_deadline(now);
+                    if best.is_none_or(|(bk, bslot)| (key, rot) < (bk, (bslot + now as usize) % self.reads.len())) {
+                        best = Some((key, slot));
+                    }
+                }
+            }
+        }
+        if let Some((_, slot)) = best {
+            let req = self.reads[slot].take().expect("slot checked");
+            self.dyn_energy_pj += self.read_energy_pj;
+            match self.array.touch(req.addr) {
+                Some(_) => {
+                    // Data ready at now + read_ticks - 1 (end of tick);
+                    // the core consumes it at its next cycle boundary.
+                    let data_ready = now + self.read_ticks - 1;
+                    let k = (data_ready - req.issue_tick) / req.mult + 1;
+                    let completion = req.issue_tick + k * req.mult;
+                    self.stats.record_read_hit(k);
+                    if k > 1 {
+                        self.stats.half_misses += 1;
+                    }
+                    events.push(L1Event::ReadDone {
+                        core: slot,
+                        completion_tick: completion,
+                    });
+                }
+                None => {
+                    self.stats.read_misses += 1;
+                    events.push(L1Event::ReadMiss {
+                        core: slot,
+                        addr: req.addr,
+                        mult: req.mult,
+                        issue_tick: req.issue_tick,
+                    });
+                }
+            }
+        }
+        // Requests that survive past a deadline without service are counted
+        // as half-misses when finally serviced (the 2-cycle bucket of the
+        // service histogram); `effective_deadline` already escalates them
+        // to the next core-cycle boundary, the paper's re-initialised
+        // priority register.
+
+        // 3. Write port: FIFO among arrived operations.
+        if let Some(pos) = self.writes.iter().position(|w| w.arrival_tick <= now) {
+            let w = self.writes.remove(pos).expect("position valid");
+            self.dyn_energy_pj += self.write_energy_pj;
+            match w.kind {
+                WriteKind::Store => {
+                    let prior = self.array.touch(w.addr);
+                    if let Some(state) = prior {
+                        self.array.set_state(w.addr, LineState::Modified);
+                        if let Some(core) = w.core {
+                            events.push(L1Event::StoreDrained {
+                                core,
+                                completion_tick: now + self.write_ticks,
+                                needs_ownership: state != LineState::Modified,
+                                addr: w.addr,
+                            });
+                        }
+                    } else {
+                        events.push(L1Event::StoreMiss {
+                            core: w.core.expect("stores carry a core"),
+                            addr: w.addr,
+                        });
+                    }
+                }
+                WriteKind::Fill(state) => {
+                    if let Some(ev) = self.array.fill(w.addr, state) {
+                        if ev.dirty {
+                            events.push(L1Event::Writeback { addr: ev.addr });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probes without side effects (used by the fill path to avoid
+    /// re-fetching resident lines).
+    pub fn probe(&self, addr: u64) -> Option<LineState> {
+        self.array.probe(addr)
+    }
+
+    /// Invalidates a line (inter-cluster coherence). Returns its state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        self.array.invalidate(addr)
+    }
+
+    /// Downgrades a line to Shared if present (a remote cluster read it).
+    pub fn downgrade(&mut self, addr: u64) {
+        if self.array.probe(addr).is_some() {
+            self.array.set_state(addr, LineState::Shared);
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SharedL1Stats {
+        &self.stats
+    }
+
+    /// Zeroes statistics and energy accumulators (measurement warm-up).
+    pub fn reset_measurements(&mut self) {
+        self.stats = SharedL1Stats::default();
+        self.dyn_energy_pj = 0.0;
+        self.shifter_acc_pj = 0.0;
+    }
+
+    /// Write-latency in ticks (for store-buffer completion modelling).
+    pub fn write_ticks(&self) -> u64 {
+        self.write_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respin_power::{array_params, CacheGeometry, MemTech};
+
+    fn controller(cores: usize) -> SharedL1 {
+        let g = CacheGeometry::new(256 * 1024, 32, 4);
+        let p = array_params(MemTech::SttRam, g, 1.0);
+        SharedL1::new(g, &p, 1, 14, cores, 0.6, 2)
+    }
+
+    fn run_tick(c: &mut SharedL1, now: u64) -> Vec<L1Event> {
+        let mut ev = Vec::new();
+        c.tick(now, &mut ev);
+        ev
+    }
+
+    /// Warm a line into the array via the fill path.
+    fn warm(c: &mut SharedL1, addr: u64) {
+        c.enqueue_fill(addr, 0, LineState::Exclusive);
+        run_tick(c, 0);
+    }
+
+    #[test]
+    fn single_read_hit_completes_in_one_core_cycle() {
+        let mut c = controller(4);
+        warm(&mut c, 0x1000);
+        // Core 0, mult 4, issues at its boundary tick 4.
+        c.issue_read(0, 0x1000, 4, 4);
+        let mut all = vec![];
+        for t in 1..=8 {
+            all.extend(run_tick(&mut c, t));
+        }
+        assert!(
+            all.contains(&L1Event::ReadDone {
+                core: 0,
+                completion_tick: 8
+            }),
+            "{all:?}"
+        );
+        assert_eq!(c.stats().read_hit_core_cycles, [1, 0, 0]);
+        assert_eq!(c.stats().half_misses, 0);
+    }
+
+    #[test]
+    fn contention_produces_half_miss() {
+        // Three cores, all mult 4, all issue at tick 0 to warm lines; only
+        // one read can be serviced per tick, arriving at tick 2 ⇒ ticks 2
+        // and 3 service two of them, the third slips to tick 4 ⇒ 2 core
+        // cycles (a half-miss).
+        let mut c = controller(4);
+        for a in [0x100, 0x200, 0x300] {
+            warm(&mut c, a);
+        }
+        c.issue_read(0, 0x100, 0, 4);
+        c.issue_read(1, 0x200, 0, 4);
+        c.issue_read(2, 0x300, 0, 4);
+        let mut all = vec![];
+        for t in 1..=10 {
+            all.extend(run_tick(&mut c, t));
+        }
+        let completions: Vec<u64> = all
+            .iter()
+            .filter_map(|e| match e {
+                L1Event::ReadDone {
+                    completion_tick, ..
+                } => Some(*completion_tick),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completions.len(), 3, "{all:?}");
+        assert_eq!(c.stats().half_misses, 1);
+        assert_eq!(c.stats().read_hit_core_cycles, [2, 1, 0]);
+        // Two complete at the first boundary (tick 4), one at tick 8.
+        assert_eq!(
+            {
+                let mut v = completions.clone();
+                v.sort_unstable();
+                v
+            },
+            vec![4, 4, 8]
+        );
+    }
+
+    #[test]
+    fn faster_core_wins_ties() {
+        // Core 0 at mult 4 and core 1 at mult 6 issue together; the faster
+        // core's deadline is earlier so it must be serviced first.
+        let mut c = controller(2);
+        warm(&mut c, 0x100);
+        warm(&mut c, 0x200);
+        c.issue_read(1, 0x200, 0, 6);
+        c.issue_read(0, 0x100, 0, 4);
+        let ev = run_tick(&mut c, 2);
+        assert_eq!(
+            ev,
+            vec![L1Event::ReadDone {
+                core: 0,
+                completion_tick: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn read_miss_reported_and_fill_installs() {
+        let mut c = controller(2);
+        c.issue_read(0, 0xAB40, 0, 4);
+        let mut all = vec![];
+        for t in 1..=3 {
+            all.extend(run_tick(&mut c, t));
+        }
+        assert!(matches!(all[..], [L1Event::ReadMiss { core: 0, addr, .. }, ..] if addr == 0xAB40));
+        // Chip fetches from L2 and enqueues the fill.
+        c.enqueue_fill(0xAB40, 10, LineState::Exclusive);
+        for t in 4..=10 {
+            run_tick(&mut c, t);
+        }
+        assert_eq!(c.probe(0xAB40), Some(LineState::Exclusive));
+    }
+
+    #[test]
+    fn store_hit_marks_dirty_and_drains() {
+        let mut c = controller(2);
+        warm(&mut c, 0x500);
+        c.issue_store(0, 0x500, 0);
+        let mut all = vec![];
+        for t in 1..=3 {
+            all.extend(run_tick(&mut c, t));
+        }
+        assert!(matches!(
+            all[..],
+            [L1Event::StoreDrained {
+                core: 0,
+                completion_tick: 16,
+                needs_ownership: true,
+                ..
+            }]
+        ));
+        assert_eq!(c.probe(0x500), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn store_miss_reported() {
+        let mut c = controller(2);
+        c.issue_store(0, 0x900, 0);
+        let mut all = vec![];
+        for t in 1..=3 {
+            all.extend(run_tick(&mut c, t));
+        }
+        assert!(matches!(all[..], [L1Event::StoreMiss { core: 0, addr: 0x900 }]));
+    }
+
+    #[test]
+    fn dirty_eviction_generates_writeback() {
+        // 256 KB, 4-way, 32 B ⇒ 2048 sets; addresses 65536 apart collide.
+        let mut c = controller(2);
+        let stride = 32 * 2048;
+        for i in 0..4 {
+            c.enqueue_fill(i * stride, 0, LineState::Modified);
+        }
+        for t in 0..4 {
+            run_tick(&mut c, t);
+        }
+        // Fifth fill evicts a dirty line.
+        c.enqueue_fill(4 * stride, 4, LineState::Exclusive);
+        let ev = run_tick(&mut c, 4);
+        assert!(
+            ev.iter()
+                .any(|e| matches!(e, L1Event::Writeback { addr } if *addr % stride == 0)),
+            "{ev:?}"
+        );
+    }
+
+    #[test]
+    fn arrival_histogram_counts_all_request_kinds() {
+        let mut c = controller(4);
+        warm(&mut c, 0x100); // tick 0: one write arrival
+        c.issue_read(0, 0x100, 0, 4); // arrives tick 2
+        c.issue_store(1, 0x100, 0); // arrives tick 2
+        run_tick(&mut c, 1); // 0 arrivals
+        run_tick(&mut c, 2); // 2 arrivals
+        assert_eq!(c.stats().arrivals[0], 1);
+        assert_eq!(c.stats().arrivals[1], 1); // the warming fill at tick 0
+        assert_eq!(c.stats().arrivals[2], 1);
+    }
+
+    #[test]
+    fn one_outstanding_read_per_core() {
+        let mut c = controller(2);
+        assert!(c.can_accept_read(0));
+        c.issue_read(0, 0x100, 0, 4);
+        assert!(!c.can_accept_read(0));
+        assert!(c.can_accept_read(1));
+    }
+}

@@ -1,0 +1,219 @@
+//! Simulation statistics: the raw material for every figure in §V.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared-L1 controller statistics (Figures 10 and 11).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SharedL1Stats {
+    /// `arrivals[k]` counts cache cycles in which exactly `k` requests
+    /// arrived; the last bin is "that many or more" (Figure 10 uses 0–4+).
+    pub arrivals: [u64; 5],
+    /// Total cache cycles observed.
+    pub cycles: u64,
+    /// Read-hit requests serviced within 1, 2, or ≥3 core cycles
+    /// (Figure 11).
+    pub read_hit_core_cycles: [u64; 3],
+    /// Read requests that received a half-miss response (§II-A).
+    pub half_misses: u64,
+    /// Total read requests.
+    pub reads: u64,
+    /// Total write-port operations (stores + line fills).
+    pub writes: u64,
+    /// Read misses forwarded down the hierarchy.
+    pub read_misses: u64,
+}
+
+impl SharedL1Stats {
+    /// Records `n` request arrivals in one cache cycle.
+    pub fn record_arrivals(&mut self, n: usize) {
+        self.arrivals[n.min(4)] += 1;
+        self.cycles += 1;
+    }
+
+    /// Records a read hit serviced in `core_cycles` core cycles.
+    pub fn record_read_hit(&mut self, core_cycles: u64) {
+        let bin = (core_cycles.max(1) - 1).min(2) as usize;
+        self.read_hit_core_cycles[bin] += 1;
+    }
+
+    /// Fraction of cache cycles with exactly `k` arrivals (k = 4 means 4+).
+    pub fn arrival_fraction(&self, k: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.arrivals[k.min(4)] as f64 / self.cycles as f64
+    }
+
+    /// Fraction of read hits serviced within one core cycle.
+    pub fn one_cycle_hit_fraction(&self) -> f64 {
+        let total: u64 = self.read_hit_core_cycles.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.read_hit_core_cycles[0] as f64 / total as f64
+    }
+
+    /// Half-miss fraction over all reads.
+    pub fn half_miss_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.half_misses as f64 / self.reads as f64
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &SharedL1Stats) {
+        for (a, b) in self.arrivals.iter_mut().zip(other.arrivals) {
+            *a += b;
+        }
+        self.cycles += other.cycles;
+        for (a, b) in self
+            .read_hit_core_cycles
+            .iter_mut()
+            .zip(other.read_hit_core_cycles)
+        {
+            *a += b;
+        }
+        self.half_misses += other.half_misses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_misses += other.read_misses;
+    }
+}
+
+/// Hit/miss counters for one conventional cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Hit fraction (1.0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Whole-chip statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Ticks simulated (cache cycles).
+    pub ticks: u64,
+    /// Retired instructions per cluster.
+    pub cluster_instructions: Vec<u64>,
+    /// Shared-L1D stats per cluster (empty for private configurations).
+    pub shared_l1d: Vec<SharedL1Stats>,
+    /// Private L1D aggregate per cluster.
+    pub private_l1d: Vec<LevelStats>,
+    /// L2 stats per cluster.
+    pub l2: Vec<LevelStats>,
+    /// L3 stats.
+    pub l3: LevelStats,
+    /// Coherence messages sent (invalidations, remote fetches).
+    pub coherence_messages: u64,
+    /// Migrations performed by consolidation.
+    pub migrations: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Consolidation trace: (tick, total active cores) after each change.
+    pub consolidation_trace: Vec<(u64, usize)>,
+    /// Consolidation epochs completed in the measured window.
+    pub epochs: u64,
+    /// Per-cluster sum over epochs of (active cores × epoch instructions),
+    /// for the Figure 14 average; plus observed min/max active cores.
+    pub active_core_samples: Vec<(u64, usize, usize)>,
+}
+
+impl ChipStats {
+    /// Creates zeroed stats for `clusters` clusters.
+    pub fn new(clusters: usize) -> Self {
+        Self {
+            cluster_instructions: vec![0; clusters],
+            shared_l1d: vec![SharedL1Stats::default(); clusters],
+            private_l1d: vec![LevelStats::default(); clusters],
+            l2: vec![LevelStats::default(); clusters],
+            active_core_samples: vec![(0, usize::MAX, 0); clusters],
+            ..Default::default()
+        }
+    }
+
+    /// Total retired instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.cluster_instructions.iter().sum()
+    }
+
+    /// Shared-L1D stats merged over clusters.
+    pub fn shared_l1d_merged(&self) -> SharedL1Stats {
+        let mut out = SharedL1Stats::default();
+        for s in &self.shared_l1d {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_binning_clamps_at_four() {
+        let mut s = SharedL1Stats::default();
+        s.record_arrivals(0);
+        s.record_arrivals(2);
+        s.record_arrivals(9);
+        assert_eq!(s.arrivals, [1, 0, 1, 0, 1]);
+        assert_eq!(s.cycles, 3);
+        assert!((s.arrival_fraction(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_latency_binning() {
+        let mut s = SharedL1Stats::default();
+        s.record_read_hit(1);
+        s.record_read_hit(1);
+        s.record_read_hit(2);
+        s.record_read_hit(7);
+        assert_eq!(s.read_hit_core_cycles, [2, 1, 1]);
+        assert!((s.one_cycle_hit_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = SharedL1Stats::default();
+        a.record_arrivals(1);
+        a.reads = 10;
+        a.half_misses = 1;
+        let mut b = SharedL1Stats::default();
+        b.record_arrivals(1);
+        b.reads = 30;
+        b.half_misses = 1;
+        a.merge(&b);
+        assert_eq!(a.arrivals[1], 2);
+        assert_eq!(a.reads, 40);
+        assert!((a.half_miss_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_stats_hit_rate() {
+        let s = LevelStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(LevelStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn chip_stats_shapes() {
+        let s = ChipStats::new(4);
+        assert_eq!(s.cluster_instructions.len(), 4);
+        assert_eq!(s.shared_l1d.len(), 4);
+        assert_eq!(s.total_instructions(), 0);
+    }
+}

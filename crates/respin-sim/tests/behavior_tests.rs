@@ -1,0 +1,233 @@
+//! Scenario tests: targeted behaviours of the simulated machine observed
+//! through tiny, purpose-built workloads.
+
+use respin_power::MemTech;
+use respin_sim::core::VcState;
+use respin_sim::{CacheSizeClass, Chip, ChipConfig, CtxSwitchModel, L1Org};
+use respin_workloads::{Benchmark, Phase, PhaseSchedule, WorkloadSpec};
+
+fn spec_with(phase: Phase, instructions: u64) -> WorkloadSpec {
+    let mut spec = Benchmark::Fft.spec();
+    spec.schedule = PhaseSchedule::new(vec![phase]);
+    spec.instructions_per_thread = instructions;
+    spec
+}
+
+fn base_config(cores: usize) -> ChipConfig {
+    let mut c = ChipConfig::nt_base();
+    c.clusters = 1;
+    c.cores_per_cluster = cores;
+    c.size_class = CacheSizeClass::Small;
+    c
+}
+
+fn compute_phase() -> Phase {
+    let mut p = Phase::compute(10_000);
+    p.mem_frac = 0.0;
+    p.fp_frac = 0.1;
+    p.branch_frac = 0.1;
+    p.mispredict_rate = 0.0;
+    p.idle_prob = 0.0;
+    p.barrier_interval = 0;
+    p
+}
+
+#[test]
+fn pure_compute_reaches_dual_issue_throughput() {
+    let spec = spec_with(compute_phase(), 8_000);
+    let mut chip = Chip::new(base_config(4), &spec, 1);
+    let res = chip.run_to_completion();
+    // 4 threads × 8000 instructions at ~1.5+ IPC on mult 4-6 cores.
+    let slowest_mult = chip.clusters[0].cores.iter().map(|c| c.mult).max().unwrap();
+    let core_cycles = res.ticks / slowest_mult;
+    let ipc = 8_000.0 / core_cycles as f64;
+    assert!(ipc > 1.2, "dual issue should exceed IPC 1.2, got {ipc:.2}");
+}
+
+#[test]
+fn mispredicts_cost_pipeline_flushes() {
+    let clean = {
+        let spec = spec_with(compute_phase(), 8_000);
+        Chip::new(base_config(4), &spec, 1).run_to_completion().ticks
+    };
+    let noisy = {
+        let mut p = compute_phase();
+        p.branch_frac = 0.2;
+        p.mispredict_rate = 0.2;
+        let spec = spec_with(p, 8_000);
+        Chip::new(base_config(4), &spec, 1).run_to_completion().ticks
+    };
+    // 4% of instructions flush 6 cycles ⇒ ≥15% slower.
+    assert!(
+        noisy as f64 > clean as f64 * 1.15,
+        "mispredicts too cheap: {clean} -> {noisy}"
+    );
+}
+
+#[test]
+fn idle_phases_reduce_ipc_but_not_instruction_count() {
+    let mut p = compute_phase();
+    p.idle_prob = 0.5;
+    p.idle_cycles = 4;
+    let spec = spec_with(p, 8_000);
+    let mut chip = Chip::new(base_config(4), &spec, 1);
+    let res = chip.run_to_completion();
+    assert_eq!(res.instructions, 4 * 8_000);
+    let busy = {
+        let spec = spec_with(compute_phase(), 8_000);
+        Chip::new(base_config(4), &spec, 1).run_to_completion().ticks
+    };
+    assert!(res.ticks > busy * 2, "idle ops must stretch the run");
+}
+
+#[test]
+fn store_heavy_phases_exercise_buffer_backpressure() {
+    let mut p = compute_phase();
+    p.mem_frac = 0.5;
+    p.store_frac = 1.0;
+    p.shared_frac = 0.0;
+    let spec = spec_with(p, 6_000);
+    let mut chip = Chip::new(base_config(8), &spec, 3);
+    let res = chip.run_to_completion();
+    assert_eq!(res.instructions, 8 * 6_000);
+    let s = res.stats.shared_l1d_merged();
+    assert!(s.writes > 8 * 2_000, "stores must reach the write port");
+    assert_eq!(s.reads, 0, "no loads in this phase");
+}
+
+#[test]
+fn lock_contention_serialises_critical_sections() {
+    let mut p = compute_phase();
+    p.lock_prob = 0.05; // very hot single lock
+    let mut spec = spec_with(p, 6_000);
+    spec.locks = 1;
+    let contended = Chip::new(base_config(8), &spec, 1).run_to_completion().ticks;
+
+    let mut p2 = compute_phase();
+    p2.lock_prob = 0.05;
+    let mut spec2 = spec_with(p2, 6_000);
+    spec2.locks = 64; // same lock rate, spread across many locks
+    let spread = Chip::new(base_config(8), &spec2, 1).run_to_completion().ticks;
+    assert!(
+        contended > spread,
+        "single hot lock must serialise: {contended} vs {spread}"
+    );
+}
+
+#[test]
+fn barriers_cost_synchronisation_time() {
+    // With per-thread timing variance (random idle stalls), each barrier
+    // waits for the *current* straggler, so delays accumulate instead of
+    // averaging out: the same work without barriers must be faster.
+    // (For perfectly uniform work barriers are nearly free — the slowest
+    // core sets the pace either way.)
+    let run = |barrier_interval: u64| {
+        let mut p = compute_phase();
+        p.idle_prob = 0.2;
+        p.idle_cycles = 4;
+        p.barrier_interval = barrier_interval;
+        let spec = spec_with(p, 6_000);
+        Chip::new(base_config(8), &spec, 1).run_to_completion().ticks
+    };
+    let with_barriers = run(250);
+    let without = run(0);
+    assert!(
+        with_barriers as f64 > without as f64 * 1.02,
+        "24 barriers must cost time: {without} -> {with_barriers}"
+    );
+}
+
+#[test]
+fn os_context_switching_starves_stacked_threads() {
+    let mk = |ctx: CtxSwitchModel| {
+        let mut config = base_config(8);
+        config.consolidation = true;
+        config.ctx_switch = ctx;
+        let mut p = compute_phase();
+        p.idle_prob = 0.3;
+        p.idle_cycles = 4;
+        let spec = spec_with(p, 8_000);
+        let mut chip = Chip::new(config, &spec, 1);
+        chip.set_active_cores(0, 4); // force 2 threads per core
+        chip.run_to_completion().ticks
+    };
+    let hw = mk(CtxSwitchModel::Hardware);
+    let os = mk(CtxSwitchModel::Os);
+    assert!(
+        os as f64 > hw as f64 * 1.2,
+        "OS quantum switching must be visibly worse: hw {hw}, os {os}"
+    );
+}
+
+#[test]
+fn private_config_pays_for_write_sharing() {
+    let mk = |l1: L1Org, shared_frac: f64| {
+        let mut config = base_config(8);
+        config.l1_org = l1;
+        config.cache_tech = MemTech::SttRam;
+        let mut p = compute_phase();
+        p.mem_frac = 0.3;
+        p.shared_frac = shared_frac;
+        p.store_frac = 0.5;
+        let spec = spec_with(p, 6_000);
+        Chip::new(config, &spec, 1).run_to_completion()
+    };
+    // Without sharing, organisations are comparable.
+    let pr0 = mk(L1Org::Private, 0.0);
+    let sh0 = mk(L1Org::SharedPerCluster, 0.0);
+    // With write sharing, private coherence must hurt more.
+    let pr = mk(L1Org::Private, 0.5);
+    let sh = mk(L1Org::SharedPerCluster, 0.5);
+    let private_penalty = pr.ticks as f64 / pr0.ticks as f64;
+    let shared_penalty = sh.ticks as f64 / sh0.ticks as f64;
+    assert!(
+        private_penalty > shared_penalty,
+        "write sharing must penalise private L1s more: {private_penalty:.3} vs {shared_penalty:.3}"
+    );
+    assert!(pr.stats.coherence_messages > sh.stats.coherence_messages);
+}
+
+#[test]
+fn finished_threads_park_in_finished_state() {
+    let spec = spec_with(compute_phase(), 1_000);
+    let mut chip = Chip::new(base_config(4), &spec, 1);
+    chip.run_to_completion();
+    for v in &chip.clusters[0].vcores {
+        assert_eq!(v.state, VcState::Finished);
+    }
+    assert!(chip.finished());
+}
+
+#[test]
+fn migration_penalty_visible_in_runtime() {
+    // Thrash consolidation on/off every epoch: the run with forced
+    // migrations must be slower than the untouched one.
+    let mk = |thrash: bool| {
+        let mut config = base_config(8);
+        config.consolidation = true;
+        config.epoch_instructions = 1_000;
+        let spec = spec_with(compute_phase(), 12_000);
+        let mut chip = Chip::new(config, &spec, 1);
+        let mut flip = false;
+        loop {
+            let rep = chip.run_epoch();
+            if rep.finished {
+                break;
+            }
+            if thrash {
+                chip.set_active_cores(0, if flip { 8 } else { 7 });
+                flip = !flip;
+            }
+        }
+        chip.result()
+    };
+    let calm = mk(false);
+    let thrashed = mk(true);
+    assert!(thrashed.stats.migrations > 10);
+    assert!(
+        thrashed.ticks > calm.ticks,
+        "migrations must cost time: {} vs {}",
+        thrashed.ticks,
+        calm.ticks
+    );
+}

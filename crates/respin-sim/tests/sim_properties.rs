@@ -1,0 +1,193 @@
+//! Crate-level property tests: invariants of the simulator that must hold
+//! for arbitrary (small) configurations, seeds, and workloads.
+
+use proptest::prelude::*;
+use respin_power::MemTech;
+use respin_sim::{CacheSizeClass, Chip, ChipConfig, L1Org};
+use respin_workloads::Benchmark;
+
+fn tiny_chip(
+    l1_org: L1Org,
+    tech: MemTech,
+    clusters: usize,
+    cores: usize,
+    bench: Benchmark,
+    seed: u64,
+    instructions: u64,
+) -> Chip {
+    let mut config = ChipConfig::nt_base();
+    config.l1_org = l1_org;
+    config.cache_tech = tech;
+    config.clusters = clusters;
+    config.cores_per_cluster = cores;
+    config.size_class = CacheSizeClass::Small;
+    config.instructions_per_thread = Some(instructions);
+    config.epoch_instructions = 1_000;
+    config.consolidation = true;
+    Chip::new(config, &bench.spec(), seed)
+}
+
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Fft,
+    Benchmark::Ocean,
+    Benchmark::Radiosity,
+    Benchmark::Swaptions,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every run retires at least the requested instructions, time moves
+    /// forward, and energy components are non-negative and additive.
+    #[test]
+    fn runs_conserve_instructions_and_energy(
+        seed in 0u64..50,
+        bench_idx in 0usize..4,
+        shared in proptest::bool::ANY,
+        stt in proptest::bool::ANY,
+    ) {
+        let org = if shared { L1Org::SharedPerCluster } else { L1Org::Private };
+        let tech = if stt { MemTech::SttRam } else { MemTech::Sram };
+        let mut chip = tiny_chip(org, tech, 1, 4, BENCHES[bench_idx], seed, 3_000);
+        let res = chip.run_to_completion();
+        prop_assert!(res.instructions >= 4 * 3_000);
+        prop_assert!(res.ticks > 0);
+        let e = &res.energy;
+        for part in [
+            e.core_dynamic_pj,
+            e.core_leakage_pj,
+            e.cache_dynamic_pj,
+            e.cache_leakage_pj,
+            e.interconnect_pj,
+            e.offchip_pj,
+        ] {
+            prop_assert!(part >= 0.0 && part.is_finite());
+        }
+        let total = e.core_dynamic_pj + e.core_leakage_pj + e.cache_dynamic_pj
+            + e.cache_leakage_pj + e.interconnect_pj;
+        prop_assert!((total - e.chip_total_pj()).abs() < 1e-6);
+    }
+
+    /// Arrival fractions always form a distribution and the service
+    /// histogram never exceeds the read count.
+    #[test]
+    fn shared_l1_statistics_are_consistent(seed in 0u64..50, bench_idx in 0usize..4) {
+        let mut chip = tiny_chip(
+            L1Org::SharedPerCluster,
+            MemTech::SttRam,
+            1,
+            4,
+            BENCHES[bench_idx],
+            seed,
+            2_000,
+        );
+        let res = chip.run_to_completion();
+        let s = res.stats.shared_l1d_merged();
+        let total: f64 = (0..5).map(|k| s.arrival_fraction(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let hits: u64 = s.read_hit_core_cycles.iter().sum();
+        prop_assert!(hits + s.read_misses <= s.reads);
+        prop_assert_eq!(s.read_hit_core_cycles[1] + s.read_hit_core_cycles[2], s.half_misses);
+    }
+
+    /// Arbitrary consolidation command sequences keep the virtual→physical
+    /// assignment a bijection onto active cores and never lose threads.
+    #[test]
+    fn consolidation_commands_preserve_assignment(
+        seed in 0u64..20,
+        counts in proptest::collection::vec(1usize..=8, 1..6),
+    ) {
+        let mut chip = tiny_chip(
+            L1Org::SharedPerCluster,
+            MemTech::SttRam,
+            1,
+            8,
+            Benchmark::Fft,
+            seed,
+            20_000,
+        );
+        for &count in &counts {
+            chip.run_epoch();
+            chip.set_active_cores(0, count);
+            let cluster = &chip.clusters[0];
+            prop_assert_eq!(
+                cluster.cores.iter().filter(|c| c.active).count(),
+                count.clamp(1, 8)
+            );
+            let mut seen = vec![0u8; 8];
+            for core in &cluster.cores {
+                prop_assert!(core.active || core.assigned.is_empty());
+                for &vc in &core.assigned {
+                    seen[vc] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s == 1), "assignment {seen:?}");
+        }
+        // And the run still completes with every instruction retired.
+        let res = chip.run_to_completion();
+        prop_assert!(res.instructions >= 8 * 20_000);
+    }
+
+    /// Cloned chips evolve identically (the oracle's soundness condition).
+    #[test]
+    fn clones_stay_identical(seed in 0u64..30, steps in 1u32..4) {
+        let mut chip = tiny_chip(
+            L1Org::SharedPerCluster,
+            MemTech::SttRam,
+            1,
+            4,
+            Benchmark::Radix,
+            seed,
+            5_000,
+        );
+        chip.run_epoch();
+        let mut fork = chip.clone();
+        for _ in 0..steps {
+            let a = chip.run_epoch();
+            let b = fork.run_epoch();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(chip.energy_breakdown(), fork.energy_breakdown());
+    }
+}
+
+/// Non-proptest crate-level invariants.
+#[test]
+fn warmup_reset_preserves_forward_progress_and_zeroes_measurement() {
+    let mut chip = tiny_chip(
+        L1Org::SharedPerCluster,
+        MemTech::SttRam,
+        2,
+        4,
+        Benchmark::Fft,
+        1,
+        6_000,
+    );
+    chip.run_warmup(8 * 2_000);
+    assert_eq!(chip.total_instructions(), 0, "measured counters reset");
+    let mid_energy = chip.energy_breakdown().chip_total_pj();
+    assert!(mid_energy < 1e-9, "energy accounts reset, got {mid_energy}");
+    let res = chip.run_to_completion();
+    // The measured window holds the stream minus the warm-up (± overshoot).
+    assert!(res.instructions >= 8 * 3_500);
+    assert!(res.instructions <= 8 * 4_500);
+}
+
+#[test]
+fn frequency_bands_respected_across_seeds() {
+    for seed in 0..10 {
+        let chip = tiny_chip(
+            L1Org::SharedPerCluster,
+            MemTech::SttRam,
+            1,
+            8,
+            Benchmark::Fft,
+            seed,
+            100,
+        );
+        for core in &chip.clusters[0].cores {
+            assert!((4..=6).contains(&core.mult), "NT band violated: {}", core.mult);
+            assert!(core.leak_factor > 0.3 && core.leak_factor < 3.0);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Spatially-correlated Gaussian random fields.
+//!
+//! VARIUS models within-die parameter variation as a stationary, isotropic
+//! Gaussian process with a *spherical* correlation structure: nearby devices
+//! are strongly correlated, devices more than the correlation range φ apart
+//! are independent. We sample the process at core-granularity (one point per
+//! core centre on a near-square grid) by Cholesky-factoring the correlation
+//! matrix — exact, and cheap at ≤ 1024 cores.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spherical correlation function with range `phi` (same length units as
+/// `distance`). Standard VARIUS/geostatistics form:
+/// `ρ(d) = 1 − 1.5·(d/φ) + 0.5·(d/φ)³` for `d < φ`, else 0.
+pub fn spherical_correlation(distance: f64, phi: f64) -> f64 {
+    if phi <= 0.0 {
+        return if distance == 0.0 { 1.0 } else { 0.0 };
+    }
+    let r = distance / phi;
+    if r >= 1.0 {
+        0.0
+    } else {
+        1.0 - 1.5 * r + 0.5 * r * r * r
+    }
+}
+
+/// A correlated standard-normal field over a fixed set of sample points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedField {
+    /// Sample-point coordinates in die-width units (die spans \[0, 1\]).
+    points: Vec<(f64, f64)>,
+    /// Lower-triangular Cholesky factor of the correlation matrix, stored
+    /// row-major, row `i` holding `i + 1` entries.
+    chol: Vec<Vec<f64>>,
+}
+
+impl CorrelatedField {
+    /// Builds the field for `n` points at the given coordinates with
+    /// correlation range `phi` (in die-width units).
+    pub fn new(points: Vec<(f64, f64)>, phi: f64) -> Self {
+        let n = points.len();
+        // Correlation matrix with a small diagonal jitter so the Cholesky
+        // factorisation stays positive definite despite rounding.
+        let mut cov = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let (xi, yi) = points[i];
+                let (xj, yj) = points[j];
+                let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                let c = spherical_correlation(d, phi);
+                cov[i][j] = c;
+                cov[j][i] = c;
+            }
+            cov[i][i] += 1e-9;
+        }
+        let chol = cholesky_lower(&cov);
+        Self { points, chol }
+    }
+
+    /// Field over the centres of an `n`-core near-square grid covering the
+    /// unit die, with range `phi` expressed as a fraction of die width.
+    pub fn core_grid(n: usize, phi: f64) -> Self {
+        Self::new(grid_points(n), phi)
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the field has no sample points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Coordinates of the sample points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Draws one realisation: a vector of correlated standard normals.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<f64> {
+        let iid: Vec<f64> = (0..self.len()).map(|_| standard_normal(rng)).collect();
+        self.chol
+            .iter()
+            .map(|row| row.iter().zip(&iid).map(|(l, z)| l * z).sum())
+            .collect()
+    }
+}
+
+/// Core-centre coordinates for an `n`-core near-square grid on the unit die.
+pub fn grid_points(n: usize) -> Vec<(f64, f64)> {
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    (0..n)
+        .map(|i| {
+            let r = i / cols;
+            let c = i % cols;
+            (
+                (c as f64 + 0.5) / cols as f64,
+                (r as f64 + 0.5) / rows as f64,
+            )
+        })
+        .collect()
+}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+fn cholesky_lower(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut l: Vec<Vec<f64>> = (0..n).map(|i| vec![0.0; i + 1]).collect();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            #[allow(clippy::needless_range_loop)] // indexes two rows at once
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                assert!(sum > 0.0, "matrix not positive definite at row {i}");
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    l
+}
+
+/// Box–Muller standard normal draw (kept local to avoid a rand_distr
+/// dependency).
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spherical_endpoints() {
+        assert_eq!(spherical_correlation(0.0, 0.5), 1.0);
+        assert_eq!(spherical_correlation(0.5, 0.5), 0.0);
+        assert_eq!(spherical_correlation(0.9, 0.5), 0.0);
+        let mid = spherical_correlation(0.25, 0.5);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn spherical_monotone_decreasing() {
+        let mut prev = 1.0;
+        let mut d = 0.0;
+        while d <= 0.5 {
+            let c = spherical_correlation(d, 0.5);
+            assert!(c <= prev + 1e-12);
+            prev = c;
+            d += 0.01;
+        }
+    }
+
+    #[test]
+    fn grid_points_cover_unit_die() {
+        for n in [4, 16, 64, 63] {
+            let pts = grid_points(n);
+            assert_eq!(pts.len(), n);
+            for (x, y) in pts {
+                assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_identity() {
+        let eye = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let l = cholesky_lower(&eye);
+        assert!((l[0][0] - 1.0).abs() < 1e-12);
+        assert!((l[1][1] - 1.0).abs() < 1e-12);
+        assert!(l[1][0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbours_more_correlated_than_distant_points() {
+        // Empirical check over many draws: adjacent cores on the grid must
+        // correlate far more strongly than opposite corners.
+        let field = CorrelatedField::core_grid(64, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let (mut c_near, mut c_far, mut v0) = (0.0, 0.0, 0.0);
+        let draws = 600;
+        for _ in 0..draws {
+            let z = field.sample(&mut rng);
+            c_near += z[0] * z[1]; // adjacent in row 0
+            c_far += z[0] * z[63]; // opposite corners
+            v0 += z[0] * z[0];
+        }
+        let near = c_near / v0;
+        let far = c_far / v0;
+        assert!(near > 0.5, "near correlation {near}");
+        assert!(far < near - 0.3, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn samples_are_standard_normal_ish() {
+        let field = CorrelatedField::core_grid(16, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let draws = 2000;
+        for _ in 0..draws {
+            for z in field.sample(&mut rng) {
+                sum += z;
+                sumsq += z * z;
+            }
+        }
+        let n = (draws * 16) as f64;
+        let mean = sum / n;
+        let var = sumsq / n - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn correlation_in_unit_interval(d in 0.0f64..2.0, phi in 0.01f64..1.0) {
+            let c = spherical_correlation(d, phi);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn sample_length_matches_cores(n in 1usize..80, seed in 0u64..1000) {
+            let field = CorrelatedField::core_grid(n, 0.5);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let z = field.sample(&mut rng);
+            prop_assert_eq!(z.len(), n);
+            prop_assert!(z.iter().all(|v| v.is_finite()));
+        }
+    }
+}

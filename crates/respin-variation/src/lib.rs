@@ -1,0 +1,211 @@
+//! # respin-variation — process-variation model
+//!
+//! A VARIUS-analogue substrate: within-die threshold-voltage (Vth) variation
+//! is modelled as a spatially-correlated Gaussian random field sampled at
+//! each core's location on the die. Each core's Vth draw determines
+//!
+//! * its **maximum frequency** at the near-threshold supply (through the
+//!   alpha-power delay law from [`respin_power::scaling`]), quantised to an
+//!   integer multiple of the 0.4 ns shared-cache reference clock exactly as
+//!   the Respin paper's clustered clocking scheme requires (§II), and
+//! * its **leakage multiplier** (low-Vth cores leak exponentially more).
+//!
+//! The spatial correlation uses the spherical variogram VARIUS uses, with a
+//! correlation range of half the die width by default.
+//!
+//! Everything is deterministic in the seed: the same `(VariationConfig,
+//! seed)` pair always produces the same [`VariationMap`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod field;
+pub mod freq;
+
+pub use field::{spherical_correlation, CorrelatedField};
+pub use freq::{quantize_period, FrequencyBand};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use respin_power::scaling::VoltageScaling;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the variation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationConfig {
+    /// Number of cores on the die (laid out on a near-square grid).
+    pub cores: usize,
+    /// Standard deviation of the Vth field, volts. VARIUS-style studies use
+    /// σ/µ ≈ 10% of a 0.30 V threshold ⇒ 0.030 V.
+    pub sigma_vth: f64,
+    /// Correlation range φ as a fraction of die width (VARIUS default 0.5).
+    pub correlation_range: f64,
+    /// Nominal (1.0 V) design frequency of the cores, MHz.
+    pub nominal_mhz: f64,
+    /// Exponential sensitivity of leakage to −ΔVth, 1/volts. 12 /V gives a
+    /// ±1σ leakage spread of roughly ×/÷1.43, in line with published
+    /// within-die leakage spreads.
+    pub leakage_sensitivity: f64,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        Self {
+            cores: 64,
+            sigma_vth: 0.030,
+            correlation_range: 0.5,
+            nominal_mhz: 2500.0,
+            leakage_sensitivity: 12.0,
+        }
+    }
+}
+
+/// Per-core variation outcomes for one fabricated chip instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationMap {
+    /// ΔVth per core (volts, signed offset from nominal).
+    pub dvth: Vec<f64>,
+    /// Maximum core frequency at the queried supply voltage (MHz).
+    pub fmax_mhz: Vec<f64>,
+    /// Core clock period as an integer multiple of the cache reference
+    /// period, after quantisation and band clamping.
+    pub period_mult: Vec<u32>,
+    /// Leakage multiplier per core (1.0 = nominal).
+    pub leakage_factor: Vec<f64>,
+    /// The band used for quantisation.
+    pub band: FrequencyBand,
+}
+
+impl VariationMap {
+    /// Generates the variation map for one chip.
+    ///
+    /// `vdd` is the core supply the frequencies are evaluated at and `band`
+    /// the allowed period-multiple range (4..=6 cache cycles for the NT
+    /// design point; 1..=1 for the nominal-voltage HP baseline).
+    pub fn generate(config: &VariationConfig, vdd: f64, band: FrequencyBand, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let field = CorrelatedField::core_grid(config.cores, config.correlation_range);
+        let z = field.sample(&mut rng);
+        let scaling = VoltageScaling::core_logic();
+
+        let mut dvth = Vec::with_capacity(config.cores);
+        let mut fmax = Vec::with_capacity(config.cores);
+        let mut mult = Vec::with_capacity(config.cores);
+        let mut leak = Vec::with_capacity(config.cores);
+        for zi in z {
+            let dv = zi * config.sigma_vth;
+            let f = scaling.fmax_mhz(config.nominal_mhz, vdd, dv);
+            dvth.push(dv);
+            fmax.push(f);
+            mult.push(quantize_period(f, band));
+            leak.push((-config.leakage_sensitivity * dv).exp());
+        }
+        Self {
+            dvth,
+            fmax_mhz: fmax,
+            period_mult: mult,
+            leakage_factor: leak,
+            band,
+        }
+    }
+
+    /// A map with zero variation (all cores identical) — useful for
+    /// controlled experiments and tests.
+    pub fn uniform(cores: usize, period_mult: u32, band: FrequencyBand) -> Self {
+        Self {
+            dvth: vec![0.0; cores],
+            fmax_mhz: vec![0.0; cores],
+            period_mult: vec![period_mult; cores],
+            leakage_factor: vec![1.0; cores],
+            band,
+        }
+    }
+
+    /// Number of cores described.
+    pub fn cores(&self) -> usize {
+        self.period_mult.len()
+    }
+
+    /// Core frequencies in MHz derived from the quantised period multiples
+    /// at the given cache reference period.
+    pub fn core_mhz(&self, cache_period_ps: f64) -> Vec<f64> {
+        self.period_mult
+            .iter()
+            .map(|&m| 1e6 / (m as f64 * cache_period_ps))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = VariationConfig::default();
+        let a = VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, 7);
+        let b = VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, 7);
+        assert_eq!(a, b);
+        let c = VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, 8);
+        assert_ne!(a.dvth, c.dvth);
+    }
+
+    #[test]
+    fn nt_band_spans_paper_multiples() {
+        // Across several chips every period multiple must be 4, 5, or 6
+        // (1.6/2.0/2.4 ns at the 0.4 ns cache clock) and the population
+        // should use more than one bin.
+        let cfg = VariationConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..8 {
+            let m = VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, seed);
+            for &p in &m.period_mult {
+                assert!((4..=6).contains(&p), "period mult {p}");
+                seen.insert(p);
+            }
+        }
+        assert!(seen.len() >= 2, "variation collapsed to one bin: {seen:?}");
+    }
+
+    #[test]
+    fn leakage_factor_anticorrelates_with_frequency() {
+        let cfg = VariationConfig::default();
+        let m = VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, 3);
+        // Fast cores (low Vth) leak more: check the extremes.
+        let (imax, _) = m
+            .fmax_mhz
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let (imin, _) = m
+            .fmax_mhz
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert!(m.leakage_factor[imax] > m.leakage_factor[imin]);
+    }
+
+    #[test]
+    fn uniform_map_is_flat() {
+        let m = VariationMap::uniform(16, 5, FrequencyBand::NT);
+        assert_eq!(m.cores(), 16);
+        assert!(m.period_mult.iter().all(|&p| p == 5));
+        assert!(m.leakage_factor.iter().all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn core_mhz_matches_multiples() {
+        let m = VariationMap::uniform(4, 4, FrequencyBand::NT);
+        let mhz = m.core_mhz(400.0);
+        assert!((mhz[0] - 625.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hp_band_pins_nominal_frequency() {
+        let cfg = VariationConfig::default();
+        let m = VariationMap::generate(&cfg, 1.0, FrequencyBand::NOMINAL, 1);
+        assert!(m.period_mult.iter().all(|&p| p == 1));
+    }
+}

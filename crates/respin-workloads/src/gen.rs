@@ -1,0 +1,416 @@
+//! Per-thread instruction-stream generator.
+//!
+//! [`ThreadGen`] turns a [`WorkloadSpec`](crate::suite::WorkloadSpec) into a
+//! deterministic stream of [`Op`]s for one thread. Determinism and
+//! cloneability matter: the simulator's oracle consolidation policy replays
+//! epochs on cloned simulator state, which includes cloned generators.
+//!
+//! Address streams use a two-segment model (see [`crate::ops::address_space`]):
+//! a per-thread private segment walked mostly sequentially with occasional
+//! random jumps, and a program-wide shared segment with a *hot subset* that
+//! concentrates reuse (this hot-set reuse is what the cluster-shared L1
+//! converts from coherence misses into plain hits).
+
+use crate::ops::{address_space, Op};
+use crate::phases::Phase;
+use crate::suite::WorkloadSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Private-segment locality model. Real programs concentrate most dynamic
+/// references on a small hot set (stack frames, loop-carried locals):
+/// `HOT` of accesses land in a 4 KiB hot region, `WALK` continue a
+/// sequential stream over the full working set, and the rest jump randomly
+/// within the working set. The resulting L1 behaviour (high but imperfect
+/// hit rates, streaming misses, capacity pressure beyond the hot set) is
+/// what the paper's cache comparisons rely on.
+const PRIVATE_HOT_FRAC: f64 = 0.90;
+const PRIVATE_WALK_FRAC: f64 = 0.05;
+/// Size of the private hot region, bytes.
+const PRIVATE_HOT_BYTES: u64 = 4 * 1024;
+/// Stride of the sequential walk, bytes.
+const WALK_STRIDE: u64 = 8;
+/// Per-thread placement offset ("page colouring"). Segment bases are
+/// 4 GiB-aligned, and power-of-two caches map all 4 GiB-aligned windows
+/// onto the same sets — so without this offset, every thread's working set
+/// would fight over the same few thousand L2 sets, something no real
+/// OS/allocator produces. 8320 = 130 × 64: coprime-ish with the set counts
+/// of every level (L1 2048, L2 32768, L3 24576 sets), so thread windows
+/// spread across the whole index space.
+const THREAD_COLOR_STRIDE: u64 = 8320;
+/// Fraction of shared-segment accesses that hit the hot subset.
+const SHARED_HOT_FRAC: f64 = 0.85;
+/// The hot subset is this fraction of the shared working set. A quarter of
+/// a typical 256 KiB shared segment is 64 KiB — too big for a small (4-core,
+/// 64 KiB) cluster-shared L1 next to the private hot sets, but comfortable
+/// in the 16-core (256 KiB) configuration: the capacity side of the §V-D
+/// cluster-size trade-off.
+const SHARED_HOT_DIV: u64 = 4;
+/// Stores to the shared segment are damped by this factor relative to the
+/// phase's store fraction: shared program data is read-mostly (scene
+/// graphs, matrices being consumed), and undamped write-sharing would
+/// drown every configuration in invalidation traffic no real SPLASH2
+/// program exhibits.
+const SHARED_STORE_DAMP: f64 = 0.25;
+/// Length of a generated critical section, instructions between acquire and
+/// release.
+const CRITICAL_SECTION_LEN: usize = 4;
+
+/// Deterministic op stream for one thread of a workload.
+#[derive(Debug, Clone)]
+pub struct ThreadGen {
+    spec: WorkloadSpec,
+    thread: usize,
+    rng: ChaCha8Rng,
+    /// Retired-instruction count so far (drives phase/barrier positions).
+    instrs: u64,
+    /// Instruction budget. Streams retire at least this many instructions;
+    /// a critical section opened just before the budget runs out completes
+    /// before `Done` (locks always balance), so lock-bearing benchmarks may
+    /// overshoot by a few instructions.
+    total_instrs: u64,
+    /// Ops queued ahead of the next fresh draw (stalls, critical sections).
+    pending: VecDeque<Op>,
+    /// Sequential-walk pointer within the private segment.
+    walk_ptr: u64,
+    /// Start of this thread's hot region within its private segment.
+    /// Randomised per thread so hot regions of different threads do not
+    /// alias onto the same cache sets of a cluster-shared L1 (the segment
+    /// bases themselves are 4 GiB-aligned).
+    hot_start: u64,
+    /// Page-colouring offset added to all private addresses (see
+    /// [`THREAD_COLOR_STRIDE`]).
+    color: u64,
+    /// Next barrier id to emit.
+    next_barrier_id: u32,
+    /// Instruction index at which the last barrier fired (guards repeats).
+    last_barrier_at: u64,
+    done: bool,
+}
+
+impl ThreadGen {
+    /// Creates the generator for `thread` of `n_threads` with the global
+    /// `seed`. Streams for different threads/seeds/specs are independent.
+    pub fn new(spec: &WorkloadSpec, thread: usize, seed: u64) -> Self {
+        // Mix the spec identity, thread id, and seed into the stream seed.
+        let stream_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(spec.seed_salt)
+            .wrapping_add((thread as u64) << 32);
+        let mut rng = ChaCha8Rng::seed_from_u64(stream_seed);
+        let ws = spec.private_ws_bytes.max(64);
+        let hot = PRIVATE_HOT_BYTES.min(ws);
+        let hot_start = if ws > hot {
+            rng.gen_range(0..(ws - hot)) & !63
+        } else {
+            0
+        };
+        let walk_ptr = rng.gen_range(0..ws) & !7;
+        let color = thread as u64 * THREAD_COLOR_STRIDE;
+        Self {
+            spec: spec.clone(),
+            thread,
+            rng,
+            instrs: 0,
+            total_instrs: spec.instructions_per_thread,
+            pending: VecDeque::new(),
+            walk_ptr,
+            hot_start,
+            color,
+            next_barrier_id: 0,
+            last_barrier_at: u64::MAX,
+            done: false,
+        }
+    }
+
+    /// Retired instructions generated so far.
+    pub fn instructions(&self) -> u64 {
+        self.instrs
+    }
+
+    /// The thread index this stream belongs to.
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// True once the stream has emitted [`Op::Done`].
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Op {
+        if let Some(op) = self.pending.pop_front() {
+            if op.is_instruction() {
+                self.instrs += 1;
+            }
+            return op;
+        }
+        if self.done || self.instrs >= self.total_instrs {
+            self.done = true;
+            return Op::Done;
+        }
+
+        let phase = *self.spec.schedule.phase_at(self.instrs);
+
+        // Barrier positions are pure functions of the instruction index so
+        // every thread emits an identical barrier sequence.
+        if phase.barrier_interval > 0
+            && self.instrs > 0
+            && self.instrs.is_multiple_of(phase.barrier_interval)
+            && self.last_barrier_at != self.instrs
+        {
+            self.last_barrier_at = self.instrs;
+            let id = self.next_barrier_id;
+            self.next_barrier_id += 1;
+            self.instrs += 1;
+            return Op::Barrier { id };
+        }
+
+        // Occasionally open a critical section (queued as a unit).
+        if phase.lock_prob > 0.0 && self.rng.gen_bool(phase.lock_prob) {
+            let lock = self.rng.gen_range(0..self.spec.locks.max(1));
+            self.pending.push_back(Op::LockAcq { lock });
+            for _ in 0..CRITICAL_SECTION_LEN {
+                // Critical sections touch shared data by construction.
+                let addr = self.shared_address();
+                let op = if self.rng.gen_bool(0.5) {
+                    Op::Store { addr }
+                } else {
+                    Op::Load { addr }
+                };
+                self.pending.push_back(op);
+            }
+            self.pending.push_back(Op::LockRel { lock });
+            let op = self.pending.pop_front().expect("just queued");
+            self.instrs += 1; // LockAcq retires
+            return op;
+        }
+
+        let op = self.draw_instruction(&phase);
+        self.instrs += 1;
+
+        // Dependency stalls follow the instruction that heads the chain.
+        if phase.idle_prob > 0.0 && self.rng.gen_bool(phase.idle_prob) {
+            let cycles = 1 + self.rng.gen_range(0..phase.idle_cycles.max(1) * 2);
+            self.pending.push_back(Op::Idle { cycles });
+        }
+        op
+    }
+
+    fn draw_instruction(&mut self, phase: &Phase) -> Op {
+        let r: f64 = self.rng.gen();
+        if r < phase.mem_frac {
+            let shared = self.rng.gen_bool(phase.shared_frac);
+            let addr = if shared {
+                self.shared_address()
+            } else {
+                self.private_address()
+            };
+            let store_frac = if shared {
+                phase.store_frac * SHARED_STORE_DAMP
+            } else {
+                phase.store_frac
+            };
+            if self.rng.gen_bool(store_frac) {
+                Op::Store { addr }
+            } else {
+                Op::Load { addr }
+            }
+        } else if r < phase.mem_frac + phase.fp_frac {
+            Op::Fp
+        } else if r < phase.mem_frac + phase.fp_frac + phase.branch_frac {
+            Op::Branch {
+                mispredict: self.rng.gen_bool(phase.mispredict_rate),
+            }
+        } else {
+            Op::Int
+        }
+    }
+
+    fn private_address(&mut self) -> u64 {
+        let ws = self.spec.private_ws_bytes.max(64);
+        let hot = PRIVATE_HOT_BYTES.min(ws);
+        let r: f64 = self.rng.gen();
+        let offset = if r < PRIVATE_HOT_FRAC {
+            (self.hot_start + (self.rng.gen_range(0..hot) & !7)) % ws
+        } else if r < PRIVATE_HOT_FRAC + PRIVATE_WALK_FRAC {
+            // The walk streams through the cold part of the working set.
+            self.walk_ptr = (self.walk_ptr + WALK_STRIDE) % ws;
+            self.walk_ptr
+        } else {
+            self.rng.gen_range(0..ws) & !7
+        };
+        address_space::private_base(self.thread) + self.color + offset
+    }
+
+    fn shared_address(&mut self) -> u64 {
+        let ws = self.spec.shared_ws_bytes.max(64);
+        let offset = if self.rng.gen_bool(SHARED_HOT_FRAC) {
+            self.rng.gen_range(0..(ws / SHARED_HOT_DIV).max(64)) & !7
+        } else {
+            self.rng.gen_range(0..ws) & !7
+        };
+        address_space::SHARED_BASE + offset
+    }
+}
+
+impl Iterator for ThreadGen {
+    type Item = Op;
+
+    /// Yields ops up to and including the final [`Op::Done`].
+    fn next(&mut self) -> Option<Op> {
+        if self.done {
+            return None;
+        }
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Benchmark;
+
+    fn small_spec() -> WorkloadSpec {
+        let mut spec = Benchmark::Fft.spec();
+        spec.instructions_per_thread = 5_000;
+        spec
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_thread() {
+        let spec = small_spec();
+        let a: Vec<Op> = ThreadGen::new(&spec, 0, 42).collect();
+        let b: Vec<Op> = ThreadGen::new(&spec, 0, 42).collect();
+        assert_eq!(a, b);
+        let c: Vec<Op> = ThreadGen::new(&spec, 1, 42).collect();
+        assert_ne!(a, c);
+        let d: Vec<Op> = ThreadGen::new(&spec, 0, 43).collect();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn retires_exactly_the_requested_instructions() {
+        let spec = small_spec();
+        let mut g = ThreadGen::new(&spec, 0, 1);
+        let mut retired = 0u64;
+        loop {
+            let op = g.next_op();
+            if op == Op::Done {
+                break;
+            }
+            if op.is_instruction() {
+                retired += 1;
+            }
+        }
+        assert_eq!(retired, spec.instructions_per_thread);
+        assert_eq!(g.instructions(), spec.instructions_per_thread);
+        // Stream stays Done afterwards.
+        assert_eq!(g.next_op(), Op::Done);
+    }
+
+    #[test]
+    fn barrier_sequences_identical_across_threads() {
+        let mut spec = Benchmark::Ocean.spec(); // barrier-heavy
+        spec.instructions_per_thread = 20_000;
+        let barriers = |t: usize| -> Vec<(u64, u32)> {
+            let mut g = ThreadGen::new(&spec, t, 9);
+            let mut out = vec![];
+            loop {
+                match g.next_op() {
+                    Op::Done => break,
+                    Op::Barrier { id } => out.push((g.instructions(), id)),
+                    _ => {}
+                }
+            }
+            out
+        };
+        let b0 = barriers(0);
+        let b5 = barriers(5);
+        assert!(!b0.is_empty(), "ocean must emit barriers");
+        assert_eq!(b0, b5, "barrier positions/ids must match across threads");
+        // ids are sequential
+        for (i, (_, id)) in b0.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+        }
+    }
+
+    #[test]
+    fn lock_sections_are_balanced() {
+        let mut spec = Benchmark::Radiosity.spec(); // lock-heavy
+        spec.instructions_per_thread = 20_000;
+        let mut depth = 0i64;
+        let mut acquires = 0;
+        for op in ThreadGen::new(&spec, 2, 7) {
+            match op {
+                Op::LockAcq { .. } => {
+                    depth += 1;
+                    acquires += 1;
+                    assert_eq!(depth, 1, "no nested critical sections");
+                }
+                Op::LockRel { .. } => {
+                    depth -= 1;
+                    assert!(depth >= 0);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "every acquire released");
+        assert!(acquires > 0, "radiosity must take locks");
+    }
+
+    #[test]
+    fn addresses_respect_segments() {
+        let spec = small_spec();
+        for op in ThreadGen::new(&spec, 3, 11) {
+            if let Some(addr) = op.address() {
+                if address_space::is_shared(addr) {
+                    assert!(addr - address_space::SHARED_BASE < spec.shared_ws_bytes);
+                } else {
+                    let base = address_space::private_base(3);
+                    // Private addresses live in [base + colour, base + colour + ws).
+                    assert!(addr >= base && addr - base < spec.private_ws_bytes + 64 * 8320);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let spec = small_spec();
+        let mut g = ThreadGen::new(&spec, 0, 5);
+        for _ in 0..500 {
+            g.next_op();
+        }
+        let mut fork = g.clone();
+        let rest_a: Vec<Op> = (0..500).map(|_| g.next_op()).collect();
+        let rest_b: Vec<Op> = (0..500).map(|_| fork.next_op()).collect();
+        assert_eq!(rest_a, rest_b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::suite::Benchmark;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn instruction_budget_is_exact(
+            seed in 0u64..100,
+            thread in 0usize..8,
+            n in 100u64..3000,
+        ) {
+            let mut spec = Benchmark::Barnes.spec();
+            spec.instructions_per_thread = n;
+            let retired = ThreadGen::new(&spec, thread, seed)
+                .filter(Op::is_instruction)
+                .count() as u64;
+            prop_assert_eq!(retired, n);
+        }
+    }
+}

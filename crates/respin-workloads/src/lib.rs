@@ -1,0 +1,30 @@
+//! # respin-workloads — synthetic SPLASH2/PARSEC-analogue workloads
+//!
+//! The Respin paper evaluates with nine SPLASH2 benchmarks (reference
+//! inputs) and four PARSEC benchmarks (sim-small). Real program binaries
+//! cannot be executed on a from-scratch trace-driven simulator, so this
+//! crate provides *synthetic analogues*: seeded, phase-structured
+//! instruction-stream generators whose parameters encode the traits the
+//! paper's evaluation actually depends on —
+//!
+//! * **data sharing and reuse** (raytrace benefits most from the shared L1),
+//! * **synchronisation intensity** (ocean has "hundreds of barriers"),
+//! * **phase dynamics** (radix and lu drive the consolidation traces of
+//!   Figures 12/13; blackscholes never drops below ~6 active cores),
+//! * **memory intensity** and **instruction mix** (power/energy breakdowns).
+//!
+//! Each generator is deterministic in `(spec, thread, seed)`; the simulator
+//! pulls [`Op`]s one at a time via [`ThreadGen`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod gen;
+pub mod ops;
+pub mod phases;
+pub mod suite;
+
+pub use gen::ThreadGen;
+pub use ops::Op;
+pub use phases::{Phase, PhaseSchedule};
+pub use suite::{Benchmark, WorkloadSpec};

@@ -1,0 +1,209 @@
+//! Phase schedules: piecewise-constant behaviour over a thread's lifetime.
+//!
+//! Real parallel programs move through phases — compute-bound kernels,
+//! memory-bound sweeps, serial sections, synchronisation storms. The
+//! consolidation mechanism of the paper (§III) exists precisely because of
+//! low-IPC phases, and Figures 12–14 are dominated by phase structure. A
+//! [`PhaseSchedule`] is a cyclic list of [`Phase`]s, advanced by *retired
+//! instruction count* so that every thread of a program sees phase
+//! boundaries at identical instruction indices (which also keeps barrier
+//! counts consistent across threads).
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural parameters of one execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Length of the phase in retired instructions (per thread).
+    pub instructions: u64,
+    /// Fraction of instructions that are memory operations (loads+stores).
+    pub mem_frac: f64,
+    /// Of memory operations, the fraction that are stores.
+    pub store_frac: f64,
+    /// Of memory operations, the fraction that target the shared segment.
+    pub shared_frac: f64,
+    /// Fraction of instructions that are floating point.
+    pub fp_frac: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_frac: f64,
+    /// Misprediction probability per branch.
+    pub mispredict_rate: f64,
+    /// Probability of inserting an `Idle` stall after an instruction, and
+    /// the stall length: models dependency chains / long-latency ops. This
+    /// is the low-IPC dial that makes consolidation profitable.
+    pub idle_prob: f64,
+    /// Mean stall length in core cycles when an `Idle` is inserted.
+    pub idle_cycles: u16,
+    /// Emit a barrier every this many instructions (0 = no barriers).
+    pub barrier_interval: u64,
+    /// Probability per instruction of opening a short critical section.
+    pub lock_prob: f64,
+}
+
+impl Phase {
+    /// A neutral compute phase used as a building block and in tests.
+    pub fn compute(instructions: u64) -> Self {
+        Self {
+            instructions,
+            mem_frac: 0.25,
+            store_frac: 0.30,
+            shared_frac: 0.10,
+            fp_frac: 0.10,
+            branch_frac: 0.15,
+            mispredict_rate: 0.05,
+            idle_prob: 0.05,
+            idle_cycles: 2,
+            barrier_interval: 0,
+            lock_prob: 0.0,
+        }
+    }
+
+    /// A low-IPC phase: mostly stalls, little issue — the consolidation
+    /// opportunity.
+    pub fn low_ipc(instructions: u64) -> Self {
+        Self {
+            idle_prob: 0.70,
+            idle_cycles: 6,
+            mem_frac: 0.35,
+            ..Self::compute(instructions)
+        }
+    }
+
+    /// Checks that all probabilities are in range and fractions consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("mem_frac", self.mem_frac),
+            ("store_frac", self.store_frac),
+            ("shared_frac", self.shared_frac),
+            ("fp_frac", self.fp_frac),
+            ("branch_frac", self.branch_frac),
+            ("mispredict_rate", self.mispredict_rate),
+            ("idle_prob", self.idle_prob),
+            ("lock_prob", self.lock_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} out of [0,1]"));
+            }
+        }
+        if self.mem_frac + self.fp_frac + self.branch_frac > 1.0 {
+            return Err("mem+fp+branch fractions exceed 1".into());
+        }
+        if self.instructions == 0 {
+            return Err("phase has zero instructions".into());
+        }
+        Ok(())
+    }
+}
+
+/// A cyclic schedule of phases, indexed by retired-instruction count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    phases: Vec<Phase>,
+    cycle_len: u64,
+}
+
+impl PhaseSchedule {
+    /// Builds a schedule; panics on an empty or invalid phase list (the
+    /// suite definitions are static, so this is a programming error).
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        for (i, p) in phases.iter().enumerate() {
+            if let Err(e) = p.validate() {
+                panic!("phase {i} invalid: {e}");
+            }
+        }
+        let cycle_len = phases.iter().map(|p| p.instructions).sum();
+        Self { phases, cycle_len }
+    }
+
+    /// The phase in effect at retired-instruction index `instr`.
+    pub fn phase_at(&self, instr: u64) -> &Phase {
+        let mut offset = instr % self.cycle_len;
+        for p in &self.phases {
+            if offset < p.instructions {
+                return p;
+            }
+            offset -= p.instructions;
+        }
+        // Unreachable: offset < cycle_len = sum of lengths.
+        self.phases.last().expect("non-empty")
+    }
+
+    /// Total instructions in one trip through the schedule.
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+
+    /// The underlying phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_lookup_walks_boundaries() {
+        let s = PhaseSchedule::new(vec![Phase::compute(100), Phase::low_ipc(50)]);
+        assert_eq!(s.cycle_len(), 150);
+        assert_eq!(s.phase_at(0).idle_prob, Phase::compute(1).idle_prob);
+        assert_eq!(s.phase_at(99).idle_prob, Phase::compute(1).idle_prob);
+        assert_eq!(s.phase_at(100).idle_prob, Phase::low_ipc(1).idle_prob);
+        assert_eq!(s.phase_at(149).idle_prob, Phase::low_ipc(1).idle_prob);
+        // wraps cyclically
+        assert_eq!(s.phase_at(150).idle_prob, Phase::compute(1).idle_prob);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_panics() {
+        PhaseSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_phase_panics() {
+        let mut p = Phase::compute(10);
+        p.mem_frac = 1.5;
+        PhaseSchedule::new(vec![p]);
+    }
+
+    #[test]
+    fn validate_rejects_fraction_overflow() {
+        let mut p = Phase::compute(10);
+        p.mem_frac = 0.5;
+        p.fp_frac = 0.4;
+        p.branch_frac = 0.2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_length() {
+        let mut p = Phase::compute(10);
+        p.instructions = 0;
+        assert!(p.validate().is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn phase_at_total_coverage(
+            lens in proptest::collection::vec(1u64..500, 1..6),
+            probe in 0u64..10_000,
+        ) {
+            let phases: Vec<Phase> = lens.iter().map(|&l| Phase::compute(l)).collect();
+            let s = PhaseSchedule::new(phases);
+            // Never panics, always returns a phase from the list.
+            let p = s.phase_at(probe);
+            prop_assert!(s.phases().iter().any(|q| q == p));
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The benchmark suite: synthetic analogues of the nine SPLASH2 and four
+//! PARSEC programs the paper evaluates.
+//!
+//! Each benchmark's parameter block encodes the trait the paper's results
+//! hinge on. The comments on each spec name that trait and the figure it
+//! feeds. Working-set sizes are chosen against the Table I hierarchy
+//! (16 KB private / 256 KB cluster-shared L1D) so that private caches feel
+//! capacity and coherence pressure that the cluster-shared design relieves.
+
+use crate::phases::{Phase, PhaseSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Default retired instructions per thread for full experiment runs.
+pub const DEFAULT_INSTRUCTIONS_PER_THREAD: u64 = 160_000;
+
+/// A fully-parameterised workload, ready to instantiate per-thread
+/// generators from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// Cyclic phase schedule.
+    pub schedule: PhaseSchedule,
+    /// Per-thread private working-set size, bytes.
+    pub private_ws_bytes: u64,
+    /// Program-wide shared working-set size, bytes.
+    pub shared_ws_bytes: u64,
+    /// Number of distinct locks (0 = lock-free program).
+    pub locks: u32,
+    /// Per-benchmark salt mixed into stream seeds so different benchmarks
+    /// with the same global seed get unrelated streams.
+    pub seed_salt: u64,
+    /// Retired instructions per thread.
+    pub instructions_per_thread: u64,
+}
+
+/// The thirteen benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Barnes,
+    Cholesky,
+    Fft,
+    Lu,
+    Ocean,
+    Radiosity,
+    Radix,
+    Raytrace,
+    WaterNsq,
+    Blackscholes,
+    Bodytrack,
+    Streamcluster,
+    Swaptions,
+}
+
+impl Benchmark {
+    /// All benchmarks, SPLASH2 first, in the paper's listing order.
+    pub const ALL: [Benchmark; 13] = [
+        Benchmark::Barnes,
+        Benchmark::Cholesky,
+        Benchmark::Fft,
+        Benchmark::Lu,
+        Benchmark::Ocean,
+        Benchmark::Radiosity,
+        Benchmark::Radix,
+        Benchmark::Raytrace,
+        Benchmark::WaterNsq,
+        Benchmark::Blackscholes,
+        Benchmark::Bodytrack,
+        Benchmark::Streamcluster,
+        Benchmark::Swaptions,
+    ];
+
+    /// The SPLASH2 subset.
+    pub const SPLASH2: [Benchmark; 9] = [
+        Benchmark::Barnes,
+        Benchmark::Cholesky,
+        Benchmark::Fft,
+        Benchmark::Lu,
+        Benchmark::Ocean,
+        Benchmark::Radiosity,
+        Benchmark::Radix,
+        Benchmark::Raytrace,
+        Benchmark::WaterNsq,
+    ];
+
+    /// The PARSEC subset.
+    pub const PARSEC: [Benchmark; 4] = [
+        Benchmark::Blackscholes,
+        Benchmark::Bodytrack,
+        Benchmark::Streamcluster,
+        Benchmark::Swaptions,
+    ];
+
+    /// Benchmark name with the paper's spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Barnes => "barnes",
+            Benchmark::Cholesky => "cholesky",
+            Benchmark::Fft => "fft",
+            Benchmark::Lu => "lu",
+            Benchmark::Ocean => "ocean",
+            Benchmark::Radiosity => "radiosity",
+            Benchmark::Radix => "radix",
+            Benchmark::Raytrace => "raytrace",
+            Benchmark::WaterNsq => "water-nsq",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Bodytrack => "bodytrack",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Swaptions => "swaptions",
+        }
+    }
+
+    /// Looks a benchmark up by its paper name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Builds the full workload specification for this benchmark.
+    pub fn spec(self) -> WorkloadSpec {
+        let kib = |n: u64| n * 1024;
+        // Shorthand for a phase with common fields defaulted from compute().
+        let ph = |instructions: u64,
+                  mem: f64,
+                  shared: f64,
+                  store: f64,
+                  fp: f64,
+                  idle_prob: f64,
+                  idle_cycles: u16,
+                  barrier: u64| Phase {
+            instructions,
+            mem_frac: mem,
+            store_frac: store,
+            shared_frac: shared,
+            fp_frac: fp,
+            branch_frac: 0.15,
+            mispredict_rate: 0.05,
+            idle_prob,
+            idle_cycles,
+            barrier_interval: barrier,
+            lock_prob: 0.0,
+        };
+
+        let (schedule, private_ws, shared_ws, locks) = match self {
+            // N-body: tree build (irregular, shared, stally) alternating
+            // with force computation (FP heavy, parallel).
+            Benchmark::Barnes => (
+                PhaseSchedule::new(vec![
+                    ph(24_000, 0.30, 0.25, 0.30, 0.05, 0.40, 4, 8_000),
+                    ph(40_000, 0.22, 0.12, 0.20, 0.30, 0.10, 2, 8_000),
+                ]),
+                kib(24),
+                kib(192),
+                0,
+            ),
+            // Sparse factorisation: parallelism shrinks as elimination
+            // proceeds (rising idle), light locking on the task queue.
+            Benchmark::Cholesky => (
+                PhaseSchedule::new(vec![
+                    Phase {
+                        lock_prob: 0.002,
+                        ..ph(30_000, 0.30, 0.20, 0.30, 0.20, 0.10, 3, 0)
+                    },
+                    Phase {
+                        lock_prob: 0.002,
+                        ..ph(25_000, 0.30, 0.20, 0.30, 0.20, 0.30, 4, 0)
+                    },
+                    Phase {
+                        lock_prob: 0.002,
+                        ..ph(20_000, 0.30, 0.20, 0.30, 0.20, 0.55, 5, 0)
+                    },
+                ]),
+                kib(32),
+                kib(256),
+                32,
+            ),
+            // FFT: compute butterflies, then all-to-all transpose (memory
+            // and sharing heavy, stalls on remote data).
+            Benchmark::Fft => (
+                PhaseSchedule::new(vec![
+                    ph(30_000, 0.20, 0.10, 0.30, 0.35, 0.05, 2, 0),
+                    ph(15_000, 0.45, 0.35, 0.45, 0.05, 0.35, 4, 15_000),
+                ]),
+                kib(32),
+                kib(256),
+                0,
+            ),
+            // LU: long, slowly shrinking parallel sections — the gradual
+            // ramp the greedy search chases in Figure 13.
+            Benchmark::Lu => (
+                PhaseSchedule::new(vec![
+                    ph(35_000, 0.28, 0.15, 0.30, 0.25, 0.05, 2, 10_000),
+                    ph(30_000, 0.28, 0.15, 0.30, 0.25, 0.20, 3, 10_000),
+                    ph(25_000, 0.28, 0.15, 0.30, 0.25, 0.40, 4, 10_000),
+                    ph(20_000, 0.28, 0.15, 0.30, 0.25, 0.60, 6, 10_000),
+                ]),
+                kib(24),
+                kib(192),
+                0,
+            ),
+            // Ocean: "hundreds of barriers" — dense barrier grid plus
+            // near-neighbour sharing; the shared-L1 synchronisation win.
+            Benchmark::Ocean => (
+                PhaseSchedule::new(vec![ph(40_000, 0.35, 0.20, 0.35, 0.20, 0.25, 3, 1_500)]),
+                kib(32),
+                kib(256),
+                0,
+            ),
+            // Radiosity: task-stealing with locks; irregular parallelism.
+            Benchmark::Radiosity => (
+                PhaseSchedule::new(vec![
+                    Phase {
+                        lock_prob: 0.010,
+                        ..ph(25_000, 0.32, 0.30, 0.35, 0.10, 0.20, 3, 0)
+                    },
+                    Phase {
+                        lock_prob: 0.010,
+                        ..ph(20_000, 0.32, 0.30, 0.35, 0.10, 0.50, 5, 0)
+                    },
+                ]),
+                kib(24),
+                kib(384),
+                64,
+            ),
+            // Radix sort: sharply alternating count/scatter/drain phases,
+            // the Figure 12 consolidation showcase. Even its busiest phase
+            // stalls enough that ≥5 of 16 cores stay consolidated
+            // (Figure 14: radix activates at most 11 cores).
+            Benchmark::Radix => (
+                PhaseSchedule::new(vec![
+                    ph(22_000, 0.50, 0.25, 0.30, 0.00, 0.30, 3, 11_000),
+                    ph(18_000, 0.55, 0.35, 0.55, 0.00, 0.55, 5, 9_000),
+                    ph(12_000, 0.35, 0.20, 0.25, 0.00, 0.75, 7, 0),
+                ]),
+                kib(48),
+                kib(384),
+                0,
+            ),
+            // Raytrace: dominated by read-shared scene traversal with heavy
+            // reuse — the biggest beneficiary of the cluster-shared L1
+            // (Figure 7).
+            Benchmark::Raytrace => (
+                PhaseSchedule::new(vec![Phase {
+                    lock_prob: 0.001,
+                    ..ph(40_000, 0.38, 0.45, 0.10, 0.15, 0.20, 3, 0)
+                }]),
+                kib(16),
+                kib(256),
+                16,
+            ),
+            // Water-nsquared: balanced compute with periodic barriers.
+            Benchmark::WaterNsq => (
+                PhaseSchedule::new(vec![
+                    ph(30_000, 0.25, 0.12, 0.30, 0.30, 0.15, 2, 12_000),
+                    ph(20_000, 0.25, 0.12, 0.30, 0.30, 0.35, 4, 12_000),
+                ]),
+                kib(24),
+                kib(128),
+                0,
+            ),
+            // Blackscholes: embarrassingly parallel FP; its quietest phase
+            // still keeps ≥6 cores busy (Figure 14 floor).
+            Benchmark::Blackscholes => (
+                PhaseSchedule::new(vec![
+                    ph(45_000, 0.20, 0.05, 0.25, 0.35, 0.05, 2, 0),
+                    ph(20_000, 0.25, 0.05, 0.25, 0.30, 0.30, 4, 0),
+                ]),
+                kib(16),
+                kib(64),
+                0,
+            ),
+            // Bodytrack: pipeline stages separated by barriers, alternating
+            // busy and lean stages.
+            Benchmark::Bodytrack => (
+                PhaseSchedule::new(vec![
+                    ph(25_000, 0.30, 0.20, 0.30, 0.25, 0.15, 3, 6_000),
+                    ph(20_000, 0.30, 0.20, 0.30, 0.25, 0.50, 5, 6_000),
+                ]),
+                kib(24),
+                kib(192),
+                8,
+            ),
+            // Streamcluster: streaming distance computations over shared
+            // centres; memory bound.
+            Benchmark::Streamcluster => (
+                PhaseSchedule::new(vec![ph(40_000, 0.50, 0.30, 0.15, 0.20, 0.35, 4, 8_000)]),
+                kib(48),
+                kib(256),
+                0,
+            ),
+            // Swaptions: compute-bound Monte Carlo, minimal sharing, steady
+            // high parallelism.
+            Benchmark::Swaptions => (
+                PhaseSchedule::new(vec![ph(50_000, 0.18, 0.05, 0.25, 0.40, 0.08, 2, 0)]),
+                kib(16),
+                kib(64),
+                0,
+            ),
+        };
+
+        WorkloadSpec {
+            name: self.name(),
+            schedule,
+            private_ws_bytes: private_ws,
+            shared_ws_bytes: shared_ws,
+            locks,
+            seed_salt: 0xB5 + self as u64 * 0x1000_0001,
+            instructions_per_thread: DEFAULT_INSTRUCTIONS_PER_THREAD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ThreadGen;
+    use crate::ops::Op;
+
+    #[test]
+    fn all_specs_build_and_validate() {
+        for b in Benchmark::ALL {
+            let spec = b.spec();
+            assert_eq!(spec.name, b.name());
+            assert!(spec.instructions_per_thread > 0);
+            assert!(spec.private_ws_bytes >= 1024);
+            assert!(spec.shared_ws_bytes >= 1024);
+            for p in spec.schedule.phases() {
+                p.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn groupings_partition_the_suite() {
+        assert_eq!(Benchmark::SPLASH2.len() + Benchmark::PARSEC.len(), 13);
+        for b in Benchmark::ALL {
+            let in_s = Benchmark::SPLASH2.contains(&b);
+            let in_p = Benchmark::PARSEC.contains(&b);
+            assert!(in_s ^ in_p, "{b:?} must be in exactly one suite");
+        }
+    }
+
+    #[test]
+    fn seed_salts_are_unique() {
+        let mut salts: Vec<u64> = Benchmark::ALL.iter().map(|b| b.spec().seed_salt).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 13);
+    }
+
+    #[test]
+    fn ocean_emits_hundreds_of_barriers() {
+        let spec = Benchmark::Ocean.spec();
+        let n = ThreadGen::new(&spec, 0, 1)
+            .filter(|op| matches!(op, Op::Barrier { .. }))
+            .count();
+        assert!(n >= 100, "ocean emitted only {n} barriers");
+    }
+
+    #[test]
+    fn raytrace_is_sharing_heavy() {
+        let spec = Benchmark::Raytrace.spec();
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for op in ThreadGen::new(&spec, 0, 1) {
+            if let Some(addr) = op.address() {
+                total += 1;
+                if crate::ops::address_space::is_shared(addr) {
+                    shared += 1;
+                }
+            }
+        }
+        let frac = shared as f64 / total as f64;
+        assert!(frac > 0.35, "raytrace shared fraction {frac}");
+        // And read-mostly: stores to shared data are rare.
+        let mut shared_stores = 0usize;
+        for op in ThreadGen::new(&spec, 0, 1) {
+            if let Op::Store { addr } = op {
+                if crate::ops::address_space::is_shared(addr) {
+                    shared_stores += 1;
+                }
+            }
+        }
+        assert!(shared_stores * 4 < shared, "raytrace should be read-mostly");
+    }
+
+    #[test]
+    fn idle_density_orders_blackscholes_below_radix() {
+        // Blackscholes must look busier (fewer stall cycles) than radix —
+        // that ordering is what gives Figure 14 its floor/ceiling shape.
+        let stall_cycles = |b: Benchmark| -> u64 {
+            let mut spec = b.spec();
+            spec.instructions_per_thread = 30_000;
+            ThreadGen::new(&spec, 0, 1)
+                .filter_map(|op| match op {
+                    Op::Idle { cycles } => Some(cycles as u64),
+                    _ => None,
+                })
+                .sum()
+        };
+        let bs = stall_cycles(Benchmark::Blackscholes);
+        let rx = stall_cycles(Benchmark::Radix);
+        assert!(
+            bs * 2 < rx,
+            "blackscholes stalls {bs} not well below radix {rx}"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Trait validation for every benchmark in the suite: the paper's
+//! evaluation depends on specific per-benchmark behaviours (ocean's
+//! barrier density, raytrace's read sharing, radix's idle depth, …).
+//! These tests pin the calibrated parameter blocks so a regression in the
+//! generators shows up here rather than as silently wrong figures.
+
+use respin_workloads::ops::address_space;
+use respin_workloads::{Benchmark, Op, ThreadGen};
+
+struct Profile {
+    instructions: u64,
+    barriers: u64,
+    lock_acquires: u64,
+    mem_ops: u64,
+    shared_ops: u64,
+    shared_stores: u64,
+    fp_ops: u64,
+    idle_cycles: u64,
+}
+
+fn profile(bench: Benchmark, thread: usize, seed: u64) -> Profile {
+    let mut spec = bench.spec();
+    spec.instructions_per_thread = 60_000;
+    let mut p = Profile {
+        instructions: 0,
+        barriers: 0,
+        lock_acquires: 0,
+        mem_ops: 0,
+        shared_ops: 0,
+        shared_stores: 0,
+        fp_ops: 0,
+        idle_cycles: 0,
+    };
+    for op in ThreadGen::new(&spec, thread, seed) {
+        if op.is_instruction() {
+            p.instructions += 1;
+        }
+        match op {
+            Op::Barrier { .. } => p.barriers += 1,
+            Op::LockAcq { .. } => p.lock_acquires += 1,
+            Op::Fp => p.fp_ops += 1,
+            Op::Idle { cycles } => p.idle_cycles += cycles as u64,
+            Op::Load { addr } => {
+                p.mem_ops += 1;
+                if address_space::is_shared(addr) {
+                    p.shared_ops += 1;
+                }
+            }
+            Op::Store { addr } => {
+                p.mem_ops += 1;
+                if address_space::is_shared(addr) {
+                    p.shared_ops += 1;
+                    p.shared_stores += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    p
+}
+
+#[test]
+fn ocean_is_the_barrier_champion() {
+    let ocean = profile(Benchmark::Ocean, 0, 1);
+    assert!(
+        ocean.barriers >= 30,
+        "ocean: {} barriers in 60 K instructions",
+        ocean.barriers
+    );
+    for other in [Benchmark::Raytrace, Benchmark::Swaptions, Benchmark::Radiosity] {
+        let p = profile(other, 0, 1);
+        assert!(
+            ocean.barriers > 3 * p.barriers,
+            "{}: {} barriers vs ocean {}",
+            other.name(),
+            p.barriers,
+            ocean.barriers
+        );
+    }
+}
+
+#[test]
+fn raytrace_leads_the_suite_in_read_sharing() {
+    let ray = profile(Benchmark::Raytrace, 0, 1);
+    let ray_frac = ray.shared_ops as f64 / ray.mem_ops as f64;
+    assert!(ray_frac > 0.35, "raytrace shared fraction {ray_frac}");
+    // Read-mostly: the damped store fraction keeps shared stores rare.
+    assert!(
+        ray.shared_stores * 10 < ray.shared_ops,
+        "raytrace must be read-mostly: {} stores of {} shared ops",
+        ray.shared_stores,
+        ray.shared_ops
+    );
+    for other in Benchmark::ALL {
+        if other == Benchmark::Raytrace {
+            continue;
+        }
+        let p = profile(other, 0, 1);
+        let frac = p.shared_ops as f64 / p.mem_ops.max(1) as f64;
+        assert!(
+            ray_frac >= frac,
+            "{} out-shares raytrace: {frac} vs {ray_frac}",
+            other.name()
+        );
+    }
+}
+
+#[test]
+fn radiosity_and_cholesky_are_the_lock_users() {
+    let heavy = profile(Benchmark::Radiosity, 0, 1);
+    assert!(heavy.lock_acquires > 100, "{}", heavy.lock_acquires);
+    let light = profile(Benchmark::Cholesky, 0, 1);
+    assert!(light.lock_acquires > 0);
+    assert!(heavy.lock_acquires > light.lock_acquires);
+    for lock_free in [Benchmark::Fft, Benchmark::Ocean, Benchmark::Radix] {
+        assert_eq!(
+            profile(lock_free, 0, 1).lock_acquires,
+            0,
+            "{} must be lock-free",
+            lock_free.name()
+        );
+    }
+}
+
+#[test]
+fn fp_intensity_ranks_the_compute_benchmarks() {
+    let swaptions = profile(Benchmark::Swaptions, 0, 1);
+    let radix = profile(Benchmark::Radix, 0, 1);
+    assert!(
+        swaptions.fp_ops > 10 * radix.fp_ops.max(1),
+        "swaptions (Monte-Carlo FP) vs radix (integer sort): {} vs {}",
+        swaptions.fp_ops,
+        radix.fp_ops
+    );
+}
+
+#[test]
+fn idle_depth_orders_the_consolidation_candidates() {
+    // The Figure 14 floor/ceiling structure requires the steady PARSEC
+    // codes to stall far less than the phase-heavy sorts.
+    let radix = profile(Benchmark::Radix, 0, 1);
+    let black = profile(Benchmark::Blackscholes, 0, 1);
+    let swap = profile(Benchmark::Swaptions, 0, 1);
+    assert!(radix.idle_cycles > 2 * black.idle_cycles);
+    assert!(radix.idle_cycles > 2 * swap.idle_cycles);
+}
+
+#[test]
+fn every_benchmark_profile_is_stable_across_threads_and_seeds() {
+    // Trait magnitudes (not exact streams) must be robust to thread id and
+    // seed — otherwise suite means would depend on the chip size.
+    for bench in Benchmark::ALL {
+        let a = profile(bench, 0, 1);
+        let b = profile(bench, 7, 9);
+        let rel = |x: u64, y: u64| {
+            let (x, y) = (x as f64, y as f64);
+            (x - y).abs() / x.max(y).max(1.0)
+        };
+        assert!(
+            rel(a.mem_ops, b.mem_ops) < 0.1,
+            "{}: mem ops {} vs {}",
+            bench.name(),
+            a.mem_ops,
+            b.mem_ops
+        );
+        assert_eq!(a.barriers, b.barriers, "{}", bench.name());
+        assert!(
+            rel(a.idle_cycles, b.idle_cycles) < 0.15,
+            "{}: idle {} vs {}",
+            bench.name(),
+            a.idle_cycles,
+            b.idle_cycles
+        );
+    }
+}
+
+#[test]
+fn memory_intensity_spans_a_realistic_range() {
+    for bench in Benchmark::ALL {
+        let p = profile(bench, 0, 1);
+        let frac = p.mem_ops as f64 / p.instructions as f64;
+        assert!(
+            (0.1..=0.55).contains(&frac),
+            "{}: memory fraction {frac}",
+            bench.name()
+        );
+    }
+}

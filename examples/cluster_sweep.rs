@@ -1,0 +1,53 @@
+//! The §V-D design-space question: how many near-threshold cores should
+//! share one L1? Sweeps cluster sizes 4/8/16/32 (shared L1 scaled
+//! proportionally, 64 cores total) and prints the speedup over the private
+//! baseline together with the shared-cache service quality.
+//!
+//! ```sh
+//! cargo run --release --example cluster_sweep
+//! ```
+
+use respin_core::{
+    arch::ArchConfig,
+    runner::{run, RunOptions},
+};
+use respin_workloads::Benchmark;
+
+fn main() {
+    let benchmark = Benchmark::Ocean; // synchronisation-heavy: feels cluster size strongly
+    println!(
+        "cluster-size sweep on {} (64 cores total, shared L1 = 16 KiB × cluster size)\n",
+        benchmark.name()
+    );
+    println!(
+        "{:>13} {:>11} {:>11} {:>9} {:>11} {:>11}",
+        "cores/cluster", "L1D (KiB)", "time (µs)", "speedup", "1-cycle %", "half-miss %"
+    );
+
+    // Fixed baseline: the paper's default private-cache machine.
+    let base = {
+        let mut o = RunOptions::new(ArchConfig::PrSramNt, benchmark);
+        o.instructions_per_thread = Some(80_000);
+        run(&o)
+    };
+    for n in [4usize, 8, 16, 32] {
+        let sh = {
+            let mut o = RunOptions::new(ArchConfig::ShStt, benchmark);
+            o.cores_per_cluster = n;
+            o.clusters = 64 / n;
+            o.instructions_per_thread = Some(80_000);
+            run(&o)
+        };
+        let l1 = sh.stats.shared_l1d_merged();
+        println!(
+            "{:>13} {:>11} {:>11.1} {:>8.1}% {:>10.1}% {:>10.2}%",
+            n,
+            16 * n,
+            sh.time_ps / 1e6,
+            (1.0 - sh.ticks as f64 / base.ticks as f64) * 100.0,
+            l1.one_cycle_hit_fraction() * 100.0,
+            l1.half_miss_fraction() * 100.0
+        );
+    }
+    println!("\nthe paper finds 16 optimal: beyond it, twice the requesters meet a slower array.");
+}

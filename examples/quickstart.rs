@@ -1,0 +1,57 @@
+//! Quickstart: build the paper's proposed chip (SH-STT — near-threshold
+//! cores around cluster-shared STT-RAM caches), run one benchmark, and
+//! print the headline numbers next to the conventional NT baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use respin_core::{
+    arch::ArchConfig,
+    runner::{run, RunOptions},
+};
+use respin_workloads::Benchmark;
+
+fn main() {
+    let benchmark = Benchmark::Fft;
+    println!("running {} on a 64-core chip (4 × 16-core clusters)…\n", benchmark.name());
+
+    let mut rows = Vec::new();
+    for arch in [ArchConfig::PrSramNt, ArchConfig::ShStt] {
+        let mut opts = RunOptions::new(arch, benchmark);
+        // Modest budget so the example finishes in a few seconds.
+        opts.instructions_per_thread = Some(80_000);
+        let result = run(&opts);
+        rows.push((arch, result));
+    }
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>14}",
+        "config", "time (µs)", "power (mW)", "energy (µJ)", "leakage share"
+    );
+    for (arch, r) in &rows {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12.2} {:>13.1}%",
+            arch.name(),
+            r.time_ps / 1e6,
+            r.average_power_mw(),
+            r.energy.chip_total_pj() / 1e6,
+            r.energy.leakage_pj() / r.energy.chip_total_pj() * 100.0
+        );
+    }
+
+    let base = &rows[0].1;
+    let stt = &rows[1].1;
+    println!(
+        "\nSH-STT vs the PR-SRAM-NT baseline: {:.1}% of the execution time, {:.1}% of the energy",
+        stt.time_ps / base.time_ps * 100.0,
+        stt.energy.chip_total_pj() / base.energy.chip_total_pj() * 100.0
+    );
+
+    let l1 = stt.stats.shared_l1d_merged();
+    println!(
+        "shared DL1: {:.1}% of read hits served in one core cycle, {:.2}% half-misses",
+        l1.one_cycle_hit_fraction() * 100.0,
+        l1.half_miss_fraction() * 100.0
+    );
+}

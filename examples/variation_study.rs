@@ -1,0 +1,77 @@
+//! Process variation at near-threshold: sample many fabricated chips and
+//! show (a) the frequency-bin populations VARIUS-style correlated Vth
+//! fields produce, (b) how chip-to-chip variation moves performance and
+//! energy, and (c) why the §III-C remapper ranks fast cores first.
+//!
+//! ```sh
+//! cargo run --release --example variation_study
+//! ```
+
+use respin_core::{
+    arch::ArchConfig,
+    runner::{run, RunOptions},
+};
+use respin_variation::{FrequencyBand, VariationConfig, VariationMap};
+use respin_workloads::Benchmark;
+
+fn main() {
+    // ---- Part 1: frequency binning across fabricated chips ---------------
+    let config = VariationConfig::default();
+    let chips = 200;
+    let mut bins = [0u64; 3]; // multiples 4, 5, 6
+    let mut leak_of_fast = 0.0;
+    let mut leak_of_slow = 0.0;
+    for seed in 0..chips {
+        let map = VariationMap::generate(&config, 0.4, FrequencyBand::NT, seed);
+        for (i, &mult) in map.period_mult.iter().enumerate() {
+            bins[(mult - 4) as usize] += 1;
+            if mult == 4 {
+                leak_of_fast += map.leakage_factor[i];
+            }
+            if mult == 6 {
+                leak_of_slow += map.leakage_factor[i];
+            }
+        }
+    }
+    let total: u64 = bins.iter().sum();
+    println!("frequency bins over {chips} fabricated 64-core chips (Vth σ = {} mV):\n", config.sigma_vth * 1000.0);
+    for (i, &count) in bins.iter().enumerate() {
+        let mult = i as u64 + 4;
+        let mhz = 1e6 / (mult as f64 * 400.0);
+        let share = count as f64 / total as f64;
+        let bar = "#".repeat((share * 60.0) as usize);
+        println!("  {mult}×0.4 ns ({mhz:>5.0} MHz): {:>5.1}% {bar}", share * 100.0);
+    }
+    println!(
+        "\nfast (625 MHz) cores leak {:.2}× the slow (417 MHz) ones on average —",
+        (leak_of_fast / bins[0].max(1) as f64) / (leak_of_slow / bins[2].max(1) as f64)
+    );
+    println!("yet they are still the efficient ones: leakage is paid per *time*, and they");
+    println!("finish 1.5× sooner. That is why the §III-C remapper hosts threads fastest-first.\n");
+
+    // ---- Part 2: chip-to-chip performance/energy spread -------------------
+    println!("chip-to-chip spread of the SH-STT design (same workload, different dies):\n");
+    println!("{:>6} {:>12} {:>12} {:>14}", "seed", "time (µs)", "power (mW)", "energy (µJ)");
+    let mut times = Vec::new();
+    for seed in [1u64, 2, 3, 4, 5] {
+        let mut opts = RunOptions::new(ArchConfig::ShStt, Benchmark::WaterNsq);
+        opts.instructions_per_thread = Some(60_000);
+        opts.seed = seed;
+        let r = run(&opts);
+        times.push(r.time_ps);
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>14.2}",
+            seed,
+            r.time_ps / 1e6,
+            r.average_power_mw(),
+            r.energy.chip_total_pj() / 1e6
+        );
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nspread: {:.1}% — the shared-cache clocking absorbs per-core binning because\n\
+         every core still aligns to the 0.4 ns reference edge (§II).",
+        (max / min - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: every Table IV configuration runs end to
+//! end and the paper's headline orderings hold at reduced scale.
+
+use respin_core::arch::ArchConfig;
+use respin_core::runner::{run, RunOptions};
+use respin_sim::CacheSizeClass;
+use respin_workloads::Benchmark;
+
+fn small_opts(arch: ArchConfig, bench: Benchmark) -> RunOptions {
+    let mut o = RunOptions::new(arch, bench);
+    o.clusters = 2;
+    o.cores_per_cluster = 8;
+    o.instructions_per_thread = Some(24_000);
+    o.warmup_per_thread = 6_000;
+    o.epoch_instructions = Some(8_000);
+    o.oracle_radius = 2;
+    o
+}
+
+#[test]
+fn every_table4_configuration_completes_every_suite_family() {
+    // One SPLASH2 and one PARSEC representative through all 8 configs.
+    for bench in [Benchmark::Ocean, Benchmark::Swaptions] {
+        for arch in ArchConfig::ALL {
+            let res = run(&small_opts(arch, bench));
+            assert!(
+                res.instructions >= 16 * 20_000,
+                "{} on {}: only {} instructions",
+                arch.name(),
+                bench.name(),
+                res.instructions
+            );
+            let e = &res.energy;
+            assert!(e.core_dynamic_pj > 0.0);
+            assert!(e.core_leakage_pj > 0.0);
+            assert!(e.cache_dynamic_pj > 0.0);
+            assert!(e.cache_leakage_pj > 0.0);
+        }
+    }
+}
+
+#[test]
+fn shared_stt_beats_the_nt_baseline_on_time_and_energy() {
+    for bench in [Benchmark::Raytrace, Benchmark::Ocean, Benchmark::Fft] {
+        let base = run(&small_opts(ArchConfig::PrSramNt, bench));
+        let stt = run(&small_opts(ArchConfig::ShStt, bench));
+        assert!(
+            stt.ticks < base.ticks,
+            "{}: SH-STT must be faster ({} vs {})",
+            bench.name(),
+            stt.ticks,
+            base.ticks
+        );
+        assert!(
+            stt.energy.chip_total_pj() < base.energy.chip_total_pj(),
+            "{}: SH-STT must save energy",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn hp_is_fastest_but_burns_the_most_energy() {
+    let bench = Benchmark::Fft;
+    let base = run(&small_opts(ArchConfig::PrSramNt, bench));
+    let stt = run(&small_opts(ArchConfig::ShStt, bench));
+    let hp = run(&small_opts(ArchConfig::HpSramCmp, bench));
+    assert!(hp.ticks < stt.ticks && hp.ticks < base.ticks, "HP fastest");
+    assert!(
+        hp.energy.chip_total_pj() > base.energy.chip_total_pj(),
+        "HP costs more energy than the NT baseline"
+    );
+}
+
+#[test]
+fn sram_at_nominal_voltage_leaks_away_the_shared_cache_win() {
+    let bench = Benchmark::Fft;
+    let stt = run(&small_opts(ArchConfig::ShStt, bench));
+    let sram = run(&small_opts(ArchConfig::ShSramNom, bench));
+    // Same organisation, same timing class — but ~8× the cache leakage.
+    assert!(
+        sram.energy.cache_leakage_pj > 4.0 * stt.energy.cache_leakage_pj,
+        "nominal SRAM must leak far more: {} vs {}",
+        sram.energy.cache_leakage_pj,
+        stt.energy.cache_leakage_pj
+    );
+    assert!(sram.energy.chip_total_pj() > stt.energy.chip_total_pj());
+}
+
+#[test]
+fn larger_caches_widen_the_stt_energy_advantage() {
+    let bench = Benchmark::Fft;
+    let mut ratios = Vec::new();
+    for size in CacheSizeClass::ALL {
+        let mut b = small_opts(ArchConfig::PrSramNt, bench);
+        b.size = size;
+        let mut s = small_opts(ArchConfig::ShStt, bench);
+        s.size = size;
+        let base = run(&b);
+        let stt = run(&s);
+        ratios.push(stt.energy.chip_total_pj() / base.energy.chip_total_pj());
+    }
+    // Figure 8's trend: small → large must be monotonically better for STT.
+    assert!(
+        ratios[0] > ratios[1] && ratios[1] > ratios[2],
+        "energy ratios must fall with cache size: {ratios:?}"
+    );
+}
+
+#[test]
+fn coherence_traffic_only_in_private_configurations() {
+    let bench = Benchmark::Raytrace;
+    let private = run(&small_opts(ArchConfig::PrSramNt, bench));
+    let shared = run(&small_opts(ArchConfig::ShStt, bench));
+    // Shared clusters still exchange inter-cluster messages, but private
+    // L1s add intra-cluster invalidations and remote fetches on top.
+    assert!(
+        private.stats.coherence_messages > shared.stats.coherence_messages,
+        "private {} vs shared {}",
+        private.stats.coherence_messages,
+        shared.stats.coherence_messages
+    );
+}
+
+#[test]
+fn shared_l1_services_most_read_hits_in_one_core_cycle() {
+    let res = run(&small_opts(ArchConfig::ShStt, Benchmark::WaterNsq));
+    let s = res.stats.shared_l1d_merged();
+    assert!(
+        s.one_cycle_hit_fraction() > 0.85,
+        "one-cycle fraction {}",
+        s.one_cycle_hit_fraction()
+    );
+    assert!(
+        s.half_miss_fraction() < 0.15,
+        "half-miss fraction {}",
+        s.half_miss_fraction()
+    );
+}

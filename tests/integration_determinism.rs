@@ -1,0 +1,63 @@
+//! Determinism and reproducibility across the whole stack.
+
+use respin_core::arch::ArchConfig;
+use respin_core::runner::{run, RunOptions};
+use respin_workloads::Benchmark;
+
+fn opts(arch: ArchConfig, seed: u64) -> RunOptions {
+    let mut o = RunOptions::new(arch, Benchmark::Cholesky);
+    o.clusters = 2;
+    o.cores_per_cluster = 4;
+    o.instructions_per_thread = Some(16_000);
+    o.warmup_per_thread = 4_000;
+    o.epoch_instructions = Some(4_000);
+    o.seed = seed;
+    o.oracle_radius = 2;
+    o
+}
+
+#[test]
+fn identical_seeds_give_identical_results() {
+    for arch in [ArchConfig::PrSramNt, ArchConfig::ShStt, ArchConfig::ShSttCc] {
+        let a = run(&opts(arch, 7));
+        let b = run(&opts(arch, 7));
+        assert_eq!(a.ticks, b.ticks, "{}", arch.name());
+        assert_eq!(a.instructions, b.instructions, "{}", arch.name());
+        assert_eq!(a.energy, b.energy, "{}", arch.name());
+        assert_eq!(a.stats, b.stats, "{}", arch.name());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_chips() {
+    let a = run(&opts(ArchConfig::ShStt, 1));
+    let b = run(&opts(ArchConfig::ShStt, 2));
+    // Different variation maps and op streams: the runs must diverge.
+    assert_ne!(a.ticks, b.ticks);
+}
+
+#[test]
+fn oracle_replay_does_not_perturb_the_main_timeline() {
+    // An oracle run with radius 0 (only the "stay" candidate) must equal
+    // the plain SH-STT-CC chip with no decisions — clone-replay must be
+    // side-effect free.
+    let mut o = opts(ArchConfig::ShSttCcOracle, 5);
+    o.oracle_radius = 0;
+    let oracle = run(&o);
+    let mut p = opts(ArchConfig::ShStt, 5);
+    // Same machine, same workload; SH-STT differs from SH-STT-CC only by
+    // the consolidation flag, which (with no decisions) changes nothing.
+    p.arch = ArchConfig::ShStt;
+    let plain = run(&p);
+    assert_eq!(oracle.ticks, plain.ticks);
+    assert_eq!(oracle.instructions, plain.instructions);
+}
+
+#[test]
+fn results_are_serialisable_and_roundtrip() {
+    let res = run(&opts(ArchConfig::ShStt, 3));
+    let json = serde_json::to_string(&res).expect("serialise");
+    let back: respin_sim::RunResult = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(res.ticks, back.ticks);
+    assert_eq!(res.stats, back.stats);
+}
