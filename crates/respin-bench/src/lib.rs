@@ -3,7 +3,10 @@
 //! All substance lives in the Criterion benches under `benches/`; this
 //! library only hosts shared helpers for them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 /// Re-exported so benches share one place to pick deterministic seeds.
 pub const BENCH_SEED: u64 = 0x5e5_c0ffee;

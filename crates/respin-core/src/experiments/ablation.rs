@@ -130,8 +130,7 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Ablation {
             let o = params.options(ArchConfig::ShSttCc, bench);
             let mut config = o.arch.chip_config(o.size, o.cores_per_cluster);
             config.clusters = o.clusters;
-            config.instructions_per_thread =
-                Some(o.measured_per_thread() + o.warmup_per_thread);
+            config.instructions_per_thread = Some(o.measured_per_thread() + o.warmup_per_thread);
             config.epoch_instructions = params.epoch_instructions;
             respin_sim::Chip::new(config, &bench.spec(), o.seed)
         };

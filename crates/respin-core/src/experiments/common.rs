@@ -180,6 +180,8 @@ mod tests {
 
     #[test]
     fn quick_params_are_smaller() {
-        assert!(ExpParams::quick().instructions_per_thread < ExpParams::full().instructions_per_thread);
+        assert!(
+            ExpParams::quick().instructions_per_thread < ExpParams::full().instructions_per_thread
+        );
     }
 }

@@ -56,7 +56,11 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig1 {
             .collect();
         let results = cache.run_all(&batch);
         let split = |f: &dyn Fn(&respin_sim::EnergyBreakdown) -> f64| {
-            mean(results.iter().map(|r| f(&r.energy) / r.energy.chip_total_pj()))
+            mean(
+                results
+                    .iter()
+                    .map(|r| f(&r.energy) / r.energy.chip_total_pj()),
+            )
         };
         rows.push(Fig1Row {
             point: label.into(),

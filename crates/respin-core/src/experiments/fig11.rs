@@ -75,7 +75,13 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig11 {
 impl Fig11 {
     /// Text rendering.
     pub fn render_text(&self) -> String {
-        let mut t = TextTable::new(vec!["benchmark", "1 cycle", "2 cycles", "3+ cycles", "half-miss"]);
+        let mut t = TextTable::new(vec![
+            "benchmark",
+            "1 cycle",
+            "2 cycles",
+            "3+ cycles",
+            "half-miss",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 r.benchmark.clone(),

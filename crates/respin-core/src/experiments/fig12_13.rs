@@ -57,7 +57,12 @@ pub fn generate(
     let mut traces = Vec::new();
     for arch in [ArchConfig::ShSttCc, ArchConfig::ShSttCcOracle] {
         let r = cache.run(&params.options(arch, benchmark));
-        let t0 = r.stats.consolidation_trace.first().map(|&(t, _)| t).unwrap_or(0);
+        let t0 = r
+            .stats
+            .consolidation_trace
+            .first()
+            .map(|&(t, _)| t)
+            .unwrap_or(0);
         let series = r
             .stats
             .consolidation_trace
@@ -90,7 +95,12 @@ impl ConsolidationTraceFigure {
             "{} ({}): consolidation trace, greedy vs oracle\n",
             self.figure, self.benchmark
         );
-        let mut t = TextTable::new(vec!["config", "energy vs baseline", "paper", "state changes"]);
+        let mut t = TextTable::new(vec![
+            "config",
+            "energy vs baseline",
+            "paper",
+            "state changes",
+        ]);
         for tr in &self.traces {
             t.row(vec![
                 tr.config.clone(),
@@ -101,7 +111,10 @@ impl ConsolidationTraceFigure {
         }
         out.push_str(&t.render());
         for tr in &self.traces {
-            out.push_str(&format!("\n{} trace (t µs → active cores/cluster):\n  ", tr.config));
+            out.push_str(&format!(
+                "\n{} trace (t µs → active cores/cluster):\n  ",
+                tr.config
+            ));
             // Print up to 24 evenly-spaced samples.
             let step = (tr.series.len() / 24).max(1);
             for (i, (t_us, a)) in tr.series.iter().enumerate() {

@@ -55,7 +55,9 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig9 {
     let energy = |a: ArchConfig, b: Benchmark| -> f64 {
         let ai = all_archs.iter().position(|&x| x == a).expect("arch");
         let bi = Benchmark::ALL.iter().position(|&x| x == b).expect("bench");
-        results[ai * Benchmark::ALL.len() + bi].energy.chip_total_pj()
+        results[ai * Benchmark::ALL.len() + bi]
+            .energy
+            .chip_total_pj()
     };
 
     let mut rows: Vec<Fig9Row> = Benchmark::ALL

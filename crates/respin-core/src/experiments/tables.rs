@@ -72,14 +72,23 @@ pub fn table2_text() -> String {
         "clusters".to_string(),
         format!("{} × {} cores", c.clusters, c.cores_per_cluster),
     ]);
-    t.row(vec!["core".to_string(), "dual-issue, in-order completion".to_string()]);
-    t.row(vec!["core Vdd (NT)".to_string(), format!("{} V", c.core_vdd)]);
+    t.row(vec![
+        "core".to_string(),
+        "dual-issue, in-order completion".to_string(),
+    ]);
+    t.row(vec![
+        "core Vdd (NT)".to_string(),
+        format!("{} V", c.core_vdd),
+    ]);
     t.row(vec![
         "core frequency (NT)".to_string(),
         "417–625 MHz (period = 4–6 × 0.4 ns, per-core from variation)".to_string(),
     ]);
     t.row(vec!["cache Vdd".to_string(), format!("{} V", c.cache_vdd)]);
-    t.row(vec!["cache reference clock".to_string(), "2.5 GHz (0.4 ns)".to_string()]);
+    t.row(vec![
+        "cache reference clock".to_string(),
+        "2.5 GHz (0.4 ns)".to_string(),
+    ]);
     t.row(vec![
         "store buffer".to_string(),
         format!("{} entries/core", respin_sim::consts::STORE_BUFFER_DEPTH),
@@ -93,10 +102,7 @@ pub fn table2_text() -> String {
     ]);
     t.row(vec![
         "main memory".to_string(),
-        format!(
-            "{} ns",
-            respin_sim::consts::MEM_LATENCY_TICKS as f64 * 0.4
-        ),
+        format!("{} ns", respin_sim::consts::MEM_LATENCY_TICKS as f64 * 0.4),
     ]);
     t.row(vec![
         "consolidation epoch".to_string(),

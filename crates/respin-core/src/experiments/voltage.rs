@@ -89,7 +89,10 @@ pub fn generate(_cache: &RunCache, params: &ExpParams) -> VoltageSweep {
         });
     }
     VoltageSweep {
-        benchmarks: SWEEP_BENCHMARKS.iter().map(|b| b.name().to_string()).collect(),
+        benchmarks: SWEEP_BENCHMARKS
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect(),
         points,
     }
 }

@@ -33,7 +33,10 @@
 //! assert!(result.instructions >= 4 * 1_500);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
 
 pub mod arch;

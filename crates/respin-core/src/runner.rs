@@ -2,7 +2,8 @@
 
 use crate::arch::{ArchConfig, PolicyKind};
 use crate::consolidation::{oracle_decide, GreedyConfig, GreedySearch, OsGreedy};
-use respin_sim::{CacheSizeClass, Chip, RunResult};
+use respin_power::diag::Report;
+use respin_sim::{CacheSizeClass, Chip, ChipConfig, RunResult};
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 
@@ -59,16 +60,30 @@ impl RunOptions {
             .unwrap_or(respin_workloads::suite::DEFAULT_INSTRUCTIONS_PER_THREAD)
     }
 
-    /// Builds the chip for these options (stream = warm-up + measured).
-    pub fn build_chip(&self) -> Chip {
+    /// The resolved simulator configuration these options describe.
+    pub fn chip_config(&self) -> ChipConfig {
         let mut config = self.arch.chip_config(self.size, self.cores_per_cluster);
         config.clusters = self.clusters;
-        config.instructions_per_thread =
-            Some(self.measured_per_thread() + self.warmup_per_thread);
+        config.instructions_per_thread = Some(self.measured_per_thread() + self.warmup_per_thread);
         if let Some(epoch) = self.epoch_instructions {
             config.epoch_instructions = epoch;
         }
-        Chip::new(config, &self.benchmark.spec(), self.seed)
+        config
+    }
+
+    /// Builds the chip for these options (stream = warm-up + measured),
+    /// panicking on an invalid configuration.
+    pub fn build_chip(&self) -> Chip {
+        match self.try_build_chip() {
+            Ok(chip) => chip,
+            Err(report) => panic!("invalid run options:\n{report}"),
+        }
+    }
+
+    /// Builds the chip, returning the full diagnostic [`Report`] when the
+    /// resolved configuration violates a structural invariant.
+    pub fn try_build_chip(&self) -> Result<Chip, Report> {
+        Chip::try_new(self.chip_config(), &self.benchmark.spec(), self.seed)
     }
 }
 
@@ -102,7 +117,6 @@ pub fn epoch_epi_public(report: &respin_sim::EpochReport) -> f64 {
     }
     report.cluster_energy_pj.iter().sum::<f64>() / instr as f64
 }
-
 
 fn run_greedy(chip: &mut Chip) -> RunResult {
     let n = chip.config.cores_per_cluster;
@@ -182,8 +196,7 @@ mod tests {
             let o = quick(arch);
             let mut config = o.arch.chip_config(o.size, o.cores_per_cluster);
             config.clusters = o.clusters;
-            config.instructions_per_thread =
-                Some(o.measured_per_thread() + o.warmup_per_thread);
+            config.instructions_per_thread = Some(o.measured_per_thread() + o.warmup_per_thread);
             config.epoch_instructions = 2_000;
             Chip::new(config, &o.benchmark.spec(), o.seed)
         };
@@ -235,6 +248,19 @@ mod tests {
             oracle.energy.chip_total_pj(),
             greedy.energy.chip_total_pj()
         );
+    }
+
+    #[test]
+    fn try_build_chip_reports_structured_diagnostics() {
+        let mut o = quick(ArchConfig::ShStt);
+        o.epoch_instructions = Some(0);
+        let report = o.try_build_chip().expect_err("zero epoch must be rejected");
+        assert!(
+            report.violations.iter().any(|v| v.code == "CFG-EPOCH"),
+            "{report}"
+        );
+        o.epoch_instructions = None;
+        assert!(o.try_build_chip().is_ok());
     }
 
     #[test]

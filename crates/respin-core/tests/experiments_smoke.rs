@@ -2,6 +2,8 @@
 //! generates, its output is well-formed, and the headline *directions*
 //! hold even on tiny runs.
 
+#![allow(clippy::unwrap_used)]
+
 use respin_core::experiments::{
     ablation, cluster_sweep, fig1, fig10, fig11, fig12_13, fig14, fig6, fig7, fig8, fig9,
     ExpParams, RunCache,
@@ -23,8 +25,7 @@ fn fig1_fractions_form_a_distribution_and_nt_is_leakier() {
     let d = fig1::generate(&cache, &micro());
     assert_eq!(d.rows.len(), 2);
     for r in &d.rows {
-        let total =
-            r.core_dynamic + r.core_leakage + r.cache_dynamic + r.cache_leakage + r.other;
+        let total = r.core_dynamic + r.core_leakage + r.cache_dynamic + r.cache_leakage + r.other;
         assert!((total - 1.0).abs() < 1e-6, "{}: {total}", r.point);
     }
     let nominal = &d.rows[0];
@@ -68,7 +69,10 @@ fn fig7_shared_designs_are_faster_hp_fastest() {
     assert_eq!(mean.benchmark, "geomean");
     assert!(mean.sh_stt < 1.0, "SH-STT mean {}", mean.sh_stt);
     assert!(mean.hp_sram_cmp < mean.sh_stt, "HP fastest");
-    assert!((mean.sh_stt - mean.sh_sram_nom).abs() < 0.05, "near-identical organisations");
+    assert!(
+        (mean.sh_stt - mean.sh_sram_nom).abs() < 0.05,
+        "near-identical organisations"
+    );
 }
 
 #[test]
@@ -85,8 +89,16 @@ fn fig8_stt_advantage_grows_with_cache_size() {
     assert!(stt[0] > stt[2], "monotone trend small→large: {stt:?}");
     // SRAM at nominal voltage must always be worse than STT at same size.
     for size in ["small", "medium", "large"] {
-        let stt_v = d.rows.iter().find(|r| r.config == "SH-STT" && r.size == size).unwrap();
-        let sram_v = d.rows.iter().find(|r| r.config == "SH-SRAM-Nom" && r.size == size).unwrap();
+        let stt_v = d
+            .rows
+            .iter()
+            .find(|r| r.config == "SH-STT" && r.size == size)
+            .unwrap();
+        let sram_v = d
+            .rows
+            .iter()
+            .find(|r| r.config == "SH-SRAM-Nom" && r.size == size)
+            .unwrap();
         assert!(sram_v.vs_baseline > stt_v.vs_baseline, "{size}");
     }
 }
@@ -123,7 +135,11 @@ fn fig11_one_cycle_dominates() {
     let d = fig11::generate(&cache, &micro());
     let mean = d.rows.last().unwrap();
     assert_eq!(mean.benchmark, "mean");
-    assert!(mean.cycles[0] > 0.7, "one-cycle fraction {}", mean.cycles[0]);
+    assert!(
+        mean.cycles[0] > 0.7,
+        "one-cycle fraction {}",
+        mean.cycles[0]
+    );
     let total: f64 = mean.cycles.iter().sum();
     assert!((total - 1.0).abs() < 1e-9);
 }

@@ -66,7 +66,10 @@ impl Floorplan {
 
     /// The largest cluster→L3 hop count (the worst-case corner).
     pub fn max_hops_to_l3(&self) -> u64 {
-        (0..self.clusters()).map(|k| self.hops_to_l3(k)).max().unwrap_or(1)
+        (0..self.clusters())
+            .map(|k| self.hops_to_l3(k))
+            .max()
+            .unwrap_or(1)
     }
 }
 

@@ -17,7 +17,10 @@
 //! Everything is deterministic and `Clone` (the simulator's oracle relies
 //! on cloned replay).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
 
 pub mod floorplan;

@@ -26,6 +26,8 @@
 //!   the alpha-power-law delay model in voltage.
 //!
 //! Modules:
+//! * [`diag`] — structured [`diag::Violation`]/[`diag::Report`] diagnostics
+//!   shared by every validation pass in the workspace.
 //! * [`units`] — unit conventions and conversion helpers.
 //! * [`scaling`] — voltage/frequency/leakage scaling laws.
 //! * [`sram`] / [`sttram`] — memory-array models behind a common
@@ -34,9 +36,13 @@
 //! * [`level_shifter`] — cross-voltage-domain shifter overheads.
 //! * [`table3`] — regenerates the paper's Table III from these models.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
 
+pub mod diag;
 pub mod level_shifter;
 pub mod logic;
 pub mod scaling;
@@ -45,6 +51,7 @@ pub mod sttram;
 pub mod table3;
 pub mod units;
 
+pub use diag::{Report, Severity, Violation};
 pub use level_shifter::LevelShifter;
 pub use logic::{CoreEnergyModel, CoreEvent};
 pub use scaling::{alpha_power_delay_factor, VoltageScaling};

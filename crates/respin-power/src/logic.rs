@@ -163,8 +163,8 @@ mod tests {
     #[test]
     fn nt_dynamic_energy_is_16_percent() {
         let m = CoreEnergyModel::default();
-        let ratio = m.event_energy_pj(CoreEvent::IntAlu, 0.4)
-            / m.event_energy_pj(CoreEvent::IntAlu, 1.0);
+        let ratio =
+            m.event_energy_pj(CoreEvent::IntAlu, 0.4) / m.event_energy_pj(CoreEvent::IntAlu, 1.0);
         assert!((ratio - 0.16).abs() < 1e-12);
     }
 

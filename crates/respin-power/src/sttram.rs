@@ -96,7 +96,8 @@ impl SttRamModel {
         if vdd <= WRITE_DRIVER_VTH {
             return f64::INFINITY;
         }
-        ANCHOR_WRITE_LATENCY_PS * ((1.0 - WRITE_DRIVER_VTH) / (vdd - WRITE_DRIVER_VTH)).powf(WRITE_LATENCY_EXP)
+        ANCHOR_WRITE_LATENCY_PS
+            * ((1.0 - WRITE_DRIVER_VTH) / (vdd - WRITE_DRIVER_VTH)).powf(WRITE_LATENCY_EXP)
     }
 }
 

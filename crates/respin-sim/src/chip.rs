@@ -28,6 +28,7 @@ use crate::memsys::{MainMemory, MemLevel};
 use crate::shared_l1::L1Event;
 use crate::stats::ChipStats;
 use respin_noc::{mesh::Endpoint, Mesh};
+use respin_power::diag::Report;
 use respin_power::{array_params, CoreEnergyModel, CoreEvent};
 use respin_variation::{VariationConfig, VariationMap};
 use respin_workloads::{Op, WorkloadSpec};
@@ -167,8 +168,20 @@ pub struct Chip {
 impl Chip {
     /// Builds a chip running `spec` (one thread per virtual core) with the
     /// given `seed` controlling process variation and workload streams.
+    ///
+    /// Panics on an invalid configuration; use [`Chip::try_new`] to receive
+    /// the structured diagnostics instead.
     pub fn new(config: ChipConfig, spec: &WorkloadSpec, seed: u64) -> Self {
-        config.validate().expect("invalid chip configuration");
+        match Self::try_new(config, spec, seed) {
+            Ok(chip) => chip,
+            Err(report) => panic!("invalid chip configuration:\n{report}"),
+        }
+    }
+
+    /// Builds a chip, validating the configuration first. `Err` carries the
+    /// full [`Report`] of every violated invariant.
+    pub fn try_new(config: ChipConfig, spec: &WorkloadSpec, seed: u64) -> Result<Self, Report> {
+        config.validate()?;
         let mut spec = spec.clone();
         if let Some(n) = config.instructions_per_thread {
             spec.instructions_per_thread = n;
@@ -224,7 +237,7 @@ impl Chip {
         let total_threads = config.total_cores() as u32;
         let total_cores = config.total_cores();
         let mesh = Mesh::new(config.clusters);
-        Self {
+        Ok(Self {
             config,
             core_model,
             instr_e,
@@ -249,7 +262,7 @@ impl Chip {
             consolidation_trace: vec![(0, total_cores)],
             ctx_cost_core_cycles: ctx_cost,
             slice_core_cycles: slice,
-        }
+        })
     }
 
     /// True when every thread has retired its full stream.
@@ -460,9 +473,11 @@ impl Chip {
             self.coherence_messages += 2;
             // Request and response cross the mesh; the remote L2 lookup
             // sits between them.
-            let at_owner = self
-                .mesh
-                .traverse(Endpoint::Cluster(k), Endpoint::Cluster(owner as usize), earliest);
+            let at_owner = self.mesh.traverse(
+                Endpoint::Cluster(k),
+                Endpoint::Cluster(owner as usize),
+                earliest,
+            );
             let back = self.mesh.traverse(
                 Endpoint::Cluster(owner as usize),
                 Endpoint::Cluster(k),
@@ -498,7 +513,9 @@ impl Chip {
                 self.l3.write(self.l3.block_addr(ev.addr), wb_at_l3);
             }
         }
-        let back = self.mesh.traverse(Endpoint::L3, Endpoint::Cluster(k), below);
+        let back = self
+            .mesh
+            .traverse(Endpoint::L3, Endpoint::Cluster(k), below);
         (back, fill_state)
     }
 
@@ -1072,9 +1089,7 @@ impl Chip {
                         let cluster = &self.clusters[k];
                         let mut best = (c, cluster.cores[c].assigned.len());
                         for o in 0..n {
-                            if cluster.cores[o].active
-                                && cluster.cores[o].assigned.len() > best.1
-                            {
+                            if cluster.cores[o].active && cluster.cores[o].assigned.len() > best.1 {
                                 best = (o, cluster.cores[o].assigned.len());
                             }
                         }
@@ -1130,7 +1145,9 @@ impl Chip {
             if target[c] {
                 match best {
                     None => best = Some(c),
-                    Some(b) if cluster.cores[c].assigned.len() < cluster.cores[b].assigned.len() => {
+                    Some(b)
+                        if cluster.cores[c].assigned.len() < cluster.cores[b].assigned.len() =>
+                    {
                         best = Some(c)
                     }
                     _ => {}
@@ -1192,9 +1209,7 @@ impl Chip {
         let start_total: u64 = start_instr.iter().sum();
         let target = self.config.epoch_instructions * self.clusters.len() as u64;
 
-        while !self.finished()
-            && self.total_instructions() - start_total < target
-        {
+        while !self.finished() && self.total_instructions() - start_total < target {
             assert!(
                 self.tick - start_tick < MAX_EPOCH_TICKS,
                 "epoch exceeded {MAX_EPOCH_TICKS} ticks — simulator deadlock?"
@@ -1343,7 +1358,12 @@ impl Chip {
             );
         }
         s.l3 = self.l3.stats;
-        s.epochs = self.clusters.iter().map(|c| c.epoch_count).max().unwrap_or(0);
+        s.epochs = self
+            .clusters
+            .iter()
+            .map(|c| c.epoch_count)
+            .max()
+            .unwrap_or(0);
         s.coherence_messages = self.coherence_messages;
         s.migrations = self.migrations;
         s.context_switches = self.context_switches;
@@ -1415,7 +1435,10 @@ mod tests {
         assert_eq!(res.instructions, 8 * 3_000);
         let l1 = &res.stats.private_l1d[0];
         assert!(l1.hits + l1.misses > 0);
-        assert!(res.stats.coherence_messages > 0, "sharing must cause traffic");
+        assert!(
+            res.stats.coherence_messages > 0,
+            "sharing must cause traffic"
+        );
     }
 
     #[test]

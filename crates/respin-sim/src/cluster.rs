@@ -194,12 +194,7 @@ impl Cluster {
     }
 
     /// Recomputes and applies the core-leakage power after a gating change.
-    pub fn refresh_core_leakage(
-        &mut self,
-        tick: u64,
-        core_vdd: f64,
-        core_model: &CoreEnergyModel,
-    ) {
+    pub fn refresh_core_leakage(&mut self, tick: u64, core_vdd: f64, core_model: &CoreEnergyModel) {
         let mw: f64 = self
             .cores
             .iter()
@@ -250,7 +245,11 @@ impl Cluster {
             self.cores[a]
                 .mult
                 .cmp(&self.cores[b].mult)
-                .then(self.cores[a].leak_factor.total_cmp(&self.cores[b].leak_factor))
+                .then(
+                    self.cores[a]
+                        .leak_factor
+                        .total_cmp(&self.cores[b].leak_factor),
+                )
                 .then(a.cmp(&b))
         });
         idx

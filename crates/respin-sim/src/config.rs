@@ -2,6 +2,8 @@
 
 use crate::consts::{CACHE_PERIOD_PS, EPOCH_INSTRUCTIONS};
 
+use respin_power::diag::{Report, Violation};
+use respin_power::scaling::CORE_LOGIC_VTH;
 use respin_power::units::{kib, mib};
 use respin_power::{array_params, ArrayParams, CacheGeometry, MemTech};
 use respin_variation::FrequencyBand;
@@ -194,22 +196,140 @@ impl ChipConfig {
         (self.core_vdd - self.cache_vdd).abs() > 1e-9
     }
 
-    /// Validates structural consistency.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.clusters == 0 || self.cores_per_cluster == 0 {
-            return Err("need at least one cluster and one core".into());
+    /// Checks every structural invariant, collecting all violations instead
+    /// of stopping at the first. A clean report means [`crate::Chip::new`]
+    /// will not panic on this configuration.
+    pub fn check(&self) -> Report {
+        let mut report = Report::new();
+        if self.clusters == 0 {
+            report.push(Violation::error(
+                "CFG-CORES",
+                "chip has at least one cluster and one core",
+                "ChipConfig.clusters",
+                "cluster count is zero",
+            ));
         }
-        self.l1i_geometry().validate()?;
-        self.l1d_geometry().validate()?;
-        self.l2_geometry().validate()?;
-        self.l3_geometry().validate()?;
-        if !(0.3..=1.2).contains(&self.core_vdd) || !(0.3..=1.2).contains(&self.cache_vdd) {
-            return Err("supply voltages out of modelled range".into());
+        if self.cores_per_cluster == 0 {
+            report.push(Violation::error(
+                "CFG-CORES",
+                "chip has at least one cluster and one core",
+                "ChipConfig.cores_per_cluster",
+                "cluster size is zero",
+            ));
+        }
+        // Geometry checks only make sense once the counts are non-zero
+        // (shared-L1 capacity scales with the cluster size).
+        if self.clusters > 0 && self.cores_per_cluster > 0 {
+            let geometries = [
+                ("ChipConfig.l1i_geometry", self.l1i_geometry()),
+                ("ChipConfig.l1d_geometry", self.l1d_geometry()),
+                ("ChipConfig.l2_geometry", self.l2_geometry()),
+                ("ChipConfig.l3_geometry", self.l3_geometry()),
+            ];
+            for (loc, g) in geometries {
+                if let Err(e) = g.validate() {
+                    report.push(Violation::error(
+                        "CFG-GEOMETRY",
+                        "cache geometries are well-formed",
+                        loc,
+                        e,
+                    ));
+                }
+            }
+        }
+        for (loc, v) in [
+            ("ChipConfig.core_vdd", self.core_vdd),
+            ("ChipConfig.cache_vdd", self.cache_vdd),
+        ] {
+            if !(0.3..=1.2).contains(&v) {
+                report.push(Violation::error(
+                    "CFG-VDD-RANGE",
+                    "supply voltages stay in the modelled 0.3-1.2 V range",
+                    loc,
+                    format!("{v} V is outside 0.3..=1.2 V"),
+                ));
+            }
+        }
+        // The paper's dual-rail premise (§II): the cache rail stays at or
+        // above the core rail so the shared cache keeps serving the whole
+        // cluster at speed while cores scale toward threshold. An inverted
+        // ordering would mean level shifters step *down* into the cache —
+        // the design the paper argues against.
+        if self.cache_vdd < self.core_vdd - 1e-9 {
+            report.push(Violation::error(
+                "RAIL-ORDER",
+                "cache rail is at or above the core rail",
+                "ChipConfig.cache_vdd",
+                format!(
+                    "cache rail {} V is below core rail {} V",
+                    self.cache_vdd, self.core_vdd
+                ),
+            ));
+        }
+        // Below the logic threshold the alpha-power delay diverges: cores
+        // never switch and the simulation cannot make progress.
+        if self.core_vdd <= CORE_LOGIC_VTH {
+            report.push(Violation::error(
+                "CFG-SUBTHRESHOLD",
+                "core rail is above the logic threshold voltage",
+                "ChipConfig.core_vdd",
+                format!(
+                    "core rail {} V does not exceed Vth = {CORE_LOGIC_VTH} V; fmax is zero",
+                    self.core_vdd
+                ),
+            ));
+        }
+        // The cache arrays must actually switch at the cache rail:
+        // an SRAM array biased at or below its (higher) threshold would
+        // report infinite latency.
+        if self.clusters > 0 && self.cores_per_cluster > 0 {
+            let params = self.l1_params(self.l1d_geometry());
+            if !params.read_latency_ps.is_finite() || !params.write_latency_ps.is_finite() {
+                report.push(Violation::error(
+                    "CFG-ARRAY-STALLED",
+                    "cache arrays switch at the cache rail",
+                    "ChipConfig.cache_vdd",
+                    format!(
+                        "{:?} array latency is not finite at {} V",
+                        self.cache_tech, self.cache_vdd
+                    ),
+                ));
+            }
         }
         if self.epoch_instructions == 0 {
-            return Err("epoch length must be positive".into());
+            report.push(Violation::error(
+                "CFG-EPOCH",
+                "consolidation epoch length is positive",
+                "ChipConfig.epoch_instructions",
+                "epoch length is zero",
+            ));
         }
-        Ok(())
+        if self.instructions_per_thread == Some(0) {
+            report.push(Violation::error(
+                "CFG-BUDGET",
+                "per-thread instruction budget is positive",
+                "ChipConfig.instructions_per_thread",
+                "budget override is zero",
+            ));
+        }
+        // Dual-rail chips cross level shifters; zero delivery latency would
+        // silently model them as free (§II-A budgets 2 cycles). Advisory:
+        // the ablation sweeps this knob deliberately.
+        if self.has_dual_rails() && self.delivery_ticks == 0 {
+            report.push(Violation::warning(
+                "LS-DELIVERY",
+                "dual-rail requests pay a level-shifter delivery latency",
+                "ChipConfig.delivery_ticks",
+                "delivery latency is zero while rails differ (level shifters modelled free)",
+            ));
+        }
+        report
+    }
+
+    /// Validates structural consistency; `Err` carries the full diagnostic
+    /// report (all violations, not just the first).
+    pub fn validate(&self) -> Result<(), Report> {
+        self.check().into_result()
     }
 }
 
@@ -282,5 +402,64 @@ mod tests {
         let mut c = ChipConfig::nt_base();
         c.epoch_instructions = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_rails() {
+        let mut c = ChipConfig::nt_base();
+        c.core_vdd = 1.0;
+        c.cache_vdd = 0.65;
+        let report = c.check();
+        assert!(report.violations.iter().any(|v| v.code == "RAIL-ORDER"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn rejects_subthreshold_core_rail() {
+        let mut c = ChipConfig::nt_base();
+        c.core_vdd = 0.30; // == CORE_LOGIC_VTH: in range, but fmax = 0.
+        let report = c.check();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.code == "CFG-SUBTHRESHOLD"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn rejects_stalled_sram_array() {
+        let mut c = ChipConfig::nt_base();
+        c.cache_tech = MemTech::Sram;
+        c.cache_vdd = 0.5; // below SRAM_ARRAY_VTH = 0.577: infinite latency.
+        c.core_vdd = 0.4;
+        let report = c.check();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.code == "CFG-ARRAY-STALLED"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn free_level_shifters_warn_but_pass() {
+        let mut c = ChipConfig::nt_base();
+        c.delivery_ticks = 0; // the ablation's knob
+        let report = c.check();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.violations.iter().any(|v| v.code == "LS-DELIVERY"));
+    }
+
+    #[test]
+    fn check_collects_multiple_violations() {
+        let mut c = ChipConfig::nt_base();
+        c.clusters = 0;
+        c.epoch_instructions = 0;
+        c.core_vdd = 2.0;
+        let report = c.check();
+        assert!(report.error_count() >= 3, "{report}");
     }
 }

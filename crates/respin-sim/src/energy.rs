@@ -52,15 +52,15 @@ impl LeakageIntegrator {
 
     /// Total energy up to `tick`, pJ.
     pub fn energy_pj(&self, tick: u64) -> f64 {
-        let pending = self.power_mw * (tick.saturating_sub(self.last_tick)) as f64 * self.tick_ps
-            / 1_000.0;
+        let pending =
+            self.power_mw * (tick.saturating_sub(self.last_tick)) as f64 * self.tick_ps / 1_000.0;
         self.acc_pj + pending
     }
 
     fn accumulate(&mut self, tick: u64) {
         debug_assert!(tick >= self.last_tick, "time must not run backwards");
-        self.acc_pj += self.power_mw * (tick.saturating_sub(self.last_tick)) as f64 * self.tick_ps
-            / 1_000.0;
+        self.acc_pj +=
+            self.power_mw * (tick.saturating_sub(self.last_tick)) as f64 * self.tick_ps / 1_000.0;
         self.last_tick = tick;
     }
 }

@@ -247,7 +247,9 @@ impl SharedL1 {
                     // random choice: rotate priority with the tick.
                     let rot = (slot + now as usize) % self.reads.len();
                     let key = r.effective_deadline(now);
-                    if best.is_none_or(|(bk, bslot)| (key, rot) < (bk, (bslot + now as usize) % self.reads.len())) {
+                    if best.is_none_or(|(bk, bslot)| {
+                        (key, rot) < (bk, (bslot + now as usize) % self.reads.len())
+                    }) {
                         best = Some((key, slot));
                     }
                 }
@@ -509,7 +511,13 @@ mod tests {
         for t in 1..=3 {
             all.extend(run_tick(&mut c, t));
         }
-        assert!(matches!(all[..], [L1Event::StoreMiss { core: 0, addr: 0x900 }]));
+        assert!(matches!(
+            all[..],
+            [L1Event::StoreMiss {
+                core: 0,
+                addr: 0x900
+            }]
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Scenario tests: targeted behaviours of the simulated machine observed
 //! through tiny, purpose-built workloads.
 
+#![allow(clippy::unwrap_used)]
+
 use respin_power::MemTech;
 use respin_sim::core::VcState;
 use respin_sim::{CacheSizeClass, Chip, ChipConfig, CtxSwitchModel, L1Org};
@@ -48,14 +50,18 @@ fn pure_compute_reaches_dual_issue_throughput() {
 fn mispredicts_cost_pipeline_flushes() {
     let clean = {
         let spec = spec_with(compute_phase(), 8_000);
-        Chip::new(base_config(4), &spec, 1).run_to_completion().ticks
+        Chip::new(base_config(4), &spec, 1)
+            .run_to_completion()
+            .ticks
     };
     let noisy = {
         let mut p = compute_phase();
         p.branch_frac = 0.2;
         p.mispredict_rate = 0.2;
         let spec = spec_with(p, 8_000);
-        Chip::new(base_config(4), &spec, 1).run_to_completion().ticks
+        Chip::new(base_config(4), &spec, 1)
+            .run_to_completion()
+            .ticks
     };
     // 4% of instructions flush 6 cycles ⇒ ≥15% slower.
     assert!(
@@ -75,7 +81,9 @@ fn idle_phases_reduce_ipc_but_not_instruction_count() {
     assert_eq!(res.instructions, 4 * 8_000);
     let busy = {
         let spec = spec_with(compute_phase(), 8_000);
-        Chip::new(base_config(4), &spec, 1).run_to_completion().ticks
+        Chip::new(base_config(4), &spec, 1)
+            .run_to_completion()
+            .ticks
     };
     assert!(res.ticks > busy * 2, "idle ops must stretch the run");
 }
@@ -101,13 +109,17 @@ fn lock_contention_serialises_critical_sections() {
     p.lock_prob = 0.05; // very hot single lock
     let mut spec = spec_with(p, 6_000);
     spec.locks = 1;
-    let contended = Chip::new(base_config(8), &spec, 1).run_to_completion().ticks;
+    let contended = Chip::new(base_config(8), &spec, 1)
+        .run_to_completion()
+        .ticks;
 
     let mut p2 = compute_phase();
     p2.lock_prob = 0.05;
     let mut spec2 = spec_with(p2, 6_000);
     spec2.locks = 64; // same lock rate, spread across many locks
-    let spread = Chip::new(base_config(8), &spec2, 1).run_to_completion().ticks;
+    let spread = Chip::new(base_config(8), &spec2, 1)
+        .run_to_completion()
+        .ticks;
     assert!(
         contended > spread,
         "single hot lock must serialise: {contended} vs {spread}"
@@ -127,7 +139,9 @@ fn barriers_cost_synchronisation_time() {
         p.idle_cycles = 4;
         p.barrier_interval = barrier_interval;
         let spec = spec_with(p, 6_000);
-        Chip::new(base_config(8), &spec, 1).run_to_completion().ticks
+        Chip::new(base_config(8), &spec, 1)
+            .run_to_completion()
+            .ticks
     };
     let with_barriers = run(250);
     let without = run(0);

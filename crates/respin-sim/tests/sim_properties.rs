@@ -186,7 +186,11 @@ fn frequency_bands_respected_across_seeds() {
             100,
         );
         for core in &chip.clusters[0].cores {
-            assert!((4..=6).contains(&core.mult), "NT band violated: {}", core.mult);
+            assert!(
+                (4..=6).contains(&core.mult),
+                "NT band violated: {}",
+                core.mult
+            );
             assert!(core.leak_factor > 0.3 && core.leak_factor < 3.0);
         }
     }

@@ -16,7 +16,10 @@
 //! Everything is deterministic in the seed: the same `(VariationConfig,
 //! seed)` pair always produces the same [`VariationMap`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
 
 pub mod field;

@@ -1,0 +1,383 @@
+//! Abstract model of the shared-L1 read-port arbiter (§II-A, Figure 3).
+//!
+//! Mirrors the request-register / priority-register machine of
+//! `respin_sim::shared_l1::SharedL1` for a single cluster of identical
+//! cores, abstracting away addresses and the cache array (every modelled
+//! read hits; misses leave the arbitration problem and re-enter it as
+//! fills on the write port, which has no deadlines):
+//!
+//! * each core holds at most one outstanding read (loads are blocking),
+//!   issued at a core-cycle boundary and visible to the controller after
+//!   the level-shifter delivery delay;
+//! * each cache cycle the controller services **one** read, choosing the
+//!   pending request whose effective deadline expires soonest, ties rotated
+//!   with the tick (`(slot + now) % cores`, exactly the simulator's
+//!   tie-break);
+//! * a request that slips past a core-cycle boundary is a *half-miss*: its
+//!   priority register re-initialises to the next boundary.
+//!
+//! The environment is maximally adversarial within those rules: at every
+//! core-cycle boundary it issues reads from **any** subset of idle cores.
+//! The model checker then proves, over every reachable interleaving:
+//!
+//! 1. **Deadline**: every read completes within `max_core_cycles` core
+//!    cycles of issue (2 = at most one half-miss, the paper's service
+//!    histogram), and
+//! 2. **No starvation**: no request ages past `max_age` ticks unserviced;
+//! 3. **No double service**: a request register, once serviced, is cleared
+//!    and never serviced again.
+//!
+//! Two intentionally broken variants are kept as fixtures (the model
+//! checker must catch both): [`ArbiterKind::FixedPriority`] ignores the
+//! priority registers (lowest core index wins, so a high-index core can be
+//! crowded out past the 2-cycle bound), and
+//! [`ArbiterKind::NoHalfMissClear`] forgets to clear the request register
+//! when servicing a half-missed request, double-servicing it.
+
+use crate::fsm::Model;
+
+/// Which arbitration policy the modelled controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// The simulator's policy: earliest effective deadline first, ties
+    /// rotated with the tick.
+    EarliestDeadline,
+    /// Broken fixture: static priority by core index, deadlines ignored.
+    FixedPriority,
+    /// Broken fixture: half-missed requests are serviced but their request
+    /// register is not cleared.
+    NoHalfMissClear,
+}
+
+/// One core's request-register state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// No outstanding read.
+    Idle,
+    /// An outstanding read, `age` ticks after its issue boundary. The
+    /// `serviced` flag supports the double-service property (it only ever
+    /// becomes true under the [`ArbiterKind::NoHalfMissClear`] fixture).
+    Pending {
+        /// Ticks since the issue boundary.
+        age: u64,
+        /// The request has already been serviced once.
+        serviced: bool,
+    },
+}
+
+/// A detected property violation, carried in the state so the BFS trace
+/// ends exactly at the offending transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbiterFailure {
+    /// A read completed `cycles` core cycles after issue (> bound).
+    Late {
+        /// Core whose read was late.
+        core: usize,
+        /// Completion latency in core cycles.
+        cycles: u64,
+    },
+    /// A request aged past the starvation bound without service.
+    Starved {
+        /// Core whose request starved.
+        core: usize,
+    },
+    /// A request register was serviced twice.
+    DoubleService {
+        /// Core whose request was serviced twice.
+        core: usize,
+    },
+}
+
+/// State of the arbiter model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArbiterState {
+    /// Current tick modulo the core period (0 = core-cycle boundary).
+    phase: u64,
+    /// Current tick modulo the core count (the tie-break rotation).
+    rot: u64,
+    /// Per-core request registers.
+    slots: Vec<Slot>,
+    /// First property violation reached, if any.
+    failure: Option<ArbiterFailure>,
+}
+
+/// The arbiter model: `cores` identical cores of period `mult` ticks
+/// sharing one read port.
+#[derive(Debug, Clone)]
+pub struct ArbiterModel {
+    /// Cores in the cluster.
+    pub cores: usize,
+    /// Core period in cache ticks (all cores identical, boundary-aligned).
+    pub mult: u64,
+    /// Level-shifter/wire delivery latency in ticks.
+    pub delivery: u64,
+    /// Read service latency in ticks (1 for the rounded STT-RAM array).
+    pub read_ticks: u64,
+    /// Arbitration policy.
+    pub kind: ArbiterKind,
+    /// Deadline property: completions must take at most this many core
+    /// cycles (2 = at most one half-miss).
+    pub max_core_cycles: u64,
+    /// Starvation property: no request may age past this many ticks.
+    pub max_age: u64,
+}
+
+impl ArbiterModel {
+    /// The paper's cluster shape: `cores` cores at period `mult` with the
+    /// §II-A two-tick delivery, checked against the ≤ 2 core-cycle service
+    /// histogram.
+    pub fn paper(cores: usize, mult: u64, kind: ArbiterKind) -> Self {
+        ArbiterModel {
+            cores,
+            mult,
+            delivery: 2,
+            read_ticks: 1,
+            kind,
+            max_core_cycles: 2,
+            // Generous: three full periods plus the pipe latencies.
+            max_age: 3 * mult + 2 + 1,
+        }
+    }
+
+    /// The simulator's effective-deadline slack: ticks until the next
+    /// core-cycle boundary this request can still meet (re-initialised past
+    /// each boundary — the half-miss escalation).
+    fn slack(&self, age: u64) -> u64 {
+        self.mult - (age % self.mult)
+    }
+
+    /// Picks the slot to service among arrived requests, mirroring
+    /// `SharedL1::tick`'s selection loop.
+    fn pick(&self, s: &ArbiterState) -> Option<usize> {
+        let mut best: Option<(u64, u64, usize)> = None; // (key, rot, slot)
+        for (slot, reg) in s.slots.iter().enumerate() {
+            let Slot::Pending { age, .. } = *reg else {
+                continue;
+            };
+            if age < self.delivery {
+                continue; // not yet visible to the controller
+            }
+            let (key, tiebreak) = match self.kind {
+                // Broken: deadlines ignored, lowest index always wins.
+                ArbiterKind::FixedPriority => (0, slot as u64),
+                // Faithful: earliest deadline, ties rotated with the tick.
+                _ => (self.slack(age), ((slot as u64) + s.rot) % self.cores as u64),
+            };
+            if best.is_none_or(|(bk, br, _)| (key, tiebreak) < (bk, br)) {
+                best = Some((key, tiebreak, slot));
+            }
+        }
+        best.map(|(_, _, slot)| slot)
+    }
+
+    /// Applies service + aging to produce the post-tick state from a
+    /// post-issue state.
+    fn advance(&self, mut s: ArbiterState) -> ArbiterState {
+        if let Some(slot) = self.pick(&s) {
+            let Slot::Pending { age, serviced } = s.slots[slot] else {
+                unreachable!("picked slot is pending");
+            };
+            if serviced {
+                s.failure = Some(ArbiterFailure::DoubleService { core: slot });
+            } else {
+                // Data is ready at the end of tick now + read_ticks - 1;
+                // the core consumes it at its next cycle boundary.
+                let data_age = age + self.read_ticks - 1;
+                let cycles = data_age / self.mult + 1;
+                if cycles > self.max_core_cycles {
+                    s.failure = Some(ArbiterFailure::Late { core: slot, cycles });
+                } else if self.kind == ArbiterKind::NoHalfMissClear && cycles >= 2 {
+                    // Broken: the half-missed request register is left set.
+                    s.slots[slot] = Slot::Pending {
+                        age,
+                        serviced: true,
+                    };
+                } else {
+                    s.slots[slot] = Slot::Idle;
+                }
+            }
+        }
+        if s.failure.is_none() {
+            for (core, reg) in s.slots.iter_mut().enumerate() {
+                if let Slot::Pending { age, .. } = reg {
+                    *age += 1;
+                    if *age > self.max_age {
+                        s.failure = Some(ArbiterFailure::Starved { core });
+                        break;
+                    }
+                }
+            }
+        }
+        s.phase = (s.phase + 1) % self.mult;
+        s.rot = (s.rot + 1) % self.cores as u64;
+        s
+    }
+}
+
+impl Model for ArbiterModel {
+    type State = ArbiterState;
+
+    fn name(&self) -> &str {
+        match self.kind {
+            ArbiterKind::EarliestDeadline => "shared-l1-arbiter",
+            ArbiterKind::FixedPriority => "shared-l1-arbiter[broken:fixed-priority]",
+            ArbiterKind::NoHalfMissClear => "shared-l1-arbiter[broken:no-halfmiss-clear]",
+        }
+    }
+
+    fn initial(&self) -> Vec<ArbiterState> {
+        vec![ArbiterState {
+            phase: 0,
+            rot: 0,
+            slots: vec![Slot::Idle; self.cores],
+            failure: None,
+        }]
+    }
+
+    fn successors(&self, state: &ArbiterState) -> Vec<ArbiterState> {
+        if state.failure.is_some() {
+            return Vec::new(); // violations are terminal
+        }
+        if state.phase != 0 {
+            return vec![self.advance(state.clone())];
+        }
+        // Core-cycle boundary: the environment issues reads from any subset
+        // of idle cores (each bit of `mask` = one idle core's choice).
+        let idle: Vec<usize> = state
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Slot::Idle)
+            .map(|(i, _)| i)
+            .collect();
+        (0..(1u32 << idle.len()))
+            .map(|mask| {
+                let mut s = state.clone();
+                for (bit, &core) in idle.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        s.slots[core] = Slot::Pending {
+                            age: 0,
+                            serviced: false,
+                        };
+                    }
+                }
+                self.advance(s)
+            })
+            .collect()
+    }
+
+    fn check(&self, state: &ArbiterState) -> Result<(), String> {
+        match state.failure {
+            None => Ok(()),
+            Some(ArbiterFailure::Late { core, cycles }) => Err(format!(
+                "core {core}'s read completed in {cycles} core cycles \
+                 (bound: {} — more than one half-miss)",
+                self.max_core_cycles
+            )),
+            Some(ArbiterFailure::Starved { core }) => Err(format!(
+                "core {core}'s request starved past {} ticks without service",
+                self.max_age
+            )),
+            Some(ArbiterFailure::DoubleService { core }) => Err(format!(
+                "core {core}'s request register was serviced twice \
+                 (half-miss did not clear it)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::{explore, Bounds, Outcome};
+
+    #[test]
+    fn edf_arbiter_meets_two_cycle_bound_for_paper_cluster() {
+        // 4-core cluster at the 4:1 frequency ratio (mult 4): the design
+        // point §II-A sizes the mux for. Every interleaving of issues must
+        // complete within 2 core cycles.
+        let m = ArbiterModel::paper(4, 4, ArbiterKind::EarliestDeadline);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+        // Small but real: ages collapse at boundaries, so the reachable
+        // space for the aligned 4x4 instance is a few dozen states.
+        assert!(e.states >= 40, "suspiciously small space: {}", e.states);
+    }
+
+    #[test]
+    fn edf_arbiter_scales_to_slower_cores() {
+        // mult 8 (cores at 1/8 the cache clock): more slack, still proved.
+        let m = ArbiterModel::paper(4, 8, ArbiterKind::EarliestDeadline);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+    }
+
+    #[test]
+    fn fixed_priority_fixture_starves_the_last_core() {
+        // Oversubscribed mux (5 cores, period 4): EDF escalation keeps
+        // every request within 2 core cycles, but static priority lets the
+        // low-priority core slip past the bound. The checker must find it.
+        let broken = ArbiterModel::paper(5, 4, ArbiterKind::FixedPriority);
+        let e = explore(&broken, Bounds::default());
+        let Outcome::Violated(cx) = &e.outcome else {
+            panic!("broken arbiter not caught: {:?}", e.outcome);
+        };
+        assert!(
+            cx.reason.contains("core cycles") || cx.reason.contains("starved"),
+            "{}",
+            cx.reason
+        );
+        assert!(!cx.trace.is_empty());
+    }
+
+    #[test]
+    fn edf_handles_the_oversubscribed_cluster_the_fixture_fails() {
+        // Same 5-core/period-4 instance as the broken fixture: the real
+        // policy still meets the bound, isolating the fixture's bug to the
+        // arbitration order.
+        let m = ArbiterModel::paper(5, 4, ArbiterKind::EarliestDeadline);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+    }
+
+    #[test]
+    fn missing_halfmiss_clear_is_caught_as_double_service() {
+        let broken = ArbiterModel::paper(4, 4, ArbiterKind::NoHalfMissClear);
+        let e = explore(&broken, Bounds::default());
+        let Outcome::Violated(cx) = &e.outcome else {
+            panic!("double service not caught: {:?}", e.outcome);
+        };
+        assert!(cx.reason.contains("serviced twice"), "{}", cx.reason);
+    }
+}
+
+#[cfg(test)]
+mod matrix {
+    use super::*;
+    use crate::fsm::{explore, Bounds, Outcome};
+
+    #[test]
+    #[ignore]
+    fn probe() {
+        for kind in [ArbiterKind::EarliestDeadline, ArbiterKind::FixedPriority] {
+            for n in [4usize, 5, 6, 7, 8] {
+                for m in [2u64, 3, 4, 5] {
+                    let model = ArbiterModel::paper(n, m, kind);
+                    let e = explore(
+                        &model,
+                        Bounds {
+                            max_states: 3_000_000,
+                            max_depth: 100_000,
+                        },
+                    );
+                    let verdict = match &e.outcome {
+                        Outcome::Proved => "proved".to_string(),
+                        Outcome::Violated(cx) => format!("VIOLATED: {}", cx.reason),
+                        Outcome::BoundReached { bound } => format!("bound {bound}"),
+                    };
+                    println!("{kind:?} n={n} m={m}: {verdict} ({} states)", e.states);
+                }
+            }
+        }
+    }
+}

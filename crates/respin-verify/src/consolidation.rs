@@ -1,0 +1,268 @@
+//! Abstract model of the VCM's virtual-core remapping machine (§III-C).
+//!
+//! Mirrors `Chip::set_active_cores`: a cluster of `cores` physical cores
+//! hosts `vcores` virtual cores. Consolidation transitions change the
+//! active-core count; the migration algorithm must move every virtual core
+//! off powered-down cores (power-off pass) and rebalance onto woken cores
+//! (power-on pass). Timing (stall penalties) is abstracted away; what is
+//! verified is the *mapping* invariant across every reachable sequence of
+//! consolidation decisions and efficiency rankings:
+//!
+//! 1. every virtual core is assigned to **exactly one** physical core
+//!    (never unmapped, never double-mapped),
+//! 2. inactive cores host no virtual cores, and
+//! 3. the active-core count equals the requested count.
+//!
+//! The efficiency ranking the real machine derives from process variation
+//! is a free input here: the environment nondeterministically picks among
+//! representative permutations at every step, so the proof covers any
+//! variation draw.
+//!
+//! The intentionally broken fixture ([`ConsolidationModel::broken`])
+//! reproduces a classic power-gating bug: the power-off pass deactivates a
+//! core *before* moving its tenants and loses the ones that were in
+//! flight, leaving virtual cores mapped to a powered-down core.
+
+use crate::fsm::Model;
+
+/// State: per-physical-core activity and ordered tenant lists (order
+/// matters — the real `assigned` is a `Vec` whose order drives migration
+/// choices).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MappingState {
+    /// Which physical cores are powered on.
+    active: Vec<bool>,
+    /// Virtual cores hosted by each physical core, in assignment order.
+    assigned: Vec<Vec<u8>>,
+}
+
+impl MappingState {
+    /// Active-core count.
+    fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+}
+
+/// The consolidation mapping model.
+#[derive(Debug, Clone)]
+pub struct ConsolidationModel {
+    /// Physical cores in the cluster.
+    pub cores: usize,
+    /// Virtual cores (threads) in the cluster.
+    pub vcores: usize,
+    /// Efficiency rankings the environment may present (permutations of
+    /// core indices, most-efficient first).
+    pub rankings: Vec<Vec<usize>>,
+    /// When true, the power-off pass drops in-flight tenants (fixture).
+    pub broken: bool,
+}
+
+impl ConsolidationModel {
+    /// Faithful model of a cluster with one thread per physical core,
+    /// covering the identity, reversed, and interleaved rankings.
+    pub fn cluster(cores: usize) -> Self {
+        let identity: Vec<usize> = (0..cores).collect();
+        let reversed: Vec<usize> = (0..cores).rev().collect();
+        // Odd cores first, then even: a ranking that separates neighbours.
+        let interleaved: Vec<usize> = (0..cores)
+            .filter(|c| c % 2 == 1)
+            .chain((0..cores).filter(|c| c % 2 == 0))
+            .collect();
+        ConsolidationModel {
+            cores,
+            vcores: cores,
+            rankings: vec![identity, reversed, interleaved],
+            broken: false,
+        }
+    }
+
+    /// The broken-power-off fixture for the same cluster.
+    pub fn broken(cores: usize) -> Self {
+        ConsolidationModel {
+            broken: true,
+            ..Self::cluster(cores)
+        }
+    }
+
+    /// `Chip::pick_host`: the least-loaded target core, ties toward the
+    /// more efficient (earlier in `ranking`).
+    fn pick_host(state: &MappingState, ranking: &[usize], target: &[bool]) -> usize {
+        let mut best: Option<usize> = None;
+        for &c in ranking {
+            if target[c] {
+                match best {
+                    None => best = Some(c),
+                    Some(b) if state.assigned[c].len() < state.assigned[b].len() => best = Some(c),
+                    _ => {}
+                }
+            }
+        }
+        best.expect("at least one target core")
+    }
+
+    /// `Chip::set_active_cores` on the abstract state.
+    fn set_active_cores(
+        &self,
+        state: &MappingState,
+        ranking: &[usize],
+        count: usize,
+    ) -> MappingState {
+        let n = self.cores;
+        let count = count.clamp(1, n);
+        let mut s = state.clone();
+        if count == s.active_count() {
+            return s;
+        }
+        let target = {
+            let mut t = vec![false; n];
+            for &c in ranking.iter().take(count) {
+                t[c] = true;
+            }
+            t
+        };
+
+        // Power-off pass: move orphaned virtual cores to the least-loaded
+        // target.
+        for c in 0..n {
+            if !target[c] && s.active[c] {
+                let orphans = std::mem::take(&mut s.assigned[c]);
+                s.active[c] = false;
+                if self.broken {
+                    // Fixture: the core is gated first and the in-flight
+                    // tenant list is dropped on the floor.
+                    continue;
+                }
+                for vc in orphans {
+                    let host = Self::pick_host(&s, ranking, &target);
+                    s.assigned[host].push(vc);
+                }
+            }
+        }
+
+        // Power-on pass: wake targets and steal from the most loaded until
+        // balanced.
+        for &c in ranking.iter().take(count) {
+            if !s.active[c] {
+                s.active[c] = true;
+                loop {
+                    let (max_c, max_load) = {
+                        let mut best = (c, s.assigned[c].len());
+                        for o in 0..n {
+                            if s.active[o] && s.assigned[o].len() > best.1 {
+                                best = (o, s.assigned[o].len());
+                            }
+                        }
+                        best
+                    };
+                    let my_load = s.assigned[c].len();
+                    if max_c == c || max_load <= my_load + 1 {
+                        break;
+                    }
+                    let vc = s.assigned[max_c].pop().expect("load > 0");
+                    s.assigned[c].push(vc);
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Model for ConsolidationModel {
+    type State = MappingState;
+
+    fn name(&self) -> &str {
+        if self.broken {
+            "vcm-consolidation[broken:gate-before-migrate]"
+        } else {
+            "vcm-consolidation"
+        }
+    }
+
+    fn initial(&self) -> Vec<MappingState> {
+        // Build state: every core on, one virtual core per physical core
+        // (extra vcores round-robin, matching `Cluster::build`).
+        let mut assigned = vec![Vec::new(); self.cores];
+        for vc in 0..self.vcores {
+            assigned[vc % self.cores].push(vc as u8);
+        }
+        vec![MappingState {
+            active: vec![true; self.cores],
+            assigned,
+        }]
+    }
+
+    fn successors(&self, state: &MappingState) -> Vec<MappingState> {
+        // The policy may request any count; the variation draw may present
+        // any of the representative rankings.
+        let mut next = Vec::new();
+        for ranking in &self.rankings {
+            for count in 1..=self.cores {
+                next.push(self.set_active_cores(state, ranking, count));
+            }
+        }
+        next
+    }
+
+    fn check(&self, state: &MappingState) -> Result<(), String> {
+        let mut seen = vec![0u32; self.vcores];
+        for (c, tenants) in state.assigned.iter().enumerate() {
+            if !state.active[c] && !tenants.is_empty() {
+                return Err(format!(
+                    "powered-down core {c} still hosts virtual cores {tenants:?}"
+                ));
+            }
+            for &vc in tenants {
+                match seen.get_mut(vc as usize) {
+                    Some(n) => *n += 1,
+                    None => return Err(format!("unknown virtual core {vc} on core {c}")),
+                }
+            }
+        }
+        for (vc, &n) in seen.iter().enumerate() {
+            if n == 0 {
+                return Err(format!("virtual core {vc} is mapped to no active core"));
+            }
+            if n > 1 {
+                return Err(format!("virtual core {vc} is mapped {n} times"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::{explore, Bounds, Outcome};
+
+    #[test]
+    fn four_core_cluster_mapping_is_proved() {
+        let m = ConsolidationModel::cluster(4);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+        assert!(e.states > 10, "suspiciously small space: {}", e.states);
+    }
+
+    #[test]
+    fn broken_power_off_pass_is_caught() {
+        let m = ConsolidationModel::broken(4);
+        let e = explore(&m, Bounds::default());
+        let Outcome::Violated(cx) = &e.outcome else {
+            panic!("broken power-off pass not caught: {:?}", e.outcome);
+        };
+        assert!(
+            cx.reason.contains("mapped to no active core") || cx.reason.contains("still hosts"),
+            "{}",
+            cx.reason
+        );
+        // The witness is a real consolidation sequence from the all-on state.
+        assert!(cx.trace.len() >= 2);
+    }
+
+    #[test]
+    fn single_core_cluster_is_trivially_safe() {
+        let m = ConsolidationModel::cluster(1);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+    }
+}

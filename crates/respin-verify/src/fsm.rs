@@ -1,0 +1,270 @@
+//! Bounded breadth-first model checking.
+//!
+//! A [`Model`] describes a finite-state machine abstractly: initial states,
+//! a successor relation (nondeterminism = multiple successors), and a
+//! per-state safety property. [`explore`] walks the reachable state space
+//! breadth-first up to configurable bounds and either proves the property
+//! over everything reachable within them, or returns a counterexample trace
+//! (shortest path from an initial state to the violating state, courtesy of
+//! BFS order).
+//!
+//! The bounds make the pass total even on models that are accidentally
+//! unbounded: hitting a bound is reported as [`Outcome::BoundReached`],
+//! which verification treats as a failure to *prove* (distinct from a
+//! found violation).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An abstract finite-state machine with a safety property.
+pub trait Model {
+    /// One state of the machine. Must be hashable for the visited set.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// Human-readable name, used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// The initial state(s).
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// All successor states of `state` (every nondeterministic choice).
+    fn successors(&self, state: &Self::State) -> Vec<Self::State>;
+
+    /// The safety property: `Err(reason)` when `state` violates it.
+    fn check(&self, state: &Self::State) -> Result<(), String>;
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum BFS depth (transitions from an initial state).
+    pub max_depth: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_states: 1_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// A violating execution: the shortest path from an initial state to the
+/// bad state, plus the property's explanation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Why the final state violates the property.
+    pub reason: String,
+    /// States along the path, `Debug`-rendered, initial state first.
+    pub trace: Vec<String>,
+}
+
+/// What the exploration concluded.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every reachable state (within bounds) satisfies the property, and
+    /// the full reachable space was exhausted.
+    Proved,
+    /// The property was violated; the shortest witness is attached.
+    Violated(Counterexample),
+    /// A bound was hit before the space was exhausted: nothing proved.
+    BoundReached {
+        /// Which bound stopped the search.
+        bound: &'static str,
+    },
+}
+
+/// Statistics and verdict of one exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Verdict.
+    pub outcome: Outcome,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Deepest BFS layer reached.
+    pub depth: usize,
+}
+
+impl Exploration {
+    /// True when the property was proved over the exhausted space.
+    pub fn proved(&self) -> bool {
+        matches!(self.outcome, Outcome::Proved)
+    }
+}
+
+/// Explores `model` breadth-first within `bounds`.
+pub fn explore<M: Model>(model: &M, bounds: Bounds) -> Exploration {
+    // Visited set maps each state to (id, predecessor id) for trace
+    // reconstruction; initial states have no predecessor.
+    let mut visited: HashMap<M::State, (usize, Option<usize>)> = HashMap::new();
+    let mut by_id: Vec<M::State> = Vec::new();
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new(); // (id, depth)
+    let mut max_depth_seen = 0usize;
+
+    let admit = |state: M::State,
+                 pred: Option<usize>,
+                 visited: &mut HashMap<M::State, (usize, Option<usize>)>,
+                 by_id: &mut Vec<M::State>|
+     -> Option<usize> {
+        match visited.entry(state.clone()) {
+            Entry::Occupied(_) => None,
+            Entry::Vacant(slot) => {
+                let id = by_id.len();
+                by_id.push(state);
+                slot.insert((id, pred));
+                Some(id)
+            }
+        }
+    };
+
+    for s in model.initial() {
+        if let Some(id) = admit(s, None, &mut visited, &mut by_id) {
+            queue.push_back((id, 0));
+        }
+    }
+
+    while let Some((id, depth)) = queue.pop_front() {
+        max_depth_seen = max_depth_seen.max(depth);
+        let state = by_id[id].clone();
+        if let Err(reason) = model.check(&state) {
+            return Exploration {
+                outcome: Outcome::Violated(reconstruct(&by_id, &visited, id, reason)),
+                states: by_id.len(),
+                depth: max_depth_seen,
+            };
+        }
+        if depth >= bounds.max_depth {
+            return Exploration {
+                outcome: Outcome::BoundReached { bound: "max_depth" },
+                states: by_id.len(),
+                depth: max_depth_seen,
+            };
+        }
+        for next in model.successors(&state) {
+            if by_id.len() >= bounds.max_states {
+                return Exploration {
+                    outcome: Outcome::BoundReached {
+                        bound: "max_states",
+                    },
+                    states: by_id.len(),
+                    depth: max_depth_seen,
+                };
+            }
+            if let Some(nid) = admit(next, Some(id), &mut visited, &mut by_id) {
+                queue.push_back((nid, depth + 1));
+            }
+        }
+    }
+
+    Exploration {
+        outcome: Outcome::Proved,
+        states: by_id.len(),
+        depth: max_depth_seen,
+    }
+}
+
+fn reconstruct<S: Clone + Eq + Hash + Debug>(
+    by_id: &[S],
+    visited: &HashMap<S, (usize, Option<usize>)>,
+    mut id: usize,
+    reason: String,
+) -> Counterexample {
+    let mut trace = Vec::new();
+    loop {
+        let state = &by_id[id];
+        trace.push(format!("{state:?}"));
+        match visited.get(state).and_then(|&(_, pred)| pred) {
+            Some(p) => id = p,
+            None => break,
+        }
+    }
+    trace.reverse();
+    Counterexample { reason, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that wraps at `modulus`; property: never reaches `bad`.
+    struct Wrap {
+        modulus: u32,
+        bad: Option<u32>,
+    }
+
+    impl Model for Wrap {
+        type State = u32;
+        fn name(&self) -> &str {
+            "wrap"
+        }
+        fn initial(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn successors(&self, s: &u32) -> Vec<u32> {
+            vec![(s + 1) % self.modulus]
+        }
+        fn check(&self, s: &u32) -> Result<(), String> {
+            match self.bad {
+                Some(b) if *s == b => Err(format!("reached forbidden value {b}")),
+                _ => Ok(()),
+            }
+        }
+    }
+
+    #[test]
+    fn proves_safe_machines() {
+        let e = explore(
+            &Wrap {
+                modulus: 16,
+                bad: None,
+            },
+            Bounds::default(),
+        );
+        assert!(e.proved());
+        assert_eq!(e.states, 16);
+    }
+
+    #[test]
+    fn finds_shortest_counterexample() {
+        let e = explore(
+            &Wrap {
+                modulus: 16,
+                bad: Some(5),
+            },
+            Bounds::default(),
+        );
+        match e.outcome {
+            Outcome::Violated(cx) => {
+                assert_eq!(cx.trace.len(), 6, "{cx:?}"); // 0..=5
+                assert_eq!(cx.trace.first().map(String::as_str), Some("0"));
+                assert_eq!(cx.trace.last().map(String::as_str), Some("5"));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_bound_exhaustion() {
+        let e = explore(
+            &Wrap {
+                modulus: 1000,
+                bad: None,
+            },
+            Bounds {
+                max_states: 10,
+                max_depth: 10_000,
+            },
+        );
+        assert!(matches!(
+            e.outcome,
+            Outcome::BoundReached {
+                bound: "max_states"
+            }
+        ));
+    }
+}

@@ -1,0 +1,518 @@
+//! The declared invariant registry.
+//!
+//! Each [`Invariant`] names one property the configuration and technology
+//! models must satisfy, with a stable code, a human description, and a
+//! check function that appends [`Violation`]s to a [`Report`]. The
+//! registry is data, not control flow: front-ends iterate [`registry`] so
+//! the set of checked properties is inspectable (`respin-verify --list`).
+//!
+//! Checks operate on a [`CheckContext`]: the [`ChipConfig`] under test
+//! plus derived artefacts (the sampled core-logic frequency curve, the
+//! regenerated Table III) that front-ends may substitute with seeded bad
+//! inputs to exercise the checker itself.
+
+use respin_power::diag::{Report, Violation};
+use respin_power::scaling::{VoltageScaling, CORE_LOGIC_VTH};
+use respin_power::table3::{self, Table3Row};
+use respin_sim::{CacheSizeClass, ChipConfig};
+use respin_variation::quantize_period;
+
+/// Everything an invariant check may inspect.
+#[derive(Debug, Clone)]
+pub struct CheckContext {
+    /// Label of the configuration under check (used in locations).
+    pub name: String,
+    /// The chip configuration.
+    pub config: ChipConfig,
+    /// Sampled core-logic frequency curve: `(vdd, fmax_mhz)` points in
+    /// ascending `vdd` order. Derived from the scaling laws by default;
+    /// front-ends may substitute a seeded curve.
+    pub freq_curve: Vec<(f64, f64)>,
+    /// Regenerated Table III rows (model + paper values).
+    pub table3: Vec<Table3Row>,
+    /// Chip-wide core count the configuration promises (e.g. the Table IV
+    /// sweeps keep 64 cores). `None` when nothing is promised.
+    pub declared_total_cores: Option<usize>,
+}
+
+impl CheckContext {
+    /// Context for `config` with model-derived curve and tables.
+    pub fn new(name: impl Into<String>, config: ChipConfig) -> Self {
+        CheckContext {
+            name: name.into(),
+            freq_curve: sample_freq_curve(),
+            table3: table3::generate(),
+            declared_total_cores: None,
+            config,
+        }
+    }
+
+    /// Promises a chip-wide core count (enables the CLUSTER-DIVIDE check).
+    pub fn with_declared_cores(mut self, total: usize) -> Self {
+        self.declared_total_cores = Some(total);
+        self
+    }
+
+    /// Substitutes the frequency curve (seeded bad inputs).
+    pub fn with_freq_curve(mut self, curve: Vec<(f64, f64)>) -> Self {
+        self.freq_curve = curve;
+        self
+    }
+}
+
+/// Samples the core-logic `fmax` law above threshold up to the modelled
+/// voltage ceiling, at a nominal 2.5 GHz design frequency.
+fn sample_freq_curve() -> Vec<(f64, f64)> {
+    let s = VoltageScaling::core_logic();
+    let mut curve = Vec::new();
+    // 50 mV steps from just above Vth to the 1.2 V model ceiling.
+    let mut mv = (CORE_LOGIC_VTH * 1000.0) as u64 + 50;
+    while mv <= 1200 {
+        let vdd = mv as f64 / 1000.0;
+        curve.push((vdd, s.fmax_mhz(2500.0, vdd, 0.0)));
+        mv += 50;
+    }
+    curve
+}
+
+/// One declared invariant.
+pub struct Invariant {
+    /// Stable machine-readable code shared by its violations.
+    pub code: &'static str,
+    /// Short human name.
+    pub name: &'static str,
+    /// What the property means and why it must hold.
+    pub description: &'static str,
+    check: fn(&CheckContext, &mut Report),
+}
+
+impl Invariant {
+    /// Runs this invariant's check, appending violations to `report`.
+    pub fn run(&self, ctx: &CheckContext, report: &mut Report) {
+        (self.check)(ctx, report);
+    }
+}
+
+/// The full registry, in check order.
+pub fn registry() -> Vec<Invariant> {
+    vec![
+        Invariant {
+            code: "CFG",
+            name: "chip configuration structural invariants",
+            description: "ChipConfig::check: geometry, voltage ranges, dual-rail \
+                          ordering (cache rail >= core rail), thresholds, epoch \
+                          and budget positivity",
+            check: |ctx, report| report.merge(ctx.config.check()),
+        },
+        Invariant {
+            code: "CLUSTER-DIVIDE",
+            name: "cluster size divides the declared core count",
+            description: "a sweep that promises a fixed chip-wide core count must \
+                          pick cluster sizes that tile it exactly; otherwise the \
+                          built chip silently shrinks",
+            check: check_cluster_divide,
+        },
+        Invariant {
+            code: "FREQ-MONOTONIC",
+            name: "frequency curve is finite and monotonic in Vdd",
+            description: "fmax(vdd) from the alpha-power law must be finite, \
+                          non-negative, and non-decreasing over the modelled \
+                          range — a non-monotonic curve breaks every sweep that \
+                          bisects on voltage",
+            check: check_freq_monotonic,
+        },
+        Invariant {
+            code: "FREQ-BAND",
+            name: "configured band quantises the NT operating point",
+            description: "the config's frequency band must admit the period \
+                          multiple its own (core_vdd) operating point quantises \
+                          to, or every core saturates at a band edge",
+            check: check_freq_band,
+        },
+        Invariant {
+            code: "TABLE3-CAL",
+            name: "technology models reproduce the paper's Table III",
+            description: "area, latency, energy, and leakage of every Table III \
+                          row must stay within 5% of the published values",
+            check: check_table3_calibration,
+        },
+        Invariant {
+            code: "TABLE3-UNITS",
+            name: "Table III rows are physically sane",
+            description: "positive finite area/latency/energy/leakage; STT-RAM \
+                          writes slower than reads (NVM asymmetry); STT-RAM \
+                          leakage below SRAM at equal capacity and voltage",
+            check: check_table3_units,
+        },
+        Invariant {
+            code: "SCALE-SANE",
+            name: "scaling laws are anchored and monotonic",
+            description: "delay factor is 1 at nominal and falls as Vdd rises; \
+                          dynamic energy scales as Vdd^2; leakage factor is \
+                          linear in Vdd",
+            check: check_scaling_sane,
+        },
+    ]
+}
+
+fn check_cluster_divide(ctx: &CheckContext, report: &mut Report) {
+    let Some(total) = ctx.declared_total_cores else {
+        return;
+    };
+    let per = ctx.config.cores_per_cluster;
+    if per == 0 {
+        return; // CFG already reports this
+    }
+    if total % per != 0 {
+        report.push(Violation::error(
+            "CLUSTER-DIVIDE",
+            "cluster size divides the declared core count",
+            format!("{}.cores_per_cluster", ctx.name),
+            format!("cluster size {per} does not divide the declared {total} cores"),
+        ));
+    } else if ctx.config.total_cores() != total {
+        report.push(Violation::error(
+            "CLUSTER-DIVIDE",
+            "cluster size divides the declared core count",
+            format!("{}.clusters", ctx.name),
+            format!(
+                "{} clusters x {per} cores = {}, not the declared {total}",
+                ctx.config.clusters,
+                ctx.config.total_cores()
+            ),
+        ));
+    }
+}
+
+fn check_freq_monotonic(ctx: &CheckContext, report: &mut Report) {
+    let curve = &ctx.freq_curve;
+    if curve.is_empty() {
+        report.push(Violation::error(
+            "FREQ-MONOTONIC",
+            "frequency curve is finite and monotonic in Vdd",
+            format!("{}.freq_curve", ctx.name),
+            "frequency curve is empty",
+        ));
+        return;
+    }
+    for (i, w) in curve.windows(2).enumerate() {
+        if w[1].0 <= w[0].0 {
+            report.push(Violation::error(
+                "FREQ-MONOTONIC",
+                "frequency curve is finite and monotonic in Vdd",
+                format!("{}.freq_curve[{}]", ctx.name, i + 1),
+                format!(
+                    "curve not sampled in ascending Vdd order: {} after {}",
+                    w[1].0, w[0].0
+                ),
+            ));
+        }
+        if w[1].1 < w[0].1 {
+            report.push(Violation::error(
+                "FREQ-MONOTONIC",
+                "frequency curve is finite and monotonic in Vdd",
+                format!("{}.freq_curve[{}]", ctx.name, i + 1),
+                format!(
+                    "fmax falls from {:.1} to {:.1} MHz as Vdd rises {} -> {} V",
+                    w[0].1, w[1].1, w[0].0, w[1].0
+                ),
+            ));
+        }
+    }
+    for (i, &(vdd, mhz)) in curve.iter().enumerate() {
+        if !mhz.is_finite() || mhz < 0.0 {
+            report.push(Violation::error(
+                "FREQ-MONOTONIC",
+                "frequency curve is finite and monotonic in Vdd",
+                format!("{}.freq_curve[{i}]", ctx.name),
+                format!("fmax at {vdd} V is {mhz} MHz"),
+            ));
+        } else if vdd > CORE_LOGIC_VTH && mhz == 0.0 {
+            report.push(Violation::error(
+                "FREQ-MONOTONIC",
+                "frequency curve is finite and monotonic in Vdd",
+                format!("{}.freq_curve[{i}]", ctx.name),
+                format!("fmax is zero at {vdd} V, above the {CORE_LOGIC_VTH} V threshold"),
+            ));
+        }
+    }
+}
+
+fn check_freq_band(ctx: &CheckContext, report: &mut Report) {
+    let band = ctx.config.band;
+    if band.min_mult == 0 || band.min_mult > band.max_mult {
+        report.push(Violation::error(
+            "FREQ-BAND",
+            "configured band quantises the NT operating point",
+            format!("{}.band", ctx.name),
+            format!(
+                "band [{}, {}] is empty or starts at zero",
+                band.min_mult, band.max_mult
+            ),
+        ));
+        return;
+    }
+    // The config's own operating point: nominal-design fmax at core_vdd.
+    let s = VoltageScaling::core_logic();
+    let fmax = s.fmax_mhz(2500.0, ctx.config.core_vdd, 0.0);
+    let mult = quantize_period(fmax, band);
+    if mult >= band.max_mult && fmax > 0.0 {
+        // Quantisation clamped at the slow edge: every core would run at
+        // the band floor regardless of its variation draw.
+        let unclamped = quantize_period(fmax, respin_variation::FrequencyBand::WIDE);
+        if unclamped > band.max_mult {
+            report.push(Violation::warning(
+                "FREQ-BAND",
+                "configured band quantises the NT operating point",
+                format!("{}.band", ctx.name),
+                format!(
+                    "operating point at {} V wants period multiple {unclamped}, \
+                     clamped to the band edge {}",
+                    ctx.config.core_vdd, band.max_mult
+                ),
+            ));
+        }
+    }
+}
+
+fn check_table3_calibration(ctx: &CheckContext, report: &mut Report) {
+    for (i, row) in ctx.table3.iter().enumerate() {
+        let p = &row.params;
+        let q = &row.paper;
+        let checks = [
+            ("area_mm2", p.area_mm2, q.area_mm2),
+            ("read_latency_ps", p.read_latency_ps, q.read_latency_ps),
+            ("write_latency_ps", p.write_latency_ps, q.write_latency_ps),
+            ("read_energy_pj", p.read_energy_pj, q.read_energy_pj),
+            ("leakage_uw", p.leakage_mw * 1000.0, q.leakage_uw),
+        ];
+        for (metric, got, want) in checks {
+            if want <= 0.0 {
+                continue;
+            }
+            let err = (got - want).abs() / want;
+            if !err.is_finite() || err >= 0.05 {
+                report.push(Violation::error(
+                    "TABLE3-CAL",
+                    "technology models reproduce the paper's Table III",
+                    format!("table3[{i}].{metric}"),
+                    format!(
+                        "{} at {} V: model {got:.4} vs paper {want:.4} ({:.1}% off)",
+                        row.label,
+                        row.vdd,
+                        err * 100.0
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_table3_units(ctx: &CheckContext, report: &mut Report) {
+    for (i, row) in ctx.table3.iter().enumerate() {
+        let p = &row.params;
+        let fields = [
+            ("area_mm2", p.area_mm2),
+            ("read_latency_ps", p.read_latency_ps),
+            ("write_latency_ps", p.write_latency_ps),
+            ("read_energy_pj", p.read_energy_pj),
+            ("write_energy_pj", p.write_energy_pj),
+            ("leakage_mw", p.leakage_mw),
+        ];
+        for (metric, v) in fields {
+            if !v.is_finite() || v <= 0.0 {
+                report.push(Violation::error(
+                    "TABLE3-UNITS",
+                    "Table III rows are physically sane",
+                    format!("table3[{i}].{metric}"),
+                    format!("{} at {} V: {metric} = {v}", row.label, row.vdd),
+                ));
+            }
+        }
+        if row.label.contains("STT") && p.write_latency_ps <= p.read_latency_ps {
+            report.push(Violation::error(
+                "TABLE3-UNITS",
+                "Table III rows are physically sane",
+                format!("table3[{i}].write_latency_ps"),
+                format!(
+                    "STT-RAM write ({} ps) not slower than read ({} ps): \
+                     the NVM asymmetry the design absorbs is missing",
+                    p.write_latency_ps, p.read_latency_ps
+                ),
+            ));
+        }
+    }
+    // Cross-row: STT-RAM leaks less than SRAM at equal capacity/voltage.
+    let sram = ctx
+        .table3
+        .iter()
+        .find(|r| r.label.contains("SRAM (256KB)") && (r.vdd - 1.0).abs() < 1e-9);
+    let stt = ctx
+        .table3
+        .iter()
+        .find(|r| r.label.contains("STT") && (r.vdd - 1.0).abs() < 1e-9);
+    if let (Some(sram), Some(stt)) = (sram, stt) {
+        if stt.params.leakage_mw >= sram.params.leakage_mw {
+            report.push(Violation::error(
+                "TABLE3-UNITS",
+                "Table III rows are physically sane",
+                "table3.leakage_mw".to_string(),
+                format!(
+                    "STT-RAM leakage ({} mW) not below SRAM ({} mW) at 1.0 V / 256 KB: \
+                     the paper's NVM leakage advantage is inverted",
+                    stt.params.leakage_mw, sram.params.leakage_mw
+                ),
+            ));
+        }
+    }
+}
+
+fn check_scaling_sane(_ctx: &CheckContext, report: &mut Report) {
+    for (label, s) in [
+        ("core_logic", VoltageScaling::core_logic()),
+        ("sram_array", VoltageScaling::sram_array()),
+    ] {
+        let loc = |field: &str| format!("VoltageScaling::{label}.{field}");
+        if (s.delay_factor(1.0) - 1.0).abs() > 1e-9 {
+            report.push(Violation::error(
+                "SCALE-SANE",
+                "scaling laws are anchored and monotonic",
+                loc("delay_factor"),
+                format!("delay factor at 1.0 V is {}, not 1", s.delay_factor(1.0)),
+            ));
+        }
+        let mut prev = f64::INFINITY;
+        let mut mv = (s.vth * 1000.0) as u64 + 50;
+        while mv <= 1200 {
+            let v = mv as f64 / 1000.0;
+            let d = s.delay_factor(v);
+            if d.is_nan() || d >= prev {
+                report.push(Violation::error(
+                    "SCALE-SANE",
+                    "scaling laws are anchored and monotonic",
+                    loc("delay_factor"),
+                    format!("delay factor not strictly decreasing at {v} V ({d} >= {prev})"),
+                ));
+                break;
+            }
+            prev = d;
+            mv += 50;
+        }
+        for v in [0.4, 0.65, 1.0] {
+            let e = s.dynamic_energy_factor(v);
+            if (e - v * v).abs() > 1e-9 {
+                report.push(Violation::error(
+                    "SCALE-SANE",
+                    "scaling laws are anchored and monotonic",
+                    loc("dynamic_energy_factor"),
+                    format!(
+                        "dynamic energy factor at {v} V is {e}, expected Vdd^2 = {}",
+                        v * v
+                    ),
+                ));
+            }
+            let l = s.leakage_factor(v);
+            if (l - v).abs() > 1e-9 {
+                report.push(Violation::error(
+                    "SCALE-SANE",
+                    "scaling laws are anchored and monotonic",
+                    loc("leakage_factor"),
+                    format!("leakage factor at {v} V is {l}, expected linear = {v}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the full registry against one context.
+pub fn verify_chip_config(ctx: &CheckContext) -> Report {
+    let mut report = Report::new();
+    for inv in registry() {
+        inv.run(ctx, &mut report);
+    }
+    report
+}
+
+/// Verifies every shipped configuration (the eight Table IV architectures
+/// across all cache sizings and the paper's cluster-size sweep) plus the
+/// FSM models, merging everything into one report.
+pub fn verify_shipped() -> Report {
+    let mut report = Report::new();
+    for arch in respin_core::ArchConfig::ALL {
+        for size in CacheSizeClass::ALL {
+            for cluster in [4usize, 8, 16, 32] {
+                let name = format!("{}/{}x{}", arch.name(), size.name(), cluster);
+                let config = arch.chip_config(size, cluster);
+                let ctx = CheckContext::new(name, config).with_declared_cores(64);
+                report.merge(verify_chip_config(&ctx));
+            }
+        }
+    }
+    report.merge(crate::verify_models());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respin_sim::ChipConfig;
+
+    #[test]
+    fn shipped_base_config_is_clean() {
+        let ctx = CheckContext::new("nt_base", ChipConfig::nt_base());
+        let report = verify_chip_config(&ctx);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn inverted_rails_are_flagged() {
+        let mut c = ChipConfig::nt_base();
+        c.core_vdd = 1.0;
+        c.cache_vdd = 0.65;
+        let report = verify_chip_config(&CheckContext::new("bad", c));
+        assert!(report.violations.iter().any(|v| v.code == "RAIL-ORDER"));
+    }
+
+    #[test]
+    fn non_monotonic_curve_is_flagged() {
+        let curve = vec![(0.4, 500.0), (0.5, 900.0), (0.6, 700.0), (1.0, 2500.0)];
+        let ctx = CheckContext::new("bad", ChipConfig::nt_base()).with_freq_curve(curve);
+        let report = verify_chip_config(&ctx);
+        assert!(
+            report.violations.iter().any(|v| v.code == "FREQ-MONOTONIC"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn indivisible_cluster_size_is_flagged() {
+        let mut c = ChipConfig::nt_base();
+        c.cores_per_cluster = 12;
+        c.clusters = 5; // 60 cores, not the declared 64
+        let ctx = CheckContext::new("bad", c).with_declared_cores(64);
+        let report = verify_chip_config(&ctx);
+        assert!(
+            report.violations.iter().any(|v| v.code == "CLUSTER-DIVIDE"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn registry_codes_are_unique_and_described() {
+        let regs = registry();
+        for inv in &regs {
+            assert!(!inv.code.is_empty());
+            assert!(!inv.description.is_empty());
+        }
+        let mut codes: Vec<&str> = regs.iter().map(|i| i.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), regs.len(), "duplicate invariant codes");
+    }
+
+    #[test]
+    fn all_shipped_configurations_verify_clean() {
+        let report = verify_shipped();
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,76 @@
+//! # respin-verify — static conformance and model checking
+//!
+//! Verification passes for the Respin simulator, runnable as a binary
+//! (`cargo run -p respin-verify`) and callable as a library:
+//!
+//! * [`invariants`] — a declared registry of static invariants checked
+//!   against every [`respin_sim::ChipConfig`], the power tables, and the
+//!   scaling laws, producing structured
+//!   [`respin_power::diag::Violation`] diagnostics.
+//! * [`fsm`] — a bounded breadth-first model checker.
+//! * [`arbiter`] — an abstract model of the shared-L1 arbitration machine
+//!   (deadline, starvation, and double-service properties).
+//! * [`consolidation`] — an abstract model of the VCM remapping machine
+//!   (unique-mapping property across power-off/remap transitions).
+
+#![forbid(unsafe_code)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod arbiter;
+pub mod consolidation;
+pub mod fsm;
+pub mod invariants;
+
+pub use invariants::{registry, verify_chip_config, verify_shipped, CheckContext};
+
+use respin_power::diag::{Report, Violation};
+
+/// Runs the FSM model-checking passes: the shared-L1 arbiter across the NT
+/// band's period multiples and the VCM remapping machine, on a 4-core
+/// cluster (the smallest instance exhibiting every interleaving class).
+/// Proof failures and bound exhaustion both become violations.
+pub fn verify_models() -> Report {
+    let mut report = Report::new();
+    for mult in [4u64, 5, 6] {
+        let model = arbiter::ArbiterModel::paper(4, mult, arbiter::ArbiterKind::EarliestDeadline);
+        check_model(&model, &mut report);
+    }
+    let model = consolidation::ConsolidationModel::cluster(4);
+    check_model(&model, &mut report);
+    report
+}
+
+/// Explores `model` and appends a violation when the property does not
+/// hold (or could not be proved within bounds).
+pub fn check_model<M: fsm::Model>(model: &M, report: &mut Report) {
+    let e = fsm::explore(model, fsm::Bounds::default());
+    match e.outcome {
+        fsm::Outcome::Proved => {}
+        fsm::Outcome::Violated(cx) => {
+            let tail = cx.trace.last().cloned().unwrap_or_default();
+            report.push(Violation::error(
+                "FSM",
+                "model-checked safety properties hold",
+                model.name().to_string(),
+                format!(
+                    "{} (witness: {} steps, final state {tail})",
+                    cx.reason,
+                    cx.trace.len()
+                ),
+            ));
+        }
+        fsm::Outcome::BoundReached { bound } => {
+            report.push(Violation::error(
+                "FSM",
+                "model-checked safety properties hold",
+                model.name().to_string(),
+                format!(
+                    "exploration hit {bound} after {} states without exhausting \
+                     the space: nothing proved",
+                    e.states
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! `respin-verify` — static conformance checking and FSM model checking.
+//!
+//! ```text
+//! cargo run -p respin-verify              # verify everything shipped
+//! cargo run -p respin-verify -- --list    # print the invariant registry
+//! cargo run -p respin-verify -- --json    # machine-readable report
+//! cargo run -p respin-verify -- --bad rails|freq|cluster
+//!                                         # seeded bad configs (must fail)
+//! cargo run -p respin-verify -- --broken arbiter|halfmiss|vcm
+//!                                         # broken FSM fixtures (must fail)
+//! ```
+//!
+//! Exit status is 0 when the report is clean and 1 when any
+//! `Error`-severity violation was found (or 2 on usage errors).
+
+use respin_power::diag::Report;
+use respin_sim::ChipConfig;
+use respin_verify::{
+    arbiter::{ArbiterKind, ArbiterModel},
+    check_model,
+    consolidation::ConsolidationModel,
+    registry, verify_chip_config, verify_shipped, CheckContext,
+};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Prints a line, swallowing broken-pipe errors (`respin-verify | head`
+/// must exit by its verdict, not a panic).
+fn emit(line: std::fmt::Arguments) {
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: respin-verify [--list] [--json] [--bad rails|freq|cluster] \
+         [--broken arbiter|halfmiss|vcm]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut bad: Option<String> = None;
+    let mut broken: Option<String> = None;
+    let mut list = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--bad" => match it.next() {
+                Some(kind) => bad = Some(kind.clone()),
+                None => return usage(),
+            },
+            "--broken" => match it.next() {
+                Some(kind) => broken = Some(kind.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    if list {
+        for inv in registry() {
+            emit(format_args!("{:<16} {}", inv.code, inv.name));
+            emit(format_args!("{:16} {}", "", inv.description));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if let Some(kind) = bad {
+        match seeded_bad_config(&kind) {
+            Some(r) => r,
+            None => return usage(),
+        }
+    } else if let Some(kind) = broken {
+        match broken_fixture(&kind) {
+            Some(r) => r,
+            None => return usage(),
+        }
+    } else {
+        verify_shipped()
+    };
+
+    render(&report, json);
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}
+
+/// Seeded invalid configurations the checker must reject — kept runnable
+/// so the checker itself stays verifiable end to end.
+fn seeded_bad_config(kind: &str) -> Option<Report> {
+    let ctx = match kind {
+        // Core rail above the cache rail: the dual-rail ordering the
+        // paper's design rests on, inverted.
+        "rails" => {
+            let mut c = ChipConfig::nt_base();
+            c.core_vdd = 1.0;
+            c.cache_vdd = 0.65;
+            CheckContext::new("seeded-bad-rails", c)
+        }
+        // A frequency curve that dips as Vdd rises.
+        "freq" => {
+            CheckContext::new("seeded-bad-freq", ChipConfig::nt_base()).with_freq_curve(vec![
+                (0.4, 500.0),
+                (0.5, 900.0),
+                (0.6, 700.0),
+                (1.0, 2500.0),
+            ])
+        }
+        // A cluster size that does not tile the declared 64-core chip.
+        "cluster" => {
+            let mut c = ChipConfig::nt_base();
+            c.cores_per_cluster = 12;
+            c.clusters = 5;
+            CheckContext::new("seeded-bad-cluster", c).with_declared_cores(64)
+        }
+        _ => return None,
+    };
+    Some(verify_chip_config(&ctx))
+}
+
+/// Intentionally broken FSM fixtures the model checker must catch.
+fn broken_fixture(kind: &str) -> Option<Report> {
+    let mut report = Report::new();
+    match kind {
+        "arbiter" => {
+            // Static-priority arbiter on the instance the real policy
+            // proves (5 cores, period 4): the last core slips the bound.
+            let model = ArbiterModel::paper(5, 4, ArbiterKind::FixedPriority);
+            check_model(&model, &mut report);
+        }
+        "halfmiss" => {
+            let model = ArbiterModel::paper(4, 4, ArbiterKind::NoHalfMissClear);
+            check_model(&model, &mut report);
+        }
+        "vcm" => {
+            let model = ConsolidationModel::broken(4);
+            check_model(&model, &mut report);
+        }
+        _ => return None,
+    }
+    Some(report)
+}
+
+fn render(report: &Report, json: bool) {
+    if json {
+        match serde_json::to_string_pretty(report) {
+            Ok(s) => emit(format_args!("{s}")),
+            Err(e) => eprintln!("failed to serialise report: {e}"),
+        }
+    } else if report.violations.is_empty() {
+        emit(format_args!(
+            "respin-verify: all invariants hold (0 violations)"
+        ));
+    } else {
+        emit(format_args!("{report}"));
+    }
+}

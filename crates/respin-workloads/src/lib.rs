@@ -16,7 +16,10 @@
 //! Each generator is deterministic in `(spec, thread, seed)`; the simulator
 //! pulls [`Op`]s one at a time via [`ThreadGen`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
 
 pub mod gen;

@@ -67,7 +67,11 @@ fn ocean_is_the_barrier_champion() {
         "ocean: {} barriers in 60 K instructions",
         ocean.barriers
     );
-    for other in [Benchmark::Raytrace, Benchmark::Swaptions, Benchmark::Radiosity] {
+    for other in [
+        Benchmark::Raytrace,
+        Benchmark::Swaptions,
+        Benchmark::Radiosity,
+    ] {
         let p = profile(other, 0, 1);
         assert!(
             ocean.barriers > 3 * p.barriers,

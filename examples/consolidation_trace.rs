@@ -64,7 +64,13 @@ fn main() {
         opts.instructions_per_thread = Some(160_000);
         opts.epoch_instructions = Some(40_000);
         let r = run(&opts);
-        let end = r.stats.consolidation_trace.first().map(|&(t, _)| t).unwrap_or(0) + r.ticks;
+        let end = r
+            .stats
+            .consolidation_trace
+            .first()
+            .map(|&(t, _)| t)
+            .unwrap_or(0)
+            + r.ticks;
         println!(
             "{}",
             trace_chart(arch.name(), &r.stats.consolidation_trace, end, 4.0)
@@ -77,5 +83,7 @@ fn main() {
             r.stats.migrations
         );
     }
-    println!("the oracle adapts immediately; the greedy search walks one core at a time (Fig. 12/13).");
+    println!(
+        "the oracle adapts immediately; the greedy search walks one core at a time (Fig. 12/13)."
+    );
 }

@@ -14,7 +14,10 @@ use respin_workloads::Benchmark;
 
 fn main() {
     let benchmark = Benchmark::Fft;
-    println!("running {} on a 64-core chip (4 × 16-core clusters)…\n", benchmark.name());
+    println!(
+        "running {} on a 64-core chip (4 × 16-core clusters)…\n",
+        benchmark.name()
+    );
 
     let mut rows = Vec::new();
     for arch in [ArchConfig::PrSramNt, ArchConfig::ShStt] {

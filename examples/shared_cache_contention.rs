@@ -114,7 +114,10 @@ fn main() {
             }
             for c in 0..cores {
                 let m = mults[c];
-                if t % m == 0 && t >= busy_until[c] && l1.can_accept_read(c) && rand() < load_percent
+                if t % m == 0
+                    && t >= busy_until[c]
+                    && l1.can_accept_read(c)
+                    && rand() < load_percent
                 {
                     l1.issue_read(c, (c as u64) << 10, t, m);
                     busy_until[c] = u64::MAX; // until the response arrives

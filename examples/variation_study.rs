@@ -34,13 +34,19 @@ fn main() {
         }
     }
     let total: u64 = bins.iter().sum();
-    println!("frequency bins over {chips} fabricated 64-core chips (Vth σ = {} mV):\n", config.sigma_vth * 1000.0);
+    println!(
+        "frequency bins over {chips} fabricated 64-core chips (Vth σ = {} mV):\n",
+        config.sigma_vth * 1000.0
+    );
     for (i, &count) in bins.iter().enumerate() {
         let mult = i as u64 + 4;
         let mhz = 1e6 / (mult as f64 * 400.0);
         let share = count as f64 / total as f64;
         let bar = "#".repeat((share * 60.0) as usize);
-        println!("  {mult}×0.4 ns ({mhz:>5.0} MHz): {:>5.1}% {bar}", share * 100.0);
+        println!(
+            "  {mult}×0.4 ns ({mhz:>5.0} MHz): {:>5.1}% {bar}",
+            share * 100.0
+        );
     }
     println!(
         "\nfast (625 MHz) cores leak {:.2}× the slow (417 MHz) ones on average —",
@@ -51,7 +57,10 @@ fn main() {
 
     // ---- Part 2: chip-to-chip performance/energy spread -------------------
     println!("chip-to-chip spread of the SH-STT design (same workload, different dies):\n");
-    println!("{:>6} {:>12} {:>12} {:>14}", "seed", "time (µs)", "power (mW)", "energy (µJ)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "seed", "time (µs)", "power (mW)", "energy (µJ)"
+    );
     let mut times = Vec::new();
     for seed in [1u64, 2, 3, 4, 5] {
         let mut opts = RunOptions::new(ArchConfig::ShStt, Benchmark::WaterNsq);

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# The full local gate: everything CI runs, in one command.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== cargo fmt --check'
+cargo fmt --check
+
+echo '== cargo clippy --all-targets -- -D warnings'
+cargo clippy --all-targets -- -D warnings
+
+echo '== cargo build --release'
+cargo build --release
+
+echo '== cargo test -q'
+cargo test -q
+
+echo '== respin-verify: shipped configurations and FSM proofs'
+cargo run --release -p respin-verify
+
+echo '== respin-verify: seeded bad configs must fail'
+for kind in rails freq cluster; do
+    if cargo run --release -q -p respin-verify -- --bad "$kind" >/dev/null; then
+        echo "seeded bad config '$kind' was not rejected" >&2
+        exit 1
+    fi
+done
+
+echo '== respin-verify: broken FSM fixtures must fail'
+for kind in arbiter halfmiss vcm; do
+    if cargo run --release -q -p respin-verify -- --broken "$kind" >/dev/null; then
+        echo "broken fixture '$kind' was not caught" >&2
+        exit 1
+    fi
+done
+
+echo 'verify: all gates green'

@@ -19,7 +19,10 @@ fn arrival_histogram_is_a_distribution() {
     let res = run(&opts(Benchmark::Fft));
     let s = res.stats.shared_l1d_merged();
     let total: f64 = (0..5).map(|k| s.arrival_fraction(k)).sum();
-    assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1, got {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "fractions sum to 1, got {total}"
+    );
     assert!(s.cycles > 0);
     // Most cache cycles are quiet — NT cores are 4-6× slower than the
     // cache clock (the premise of time multiplexing).

@@ -1,0 +1,138 @@
+//! Vendored, offline subset of `criterion`.
+//!
+//! Implements just enough of the criterion API for the workspace's bench
+//! targets to compile and produce rough timings: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//! Timings are a short fixed-duration sample, not a statistical analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration metadata (accepted, reported per element).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then measure.
+        black_box(routine());
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < Duration::from_millis(200) {
+            black_box(routine());
+            n += 1;
+        }
+        self.iters = n.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64;
+        println!(
+            "bench {name:<48} {per_iter:>14.1} ns/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares iteration throughput (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Self {
+        Criterion {}
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,327 @@
+//! Vendored, offline subset of `proptest`.
+//!
+//! Provides the API surface the workspace's property tests use: the
+//! [`proptest!`] macro, range/tuple/collection strategies, and the
+//! `prop_assert*` macros. Cases are generated from a fixed-seed ChaCha8
+//! stream (deterministic across runs and machines). Shrinking is not
+//! implemented — a failing case panics with the sampled inputs in the
+//! message instead.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// A source of arbitrary values of one type.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if start == end {
+                    return start;
+                }
+                // end is excluded by gen_range; widen via an extra draw on
+                // the boundary to keep the endpoint reachable.
+                if rng.gen_bool(1.0 / 64.0) {
+                    end
+                } else {
+                    rng.gen_range(start..end)
+                }
+            }
+        }
+    )*};
+}
+
+impl_strategy_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications `vec` accepts.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(*self.start()..self.end().saturating_add(1))
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec`s with sampled lengths.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R = Range<usize>> {
+        element: S,
+        size: R,
+    }
+
+    /// `vec(element, len_range)`: vectors of `element` samples.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Samples `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::Config`).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Deterministic per-test RNG: ChaCha8 seeded from the test's name so
+/// every property draws an independent but reproducible stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Property-test entry macro (vendored subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let cases = ($cfg).cases;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                let ($($arg,)+) =
+                    ($($crate::Strategy::sample(&($strat), &mut rng),)+);
+                let result = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(msg) = result {
+                    panic!("property {} failed on case {case}: {msg}", stringify!($name));
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {l:?}, right: {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {l:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i64..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        fn tuples_and_vecs(v in crate::collection::vec((0u64..100, 0u8..4), 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            for (a, b) in v {
+                prop_assert!(a < 100 && b < 4);
+            }
+        }
+
+        fn bools_vary(flips in crate::collection::vec(crate::bool::ANY, 64..65)) {
+            // 64 fair coin flips virtually never agree completely.
+            let heads = flips.iter().filter(|&&b| b).count();
+            prop_assert!(heads > 0 && heads < 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::Strategy;
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

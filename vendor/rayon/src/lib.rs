@@ -1,0 +1,90 @@
+//! Vendored, offline stand-in for `rayon`.
+//!
+//! Exposes `par_iter()`/`into_par_iter()` as plain sequential iterators so
+//! code written against the rayon prelude compiles and runs without the
+//! real thread-pool crate. Results and ordering are identical to rayon's
+//! (rayon's `collect` preserves order); only wall-clock parallelism is
+//! lost, which the deterministic experiment drivers do not depend on.
+
+#![forbid(unsafe_code)]
+
+/// Parallel-iterator traits, sequentially implemented.
+pub mod prelude {
+    /// `.par_iter()` on shared slices (and anything that derefs to one).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type.
+        type Item: 'data;
+        /// Iterator type ("parallel" in name only).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates sequentially, in order.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on exclusive slices.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type.
+        type Item: 'data;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates sequentially, in order.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates sequentially, in order.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}

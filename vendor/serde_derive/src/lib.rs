@@ -1,0 +1,448 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Parses the item's token stream directly (the offline environment has no
+//! `syn`/`quote`) and emits `impl serde::Serialize`/`Deserialize` blocks
+//! targeting the value-tree data model. Supports the shapes this workspace
+//! uses: non-generic named-field structs, tuple/unit structs, and enums
+//! with unit, tuple, and struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — arity only.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skips `#[...]` attributes (including expanded doc comments) starting at
+/// `i`; returns the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits the tokens of a brace/paren group body at top-level commas,
+/// tracking `<…>` nesting so generic arguments don't split.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                // `->` in fn-pointer types must not close an angle bracket.
+                '>' if !prev_dash => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extracts the field name out of one named-field declaration
+/// (`attrs vis name : Type`).
+fn field_name(decl: &[TokenTree]) -> Option<String> {
+    let i = skip_vis(decl, skip_attrs(decl, 0));
+    match decl.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type `{name}` is not supported"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_top_level(&body)
+                    .iter()
+                    .filter_map(|d| field_name(d))
+                    .collect();
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: split_top_level(&body).len(),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for decl in split_top_level(&body) {
+                    let mut j = skip_attrs(&decl, 0);
+                    let vname = match decl.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        None => continue, // trailing comma
+                        other => return Err(format!("expected variant name, got {other:?}")),
+                    };
+                    j += 1;
+                    let kind = match decl.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Struct(
+                                split_top_level(&inner)
+                                    .iter()
+                                    .filter_map(|d| field_name(d))
+                                    .collect(),
+                            )
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Tuple(split_top_level(&inner).len())
+                        }
+                        _ => VariantKind::Unit, // unit, or `= discr` (skipped)
+                    };
+                    variants.push(Variant { name: vname, kind });
+                }
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse().expect("derive output must tokenize")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    emit(format!("compile_error!({msg:?});"))
+}
+
+/// Derives `serde::Serialize` (vendored value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(::std::vec![{pairs}])\
+                     }}\
+                 }}"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            ));
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\
+                 }}"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                                 ::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: String = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                                     (::std::string::String::from({vn:?}), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pairs: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                     (::std::string::String::from({vn:?}), \
+                                      ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            ));
+        }
+    }
+    emit(out)
+}
+
+/// Derives `serde::Deserialize` (vendored value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, {f:?})?,"))
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         if v.as_object().is_none() {{\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected object for \", {name:?})));\
+                         }}\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let gets: String = (0..*arity)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({k})\
+                                 .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let items = v.as_array()\
+                         .ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\
+                     ::std::result::Result::Ok({name}({gets}))"
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+                 }}"
+            ));
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(_v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok({name})\
+                     }}\
+                 }}"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "::std::result::Result::Ok({name}::{vn}(\
+                                         ::serde::Deserialize::from_value(inner)?))"
+                                )
+                            } else {
+                                let gets: String = (0..*arity)
+                                    .map(|k| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(items.get({k})\
+                                                 .ok_or_else(|| ::serde::Error::custom(\
+                                                     \"variant tuple too short\"))?)?,"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "let items = inner.as_array()\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                             \"expected array for variant\"))?;\
+                                     ::std::result::Result::Ok({name}::{vn}({gets}))"
+                                )
+                            };
+                            Some(format!("{vn:?} => {{ {body} }}"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(inner, {f:?})?,"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => ::std::result::Result::Ok(\
+                                     {name}::{vn} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         match v {{\
+                             ::serde::Value::Str(s) => match s.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(concat!(\"unknown \", {name:?}, \" variant {{}}\"), other))),\
+                             }},\
+                             other => {{\
+                                 let pairs = other.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(concat!(\"expected variant object for \", {name:?})))?;\
+                                 let (tag, inner) = pairs.first().ok_or_else(|| \
+                                     ::serde::Error::custom(\"empty variant object\"))?;\
+                                 match tag.as_str() {{\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         format!(concat!(\"unknown \", {name:?}, \" variant {{}}\"), other))),\
+                                 }}\
+                             }}\
+                         }}\
+                     }}\
+                 }}"
+            ));
+        }
+    }
+    emit(out)
+}
