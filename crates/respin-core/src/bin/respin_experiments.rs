@@ -4,7 +4,8 @@
 //! respin-experiments <experiment|all> [--quick] [--out DIR]
 //!
 //! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
-//!              fig10 fig11 fig12 fig13 fig14 cluster
+//!              fig10 fig11 fig12 fig13 fig14 cluster ablation voltage
+//!              resilience
 //! ```
 //!
 //! Each experiment prints its text table and, when `--out` is given (or
@@ -12,8 +13,8 @@
 //! `<name>.json`.
 
 use respin_core::experiments::{
-    ablation, cluster_sweep, fig1, fig10, fig11, fig12_13, fig14, fig6, fig7, fig8, fig9, tables,
-    voltage, ExpParams, RunCache,
+    ablation, cluster_sweep, fig1, fig10, fig11, fig12_13, fig14, fig6, fig7, fig8, fig9,
+    resilience, tables, voltage, ExpParams, RunCache,
 };
 use respin_core::report::to_json;
 use respin_workloads::Benchmark;
@@ -21,9 +22,25 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const EXPERIMENTS: [&str; 17] = [
-    "table1", "table2", "table3", "table4", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "cluster", "ablation", "voltage",
+const EXPERIMENTS: [&str; 18] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "cluster",
+    "ablation",
+    "voltage",
+    "resilience",
 ];
 
 struct Args {
@@ -156,6 +173,10 @@ fn main() {
             "voltage" => {
                 let d = voltage::generate(&cache, &params);
                 emit("voltage", d.render_text(), to_json(&d));
+            }
+            "resilience" => {
+                let d = resilience::generate(&params);
+                emit("resilience", d.render_text(), to_json(&d));
             }
             _ => unreachable!("validated in parse_args"),
         }

@@ -144,6 +144,23 @@ impl GreedySearch {
         up && down
     }
 
+    /// Caps the search at the cluster's current healthy-core count
+    /// (graceful degradation: decommissioned cores leave the search
+    /// space and can never be woken). The cap only ever shrinks, and at
+    /// least one core stays reachable.
+    pub fn limit_max_cores(&mut self, healthy: usize) {
+        let cap = healthy.max(1);
+        if cap < self.max_cores {
+            self.max_cores = cap;
+            self.config.min_cores = self.config.min_cores.min(cap);
+        }
+    }
+
+    /// Upper bound of the search (physical, healthy cores).
+    pub fn max_cores(&self) -> usize {
+        self.max_cores
+    }
+
     /// Current search direction (−1 shutting down, +1 waking up).
     pub fn direction(&self) -> i64 {
         self.direction
@@ -238,6 +255,26 @@ mod tests {
             epi *= 0.8;
         }
         assert_eq!(current, 1, "descends to min_cores and stays");
+    }
+
+    #[test]
+    fn limit_max_cores_shrinks_only() {
+        let mut g = search();
+        g.limit_max_cores(12);
+        assert_eq!(g.max_cores(), 12);
+        // Decommissioned cores never come back: raising is ignored.
+        g.limit_max_cores(16);
+        assert_eq!(g.max_cores(), 12);
+        // Even total loss keeps one core reachable.
+        g.limit_max_cores(0);
+        assert_eq!(g.max_cores(), 1);
+        // The search respects the new cap when waking cores.
+        let mut g = GreedySearch::new(4, GreedyConfig::default());
+        g.limit_max_cores(2);
+        let c1 = g.decide(100.0, 2); // → 1
+        assert_eq!(c1, 1);
+        let c2 = g.decide(150.0, c1); // worse → reverse upward
+        assert!(c2 <= 2, "cap violated: {c2}");
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod vcm;
 pub use greedy::{GreedyConfig, GreedySearch};
 pub use oracle::oracle_decide;
 pub use os::OsGreedy;
-pub use vcm::EpiMonitor;
+pub use vcm::{EpiMonitor, HealthEvent, HealthMonitor};

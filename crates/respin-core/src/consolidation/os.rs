@@ -74,6 +74,12 @@ impl OsGreedy {
         self.window_instructions = 0;
         Some(self.inner.decide(epi, current))
     }
+
+    /// Caps the underlying search at the cluster's healthy-core count
+    /// (see [`GreedySearch::limit_max_cores`]).
+    pub fn limit_max_cores(&mut self, healthy: usize) {
+        self.inner.limit_max_cores(healthy);
+    }
 }
 
 #[cfg(test)]

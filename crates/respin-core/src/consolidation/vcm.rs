@@ -38,6 +38,69 @@ impl EpiMonitor {
     }
 }
 
+/// One observed change in a cluster's healthy-core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Epoch index (monitor-local, counted from the first observation).
+    pub epoch: u64,
+    /// Healthy cores before the change.
+    pub from: usize,
+    /// Healthy cores after the change.
+    pub to: usize,
+}
+
+/// Tracks a cluster's healthy physical-core count across epochs — the
+/// VCM's view of graceful degradation. Decommissioned cores only ever
+/// reduce the count, so each logged event is a degradation step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthMonitor {
+    healthy: Option<usize>,
+    epoch: u64,
+    log: Vec<HealthEvent>,
+}
+
+impl HealthMonitor {
+    /// New monitor with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records this epoch's healthy-core count; returns the event when
+    /// the count changed since the previous epoch.
+    pub fn observe(&mut self, healthy: usize) -> Option<HealthEvent> {
+        let prev = self.healthy;
+        self.healthy = Some(healthy);
+        self.epoch += 1;
+        match prev {
+            Some(p) if p != healthy => {
+                let ev = HealthEvent {
+                    epoch: self.epoch - 1,
+                    from: p,
+                    to: healthy,
+                };
+                self.log.push(ev);
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// The last observed healthy-core count.
+    pub fn healthy(&self) -> Option<usize> {
+        self.healthy
+    }
+
+    /// All degradation events observed so far.
+    pub fn log(&self) -> &[HealthEvent] {
+        &self.log
+    }
+
+    /// True when at least one core has been lost.
+    pub fn degraded(&self) -> bool {
+        !self.log.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +128,20 @@ mod tests {
         assert_eq!(m.previous(), Some(10.0));
         assert_eq!(m.observe(0.0), None);
         assert_eq!(m.observe(12.0), Some(0.2));
+    }
+
+    #[test]
+    fn health_monitor_logs_degradation_steps() {
+        let mut m = HealthMonitor::new();
+        assert_eq!(m.observe(16), None);
+        assert!(!m.degraded());
+        assert_eq!(m.observe(16), None);
+        let ev = m.observe(15).expect("core loss must be logged");
+        assert_eq!((ev.from, ev.to), (16, 15));
+        assert_eq!(ev.epoch, 2);
+        assert_eq!(m.observe(15), None);
+        assert_eq!(m.healthy(), Some(15));
+        assert!(m.degraded());
+        assert_eq!(m.log().len(), 1);
     }
 }

@@ -21,6 +21,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod resilience;
 pub mod tables;
 pub mod voltage;
 

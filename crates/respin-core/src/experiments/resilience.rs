@@ -1,0 +1,322 @@
+//! Resilience experiment: fault injection and graceful degradation.
+//!
+//! Not a paper figure — the robustness counterpart to §V. The paper's
+//! evaluation assumes the STT-RAM arrays and NT cores are fault-free;
+//! this experiment prices that assumption:
+//!
+//! * **BER × retry-budget sweep** — stochastic write failures with
+//!   write-verify-retry, SECDED, and epoch scrubbing enabled. How much
+//!   energy and time does recovery cost, and does anything escape?
+//! * **Graceful degradation** — one variation-marginal core is seeded to
+//!   fault every epoch until the VCM decommissions it. The run must
+//!   complete with smoothly degraded IPC, never crash or corrupt.
+//!
+//! The text rendering ends with a greppable `smoke:` line consumed by
+//! `scripts/verify.sh` and CI.
+
+use super::common::ExpParams;
+use crate::arch::ArchConfig;
+use crate::consolidation::{GreedyConfig, GreedySearch, HealthMonitor};
+use crate::report::{pct, TextTable};
+use crate::runner;
+use respin_sim::{Chip, FaultConfig, RunResult};
+use respin_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark used (radix: the consolidation showcase).
+const BENCH: Benchmark = Benchmark::Radix;
+/// Small machine: the fault models act per array/core, so a 2 × 4-core
+/// chip exercises every path at a fraction of the 64-core cost.
+const CLUSTERS: usize = 2;
+const CORES_PER_CLUSTER: usize = 4;
+
+/// One point of the BER × retry-budget sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Per-bit write failure probability.
+    pub write_ber: f64,
+    /// Write-verify-retry budget.
+    pub retry_budget: u32,
+    /// Total injected faults (write + retention + core).
+    pub injected: u64,
+    /// Line-level write failures.
+    pub write_faults: u64,
+    /// Extra write attempts spent recovering.
+    pub write_retries: u64,
+    /// Writes that exhausted the budget and left residual flips.
+    pub retry_exhausted: u64,
+    /// Single-bit errors corrected by SECDED.
+    pub ecc_corrected: u64,
+    /// Uncorrectable errors detected (line refetched).
+    pub ecc_detected: u64,
+    /// Corrupted values consumed undetected (must be 0 with ECC).
+    pub escapes: u64,
+    /// Energy spent on retries / correction rewrites / scrubbing, pJ.
+    pub recovery_energy_pj: f64,
+    /// Chip energy vs the fault-free baseline (+ = overhead).
+    pub energy_vs_baseline: f64,
+    /// Execution time vs the fault-free baseline.
+    pub time_vs_baseline: f64,
+}
+
+/// Outcome of the seeded-bad-core degradation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Degradation {
+    /// IPC of the fault-free consolidation run.
+    pub baseline_ipc: f64,
+    /// IPC with the seeded bad core decommissioned mid-run.
+    pub degraded_ipc: f64,
+    /// `degraded / baseline` — graceful means this stays well above 0.
+    pub ipc_ratio: f64,
+    /// Transient core faults injected before the threshold tripped.
+    pub core_faults: u64,
+    /// Cores decommissioned (expected: exactly 1).
+    pub cores_decommissioned: u64,
+    /// Healthy cores per cluster at the end of the run.
+    pub healthy_cores: Vec<usize>,
+    /// Degradation steps the VCM health monitor observed.
+    pub health_events: usize,
+    /// The run retired every instruction despite the faults.
+    pub completed: bool,
+}
+
+/// Full resilience campaign result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Resilience {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// BER × retry-budget sweep.
+    pub sweep: Vec<SweepPoint>,
+    /// Graceful-degradation run.
+    pub degradation: Degradation,
+}
+
+fn build_chip(params: &ExpParams, arch: ArchConfig, faults: FaultConfig) -> Chip {
+    let mut o = params.options(arch, BENCH);
+    o.clusters = CLUSTERS;
+    o.cores_per_cluster = CORES_PER_CLUSTER;
+    let mut config = o.chip_config();
+    config.faults = faults;
+    Chip::new(config, &BENCH.spec(), o.seed)
+}
+
+fn total_cores() -> u64 {
+    (CLUSTERS * CORES_PER_CLUSTER) as u64
+}
+
+/// Runs a chip to completion under the greedy consolidation policy with
+/// the healthy-core cap applied each epoch (the `runner` loop, inlined so
+/// the experiment can also watch the health monitor).
+fn run_greedy_degraded(chip: &mut Chip) -> (RunResult, Vec<HealthMonitor>) {
+    let n = chip.config.cores_per_cluster;
+    let mut policies: Vec<GreedySearch> = (0..chip.clusters.len())
+        .map(|_| GreedySearch::new(n, GreedyConfig::default()))
+        .collect();
+    let mut health: Vec<HealthMonitor> = (0..chip.clusters.len())
+        .map(|_| HealthMonitor::new())
+        .collect();
+    loop {
+        let report = chip.run_epoch();
+        if report.finished {
+            return (chip.result(), health);
+        }
+        let epi = runner::epoch_epi_public(&report);
+        for (k, policy) in policies.iter_mut().enumerate() {
+            health[k].observe(report.healthy_cores[k]);
+            policy.limit_max_cores(report.healthy_cores[k]);
+            let next = policy.decide(epi, report.active_cores[k]);
+            if next != report.active_cores[k] {
+                chip.set_active_cores(k, next);
+            }
+        }
+    }
+}
+
+/// Runs the resilience campaign.
+pub fn generate(params: &ExpParams) -> Resilience {
+    let warmup = params.warmup_per_thread * total_cores();
+
+    // Fault-free baseline for the sweep (no consolidation: isolate the
+    // cell-level recovery cost from policy decisions).
+    let base = {
+        let mut chip = build_chip(params, ArchConfig::ShStt, FaultConfig::off());
+        chip.run_warmup(warmup);
+        chip.run_to_completion()
+    };
+
+    let mut sweep = Vec::new();
+    for &write_ber in &[1e-5, 1e-4] {
+        for &retry_budget in &[1u32, 2, 4] {
+            let mut fc = FaultConfig::off();
+            fc.write_ber = write_ber;
+            fc.retention_flip_rate = 1e-12;
+            fc.retry_budget = retry_budget;
+            fc.ecc = true;
+            fc.scrub = true;
+            let mut chip = build_chip(params, ArchConfig::ShStt, fc);
+            chip.run_warmup(warmup);
+            let r = chip.run_to_completion();
+            let f = &r.stats.faults;
+            sweep.push(SweepPoint {
+                write_ber,
+                retry_budget,
+                injected: f.total_injected(),
+                write_faults: f.write_faults,
+                write_retries: f.write_retries,
+                retry_exhausted: f.retry_exhausted,
+                ecc_corrected: f.ecc_corrected,
+                ecc_detected: f.ecc_detected,
+                escapes: f.uncorrected_escapes,
+                recovery_energy_pj: f.recovery_energy_pj,
+                energy_vs_baseline: r.energy.chip_total_pj() / base.energy.chip_total_pj() - 1.0,
+                time_vs_baseline: r.ticks as f64 / base.ticks as f64 - 1.0,
+            });
+        }
+    }
+
+    // Graceful degradation: fault-free consolidation baseline vs a chip
+    // whose core (cluster 0, core 1) faults every epoch until the VCM
+    // decommissions it.
+    let (good, _) = {
+        let mut chip = build_chip(params, ArchConfig::ShSttCc, FaultConfig::off());
+        chip.run_warmup(warmup);
+        run_greedy_degraded(&mut chip)
+    };
+    let mut fc = FaultConfig::off();
+    fc.seeded_bad_core = Some(1);
+    fc.core_fault_threshold = 2;
+    let (bad, health) = {
+        let mut chip = build_chip(params, ArchConfig::ShSttCc, fc);
+        chip.run_warmup(warmup);
+        run_greedy_degraded(&mut chip)
+    };
+    let ipc = |r: &RunResult| r.instructions as f64 / r.ticks as f64;
+    let healthy_end: Vec<usize> = health
+        .iter()
+        .map(|h| h.healthy().unwrap_or(CORES_PER_CLUSTER))
+        .collect();
+    // The warm-up stops on a chip-wide instruction total, so individual
+    // threads can overshoot their per-thread warm-up budget; allow the
+    // measured window the same ~10% slack the runner tests use.
+    let expected = params.instructions_per_thread * total_cores() * 9 / 10;
+    let degradation = Degradation {
+        baseline_ipc: ipc(&good),
+        degraded_ipc: ipc(&bad),
+        ipc_ratio: ipc(&bad) / ipc(&good),
+        core_faults: bad.stats.faults.core_faults,
+        cores_decommissioned: bad.stats.faults.cores_decommissioned,
+        healthy_cores: healthy_end,
+        health_events: health.iter().map(|h| h.log().len()).sum(),
+        completed: bad.instructions >= expected,
+    };
+
+    Resilience {
+        benchmark: BENCH.name().into(),
+        sweep,
+        degradation,
+    }
+}
+
+impl Resilience {
+    /// Total injected faults across the sweep and degradation runs.
+    pub fn total_injected(&self) -> u64 {
+        self.sweep.iter().map(|p| p.injected).sum::<u64>() + self.degradation.core_faults
+    }
+
+    /// Total silent escapes (must be zero: every run has ECC on or no
+    /// cell faults enabled).
+    pub fn total_escapes(&self) -> u64 {
+        self.sweep.iter().map(|p| p.escapes).sum()
+    }
+
+    /// Text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "Resilience ({}, {} clusters x {} cores):\n\n",
+            self.benchmark, CLUSTERS, CORES_PER_CLUSTER
+        );
+
+        let mut t = TextTable::new(vec![
+            "BER",
+            "budget",
+            "injected",
+            "retries",
+            "exhausted",
+            "corrected",
+            "detected",
+            "escapes",
+            "recovery pJ",
+            "energy vs base",
+            "time vs base",
+        ]);
+        for p in &self.sweep {
+            t.row(vec![
+                format!("{:.0e}", p.write_ber),
+                format!("{}", p.retry_budget),
+                format!("{}", p.injected),
+                format!("{}", p.write_retries),
+                format!("{}", p.retry_exhausted),
+                format!("{}", p.ecc_corrected),
+                format!("{}", p.ecc_detected),
+                format!("{}", p.escapes),
+                format!("{:.1}", p.recovery_energy_pj),
+                pct(p.energy_vs_baseline),
+                pct(p.time_vs_baseline),
+            ]);
+        }
+        out.push_str("STT-RAM write-failure sweep (SECDED + scrub on):\n");
+        out.push_str(&t.render());
+
+        let d = &self.degradation;
+        out.push_str("\nGraceful degradation (seeded bad core, threshold 2):\n");
+        out.push_str(&format!(
+            "  baseline IPC {:.4}, degraded IPC {:.4} (ratio {:.3})\n",
+            d.baseline_ipc, d.degraded_ipc, d.ipc_ratio
+        ));
+        out.push_str(&format!(
+            "  core faults {}, decommissioned {}, healthy at end {:?}, \
+             health events {}, completed {}\n",
+            d.core_faults, d.cores_decommissioned, d.healthy_cores, d.health_events, d.completed
+        ));
+
+        out.push_str(&format!(
+            "\nsmoke: injected={} escapes={} decommissioned={}\n",
+            self.total_injected(),
+            self.total_escapes(),
+            d.cores_decommissioned
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_smoke() {
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 6_000;
+        params.warmup_per_thread = 1_000;
+        params.epoch_instructions = 2_000;
+        let r = generate(&params);
+        assert_eq!(r.sweep.len(), 6);
+        assert!(r.total_injected() > 0, "faults must fire");
+        assert_eq!(r.total_escapes(), 0, "ECC is on everywhere");
+        let d = &r.degradation;
+        assert!(d.completed, "degraded run must retire every instruction");
+        assert_eq!(d.cores_decommissioned, 1);
+        assert!(d.core_faults >= 2);
+        assert!(d.healthy_cores.contains(&(CORES_PER_CLUSTER - 1)));
+        assert!(d.health_events >= 1);
+        assert!(
+            d.ipc_ratio > 0.3 && d.ipc_ratio < 1.3,
+            "IPC must degrade smoothly, got {}",
+            d.ipc_ratio
+        );
+        // Recovery costs rise with BER at fixed budget.
+        let text = r.render_text();
+        assert!(text.contains("smoke: injected="));
+        assert!(text.contains("escapes=0"));
+    }
+}

@@ -130,6 +130,8 @@ fn run_greedy(chip: &mut Chip) -> RunResult {
         }
         let epi = epoch_epi(&report);
         for (k, policy) in policies.iter_mut().enumerate() {
+            // Decommissioned cores leave the search space for good.
+            policy.limit_max_cores(report.healthy_cores[k]);
             let next = policy.decide(epi, report.active_cores[k]);
             if next != report.active_cores[k] {
                 chip.set_active_cores(k, next);
@@ -151,6 +153,7 @@ fn run_os_greedy(chip: &mut Chip) -> RunResult {
         let energy: f64 = report.cluster_energy_pj.iter().sum();
         let instr: u64 = report.cluster_instructions.iter().sum();
         for (k, policy) in policies.iter_mut().enumerate() {
+            policy.limit_max_cores(report.healthy_cores[k]);
             if let Some(next) = policy.observe_epoch(energy, instr, report.active_cores[k]) {
                 if next != report.active_cores[k] {
                     chip.set_active_cores(k, next);

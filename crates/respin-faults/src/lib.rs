@@ -1,0 +1,169 @@
+//! # respin-faults — deterministic fault injection & recovery models
+//!
+//! Respin runs cores at near-threshold voltage — exactly the regime where
+//! variation-induced timing faults spike — while betting the cache
+//! hierarchy on STT-RAM, whose writes are stochastic and whose retention
+//! decays (paper §II). This crate makes both failure modes first-class:
+//!
+//! * **STT-RAM write failures** — every array write fails with a
+//!   per-array bit-error rate; the controller recovers with
+//!   write-verify-retry under a bounded retry budget
+//!   ([`ArrayFaults::on_write`]).
+//! * **Retention decay** — resident lines accumulate bit flips as a
+//!   Poisson process in line age × the retention parameter
+//!   ([`ArrayFaults::on_read`]), repaired by SECDED ECC ([`secded`]) and
+//!   epoch-boundary scrubbing ([`ArrayFaults::scrub_line`]).
+//! * **Transient core faults** — the simulator draws per-core fault
+//!   events keyed on the VARIUS variation field (slow cores at NT voltage
+//!   fault more often); cores whose counter crosses a threshold are
+//!   decommissioned and their virtual cores remapped. The chip-level
+//!   policy lives in `respin-sim`; this crate supplies the seeded draw
+//!   primitives and the [`stats`] plumbing.
+//!
+//! ## Determinism
+//!
+//! Every stochastic decision is a *stateless* hash draw, never a stream:
+//! the outcome of an event is `unit_f64(combine([key, domain, addr, tick,
+//! …]))` compared against a probability. There is no RNG cursor to keep
+//! in sync, so (a) a disabled fault layer consumes nothing and is
+//! bit-identical to the pre-fault simulator, (b) cloned chips (oracle
+//! replay) see identical faults, and (c) two runs with the same seeds
+//! produce bit-identical fault traces. See [`hash`] for the seed
+//! derivation contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod hash;
+pub mod model;
+pub mod secded;
+pub mod stats;
+
+pub use model::{ArrayFaults, LineHealth, ReadOutcome, ScrubAction, WriteOutcome};
+pub use stats::{FaultEvent, FaultEventKind, FaultStats, FaultSummary};
+
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection configuration, embedded in the simulator's
+/// `ChipConfig`. The default ([`FaultConfig::off`]) disables every model;
+/// with all rates at zero the hooks are provably zero-cost (no draws, no
+/// state, no event reordering).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Fault-seed salt, combined with the chip seed (see [`hash`]) so the
+    /// fault universe can be resampled independently of the variation map
+    /// and workload.
+    pub seed: u64,
+    /// Per-bit probability that one STT-RAM write attempt fails to
+    /// switch. Scaled to a per-line failure probability internally.
+    pub write_ber: f64,
+    /// Retention-decay flip rate, per bit per cache tick. Real parts sit
+    /// around 1e-18..1e-12 in these units; larger values model
+    /// relaxed-retention arrays (ARC-style).
+    pub retention_flip_rate: f64,
+    /// Write-verify-retry budget: maximum *extra* attempts after the
+    /// initial write. The controller never retries more than this.
+    pub retry_budget: u32,
+    /// SECDED ECC on cache lines: corrects single-bit flips, detects
+    /// double-bit flips (treated as a miss + refetch).
+    pub ecc: bool,
+    /// Epoch-boundary scrubbing: walk resident lines, refresh retention
+    /// age, rewrite ECC-correctable lines, drop detectably-dead ones.
+    pub scrub: bool,
+    /// Per-core transient fault probability per epoch at nominal speed;
+    /// scaled by the core's variation-derived period multiplier so slow
+    /// (high-Vth) cores fault more often.
+    pub core_fault_rate: f64,
+    /// A core whose fault counter reaches this threshold is
+    /// decommissioned (powered off like a consolidation power-off and its
+    /// virtual cores remapped).
+    pub core_fault_threshold: u32,
+    /// Force a fault on this global core index (cluster-major) every
+    /// epoch — the seeded "bad core" of the graceful-degradation
+    /// experiment.
+    pub seeded_bad_core: Option<usize>,
+}
+
+impl FaultConfig {
+    /// All models disabled: zero rates, no seeded bad core. This is the
+    /// default embedded in every shipped configuration.
+    pub fn off() -> Self {
+        Self {
+            seed: 0,
+            write_ber: 0.0,
+            retention_flip_rate: 0.0,
+            retry_budget: 2,
+            ecc: false,
+            scrub: false,
+            core_fault_rate: 0.0,
+            core_fault_threshold: 3,
+            seeded_bad_core: None,
+        }
+    }
+
+    /// True when any fault model can fire.
+    pub fn enabled(&self) -> bool {
+        self.cell_faults_enabled() || self.core_faults_enabled()
+    }
+
+    /// True when the STT-RAM cell models (write failures / retention
+    /// decay) can fire.
+    pub fn cell_faults_enabled(&self) -> bool {
+        self.write_ber > 0.0 || self.retention_flip_rate > 0.0
+    }
+
+    /// True when the transient-core-fault model can fire.
+    pub fn core_faults_enabled(&self) -> bool {
+        self.core_fault_rate > 0.0 || self.seeded_bad_core.is_some()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_disabled() {
+        let c = FaultConfig::off();
+        assert!(!c.enabled());
+        assert!(!c.cell_faults_enabled());
+        assert!(!c.core_faults_enabled());
+        assert_eq!(c, FaultConfig::default());
+    }
+
+    #[test]
+    fn any_rate_enables() {
+        let mut c = FaultConfig::off();
+        c.write_ber = 1e-6;
+        assert!(c.enabled() && c.cell_faults_enabled());
+        let mut c = FaultConfig::off();
+        c.retention_flip_rate = 1e-12;
+        assert!(c.enabled() && c.cell_faults_enabled());
+        let mut c = FaultConfig::off();
+        c.core_fault_rate = 0.01;
+        assert!(c.enabled() && c.core_faults_enabled());
+        let mut c = FaultConfig::off();
+        c.seeded_bad_core = Some(3);
+        assert!(c.enabled() && c.core_faults_enabled());
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let mut c = FaultConfig::off();
+        c.seed = 7;
+        c.write_ber = 1e-5;
+        c.ecc = true;
+        c.seeded_bad_core = Some(2);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: FaultConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

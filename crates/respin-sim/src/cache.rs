@@ -168,6 +168,23 @@ impl CacheArray {
         self.sets.iter().map(Vec::len).sum()
     }
 
+    /// Iterates every resident line as `(block address, state)`, in
+    /// set-then-way order (deterministic — the scrubber walks this).
+    /// Addresses are reconstructed the same way evictions report theirs.
+    pub fn resident_addrs(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.iter().map(move |line| {
+                    (
+                        (line.tag * self.num_sets + set_idx as u64) << self.block_bits,
+                        line.state,
+                    )
+                })
+            })
+    }
+
     /// Associativity.
     pub fn ways(&self) -> usize {
         self.ways

@@ -27,6 +27,7 @@ use crate::energy::EnergyBreakdown;
 use crate::memsys::{MainMemory, MemLevel};
 use crate::shared_l1::L1Event;
 use crate::stats::ChipStats;
+use respin_faults::{hash, FaultEventKind, FaultStats};
 use respin_noc::{mesh::Endpoint, Mesh};
 use respin_power::diag::Report;
 use respin_power::{array_params, CoreEnergyModel, CoreEvent};
@@ -99,6 +100,9 @@ pub struct EpochReport {
     pub start_tick: u64,
     /// Tick at epoch end.
     pub end_tick: u64,
+    /// Cores per cluster not decommissioned by fault injection (the
+    /// consolidation policies must not target more than this).
+    pub healthy_cores: Vec<usize>,
 }
 
 /// Final outcome of a run.
@@ -163,6 +167,15 @@ pub struct Chip {
     consolidation_trace: Vec<(u64, usize)>,
     ctx_cost_core_cycles: u64,
     slice_core_cycles: u64,
+    /// Draw key for transient core faults:
+    /// `combine([seed, faults.seed, DOMAIN_CORE])`.
+    fault_key: u64,
+    /// Fault-maintenance epochs since construction. Deliberately *not*
+    /// reset with measurements: it indexes the deterministic fault
+    /// universe, which must keep advancing across warm-up resets.
+    fault_epochs: u64,
+    /// Chip-level (core fault / decommission) counters and trace.
+    core_fault_stats: FaultStats,
 }
 
 impl Chip {
@@ -237,6 +250,7 @@ impl Chip {
         let total_threads = config.total_cores() as u32;
         let total_cores = config.total_cores();
         let mesh = Mesh::new(config.clusters);
+        let fault_key = hash::combine(&[seed, config.faults.seed, hash::DOMAIN_CORE]);
         Ok(Self {
             config,
             core_model,
@@ -262,6 +276,9 @@ impl Chip {
             consolidation_trace: vec![(0, total_cores)],
             ctx_cost_core_cycles: ctx_cost,
             slice_core_cycles: slice,
+            fault_key,
+            fault_epochs: 0,
+            core_fault_stats: FaultStats::default(),
         })
     }
 
@@ -1050,7 +1067,9 @@ impl Chip {
             "consolidation disabled in this configuration"
         );
         let n = self.clusters[k].cores.len();
-        let count = count.clamp(1, n);
+        // Decommissioned cores can never be re-activated: the reachable
+        // target range is bounded by the healthy count.
+        let count = count.clamp(1, self.clusters[k].healthy_cores().max(1));
         if count == self.clusters[k].active_cores {
             return;
         }
@@ -1180,6 +1199,10 @@ impl Chip {
         let cluster = &self.clusters[k];
         let mut seen = vec![0u32; cluster.vcores.len()];
         for (c, core) in cluster.cores.iter().enumerate() {
+            if core.faulty && core.active {
+                eprintln!("decommissioned core {c} is still active");
+                return false;
+            }
             if !core.active {
                 if !core.assigned.is_empty() {
                     eprintln!("inactive core {c} still hosts vcores");
@@ -1192,6 +1215,171 @@ impl Chip {
             }
         }
         seen.iter().all(|&s| s == 1)
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    /// Epoch-boundary fault maintenance: scrub shared-L1 arrays and draw
+    /// transient core faults. Keyed on a per-chip epoch counter so oracle
+    /// clones replay identical fault universes.
+    fn epoch_fault_maintenance(&mut self) {
+        let fc = self.config.faults;
+        let now = self.tick;
+        self.fault_epochs += 1;
+        let epoch = self.fault_epochs;
+        if fc.scrub {
+            for cl in &mut self.clusters {
+                if let L1System::Shared(sh) = &mut cl.l1 {
+                    sh.scrub(now);
+                }
+            }
+        }
+        if !fc.core_faults_enabled() {
+            return;
+        }
+        for k in 0..self.clusters.len() {
+            for c in 0..self.clusters[k].cores.len() {
+                let core = &self.clusters[k].cores[c];
+                if core.faulty {
+                    continue;
+                }
+                let global = k * self.config.cores_per_cluster + c;
+                let seeded = fc.seeded_bad_core == Some(global);
+                // Stochastic transients strike executing cores; the seeded
+                // defect fails its epoch-boundary self-test even while
+                // power-gated.
+                if !seeded && !core.active {
+                    continue;
+                }
+                let hit = if seeded {
+                    true
+                } else if fc.core_fault_rate > 0.0 {
+                    // Slow (high-Vth) cores are the variation-marginal
+                    // ones at NT voltage: scale the per-epoch rate with
+                    // the square of the period multiplier (mult 4 ≙ the
+                    // fastest NT bin).
+                    let scale = (core.mult * core.mult) as f64 / 16.0;
+                    let p = (fc.core_fault_rate * scale).min(1.0);
+                    hash::unit_f64(hash::combine(&[self.fault_key, k as u64, c as u64, epoch])) < p
+                } else {
+                    false
+                };
+                if hit {
+                    self.inject_core_fault(k, c);
+                }
+            }
+        }
+    }
+
+    /// Injects one transient fault on core `c` of cluster `k`: the
+    /// pipeline flushes and architectural state repairs from the
+    /// checkpoint (a bounded stall). Crossing the configured threshold
+    /// decommissions the core.
+    pub fn inject_core_fault(&mut self, k: usize, c: usize) {
+        let now = self.tick;
+        let core = &mut self.clusters[k].cores[c];
+        core.fault_count += 1;
+        core.stall_until = core
+            .stall_until
+            .max(now + consts::CORE_FAULT_RECOVERY_CORE_CYCLES * core.mult);
+        self.core_fault_stats.summary.core_faults += 1;
+        self.core_fault_stats.record(
+            now,
+            0,
+            FaultEventKind::CoreFault {
+                cluster: k,
+                core: c,
+            },
+        );
+        if self.clusters[k].cores[c].fault_count >= self.config.faults.core_fault_threshold {
+            self.decommission_core(k, c);
+        }
+    }
+
+    /// Permanently decommissions core `c` of cluster `k`: powered off
+    /// like a consolidation power-off, its virtual cores remapped to
+    /// healthy hosts, and excluded from future rankings — the chip
+    /// degrades throughput instead of corrupting results. When the core
+    /// is the cluster's last healthy active one, the most efficient
+    /// healthy inactive core is woken to take over first; if none exists
+    /// the chip limps on the failing core (degrade, never halt) and the
+    /// call returns `false`.
+    pub fn decommission_core(&mut self, k: usize, c: usize) -> bool {
+        if self.clusters[k].cores[c].faulty {
+            return false;
+        }
+        let now = self.tick;
+        let n = self.clusters[k].cores.len();
+        let healthy_active = (0..n)
+            .filter(|&o| self.clusters[k].cores[o].active && !self.clusters[k].cores[o].faulty)
+            .count();
+        if self.clusters[k].cores[c].active && healthy_active <= 1 {
+            let ranking = self.clusters[k].efficiency_ranking();
+            let Some(&wake) = ranking
+                .iter()
+                .find(|&&o| o != c && !self.clusters[k].cores[o].active)
+            else {
+                return false;
+            };
+            let core = &mut self.clusters[k].cores[wake];
+            core.active = true;
+            core.stall_until = now + consts::POWER_ON_STALL_CORE_CYCLES * core.mult;
+            self.clusters[k].active_cores += 1;
+        }
+        let core = &mut self.clusters[k].cores[c];
+        core.faulty = true;
+        let was_active = core.active;
+        core.active = false;
+        core.current = 0;
+        core.slice_left = u64::MAX;
+        let orphans = std::mem::take(&mut core.assigned);
+        if was_active {
+            self.clusters[k].active_cores -= 1;
+        }
+        // Remap tenants exactly like a consolidation power-off; the
+        // ranking already excludes faulty cores.
+        let ranking = self.clusters[k].efficiency_ranking();
+        let target: Vec<bool> = {
+            let mut t = vec![false; n];
+            for &o in &ranking {
+                if self.clusters[k].cores[o].active {
+                    t[o] = true;
+                }
+            }
+            t
+        };
+        for vc in orphans {
+            let host = self.pick_host(k, &ranking, &target);
+            self.migrate_vcore(k, vc, host, now);
+        }
+        // Slice bookkeeping: single-tenant cores never slice.
+        for o in 0..n {
+            let core = &mut self.clusters[k].cores[o];
+            if core.assigned.len() > 1 {
+                if core.slice_left == u64::MAX {
+                    core.slice_left = self.slice_core_cycles;
+                }
+            } else {
+                core.slice_left = u64::MAX;
+            }
+            if core.current >= core.assigned.len() {
+                core.current = 0;
+            }
+        }
+        self.clusters[k].refresh_core_leakage(now, self.config.core_vdd, &self.core_model);
+        let total_active: usize = self.clusters.iter().map(|cl| cl.active_cores).sum();
+        self.consolidation_trace.push((now, total_active));
+        self.core_fault_stats.summary.cores_decommissioned += 1;
+        self.core_fault_stats.record(
+            now,
+            0,
+            FaultEventKind::CoreDecommissioned {
+                cluster: k,
+                core: c,
+            },
+        );
+        debug_assert!(self.check_assignment_invariant(k));
+        true
     }
 
     // --------------------------------------------------------------- epochs
@@ -1217,12 +1405,19 @@ impl Chip {
             self.step();
         }
 
+        // Epoch-boundary fault maintenance runs before the report is
+        // assembled so scrub energy lands in this epoch's accounting.
+        if self.config.faults.enabled() || self.config.faults.scrub {
+            self.epoch_fault_maintenance();
+        }
+
         let end_tick = self.tick;
         let mut report = EpochReport {
             cluster_instructions: Vec::with_capacity(self.clusters.len()),
             cluster_energy_pj: Vec::with_capacity(self.clusters.len()),
             active_cores: Vec::with_capacity(self.clusters.len()),
             cluster_epi: Vec::with_capacity(self.clusters.len()),
+            healthy_cores: Vec::with_capacity(self.clusters.len()),
             finished: self.finished(),
             start_tick,
             end_tick,
@@ -1233,6 +1428,7 @@ impl Chip {
             report.cluster_instructions.push(instr);
             report.cluster_energy_pj.push(energy);
             report.active_cores.push(cluster.active_cores);
+            report.healthy_cores.push(cluster.healthy_cores());
             report.cluster_epi.push(if instr == 0 {
                 f64::INFINITY
             } else {
@@ -1288,6 +1484,9 @@ impl Chip {
         self.coherence_messages = 0;
         self.migrations = 0;
         self.context_switches = 0;
+        // Fault *measurements* reset; the fault-epoch counter and any
+        // decommissioned-core state are physical history and persist.
+        self.core_fault_stats.reset();
         let total_active: usize = self.clusters.iter().map(|cl| cl.active_cores).sum();
         self.consolidation_trace = vec![(now, total_active)];
     }
@@ -1368,6 +1567,16 @@ impl Chip {
         s.migrations = self.migrations;
         s.context_switches = self.context_switches;
         s.consolidation_trace = self.consolidation_trace.clone();
+        let mut faults = self.core_fault_stats.clone();
+        for cl in &self.clusters {
+            if let L1System::Shared(sh) = &cl.l1 {
+                if let Some(fs) = sh.fault_stats() {
+                    faults.merge(fs);
+                }
+            }
+        }
+        s.faults = faults.summary;
+        s.fault_trace = faults.trace;
         s
     }
 
@@ -1462,6 +1671,94 @@ mod tests {
         let a = chip.run_epoch();
         let b = fork.run_epoch();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faults_off_reports_zero_counters() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        let res = chip.run_to_completion();
+        assert_eq!(res.stats.faults, respin_faults::FaultSummary::default());
+        assert!(res.stats.fault_trace.is_empty());
+    }
+
+    #[test]
+    fn clone_forks_identically_with_faults() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.faults.write_ber = 1e-4;
+        cfg.faults.retention_flip_rate = 1e-9;
+        cfg.faults.ecc = true;
+        cfg.faults.scrub = true;
+        let mut chip = Chip::new(cfg, &spec(), 3);
+        chip.run_epoch();
+        let mut fork = chip.clone();
+        let a = chip.run_epoch();
+        let b = fork.run_epoch();
+        assert_eq!(a, b);
+        assert_eq!(chip.stats(), fork.stats());
+    }
+
+    #[test]
+    fn cell_faults_with_ecc_complete_without_escapes() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.faults.write_ber = 1e-3;
+        cfg.faults.retention_flip_rate = 1e-9;
+        cfg.faults.ecc = true;
+        cfg.faults.scrub = true;
+        let mut chip = Chip::new(cfg, &spec(), 1);
+        let res = chip.run_to_completion();
+        assert_eq!(res.instructions, 8 * 3_000, "faults must not lose work");
+        assert!(res.stats.faults.write_faults > 0, "BER 1e-3 must fire");
+        assert!(res.stats.faults.write_retries > 0);
+        assert_eq!(
+            res.stats.faults.uncorrected_escapes, 0,
+            "SECDED is on: nothing may escape silently"
+        );
+        assert!(res.stats.faults.recovery_energy_pj > 0.0);
+        assert!(!res.stats.fault_trace.is_empty());
+    }
+
+    #[test]
+    fn seeded_bad_core_is_decommissioned_gracefully() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.consolidation = true;
+        cfg.faults.seeded_bad_core = Some(1); // cluster 0, core 1
+        cfg.faults.core_fault_threshold = 2;
+        let mut chip = Chip::new(cfg, &spec(), 1);
+        let res = chip.run_to_completion();
+        // Degradation is graceful: every instruction still retires.
+        assert_eq!(res.instructions, 8 * 3_000);
+        assert!(chip.clusters[0].cores[1].faulty);
+        assert!(!chip.clusters[0].cores[1].active);
+        assert!(chip.clusters[0].cores[1].assigned.is_empty());
+        assert_eq!(chip.clusters[0].healthy_cores(), 3);
+        assert_eq!(res.stats.faults.cores_decommissioned, 1);
+        assert!(res.stats.faults.core_faults >= 2);
+        assert!(chip.check_assignment_invariant(0));
+        assert!(chip.check_assignment_invariant(1));
+        // The decommission is recorded like a consolidation power-off.
+        assert!(res
+            .stats
+            .consolidation_trace
+            .iter()
+            .any(|&(_, active)| active < 8));
+    }
+
+    #[test]
+    fn decommission_wakes_replacement_when_last_healthy_active() {
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.consolidation = true;
+        let mut chip = Chip::new(cfg, &spec(), 1);
+        chip.run_epoch();
+        chip.set_active_cores(0, 1);
+        let victim = (0..4)
+            .find(|&c| chip.clusters[0].cores[c].active)
+            .expect("one active core");
+        assert!(chip.decommission_core(0, victim));
+        // A healthy replacement core must have been woken; work continues.
+        assert_eq!(chip.clusters[0].active_cores, 1);
+        assert!(chip.check_assignment_invariant(0));
+        let res = chip.run_to_completion();
+        assert_eq!(res.instructions, 8 * 3_000);
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub struct L1Costs {
 /// The L1 organisation of a cluster.
 #[derive(Debug, Clone)]
 pub enum L1System {
-    /// One controller shared by every core (the paper's design).
-    Shared(SharedL1),
+    /// One controller shared by every core (the paper's design). Boxed so
+    /// the enum stays close to its `Private` variant in size.
+    Shared(Box<SharedL1>),
     /// Per-core private data caches kept coherent by a cluster directory.
     Private {
         /// One L1D tag array per core.
@@ -131,15 +132,32 @@ impl Cluster {
             shifter_pj: shifter,
         };
 
+        // Fault model, only instantiated when a cell-level fault can fire
+        // (the `None` path keeps the controller bit-identical to the
+        // pre-fault simulator).
+        let faults = if config.faults.cell_faults_enabled() || config.faults.scrub {
+            Some(respin_faults::ArrayFaults::new(
+                config.faults,
+                seed,
+                index,
+                l1d_geom.block_bytes * 8,
+            ))
+        } else {
+            None
+        };
+
         let l1 = match config.l1_org {
-            L1Org::SharedPerCluster => L1System::Shared(SharedL1::new(
-                l1d_geom,
-                &l1d_params,
-                config.read_ticks(&l1d_params, true),
-                config.write_ticks(&l1d_params),
-                n,
-                shifter,
-                config.delivery_ticks,
+            L1Org::SharedPerCluster => L1System::Shared(Box::new(
+                SharedL1::new(
+                    l1d_geom,
+                    &l1d_params,
+                    config.read_ticks(&l1d_params, true),
+                    config.write_ticks(&l1d_params),
+                    n,
+                    shifter,
+                    config.delivery_ticks,
+                )
+                .with_faults(faults),
             )),
             L1Org::Private => L1System::Private {
                 l1d: (0..n).map(|_| CacheArray::new(l1d_geom)).collect(),
@@ -236,11 +254,20 @@ impl Cluster {
             .all(|v| matches!(v.state, crate::core::VcState::Finished))
     }
 
+    /// Number of cores that have not been decommissioned by fault
+    /// injection. Always ≥ 1 (the last healthy core is never taken).
+    pub fn healthy_cores(&self) -> usize {
+        self.cores.iter().filter(|c| !c.faulty).count()
+    }
+
     /// Hosting ranking: core indices from most to least energy-efficient.
     /// Faster cores (smaller period multiple) are more efficient because
     /// leakage is a fixed cost (§III-C); ties break toward lower leakage.
+    /// Decommissioned (faulty) cores are excluded — they can never host.
     pub fn efficiency_ranking(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.cores.len()).collect();
+        let mut idx: Vec<usize> = (0..self.cores.len())
+            .filter(|&c| !self.cores[c].faulty)
+            .collect();
         idx.sort_by(|&a, &b| {
             self.cores[a]
                 .mult
@@ -288,10 +315,11 @@ mod tests {
         assert_eq!(c.active_cores, 4);
 
         let c = build_cluster(L1Org::Private);
-        match &c.l1 {
-            L1System::Private { l1d, .. } => assert_eq!(l1d.len(), 4),
-            _ => panic!("expected private"),
-        }
+        assert!(
+            matches!(&c.l1, L1System::Private { l1d, .. } if l1d.len() == 4),
+            "Private l1_org must build one L1D per core, got {:?}",
+            std::mem::discriminant(&c.l1)
+        );
     }
 
     #[test]
@@ -328,6 +356,20 @@ mod tests {
         c.cores[1].leak_factor = 1.2;
         c.cores[2].leak_factor = 0.9;
         assert_eq!(c.efficiency_ranking(), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn efficiency_ranking_excludes_faulty_cores() {
+        let mut c = build_cluster(L1Org::SharedPerCluster);
+        c.cores[0].mult = 6;
+        c.cores[1].mult = 4;
+        c.cores[2].mult = 4;
+        c.cores[3].mult = 5;
+        c.cores[1].leak_factor = 1.2;
+        c.cores[2].leak_factor = 0.9;
+        c.cores[2].faulty = true;
+        assert_eq!(c.efficiency_ranking(), vec![1, 3, 0]);
+        assert_eq!(c.healthy_cores(), 3);
     }
 
     #[test]

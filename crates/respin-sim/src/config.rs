@@ -2,6 +2,7 @@
 
 use crate::consts::{CACHE_PERIOD_PS, EPOCH_INSTRUCTIONS};
 
+use respin_faults::FaultConfig;
 use respin_power::diag::{Report, Violation};
 use respin_power::scaling::CORE_LOGIC_VTH;
 use respin_power::units::{kib, mib};
@@ -108,6 +109,10 @@ pub struct ChipConfig {
     /// (level shifters + wires; §II-A's 2 cycles). Exposed for the
     /// level-shifter ablation.
     pub delivery_ticks: u64,
+    /// Fault-injection and recovery models (STT-RAM write failures,
+    /// retention decay, transient core faults). Disabled by default;
+    /// with every rate at zero the hooks are provably zero-cost.
+    pub faults: FaultConfig,
 }
 
 impl ChipConfig {
@@ -128,6 +133,7 @@ impl ChipConfig {
             epoch_instructions: EPOCH_INSTRUCTIONS,
             instructions_per_thread: None,
             delivery_ticks: crate::consts::DELIVERY_TICKS,
+            faults: FaultConfig::off(),
         }
     }
 
@@ -323,7 +329,78 @@ impl ChipConfig {
                 "delivery latency is zero while rails differ (level shifters modelled free)",
             ));
         }
+        self.check_faults(&mut report);
         report
+    }
+
+    /// Structural checks on the fault-injection configuration (code
+    /// `CFG-FAULTS`).
+    fn check_faults(&self, report: &mut Report) {
+        let f = &self.faults;
+        if !(0.0..1.0).contains(&f.write_ber) {
+            report.push(Violation::error(
+                "CFG-FAULTS",
+                "fault rates are valid probabilities",
+                "ChipConfig.faults.write_ber",
+                format!("write BER {} is outside [0, 1)", f.write_ber),
+            ));
+        }
+        if !f.retention_flip_rate.is_finite() || f.retention_flip_rate < 0.0 {
+            report.push(Violation::error(
+                "CFG-FAULTS",
+                "fault rates are valid probabilities",
+                "ChipConfig.faults.retention_flip_rate",
+                format!(
+                    "retention flip rate {} is not a finite non-negative rate",
+                    f.retention_flip_rate
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&f.core_fault_rate) {
+            report.push(Violation::error(
+                "CFG-FAULTS",
+                "fault rates are valid probabilities",
+                "ChipConfig.faults.core_fault_rate",
+                format!("core fault rate {} is outside [0, 1]", f.core_fault_rate),
+            ));
+        }
+        if f.write_ber > 0.0 && f.retry_budget == 0 {
+            report.push(Violation::error(
+                "CFG-FAULTS",
+                "write-verify-retry has a usable budget when writes can fail",
+                "ChipConfig.faults.retry_budget",
+                "retry budget is zero while write BER is nonzero",
+            ));
+        }
+        if f.core_faults_enabled() && f.core_fault_threshold == 0 {
+            report.push(Violation::error(
+                "CFG-FAULTS",
+                "decommission threshold is positive when core faults fire",
+                "ChipConfig.faults.core_fault_threshold",
+                "threshold zero would decommission healthy cores",
+            ));
+        }
+        if let Some(idx) = f.seeded_bad_core {
+            if idx >= self.total_cores() {
+                report.push(Violation::error(
+                    "CFG-FAULTS",
+                    "the seeded bad core exists on the chip",
+                    "ChipConfig.faults.seeded_bad_core",
+                    format!("core index {idx} >= total cores {}", self.total_cores()),
+                ));
+            }
+        }
+        // Scrubbing without ECC can only refresh retention age — it
+        // cannot see or repair flips. Legal (relaxed-retention refresh)
+        // but usually a misconfiguration; advisory.
+        if f.scrub && !f.ecc {
+            report.push(Violation::warning(
+                "CFG-FAULTS",
+                "scrubbing can repair what it finds",
+                "ChipConfig.faults.scrub",
+                "scrub enabled without ECC: refresh-only, flips stay latent",
+            ));
+        }
     }
 
     /// Validates structural consistency; `Err` carries the full diagnostic
@@ -451,6 +528,36 @@ mod tests {
         let report = c.check();
         assert!(report.is_clean(), "{report}");
         assert!(report.violations.iter().any(|v| v.code == "LS-DELIVERY"));
+    }
+
+    #[test]
+    fn rejects_bad_fault_configs() {
+        let mut c = ChipConfig::nt_base();
+        c.faults.write_ber = 1.5;
+        assert!(c.check().violations.iter().any(|v| v.code == "CFG-FAULTS"));
+
+        let mut c = ChipConfig::nt_base();
+        c.faults.write_ber = 1e-5;
+        c.faults.retry_budget = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ChipConfig::nt_base();
+        c.faults.seeded_bad_core = Some(64); // one past the last core
+        assert!(c.validate().is_err());
+
+        let mut c = ChipConfig::nt_base();
+        c.faults.core_fault_rate = 0.1;
+        c.faults.core_fault_threshold = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scrub_without_ecc_warns_but_passes() {
+        let mut c = ChipConfig::nt_base();
+        c.faults.scrub = true;
+        let report = c.check();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.violations.iter().any(|v| v.code == "CFG-FAULTS"));
     }
 
     #[test]

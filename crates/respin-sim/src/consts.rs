@@ -85,6 +85,11 @@ pub const MIGRATION_COLD_STATE_CORE_CYCLES: u64 = 40;
 /// The paper's consolidation interval: 160 K instructions (per cluster).
 pub const EPOCH_INSTRUCTIONS: u64 = 160_000;
 
+/// Recovery stall after a transient core fault, core cycles: pipeline
+/// flush plus architectural-state repair from the checkpoint, an order of
+/// magnitude above a mispredict but far below a migration round-trip.
+pub const CORE_FAULT_RECOVERY_CORE_CYCLES: u64 = 100;
+
 // --- Synchronisation -------------------------------------------------------
 
 /// Distance between lock lines in the shared segment, bytes.

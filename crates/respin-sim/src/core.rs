@@ -99,6 +99,11 @@ pub struct Core {
     pub pending_stores: u32,
     /// Per-core leakage multiplier from process variation.
     pub leak_factor: f64,
+    /// Transient faults observed on this core (fault injection).
+    pub fault_count: u32,
+    /// Decommissioned after crossing the fault threshold: permanently
+    /// powered off and excluded from consolidation rankings.
+    pub faulty: bool,
 }
 
 impl Core {
@@ -113,6 +118,8 @@ impl Core {
             stall_until: 0,
             pending_stores: 0,
             leak_factor,
+            fault_count: 0,
+            faulty: false,
         }
     }
 

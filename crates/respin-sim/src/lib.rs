@@ -52,4 +52,5 @@ pub mod stats;
 pub use chip::{Chip, EpochReport, RunResult};
 pub use config::{CacheSizeClass, ChipConfig, CtxSwitchModel, L1Org};
 pub use energy::EnergyBreakdown;
+pub use respin_faults::{FaultConfig, FaultEvent, FaultEventKind, FaultSummary};
 pub use stats::{ChipStats, SharedL1Stats};

@@ -20,6 +20,7 @@
 
 use crate::cache::{CacheArray, LineState};
 use crate::stats::SharedL1Stats;
+use respin_faults::{ArrayFaults, FaultStats, ReadOutcome, ScrubAction};
 use respin_power::{ArrayParams, CacheGeometry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -57,15 +58,18 @@ struct PendingWrite {
     addr: u64,
     arrival_tick: u64,
     kind: WriteKind,
-    /// Core that issued it (for store-buffer completion), if any.
-    core: Option<usize>,
 }
 
-/// What a write-port operation is.
+/// What a write-port operation is. Stores carry their issuing core in the
+/// variant itself, so a store without a core is unrepresentable (fills
+/// have no completion consumer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum WriteKind {
     /// Store drain from a core's store buffer.
-    Store,
+    Store {
+        /// Cluster-local core slot that issued the store.
+        core: usize,
+    },
     /// Line fill, installed in the given state (set by the inter-cluster
     /// directory outcome, or Modified for write-miss fills).
     Fill(LineState),
@@ -145,10 +149,16 @@ pub struct SharedL1 {
     pub(crate) dyn_energy_pj: f64,
     /// Accumulated interconnect (shifter) energy since last drain, pJ.
     pub(crate) shifter_acc_pj: f64,
+    /// STT-RAM fault model for this array; `None` when fault injection is
+    /// disabled (the guarded hooks then cost nothing and change nothing).
+    /// Boxed: the fault state is cold and would otherwise dominate the
+    /// controller's footprint inside `L1System`.
+    faults: Option<Box<ArrayFaults>>,
 }
 
 impl SharedL1 {
-    /// Builds the controller for `cores` cores.
+    /// Builds the controller for `cores` cores (fault injection off; see
+    /// [`SharedL1::with_faults`]).
     pub fn new(
         geometry: CacheGeometry,
         params: &ArrayParams,
@@ -172,7 +182,15 @@ impl SharedL1 {
             delivery_ticks,
             dyn_energy_pj: 0.0,
             shifter_acc_pj: 0.0,
+            faults: None,
         }
+    }
+
+    /// Attaches (or detaches) the STT-RAM fault model for this array.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<ArrayFaults>) -> Self {
+        self.faults = faults.map(Box::new);
+        self
     }
 
     /// True when `core`'s request register is free.
@@ -201,8 +219,7 @@ impl SharedL1 {
         self.writes.push_back(PendingWrite {
             addr: self.array.block_addr(addr),
             arrival_tick: issue_tick + self.delivery_ticks,
-            kind: WriteKind::Store,
-            core: Some(core),
+            kind: WriteKind::Store { core },
         });
         self.stats.writes += 1;
         self.shifter_acc_pj += self.shifter_energy_pj;
@@ -216,7 +233,6 @@ impl SharedL1 {
             addr,
             arrival_tick: ready_tick,
             kind: WriteKind::Fill(state),
-            core: None,
         });
         self.stats.writes += 1;
     }
@@ -260,19 +276,45 @@ impl SharedL1 {
             self.dyn_energy_pj += self.read_energy_pj;
             match self.array.touch(req.addr) {
                 Some(_) => {
-                    // Data ready at now + read_ticks - 1 (end of tick);
-                    // the core consumes it at its next cycle boundary.
-                    let data_ready = now + self.read_ticks - 1;
-                    let k = (data_ready - req.issue_tick) / req.mult + 1;
-                    let completion = req.issue_tick + k * req.mult;
-                    self.stats.record_read_hit(k);
-                    if k > 1 {
-                        self.stats.half_misses += 1;
+                    // Retention decay + ECC on the data read out of the
+                    // array (no-op when fault injection is off).
+                    let fault = self
+                        .faults
+                        .as_mut()
+                        .map_or(ReadOutcome::Clean, |f| f.on_read(req.addr, now));
+                    if fault == ReadOutcome::Refetch {
+                        // SECDED detected an uncorrectable error: the
+                        // line is dead. Drop it and refetch via the
+                        // ordinary miss path.
+                        self.array.invalidate(req.addr);
+                        self.stats.read_misses += 1;
+                        events.push(L1Event::ReadMiss {
+                            core: slot,
+                            addr: req.addr,
+                            mult: req.mult,
+                            issue_tick: req.issue_tick,
+                        });
+                    } else {
+                        if fault == ReadOutcome::Corrected {
+                            // The corrected line is written back through
+                            // the (pipelined) write port: energy only.
+                            self.charge_recovery(self.write_energy_pj);
+                        }
+                        // Data ready at now + read_ticks - 1 (end of
+                        // tick); the core consumes it at its next cycle
+                        // boundary.
+                        let data_ready = now + self.read_ticks - 1;
+                        let k = (data_ready - req.issue_tick) / req.mult + 1;
+                        let completion = req.issue_tick + k * req.mult;
+                        self.stats.record_read_hit(k);
+                        if k > 1 {
+                            self.stats.half_misses += 1;
+                        }
+                        events.push(L1Event::ReadDone {
+                            core: slot,
+                            completion_tick: completion,
+                        });
                     }
-                    events.push(L1Event::ReadDone {
-                        core: slot,
-                        completion_tick: completion,
-                    });
                 }
                 None => {
                     self.stats.read_misses += 1;
@@ -296,34 +338,98 @@ impl SharedL1 {
             let w = self.writes.remove(pos).expect("position valid");
             self.dyn_energy_pj += self.write_energy_pj;
             match w.kind {
-                WriteKind::Store => {
+                WriteKind::Store { core } => {
                     let prior = self.array.touch(w.addr);
                     if let Some(state) = prior {
                         self.array.set_state(w.addr, LineState::Modified);
-                        if let Some(core) = w.core {
-                            events.push(L1Event::StoreDrained {
-                                core,
-                                completion_tick: now + self.write_ticks,
-                                needs_ownership: state != LineState::Modified,
-                                addr: w.addr,
-                            });
-                        }
-                    } else {
-                        events.push(L1Event::StoreMiss {
-                            core: w.core.expect("stores carry a core"),
+                        // Write-verify-retry: each extra attempt occupies
+                        // the write port for another write latency, so
+                        // the store-buffer slot frees that much later.
+                        let retries = self.fault_write(w.addr, now);
+                        events.push(L1Event::StoreDrained {
+                            core,
+                            completion_tick: now + self.write_ticks * (1 + u64::from(retries)),
+                            needs_ownership: state != LineState::Modified,
                             addr: w.addr,
                         });
+                    } else {
+                        events.push(L1Event::StoreMiss { core, addr: w.addr });
                     }
                 }
                 WriteKind::Fill(state) => {
                     if let Some(ev) = self.array.fill(w.addr, state) {
+                        if let Some(f) = self.faults.as_mut() {
+                            f.on_invalidate(ev.addr);
+                        }
                         if ev.dirty {
                             events.push(L1Event::Writeback { addr: ev.addr });
                         }
                     }
+                    // Fill retries are pipelined behind the port (no
+                    // consumer waits on a fill): charge energy only.
+                    self.fault_write(w.addr, now);
                 }
             }
         }
+    }
+
+    /// Runs the write-verify-retry model for a write landing at `now`;
+    /// returns the retry count. Retry energy is charged to the array's
+    /// dynamic energy (and tracked as recovery energy).
+    fn fault_write(&mut self, addr: u64, now: u64) -> u32 {
+        let Some(f) = self.faults.as_mut() else {
+            return 0;
+        };
+        let out = f.on_write(addr, now);
+        if out.retries > 0 {
+            let pj = self.write_energy_pj * f64::from(out.retries);
+            self.dyn_energy_pj += pj;
+            f.stats.summary.recovery_energy_pj += pj;
+        }
+        out.retries
+    }
+
+    /// Charges `pj` of recovery energy (ECC rewrite, scrub traffic) to
+    /// the array's dynamic energy.
+    fn charge_recovery(&mut self, pj: f64) {
+        self.dyn_energy_pj += pj;
+        if let Some(f) = self.faults.as_mut() {
+            f.stats.summary.recovery_energy_pj += pj;
+        }
+    }
+
+    /// Epoch-boundary scrub: walks every resident line, refreshing
+    /// retention age, rewriting ECC-correctable lines, and dropping
+    /// detectably-dead ones. Returns the number of lines visited. No-op
+    /// unless fault injection with scrubbing is enabled.
+    pub fn scrub(&mut self, now: u64) -> u64 {
+        if self.faults.as_ref().is_none_or(|f| !f.config().scrub) {
+            return 0;
+        }
+        let resident: Vec<(u64, LineState)> = self.array.resident_addrs().collect();
+        let mut visited = 0u64;
+        for (addr, state) in resident {
+            // One array read per scrubbed line.
+            self.charge_recovery(self.read_energy_pj);
+            let action = match self.faults.as_mut() {
+                Some(f) => f.scrub_line(addr, state.is_dirty(), now),
+                None => break,
+            };
+            match action {
+                ScrubAction::Refreshed => {}
+                ScrubAction::Rewritten => self.charge_recovery(self.write_energy_pj),
+                ScrubAction::Dropped { .. } => {
+                    self.array.invalidate(addr);
+                }
+            }
+            visited += 1;
+        }
+        visited
+    }
+
+    /// Fault counters and trace, when fault injection is enabled.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
     }
 
     /// Probes without side effects (used by the fill path to avoid
@@ -334,6 +440,9 @@ impl SharedL1 {
 
     /// Invalidates a line (inter-cluster coherence). Returns its state.
     pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        if let Some(f) = self.faults.as_mut() {
+            f.on_invalidate(addr);
+        }
         self.array.invalidate(addr)
     }
 
@@ -350,10 +459,14 @@ impl SharedL1 {
     }
 
     /// Zeroes statistics and energy accumulators (measurement warm-up).
+    /// Fault *state* (line health) persists — only its counters reset.
     pub fn reset_measurements(&mut self) {
         self.stats = SharedL1Stats::default();
         self.dyn_energy_pj = 0.0;
         self.shifter_acc_pj = 0.0;
+        if let Some(f) = self.faults.as_mut() {
+            f.reset_measurements();
+        }
     }
 
     /// Write-latency in ticks (for store-buffer completion modelling).
@@ -371,6 +484,13 @@ mod tests {
         let g = CacheGeometry::new(256 * 1024, 32, 4);
         let p = array_params(MemTech::SttRam, g, 1.0);
         SharedL1::new(g, &p, 1, 14, cores, 0.6, 2)
+    }
+
+    fn faulty_controller(cores: usize, cfg: respin_faults::FaultConfig) -> SharedL1 {
+        let g = CacheGeometry::new(256 * 1024, 32, 4);
+        let p = array_params(MemTech::SttRam, g, 1.0);
+        let faults = ArrayFaults::new(cfg, 42, 0, g.block_bytes * 8);
+        SharedL1::new(g, &p, 1, 14, cores, 0.6, 2).with_faults(Some(faults))
     }
 
     fn run_tick(c: &mut SharedL1, now: u64) -> Vec<L1Event> {
@@ -561,5 +681,90 @@ mod tests {
         c.issue_read(0, 0x100, 0, 4);
         assert!(!c.can_accept_read(0));
         assert!(c.can_accept_read(1));
+    }
+
+    #[test]
+    fn store_retries_extend_completion_by_write_latency() {
+        // Per-bit BER 0.9 over 256 bits ⇒ every attempt fails, so the
+        // budget is always exhausted and retries == budget.
+        let mut cfg = respin_faults::FaultConfig::off();
+        cfg.write_ber = 0.9;
+        cfg.retry_budget = 2;
+        let mut c = faulty_controller(2, cfg);
+        warm(&mut c, 0x500);
+        c.issue_store(0, 0x500, 0);
+        let mut all = vec![];
+        for t in 1..=3 {
+            all.extend(run_tick(&mut c, t));
+        }
+        // Store serviced at tick 2: 1 initial + 2 retried writes ⇒ the
+        // slot frees at 2 + 14 × 3 = 44.
+        assert!(
+            matches!(
+                all[..],
+                [L1Event::StoreDrained {
+                    core: 0,
+                    completion_tick: 44,
+                    ..
+                }]
+            ),
+            "{all:?}"
+        );
+        let fs = c.fault_stats().expect("faults enabled");
+        assert!(fs.summary.write_retries >= 2);
+        assert!(fs.summary.recovery_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn detected_double_error_becomes_read_miss() {
+        // Extreme retention decay + ECC: a line read long after its fill
+        // carries ≥2 flips ⇒ SECDED detects, line dropped, miss emitted.
+        let mut cfg = respin_faults::FaultConfig::off();
+        cfg.retention_flip_rate = 1e-2;
+        cfg.ecc = true;
+        let mut c = faulty_controller(2, cfg);
+        warm(&mut c, 0x700);
+        c.issue_read(0, 0x700, 10_000, 4);
+        let ev = run_tick(&mut c, 10_002);
+        assert!(
+            matches!(
+                ev[..],
+                [L1Event::ReadMiss {
+                    core: 0,
+                    addr: 0x700,
+                    ..
+                }]
+            ),
+            "{ev:?}"
+        );
+        assert_eq!(c.probe(0x700), None);
+        assert_eq!(c.stats().read_misses, 1);
+        assert!(c.fault_stats().expect("faults on").summary.ecc_detected >= 1);
+    }
+
+    #[test]
+    fn scrub_visits_resident_lines_and_is_gated() {
+        // Scrub disabled ⇒ no-op even with faults present.
+        let mut cfg = respin_faults::FaultConfig::off();
+        cfg.retention_flip_rate = 1e-9;
+        cfg.ecc = true;
+        let mut c = faulty_controller(2, cfg);
+        warm(&mut c, 0x100);
+        assert_eq!(c.scrub(10), 0);
+
+        cfg.scrub = true;
+        let mut c = faulty_controller(2, cfg);
+        warm(&mut c, 0x100);
+        warm(&mut c, 0x200);
+        assert_eq!(c.scrub(10), 2);
+        assert_eq!(
+            c.fault_stats().expect("faults on").summary.scrubbed_lines,
+            2
+        );
+
+        // Fault layer absent ⇒ no-op.
+        let mut c = controller(2);
+        warm(&mut c, 0x100);
+        assert_eq!(c.scrub(10), 0);
     }
 }

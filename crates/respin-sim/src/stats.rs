@@ -130,6 +130,11 @@ pub struct ChipStats {
     /// Per-cluster sum over epochs of (active cores × epoch instructions),
     /// for the Figure 14 average; plus observed min/max active cores.
     pub active_core_samples: Vec<(u64, usize, usize)>,
+    /// Aggregate fault-injection counters (all zero when faults are off).
+    pub faults: respin_faults::FaultSummary,
+    /// First fault events in injection order (bounded; see
+    /// `respin_faults::stats::TRACE_CAP`).
+    pub fault_trace: Vec<respin_faults::FaultEvent>,
 }
 
 impl ChipStats {

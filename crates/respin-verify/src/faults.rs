@@ -1,0 +1,417 @@
+//! Abstract models of the fault-recovery machinery.
+//!
+//! Two machines are checked:
+//!
+//! * [`RetryModel`] — the write-verify-retry loop of
+//!   `respin_faults::ArrayFaults::on_write`. The property is the retry
+//!   *bound*: a write makes at most `1 + budget` attempts before the
+//!   controller gives up, no matter how the verify outcomes fall. The
+//!   broken fixture keeps retrying past the budget — the classic
+//!   "retry until it sticks" bug that turns a worn cell into a livelock
+//!   and an unbounded energy sink.
+//! * [`DecommissionModel`] — the VCM's graceful-degradation extension of
+//!   the consolidation mapping machine. On top of consolidation
+//!   transitions, the environment may decommission any healthy core at
+//!   any time (the fault threshold tripping). The property extends the
+//!   unique-mapping invariant: a decommissioned core is powered off,
+//!   hosts nothing, ever, and every virtual core stays mapped to exactly
+//!   one active healthy core. The broken fixture gates the faulty core
+//!   without migrating its tenants first.
+
+use crate::fsm::Model;
+
+/// State of one write through the verify-retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryState {
+    /// Write attempts issued so far (the initial write counts).
+    pub attempts: u32,
+    /// The controller stopped (verified or gave up).
+    pub done: bool,
+}
+
+/// The write-verify-retry machine.
+#[derive(Debug, Clone)]
+pub struct RetryModel {
+    /// Configured retry budget (extra attempts after the initial write).
+    pub budget: u32,
+    /// When true, the loop ignores the budget (fixture).
+    pub broken: bool,
+    name: String,
+}
+
+impl RetryModel {
+    /// Faithful model with the given budget.
+    pub fn new(budget: u32) -> Self {
+        RetryModel {
+            budget,
+            broken: false,
+            name: format!("write-retry[budget={budget}]"),
+        }
+    }
+
+    /// Fixture that keeps retrying past the budget.
+    pub fn broken(budget: u32) -> Self {
+        RetryModel {
+            budget,
+            broken: true,
+            name: format!("write-retry[budget={budget},broken:unbounded]"),
+        }
+    }
+
+    /// Attempts after which the modelled controller stops retrying.
+    fn attempt_limit(&self) -> u32 {
+        if self.broken {
+            // The bug: the budget comparison is off, so the loop runs
+            // well past it before anything else stops it.
+            1 + self.budget + 3
+        } else {
+            1 + self.budget
+        }
+    }
+}
+
+impl Model for RetryModel {
+    type State = RetryState;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initial(&self) -> Vec<RetryState> {
+        vec![RetryState {
+            attempts: 1,
+            done: false,
+        }]
+    }
+
+    fn successors(&self, state: &RetryState) -> Vec<RetryState> {
+        if state.done {
+            return Vec::new();
+        }
+        // The verify is nondeterministic: the attempt either sticks
+        // (done) or fails. A failed attempt retries while the controller
+        // believes it has budget left, else it gives up with residual
+        // flips (also done).
+        let mut next = vec![RetryState {
+            attempts: state.attempts,
+            done: true,
+        }];
+        if state.attempts < self.attempt_limit() {
+            next.push(RetryState {
+                attempts: state.attempts + 1,
+                done: false,
+            });
+        }
+        next
+    }
+
+    fn check(&self, state: &RetryState) -> Result<(), String> {
+        let max = 1 + self.budget;
+        if state.attempts > max {
+            return Err(format!(
+                "write made {} attempts; budget {} allows at most {max}",
+                state.attempts, self.budget
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// State of the degradation-aware mapping machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DecomState {
+    /// Which physical cores are powered on.
+    active: Vec<bool>,
+    /// Which physical cores have been decommissioned.
+    faulty: Vec<bool>,
+    /// Virtual cores hosted by each physical core, in assignment order.
+    assigned: Vec<Vec<u8>>,
+}
+
+impl DecomState {
+    fn healthy_active(&self) -> usize {
+        self.active
+            .iter()
+            .zip(&self.faulty)
+            .filter(|(&a, &f)| a && !f)
+            .count()
+    }
+}
+
+/// The consolidation machine extended with core decommissioning.
+#[derive(Debug, Clone)]
+pub struct DecommissionModel {
+    /// Physical cores in the cluster.
+    pub cores: usize,
+    /// Efficiency rankings the environment may present.
+    pub rankings: Vec<Vec<usize>>,
+    /// When true, decommissioning drops the core's tenants (fixture).
+    pub broken: bool,
+}
+
+impl DecommissionModel {
+    /// Faithful model with one virtual core per physical core, identity
+    /// and reversed rankings.
+    pub fn cluster(cores: usize) -> Self {
+        DecommissionModel {
+            cores,
+            rankings: vec![(0..cores).collect(), (0..cores).rev().collect()],
+            broken: false,
+        }
+    }
+
+    /// The gate-before-migrate fixture for the same cluster.
+    pub fn broken(cores: usize) -> Self {
+        DecommissionModel {
+            broken: true,
+            ..Self::cluster(cores)
+        }
+    }
+
+    /// `Chip::pick_host` over active healthy targets.
+    fn pick_host(state: &DecomState, ranking: &[usize], target: &[bool]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &c in ranking {
+            if target[c] {
+                match best {
+                    None => best = Some(c),
+                    Some(b) if state.assigned[c].len() < state.assigned[b].len() => best = Some(c),
+                    _ => {}
+                }
+            }
+        }
+        best
+    }
+
+    /// A ranking with decommissioned cores excluded (mirrors
+    /// `Cluster::efficiency_ranking`).
+    fn healthy_ranking(state: &DecomState, ranking: &[usize]) -> Vec<usize> {
+        ranking
+            .iter()
+            .copied()
+            .filter(|&c| !state.faulty[c])
+            .collect()
+    }
+
+    /// `Chip::set_active_cores` restricted to healthy cores.
+    fn set_active_cores(&self, state: &DecomState, ranking: &[usize], count: usize) -> DecomState {
+        let n = self.cores;
+        let ranking = Self::healthy_ranking(state, ranking);
+        let count = count.clamp(1, ranking.len().max(1));
+        let mut s = state.clone();
+        if count == s.healthy_active() || ranking.is_empty() {
+            return s;
+        }
+        let target = {
+            let mut t = vec![false; n];
+            for &c in ranking.iter().take(count) {
+                t[c] = true;
+            }
+            t
+        };
+        for c in 0..n {
+            if !target[c] && s.active[c] {
+                let orphans = std::mem::take(&mut s.assigned[c]);
+                s.active[c] = false;
+                for vc in orphans {
+                    if let Some(host) = Self::pick_host(&s, &ranking, &target) {
+                        s.assigned[host].push(vc);
+                    }
+                }
+            }
+        }
+        for &c in ranking.iter().take(count) {
+            if !s.active[c] {
+                s.active[c] = true;
+                loop {
+                    let (max_c, max_load) = {
+                        let mut best = (c, s.assigned[c].len());
+                        for o in 0..n {
+                            if s.active[o] && s.assigned[o].len() > best.1 {
+                                best = (o, s.assigned[o].len());
+                            }
+                        }
+                        best
+                    };
+                    let my_load = s.assigned[c].len();
+                    if max_c == c || max_load <= my_load + 1 {
+                        break;
+                    }
+                    let vc = s.assigned[max_c].pop().expect("load > 0");
+                    s.assigned[c].push(vc);
+                }
+            }
+        }
+        s
+    }
+
+    /// `Chip::decommission_core` on the abstract state. Returns `None`
+    /// when the machine refuses (already faulty, or no healthy core left
+    /// to take over — the real chip limps rather than halts).
+    fn decommission(&self, state: &DecomState, ranking: &[usize], c: usize) -> Option<DecomState> {
+        if state.faulty[c] {
+            return None;
+        }
+        let mut s = state.clone();
+        if s.active[c] && s.healthy_active() <= 1 {
+            let wake = ranking
+                .iter()
+                .copied()
+                .find(|&o| o != c && !s.active[o] && !s.faulty[o])?;
+            s.active[wake] = true;
+        }
+        s.faulty[c] = true;
+        s.active[c] = false;
+        let orphans = std::mem::take(&mut s.assigned[c]);
+        if self.broken {
+            // Fixture: the core is gated and marked faulty with its
+            // tenants still in flight.
+            return Some(s);
+        }
+        let ranking = Self::healthy_ranking(&s, ranking);
+        let target: Vec<bool> = (0..self.cores).map(|o| s.active[o]).collect();
+        for vc in orphans {
+            let host = Self::pick_host(&s, &ranking, &target)?;
+            s.assigned[host].push(vc);
+        }
+        Some(s)
+    }
+}
+
+impl Model for DecommissionModel {
+    type State = DecomState;
+
+    fn name(&self) -> &str {
+        if self.broken {
+            "vcm-decommission[broken:gate-without-migrate]"
+        } else {
+            "vcm-decommission"
+        }
+    }
+
+    fn initial(&self) -> Vec<DecomState> {
+        let assigned: Vec<Vec<u8>> = (0..self.cores).map(|vc| vec![vc as u8]).collect();
+        vec![DecomState {
+            active: vec![true; self.cores],
+            faulty: vec![false; self.cores],
+            assigned,
+        }]
+    }
+
+    fn successors(&self, state: &DecomState) -> Vec<DecomState> {
+        let mut next = Vec::new();
+        for ranking in &self.rankings {
+            // The policy may request any consolidation count…
+            for count in 1..=self.cores {
+                next.push(self.set_active_cores(state, ranking, count));
+            }
+            // …and any healthy core's fault counter may trip.
+            for c in 0..self.cores {
+                if let Some(s) = self.decommission(state, ranking, c) {
+                    next.push(s);
+                }
+            }
+        }
+        next
+    }
+
+    fn check(&self, state: &DecomState) -> Result<(), String> {
+        let mut seen = vec![0u32; self.cores];
+        for (c, tenants) in state.assigned.iter().enumerate() {
+            if state.faulty[c] && state.active[c] {
+                return Err(format!("decommissioned core {c} is still powered on"));
+            }
+            if state.faulty[c] && !tenants.is_empty() {
+                return Err(format!(
+                    "decommissioned core {c} still hosts virtual cores {tenants:?}"
+                ));
+            }
+            if !state.active[c] && !tenants.is_empty() {
+                return Err(format!(
+                    "powered-down core {c} still hosts virtual cores {tenants:?}"
+                ));
+            }
+            for &vc in tenants {
+                match seen.get_mut(vc as usize) {
+                    Some(n) => *n += 1,
+                    None => return Err(format!("unknown virtual core {vc} on core {c}")),
+                }
+            }
+        }
+        for (vc, &n) in seen.iter().enumerate() {
+            if n == 0 {
+                return Err(format!("virtual core {vc} is mapped to no active core"));
+            }
+            if n > 1 {
+                return Err(format!("virtual core {vc} is mapped {n} times"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::{explore, Bounds, Outcome};
+
+    #[test]
+    fn retry_bound_is_proved_for_small_budgets() {
+        for budget in [1u32, 2, 4, 7] {
+            let m = RetryModel::new(budget);
+            let e = explore(&m, Bounds::default());
+            assert!(e.proved(), "budget {budget}: {:?}", e.outcome);
+            // Space: one live state per attempt count + done states.
+            assert!(e.states as u32 >= budget + 2);
+        }
+    }
+
+    #[test]
+    fn unbounded_retry_is_caught_with_witness() {
+        let m = RetryModel::broken(2);
+        let e = explore(&m, Bounds::default());
+        let Outcome::Violated(cx) = &e.outcome else {
+            panic!("unbounded retry not caught: {:?}", e.outcome);
+        };
+        assert!(
+            cx.reason.contains("budget 2 allows at most 3"),
+            "{}",
+            cx.reason
+        );
+        // Witness: initial attempt plus the three extra failures.
+        assert!(cx.trace.len() >= 4, "trace: {:?}", cx.trace);
+    }
+
+    #[test]
+    fn decommission_mapping_is_proved() {
+        let m = DecommissionModel::cluster(3);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+        assert!(e.states > 20, "suspiciously small space: {}", e.states);
+    }
+
+    #[test]
+    fn gate_without_migrate_is_caught() {
+        let m = DecommissionModel::broken(3);
+        let e = explore(&m, Bounds::default());
+        let Outcome::Violated(cx) = &e.outcome else {
+            panic!("broken decommission not caught: {:?}", e.outcome);
+        };
+        assert!(
+            cx.reason.contains("mapped to no active core"),
+            "{}",
+            cx.reason
+        );
+        assert!(cx.trace.len() >= 2);
+    }
+
+    #[test]
+    fn total_loss_limps_instead_of_halting() {
+        // Decommission every core: the model must refuse the last one
+        // (no healthy replacement), mirroring the chip's limp mode, so
+        // the all-faulty state is unreachable.
+        let m = DecommissionModel::cluster(2);
+        let e = explore(&m, Bounds::default());
+        assert!(e.proved(), "outcome: {:?}", e.outcome);
+    }
+}

@@ -12,6 +12,9 @@
 //!   (deadline, starvation, and double-service properties).
 //! * [`consolidation`] — an abstract model of the VCM remapping machine
 //!   (unique-mapping property across power-off/remap transitions).
+//! * [`faults`] — abstract models of the fault-recovery machinery: the
+//!   write-verify-retry bound and the decommission-aware remapping
+//!   machine (no virtual core left on a decommissioned core).
 
 #![forbid(unsafe_code)]
 // Tests may unwrap: a panic IS the failure report there.
@@ -19,6 +22,7 @@
 
 pub mod arbiter;
 pub mod consolidation;
+pub mod faults;
 pub mod fsm;
 pub mod invariants;
 
@@ -37,6 +41,12 @@ pub fn verify_models() -> Report {
         check_model(&model, &mut report);
     }
     let model = consolidation::ConsolidationModel::cluster(4);
+    check_model(&model, &mut report);
+    for budget in [1u32, 2, 4] {
+        let model = faults::RetryModel::new(budget);
+        check_model(&model, &mut report);
+    }
+    let model = faults::DecommissionModel::cluster(3);
     check_model(&model, &mut report);
     report
 }

@@ -4,9 +4,9 @@
 //! cargo run -p respin-verify              # verify everything shipped
 //! cargo run -p respin-verify -- --list    # print the invariant registry
 //! cargo run -p respin-verify -- --json    # machine-readable report
-//! cargo run -p respin-verify -- --bad rails|freq|cluster
+//! cargo run -p respin-verify -- --bad rails|freq|cluster|faults
 //!                                         # seeded bad configs (must fail)
-//! cargo run -p respin-verify -- --broken arbiter|halfmiss|vcm
+//! cargo run -p respin-verify -- --broken arbiter|halfmiss|vcm|retry|decommission
 //!                                         # broken FSM fixtures (must fail)
 //! ```
 //!
@@ -19,6 +19,7 @@ use respin_verify::{
     arbiter::{ArbiterKind, ArbiterModel},
     check_model,
     consolidation::ConsolidationModel,
+    faults::{DecommissionModel, RetryModel},
     registry, verify_chip_config, verify_shipped, CheckContext,
 };
 use std::io::Write;
@@ -32,8 +33,8 @@ fn emit(line: std::fmt::Arguments) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: respin-verify [--list] [--json] [--bad rails|freq|cluster] \
-         [--broken arbiter|halfmiss|vcm]"
+        "usage: respin-verify [--list] [--json] [--bad rails|freq|cluster|faults] \
+         [--broken arbiter|halfmiss|vcm|retry|decommission]"
     );
     ExitCode::from(2)
 }
@@ -116,6 +117,14 @@ fn seeded_bad_config(kind: &str) -> Option<Report> {
             c.clusters = 5;
             CheckContext::new("seeded-bad-cluster", c).with_declared_cores(64)
         }
+        // A fault configuration that cannot describe a probability: BER
+        // above 1, with a zero retry budget to boot.
+        "faults" => {
+            let mut c = ChipConfig::nt_base();
+            c.faults.write_ber = 1.5;
+            c.faults.retry_budget = 0;
+            CheckContext::new("seeded-bad-faults", c)
+        }
         _ => return None,
     };
     Some(verify_chip_config(&ctx))
@@ -137,6 +146,16 @@ fn broken_fixture(kind: &str) -> Option<Report> {
         }
         "vcm" => {
             let model = ConsolidationModel::broken(4);
+            check_model(&model, &mut report);
+        }
+        "retry" => {
+            // Write-verify-retry loop that ignores its budget.
+            let model = RetryModel::broken(2);
+            check_model(&model, &mut report);
+        }
+        "decommission" => {
+            // Decommission pass that gates the core with tenants aboard.
+            let model = DecommissionModel::broken(3);
             check_model(&model, &mut report);
         }
         _ => return None,

@@ -4,6 +4,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo '== vendored dependencies present (offline build preflight)'
+for dep in rand rand_chacha serde serde_derive serde_json proptest criterion parking_lot rayon; do
+    if [ ! -f "vendor/$dep/Cargo.toml" ]; then
+        echo "vendored dependency '$dep' is missing (vendor/$dep/Cargo.toml not found)." >&2
+        echo "This workspace builds offline against hand-written stubs in vendor/;" >&2
+        echo "restore the vendor/ tree before running any cargo command." >&2
+        exit 1
+    fi
+done
+
 echo '== cargo fmt --check'
 cargo fmt --check
 
@@ -20,7 +30,7 @@ echo '== respin-verify: shipped configurations and FSM proofs'
 cargo run --release -p respin-verify
 
 echo '== respin-verify: seeded bad configs must fail'
-for kind in rails freq cluster; do
+for kind in rails freq cluster faults; do
     if cargo run --release -q -p respin-verify -- --bad "$kind" >/dev/null; then
         echo "seeded bad config '$kind' was not rejected" >&2
         exit 1
@@ -28,11 +38,27 @@ for kind in rails freq cluster; do
 done
 
 echo '== respin-verify: broken FSM fixtures must fail'
-for kind in arbiter halfmiss vcm; do
+for kind in arbiter halfmiss vcm retry decommission; do
     if cargo run --release -q -p respin-verify -- --broken "$kind" >/dev/null; then
         echo "broken fixture '$kind' was not caught" >&2
         exit 1
     fi
 done
+
+echo '== fault-injection smoke: faults fire, nothing escapes silently'
+smoke=$(cargo run --release -q -p respin-core --bin respin-experiments -- resilience --quick \
+    | grep '^smoke: ')
+echo "$smoke"
+case "$smoke" in
+    *"injected=0 "*)
+        echo "fault-injection smoke: no faults were injected" >&2
+        exit 1 ;;
+esac
+case "$smoke" in
+    *"escapes=0 "*) ;;
+    *)
+        echo "fault-injection smoke: silent escapes with ECC enabled" >&2
+        exit 1 ;;
+esac
 
 echo 'verify: all gates green'

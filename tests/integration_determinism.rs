@@ -61,3 +61,48 @@ fn results_are_serialisable_and_roundtrip() {
     assert_eq!(res.ticks, back.ticks);
     assert_eq!(res.stats, back.stats);
 }
+
+// ---- Fault injection ------------------------------------------------------
+
+/// Run options with the STT-RAM fault models and recovery enabled.
+fn faulty_run(arch: ArchConfig, seed: u64, fault_seed: u64) -> respin_sim::RunResult {
+    let o = opts(arch, seed);
+    let mut config = o.chip_config();
+    config.faults.seed = fault_seed;
+    config.faults.write_ber = 1e-4;
+    config.faults.retention_flip_rate = 1e-10;
+    config.faults.ecc = true;
+    config.faults.scrub = true;
+    let mut chip = respin_sim::Chip::new(config, &Benchmark::Cholesky.spec(), o.seed);
+    chip.run_warmup(o.warmup_per_thread * 8);
+    chip.run_to_completion()
+}
+
+#[test]
+fn identical_fault_seeds_give_bit_identical_fault_traces() {
+    let a = faulty_run(ArchConfig::ShStt, 7, 11);
+    let b = faulty_run(ArchConfig::ShStt, 7, 11);
+    assert!(a.stats.faults.total_injected() > 0, "faults must fire");
+    assert_eq!(a.stats.faults, b.stats.faults);
+    assert_eq!(a.stats.fault_trace, b.stats.fault_trace);
+    assert_eq!(a.ticks, b.ticks);
+    assert_eq!(a.energy, b.energy);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn different_fault_seeds_diverge() {
+    let a = faulty_run(ArchConfig::ShStt, 7, 11);
+    let b = faulty_run(ArchConfig::ShStt, 7, 12);
+    // Same chip seed, same workload — only the fault universe changed.
+    assert_ne!(a.stats.fault_trace, b.stats.fault_trace);
+}
+
+#[test]
+fn fault_results_roundtrip_through_json() {
+    let res = faulty_run(ArchConfig::ShStt, 3, 11);
+    let json = serde_json::to_string(&res).expect("serialise");
+    let back: respin_sim::RunResult = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(res.stats.faults, back.stats.faults);
+    assert_eq!(res.stats.fault_trace, back.stats.fault_trace);
+}
