@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! respin-experiments <experiment|all> [--quick] [--out DIR]
+//!                    [--trace-out PATH] [--trace-epochs N]
 //!
 //! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
 //!              fig10 fig11 fig12 fig13 fig14 cluster ablation voltage
@@ -11,15 +12,25 @@
 //! Each experiment prints its text table and, when `--out` is given (or
 //! for `all`, defaulting to `results/`), writes `<name>.txt` and
 //! `<name>.json`.
+//!
+//! `--trace-out PATH` additionally records an epoch-level trace of every
+//! simulation: `PATH.jsonl` (one structured event per line) and
+//! `PATH.chrome.json` (Chrome-trace / Perfetto counter + instant
+//! events). `--trace-epochs N` caps the per-run epoch time-series at the
+//! first `N` epochs; discrete events (consolidations, migrations,
+//! decommissions) are always kept. Tracing is observation-only: results
+//! are bit-identical with and without it.
 
 use respin_core::experiments::{
     ablation, cluster_sweep, fig1, fig10, fig11, fig12_13, fig14, fig6, fig7, fig8, fig9,
     resilience, tables, voltage, ExpParams, RunCache,
 };
 use respin_core::report::to_json;
+use respin_trace::{to_chrome_trace, to_jsonl, RingSink};
 use respin_workloads::Benchmark;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 const EXPERIMENTS: [&str; 18] = [
@@ -47,12 +58,24 @@ struct Args {
     names: Vec<String>,
     quick: bool,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    trace_epochs: Option<u64>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: respin-experiments <{}|all> [--quick] [--out DIR] \
+         [--trace-out PATH] [--trace-epochs N]",
+        EXPERIMENTS.join("|")
+    )
 }
 
 fn parse_args() -> Args {
     let mut names = Vec::new();
     let mut quick = false;
     let mut out = None;
+    let mut trace_out = None;
+    let mut trace_epochs = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -62,26 +85,44 @@ fn parse_args() -> Args {
                     args.next().expect("--out requires a directory"),
                 ));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().expect("--trace-out requires a file path"),
+                ));
+            }
+            "--trace-epochs" => {
+                let n = args.next().expect("--trace-epochs requires a count");
+                trace_epochs = Some(n.parse().expect("--trace-epochs takes an integer"));
+            }
             "all" => names = EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
             name if EXPERIMENTS.contains(&name) => names.push(name.to_string()),
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!(
-                    "usage: respin-experiments <{}|all> [--quick] [--out DIR]",
-                    EXPERIMENTS.join("|")
-                );
+                eprintln!("{}", usage());
                 std::process::exit(2);
             }
         }
     }
     if names.is_empty() {
-        eprintln!(
-            "usage: respin-experiments <{}|all> [--quick] [--out DIR]",
-            EXPERIMENTS.join("|")
-        );
+        eprintln!("{}", usage());
         std::process::exit(2);
     }
-    Args { names, quick, out }
+    Args {
+        names,
+        quick,
+        out,
+        trace_out,
+        trace_epochs,
+    }
+}
+
+/// Strips a trailing `.jsonl` so `--trace-out t.jsonl` and
+/// `--trace-out t` both produce `t.jsonl` + `t.chrome.json`.
+fn trace_base(path: &std::path::Path) -> PathBuf {
+    match path.to_str() {
+        Some(s) if s.ends_with(".jsonl") => PathBuf::from(&s[..s.len() - ".jsonl".len()]),
+        _ => path.to_path_buf(),
+    }
 }
 
 fn main() {
@@ -101,7 +142,14 @@ fn main() {
     if let Some(dir) = &out_dir {
         fs::create_dir_all(dir).expect("create output directory");
     }
-    let cache = RunCache::new();
+    let ring = args
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(RingSink::unbounded()));
+    let cache = match &ring {
+        Some(ring) => RunCache::with_tracer(ring.clone(), args.trace_epochs),
+        None => RunCache::new(),
+    };
 
     let emit = |name: &str, text: String, json: String| {
         println!("{text}");
@@ -175,7 +223,8 @@ fn main() {
                 emit("voltage", d.render_text(), to_json(&d));
             }
             "resilience" => {
-                let d = resilience::generate(&params);
+                let sink = ring.clone().map(|r| r as Arc<dyn respin_trace::TraceSink>);
+                let d = resilience::generate_traced(&params, sink, args.trace_epochs);
                 emit("resilience", d.render_text(), to_json(&d));
             }
             _ => unreachable!("validated in parse_args"),
@@ -184,6 +233,25 @@ fn main() {
             "[{name} done in {:.1?}; {} cached runs]",
             t.elapsed(),
             cache.len()
+        );
+    }
+
+    if let (Some(path), Some(ring)) = (&args.trace_out, &ring) {
+        let events = ring.snapshot();
+        let base = trace_base(path);
+        let jsonl_path = base.with_extension("jsonl");
+        let chrome_path = base.with_extension("chrome.json");
+        if let Some(dir) = jsonl_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir).expect("create trace directory");
+        }
+        fs::write(&jsonl_path, to_jsonl(&events)).expect("write jsonl trace");
+        fs::write(&chrome_path, to_chrome_trace(&events)).expect("write chrome trace");
+        println!(
+            "trace: {} events ({} dropped) -> {} + {}",
+            events.len(),
+            ring.dropped(),
+            jsonl_path.display(),
+            chrome_path.display()
         );
     }
 }

@@ -38,6 +38,9 @@ pub fn oracle_decide(chip: &Chip, radius: usize) -> Vec<usize> {
             continue;
         }
         let mut replay = chip.clone();
+        // Speculative replays must not leak into the trace: only the
+        // committed timeline is observable.
+        replay.set_tracer(respin_trace::Tracer::disabled());
         for (k, &count) in candidate.iter().enumerate() {
             replay.set_active_cores(k, count);
         }

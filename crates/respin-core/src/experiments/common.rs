@@ -7,10 +7,12 @@ use crate::runner::{run, RunOptions};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use respin_sim::{CacheSizeClass, RunResult};
+use respin_trace::{ScopedSink, TraceEvent, TraceKind, TraceSink, Tracer};
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Scale of an experiment campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,10 +61,32 @@ impl ExpParams {
     }
 }
 
+/// One per-key in-flight/completed cell: empty while the winning caller
+/// simulates, filled exactly once with the shared result.
+type RunCell = Arc<OnceLock<Arc<RunResult>>>;
+
 /// Memoising run cache shared by the experiment drivers.
+///
+/// Concurrency contract: each distinct option set simulates **exactly
+/// once**, no matter how many threads ask for it simultaneously. Every
+/// key owns a [`OnceLock`] cell; the first caller to reach an empty cell
+/// runs the simulation inside `get_or_init` and every concurrent caller
+/// for the same key blocks on that cell (not on the map lock, which is
+/// only held for the lookup) until the result lands. The previous
+/// implementation dropped the map lock while simulating, so a
+/// simultaneous second caller re-ran the same multi-second simulation
+/// and discarded one result.
 #[derive(Clone, Default)]
 pub struct RunCache {
-    inner: Arc<Mutex<HashMap<String, Arc<RunResult>>>>,
+    inner: Arc<Mutex<HashMap<String, RunCell>>>,
+    /// Optional trace sink: each de-duplicated simulation gets a
+    /// [`ScopedSink`] stamping a fresh run id, and announces itself with
+    /// a `RunStart` event (so "number of `RunStart`s" = "number of
+    /// simulations actually paid for").
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Epoch cap forwarded to every scoped sink (`--trace-epochs`).
+    trace_epochs: Option<u64>,
+    next_run: Arc<AtomicU32>,
 }
 
 impl RunCache {
@@ -71,18 +95,45 @@ impl RunCache {
         Self::default()
     }
 
-    /// Runs `opts` (or returns the memoised result).
+    /// Empty cache that traces every underlying simulation into `sink`,
+    /// keeping epoch-series records only for the first `trace_epochs`
+    /// epochs when a cap is given.
+    pub fn with_tracer(sink: Arc<dyn TraceSink>, trace_epochs: Option<u64>) -> Self {
+        Self {
+            sink: Some(sink),
+            trace_epochs,
+            ..Self::default()
+        }
+    }
+
+    /// Runs `opts` (or returns the memoised result). Concurrent calls
+    /// with equal options execute the simulation once; the losers block
+    /// until the winner's result is available.
     pub fn run(&self, opts: &RunOptions) -> Arc<RunResult> {
         let key = serde_json::to_string(opts).expect("options serialise");
-        if let Some(hit) = self.inner.lock().get(&key) {
-            return hit.clone();
-        }
-        let result = Arc::new(run(opts));
-        self.inner
-            .lock()
-            .entry(key)
-            .or_insert_with(|| result.clone())
+        let cell = self.inner.lock().entry(key.clone()).or_default().clone();
+        cell.get_or_init(|| Arc::new(self.execute(&key, opts)))
             .clone()
+    }
+
+    /// Actually simulates (cache miss path), installing a scoped tracer
+    /// when this cache was built with one.
+    fn execute(&self, key: &str, opts: &RunOptions) -> RunResult {
+        match &self.sink {
+            Some(sink) => {
+                let id = self.next_run.fetch_add(1, Ordering::Relaxed);
+                let scoped: Arc<dyn TraceSink> =
+                    Arc::new(ScopedSink::new(id, self.trace_epochs, sink.clone()));
+                scoped.record(&TraceEvent::at(
+                    0,
+                    TraceKind::RunStart {
+                        options: key.to_string(),
+                    },
+                ));
+                run(&opts.clone().traced(Tracer::new(scoped)))
+            }
+            None => run(opts),
+        }
     }
 
     /// Runs a batch in parallel (deduplicated through the cache).
@@ -90,14 +141,18 @@ impl RunCache {
         batch.par_iter().map(|o| self.run(o)).collect()
     }
 
-    /// Number of memoised runs.
+    /// Number of memoised (completed) runs.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner
+            .lock()
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
     }
 
-    /// True when empty.
+    /// True when no run has completed.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -125,10 +180,20 @@ pub fn sweep(
 }
 
 /// Geometric mean (the conventional average for normalised ratios).
+///
+/// Contract: defined only for **strictly positive, finite** inputs
+/// (normalised energy/time ratios always are). Any other input — or an
+/// empty sequence — returns `NaN` so the corruption is visible at the
+/// call site instead of silently propagating: `ln` of a non-positive
+/// value would otherwise fold `-inf`/`NaN` into the sum and surface as a
+/// plausible-looking 0 or garbage mean several tables later.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return f64::NAN;
+        }
         log_sum += v.ln();
         n += 1;
     }
@@ -164,6 +229,18 @@ mod tests {
     }
 
     #[test]
+    fn geomean_rejects_non_positive_and_non_finite_inputs() {
+        // Each poison value must surface as NaN, never as a
+        // plausible-looking number.
+        assert!(geomean([1.0, 0.0, 4.0]).is_nan());
+        assert!(geomean([1.0, -2.0]).is_nan());
+        assert!(geomean([f64::NAN]).is_nan());
+        assert!(geomean([f64::INFINITY, 2.0]).is_nan());
+        // ...while all-positive input stays exact.
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn cache_deduplicates() {
         let cache = RunCache::new();
         let mut params = ExpParams::quick();
@@ -176,6 +253,52 @@ mod tests {
         let b = cache.run(&o);
         assert_eq!(cache.len(), 1);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_identical_runs_simulate_once() {
+        use respin_trace::RingSink;
+
+        // The vendored rayon is sequential, so the stampede can only be
+        // reproduced with real OS threads racing the same key.
+        let ring = Arc::new(RingSink::unbounded());
+        let cache = RunCache::with_tracer(ring.clone(), None);
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+
+        let results: Vec<Arc<RunResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let o = o.clone();
+                    s.spawn(move || cache.run(&o))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("runner thread panicked"))
+                .collect()
+        });
+
+        assert_eq!(cache.len(), 1);
+        for r in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], r),
+                "every caller must share the single memoised result"
+            );
+        }
+        // Exactly one RunStart: the simulation was paid for once. Before
+        // the in-flight dedup, each racing thread emitted its own.
+        let run_starts = ring
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e.kind, respin_trace::TraceKind::RunStart { .. }))
+            .count();
+        assert_eq!(run_starts, 1);
     }
 
     #[test]

@@ -18,10 +18,12 @@ pub struct Fig14Row {
     pub benchmark: String,
     /// Epoch-weighted average active cores per cluster.
     pub avg: f64,
-    /// Minimum observed at any epoch boundary (any cluster).
-    pub min: usize,
-    /// Maximum observed.
-    pub max: usize,
+    /// Minimum observed at any epoch boundary (any cluster); `None` when
+    /// the run produced no per-cluster samples at all — a 0 here would
+    /// claim a cluster ran with every core off, which can never happen.
+    pub min: Option<usize>,
+    /// Maximum observed (`None` when there were no samples).
+    pub max: Option<usize>,
 }
 
 /// Figure 14 data.
@@ -49,8 +51,10 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig14 {
             let epochs = r.stats.epochs.max(1);
             let per_cluster = &r.stats.active_core_samples;
             let avg = mean(per_cluster.iter().map(|&(sum, _, _)| sum as f64)) / epochs as f64;
-            let min = per_cluster.iter().map(|&(_, lo, _)| lo).min().unwrap_or(0);
-            let max = per_cluster.iter().map(|&(_, _, hi)| hi).max().unwrap_or(0);
+            // An empty sample set propagates as None rather than a
+            // fabricated 0-core minimum.
+            let min = per_cluster.iter().map(|&(_, lo, _)| lo).min();
+            let max = per_cluster.iter().map(|&(_, _, hi)| hi).max();
             Fig14Row {
                 benchmark: b.name().into(),
                 avg,
@@ -62,8 +66,8 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig14 {
     rows.push(Fig14Row {
         benchmark: "mean".into(),
         avg: mean(rows.iter().map(|r| r.avg)),
-        min: rows.iter().map(|r| r.min).min().unwrap_or(0),
-        max: rows.iter().map(|r| r.max).max().unwrap_or(0),
+        min: rows.iter().filter_map(|r| r.min).min(),
+        max: rows.iter().filter_map(|r| r.max).max(),
     });
     Fig14 {
         rows,
@@ -79,8 +83,8 @@ impl Fig14 {
             t.row(vec![
                 r.benchmark.clone(),
                 format!("{:.1}", r.avg),
-                format!("{}", r.min),
-                format!("{}", r.max),
+                r.min.map_or_else(|| "-".into(), |m| m.to_string()),
+                r.max.map_or_else(|| "-".into(), |m| m.to_string()),
             ]);
         }
         format!(
@@ -89,5 +93,61 @@ impl Fig14 {
             t.render(),
             self.paper_avg
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_sets_render_as_dashes_not_zero() {
+        let fig = Fig14 {
+            rows: vec![
+                Fig14Row {
+                    benchmark: "fft".into(),
+                    avg: 9.5,
+                    min: Some(4),
+                    max: Some(16),
+                },
+                Fig14Row {
+                    benchmark: "empty".into(),
+                    avg: f64::NAN,
+                    min: None,
+                    max: None,
+                },
+            ],
+            paper_avg: 10.0,
+        };
+        let text = fig.render_text();
+        let empty_line = text
+            .lines()
+            .find(|l| l.contains("empty"))
+            .expect("row rendered");
+        assert!(empty_line.contains('-'), "{empty_line}");
+        assert!(
+            !empty_line.contains(" 0"),
+            "no-sample rows must not fabricate a 0-core minimum: {empty_line}"
+        );
+    }
+
+    #[test]
+    fn summary_min_skips_empty_rows() {
+        let rows = [
+            Fig14Row {
+                benchmark: "a".into(),
+                avg: 8.0,
+                min: Some(6),
+                max: Some(12),
+            },
+            Fig14Row {
+                benchmark: "b".into(),
+                avg: f64::NAN,
+                min: None,
+                max: None,
+            },
+        ];
+        assert_eq!(rows.iter().filter_map(|r| r.min).min(), Some(6));
+        assert_eq!(rows.iter().filter_map(|r| r.max).max(), Some(12));
     }
 }

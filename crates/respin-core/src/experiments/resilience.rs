@@ -20,8 +20,10 @@ use crate::consolidation::{GreedyConfig, GreedySearch, HealthMonitor};
 use crate::report::{pct, TextTable};
 use crate::runner;
 use respin_sim::{Chip, FaultConfig, RunResult};
+use respin_trace::{ScopedSink, TraceEvent, TraceKind, TraceSink, Tracer};
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Benchmark used (radix: the consolidation showcase).
 const BENCH: Benchmark = Benchmark::Radix;
@@ -91,13 +93,51 @@ pub struct Resilience {
     pub degradation: Degradation,
 }
 
-fn build_chip(params: &ExpParams, arch: ArchConfig, faults: FaultConfig) -> Chip {
+fn build_chip(params: &ExpParams, arch: ArchConfig, faults: FaultConfig, tracer: Tracer) -> Chip {
     let mut o = params.options(arch, BENCH);
     o.clusters = CLUSTERS;
     o.cores_per_cluster = CORES_PER_CLUSTER;
     let mut config = o.chip_config();
     config.faults = faults;
-    Chip::new(config, &BENCH.spec(), o.seed)
+    let mut chip = Chip::new(config, &BENCH.spec(), o.seed);
+    chip.set_tracer(tracer);
+    chip
+}
+
+/// Per-campaign trace collection: each chip run gets its own run id and
+/// a labelled `RunStart` marker, mirroring the experiment cache.
+struct TraceCtx {
+    sink: Option<Arc<dyn TraceSink>>,
+    limit: Option<u64>,
+    next: u32,
+}
+
+impl TraceCtx {
+    fn new(sink: Option<Arc<dyn TraceSink>>, limit: Option<u64>) -> Self {
+        Self {
+            sink,
+            limit,
+            next: 0,
+        }
+    }
+
+    /// A tracer for the next run of the campaign (disabled when no sink
+    /// was requested).
+    fn tracer(&mut self, label: &str) -> Tracer {
+        let Some(sink) = &self.sink else {
+            return Tracer::disabled();
+        };
+        let id = self.next;
+        self.next += 1;
+        let scoped: Arc<dyn TraceSink> = Arc::new(ScopedSink::new(id, self.limit, sink.clone()));
+        scoped.record(&TraceEvent::at(
+            0,
+            TraceKind::RunStart {
+                options: label.to_string(),
+            },
+        ));
+        Tracer::new(scoped)
+    }
 }
 
 fn total_cores() -> u64 {
@@ -134,12 +174,30 @@ fn run_greedy_degraded(chip: &mut Chip) -> (RunResult, Vec<HealthMonitor>) {
 
 /// Runs the resilience campaign.
 pub fn generate(params: &ExpParams) -> Resilience {
+    generate_traced(params, None, None)
+}
+
+/// Runs the resilience campaign, tracing every chip run into `sink`
+/// when one is given (`trace_epochs` caps the epoch series per run).
+/// This is the `--trace-out` path: the campaign is seconds long yet
+/// exercises consolidation, migration, faults, and decommissioning.
+pub fn generate_traced(
+    params: &ExpParams,
+    sink: Option<Arc<dyn TraceSink>>,
+    trace_epochs: Option<u64>,
+) -> Resilience {
+    let mut trace = TraceCtx::new(sink, trace_epochs);
     let warmup = params.warmup_per_thread * total_cores();
 
     // Fault-free baseline for the sweep (no consolidation: isolate the
     // cell-level recovery cost from policy decisions).
     let base = {
-        let mut chip = build_chip(params, ArchConfig::ShStt, FaultConfig::off());
+        let mut chip = build_chip(
+            params,
+            ArchConfig::ShStt,
+            FaultConfig::off(),
+            trace.tracer("resilience baseline"),
+        );
         chip.run_warmup(warmup);
         chip.run_to_completion()
     };
@@ -153,7 +211,14 @@ pub fn generate(params: &ExpParams) -> Resilience {
             fc.retry_budget = retry_budget;
             fc.ecc = true;
             fc.scrub = true;
-            let mut chip = build_chip(params, ArchConfig::ShStt, fc);
+            let mut chip = build_chip(
+                params,
+                ArchConfig::ShStt,
+                fc,
+                trace.tracer(&format!(
+                    "resilience sweep ber={write_ber} budget={retry_budget}"
+                )),
+            );
             chip.run_warmup(warmup);
             let r = chip.run_to_completion();
             let f = &r.stats.faults;
@@ -178,7 +243,12 @@ pub fn generate(params: &ExpParams) -> Resilience {
     // whose core (cluster 0, core 1) faults every epoch until the VCM
     // decommissions it.
     let (good, _) = {
-        let mut chip = build_chip(params, ArchConfig::ShSttCc, FaultConfig::off());
+        let mut chip = build_chip(
+            params,
+            ArchConfig::ShSttCc,
+            FaultConfig::off(),
+            trace.tracer("resilience degradation baseline"),
+        );
         chip.run_warmup(warmup);
         run_greedy_degraded(&mut chip)
     };
@@ -186,7 +256,12 @@ pub fn generate(params: &ExpParams) -> Resilience {
     fc.seeded_bad_core = Some(1);
     fc.core_fault_threshold = 2;
     let (bad, health) = {
-        let mut chip = build_chip(params, ArchConfig::ShSttCc, fc);
+        let mut chip = build_chip(
+            params,
+            ArchConfig::ShSttCc,
+            fc,
+            trace.tracer("resilience degradation seeded-bad-core"),
+        );
         chip.run_warmup(warmup);
         run_greedy_degraded(&mut chip)
     };

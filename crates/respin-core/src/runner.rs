@@ -1,14 +1,20 @@
 //! Builds chips and drives runs: configuration × benchmark × policy.
 
 use crate::arch::{ArchConfig, PolicyKind};
-use crate::consolidation::{oracle_decide, GreedyConfig, GreedySearch, OsGreedy};
+use crate::consolidation::{oracle_decide, EpiMonitor, GreedyConfig, GreedySearch, OsGreedy};
 use respin_power::diag::Report;
 use respin_sim::{CacheSizeClass, Chip, ChipConfig, RunResult};
+use respin_trace::{TraceEvent, TraceKind, Tracer};
 use respin_workloads::Benchmark;
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Error, Serialize, Value};
 
 /// Everything needed to reproduce one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `PartialEq`, `Serialize` and `Deserialize` cover only the *physics*
+/// fields — the [`Tracer`] is observation-only and excluded, so two
+/// option sets that simulate identically compare (and cache) as equal
+/// whether or not one of them is being traced.
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Architecture configuration (Table IV).
     pub arch: ArchConfig,
@@ -34,6 +40,74 @@ pub struct RunOptions {
     /// Consolidation epoch length override, instructions per cluster
     /// (None = the paper's 160 K).
     pub epoch_instructions: Option<u64>,
+    /// Observability handle installed on the built chip. Disabled by
+    /// default; never part of equality, serialisation, or cache keys.
+    pub trace: Tracer,
+}
+
+impl PartialEq for RunOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.arch == other.arch
+            && self.benchmark == other.benchmark
+            && self.size == other.size
+            && self.clusters == other.clusters
+            && self.cores_per_cluster == other.cores_per_cluster
+            && self.seed == other.seed
+            && self.instructions_per_thread == other.instructions_per_thread
+            && self.warmup_per_thread == other.warmup_per_thread
+            && self.oracle_radius == other.oracle_radius
+            && self.epoch_instructions == other.epoch_instructions
+    }
+}
+
+// Hand-written (rather than derived) to exclude the tracer: the
+// serialised form is the canonical run identity used as the experiment
+// cache key, and a sink has no meaningful serialisation anyway.
+impl Serialize for RunOptions {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("arch".to_string(), self.arch.to_value()),
+            ("benchmark".to_string(), self.benchmark.to_value()),
+            ("size".to_string(), self.size.to_value()),
+            ("clusters".to_string(), self.clusters.to_value()),
+            (
+                "cores_per_cluster".to_string(),
+                self.cores_per_cluster.to_value(),
+            ),
+            ("seed".to_string(), self.seed.to_value()),
+            (
+                "instructions_per_thread".to_string(),
+                self.instructions_per_thread.to_value(),
+            ),
+            (
+                "warmup_per_thread".to_string(),
+                self.warmup_per_thread.to_value(),
+            ),
+            ("oracle_radius".to_string(), self.oracle_radius.to_value()),
+            (
+                "epoch_instructions".to_string(),
+                self.epoch_instructions.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RunOptions {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            arch: de_field(v, "arch")?,
+            benchmark: de_field(v, "benchmark")?,
+            size: de_field(v, "size")?,
+            clusters: de_field(v, "clusters")?,
+            cores_per_cluster: de_field(v, "cores_per_cluster")?,
+            seed: de_field(v, "seed")?,
+            instructions_per_thread: de_field(v, "instructions_per_thread")?,
+            warmup_per_thread: de_field(v, "warmup_per_thread")?,
+            oracle_radius: de_field(v, "oracle_radius")?,
+            epoch_instructions: de_field(v, "epoch_instructions")?,
+            trace: Tracer::disabled(),
+        })
+    }
 }
 
 impl RunOptions {
@@ -51,7 +125,15 @@ impl RunOptions {
             warmup_per_thread: 16_000,
             oracle_radius: 3,
             epoch_instructions: None,
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Returns these options with `tracer` installed (chained form for
+    /// experiment code that otherwise treats options as immutable).
+    pub fn traced(mut self, tracer: Tracer) -> Self {
+        self.trace = tracer;
+        self
     }
 
     /// The measured per-thread instruction budget.
@@ -83,7 +165,9 @@ impl RunOptions {
     /// Builds the chip, returning the full diagnostic [`Report`] when the
     /// resolved configuration violates a structural invariant.
     pub fn try_build_chip(&self) -> Result<Chip, Report> {
-        Chip::try_new(self.chip_config(), &self.benchmark.spec(), self.seed)
+        let mut chip = Chip::try_new(self.chip_config(), &self.benchmark.spec(), self.seed)?;
+        chip.set_tracer(self.trace.clone());
+        Ok(chip)
     }
 }
 
@@ -123,20 +207,40 @@ fn run_greedy(chip: &mut Chip) -> RunResult {
     let mut policies: Vec<GreedySearch> = (0..chip.clusters.len())
         .map(|_| GreedySearch::new(n, GreedyConfig::default()))
         .collect();
+    // Trace-only bookkeeping: the relative EPI change the Figure 5
+    // flowchart branches on, and the 0-based index of the epoch that
+    // just ended (run_epoch starts counting after the warm-up reset).
+    let mut epi_monitor = EpiMonitor::new();
+    let mut epoch: u64 = 0;
     loop {
         let report = chip.run_epoch();
         if report.finished {
             return chip.result();
         }
         let epi = epoch_epi(&report);
+        let epi_delta = epi_monitor.observe(epi);
         for (k, policy) in policies.iter_mut().enumerate() {
             // Decommissioned cores leave the search space for good.
             policy.limit_max_cores(report.healthy_cores[k]);
             let next = policy.decide(epi, report.active_cores[k]);
+            chip.tracer().emit(|| {
+                TraceEvent::at(
+                    report.end_tick,
+                    TraceKind::VcmDecision {
+                        cluster: k,
+                        epoch,
+                        epi_pj: respin_trace::finite_or_zero(epi),
+                        epi_delta,
+                        current: report.active_cores[k],
+                        target: next,
+                    },
+                )
+            });
             if next != report.active_cores[k] {
                 chip.set_active_cores(k, next);
             }
         }
+        epoch += 1;
     }
 }
 
@@ -145,6 +249,8 @@ fn run_os_greedy(chip: &mut Chip) -> RunResult {
     let mut policies: Vec<OsGreedy> = (0..chip.clusters.len())
         .map(|_| OsGreedy::new(n, GreedyConfig::default()))
         .collect();
+    let mut epi_monitor = EpiMonitor::new();
+    let mut epoch: u64 = 0;
     loop {
         let report = chip.run_epoch();
         if report.finished {
@@ -152,14 +258,30 @@ fn run_os_greedy(chip: &mut Chip) -> RunResult {
         }
         let energy: f64 = report.cluster_energy_pj.iter().sum();
         let instr: u64 = report.cluster_instructions.iter().sum();
+        let epi = epoch_epi(&report);
+        let epi_delta = epi_monitor.observe(epi);
         for (k, policy) in policies.iter_mut().enumerate() {
             policy.limit_max_cores(report.healthy_cores[k]);
             if let Some(next) = policy.observe_epoch(energy, instr, report.active_cores[k]) {
+                chip.tracer().emit(|| {
+                    TraceEvent::at(
+                        report.end_tick,
+                        TraceKind::VcmDecision {
+                            cluster: k,
+                            epoch,
+                            epi_pj: respin_trace::finite_or_zero(epi),
+                            epi_delta,
+                            current: report.active_cores[k],
+                            target: next,
+                        },
+                    )
+                });
                 if next != report.active_cores[k] {
                     chip.set_active_cores(k, next);
                 }
             }
         }
+        epoch += 1;
     }
 }
 

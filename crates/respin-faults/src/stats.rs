@@ -63,6 +63,31 @@ impl FaultSummary {
     pub fn total_injected(&self) -> u64 {
         self.write_faults + self.retention_flips + self.core_faults
     }
+
+    /// Counters accumulated since `earlier` was captured — `earlier`
+    /// must be a previous snapshot of this same monotonically-growing
+    /// summary (e.g. an epoch-start copy for per-epoch tracing).
+    pub fn delta_since(&self, earlier: &FaultSummary) -> FaultSummary {
+        FaultSummary {
+            write_faults: self.write_faults - earlier.write_faults,
+            write_retries: self.write_retries - earlier.write_retries,
+            retry_exhausted: self.retry_exhausted - earlier.retry_exhausted,
+            retention_flips: self.retention_flips - earlier.retention_flips,
+            ecc_corrected: self.ecc_corrected - earlier.ecc_corrected,
+            ecc_detected: self.ecc_detected - earlier.ecc_detected,
+            uncorrected_escapes: self.uncorrected_escapes - earlier.uncorrected_escapes,
+            scrubbed_lines: self.scrubbed_lines - earlier.scrubbed_lines,
+            scrub_rewrites: self.scrub_rewrites - earlier.scrub_rewrites,
+            core_faults: self.core_faults - earlier.core_faults,
+            cores_decommissioned: self.cores_decommissioned - earlier.cores_decommissioned,
+            recovery_energy_pj: self.recovery_energy_pj - earlier.recovery_energy_pj,
+        }
+    }
+
+    /// True when every counter is zero (an all-quiet epoch).
+    pub fn is_zero(&self) -> bool {
+        *self == FaultSummary::default()
+    }
 }
 
 /// What happened in one traced fault event.
@@ -190,6 +215,28 @@ mod tests {
         assert_eq!(a.summary.write_faults, 5);
         assert_eq!(a.summary.total_injected(), 6);
         assert_eq!(a.trace.len(), 2);
+    }
+
+    #[test]
+    fn delta_subtracts_snapshots() {
+        let start = FaultSummary {
+            write_faults: 2,
+            ecc_corrected: 1,
+            recovery_energy_pj: 10.0,
+            ..FaultSummary::default()
+        };
+        let mut end = start;
+        end.write_faults = 5;
+        end.ecc_corrected = 4;
+        end.scrubbed_lines = 7;
+        end.recovery_energy_pj = 25.0;
+        let d = end.delta_since(&start);
+        assert_eq!(d.write_faults, 3);
+        assert_eq!(d.ecc_corrected, 3);
+        assert_eq!(d.scrubbed_lines, 7);
+        assert!((d.recovery_energy_pj - 15.0).abs() < 1e-12);
+        assert!(!d.is_zero());
+        assert!(end.delta_since(&end).is_zero());
     }
 
     #[test]

@@ -26,11 +26,12 @@ use crate::directory::Directory;
 use crate::energy::EnergyBreakdown;
 use crate::memsys::{MainMemory, MemLevel};
 use crate::shared_l1::L1Event;
-use crate::stats::ChipStats;
-use respin_faults::{hash, FaultEventKind, FaultStats};
+use crate::stats::{ChipStats, LevelStats, SharedL1Stats};
+use respin_faults::{hash, FaultEventKind, FaultStats, FaultSummary};
 use respin_noc::{mesh::Endpoint, Mesh};
 use respin_power::diag::Report;
 use respin_power::{array_params, CoreEnergyModel, CoreEvent};
+use respin_trace::{TraceEvent, TraceKind, Tracer};
 use respin_variation::{VariationConfig, VariationMap};
 use respin_workloads::{Op, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -176,6 +177,10 @@ pub struct Chip {
     fault_epochs: u64,
     /// Chip-level (core fault / decommission) counters and trace.
     core_fault_stats: FaultStats,
+    /// Observability handle. Disabled by default; a disabled tracer
+    /// constructs no events, and sinks can only observe — simulation
+    /// outcomes are bit-identical with tracing on or off.
+    tracer: Tracer,
 }
 
 impl Chip {
@@ -279,7 +284,20 @@ impl Chip {
             fault_key,
             fault_epochs: 0,
             core_fault_stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a trace sink. Cloned chips (oracle replays) inherit the
+    /// tracer; pass [`Tracer::disabled()`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer, for layers above the chip (policy drivers)
+    /// to emit their own events into the same sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// True when every thread has retired its full stream.
@@ -1073,6 +1091,7 @@ impl Chip {
         if count == self.clusters[k].active_cores {
             return;
         }
+        let from_cores = self.clusters[k].active_cores;
         let now = self.tick;
         let ranking = self.clusters[k].efficiency_ranking();
         let target: Vec<bool> = {
@@ -1151,6 +1170,17 @@ impl Chip {
         self.clusters[k].refresh_core_leakage(now, self.config.core_vdd, &self.core_model);
         let total_active: usize = self.clusters.iter().map(|cl| cl.active_cores).sum();
         self.consolidation_trace.push((now, total_active));
+        self.tracer.emit(|| {
+            TraceEvent::at(
+                now,
+                TraceKind::Consolidation {
+                    cluster: k,
+                    from: from_cores,
+                    to: count,
+                    total_active,
+                },
+            )
+        });
         debug_assert!(self.check_assignment_invariant(k));
     }
 
@@ -1193,6 +1223,16 @@ impl Chip {
             _ => {}
         }
         self.migrations += 1;
+        self.tracer.emit(|| {
+            TraceEvent::at(
+                now,
+                TraceKind::Migration {
+                    cluster: k,
+                    vcore: vc,
+                    to_core: host,
+                },
+            )
+        });
     }
 
     fn check_assignment_invariant(&self, k: usize) -> bool {
@@ -1291,6 +1331,17 @@ impl Chip {
                 core: c,
             },
         );
+        let fault_count = self.clusters[k].cores[c].fault_count;
+        self.tracer.emit(|| {
+            TraceEvent::at(
+                now,
+                TraceKind::CoreFault {
+                    cluster: k,
+                    core: c,
+                    fault_count,
+                },
+            )
+        });
         if self.clusters[k].cores[c].fault_count >= self.config.faults.core_fault_threshold {
             self.decommission_core(k, c);
         }
@@ -1378,6 +1429,15 @@ impl Chip {
                 core: c,
             },
         );
+        self.tracer.emit(|| {
+            TraceEvent::at(
+                now,
+                TraceKind::Decommission {
+                    cluster: k,
+                    core: c,
+                },
+            )
+        });
         debug_assert!(self.check_assignment_invariant(k));
         true
     }
@@ -1388,6 +1448,13 @@ impl Chip {
     /// further instructions retire chip-wide (or the workload finishes).
     pub fn run_epoch(&mut self) -> EpochReport {
         let start_tick = self.tick;
+        // Trace bookkeeping is only captured when a sink is installed —
+        // the disabled path does no extra work at all.
+        let trace_snap = if self.tracer.enabled() {
+            Some(self.epoch_trace_snapshot())
+        } else {
+            None
+        };
         let start_instr: Vec<u64> = self.clusters.iter().map(|c| c.instructions).collect();
         let start_energy: Vec<f64> = self
             .clusters
@@ -1440,7 +1507,169 @@ impl Chip {
             cluster.active_min = cluster.active_min.min(cluster.active_cores);
             cluster.active_max = cluster.active_max.max(cluster.active_cores);
         }
+        if let Some(snap) = &trace_snap {
+            self.emit_epoch_trace(snap, &report);
+        }
         report
+    }
+
+    /// Epoch-start counters the trace layer diffs against at epoch end.
+    /// Only captured when tracing is enabled.
+    fn epoch_trace_snapshot(&self) -> EpochTraceSnapshot {
+        EpochTraceSnapshot {
+            shared_l1: self
+                .clusters
+                .iter()
+                .map(|cl| match &cl.l1 {
+                    L1System::Shared(sh) => Some(sh.stats().clone()),
+                    L1System::Private { .. } => None,
+                })
+                .collect(),
+            l2: self.clusters.iter().map(|cl| cl.l2.stats).collect(),
+            l3: self.l3.stats,
+            faults: self.fault_summary_now(),
+            fault_trace_len: self
+                .clusters
+                .iter()
+                .map(|cl| match &cl.l1 {
+                    L1System::Shared(sh) => sh.fault_stats().map_or(0, |fs| fs.trace.len()),
+                    L1System::Private { .. } => 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Current aggregate fault counters (core-level plus every shared-L1
+    /// array), without assembling full [`ChipStats`].
+    fn fault_summary_now(&self) -> FaultSummary {
+        let mut s = self.core_fault_stats.summary;
+        for cl in &self.clusters {
+            if let L1System::Shared(sh) = &cl.l1 {
+                if let Some(fs) = sh.fault_stats() {
+                    s.merge(&fs.summary);
+                }
+            }
+        }
+        s
+    }
+
+    /// Emits the epoch-series records for the epoch that just ended:
+    /// per-cluster compute and cache samples, the chip-wide rollup, a
+    /// fault-counter delta when fault machinery is configured, and any
+    /// new cell-level fault events (SECDED corrections etc.) from the
+    /// bounded per-array traces.
+    fn emit_epoch_trace(&self, snap: &EpochTraceSnapshot, report: &EpochReport) {
+        // `run_epoch` just incremented every cluster's epoch counter, so
+        // the 0-based index of the epoch that ended is count - 1.
+        let epoch = self
+            .clusters
+            .first()
+            .map_or(0, |c| c.epoch_count.saturating_sub(1));
+        let end_tick = report.end_tick;
+        for (k, cl) in self.clusters.iter().enumerate() {
+            self.tracer.emit(|| {
+                TraceEvent::at(
+                    end_tick,
+                    TraceKind::ClusterEpoch {
+                        cluster: k,
+                        epoch,
+                        instructions: report.cluster_instructions[k],
+                        energy_pj: report.cluster_energy_pj[k],
+                        // JSON-safe: an idle cluster's EPI is +inf.
+                        epi_pj: respin_trace::finite_or_zero(report.cluster_epi[k]),
+                        active_cores: report.active_cores[k],
+                        healthy_cores: report.healthy_cores[k],
+                        core_freq_mhz: cl.core_freq_mhz(),
+                    },
+                )
+            });
+            // Cache samples are defined for the shared-L1 organisation
+            // (the paper's §II-A controller); private configurations
+            // still get the cluster/chip series above.
+            if let (L1System::Shared(sh), Some(l1_start)) = (&cl.l1, &snap.shared_l1[k]) {
+                let d = sh.stats().delta_since(l1_start);
+                let l2 = cl.l2.stats.delta_since(&snap.l2[k]);
+                self.tracer.emit(|| {
+                    TraceEvent::at(
+                        end_tick,
+                        TraceKind::CacheEpoch {
+                            cluster: k,
+                            epoch,
+                            reads: d.reads,
+                            read_misses: d.read_misses,
+                            half_misses: d.half_misses,
+                            writes: d.writes,
+                            half_miss_rate: d.half_miss_fraction(),
+                            arbiter_occupancy: d.arbiter_occupancy(),
+                            l2_miss_rate: l2.miss_rate(),
+                        },
+                    )
+                });
+            }
+        }
+        let instructions: u64 = report.cluster_instructions.iter().sum();
+        let energy_pj: f64 = report.cluster_energy_pj.iter().sum();
+        let l3 = self.l3.stats.delta_since(&snap.l3);
+        let active_cores: usize = report.active_cores.iter().sum();
+        self.tracer.emit(|| {
+            TraceEvent::at(
+                end_tick,
+                TraceKind::ChipEpoch {
+                    epoch,
+                    instructions,
+                    energy_pj,
+                    epi_pj: if instructions == 0 {
+                        0.0 // JSON-safe stand-in for "undefined".
+                    } else {
+                        energy_pj / instructions as f64
+                    },
+                    l3_miss_rate: l3.miss_rate(),
+                    active_cores,
+                },
+            )
+        });
+        if self.config.faults.enabled() || self.config.faults.scrub {
+            let d = self.fault_summary_now().delta_since(&snap.faults);
+            self.tracer.emit(|| {
+                TraceEvent::at(
+                    end_tick,
+                    TraceKind::FaultEpoch {
+                        epoch,
+                        write_faults: d.write_faults,
+                        write_retries: d.write_retries,
+                        retention_flips: d.retention_flips,
+                        ecc_corrected: d.ecc_corrected,
+                        ecc_detected: d.ecc_detected,
+                        uncorrected_escapes: d.uncorrected_escapes,
+                        scrubbed_lines: d.scrubbed_lines,
+                        scrub_rewrites: d.scrub_rewrites,
+                        recovery_energy_pj: d.recovery_energy_pj,
+                    },
+                )
+            });
+            // Forward new cell-level events (the traces are bounded, so
+            // a long run forwards at most `TRACE_CAP` per array).
+            for (k, cl) in self.clusters.iter().enumerate() {
+                let L1System::Shared(sh) = &cl.l1 else {
+                    continue;
+                };
+                let Some(fs) = sh.fault_stats() else {
+                    continue;
+                };
+                for ev in fs.trace.iter().skip(snap.fault_trace_len[k]) {
+                    self.tracer.emit(|| {
+                        TraceEvent::at(
+                            ev.tick,
+                            TraceKind::FaultCell {
+                                cluster: k,
+                                kind: fault_kind_label(&ev.kind).to_string(),
+                                addr: ev.addr,
+                            },
+                        )
+                    });
+                }
+            }
+        }
     }
 
     /// Runs the chip until `total_instructions` have retired chip-wide,
@@ -1586,6 +1815,40 @@ impl Chip {
     }
 }
 
+/// Epoch-start counter snapshot the trace layer diffs against. Only
+/// allocated while a tracer is installed.
+struct EpochTraceSnapshot {
+    /// Per-cluster shared-L1 counters (`None` for private clusters).
+    shared_l1: Vec<Option<SharedL1Stats>>,
+    /// Per-cluster L2 counters.
+    l2: Vec<LevelStats>,
+    /// L3 counters.
+    l3: LevelStats,
+    /// Aggregate fault counters (core + shared-L1 arrays).
+    faults: FaultSummary,
+    /// Per-cluster shared-L1 fault-trace length, for forwarding only
+    /// events that fired during this epoch.
+    fault_trace_len: Vec<usize>,
+}
+
+/// Stable label for a cell-level fault event, used as the `FaultCell`
+/// trace kind (core-level kinds never appear in shared-L1 traces, but
+/// are labelled anyway for totality).
+fn fault_kind_label(kind: &FaultEventKind) -> &'static str {
+    match kind {
+        FaultEventKind::WriteRetried { .. } => "WriteRetried",
+        FaultEventKind::RetryExhausted { .. } => "RetryExhausted",
+        FaultEventKind::RetentionFlip { .. } => "RetentionFlip",
+        FaultEventKind::EccCorrected => "EccCorrected",
+        FaultEventKind::EccDetected => "EccDetected",
+        FaultEventKind::UncorrectedEscape => "UncorrectedEscape",
+        FaultEventKind::ScrubRewrite => "ScrubRewrite",
+        FaultEventKind::ScrubDrop { .. } => "ScrubDrop",
+        FaultEventKind::CoreFault { .. } => "CoreFault",
+        FaultEventKind::CoreDecommissioned { .. } => "CoreDecommissioned",
+    }
+}
+
 /// First core-cycle boundary of a core with period `mult` (phase-aligned to
 /// `issue`) strictly after `ready`.
 fn align_boundary(issue: u64, mult: u64, ready: u64) -> u64 {
@@ -1623,6 +1886,85 @@ mod tests {
         assert_eq!(align_boundary(0, 4, 4), 8);
         assert_eq!(align_boundary(8, 5, 20), 23);
         assert_eq!(align_boundary(8, 5, 7), 13);
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        use std::sync::Arc;
+
+        // Two identical chips; one traced, one not. Every simulation
+        // outcome must match bit-for-bit — the zero-cost guarantee.
+        let mut plain = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        let mut traced = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        let ring = Arc::new(respin_trace::RingSink::unbounded());
+        traced.set_tracer(Tracer::new(ring.clone()));
+
+        let a = plain.run_to_completion();
+        let b = traced.run_to_completion();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.energy, b.energy);
+
+        let events = ring.snapshot();
+        let epochs = a.stats.epochs;
+        assert!(epochs > 0);
+        let cluster_epochs = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::ClusterEpoch { .. }))
+            .count() as u64;
+        let cache_epochs = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::CacheEpoch { .. }))
+            .count() as u64;
+        let chip_epochs = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::ChipEpoch { .. }))
+            .count() as u64;
+        assert_eq!(chip_epochs, epochs);
+        assert_eq!(cluster_epochs, epochs * 2);
+        assert_eq!(
+            cache_epochs,
+            epochs * 2,
+            "shared config samples every cluster"
+        );
+        // Faults are off in this config: no fault records at all.
+        assert!(!events.iter().any(|e| matches!(
+            e.kind,
+            TraceKind::FaultEpoch { .. } | TraceKind::FaultCell { .. }
+        )));
+    }
+
+    #[test]
+    fn consolidation_and_migration_are_traced() {
+        use std::sync::Arc;
+
+        let mut cfg = tiny_config(L1Org::SharedPerCluster);
+        cfg.consolidation = true;
+        let mut chip = Chip::new(cfg, &spec(), 1);
+        let ring = Arc::new(respin_trace::RingSink::unbounded());
+        chip.set_tracer(Tracer::new(ring.clone()));
+        chip.run_epoch();
+        chip.set_active_cores(0, 2);
+        let events = ring.snapshot();
+        let consolidations: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Consolidation {
+                    cluster,
+                    from,
+                    to,
+                    total_active,
+                } => Some((cluster, from, to, total_active)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consolidations, vec![(0, 4, 2, 6)]);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, TraceKind::Migration { cluster: 0, .. })),
+            "halving a full cluster must migrate orphaned vcores"
+        );
     }
 
     #[test]

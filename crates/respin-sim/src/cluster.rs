@@ -260,6 +260,22 @@ impl Cluster {
         self.cores.iter().filter(|c| !c.faulty).count()
     }
 
+    /// Per-core effective frequency in MHz: the cache domain runs at
+    /// 1/`CACHE_PERIOD_PS`, each core at 1/`mult` of that. Power-gated
+    /// and decommissioned cores report 0 (they execute nothing).
+    pub fn core_freq_mhz(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            .map(|c| {
+                if c.active && !c.faulty {
+                    1_000_000.0 / (crate::consts::CACHE_PERIOD_PS * c.mult as f64)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
     /// Hosting ranking: core indices from most to least energy-efficient.
     /// Faster cores (smaller period multiple) are more efficient because
     /// leakage is a fixed cost (§III-C); ties break toward lower leakage.

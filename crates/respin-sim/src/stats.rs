@@ -61,6 +61,46 @@ impl SharedL1Stats {
         self.half_misses as f64 / self.reads as f64
     }
 
+    /// Mean requests arriving per cache cycle at the arbiter, computed
+    /// from the Figure 10 histogram (the 4+ bin counts as 4, so this is
+    /// a slight underestimate under heavy contention). 0.0 when no
+    /// cycles were observed.
+    pub fn arbiter_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| k as u64 * n)
+            .sum();
+        weighted as f64 / self.cycles as f64
+    }
+
+    /// The counters accumulated since `earlier` was captured — `earlier`
+    /// must be a previous snapshot of this same monotonically-growing
+    /// stats block (an epoch-start copy).
+    pub fn delta_since(&self, earlier: &SharedL1Stats) -> SharedL1Stats {
+        let mut d = self.clone();
+        for (a, b) in d.arrivals.iter_mut().zip(earlier.arrivals) {
+            *a -= b;
+        }
+        d.cycles -= earlier.cycles;
+        for (a, b) in d
+            .read_hit_core_cycles
+            .iter_mut()
+            .zip(earlier.read_hit_core_cycles)
+        {
+            *a -= b;
+        }
+        d.half_misses -= earlier.half_misses;
+        d.reads -= earlier.reads;
+        d.writes -= earlier.writes;
+        d.read_misses -= earlier.read_misses;
+        d
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &SharedL1Stats) {
         for (a, b) in self.arrivals.iter_mut().zip(other.arrivals) {
@@ -98,6 +138,24 @@ impl LevelStats {
             1.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Miss fraction (0.0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Counters accumulated since the `earlier` snapshot of this block.
+    pub fn delta_since(&self, earlier: &LevelStats) -> LevelStats {
+        LevelStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
         }
     }
 }
@@ -212,6 +270,38 @@ mod tests {
         let s = LevelStats { hits: 3, misses: 1 };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(LevelStats::default().hit_rate(), 1.0);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(LevelStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_weights_arrivals() {
+        let mut s = SharedL1Stats::default();
+        s.record_arrivals(0);
+        s.record_arrivals(2);
+        s.record_arrivals(9); // clamps into the 4+ bin
+        assert!((s.arbiter_occupancy() - 2.0).abs() < 1e-12);
+        assert_eq!(SharedL1Stats::default().arbiter_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn deltas_subtract_snapshots() {
+        let mut start = SharedL1Stats::default();
+        start.record_arrivals(1);
+        start.reads = 10;
+        let mut end = start.clone();
+        end.record_arrivals(2);
+        end.reads = 25;
+        end.half_misses = 3;
+        let d = end.delta_since(&start);
+        assert_eq!(d.cycles, 1);
+        assert_eq!(d.arrivals, [0, 0, 1, 0, 0]);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.half_misses, 3);
+
+        let a = LevelStats { hits: 5, misses: 2 };
+        let b = LevelStats { hits: 9, misses: 6 };
+        assert_eq!(b.delta_since(&a), LevelStats { hits: 4, misses: 4 });
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Renderings: JSONL for scripts, Chrome trace for eyeballs.
+//!
+//! JSONL is one [`TraceEvent`] per line — the stable machine interface;
+//! [`validate_jsonl`] round-trips it and is what the CI smoke gate
+//! calls. The Chrome-trace rendering targets `chrome://tracing` and
+//! Perfetto's legacy JSON loader: epoch series become counter tracks
+//! (`"ph": "C"`) and discrete events become instants (`"ph": "i"`), so
+//! EPI, half-miss rate and active-core count plot as stacked tracks
+//! with consolidations and faults pinned on top.
+
+use serde::Value;
+
+use crate::event::{TraceEvent, TraceKind};
+
+/// Picoseconds of simulated time per cache tick, mirrored from the
+/// simulator's clock base (2.5 GHz cache domain).
+const CACHE_PERIOD_PS: f64 = 400.0;
+
+/// Renders events as JSON Lines: one event per line, empty string for
+/// no events.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let line = serde_json::to_string(ev).expect("trace events always serialise");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSONL produced by [`to_jsonl`] back into events.
+///
+/// Returns `Err((line_number, message))` (1-based) on the first line
+/// that is not a valid [`TraceEvent`]. Blank lines are rejected: a
+/// trace file with holes is a bug, not a formatting choice.
+pub fn validate_jsonl(jsonl: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
+    let mut events = Vec::new();
+    for (idx, line) in jsonl.lines().enumerate() {
+        let parsed: TraceEvent =
+            serde_json::from_str(line).map_err(|e| (idx + 1, format!("{e:?}")))?;
+        events.push(parsed);
+    }
+    Ok(events)
+}
+
+/// Renders events as a Chrome-trace (Trace Event Format) JSON object,
+/// loadable in `chrome://tracing` or Perfetto.
+///
+/// Timestamps are microseconds of *simulated* time (tick ×
+/// 400 ps). Counter samples group by variant name and cluster; the
+/// track id (`pid`) is the run id so batch traces don't collide.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let trace_events: Vec<Value> = events.iter().map(chrome_event).collect();
+    let root = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(trace_events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&root).expect("chrome trace always serialises")
+}
+
+fn micros(tick: u64) -> f64 {
+    // Guard: ticks far beyond any simulation length lose f64 precision,
+    // which is fine for a visual timeline.
+    (tick as f64) * CACHE_PERIOD_PS / 1_000_000.0
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn f(v: f64) -> Value {
+    Value::Float(v)
+}
+
+fn u(v: u64) -> Value {
+    Value::UInt(v)
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+/// One event in Trace Event Format. `ph: "C"` counters carry their
+/// samples in `args`; `ph: "i"` instants carry context in `args`.
+fn chrome_event(ev: &TraceEvent) -> Value {
+    let (name, ph, tid, args): (String, &str, u64, Value) = match &ev.kind {
+        TraceKind::RunStart { options } => (
+            "RunStart".to_string(),
+            "i",
+            0,
+            obj(vec![("options", s(options))]),
+        ),
+        TraceKind::ClusterEpoch {
+            cluster,
+            epoch,
+            instructions,
+            energy_pj,
+            epi_pj,
+            active_cores,
+            healthy_cores,
+            ..
+        } => (
+            format!("cluster{cluster}"),
+            "C",
+            *cluster as u64 + 1,
+            obj(vec![
+                ("epoch", u(*epoch)),
+                ("instructions", u(*instructions)),
+                ("energy_pj", f(*energy_pj)),
+                ("epi_pj", f(*epi_pj)),
+                ("active_cores", u(*active_cores as u64)),
+                ("healthy_cores", u(*healthy_cores as u64)),
+            ]),
+        ),
+        TraceKind::CacheEpoch {
+            cluster,
+            epoch,
+            half_miss_rate,
+            arbiter_occupancy,
+            l2_miss_rate,
+            ..
+        } => (
+            format!("cache{cluster}"),
+            "C",
+            *cluster as u64 + 1,
+            obj(vec![
+                ("epoch", u(*epoch)),
+                ("half_miss_rate", f(*half_miss_rate)),
+                ("arbiter_occupancy", f(*arbiter_occupancy)),
+                ("l2_miss_rate", f(*l2_miss_rate)),
+            ]),
+        ),
+        TraceKind::ChipEpoch {
+            epoch,
+            epi_pj,
+            l3_miss_rate,
+            active_cores,
+            ..
+        } => (
+            "chip".to_string(),
+            "C",
+            0,
+            obj(vec![
+                ("epoch", u(*epoch)),
+                ("epi_pj", f(*epi_pj)),
+                ("l3_miss_rate", f(*l3_miss_rate)),
+                ("active_cores", u(*active_cores as u64)),
+            ]),
+        ),
+        TraceKind::FaultEpoch {
+            epoch,
+            write_retries,
+            ecc_corrected,
+            uncorrected_escapes,
+            scrubbed_lines,
+            ..
+        } => (
+            "faults".to_string(),
+            "C",
+            0,
+            obj(vec![
+                ("epoch", u(*epoch)),
+                ("write_retries", u(*write_retries)),
+                ("ecc_corrected", u(*ecc_corrected)),
+                ("uncorrected_escapes", u(*uncorrected_escapes)),
+                ("scrubbed_lines", u(*scrubbed_lines)),
+            ]),
+        ),
+        TraceKind::VcmDecision {
+            cluster,
+            epi_pj,
+            current,
+            target,
+            ..
+        } => (
+            "VcmDecision".to_string(),
+            "i",
+            *cluster as u64 + 1,
+            obj(vec![
+                ("epi_pj", f(*epi_pj)),
+                ("current", u(*current as u64)),
+                ("target", u(*target as u64)),
+            ]),
+        ),
+        TraceKind::Consolidation {
+            cluster,
+            from,
+            to,
+            total_active,
+        } => (
+            "Consolidation".to_string(),
+            "i",
+            *cluster as u64 + 1,
+            obj(vec![
+                ("from", u(*from as u64)),
+                ("to", u(*to as u64)),
+                ("total_active", u(*total_active as u64)),
+            ]),
+        ),
+        TraceKind::Migration {
+            cluster,
+            vcore,
+            to_core,
+        } => (
+            "Migration".to_string(),
+            "i",
+            *cluster as u64 + 1,
+            obj(vec![
+                ("vcore", u(*vcore as u64)),
+                ("to_core", u(*to_core as u64)),
+            ]),
+        ),
+        TraceKind::CoreFault {
+            cluster,
+            core,
+            fault_count,
+        } => (
+            "CoreFault".to_string(),
+            "i",
+            *cluster as u64 + 1,
+            obj(vec![
+                ("core", u(*core as u64)),
+                ("fault_count", u(u64::from(*fault_count))),
+            ]),
+        ),
+        TraceKind::Decommission { cluster, core } => (
+            "Decommission".to_string(),
+            "i",
+            *cluster as u64 + 1,
+            obj(vec![("core", u(*core as u64))]),
+        ),
+        TraceKind::FaultCell {
+            cluster,
+            kind,
+            addr,
+        } => (
+            "FaultCell".to_string(),
+            "i",
+            *cluster as u64 + 1,
+            obj(vec![("kind", s(kind)), ("addr", u(*addr))]),
+        ),
+    };
+    let mut fields = vec![
+        ("name", s(&name)),
+        ("ph", s(ph)),
+        ("ts", f(micros(ev.tick))),
+        ("pid", u(u64::from(ev.run))),
+        ("tid", u(tid)),
+        ("args", args),
+    ];
+    if ph == "i" {
+        // Instant scope: "t" = thread-scoped tick mark.
+        fields.push(("s", s("t")));
+    }
+    obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::at(
+                0,
+                TraceKind::RunStart {
+                    options: "{}".into(),
+                },
+            ),
+            TraceEvent::at(
+                2500,
+                TraceKind::CacheEpoch {
+                    cluster: 0,
+                    epoch: 0,
+                    reads: 100,
+                    read_misses: 10,
+                    half_misses: 5,
+                    writes: 40,
+                    half_miss_rate: 0.05,
+                    arbiter_occupancy: 1.2,
+                    l2_miss_rate: 0.3,
+                },
+            ),
+            TraceEvent::at(
+                2500,
+                TraceKind::Consolidation {
+                    cluster: 0,
+                    from: 8,
+                    to: 6,
+                    total_active: 30,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events = sample();
+        let jsonl = to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), events.len());
+        let back = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_string() {
+        assert_eq!(to_jsonl(&[]), "");
+        assert_eq!(validate_jsonl("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn validate_reports_bad_line() {
+        let jsonl = format!("{}not json\n", to_jsonl(&sample()));
+        let err = validate_jsonl(&jsonl).unwrap_err();
+        assert_eq!(err.0, sample().len() + 1);
+    }
+
+    #[test]
+    fn chrome_trace_has_counters_and_instants() {
+        let doc = to_chrome_trace(&sample());
+        let value: Value = serde_json::from_str(&doc).unwrap();
+        let fields = value.as_object().expect("chrome trace must be an object");
+        let events = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .unwrap();
+        let items = events.as_array().expect("traceEvents must be an array");
+        assert_eq!(items.len(), 3);
+        let phases: Vec<String> = items
+            .iter()
+            .map(|item| {
+                let f = item.as_object().expect("event must be an object");
+                let (_, ph) = f.iter().find(|(k, _)| k == "ph").unwrap();
+                let Value::Str(p) = ph else {
+                    panic!("ph must be a string");
+                };
+                p.clone()
+            })
+            .collect();
+        assert_eq!(phases, vec!["i", "C", "i"]);
+    }
+
+    #[test]
+    fn timestamps_are_simulated_micros() {
+        // 2500 ticks × 400 ps = 1 µs.
+        assert!((micros(2500) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Collection: the [`TraceSink`] trait, the [`Tracer`] handle the
+//! simulator carries, and the stock sinks.
+//!
+//! The contract that makes the zero-cost guarantee checkable: sinks
+//! *observe* — [`TraceSink::record`] takes `&self` and returns nothing,
+//! so no sink can feed state back into the simulation. The disabled
+//! path is `Option::None` plus an inlined closure, so a build with
+//! tracing off constructs no events at all.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events.
+///
+/// Implementations must be thread-safe: experiment batches run
+/// simulations from several threads into one sink.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event. Must not panic on any well-formed event.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The handle threaded through the simulator.
+///
+/// Cheap to clone (an `Option<Arc>`). [`Tracer::emit`] takes a closure
+/// so the event is only constructed when a sink is installed:
+///
+/// ```
+/// use respin_trace::{RingSink, TraceEvent, TraceKind, Tracer};
+/// use std::sync::Arc;
+///
+/// let off = Tracer::disabled();
+/// off.emit(|| unreachable!("never constructed"));
+///
+/// let ring = Arc::new(RingSink::new(16));
+/// let on = Tracer::new(ring.clone());
+/// on.emit(|| TraceEvent::at(3, TraceKind::Decommission { cluster: 0, core: 1 }));
+/// assert_eq!(ring.snapshot().len(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<dyn TraceSink>>);
+
+impl Tracer {
+    /// A tracer that drops everything without constructing it.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A tracer feeding `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self(Some(sink))
+    }
+
+    /// Whether a sink is installed. Use to skip expensive snapshot
+    /// bookkeeping, not as a branch that changes simulation behaviour.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records the event produced by `build`, or does nothing — without
+    /// calling `build` — when disabled.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.record(&build());
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.enabled() {
+            "Tracer(enabled)"
+        } else {
+            "Tracer(disabled)"
+        })
+    }
+}
+
+/// A bounded in-memory ring buffer of events.
+///
+/// When full, the oldest events are dropped (and counted); a long run
+/// with a small ring keeps the most recent window, which is what you
+/// want when chasing an end-of-run anomaly.
+pub struct RingSink {
+    inner: Mutex<Ring>,
+    capacity: usize,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// An effectively unbounded sink for quick runs and tests.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Copies out the currently-buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().expect("ring sink poisoned");
+        ring.events.iter().cloned().collect()
+    }
+
+    /// How many events were evicted to respect the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring sink poisoned").dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut ring = self.inner.lock().expect("ring sink poisoned");
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+/// Wraps another sink, stamping a run id onto every event and
+/// optionally capping the epoch range that is kept.
+///
+/// The experiment cache hands each de-duplicated simulation its own
+/// `ScopedSink` so a batch's events can be told apart in one output
+/// file, and `--trace-epochs N` maps to `limit = Some(N)`: epoch-series
+/// records beyond epoch `N` are discarded at the source while discrete
+/// events (consolidations, faults) are always kept.
+pub struct ScopedSink {
+    run: u32,
+    limit: Option<u64>,
+    inner: Arc<dyn TraceSink>,
+}
+
+impl ScopedSink {
+    /// Scope `inner` to run id `run`, keeping epoch-series records only
+    /// for epochs `< limit` when a limit is given.
+    pub fn new(run: u32, limit: Option<u64>, inner: Arc<dyn TraceSink>) -> Self {
+        Self { run, limit, inner }
+    }
+}
+
+impl TraceSink for ScopedSink {
+    fn record(&self, event: &TraceEvent) {
+        if let (Some(limit), Some(epoch)) = (self.limit, event.epoch()) {
+            if epoch >= limit {
+                return;
+            }
+        }
+        let mut stamped = event.clone();
+        stamped.run = self.run;
+        self.inner.record(&stamped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+
+    fn decommission(tick: u64) -> TraceEvent {
+        TraceEvent::at(
+            tick,
+            TraceKind::Decommission {
+                cluster: 0,
+                core: 0,
+            },
+        )
+    }
+
+    fn chip_epoch(epoch: u64) -> TraceEvent {
+        TraceEvent::at(
+            epoch * 100,
+            TraceKind::ChipEpoch {
+                epoch,
+                instructions: 1,
+                energy_pj: 1.0,
+                epi_pj: 1.0,
+                l3_miss_rate: 0.0,
+                active_cores: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        let mut built = false;
+        tracer.emit(|| {
+            built = true;
+            decommission(0)
+        });
+        assert!(!built);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let ring = RingSink::new(2);
+        for t in 0..5 {
+            ring.record(&decommission(t));
+        }
+        let kept = ring.snapshot();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].tick, 3);
+        assert_eq!(kept[1].tick, 4);
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn scoped_sink_stamps_and_limits() {
+        let ring = Arc::new(RingSink::unbounded());
+        let scoped = ScopedSink::new(7, Some(2), ring.clone());
+        scoped.record(&chip_epoch(0));
+        scoped.record(&chip_epoch(1));
+        scoped.record(&chip_epoch(2)); // at the limit: dropped
+        scoped.record(&decommission(999)); // discrete: always kept
+        let kept = ring.snapshot();
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().all(|e| e.run == 7));
+        assert_eq!(
+            kept.iter().filter(|e| e.epoch().is_some()).count(),
+            2,
+            "epoch series capped at the limit"
+        );
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let ring = Arc::new(RingSink::unbounded());
+        let tracer = Tracer::new(ring.clone());
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let t = tracer.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        t.emit(|| decommission(i * 1000 + j));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.snapshot().len(), 400);
+    }
+}

@@ -45,9 +45,11 @@ for kind in arbiter halfmiss vcm retry decommission; do
     fi
 done
 
-echo '== fault-injection smoke: faults fire, nothing escapes silently'
-smoke=$(cargo run --release -q -p respin-core --bin respin-experiments -- resilience --quick \
-    | grep '^smoke: ')
+echo '== fault-injection + trace smoke: faults fire, nothing escapes, trace exports are real'
+trace_dir=$(mktemp -d)
+out=$(cargo run --release -q -p respin-core --bin respin-experiments -- \
+    resilience --quick --trace-out "$trace_dir/trace")
+smoke=$(printf '%s\n' "$out" | grep '^smoke: ')
 echo "$smoke"
 case "$smoke" in
     *"injected=0 "*)
@@ -60,5 +62,23 @@ case "$smoke" in
         echo "fault-injection smoke: silent escapes with ECC enabled" >&2
         exit 1 ;;
 esac
+printf '%s\n' "$out" | grep '^trace: '
+if [ ! -s "$trace_dir/trace.jsonl" ]; then
+    echo "trace smoke: JSONL export is empty or missing" >&2
+    exit 1
+fi
+if ! grep -q '"CacheEpoch"' "$trace_dir/trace.jsonl"; then
+    echo "trace smoke: no CacheEpoch record in the JSONL export" >&2
+    exit 1
+fi
+if ! grep -q '"Consolidation"' "$trace_dir/trace.jsonl"; then
+    echo "trace smoke: no Consolidation event in the JSONL export" >&2
+    exit 1
+fi
+if [ ! -s "$trace_dir/trace.chrome.json" ]; then
+    echo "trace smoke: Chrome-trace export is empty or missing" >&2
+    exit 1
+fi
+rm -rf "$trace_dir"
 
 echo 'verify: all gates green'
