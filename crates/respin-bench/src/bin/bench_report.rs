@@ -1,0 +1,66 @@
+//! Perf-trajectory harness: runs the fixed seeded suite and writes a
+//! `BENCH_*.json` report (see DESIGN.md §12).
+//!
+//! ```text
+//! bench_report [--smoke] [--out PATH]
+//! ```
+//!
+//! * `--smoke` shrinks every suite to a few seconds (verify.sh / CI).
+//! * `--out PATH` report destination (default `BENCH_PR4.json`).
+//!
+//! The harness self-gates: it exits non-zero if the idle-heavy fast-path
+//! run is not bit-identical to the reference loop, if the fast path
+//! skipped no ticks, or (full mode) if the idle-heavy speedup falls
+//! below 2x.
+
+use respin_bench::trajectory;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_PR4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_report: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_report [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_report: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let suites = match trajectory::run_suites(smoke) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_report: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = trajectory::render_json(mode, &suites);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("bench_report: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for s in &suites {
+        println!(
+            "bench: {} wall_ms={:.1} instructions={} ips={:.0} ticks_skipped={}",
+            s.name, s.wall_ms, s.instructions, s.ips, s.ticks_skipped
+        );
+    }
+    println!("bench_report: wrote {out_path} ({mode} mode)");
+    ExitCode::SUCCESS
+}

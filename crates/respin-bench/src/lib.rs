@@ -1,12 +1,21 @@
 //! Benchmark harness crate for the Respin reproduction.
 //!
-//! All substance lives in the Criterion benches under `benches/`; this
-//! library only hosts shared helpers for them.
+//! Two kinds of harness live here:
+//!
+//! * the Criterion micro/macro benches under `benches/` (statistical,
+//!   interactive), and
+//! * the [`trajectory`] module behind the `bench_report` binary: a
+//!   fixed, seeded suite timed once under wall clock, whose output is
+//!   committed as `BENCH_PR<n>.json` at the repo root so simulator
+//!   throughput is tracked PR over PR (DESIGN.md §12 explains how to
+//!   read one).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Tests may unwrap: a panic IS the failure report there.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod trajectory;
 
 /// Re-exported so benches share one place to pick deterministic seeds.
 pub const BENCH_SEED: u64 = 0x5e5_c0ffee;

@@ -1,0 +1,317 @@
+//! Fixed, seeded wall-clock suite behind the `bench_report` binary.
+//!
+//! Unlike the Criterion benches (statistical, interactive), this module
+//! runs each suite **once** under [`std::time::Instant`] and reports the
+//! raw numbers, so a `BENCH_PR<n>.json` snapshot can be committed at the
+//! repo root and compared PR over PR (see DESIGN.md §12 for how to read
+//! one). Everything is seeded from [`crate::BENCH_SEED`] or the
+//! experiment defaults, so `instructions` and `ticks_skipped` are exact
+//! across machines; only `wall_ms`/`ips` vary with the host.
+//!
+//! The idle-heavy suite doubles as a self-check of the event-driven fast
+//! path: it runs the same workload under both the fast path and the
+//! naive reference loop and [`run_suites`] returns an error unless the
+//! two [`RunResult`]s are bit-identical and the fast path actually
+//! skipped ticks.
+
+use crate::BENCH_SEED;
+use respin_core::arch::ArchConfig;
+use respin_core::experiments::ExpParams;
+use respin_core::runner::{self, RunOptions};
+use respin_sim::{CacheSizeClass, Chip, FaultConfig, RunResult};
+use respin_workloads::{Benchmark, Phase, PhaseSchedule, WorkloadSpec};
+use std::time::Instant;
+
+/// Identifies the report layout for downstream consumers (verify.sh, CI
+/// schema check, future diffing tools).
+pub const SCHEMA: &str = "respin-bench-report/v1";
+
+/// One timed suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Suite name (JSON key in the report).
+    pub name: &'static str,
+    /// Wall-clock milliseconds for the whole suite (simulation only; no
+    /// setup or I/O).
+    pub wall_ms: f64,
+    /// Retired instructions across every run in the suite
+    /// (deterministic).
+    pub instructions: u64,
+    /// Simulated instructions per wall-clock second — the throughput
+    /// figure tracked PR over PR.
+    pub ips: f64,
+    /// Ticks the event-driven fast path batch-skipped (deterministic; 0
+    /// for reference-loop suites by construction).
+    pub ticks_skipped: u64,
+}
+
+impl SuiteResult {
+    fn new(name: &'static str, wall_ms: f64, instructions: u64, ticks_skipped: u64) -> Self {
+        Self {
+            name,
+            wall_ms,
+            instructions,
+            // Guard the division: a degenerate 0 ms suite reports 0, not inf.
+            ips: if wall_ms > 0.0 {
+                instructions as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            ticks_skipped,
+        }
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// fig6-style sweep: every benchmark (a subset in smoke mode) on the
+/// ShStt configuration at quick scale, through the normal policy runner.
+fn fig6_quick(smoke: bool) -> SuiteResult {
+    let mut params = ExpParams::quick();
+    let benches: &[Benchmark] = if smoke {
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        params.epoch_instructions = 1_000;
+        &[Benchmark::Fft, Benchmark::Radix, Benchmark::Blackscholes]
+    } else {
+        &Benchmark::ALL
+    };
+    let mut instructions = 0;
+    let mut skipped = 0;
+    let ((), wall_ms) = timed(|| {
+        for &b in benches {
+            let mut o = params.options(ArchConfig::ShStt, b);
+            if smoke {
+                o.clusters = 1;
+                o.cores_per_cluster = 8;
+            }
+            let (r, s) = runner::run_instrumented(&o);
+            instructions += r.instructions;
+            skipped += s;
+        }
+    });
+    SuiteResult::new("fig6_quick", wall_ms, instructions, skipped)
+}
+
+/// Resilience smoke: Radix on a 2×4 ShStt machine with write BER,
+/// retention decay, ECC+scrub, and a seeded bad core that gets
+/// decommissioned — the fault hooks on the hot path, timed.
+fn resilience_smoke(smoke: bool) -> SuiteResult {
+    let (ipt, warmup) = if smoke { (2_000, 500) } else { (12_000, 2_000) };
+    let mut o = RunOptions::new(ArchConfig::ShStt, Benchmark::Radix);
+    o.seed = BENCH_SEED;
+    o.clusters = 2;
+    o.cores_per_cluster = 4;
+    o.instructions_per_thread = Some(ipt);
+    o.warmup_per_thread = warmup;
+    o.epoch_instructions = Some(2_000);
+    let mut config = o.chip_config();
+    config.faults = FaultConfig {
+        write_ber: 1e-4,
+        retention_flip_rate: 1e-12,
+        retry_budget: 2,
+        ecc: true,
+        scrub: true,
+        seeded_bad_core: Some(1),
+        core_fault_threshold: 2,
+        ..FaultConfig::off()
+    };
+    // ShStt has no consolidation policy, so driving the chip directly is
+    // the same schedule `runner::run` would produce.
+    let ((instructions, skipped), wall_ms) = timed(|| {
+        let mut chip = Chip::new(config, &o.benchmark.spec(), o.seed);
+        chip.run_warmup(warmup * 8);
+        let r = chip.run_to_completion();
+        (r.instructions, chip.ticks_skipped())
+    });
+    SuiteResult::new("resilience_smoke", wall_ms, instructions, skipped)
+}
+
+/// Consolidation-heavy: the greedy-search ShSttCc configuration on Radix,
+/// where epoch boundaries (EPI probes, migrations, gating) dominate.
+fn consolidation_heavy(smoke: bool) -> SuiteResult {
+    let mut params = ExpParams::quick();
+    if smoke {
+        params.instructions_per_thread = 4_000;
+        params.warmup_per_thread = 1_000;
+        params.epoch_instructions = 1_000;
+    }
+    let mut o = params.options(ArchConfig::ShSttCc, Benchmark::Radix);
+    if smoke {
+        o.clusters = 2;
+        o.cores_per_cluster = 8;
+    }
+    let mut instructions = 0;
+    let mut skipped = 0;
+    let ((), wall_ms) = timed(|| {
+        let (r, s) = runner::run_instrumented(&o);
+        instructions = r.instructions;
+        skipped = s;
+    });
+    SuiteResult::new("consolidation_heavy", wall_ms, instructions, skipped)
+}
+
+/// The synthetic idle-heavy workload: long dependency stalls, so almost
+/// every tick is dead time the fast path can batch over.
+fn idle_spec(instructions_per_thread: u64) -> WorkloadSpec {
+    let phase = Phase {
+        idle_prob: 0.85,
+        idle_cycles: 800,
+        mem_frac: 0.10,
+        ..Phase::compute(instructions_per_thread)
+    };
+    WorkloadSpec {
+        name: "idle-heavy",
+        schedule: PhaseSchedule::new(vec![phase]),
+        private_ws_bytes: 16 * 1024,
+        shared_ws_bytes: 256 * 1024,
+        locks: 0,
+        seed_salt: 0x1D7E,
+        instructions_per_thread,
+    }
+}
+
+/// Runs the idle-heavy workload on a 2×4 ShStt machine under either loop.
+fn run_idle_heavy(reference: bool, ipt: u64) -> (RunResult, u64, f64) {
+    let mut config = ArchConfig::ShStt.chip_config(CacheSizeClass::Medium, 4);
+    config.clusters = 2;
+    let ((result, skipped), wall_ms) = timed(|| {
+        let mut chip = Chip::new(config, &idle_spec(ipt), BENCH_SEED);
+        chip.set_reference_loop(reference);
+        let r = chip.run_to_completion();
+        let s = chip.ticks_skipped();
+        (r, s)
+    });
+    (result, skipped, wall_ms)
+}
+
+/// Runs the full suite. `smoke` shrinks every budget so the whole thing
+/// finishes in a few seconds (used by verify.sh and CI).
+///
+/// # Errors
+///
+/// Returns a description of the violated contract when the idle-heavy
+/// fast-path run is not bit-identical to the reference loop, or when the
+/// fast path failed to skip any ticks on a workload that is nearly all
+/// idle time.
+pub fn run_suites(smoke: bool) -> Result<Vec<SuiteResult>, String> {
+    let mut out = Vec::new();
+    eprintln!("bench: fig6_quick ...");
+    out.push(fig6_quick(smoke));
+    eprintln!("bench: resilience_smoke ...");
+    out.push(resilience_smoke(smoke));
+    eprintln!("bench: consolidation_heavy ...");
+    out.push(consolidation_heavy(smoke));
+
+    eprintln!("bench: idle_heavy ...");
+    let ipt = if smoke { 800 } else { 6_000 };
+    let (fast, fast_skipped, fast_ms) = run_idle_heavy(false, ipt);
+    eprintln!("bench: idle_heavy_reference ...");
+    let (reference, ref_skipped, ref_ms) = run_idle_heavy(true, ipt);
+
+    if fast != reference {
+        return Err(format!(
+            "fast path diverged from reference loop on idle-heavy: \
+             fast {{ticks: {}, instructions: {}}} vs reference {{ticks: {}, instructions: {}}}",
+            fast.ticks, fast.instructions, reference.ticks, reference.instructions
+        ));
+    }
+    if fast_skipped == 0 {
+        return Err("fast path skipped no ticks on the idle-heavy workload".to_string());
+    }
+    debug_assert_eq!(ref_skipped, 0, "reference loop must never skip");
+    let speedup = if fast_ms > 0.0 { ref_ms / fast_ms } else { 0.0 };
+    eprintln!("bench: idle_heavy ticks_skipped={fast_skipped} speedup={speedup:.2}");
+    if !smoke && speedup < 2.0 {
+        return Err(format!(
+            "idle-heavy fast-path speedup {speedup:.2}x is below the 2x floor"
+        ));
+    }
+    out.push(SuiteResult::new(
+        "idle_heavy",
+        fast_ms,
+        fast.instructions,
+        fast_skipped,
+    ));
+    out.push(SuiteResult::new(
+        "idle_heavy_reference",
+        ref_ms,
+        reference.instructions,
+        ref_skipped,
+    ));
+    Ok(out)
+}
+
+/// Renders the report JSON by hand (stable key order, no new
+/// dependencies): `{"schema", "mode", "suites": {name: {wall_ms,
+/// instructions, ips, ticks_skipped}}}`.
+pub fn render_json(mode: &str, suites: &[SuiteResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str("  \"suites\": {\n");
+    for (i, r) in suites.iter().enumerate() {
+        let comma = if i + 1 == suites.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"wall_ms\": {:.3}, \"instructions\": {}, \"ips\": {:.0}, \"ticks_skipped\": {} }}{}\n",
+            r.name, r.wall_ms, r.instructions, r.ips, r.ticks_skipped, comma
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed_and_parsable() {
+        let suites = vec![
+            SuiteResult::new("alpha", 12.5, 1_000, 0),
+            SuiteResult::new("beta", 0.0, 0, 42),
+        ];
+        let text = render_json("smoke", &suites);
+        let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
+        let serde::Value::Object(top) = &v else {
+            panic!("top level must be an object");
+        };
+        assert!(top.iter().any(|(k, _)| k == "schema"));
+        let suites_v = top
+            .iter()
+            .find(|(k, _)| k == "suites")
+            .map(|(_, v)| v)
+            .expect("suites key");
+        let serde::Value::Object(suites_obj) = suites_v else {
+            panic!("suites must be an object");
+        };
+        assert_eq!(suites_obj.len(), 2);
+        for (_, entry) in suites_obj {
+            let serde::Value::Object(fields) = entry else {
+                panic!("each suite must be an object");
+            };
+            for key in ["wall_ms", "instructions", "ips", "ticks_skipped"] {
+                assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_wall_clock_reports_zero_ips() {
+        let r = SuiteResult::new("degenerate", 0.0, 10, 0);
+        assert_eq!(r.ips, 0.0);
+    }
+
+    #[test]
+    fn idle_heavy_spec_validates() {
+        // PhaseSchedule::new panics on an invalid phase; constructing the
+        // spec is the assertion.
+        let spec = idle_spec(100);
+        assert_eq!(spec.instructions_per_thread, 100);
+    }
+}

@@ -67,6 +67,13 @@ type RunCell = Arc<OnceLock<Arc<RunResult>>>;
 
 /// Memoising run cache shared by the experiment drivers.
 ///
+/// Keys are the serialised [`RunOptions`], which include the
+/// `reference_loop` execution-strategy flag: a reference-loop run and a
+/// fast-path run of the same physics memoise separately (their results
+/// are bit-identical by contract, but conflating them would let a cached
+/// fast result masquerade as reference coverage in differential tests
+/// and in the `bench_report` timing harness).
+///
 /// Concurrency contract: each distinct option set simulates **exactly
 /// once**, no matter how many threads ask for it simultaneously. Every
 /// key owns a [`OnceLock`] cell; the first caller to reach an empty cell

@@ -40,6 +40,13 @@ pub struct RunOptions {
     /// Consolidation epoch length override, instructions per cluster
     /// (None = the paper's 160 K).
     pub epoch_instructions: Option<u64>,
+    /// Drive the chip with the naive tick-by-tick reference loop instead
+    /// of the event-driven fast path (default `false`). Results are
+    /// bit-identical by contract; the flag selects *how* the run is
+    /// executed, so it participates in equality and cache keys — a
+    /// reference run and a fast run memoise separately, which is exactly
+    /// what the differential tests and the perf harness need.
+    pub reference_loop: bool,
     /// Observability handle installed on the built chip. Disabled by
     /// default; never part of equality, serialisation, or cache keys.
     pub trace: Tracer,
@@ -57,6 +64,7 @@ impl PartialEq for RunOptions {
             && self.warmup_per_thread == other.warmup_per_thread
             && self.oracle_radius == other.oracle_radius
             && self.epoch_instructions == other.epoch_instructions
+            && self.reference_loop == other.reference_loop
     }
 }
 
@@ -88,6 +96,7 @@ impl Serialize for RunOptions {
                 "epoch_instructions".to_string(),
                 self.epoch_instructions.to_value(),
             ),
+            ("reference_loop".to_string(), self.reference_loop.to_value()),
         ])
     }
 }
@@ -105,6 +114,7 @@ impl Deserialize for RunOptions {
             warmup_per_thread: de_field(v, "warmup_per_thread")?,
             oracle_radius: de_field(v, "oracle_radius")?,
             epoch_instructions: de_field(v, "epoch_instructions")?,
+            reference_loop: de_field(v, "reference_loop")?,
             trace: Tracer::disabled(),
         })
     }
@@ -125,6 +135,7 @@ impl RunOptions {
             warmup_per_thread: 16_000,
             oracle_radius: 3,
             epoch_instructions: None,
+            reference_loop: false,
             trace: Tracer::disabled(),
         }
     }
@@ -166,6 +177,7 @@ impl RunOptions {
     /// resolved configuration violates a structural invariant.
     pub fn try_build_chip(&self) -> Result<Chip, Report> {
         let mut chip = Chip::try_new(self.chip_config(), &self.benchmark.spec(), self.seed)?;
+        chip.set_reference_loop(self.reference_loop);
         chip.set_tracer(self.trace.clone());
         Ok(chip)
     }
@@ -174,14 +186,25 @@ impl RunOptions {
 /// Runs to completion under the configuration's consolidation policy,
 /// after the warm-up (caches warm, measurements zeroed).
 pub fn run(opts: &RunOptions) -> RunResult {
+    run_instrumented(opts).0
+}
+
+/// [`run`], also returning the number of ticks the event-driven fast
+/// path batch-skipped (warm-up included; always 0 when
+/// `opts.reference_loop`). The skip count is an execution metric, not a
+/// simulation output, which is why it rides alongside [`RunResult`]
+/// instead of inside it.
+pub fn run_instrumented(opts: &RunOptions) -> (RunResult, u64) {
     let mut chip = opts.build_chip();
     chip.run_warmup(opts.warmup_per_thread * chip.config.total_cores() as u64);
-    match opts.arch.policy() {
+    let result = match opts.arch.policy() {
         PolicyKind::None => chip.run_to_completion(),
         PolicyKind::Greedy => run_greedy(&mut chip),
         PolicyKind::OsGreedy => run_os_greedy(&mut chip),
         PolicyKind::Oracle => run_oracle(&mut chip, opts.oracle_radius),
-    }
+    };
+    let skipped = chip.ticks_skipped();
+    (result, skipped)
 }
 
 /// Chip-wide EPI of one epoch. Clusters are coupled by global barriers:
@@ -386,6 +409,30 @@ mod tests {
         );
         o.epoch_instructions = None;
         assert!(o.try_build_chip().is_ok());
+    }
+
+    #[test]
+    fn reference_loop_matches_fast_path_through_policies() {
+        for arch in [ArchConfig::ShStt, ArchConfig::ShSttCc] {
+            let fast = run(&quick(arch));
+            let mut o = quick(arch);
+            o.reference_loop = true;
+            let reference = run(&o);
+            assert_eq!(fast, reference, "loops diverged for {}", arch.name());
+        }
+    }
+
+    #[test]
+    fn reference_loop_is_part_of_run_identity() {
+        let fast = quick(ArchConfig::ShStt);
+        let mut reference = fast.clone();
+        reference.reference_loop = true;
+        assert_ne!(fast, reference);
+        assert_ne!(
+            serde_json::to_string(&fast).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "cache keys must distinguish the two execution strategies"
+        );
     }
 
     #[test]

@@ -160,6 +160,18 @@ pub struct Chip {
     deferred: BinaryHeap<Reverse<(u64, Deferred)>>,
     pending_remote: Vec<RemoteOp>,
     ev_scratch: Vec<L1Event>,
+    /// Persistent scratch for the epoch-boundary scrub walk (avoids a
+    /// per-scrub `Vec` collect of every resident line).
+    scrub_scratch: Vec<(u64, LineState)>,
+    /// Run the naive tick-by-tick loop instead of the event-driven fast
+    /// path. The fast path is bit-identical by contract (see
+    /// [`Chip::advance`]); the reference loop stays available as the
+    /// oracle for differential tests.
+    reference_loop: bool,
+    /// Ticks the fast path advanced without executing them (observability
+    /// only — deliberately *not* part of [`ChipStats`], which must be
+    /// bit-identical across both loops).
+    ticks_skipped: u64,
     total_threads: u32,
     chip_interconnect_pj: f64,
     coherence_messages: u64,
@@ -227,9 +239,12 @@ impl Chip {
             clock_pj: e(CoreEvent::ClockTree),
         };
 
-        let clusters: Vec<Cluster> = (0..config.clusters)
+        let mut clusters: Vec<Cluster> = (0..config.clusters)
             .map(|k| Cluster::build(&config, &variation, &spec, k, seed, &core_model))
             .collect();
+        for cl in &mut clusters {
+            cl.clock_pj = instr_e.clock_pj;
+        }
 
         let l3_geom = config.l3_geometry();
         let l3_params = array_params(config.cache_tech, l3_geom, config.cache_vdd);
@@ -273,6 +288,9 @@ impl Chip {
             deferred: BinaryHeap::new(),
             pending_remote: Vec::new(),
             ev_scratch: Vec::new(),
+            scrub_scratch: Vec::new(),
+            reference_loop: false,
+            ticks_skipped: 0,
             total_threads,
             chip_interconnect_pj: 0.0,
             coherence_messages: 0,
@@ -300,6 +318,25 @@ impl Chip {
         &self.tracer
     }
 
+    /// Selects the stepping loop: `true` runs the naive tick-by-tick
+    /// reference loop, `false` (the default) the event-driven fast path.
+    /// Both produce bit-identical results; see [`Chip::advance`].
+    pub fn set_reference_loop(&mut self, reference: bool) {
+        self.reference_loop = reference;
+    }
+
+    /// True when the naive reference loop is selected.
+    pub fn reference_loop(&self) -> bool {
+        self.reference_loop
+    }
+
+    /// Ticks the fast path batch-advanced instead of executing
+    /// one-by-one. Always 0 under the reference loop. A perf metric, not
+    /// a simulation output: it is excluded from [`ChipStats`].
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
+    }
+
     /// True when every thread has retired its full stream.
     pub fn finished(&self) -> bool {
         self.clusters.iter().all(Cluster::finished)
@@ -314,18 +351,22 @@ impl Chip {
     pub fn step(&mut self) {
         let now = self.tick;
 
-        // Phase 1: shared-L1 controllers.
+        // Phase 1: shared-L1 controllers. One persistent scratch buffer
+        // carries each controller's events to the dispatch loop; it must
+        // come back empty from every cluster (drain consumes it) and is
+        // returned empty for the next tick.
+        let mut events = std::mem::take(&mut self.ev_scratch);
+        debug_assert!(events.is_empty(), "event scratch leaked from last tick");
         for k in 0..self.clusters.len() {
-            let mut events = std::mem::take(&mut self.ev_scratch);
-            events.clear();
             if let L1System::Shared(s) = &mut self.clusters[k].l1 {
                 s.tick(now, &mut events);
             }
             for ev in events.drain(..) {
                 self.handle_l1_event(k, ev, now);
             }
-            self.ev_scratch = events;
+            debug_assert!(events.is_empty(), "events must not outlive their cluster");
         }
+        self.ev_scratch = events;
 
         // Phase 2: deferred completions.
         while let Some(&Reverse((t, d))) = self.deferred.peek() {
@@ -360,6 +401,135 @@ impl Chip {
         }
 
         self.tick = now + 1;
+    }
+
+    /// Advances the chip to the next tick *at which anything can happen*,
+    /// then executes it with [`Chip::step`].
+    ///
+    /// This is the event-driven fast path. Its correctness rests on the
+    /// **next-wakeup invariant**: every sleeping component owns a ready
+    /// tick — pending shared-L1 operations their `arrival_tick`, deferred
+    /// completions their heap key, stalled threads their `StallUntil`
+    /// deadline — and threads in `WaitRead`/`AtBarrier`/`WaitLock` are
+    /// only ever woken by an event that fires *inside an executed tick*
+    /// bounded by one of those deadlines. A tick strictly before every
+    /// deadline therefore mutates nothing but three exactly-batchable
+    /// integer counters (per-cluster clock cycles, per-core `slice_left`,
+    /// per-controller zero-arrival histogram cycles), which
+    /// [`Chip::skip_idle_ticks`] applies in O(cores). `ChipStats`, energy
+    /// and traces are bit-identical to the reference loop by
+    /// construction; `integration_fastpath.rs` enforces it.
+    ///
+    /// With [`Chip::set_reference_loop`]`(true)` this is exactly
+    /// [`Chip::step`].
+    ///
+    /// # Panics
+    ///
+    /// When no component owns a deadline and the workload has not
+    /// finished — a genuine deadlock the reference loop would only
+    /// surface as an epoch-tick-limit assertion much later.
+    pub fn advance(&mut self) {
+        if !self.reference_loop {
+            match self.next_event_tick() {
+                Some(t) if t > self.tick => self.skip_idle_ticks(t),
+                Some(_) => {}
+                None => {
+                    assert!(
+                        self.finished(),
+                        "simulator deadlock: no pending events and no runnable thread \
+                         at tick {}",
+                        self.tick
+                    );
+                }
+            }
+        }
+        self.step();
+    }
+
+    /// Earliest tick ≥ `self.tick` at which any component can act: the
+    /// minimum over every shared-L1 controller's pending-arrival deadline,
+    /// the deferred-completion heap, and each active core's next issue
+    /// boundary (first core-cycle boundary past its hosted threads'
+    /// earliest wake and its own `stall_until`). `None` when every
+    /// component sleeps forever (normally: the workload finished).
+    fn next_event_tick(&self) -> Option<u64> {
+        let now = self.tick;
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| {
+            let t = t.max(now);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        for cl in &self.clusters {
+            if let L1System::Shared(s) = &cl.l1 {
+                if let Some(t) = s.next_work_tick() {
+                    fold(t);
+                }
+            }
+            for core in &cl.cores {
+                if !core.active || core.assigned.is_empty() {
+                    continue;
+                }
+                let wake = core
+                    .assigned
+                    .iter()
+                    .filter_map(|&vc| cl.vcores[vc].wake_tick(now))
+                    .min();
+                if let Some(w) = wake {
+                    fold(core.next_boundary(w.max(core.stall_until).max(now)));
+                }
+            }
+        }
+        if let Some(&Reverse((t, _))) = self.deferred.peek() {
+            fold(t);
+        }
+        next
+    }
+
+    /// Batch-applies the effects of the naive loop over the idle window
+    /// `[self.tick, target)` — every tick of which is strictly before
+    /// every component deadline (established by
+    /// [`Chip::next_event_tick`]) — and jumps the clock to `target`.
+    ///
+    /// On such a tick the reference loop mutates exactly three things,
+    /// all integer counters with batched equivalents:
+    /// 1. each shared-L1 controller records a zero-arrival cycle,
+    /// 2. each active core at a core-cycle boundary counts one clock-tree
+    ///    cycle, and
+    /// 3. each tenanted core at a boundary past `stall_until` decrements
+    ///    `slice_left` (no context switch can fire: switching requires a
+    ///    runnable sibling, and no hosted thread wakes inside the window).
+    fn skip_idle_ticks(&mut self, target: u64) {
+        let now = self.tick;
+        debug_assert!(target > now);
+        for cl in &mut self.clusters {
+            if let L1System::Shared(s) = &mut cl.l1 {
+                debug_assert!(s.next_work_tick().is_none_or(|t| t >= target));
+                s.note_idle_ticks(target - now);
+            }
+            let mut clock_cycles = 0;
+            for core in &mut cl.cores {
+                if !core.active {
+                    continue;
+                }
+                clock_cycles += core.boundaries_in(now, target);
+                if !core.assigned.is_empty() && core.slice_left != u64::MAX {
+                    let issue_from = now.max(core.stall_until);
+                    if issue_from < target {
+                        core.slice_left = core
+                            .slice_left
+                            .saturating_sub(core.boundaries_in(issue_from, target));
+                    }
+                }
+            }
+            cl.clock_cycles += clock_cycles;
+        }
+        debug_assert!(self
+            .deferred
+            .peek()
+            .is_none_or(|&Reverse((t, _))| t >= target));
+        debug_assert!(self.pending_remote.is_empty());
+        self.ticks_skipped += target - now;
+        self.tick = target;
     }
 
     fn apply_remote(&mut self, op: RemoteOp) {
@@ -566,7 +736,9 @@ impl Chip {
         };
         // The clock network toggles every cycle the core is powered,
         // stalled or not; only power gating (consolidation) removes it.
-        self.charge_core(k, self.instr_e.clock_pj);
+        // Counted as an integer (energy = count × clock_pj at read time)
+        // so the fast path can batch idle boundaries bit-identically.
+        self.clusters[k].clock_cycles += 1;
         if now < self.clusters[k].cores[c].stall_until {
             return;
         }
@@ -1270,9 +1442,10 @@ impl Chip {
         if fc.scrub {
             for cl in &mut self.clusters {
                 if let L1System::Shared(sh) = &mut cl.l1 {
-                    sh.scrub(now);
+                    sh.scrub_with(now, &mut self.scrub_scratch);
                 }
             }
+            debug_assert!(self.scrub_scratch.is_empty(), "scrub scratch leaked");
         }
         if !fc.core_faults_enabled() {
             return;
@@ -1469,7 +1642,7 @@ impl Chip {
                 self.tick - start_tick < MAX_EPOCH_TICKS,
                 "epoch exceeded {MAX_EPOCH_TICKS} ticks — simulator deadlock?"
             );
-            self.step();
+            self.advance();
         }
 
         // Epoch-boundary fault maintenance runs before the report is
@@ -1679,7 +1852,7 @@ impl Chip {
     /// it, short synthetic runs are dominated by compulsory misses.
     pub fn run_warmup(&mut self, total_instructions: u64) {
         while !self.finished() && self.total_instructions() < total_instructions {
-            self.step();
+            self.advance();
         }
         self.reset_measurements();
     }
@@ -1691,6 +1864,7 @@ impl Chip {
         for cl in &mut self.clusters {
             cl.instructions = 0;
             cl.core_dyn_pj = 0.0;
+            cl.clock_cycles = 0;
             cl.ifetch_dyn_pj = 0.0;
             cl.interconnect_pj = 0.0;
             cl.core_leak.set_power(now, cl.core_leak.power_mw());
@@ -1747,7 +1921,7 @@ impl Chip {
         let measured = (t - self.measure_start_tick) as f64;
         let mut b = EnergyBreakdown::default();
         for cl in &self.clusters {
-            b.core_dynamic_pj += cl.core_dyn_pj;
+            b.core_dynamic_pj += cl.core_dyn_pj + cl.clock_cycles as f64 * cl.clock_pj;
             b.core_leakage_pj += cl.core_leak.energy_pj(t);
             b.cache_leakage_pj += cl.cache_leak_mw * measured * consts::CACHE_PERIOD_PS / 1_000.0;
             b.cache_dynamic_pj += cl.ifetch_dyn_pj + cl.l2.dyn_energy_pj;
@@ -1886,6 +2060,39 @@ mod tests {
         assert_eq!(align_boundary(0, 4, 4), 8);
         assert_eq!(align_boundary(8, 5, 20), 23);
         assert_eq!(align_boundary(8, 5, 7), 13);
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_reference_loop() {
+        for org in [L1Org::SharedPerCluster, L1Org::Private] {
+            let mut fast = Chip::new(tiny_config(org), &spec(), 1);
+            let mut reference = Chip::new(tiny_config(org), &spec(), 1);
+            reference.set_reference_loop(true);
+            fast.run_warmup(2_000);
+            reference.run_warmup(2_000);
+            let a = fast.run_to_completion();
+            let b = reference.run_to_completion();
+            assert_eq!(a, b, "stepping loops diverged for {org:?}");
+            assert_eq!(reference.ticks_skipped(), 0);
+            assert!(
+                fast.ticks_skipped() > 0,
+                "fast path never engaged for {org:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simulator deadlock")]
+    fn fast_path_reports_deadlock_instead_of_spinning() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        // Block every thread on a barrier nobody will ever release: no
+        // component owns a wake-up deadline any more.
+        for cl in &mut chip.clusters {
+            for vc in &mut cl.vcores {
+                vc.state = VcState::AtBarrier(999);
+            }
+        }
+        chip.advance();
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub struct Cluster {
     pub instructions: u64,
     /// Core dynamic energy, pJ.
     pub core_dyn_pj: f64,
+    /// Core-cycle boundaries entered by active cores since measurement
+    /// start. Clock-tree energy is `clock_cycles × clock_pj`, folded in
+    /// at energy-read time: an integer count (unlike a floating-point
+    /// accumulator) is exactly batchable by the event-driven fast path,
+    /// keeping both stepping loops bit-identical.
+    pub clock_cycles: u64,
+    /// Clock-tree energy per core cycle per active core, pJ.
+    pub clock_pj: f64,
     /// Cache dynamic energy charged outside the L1/L2 accumulators
     /// (instruction fetches), pJ.
     pub ifetch_dyn_pj: f64,
@@ -198,6 +206,9 @@ impl Cluster {
             l1_costs,
             instructions: 0,
             core_dyn_pj: 0.0,
+            clock_cycles: 0,
+            clock_pj: 0.0, // set by `Chip::try_new` from the core model
+
             ifetch_dyn_pj: 0.0,
             interconnect_pj: 0.0,
             core_leak: LeakageIntegrator::new(leak_mw, crate::consts::CACHE_PERIOD_PS),
@@ -236,6 +247,7 @@ impl Cluster {
             L1System::Private { .. } => 0.0, // charged into ifetch_dyn_pj
         };
         self.core_dyn_pj
+            + self.clock_cycles as f64 * self.clock_pj
             + self.core_leak.energy_pj(tick)
             + l1_dyn
             + self.l2.dyn_energy_pj

@@ -66,6 +66,21 @@ impl VirtualCore {
         }
     }
 
+    /// Earliest tick at which this thread could issue, viewed from `now`.
+    ///
+    /// `None` for states that only an *event inside an executed tick* can
+    /// resolve (read completions, barrier releases, lock hand-offs, end of
+    /// stream): those never wake spontaneously, so they contribute no
+    /// deadline to the fast path's next-wakeup computation — the event
+    /// that frees them is bounded by some other component's deadline.
+    pub fn wake_tick(&self, now: u64) -> Option<u64> {
+        match self.state {
+            VcState::Ready => Some(now),
+            VcState::StallUntil(t) => Some(t.max(now)),
+            _ => None,
+        }
+    }
+
     /// True when blocked on something another thread must resolve
     /// (worth context-switching away from immediately).
     pub fn blocked_on_sync(&self) -> bool {
@@ -126,6 +141,26 @@ impl Core {
     /// Whether the store buffer can accept another store.
     pub fn store_buffer_has_room(&self) -> bool {
         (self.pending_stores as usize) < crate::consts::STORE_BUFFER_DEPTH
+    }
+
+    /// First core-cycle boundary (`tick % mult == 0`) at or after
+    /// `earliest`. Boundaries are chip-global: all cores of a cluster
+    /// share phase 0, exactly as `Chip::step`'s
+    /// `now.is_multiple_of(mult)` gate assumes.
+    pub fn next_boundary(&self, earliest: u64) -> u64 {
+        earliest.div_ceil(self.mult) * self.mult
+    }
+
+    /// Number of core-cycle boundaries in the half-open tick range
+    /// `[from, to)` — i.e. how many times the reference loop would have
+    /// entered `exec_core_cycle` for this core over that window.
+    pub fn boundaries_in(&self, from: u64, to: u64) -> u64 {
+        let first = self.next_boundary(from);
+        if first >= to {
+            0
+        } else {
+            (to - 1 - first) / self.mult + 1
+        }
     }
 
     /// Picks the next virtual core to run, if a switch is warranted.
@@ -221,6 +256,39 @@ mod tests {
         // Current running fine → stay.
         let pick = c.pick_switch_with(|_| true, |_| false);
         assert_eq!(pick, None);
+    }
+
+    #[test]
+    fn wake_ticks_follow_blocking_state() {
+        let mut v = vc();
+        assert_eq!(v.wake_tick(5), Some(5));
+        v.state = VcState::StallUntil(10);
+        assert_eq!(v.wake_tick(5), Some(10));
+        // A stall already expired wakes "now", not in the past.
+        assert_eq!(v.wake_tick(12), Some(12));
+        for blocked in [
+            VcState::WaitRead,
+            VcState::AtBarrier(0),
+            VcState::WaitLock(1),
+        ] {
+            v.state = blocked;
+            assert_eq!(v.wake_tick(5), None);
+        }
+    }
+
+    #[test]
+    fn boundary_arithmetic_counts_exec_entries() {
+        let c = Core::new(4, 1.0);
+        assert_eq!(c.next_boundary(0), 0);
+        assert_eq!(c.next_boundary(1), 4);
+        assert_eq!(c.next_boundary(4), 4);
+        // Brute-force cross-check against the reference loop's gate.
+        for from in 0..30u64 {
+            for to in from..40u64 {
+                let naive = (from..to).filter(|t| t.is_multiple_of(4)).count() as u64;
+                assert_eq!(c.boundaries_in(from, to), naive, "[{from}, {to})");
+            }
+        }
     }
 
     #[test]

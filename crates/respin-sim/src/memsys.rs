@@ -6,6 +6,15 @@
 //! and writeback traffic updates tag state immediately — only the timing of
 //! the *demand* path is modelled precisely, which is what the paper's
 //! figures depend on.
+//!
+//! **Fast-path note** (DESIGN.md §12): these levels are *passive* — they
+//! have no per-tick work of their own, only an `accept_interval` gate and
+//! a latency folded into the requester's completion tick. The delay a
+//! level imposes is always carried by whoever is waiting on it (a
+//! shared-L1 pending read's `arrival_tick`, a core's `StallUntil`), so
+//! `MemLevel` contributes no deadline of its own to
+//! `Chip::next_event_tick` and the next-wakeup invariant holds here
+//! trivially.
 
 use crate::cache::{CacheArray, Evicted, LineState};
 use crate::stats::LevelStats;

@@ -237,6 +237,33 @@ impl SharedL1 {
         self.stats.writes += 1;
     }
 
+    /// Earliest tick at which this controller has work: the minimum
+    /// `arrival_tick` over every pending read and write. `None` when both
+    /// ports are idle. A value `<= now` means a backlog is still
+    /// draining (the ports service one operation per cycle), so the
+    /// controller is busy *every* cycle until the queues catch up.
+    ///
+    /// This is the controller's contribution to the chip's next-wakeup
+    /// computation: on any tick strictly before this one, [`tick`] would
+    /// only record a zero-arrival cycle (see
+    /// [`SharedL1Stats::record_idle_cycles`]).
+    ///
+    /// [`tick`]: SharedL1::tick
+    pub fn next_work_tick(&self) -> Option<u64> {
+        let reads = self.reads.iter().flatten().map(|r| r.arrival_tick);
+        let writes = self.writes.iter().map(|w| w.arrival_tick);
+        reads.chain(writes).min()
+    }
+
+    /// Batched equivalent of `n` calls to [`SharedL1::tick`] on cycles
+    /// where no request is pending or arriving: only the Figure 10
+    /// arrival histogram advances. The caller (the chip's fast path)
+    /// guarantees the skipped window ends strictly before
+    /// [`next_work_tick`](SharedL1::next_work_tick).
+    pub fn note_idle_ticks(&mut self, n: u64) {
+        self.stats.record_idle_cycles(n);
+    }
+
     /// Advances the controller by one cache cycle, appending events to
     /// `events`.
     pub fn tick(&mut self, now: u64, events: &mut Vec<L1Event>) {
@@ -402,13 +429,27 @@ impl SharedL1 {
     /// retention age, rewriting ECC-correctable lines, and dropping
     /// detectably-dead ones. Returns the number of lines visited. No-op
     /// unless fault injection with scrubbing is enabled.
+    ///
+    /// Allocates a fresh walk buffer per call; hot callers (the chip's
+    /// epoch maintenance) should use [`scrub_with`](SharedL1::scrub_with)
+    /// and lend a persistent scratch buffer instead.
     pub fn scrub(&mut self, now: u64) -> u64 {
+        let mut scratch = Vec::new();
+        self.scrub_with(now, &mut scratch)
+    }
+
+    /// [`scrub`](SharedL1::scrub) with a caller-provided scratch buffer
+    /// for the resident-line walk (the walk must be snapshotted: scrub
+    /// actions invalidate lines mid-iteration). `scratch` must be empty
+    /// on entry and is left empty on return.
+    pub fn scrub_with(&mut self, now: u64, scratch: &mut Vec<(u64, LineState)>) -> u64 {
+        debug_assert!(scratch.is_empty(), "scrub scratch leaked between calls");
         if self.faults.as_ref().is_none_or(|f| !f.config().scrub) {
             return 0;
         }
-        let resident: Vec<(u64, LineState)> = self.array.resident_addrs().collect();
+        scratch.extend(self.array.resident_addrs());
         let mut visited = 0u64;
-        for (addr, state) in resident {
+        for (addr, state) in scratch.drain(..) {
             // One array read per scrubbed line.
             self.charge_recovery(self.read_energy_pj);
             let action = match self.faults.as_mut() {
@@ -503,6 +544,46 @@ mod tests {
     fn warm(c: &mut SharedL1, addr: u64) {
         c.enqueue_fill(addr, 0, LineState::Exclusive);
         run_tick(c, 0);
+    }
+
+    #[test]
+    fn next_work_tick_tracks_pending_arrivals() {
+        let mut c = controller(4);
+        assert_eq!(c.next_work_tick(), None);
+        // delivery_ticks = 1 for this geometry/mult (see constructor).
+        c.issue_read(0, 0x1000, 4, 4);
+        let read_arrival = c.next_work_tick().expect("read pending");
+        assert!(read_arrival > 4, "delivery delay pushes arrival past issue");
+        c.enqueue_fill(0x2000, 3, LineState::Exclusive);
+        assert_eq!(c.next_work_tick(), Some(3), "earliest of read and fill");
+        // Service everything; the controller goes quiet again.
+        let mut t = 0;
+        while c.next_work_tick().is_some() {
+            run_tick(&mut c, t);
+            t += 1;
+            assert!(t < 100, "controller never drained");
+        }
+        assert_eq!(c.next_work_tick(), None);
+    }
+
+    #[test]
+    fn scrub_with_reuses_scratch_and_matches_scrub() {
+        let cfg = respin_faults::FaultConfig {
+            scrub: true,
+            ..respin_faults::FaultConfig::off()
+        };
+        let mut a = faulty_controller(4, cfg);
+        let mut b = faulty_controller(4, cfg);
+        for addr in [0x1000u64, 0x2000, 0x3000] {
+            warm(&mut a, addr);
+            warm(&mut b, addr);
+        }
+        let mut scratch = Vec::new();
+        let va = a.scrub(10);
+        let vb = b.scrub_with(10, &mut scratch);
+        assert_eq!(va, vb);
+        assert!(scratch.is_empty(), "scratch must be drained on return");
+        assert_eq!(a, b, "both scrub paths leave identical controllers");
     }
 
     #[test]

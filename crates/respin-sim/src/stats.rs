@@ -30,6 +30,17 @@ impl SharedL1Stats {
         self.cycles += 1;
     }
 
+    /// Records `n` consecutive cache cycles with zero arrivals in one
+    /// call. Batched equivalent of `n` × [`record_arrivals`]`(0)` — used
+    /// by the event-driven fast path when the controller provably has no
+    /// request arriving in the skipped window.
+    ///
+    /// [`record_arrivals`]: SharedL1Stats::record_arrivals
+    pub fn record_idle_cycles(&mut self, n: u64) {
+        self.arrivals[0] += n;
+        self.cycles += n;
+    }
+
     /// Records a read hit serviced in `core_cycles` core cycles.
     pub fn record_read_hit(&mut self, core_cycles: u64) {
         let bin = (core_cycles.max(1) - 1).min(2) as usize;
@@ -236,6 +247,17 @@ mod tests {
         assert_eq!(s.arrivals, [1, 0, 1, 0, 1]);
         assert_eq!(s.cycles, 3);
         assert!((s.arrival_fraction(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_idle_cycles_match_repeated_zero_arrivals() {
+        let mut naive = SharedL1Stats::default();
+        for _ in 0..7 {
+            naive.record_arrivals(0);
+        }
+        let mut batched = SharedL1Stats::default();
+        batched.record_idle_cycles(7);
+        assert_eq!(naive, batched);
     }
 
     #[test]

@@ -81,4 +81,26 @@ if [ ! -s "$trace_dir/trace.chrome.json" ]; then
 fi
 rm -rf "$trace_dir"
 
+echo '== bench_report smoke: perf-trajectory harness runs and its schema holds'
+bench_dir=$(mktemp -d)
+cargo run --release -q -p respin-bench --bin bench_report -- \
+    --smoke --out "$bench_dir/bench.json" | tee "$bench_dir/bench.log"
+for suite in fig6_quick resilience_smoke consolidation_heavy idle_heavy idle_heavy_reference; do
+    if ! grep -q "\"$suite\"" "$bench_dir/bench.json"; then
+        echo "bench smoke: suite '$suite' missing from report" >&2
+        exit 1
+    fi
+done
+for key in schema wall_ms instructions ips ticks_skipped; do
+    if ! grep -q "\"$key\"" "$bench_dir/bench.json"; then
+        echo "bench smoke: key '$key' missing from report" >&2
+        exit 1
+    fi
+done
+if grep -q '^bench: idle_heavy .*ticks_skipped=0$' "$bench_dir/bench.log"; then
+    echo "bench smoke: fast path skipped no ticks on the idle-heavy suite" >&2
+    exit 1
+fi
+rm -rf "$bench_dir"
+
 echo 'verify: all gates green'

@@ -1,0 +1,158 @@
+//! Differential test for the event-driven fast path: every run below is
+//! executed twice — once with the batched `Chip::advance` loop (the
+//! default) and once with `reference_loop = true`, the naive tick-by-tick
+//! oracle — and the two must agree **bit for bit**: same `RunResult`
+//! (ticks, picoseconds, instructions, energy, full `ChipStats`), and when
+//! tracing is on, a byte-identical exported JSONL stream. That is the
+//! contract DESIGN.md §12 states: the fast path is an execution strategy,
+//! never a model change.
+
+use respin_core::arch::ArchConfig;
+use respin_core::runner::{run_instrumented, RunOptions};
+use respin_sim::{Chip, FaultConfig, RunResult};
+use respin_trace::{to_jsonl, RingSink, Tracer};
+use respin_workloads::{Benchmark, Phase, PhaseSchedule, WorkloadSpec};
+use std::sync::Arc;
+
+/// fig6-`--quick`-style options on a small machine, per-arch.
+fn quick_opts(arch: ArchConfig, benchmark: Benchmark) -> RunOptions {
+    let mut o = RunOptions::new(arch, benchmark);
+    o.clusters = 2;
+    o.cores_per_cluster = 4;
+    o.instructions_per_thread = Some(8_000);
+    o.warmup_per_thread = 2_000;
+    o.epoch_instructions = Some(2_000);
+    o.seed = 11;
+    o
+}
+
+/// Runs `opts` under both loops and asserts full-result equality;
+/// returns `(result, fast ticks_skipped)`.
+fn both_loops(opts: &RunOptions, label: &str) -> (RunResult, u64) {
+    let (fast, fast_skipped) = run_instrumented(opts);
+    let mut reference = opts.clone();
+    reference.reference_loop = true;
+    let (oracle, oracle_skipped) = run_instrumented(&reference);
+    assert_eq!(fast, oracle, "{label}: fast path diverged from reference");
+    assert_eq!(oracle_skipped, 0, "{label}: reference loop must never skip");
+    (fast, fast_skipped)
+}
+
+#[test]
+fn fast_path_matches_reference_across_archs_and_benchmarks() {
+    // One private-L1 arch, the plain shared arch, and both consolidation
+    // policies (greedy + oracle exercise epoch rebuilds and migrations).
+    let cases = [
+        (ArchConfig::PrSramNt, Benchmark::Fft),
+        (ArchConfig::ShStt, Benchmark::Radix),
+        (ArchConfig::ShSttCc, Benchmark::Cholesky),
+        (ArchConfig::ShSttCcOracle, Benchmark::Fft),
+    ];
+    for (arch, bench) in cases {
+        let (result, skipped) = both_loops(&quick_opts(arch, bench), arch.name());
+        assert!(result.instructions > 0, "{}: ran nothing", arch.name());
+        // The workloads stall often enough that a zero skip count would
+        // mean the fast path silently fell back to stepping.
+        assert!(skipped > 0, "{}: fast path never batched", arch.name());
+    }
+}
+
+#[test]
+fn fast_path_matches_reference_with_faults_enabled() {
+    // Resilience-smoke shape: write BER + retention decay + ECC + scrub
+    // + a seeded bad core that gets decommissioned mid-run. Fault
+    // sampling is driven by executed events, so skipping idle ticks must
+    // not shift any stream.
+    let opts = quick_opts(ArchConfig::ShStt, Benchmark::Radix);
+    let faults = FaultConfig {
+        write_ber: 1e-4,
+        retention_flip_rate: 1e-12,
+        retry_budget: 2,
+        ecc: true,
+        scrub: true,
+        seeded_bad_core: Some(1),
+        core_fault_threshold: 2,
+        ..FaultConfig::off()
+    };
+    let run_with = |reference: bool| -> (RunResult, u64) {
+        let mut config = opts.chip_config();
+        config.faults = faults;
+        let mut chip = Chip::new(config, &opts.benchmark.spec(), opts.seed);
+        chip.set_reference_loop(reference);
+        chip.run_warmup(opts.warmup_per_thread * 8);
+        let r = chip.run_to_completion();
+        let s = chip.ticks_skipped();
+        (r, s)
+    };
+    let (fast, fast_skipped) = run_with(false);
+    let (oracle, oracle_skipped) = run_with(true);
+    assert_eq!(fast, oracle, "faulty run diverged between loops");
+    assert!(
+        fast.stats.faults.write_faults + fast.stats.faults.core_faults > 0,
+        "faults must actually fire"
+    );
+    assert!(fast_skipped > 0);
+    assert_eq!(oracle_skipped, 0);
+}
+
+#[test]
+fn fast_path_produces_identical_trace_stream() {
+    // Tracing must see the same history from both loops: identical
+    // events in identical order, compared as exported JSONL bytes.
+    let jsonl_for = |reference: bool| -> (RunResult, String) {
+        let ring = Arc::new(RingSink::unbounded());
+        let mut o =
+            quick_opts(ArchConfig::ShSttCc, Benchmark::Radix).traced(Tracer::new(ring.clone()));
+        o.reference_loop = reference;
+        let (result, _) = run_instrumented(&o);
+        (result, to_jsonl(&ring.snapshot()))
+    };
+    let (fast, fast_jsonl) = jsonl_for(false);
+    let (oracle, oracle_jsonl) = jsonl_for(true);
+    assert_eq!(fast, oracle, "traced run diverged between loops");
+    assert!(!fast_jsonl.is_empty(), "trace must capture events");
+    assert_eq!(
+        fast_jsonl, oracle_jsonl,
+        "exported trace streams must be byte-identical"
+    );
+}
+
+#[test]
+fn fast_path_skips_heavily_on_idle_workload_and_stays_identical() {
+    // A nearly-all-stall workload: the fast path should skip the vast
+    // majority of ticks while reproducing the reference bit for bit.
+    let ipt = 2_000;
+    let phase = Phase {
+        idle_prob: 0.85,
+        idle_cycles: 400,
+        ..Phase::compute(ipt)
+    };
+    let spec = WorkloadSpec {
+        name: "idle-heavy-test",
+        schedule: PhaseSchedule::new(vec![phase]),
+        private_ws_bytes: 16 * 1024,
+        shared_ws_bytes: 256 * 1024,
+        locks: 0,
+        seed_salt: 0x1D7E,
+        instructions_per_thread: ipt,
+    };
+    let run_with = |reference: bool| -> (RunResult, u64) {
+        let mut config = ArchConfig::ShStt.chip_config(respin_sim::CacheSizeClass::Medium, 4);
+        config.clusters = 2;
+        let mut chip = Chip::new(config, &spec, 3);
+        chip.set_reference_loop(reference);
+        let r = chip.run_to_completion();
+        let s = chip.ticks_skipped();
+        (r, s)
+    };
+    let (fast, fast_skipped) = run_with(false);
+    let (oracle, oracle_skipped) = run_with(true);
+    assert_eq!(fast, oracle, "idle-heavy run diverged between loops");
+    assert_eq!(oracle_skipped, 0);
+    assert!(
+        fast_skipped > fast.ticks / 2,
+        "idle-heavy workload should skip most ticks: skipped {} of {}",
+        fast_skipped,
+        fast.ticks
+    );
+}
