@@ -1,24 +1,29 @@
-//! Perf-trajectory harness: runs the fixed seeded suite and writes a
-//! `BENCH_*.json` report (see DESIGN.md §12).
+//! Perf-trajectory harness: runs the fixed seeded suite plus the
+//! run-pool parallel sweep and writes a `BENCH_*.json` report (see
+//! DESIGN.md §12).
 //!
 //! ```text
-//! bench_report [--smoke] [--out PATH]
+//! bench_report [--smoke] [--out PATH] [--threads N]
 //! ```
 //!
 //! * `--smoke` shrinks every suite to a few seconds (verify.sh / CI).
-//! * `--out PATH` report destination (default `BENCH_PR4.json`).
+//! * `--out PATH` report destination (default `BENCH_PR5.json`).
+//! * `--threads N` worker count for the parallel pass of the sweep
+//!   (outranking `RESPIN_THREADS`; default is the host parallelism).
 //!
 //! The harness self-gates: it exits non-zero if the idle-heavy fast-path
 //! run is not bit-identical to the reference loop, if the fast path
-//! skipped no ticks, or (full mode) if the idle-heavy speedup falls
-//! below 2x.
+//! skipped no ticks, if the parallel sweep's results differ from its
+//! threads=1 twin in any way, or (full mode, ≥ 4 workers on a host with
+//! ≥ 4 CPUs) if either speedup falls below 2x.
 
 use respin_bench::trajectory;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR4.json");
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut threads_flag = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -30,8 +35,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads_flag = Some(n),
+                _ => {
+                    eprintln!("bench_report: --threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: bench_report [--smoke] [--out PATH]");
+                eprintln!("usage: bench_report [--smoke] [--out PATH] [--threads N]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,16 +53,20 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(n) = threads_flag {
+        respin_pool::set_threads(n);
+    }
+    let threads = respin_pool::resolved_threads();
     let mode = if smoke { "smoke" } else { "full" };
-    let suites = match trajectory::run_suites(smoke) {
-        Ok(s) => s,
+    let (suites, parallel) = match trajectory::run_suites(smoke, threads) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("bench_report: FAILED: {e}");
             return ExitCode::FAILURE;
         }
     };
 
-    let report = trajectory::render_json(mode, &suites);
+    let report = trajectory::render_json(mode, &suites, &parallel);
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("bench_report: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -61,6 +77,17 @@ fn main() -> ExitCode {
             s.name, s.wall_ms, s.instructions, s.ips, s.ticks_skipped
         );
     }
+    println!(
+        "bench: sweep_parallel threads={} host_cpus={} runs={} unique_runs={} \
+         wall_ms_t1={:.1} wall_ms_tn={:.1} speedup={:.2}",
+        parallel.threads,
+        parallel.host_cpus,
+        parallel.runs,
+        parallel.unique_runs,
+        parallel.wall_ms_t1,
+        parallel.wall_ms_tn,
+        parallel.speedup
+    );
     println!("bench_report: wrote {out_path} ({mode} mode)");
     ExitCode::SUCCESS
 }

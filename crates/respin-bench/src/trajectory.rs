@@ -16,15 +16,17 @@
 
 use crate::BENCH_SEED;
 use respin_core::arch::ArchConfig;
-use respin_core::experiments::ExpParams;
+use respin_core::experiments::{ExpParams, RunCache};
 use respin_core::runner::{self, RunOptions};
+use respin_pool::Pool;
 use respin_sim::{CacheSizeClass, Chip, FaultConfig, RunResult};
 use respin_workloads::{Benchmark, Phase, PhaseSchedule, WorkloadSpec};
 use std::time::Instant;
 
 /// Identifies the report layout for downstream consumers (verify.sh, CI
-/// schema check, future diffing tools).
-pub const SCHEMA: &str = "respin-bench-report/v1";
+/// schema check, future diffing tools). v2 = v1's `suites` map unchanged
+/// plus the top-level `parallel` object (run-pool sweep timing).
+pub const SCHEMA: &str = "respin-bench-report/v2";
 
 /// One timed suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +68,120 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run-pool sweep measurement: the same fixed batch of experiment runs
+/// timed at one worker and at `threads` workers, self-gated on result
+/// equality (see [`run_parallel_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSweep {
+    /// Worker count of the parallel pass (the resolved pool width).
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// context for the speedup (threads beyond physical CPUs cannot
+    /// shorten CPU-bound wall-clock).
+    pub host_cpus: usize,
+    /// Batch positions dispatched (includes one deliberate duplicate).
+    pub runs: usize,
+    /// Distinct simulations actually paid for after batch pre-dedup.
+    pub unique_runs: usize,
+    /// Retired instructions summed over the batch (deterministic).
+    pub instructions: u64,
+    /// Wall-clock for the whole batch at threads=1.
+    pub wall_ms_t1: f64,
+    /// Wall-clock for the whole batch at `threads` workers.
+    pub wall_ms_tn: f64,
+    /// `wall_ms_t1 / wall_ms_tn`.
+    pub speedup: f64,
+}
+
+/// The fixed sweep batch: ShStt and ShSttCc across a benchmark subset at
+/// quick experiment scale (smoke shrinks budgets and the machine), plus
+/// one duplicated entry so the batch pre-dedup path is always exercised.
+fn sweep_batch(smoke: bool) -> Vec<RunOptions> {
+    let mut params = ExpParams::quick();
+    params.seed = BENCH_SEED;
+    let benches: &[Benchmark] = if smoke {
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        params.epoch_instructions = 1_000;
+        &[Benchmark::Fft, Benchmark::Radix, Benchmark::Blackscholes]
+    } else {
+        &[
+            Benchmark::Fft,
+            Benchmark::Radix,
+            Benchmark::Lu,
+            Benchmark::Cholesky,
+        ]
+    };
+    let mut batch = Vec::new();
+    for &arch in &[ArchConfig::ShStt, ArchConfig::ShSttCc] {
+        for &b in benches {
+            let mut o = params.options(arch, b);
+            if smoke {
+                o.clusters = 1;
+                o.cores_per_cluster = 8;
+            }
+            batch.push(o);
+        }
+    }
+    let first = batch[0].clone();
+    batch.push(first);
+    batch
+}
+
+/// Times the fixed sweep at threads=1 and at `threads` workers (fresh
+/// [`RunCache`] each, so the second pass cannot hit the first's memo)
+/// and self-gates on the determinism contract.
+///
+/// # Errors
+///
+/// Returns a violated-contract description when any batch position's
+/// [`RunResult`] differs between the two passes, or when the pre-dedup
+/// collapsed the wrong number of distinct runs.
+pub fn run_parallel_sweep(smoke: bool, threads: usize) -> Result<ParallelSweep, String> {
+    let batch = sweep_batch(smoke);
+    let unique_expected = batch.len() - 1; // one deliberate duplicate
+    let run_at = |n: usize| {
+        let cache = RunCache::new();
+        let (results, wall_ms) = timed(|| cache.run_all_on(&Pool::with_threads(n), &batch));
+        (results, cache.len(), wall_ms)
+    };
+
+    let (seq, seq_unique, wall_ms_t1) = run_at(1);
+    let (par, par_unique, wall_ms_tn) = run_at(threads);
+
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        if **s != **p {
+            return Err(format!(
+                "parallel sweep diverged from sequential at batch position {i}: \
+                 threads=1 {{ticks: {}, instructions: {}}} vs threads={threads} \
+                 {{ticks: {}, instructions: {}}}",
+                s.ticks, s.instructions, p.ticks, p.instructions
+            ));
+        }
+    }
+    if seq_unique != unique_expected || par_unique != unique_expected {
+        return Err(format!(
+            "batch pre-dedup miscounted: expected {unique_expected} distinct runs, \
+             got {seq_unique} (threads=1) / {par_unique} (threads={threads})"
+        ));
+    }
+
+    Ok(ParallelSweep {
+        threads,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs: batch.len(),
+        unique_runs: unique_expected,
+        instructions: seq.iter().map(|r| r.instructions).sum(),
+        wall_ms_t1,
+        wall_ms_tn,
+        speedup: if wall_ms_tn > 0.0 {
+            wall_ms_t1 / wall_ms_tn
+        } else {
+            0.0
+        },
+    })
 }
 
 /// fig6-style sweep: every benchmark (a subset in smoke mode) on the
@@ -189,16 +305,26 @@ fn run_idle_heavy(reference: bool, ipt: u64) -> (RunResult, u64, f64) {
     (result, skipped, wall_ms)
 }
 
-/// Runs the full suite. `smoke` shrinks every budget so the whole thing
-/// finishes in a few seconds (used by verify.sh and CI).
+/// Runs the full suite plus the run-pool parallel sweep. `smoke` shrinks
+/// every budget so the whole thing finishes in a few seconds (used by
+/// verify.sh and CI); `threads` is the worker count for the parallel
+/// pass of the sweep.
 ///
 /// # Errors
 ///
 /// Returns a description of the violated contract when the idle-heavy
-/// fast-path run is not bit-identical to the reference loop, or when the
+/// fast-path run is not bit-identical to the reference loop, when the
 /// fast path failed to skip any ticks on a workload that is nearly all
-/// idle time.
-pub fn run_suites(smoke: bool) -> Result<Vec<SuiteResult>, String> {
+/// idle time, when the parallel sweep diverges from its sequential twin
+/// (see [`run_parallel_sweep`]), or — in full mode on a host with ≥ 4
+/// CPUs and ≥ 4 workers — when the pool speedup lands below the 2x
+/// floor. The floor is conditional on `host_cpus` because on a
+/// single-CPU host threads time-slice one core and a wall-clock speedup
+/// is physically impossible; the determinism self-gate still runs there.
+pub fn run_suites(
+    smoke: bool,
+    threads: usize,
+) -> Result<(Vec<SuiteResult>, ParallelSweep), String> {
     let mut out = Vec::new();
     eprintln!("bench: fig6_quick ...");
     out.push(fig6_quick(smoke));
@@ -243,17 +369,51 @@ pub fn run_suites(smoke: bool) -> Result<Vec<SuiteResult>, String> {
         reference.instructions,
         ref_skipped,
     ));
-    Ok(out)
+
+    eprintln!("bench: sweep_parallel threads={threads} ...");
+    let parallel = run_parallel_sweep(smoke, threads)?;
+    eprintln!(
+        "bench: sweep_parallel runs={} unique={} t1={:.0}ms tN={:.0}ms speedup={:.2} \
+         host_cpus={}",
+        parallel.runs,
+        parallel.unique_runs,
+        parallel.wall_ms_t1,
+        parallel.wall_ms_tn,
+        parallel.speedup,
+        parallel.host_cpus
+    );
+    if !smoke && threads >= 4 && parallel.host_cpus >= 4 && parallel.speedup < 2.0 {
+        return Err(format!(
+            "run-pool speedup {:.2}x at threads={threads} on a {}-CPU host is below the 2x floor",
+            parallel.speedup, parallel.host_cpus
+        ));
+    }
+    Ok((out, parallel))
 }
 
 /// Renders the report JSON by hand (stable key order, no new
-/// dependencies): `{"schema", "mode", "suites": {name: {wall_ms,
-/// instructions, ips, ticks_skipped}}}`.
-pub fn render_json(mode: &str, suites: &[SuiteResult]) -> String {
+/// dependencies): `{"schema", "mode", "parallel": {...}, "suites":
+/// {name: {wall_ms, instructions, ips, ticks_skipped}}}`. The `suites`
+/// map is byte-compatible with the v1 layout; v2 adds only the
+/// `parallel` object.
+pub fn render_json(mode: &str, suites: &[SuiteResult], parallel: &ParallelSweep) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"parallel\": {{ \"threads\": {}, \"host_cpus\": {}, \"runs\": {}, \
+         \"unique_runs\": {}, \"instructions\": {}, \"wall_ms_t1\": {:.3}, \
+         \"wall_ms_tn\": {:.3}, \"speedup\": {:.3} }},\n",
+        parallel.threads,
+        parallel.host_cpus,
+        parallel.runs,
+        parallel.unique_runs,
+        parallel.instructions,
+        parallel.wall_ms_t1,
+        parallel.wall_ms_tn,
+        parallel.speedup
+    ));
     s.push_str("  \"suites\": {\n");
     for (i, r) in suites.iter().enumerate() {
         let comma = if i + 1 == suites.len() { "" } else { "," };
@@ -270,18 +430,54 @@ pub fn render_json(mode: &str, suites: &[SuiteResult]) -> String {
 mod tests {
     use super::*;
 
+    fn fake_parallel() -> ParallelSweep {
+        ParallelSweep {
+            threads: 4,
+            host_cpus: 8,
+            runs: 9,
+            unique_runs: 8,
+            instructions: 123_456,
+            wall_ms_t1: 400.0,
+            wall_ms_tn: 110.0,
+            speedup: 400.0 / 110.0,
+        }
+    }
+
     #[test]
     fn report_json_is_well_formed_and_parsable() {
         let suites = vec![
             SuiteResult::new("alpha", 12.5, 1_000, 0),
             SuiteResult::new("beta", 0.0, 0, 42),
         ];
-        let text = render_json("smoke", &suites);
+        let text = render_json("smoke", &suites, &fake_parallel());
         let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
         let serde::Value::Object(top) = &v else {
             panic!("top level must be an object");
         };
         assert!(top.iter().any(|(k, _)| k == "schema"));
+        let parallel_v = top
+            .iter()
+            .find(|(k, _)| k == "parallel")
+            .map(|(_, v)| v)
+            .expect("parallel key");
+        let serde::Value::Object(parallel_obj) = parallel_v else {
+            panic!("parallel must be an object");
+        };
+        for key in [
+            "threads",
+            "host_cpus",
+            "runs",
+            "unique_runs",
+            "instructions",
+            "wall_ms_t1",
+            "wall_ms_tn",
+            "speedup",
+        ] {
+            assert!(
+                parallel_obj.iter().any(|(k, _)| k == key),
+                "missing parallel.{key}"
+            );
+        }
         let suites_v = top
             .iter()
             .find(|(k, _)| k == "suites")
@@ -305,6 +501,13 @@ mod tests {
     fn zero_wall_clock_reports_zero_ips() {
         let r = SuiteResult::new("degenerate", 0.0, 10, 0);
         assert_eq!(r.ips, 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_smoke_passes_its_own_gate() {
+        let p = run_parallel_sweep(true, 2).expect("smoke sweep must satisfy the determinism gate");
+        assert_eq!(p.runs, p.unique_runs + 1, "one deliberate duplicate");
+        assert!(p.instructions > 0);
     }
 
     #[test]

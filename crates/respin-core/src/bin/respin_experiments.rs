@@ -1,13 +1,20 @@
 //! CLI regenerating every table and figure of the Respin paper.
 //!
 //! ```text
-//! respin-experiments <experiment|all> [--quick] [--out DIR]
+//! respin-experiments <experiment|all> [--quick] [--out DIR] [--threads N]
 //!                    [--trace-out PATH] [--trace-epochs N]
 //!
 //! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
 //!              fig10 fig11 fig12 fig13 fig14 cluster ablation voltage
 //!              resilience
 //! ```
+//!
+//! Sweeps run on the `respin-pool` run pool. `--threads N` pins the
+//! worker count (outranking `RESPIN_THREADS`; the default is the host
+//! parallelism). Results, tables, and written artifacts are
+//! **bit-identical at every thread count** — the resolved worker count
+//! is echoed on the greppable stdout status lines (`smoke:`/`trace:`)
+//! only, never into `--out` files.
 //!
 //! Each experiment prints its text table and, when `--out` is given (or
 //! for `all`, defaulting to `results/`), writes `<name>.txt` and
@@ -26,7 +33,7 @@ use respin_core::experiments::{
     resilience, tables, voltage, ExpParams, RunCache,
 };
 use respin_core::report::to_json;
-use respin_trace::{to_chrome_trace, to_jsonl, RingSink};
+use respin_trace::{canonical_order, to_chrome_trace, to_jsonl, RingSink};
 use respin_workloads::Benchmark;
 use std::fs;
 use std::path::PathBuf;
@@ -58,13 +65,14 @@ struct Args {
     names: Vec<String>,
     quick: bool,
     out: Option<PathBuf>,
+    threads: Option<usize>,
     trace_out: Option<PathBuf>,
     trace_epochs: Option<u64>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: respin-experiments <{}|all> [--quick] [--out DIR] \
+        "usage: respin-experiments <{}|all> [--quick] [--out DIR] [--threads N] \
          [--trace-out PATH] [--trace-epochs N]",
         EXPERIMENTS.join("|")
     )
@@ -74,6 +82,7 @@ fn parse_args() -> Args {
     let mut names = Vec::new();
     let mut quick = false;
     let mut out = None;
+    let mut threads = None;
     let mut trace_out = None;
     let mut trace_epochs = None;
     let mut args = std::env::args().skip(1);
@@ -84,6 +93,12 @@ fn parse_args() -> Args {
                 out = Some(PathBuf::from(
                     args.next().expect("--out requires a directory"),
                 ));
+            }
+            "--threads" => {
+                let n = args.next().expect("--threads requires a count");
+                let n: usize = n.parse().expect("--threads takes a positive integer");
+                assert!(n > 0, "--threads takes a positive integer");
+                threads = Some(n);
             }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(
@@ -111,9 +126,28 @@ fn parse_args() -> Args {
         names,
         quick,
         out,
+        threads,
         trace_out,
         trace_epochs,
     }
+}
+
+/// Appends ` threads=N` to the greppable `smoke:` status lines for
+/// stdout. Written artifacts keep the unannotated text: report files
+/// are bit-identical at every thread count by contract, and a worker
+/// count baked into them would break exactly the byte-diff gate that
+/// enforces it.
+fn annotate_status_lines(text: &str, threads: usize) -> String {
+    text.split('\n')
+        .map(|line| {
+            if line.starts_with("smoke: ") {
+                format!("{line} threads={threads}")
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Strips a trailing `.jsonl` so `--trace-out t.jsonl` and
@@ -127,6 +161,10 @@ fn trace_base(path: &std::path::Path) -> PathBuf {
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        respin_pool::set_threads(n);
+    }
+    let threads = respin_pool::resolved_threads();
     let params = if args.quick {
         ExpParams::quick()
     } else {
@@ -152,7 +190,7 @@ fn main() {
     };
 
     let emit = |name: &str, text: String, json: String| {
-        println!("{text}");
+        println!("{}", annotate_status_lines(&text, threads));
         if let Some(dir) = &out_dir {
             fs::write(dir.join(format!("{name}.txt")), &text).expect("write text");
             fs::write(dir.join(format!("{name}.json")), &json).expect("write json");
@@ -237,7 +275,11 @@ fn main() {
     }
 
     if let (Some(path), Some(ring)) = (&args.trace_out, &ring) {
-        let events = ring.snapshot();
+        // Canonical order (stable grouping by schedule-independent run
+        // id): parallel and sequential campaigns export byte-identical
+        // files.
+        let mut events = ring.snapshot();
+        canonical_order(&mut events);
         let base = trace_base(path);
         let jsonl_path = base.with_extension("jsonl");
         let chrome_path = base.with_extension("chrome.json");
@@ -247,9 +289,10 @@ fn main() {
         fs::write(&jsonl_path, to_jsonl(&events)).expect("write jsonl trace");
         fs::write(&chrome_path, to_chrome_trace(&events)).expect("write chrome trace");
         println!(
-            "trace: {} events ({} dropped) -> {} + {}",
+            "trace: {} events ({} dropped) threads={} -> {} + {}",
             events.len(),
             ring.dropped(),
+            threads,
             jsonl_path.display(),
             chrome_path.display()
         );

@@ -1,17 +1,23 @@
 //! Shared plumbing for the experiment drivers: run parameters, a
 //! memoising run cache (several figures share the same underlying runs),
-//! and parallel sweep helpers.
+//! and parallel sweep helpers dispatching onto the `respin-pool`
+//! work-stealing run pool (`RESPIN_THREADS` / `--threads` sized).
+//!
+//! Determinism contract: every simulation is a pure function of its
+//! [`RunOptions`], results are returned in input order, and trace run
+//! ids are hashes of the canonical options key — so experiment results,
+//! reports, and (canonically ordered) traces are bit-identical at every
+//! thread count. See DESIGN.md §13.
 
 use crate::arch::ArchConfig;
 use crate::runner::{run, RunOptions};
 use parking_lot::Mutex;
-use rayon::prelude::*;
+use respin_pool::Pool;
 use respin_sim::{CacheSizeClass, RunResult};
 use respin_trace::{ScopedSink, TraceEvent, TraceKind, TraceSink, Tracer};
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Scale of an experiment campaign.
@@ -65,6 +71,38 @@ impl ExpParams {
 /// simulates, filled exactly once with the shared result.
 type RunCell = Arc<OnceLock<Arc<RunResult>>>;
 
+/// The canonical cache key: the serialised [`RunOptions`]. One
+/// serialisation point so the key, the memoisation map, and the trace
+/// run id can never disagree.
+fn canonical_key(opts: &RunOptions) -> String {
+    serde_json::to_string(opts).expect("options serialise")
+}
+
+/// Deterministic trace run id: FNV-1a over the canonical options key,
+/// finished with the splitmix64 mixer (the same finalizer the fault
+/// models use for seed derivation), folded to 32 bits.
+///
+/// Run ids must be a pure function of *what ran*, not of scheduling: a
+/// parallel sweep completes runs in nondeterministic order, so a
+/// `fetch_add` counter would stamp schedule-dependent ids and traced
+/// parallel output could never be byte-compared against sequential. A
+/// key hash is stable across thread counts, processes, and PRs. (A
+/// 32-bit collision between two distinct option sets in one trace is
+/// possible but needs ~2^16 simultaneous runs to become likely —
+/// campaigns here are tens of runs.)
+pub(crate) fn stable_run_id(key: &str) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 32) as u32 ^ (z as u32)
+}
+
 /// Memoising run cache shared by the experiment drivers.
 ///
 /// Keys are the serialised [`RunOptions`], which include the
@@ -93,7 +131,6 @@ pub struct RunCache {
     sink: Option<Arc<dyn TraceSink>>,
     /// Epoch cap forwarded to every scoped sink (`--trace-epochs`).
     trace_epochs: Option<u64>,
-    next_run: Arc<AtomicU32>,
 }
 
 impl RunCache {
@@ -117,18 +154,31 @@ impl RunCache {
     /// with equal options execute the simulation once; the losers block
     /// until the winner's result is available.
     pub fn run(&self, opts: &RunOptions) -> Arc<RunResult> {
-        let key = serde_json::to_string(opts).expect("options serialise");
-        let cell = self.inner.lock().entry(key.clone()).or_default().clone();
-        cell.get_or_init(|| Arc::new(self.execute(&key, opts)))
+        self.run_keyed(&canonical_key(opts), opts)
+    }
+
+    /// [`RunCache::run`] with the key already serialised (the batch path
+    /// computes keys up front for pre-deduplication; don't pay twice).
+    fn run_keyed(&self, key: &str, opts: &RunOptions) -> Arc<RunResult> {
+        let cell = self
+            .inner
+            .lock()
+            .entry(key.to_string())
+            .or_default()
+            .clone();
+        cell.get_or_init(|| Arc::new(self.execute(key, opts)))
             .clone()
     }
 
     /// Actually simulates (cache miss path), installing a scoped tracer
-    /// when this cache was built with one.
+    /// when this cache was built with one. The run id stamped onto the
+    /// trace is [`stable_run_id`] of the cache key — a pure function of
+    /// the options, so traced sweeps are comparable across thread counts
+    /// and sessions.
     fn execute(&self, key: &str, opts: &RunOptions) -> RunResult {
         match &self.sink {
             Some(sink) => {
-                let id = self.next_run.fetch_add(1, Ordering::Relaxed);
+                let id = stable_run_id(key);
                 let scoped: Arc<dyn TraceSink> =
                     Arc::new(ScopedSink::new(id, self.trace_epochs, sink.clone()));
                 scoped.record(&TraceEvent::at(
@@ -143,9 +193,35 @@ impl RunCache {
         }
     }
 
-    /// Runs a batch in parallel (deduplicated through the cache).
+    /// Runs a batch on the [`Pool::current`] run pool (deduplicated
+    /// through the cache), preserving input order.
     pub fn run_all(&self, batch: &[RunOptions]) -> Vec<Arc<RunResult>> {
-        batch.par_iter().map(|o| self.run(o)).collect()
+        self.run_all_on(&Pool::current(), batch)
+    }
+
+    /// [`RunCache::run_all`] on an explicitly-sized pool.
+    ///
+    /// Duplicate option sets are collapsed *before* dispatch: only
+    /// distinct keys reach the pool, so a batch with N copies of one
+    /// configuration occupies one worker for one simulation instead of
+    /// parking N-1 workers on the same in-flight [`OnceLock`] cell while
+    /// the rest of the queue waits. Every batch position still gets its
+    /// (shared) result, in input order.
+    pub fn run_all_on(&self, pool: &Pool, batch: &[RunOptions]) -> Vec<Arc<RunResult>> {
+        let keys: Vec<String> = batch.iter().map(canonical_key).collect();
+        let mut position: HashMap<&str, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            position.entry(key.as_str()).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+        }
+        let distinct: Vec<Arc<RunResult>> =
+            pool.par_map(&unique, |&i| self.run_keyed(&keys[i], &batch[i]));
+        keys.iter()
+            .map(|key| distinct[position[key.as_str()]].clone())
+            .collect()
     }
 
     /// Number of memoised (completed) runs.
@@ -163,8 +239,8 @@ impl RunCache {
     }
 }
 
-/// Sweep helper: (arch × benchmark) at `size`, in parallel, returning
-/// results in input order.
+/// Sweep helper: (arch × benchmark) at `size`, on the current run pool,
+/// returning results in input order.
 pub fn sweep(
     cache: &RunCache,
     params: &ExpParams,
@@ -176,14 +252,11 @@ pub fn sweep(
         .iter()
         .flat_map(|&a| benches.iter().map(move |&b| (a, b)))
         .collect();
-    combos
-        .par_iter()
-        .map(|&(a, b)| {
-            let mut o = params.options(a, b);
-            o.size = size;
-            (a, b, cache.run(&o))
-        })
-        .collect()
+    Pool::current().par_map(&combos, |&(a, b)| {
+        let mut o = params.options(a, b);
+        o.size = size;
+        (a, b, cache.run(&o))
+    })
 }
 
 /// Geometric mean (the conventional average for normalised ratios).
@@ -266,8 +339,8 @@ mod tests {
     fn concurrent_identical_runs_simulate_once() {
         use respin_trace::RingSink;
 
-        // The vendored rayon is sequential, so the stampede can only be
-        // reproduced with real OS threads racing the same key.
+        // Raw OS threads racing the same key, below the run_all
+        // pre-dedup layer: the OnceLock cell itself must hold.
         let ring = Arc::new(RingSink::unbounded());
         let cache = RunCache::with_tracer(ring.clone(), None);
         let mut params = ExpParams::quick();
@@ -306,6 +379,67 @@ mod tests {
             .filter(|e| matches!(e.kind, respin_trace::TraceKind::RunStart { .. }))
             .count();
         assert_eq!(run_starts, 1);
+    }
+
+    #[test]
+    fn run_all_prededups_identical_options_within_a_batch() {
+        use respin_trace::RingSink;
+
+        // A batch of N identical option sets must cost one simulation
+        // (one RunStart) and must not park N-1 pool workers on the same
+        // in-flight cell: only distinct keys are dispatched at all.
+        let ring = Arc::new(RingSink::unbounded());
+        let cache = RunCache::with_tracer(ring.clone(), None);
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+        let batch = vec![o; 6];
+
+        let results = cache.run_all_on(&Pool::with_threads(4), &batch);
+
+        assert_eq!(results.len(), 6, "every batch position gets a result");
+        assert_eq!(cache.len(), 1, "one distinct key, one memoised run");
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r), "all positions share it");
+        }
+        let run_starts = ring
+            .snapshot()
+            .iter()
+            .filter(|e| matches!(e.kind, respin_trace::TraceKind::RunStart { .. }))
+            .count();
+        assert_eq!(run_starts, 1, "exactly one simulation paid for");
+    }
+
+    #[test]
+    fn run_all_results_identical_across_thread_counts() {
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let batch: Vec<RunOptions> = [Benchmark::Fft, Benchmark::Radix, Benchmark::Lu]
+            .iter()
+            .map(|&b| {
+                let mut o = params.options(ArchConfig::ShStt, b);
+                o.clusters = 1;
+                o.cores_per_cluster = 4;
+                o
+            })
+            .collect();
+        let seq = RunCache::new().run_all_on(&Pool::with_threads(1), &batch);
+        let par = RunCache::new().run_all_on(&Pool::with_threads(4), &batch);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(**s, **p, "thread count must not change any result");
+        }
+    }
+
+    #[test]
+    fn stable_run_ids_depend_only_on_the_key() {
+        assert_eq!(stable_run_id("abc"), stable_run_id("abc"));
+        assert_ne!(stable_run_id("abc"), stable_run_id("abd"));
+        assert_ne!(stable_run_id(""), stable_run_id("a"));
     }
 
     #[test]

@@ -26,3 +26,4 @@ pub mod tables;
 pub mod voltage;
 
 pub use common::{ExpParams, RunCache};
+pub use respin_pool::Pool;

@@ -109,26 +109,23 @@ fn build_chip(params: &ExpParams, arch: ArchConfig, faults: FaultConfig, tracer:
 struct TraceCtx {
     sink: Option<Arc<dyn TraceSink>>,
     limit: Option<u64>,
-    next: u32,
 }
 
 impl TraceCtx {
     fn new(sink: Option<Arc<dyn TraceSink>>, limit: Option<u64>) -> Self {
-        Self {
-            sink,
-            limit,
-            next: 0,
-        }
+        Self { sink, limit }
     }
 
-    /// A tracer for the next run of the campaign (disabled when no sink
-    /// was requested).
-    fn tracer(&mut self, label: &str) -> Tracer {
+    /// A tracer for one labelled run of the campaign (disabled when no
+    /// sink was requested). The run id is a hash of the label — like the
+    /// experiment cache's key-derived ids, it depends on *which* run
+    /// this is, never on dispatch order, so the sweep can run on the
+    /// pool and still trace identically to a sequential campaign.
+    fn tracer(&self, label: &str) -> Tracer {
         let Some(sink) = &self.sink else {
             return Tracer::disabled();
         };
-        let id = self.next;
-        self.next += 1;
+        let id = super::common::stable_run_id(label);
         let scoped: Arc<dyn TraceSink> = Arc::new(ScopedSink::new(id, self.limit, sink.clone()));
         scoped.record(&TraceEvent::at(
             0,
@@ -186,11 +183,12 @@ pub fn generate_traced(
     sink: Option<Arc<dyn TraceSink>>,
     trace_epochs: Option<u64>,
 ) -> Resilience {
-    let mut trace = TraceCtx::new(sink, trace_epochs);
+    let trace = TraceCtx::new(sink, trace_epochs);
     let warmup = params.warmup_per_thread * total_cores();
 
     // Fault-free baseline for the sweep (no consolidation: isolate the
-    // cell-level recovery cost from policy decisions).
+    // cell-level recovery cost from policy decisions). Runs first and
+    // alone: every sweep point normalises against it.
     let base = {
         let mut chip = build_chip(
             params,
@@ -202,69 +200,64 @@ pub fn generate_traced(
         chip.run_to_completion()
     };
 
-    let mut sweep = Vec::new();
-    for &write_ber in &[1e-5, 1e-4] {
-        for &retry_budget in &[1u32, 2, 4] {
-            let mut fc = FaultConfig::off();
-            fc.write_ber = write_ber;
-            fc.retention_flip_rate = 1e-12;
-            fc.retry_budget = retry_budget;
-            fc.ecc = true;
-            fc.scrub = true;
-            let mut chip = build_chip(
-                params,
-                ArchConfig::ShStt,
-                fc,
-                trace.tracer(&format!(
-                    "resilience sweep ber={write_ber} budget={retry_budget}"
-                )),
-            );
-            chip.run_warmup(warmup);
-            let r = chip.run_to_completion();
-            let f = &r.stats.faults;
-            sweep.push(SweepPoint {
-                write_ber,
-                retry_budget,
-                injected: f.total_injected(),
-                write_faults: f.write_faults,
-                write_retries: f.write_retries,
-                retry_exhausted: f.retry_exhausted,
-                ecc_corrected: f.ecc_corrected,
-                ecc_detected: f.ecc_detected,
-                escapes: f.uncorrected_escapes,
-                recovery_energy_pj: f.recovery_energy_pj,
-                energy_vs_baseline: r.energy.chip_total_pj() / base.energy.chip_total_pj() - 1.0,
-                time_vs_baseline: r.ticks as f64 / base.ticks as f64 - 1.0,
-            });
+    // The BER × retry-budget sweep points are independent chips — run
+    // them on the pool. par_map preserves input order and each run id is
+    // a label hash, so results and traces match a sequential campaign.
+    let combos: Vec<(f64, u32)> = [1e-5, 1e-4]
+        .iter()
+        .flat_map(|&ber| [1u32, 2, 4].iter().map(move |&budget| (ber, budget)))
+        .collect();
+    let sweep: Vec<SweepPoint> = respin_pool::par_map(&combos, |&(write_ber, retry_budget)| {
+        let mut fc = FaultConfig::off();
+        fc.write_ber = write_ber;
+        fc.retention_flip_rate = 1e-12;
+        fc.retry_budget = retry_budget;
+        fc.ecc = true;
+        fc.scrub = true;
+        let mut chip = build_chip(
+            params,
+            ArchConfig::ShStt,
+            fc,
+            trace.tracer(&format!(
+                "resilience sweep ber={write_ber} budget={retry_budget}"
+            )),
+        );
+        chip.run_warmup(warmup);
+        let r = chip.run_to_completion();
+        let f = &r.stats.faults;
+        SweepPoint {
+            write_ber,
+            retry_budget,
+            injected: f.total_injected(),
+            write_faults: f.write_faults,
+            write_retries: f.write_retries,
+            retry_exhausted: f.retry_exhausted,
+            ecc_corrected: f.ecc_corrected,
+            ecc_detected: f.ecc_detected,
+            escapes: f.uncorrected_escapes,
+            recovery_energy_pj: f.recovery_energy_pj,
+            energy_vs_baseline: r.energy.chip_total_pj() / base.energy.chip_total_pj() - 1.0,
+            time_vs_baseline: r.ticks as f64 / base.ticks as f64 - 1.0,
         }
-    }
+    });
 
     // Graceful degradation: fault-free consolidation baseline vs a chip
     // whose core (cluster 0, core 1) faults every epoch until the VCM
-    // decommissions it.
-    let (good, _) = {
-        let mut chip = build_chip(
-            params,
-            ArchConfig::ShSttCc,
-            FaultConfig::off(),
-            trace.tracer("resilience degradation baseline"),
-        );
+    // decommissions it. The pair is independent — two more pool items.
+    let mut bad_fc = FaultConfig::off();
+    bad_fc.seeded_bad_core = Some(1);
+    bad_fc.core_fault_threshold = 2;
+    let degr_items = [
+        (FaultConfig::off(), "resilience degradation baseline"),
+        (bad_fc, "resilience degradation seeded-bad-core"),
+    ];
+    let mut degr = respin_pool::par_map(&degr_items, |&(fc, label)| {
+        let mut chip = build_chip(params, ArchConfig::ShSttCc, fc, trace.tracer(label));
         chip.run_warmup(warmup);
         run_greedy_degraded(&mut chip)
-    };
-    let mut fc = FaultConfig::off();
-    fc.seeded_bad_core = Some(1);
-    fc.core_fault_threshold = 2;
-    let (bad, health) = {
-        let mut chip = build_chip(
-            params,
-            ArchConfig::ShSttCc,
-            fc,
-            trace.tracer("resilience degradation seeded-bad-core"),
-        );
-        chip.run_warmup(warmup);
-        run_greedy_degraded(&mut chip)
-    };
+    });
+    let (bad, health) = degr.remove(1);
+    let (good, _) = degr.remove(0);
     let ipc = |r: &RunResult| r.instructions as f64 / r.ticks as f64;
     let healthy_end: Vec<usize> = health
         .iter()

@@ -1,0 +1,384 @@
+//! # respin-pool — the experiment run pool
+//!
+//! Every Respin evaluation artifact is a sweep of *independent,
+//! deterministic* simulations, so the only parallelism the workspace
+//! needs is "run these N closures on K OS threads, give me the results
+//! back in input order". This crate provides exactly that, with no
+//! dependencies beyond `std`:
+//!
+//! * [`Pool::par_map`] — order-preserving parallel map over a slice.
+//!   Workers steal items one at a time from a shared atomic index (the
+//!   degenerate — and for second-to-minutes simulation tasks, optimal —
+//!   work-stealing deque), so an expensive item never serialises the
+//!   batch behind it.
+//! * [`Pool::par_for_each`] — the same, discarding results.
+//! * Panic propagation: a panicking task aborts the remaining queue,
+//!   every worker is joined, and the **original payload** is re-thrown
+//!   on the calling thread (`resume_unwind`), so `should_panic` tests
+//!   and error reports see the real message — never a deadlock, never a
+//!   swallowed panic.
+//!
+//! ## Thread-count resolution
+//!
+//! [`Pool::current`] (and the free [`par_map`]/[`par_for_each`]) resolve
+//! the worker count as: programmatic override ([`set_threads`], used by
+//! the `--threads` CLI flags) → the `RESPIN_THREADS` environment
+//! variable → [`std::thread::available_parallelism`]. A count of 1 runs
+//! the *same claim loop* inline on the caller — the sequential fallback
+//! is the parallel code path minus the spawns, not a second
+//! implementation.
+//!
+//! ## Determinism contract
+//!
+//! The pool schedules; it never reorders results. For pure `f`,
+//! `pool.par_map(items, f)` is element-for-element identical to
+//! `items.iter().map(f).collect()` at every thread count — the
+//! experiment layer's "bit-identical results regardless of
+//! `RESPIN_THREADS`" guarantee (DESIGN.md §13) builds directly on this.
+//!
+//! ```
+//! let pool = respin_pool::Pool::with_threads(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![warn(clippy::all)]
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// Programmatic worker-count override (0 = unset). Highest-priority
+/// resolution source; written by the CLI `--threads` flags.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (n ≥ 1) or clears (0) the process-wide worker-count override.
+///
+/// The override outranks `RESPIN_THREADS` and the hardware default for
+/// every subsequent [`Pool::current`] / [`par_map`] / [`par_for_each`]
+/// call. Explicitly-sized pools ([`Pool::with_threads`]) are unaffected.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Parses a `RESPIN_THREADS` value: a positive integer, or `None` for
+/// anything unusable (empty, zero, garbage) so resolution falls through
+/// to the hardware default instead of panicking inside library code.
+fn parse_threads(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// The worker count [`Pool::current`] would use right now:
+/// [`set_threads`] override, else `RESPIN_THREADS`, else
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+pub fn resolved_threads() -> usize {
+    let over = OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("RESPIN_THREADS") {
+        if let Some(n) = parse_threads(&v) {
+            return n;
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A fixed-width run pool.
+///
+/// Stateless and trivially cheap: workers are scoped `std::thread`s
+/// spawned per batch (setup cost is nanoseconds against simulation tasks
+/// of seconds), so a `Pool` is just a worker count and never holds
+/// threads, locks, or queues between calls.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `n` workers (minimum 1).
+    pub fn with_threads(n: usize) -> Self {
+        Self { threads: n.max(1) }
+    }
+
+    /// A pool sized by [`resolved_threads`] (override → env → hardware).
+    pub fn current() -> Self {
+        Self::with_threads(resolved_threads())
+    }
+
+    /// The worker count this pool dispatches to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on up to [`Pool::threads`] workers,
+    /// returning results **in input order**.
+    ///
+    /// Work distribution is dynamic (shared atomic claim index): a slow
+    /// item occupies one worker while the rest drain the queue. With one
+    /// worker — or one item — the claim loop runs inline on the calling
+    /// thread; no thread is spawned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic on the calling thread with its
+    /// original payload, after aborting undispatched items and joining
+    /// every worker (the scope never deadlocks on a panicked task).
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+
+        let buckets: Vec<Vec<(usize, U)>> = if workers <= 1 {
+            // Strictly sequential fallback: the same claim loop, inline.
+            vec![worker_loop(&next, &abort, items, &f)]
+        } else {
+            let joined: Vec<thread::Result<Vec<(usize, U)>>> = thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| s.spawn(|| worker_loop(&next, &abort, items, &f)))
+                    .collect();
+                // Join everything before leaving the scope so a panic in
+                // one task can never leave a worker detached.
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            let mut buckets = Vec::with_capacity(workers);
+            let mut panic_payload = None;
+            for r in joined {
+                match r {
+                    Ok(bucket) => buckets.push(bucket),
+                    Err(payload) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = panic_payload {
+                resume_unwind(payload);
+            }
+            buckets
+        };
+
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, v) in buckets.into_iter().flatten() {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every claimed index produced a result"))
+            .collect()
+    }
+
+    /// [`Pool::par_map`] discarding results: runs `f` on every item,
+    /// with the same scheduling, panic, and ordering guarantees.
+    pub fn par_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.par_map(items, |item| f(item));
+    }
+}
+
+/// Sets the abort flag when dropped during unwinding, so one panicking
+/// task stops the other workers from claiming further items.
+struct AbortOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One worker: claim the next unclaimed index, run `f`, keep
+/// `(index, result)` locally; merge happens after the join so result
+/// types only need `Send`, not `Sync`.
+fn worker_loop<T, U, F>(
+    next: &AtomicUsize,
+    abort: &AtomicBool,
+    items: &[T],
+    f: &F,
+) -> Vec<(usize, U)>
+where
+    F: Fn(&T) -> U,
+{
+    let _guard = AbortOnPanic(abort);
+    let mut out = Vec::new();
+    while !abort.load(Ordering::Relaxed) {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= items.len() {
+            break;
+        }
+        out.push((i, f(&items[i])));
+    }
+    out
+}
+
+/// [`Pool::par_map`] on the [`Pool::current`] pool.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    Pool::current().par_map(items, f)
+}
+
+/// [`Pool::par_for_each`] on the [`Pool::current`] pool.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    Pool::current().par_for_each(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::with_threads(4);
+        let out: Vec<u32> = pool.par_map(&[] as &[u32], |&x| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn input_shorter_than_worker_count() {
+        let pool = Pool::with_threads(16);
+        assert_eq!(pool.par_map(&[10u32, 20, 30], |&x| x / 10), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = Pool::with_threads(8);
+        let caller = thread::current().id();
+        let ran_on = pool.par_map(&[()], |()| thread::current().id());
+        assert_eq!(ran_on, vec![caller], "one item must not spawn");
+    }
+
+    #[test]
+    fn threads_1_matches_parallel_result() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let seq = Pool::with_threads(1).par_map(&items, f);
+        let par = Pool::with_threads(7).par_map(&items, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq, items.iter().map(f).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_preserved_under_shuffled_durations() {
+        // Items deliberately finish out of claim order: pseudo-random
+        // sleeps make fast items overtake slow earlier ones.
+        let items: Vec<usize> = (0..200).collect();
+        let out = Pool::with_threads(8).par_map(&items, |&i| {
+            let jitter = (i.wrapping_mul(2654435761) >> 16) % 4;
+            thread::sleep(Duration::from_micros(50 * jitter as u64));
+            i * 3
+        });
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_propagates_with_original_payload_and_no_deadlock() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<u32> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("the task panic must reach the caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap();
+        assert!(msg.contains("boom at 13"), "payload lost: {msg}");
+        // The pool is stateless: the next batch must work normally.
+        assert_eq!(pool.par_map(&[1u32, 2], |&x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn panic_aborts_remaining_queue() {
+        // With the abort flag, far fewer than all items run after the
+        // poisoned one; without it this would still pass (the pool only
+        // promises termination), so assert the strong-but-safe bound:
+        // every executed item is counted, and the call returns.
+        let executed = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            Pool::with_threads(4).par_for_each(&items, |&x| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    thread::sleep(Duration::from_millis(1));
+                    panic!("early poison");
+                }
+            })
+        }));
+        assert!(res.is_err());
+        assert!(executed.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn par_for_each_visits_every_item_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        Pool::with_threads(5).par_for_each(&items, |&i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads("-1"), None);
+    }
+
+    #[test]
+    fn programmatic_override_outranks_default() {
+        // Serialised with itself only; other tests use explicit pools so
+        // flipping the global here cannot perturb them.
+        set_threads(3);
+        assert_eq!(resolved_threads(), 3);
+        assert_eq!(Pool::current().threads(), 3);
+        set_threads(0);
+        assert!(resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+}

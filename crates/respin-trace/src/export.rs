@@ -16,6 +16,23 @@ use crate::event::{TraceEvent, TraceKind};
 /// simulator's clock base (2.5 GHz cache domain).
 const CACHE_PERIOD_PS: f64 = 400.0;
 
+/// Sorts events into the canonical cross-schedule order: a **stable**
+/// sort by run id.
+///
+/// Each simulation emits its own events in deterministic order (the
+/// simulator is seeded and single-threaded per run), but a parallel
+/// sweep interleaves different runs' events in the shared sink in
+/// whatever order the OS schedules them. Grouping by run id — stably,
+/// so within-run order is untouched — restores a total order that is a
+/// pure function of *what ran*: exports of the same campaign are
+/// byte-identical at every `RESPIN_THREADS`. Run ids themselves are
+/// schedule-independent hashes of the run's options/label (see
+/// `respin-core`'s experiment cache), which is what makes this sort
+/// canonical rather than merely deterministic-per-schedule.
+pub fn canonical_order(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| e.run);
+}
+
 /// Renders events as JSON Lines: one event per line, empty string for
 /// no events.
 pub fn to_jsonl(events: &[TraceEvent]) -> String {
@@ -297,6 +314,31 @@ mod tests {
                 },
             ),
         ]
+    }
+
+    #[test]
+    fn canonical_order_groups_by_run_and_keeps_within_run_order() {
+        let ev = |run: u32, tick: u64| {
+            let mut e = TraceEvent::at(
+                tick,
+                TraceKind::RunStart {
+                    options: format!("r{run}t{tick}"),
+                },
+            );
+            e.run = run;
+            e
+        };
+        // Two interleavings of the same three runs (ids deliberately not
+        // in arrival order), as a parallel sweep would produce.
+        let mut a = vec![ev(9, 0), ev(2, 0), ev(9, 1), ev(5, 0), ev(2, 1)];
+        let mut b = vec![ev(2, 0), ev(2, 1), ev(9, 0), ev(5, 0), ev(9, 1)];
+        canonical_order(&mut a);
+        canonical_order(&mut b);
+        assert_eq!(a, b, "same runs, any schedule -> same canonical order");
+        assert_eq!(to_jsonl(&a), to_jsonl(&b));
+        // Within one run, emission order survives the stable sort.
+        let ticks: Vec<u64> = a.iter().filter(|e| e.run == 9).map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![0, 1]);
     }
 
     #[test]

@@ -5,7 +5,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo '== vendored dependencies present (offline build preflight)'
-for dep in rand rand_chacha serde serde_derive serde_json proptest criterion parking_lot rayon; do
+for dep in rand rand_chacha serde serde_derive serde_json proptest criterion parking_lot; do
     if [ ! -f "vendor/$dep/Cargo.toml" ]; then
         echo "vendored dependency '$dep' is missing (vendor/$dep/Cargo.toml not found)." >&2
         echo "This workspace builds offline against hand-written stubs in vendor/;" >&2
@@ -46,9 +46,11 @@ for kind in arbiter halfmiss vcm retry decommission; do
 done
 
 echo '== fault-injection + trace smoke: faults fire, nothing escapes, trace exports are real'
+echo '   (run at 2 workers and 1 worker; artifacts must be byte-identical)'
 trace_dir=$(mktemp -d)
-out=$(cargo run --release -q -p respin-core --bin respin-experiments -- \
-    resilience --quick --trace-out "$trace_dir/trace")
+seq_dir=$(mktemp -d)
+out=$(RESPIN_THREADS=2 cargo run --release -q -p respin-core --bin respin-experiments -- \
+    resilience --quick --out "$trace_dir" --trace-out "$trace_dir/trace")
 smoke=$(printf '%s\n' "$out" | grep '^smoke: ')
 echo "$smoke"
 case "$smoke" in
@@ -60,6 +62,12 @@ case "$smoke" in
     *"escapes=0 "*) ;;
     *)
         echo "fault-injection smoke: silent escapes with ECC enabled" >&2
+        exit 1 ;;
+esac
+case "$smoke" in
+    *"threads=2"*) ;;
+    *)
+        echo "fault-injection smoke: resolved worker count missing from status line" >&2
         exit 1 ;;
 esac
 printf '%s\n' "$out" | grep '^trace: '
@@ -79,7 +87,16 @@ if [ ! -s "$trace_dir/trace.chrome.json" ]; then
     echo "trace smoke: Chrome-trace export is empty or missing" >&2
     exit 1
 fi
-rm -rf "$trace_dir"
+RESPIN_THREADS=1 cargo run --release -q -p respin-core --bin respin-experiments -- \
+    resilience --quick --out "$seq_dir" --trace-out "$seq_dir/trace" >/dev/null
+for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
+    if ! cmp -s "$trace_dir/$f" "$seq_dir/$f"; then
+        echo "determinism smoke: $f differs between RESPIN_THREADS=2 and =1" >&2
+        exit 1
+    fi
+done
+echo 'determinism smoke: artifacts byte-identical at 2 workers and 1 worker'
+rm -rf "$trace_dir" "$seq_dir"
 
 echo '== bench_report smoke: perf-trajectory harness runs and its schema holds'
 bench_dir=$(mktemp -d)
@@ -91,14 +108,22 @@ for suite in fig6_quick resilience_smoke consolidation_heavy idle_heavy idle_hea
         exit 1
     fi
 done
-for key in schema wall_ms instructions ips ticks_skipped; do
+for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup; do
     if ! grep -q "\"$key\"" "$bench_dir/bench.json"; then
         echo "bench smoke: key '$key' missing from report" >&2
         exit 1
     fi
 done
+if ! grep -q '"schema": "respin-bench-report/v2"' "$bench_dir/bench.json"; then
+    echo "bench smoke: report schema is not respin-bench-report/v2" >&2
+    exit 1
+fi
 if grep -q '^bench: idle_heavy .*ticks_skipped=0$' "$bench_dir/bench.log"; then
     echo "bench smoke: fast path skipped no ticks on the idle-heavy suite" >&2
+    exit 1
+fi
+if ! grep -q '^bench: sweep_parallel ' "$bench_dir/bench.log"; then
+    echo "bench smoke: run-pool sweep status line missing" >&2
     exit 1
 fi
 rm -rf "$bench_dir"

@@ -2,8 +2,11 @@
 //! results) and its exports must be schema-valid.
 
 use respin_core::arch::ArchConfig;
+use respin_core::experiments::{Pool, RunCache};
 use respin_core::runner::{run, RunOptions};
-use respin_trace::{to_chrome_trace, to_jsonl, validate_jsonl, RingSink, TraceKind, Tracer};
+use respin_trace::{
+    canonical_order, to_chrome_trace, to_jsonl, validate_jsonl, RingSink, TraceKind, Tracer,
+};
 use respin_workloads::Benchmark;
 use std::sync::Arc;
 
@@ -103,6 +106,53 @@ fn jsonl_export_roundtrips_and_validates() {
             );
         }
     }
+}
+
+/// Runs a traced multi-run campaign through a [`RunCache`] on `threads`
+/// workers and returns the canonicalised exports plus the results.
+fn traced_campaign(threads: usize) -> (Vec<Arc<respin_sim::RunResult>>, String, String) {
+    let batch: Vec<RunOptions> = [Benchmark::Fft, Benchmark::Radix, Benchmark::Lu]
+        .iter()
+        .flat_map(|&b| {
+            [ArchConfig::ShStt, ArchConfig::ShSttCc]
+                .iter()
+                .map(move |&arch| {
+                    let mut o = RunOptions::new(arch, b);
+                    o.clusters = 2;
+                    o.cores_per_cluster = 4;
+                    o.instructions_per_thread = Some(4_000);
+                    o.warmup_per_thread = 1_000;
+                    o.epoch_instructions = Some(1_000);
+                    o.seed = 7;
+                    o
+                })
+        })
+        .collect();
+    let ring = Arc::new(RingSink::unbounded());
+    let cache = RunCache::with_tracer(ring.clone(), None);
+    let results = cache.run_all_on(&Pool::with_threads(threads), &batch);
+    let mut events = ring.snapshot();
+    canonical_order(&mut events);
+    (results, to_jsonl(&events), to_chrome_trace(&events))
+}
+
+#[test]
+fn traced_parallel_campaign_exports_byte_identical_to_sequential() {
+    let (seq_results, seq_jsonl, seq_chrome) = traced_campaign(1);
+    let (par_results, par_jsonl, par_chrome) = traced_campaign(4);
+    assert_eq!(seq_results.len(), par_results.len());
+    for (i, (s, p)) in seq_results.iter().zip(&par_results).enumerate() {
+        assert_eq!(**s, **p, "run {i} diverged across thread counts");
+    }
+    assert_eq!(
+        seq_jsonl, par_jsonl,
+        "canonical JSONL must be byte-identical at any thread count"
+    );
+    assert_eq!(
+        seq_chrome, par_chrome,
+        "canonical Chrome trace must be byte-identical at any thread count"
+    );
+    assert!(!seq_jsonl.is_empty());
 }
 
 #[test]
