@@ -17,7 +17,7 @@ use respin_sim::{CacheSizeClass, RunResult};
 use respin_trace::{ScopedSink, TraceEvent, TraceKind, TraceSink, Tracer};
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Scale of an experiment campaign.
@@ -123,7 +123,11 @@ pub(crate) fn stable_run_id(key: &str) -> u32 {
 /// and discarded one result.
 #[derive(Clone, Default)]
 pub struct RunCache {
-    inner: Arc<Mutex<HashMap<String, RunCell>>>,
+    // BTreeMap, not HashMap (determinism lint D001): `len` walks the
+    // cells and future iteration (eviction, the roadmap's on-disk store)
+    // must see key order, not hasher order. Lookups are once per
+    // multi-second simulation — map flavour is free here.
+    inner: Arc<Mutex<BTreeMap<String, RunCell>>>,
     /// Optional trace sink: each de-duplicated simulation gets a
     /// [`ScopedSink`] stamping a fresh run id, and announces itself with
     /// a `RunStart` event (so "number of `RunStart`s" = "number of
@@ -209,7 +213,11 @@ impl RunCache {
     /// (shared) result, in input order.
     pub fn run_all_on(&self, pool: &Pool, batch: &[RunOptions]) -> Vec<Arc<RunResult>> {
         let keys: Vec<String> = batch.iter().map(canonical_key).collect();
-        let mut position: HashMap<&str, usize> = HashMap::new();
+        // Ordered map for the same reason as `inner`: the dedup *outcome*
+        // is order-independent (first occurrence wins either way), but
+        // nothing downstream should ever have to prove that against a
+        // hasher (determinism lint D001).
+        let mut position: BTreeMap<&str, usize> = BTreeMap::new();
         let mut unique: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             position.entry(key.as_str()).or_insert_with(|| {

@@ -32,7 +32,7 @@
 //! derivation contract.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 

@@ -1,0 +1,21 @@
+//! D001 bad fixture: HashMap iteration order reaches a rendered report.
+//! Linted as a result-bearing crate (`--crate respin-sim`).
+
+use std::collections::HashMap;
+
+pub struct EpochStats {
+    per_core: HashMap<u32, u64>,
+}
+
+impl EpochStats {
+    /// Iteration order is randomised per process: two runs of the same
+    /// simulation render these lines in different orders, breaking the
+    /// byte-identity contract the moment this string lands in a report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (core, hits) in &self.per_core {
+            out.push_str(&format!("core {core}: {hits}\n"));
+        }
+        out
+    }
+}

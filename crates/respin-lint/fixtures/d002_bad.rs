@@ -1,0 +1,20 @@
+//! D002 bad fixture: wall-clock read inside simulation state.
+
+use std::time::Instant;
+
+pub struct Epoch {
+    started: Instant,
+    pub ticks: u64,
+}
+
+impl Epoch {
+    /// A wall-clock read: this value depends on the host, the load, and
+    /// the scheduler — if it reaches any result or trace, byte-identity
+    /// across thread counts (or even two identical runs) is gone.
+    pub fn begin(ticks: u64) -> Self {
+        Self {
+            started: Instant::now(),
+            ticks,
+        }
+    }
+}

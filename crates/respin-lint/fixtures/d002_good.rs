@@ -1,0 +1,22 @@
+//! D002 good fixture: time is simulated ticks, never the wall clock.
+
+pub struct Epoch {
+    started_tick: u64,
+    pub ticks: u64,
+}
+
+impl Epoch {
+    /// Simulated time is part of the deterministic state: a pure
+    /// function of the run options, identical on every host.
+    pub fn begin(now_tick: u64, ticks: u64) -> Self {
+        Self {
+            started_tick: now_tick,
+            ticks,
+        }
+    }
+
+    /// Elapsed simulated ticks since the epoch began.
+    pub fn elapsed(&self, now_tick: u64) -> u64 {
+        now_tick.saturating_sub(self.started_tick)
+    }
+}

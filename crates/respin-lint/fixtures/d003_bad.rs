@@ -1,0 +1,17 @@
+//! D003 bad fixture: a relaxed atomic value flows into a result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    completed: AtomicU64,
+}
+
+impl Counter {
+    /// A Relaxed load may observe a stale count depending on scheduling;
+    /// stamping it into a report makes the artifact thread-count
+    /// dependent. Either strengthen the ordering at a synchronisation
+    /// point or keep the value out of results (and say why, in a waiver).
+    pub fn report_line(&self) -> String {
+        format!("completed={}", self.completed.load(Ordering::Relaxed))
+    }
+}

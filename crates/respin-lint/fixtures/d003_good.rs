@@ -1,0 +1,18 @@
+//! D003 good fixture: the documented-safe pattern — a relaxed atomic
+//! whose value provably never reaches results, with an explicit waiver
+//! carrying the safety argument (mirrors respin-pool's claim index).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Claims the next work item. The index only selects *which worker*
+/// computes an item; results are merged by item index afterwards, so the
+/// claim order is invisible in any output.
+pub fn claim(next: &AtomicUsize, len: usize) -> Option<usize> {
+    // respin-lint: allow(D003, reason="claim index selects a worker, never appears in results; merge is by item index")
+    let i = next.fetch_add(1, Ordering::Relaxed);
+    if i < len {
+        Some(i)
+    } else {
+        None
+    }
+}

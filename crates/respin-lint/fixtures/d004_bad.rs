@@ -1,0 +1,10 @@
+//! D004 bad fixture: thread identity influencing a result path.
+
+use std::thread;
+
+/// Thread ids are scheduler-assigned: two runs at the same thread count
+/// can stamp different ids, and any branch on identity makes control
+/// flow schedule-dependent.
+pub fn annotate(line: &str) -> String {
+    format!("{line} [worker {:?}]", thread::current().id())
+}

@@ -1,0 +1,7 @@
+//! D004 good fixture: identity, when needed, is a deterministic input.
+
+/// The caller passes a stable logical index (e.g. the item index from
+/// the ordered merge); the annotation is a pure function of it.
+pub fn annotate(line: &str, item_index: usize) -> String {
+    format!("{line} [item {item_index}]")
+}

@@ -1,0 +1,7 @@
+//! D005 bad fixture: a crate root (linted with `--lib`) that does not
+//! carry `#![deny(missing_docs)]` — undocumented public surface can ship.
+
+#![forbid(unsafe_code)]
+
+/// A documented item does not make up for the missing crate-level gate.
+pub fn documented() {}

@@ -1,0 +1,7 @@
+//! D005 good fixture: the crate root carries the missing-docs gate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Every public item must be documented, enforced at compile time.
+pub fn documented() {}

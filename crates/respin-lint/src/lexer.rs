@@ -1,0 +1,534 @@
+//! A small, total Rust lexer.
+//!
+//! The rule engine in [`crate::rules`] needs exactly one guarantee from
+//! this module: **token-level truth**. `HashMap` inside a doc comment, a
+//! string literal, or a raw string must never look like the identifier
+//! `HashMap`. A full parser is not required — every determinism rule is
+//! expressible over a flat token stream — but comment/string skipping
+//! must be exact, including nested block comments and raw strings with
+//! arbitrary `#` fences, or the linter would both miss real hazards and
+//! invent false ones.
+//!
+//! Totality contract (proptest-enforced): [`lex`] never panics on any
+//! input, always consumes the entire input (token texts concatenate back
+//! to the source), and always terminates. Unterminated literals and
+//! comments lex as a single token running to end of input — garbage in,
+//! classified garbage out, never a crash.
+
+/// What a lexeme is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#async`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String or byte-string literal with escapes (`"…"`, `b"…"`).
+    StrLit,
+    /// Raw (byte/C) string literal (`r"…"`, `br##"…"##`, `cr"…"`).
+    RawStrLit,
+    /// `// …` (including doc `///` and `//!`), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting respected.
+    BlockComment,
+    /// Numeric literal (coarse: digits plus trailing alphanumerics).
+    Number,
+    /// One punctuation character (`:`, `{`, `#`, …).
+    Punct,
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// Anything else (stray non-ASCII punctuation, control bytes).
+    Unknown,
+}
+
+/// One lexeme: classification, source text, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Classification of this lexeme.
+    pub kind: TokenKind,
+    /// The exact source slice (concatenating all tokens re-forms the input).
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// True for tokens the rule matcher should look at (not whitespace,
+    /// not comments — comments are handled separately as waiver carriers).
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Lexes `src` completely. Total: never panics, covers every byte.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let kind = self.next_kind();
+            // Totality backstop: every branch of next_kind advances, but
+            // if one ever regressed, skip one char rather than loop.
+            if self.pos <= start {
+                self.bump();
+            }
+            out.push(Token {
+                kind,
+                text: &self.src[start..self.pos],
+                line: start_line,
+            });
+        }
+        out
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.rest().chars().nth(1)
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let Some(c) = self.peek() else {
+            return TokenKind::Unknown;
+        };
+        if c.is_whitespace() {
+            self.eat_while(char::is_whitespace);
+            return TokenKind::Whitespace;
+        }
+        if c == '/' {
+            match self.peek2() {
+                Some('/') => return self.line_comment(),
+                Some('*') => return self.block_comment(),
+                _ => {
+                    self.bump();
+                    return TokenKind::Punct;
+                }
+            }
+        }
+        // Raw/byte string prefixes are identifier characters, so they must
+        // be recognised before the generic identifier path: r"", r#""#,
+        // br"", b"", c"", cr#""#, and the raw identifier r#ident.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return kind;
+            }
+        }
+        if c == '_' || c.is_alphabetic() {
+            self.eat_while(|c| c == '_' || c.is_alphanumeric());
+            return TokenKind::Ident;
+        }
+        if c.is_ascii_digit() {
+            // Coarse: swallows suffixes and hex/float bodies. Rules never
+            // inspect numbers; only the boundary matters.
+            self.eat_while(|c| c == '_' || c == '.' || c.is_alphanumeric());
+            return TokenKind::Number;
+        }
+        if c == '\'' {
+            return self.quote();
+        }
+        if c == '"' {
+            self.bump();
+            return self.cooked_string_tail();
+        }
+        self.bump();
+        if c.is_ascii() {
+            TokenKind::Punct
+        } else {
+            TokenKind::Unknown
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        self.eat_while(|c| c != '\n');
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                // Unterminated: the comment runs to end of input.
+                (None, _) => break,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `r` / `b` / `c` at `pos`: raw string, byte string/char, C string,
+    /// or raw identifier. Returns `None` when it is a plain identifier.
+    fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let rest = self.rest();
+        let bytes = rest.as_bytes();
+        // Longest prefix of [rbc] that a literal can start with is 2
+        // (br, cr, rb is not a thing but scanning is harmless: only the
+        // exact sets below are accepted).
+        let prefixes: [&str; 5] = ["br", "cr", "r", "b", "c"];
+        for p in prefixes {
+            if !rest.starts_with(p) {
+                continue;
+            }
+            // Raw-capable prefixes accept a `#` fence; `b`/`c` alone only
+            // open cooked literals.
+            let raw_capable = p != "b" && p != "c";
+            let i = p.len();
+            if raw_capable {
+                // Count the `#` fence.
+                let mut hashes = 0usize;
+                while bytes.get(i + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                if bytes.get(i + hashes) == Some(&b'"') {
+                    self.advance_n(i + hashes + 1);
+                    self.raw_string_tail(hashes);
+                    return Some(TokenKind::RawStrLit);
+                }
+                if p == "r" && hashes >= 1 && bytes.get(i + hashes).is_some_and(|b| *b != b'"') {
+                    // Raw identifier `r#async`: lex as one identifier.
+                    self.advance_n(i + hashes);
+                    self.eat_while(|c| c == '_' || c.is_alphanumeric());
+                    return Some(TokenKind::Ident);
+                }
+            }
+            if bytes.get(i) == Some(&b'"') {
+                self.advance_n(i + 1);
+                return Some(self.cooked_string_tail());
+            }
+            if p == "b" && bytes.get(i) == Some(&b'\'') {
+                self.advance_n(i + 1);
+                self.char_tail();
+                return Some(TokenKind::CharLit);
+            }
+            // `p` matched textually but no literal follows (e.g. the
+            // identifier `break` against prefix `br`): keep trying the
+            // shorter prefixes, then fall back to identifier lexing.
+        }
+        None
+    }
+
+    fn advance_n(&mut self, n: usize) {
+        let target = self.pos + n;
+        while self.pos < target && self.bump().is_some() {}
+    }
+
+    /// Body of a raw string after the opening quote: ends at `"` followed
+    /// by `hashes` `#`s. Unterminated: runs to end of input.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let rest = self.rest();
+                if rest.len() >= hashes && rest.as_bytes()[..hashes].iter().all(|b| *b == b'#') {
+                    self.advance_n(hashes);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Body of a cooked string after the opening quote, honouring `\"`.
+    fn cooked_string_tail(&mut self) -> TokenKind {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::StrLit
+    }
+
+    /// A bare `'`: lifetime, char literal, or stray quote.
+    fn quote(&mut self) -> TokenKind {
+        let bytes = self.rest().as_bytes();
+        // Lifetime: 'ident NOT followed by a closing quote ('a' is a char).
+        if let Some(c1) = self.rest().chars().nth(1) {
+            if c1 == '_' || c1.is_alphabetic() {
+                // Find where the identifier run ends.
+                let ident_len: usize = self
+                    .rest()
+                    .chars()
+                    .skip(1)
+                    .take_while(|c| *c == '_' || c.is_alphanumeric())
+                    .map(char::len_utf8)
+                    .sum();
+                let after = 1 + ident_len;
+                if bytes.get(after) != Some(&b'\'') {
+                    self.advance_n(after);
+                    return TokenKind::Lifetime;
+                }
+            }
+        }
+        self.bump(); // opening '
+        self.char_tail();
+        TokenKind::CharLit
+    }
+
+    /// Body of a char/byte literal after the opening quote. Bounded: a
+    /// char literal cannot span a newline, so an unclosed quote ends at
+    /// the line end instead of swallowing the rest of the file.
+    fn char_tail(&mut self) {
+        let mut first = true;
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    return;
+                }
+                '\n' => return,
+                _ => {
+                    // A char literal holds one scalar (plus escapes); if
+                    // more text follows before any quote this was a stray
+                    // apostrophe — stop after the first char so the rest
+                    // of the line still lexes normally.
+                    self.bump();
+                    if !first {
+                        return;
+                    }
+                    first = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("use std::collections::HashMap;"),
+            vec![
+                (TokenKind::Ident, "use"),
+                (TokenKind::Ident, "std"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Ident, "collections"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Ident, "HashMap"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let toks = kinds("// HashMap here\nlet x = 1; /* HashSet /* nested */ still */");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(*k == TokenKind::Ident && (*t == "HashMap" || *t == "HashSet"))));
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks.last().expect("tokens").0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        for src in [
+            r#"let s = "HashMap";"#,
+            r##"let s = r#"HashMap"#;"##,
+            r#"let s = r"HashMap";"#,
+            r#"let s = b"HashMap";"#,
+            r##"let s = br#"HashMap"#;"##,
+            r#"let s = "escaped \" HashMap";"#,
+        ] {
+            let toks = kinds(src);
+            assert!(
+                toks.iter()
+                    .all(|(k, t)| !(*k == TokenKind::Ident && *t == "HashMap")),
+                "{src}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_fences_must_match() {
+        // The inner "# does not close a ##-fenced raw string.
+        let src = r###"r##"contains "# inside"## after"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::RawStrLit);
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::CharLit, "'x'")));
+        assert!(toks.contains(&(TokenKind::CharLit, "'\\n'")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let toks = kinds("let b = b'\\n'; let c = b'x';");
+        assert!(toks.contains(&(TokenKind::CharLit, "b'\\n'")));
+        assert!(toks.contains(&(TokenKind::CharLit, "b'x'")));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nb\r\nc");
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated /* nested",
+            "'",
+            "b'",
+            "r#",
+            "let s = \"a\\",
+        ] {
+            let toks = lex(src);
+            let total: usize = toks.iter().map(|t| t.text.len()).sum();
+            assert_eq!(total, src.len(), "lost bytes on {src:?}");
+        }
+    }
+
+    #[test]
+    fn coverage_is_exact() {
+        let src = "fn main() { println!(\"hi {}\", 1_000.5e3); } // done";
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Fragments biased toward lexer edge cases: quotes, fences,
+    /// comment openers, prefixes, escapes.
+    const FRAGMENTS: &[&str] = &[
+        "r", "b", "c", "br", "cr", "#", "\"", "'", "\\", "//", "/*", "*/", "\n", " ", "ident",
+        "HashMap", "Ordering", "::", "r#\"", "\"#", "b'", "'a", "0x1f", "1.0e-3", "{", "}", "é",
+        "∀", "\t",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Total on arbitrary bytes (lossy-decoded): never panics, never
+        /// drops or duplicates a byte.
+        #[test]
+        fn lex_is_total_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(0u8..=255, 0..512),
+        ) {
+            let src = String::from_utf8_lossy(&bytes);
+            let toks = lex(&src);
+            let total: usize = toks.iter().map(|t| t.text.len()).sum();
+            prop_assert_eq!(total, src.len());
+            let rebuilt: String = toks.iter().map(|t| t.text).collect();
+            prop_assert_eq!(rebuilt, src);
+        }
+
+        /// Total on adversarial near-Rust soup assembled from the exact
+        /// fragments the lexer special-cases.
+        #[test]
+        fn lex_is_total_on_fragment_soup(
+            picks in proptest::collection::vec(0usize..29, 0..64),
+        ) {
+            let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+            let toks = lex(&src);
+            let total: usize = toks.iter().map(|t| t.text.len()).sum();
+            prop_assert_eq!(total, src.len());
+            // Every token must be classified (spot the enum is exhaustive
+            // in practice: no token text is empty).
+            prop_assert!(toks.iter().all(|t| !t.text.is_empty()));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! # respin-lint — workspace determinism linter
+//!
+//! The whole reproduction rests on one contract: **results, reports, and
+//! trace exports are byte-identical at every thread count** (DESIGN.md
+//! §13). CI enforces that contract *dynamically* by byte-diffing a
+//! 2-worker run against a 1-worker run — which only covers the paths the
+//! smoke experiments happen to exercise. This crate enforces it
+//! *statically*: a token-level scan over every workspace source file
+//! rejects the constructs that let nondeterminism leak into results
+//! (unordered map iteration, wall-clock reads, relaxed atomics, thread
+//! identity) before any scheduler gets the chance to exercise them.
+//!
+//! Three pieces:
+//!
+//! * [`lexer`] — a small, total Rust lexer (no `syn` is vendored). It
+//!   never panics on arbitrary input and exactly skips comments, strings,
+//!   and raw strings, so rules only ever see real code tokens.
+//! * [`rules`] — the D-rule engine and the explicit waiver grammar
+//!   (`// respin-lint: allow(D00x, reason="…")`). The catalogue lives in
+//!   the [`rules`] module docs and DESIGN.md §14.
+//! * [`lint_workspace`] / [`lint_file`] — the driver that walks
+//!   `crates/*/src/**/*.rs` and aggregates everything into the same
+//!   [`respin_power::diag::Report`] shape every other verification pass
+//!   uses (stable codes, `file:line` locations, `--json` output, exit
+//!   code 0 only when clean).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![warn(clippy::all)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{FileContext, RESULT_BEARING, RULE_IDS};
+
+use respin_power::diag::{Report, Violation};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lints one file on disk as belonging to `crate_name`. `is_lib_root`
+/// additionally enables the crate-root rule (D005).
+pub fn lint_file(path: &Path, crate_name: &str, is_lib_root: bool) -> Report {
+    let mut report = Report::new();
+    let cx = FileContext {
+        crate_name: crate_name.to_string(),
+        path: path.display().to_string(),
+        is_lib_root,
+    };
+    match fs::read_to_string(path) {
+        Ok(src) => {
+            for v in rules::lint_source(&src, &cx) {
+                report.push(v);
+            }
+        }
+        Err(e) => report.push(Violation::error(
+            "D000",
+            "every workspace source file is readable",
+            cx.path,
+            format!("cannot read source: {e}"),
+        )),
+    }
+    report
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `root`, in sorted order (the
+/// linter's own output must be deterministic). Returns the aggregate
+/// report and the number of files checked.
+pub fn lint_workspace(root: &Path) -> (Report, usize) {
+    let mut report = Report::new();
+    let mut files = 0usize;
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir, &mut report) {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let lib_root = src_dir.join("lib.rs");
+        for file in rust_files(&src_dir, &mut report) {
+            let is_lib_root = file == lib_root;
+            report.merge(lint_file(&file, &crate_name, is_lib_root));
+            files += 1;
+        }
+        if !lib_root.is_file() {
+            report.push(Violation::error(
+                "D005",
+                rules::rule_summary("D005"),
+                format!("{}", src_dir.display()),
+                format!("crate `{crate_name}` has no src/lib.rs to carry #![deny(missing_docs)]"),
+            ));
+        }
+    }
+    (report, files)
+}
+
+/// Immediate subdirectories of `dir`, sorted by name.
+fn sorted_dirs(dir: &Path, report: &mut Report) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    out.push(p);
+                }
+            }
+        }
+        Err(e) => report.push(Violation::error(
+            "D000",
+            "the workspace layout is walkable",
+            dir.display().to_string(),
+            format!("cannot list directory: {e}"),
+        )),
+    }
+    out.sort();
+    out
+}
+
+/// All `.rs` files under `dir`, recursively, sorted by path.
+fn rust_files(dir: &Path, report: &mut Report) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        match fs::read_dir(&d) {
+            Ok(entries) => {
+                for entry in entries.flatten() {
+                    let p = entry.path();
+                    if p.is_dir() {
+                        stack.push(p);
+                    } else if p.extension().is_some_and(|e| e == "rs") {
+                        out.push(p);
+                    }
+                }
+            }
+            Err(e) => report.push(Violation::error(
+                "D000",
+                "the workspace layout is walkable",
+                d.display().to_string(),
+                format!("cannot list directory: {e}"),
+            )),
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The workspace root this crate was built from (two levels above the
+/// crate manifest), for the self-test and the CLI default.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The load-bearing gate: the workspace itself must be lint-clean.
+    /// Every real finding this linter surfaced was either fixed (the
+    /// D001 BTreeMap conversions) or carries an inline justified waiver;
+    /// a regression on any path — including ones no smoke test runs —
+    /// fails this test.
+    #[test]
+    fn workspace_is_lint_clean() {
+        let root = default_root();
+        assert!(
+            root.join("Cargo.toml").is_file(),
+            "workspace root not found at {}",
+            root.display()
+        );
+        let (report, files) = lint_workspace(&root);
+        assert!(
+            files > 50,
+            "walked only {files} files — the walker is broken, not the workspace clean"
+        );
+        assert!(
+            report.is_clean(),
+            "workspace has determinism-lint violations:\n{report}"
+        );
+    }
+
+    /// Unused-waiver hygiene: the workspace must not accumulate stale
+    /// exceptions either (warnings, so checked separately from is_clean).
+    #[test]
+    fn workspace_has_no_stale_waivers() {
+        let (report, _) = lint_workspace(&default_root());
+        let stale: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.code == "D000")
+            .collect();
+        assert!(stale.is_empty(), "stale or malformed waivers: {stale:?}");
+    }
+
+    #[test]
+    fn lint_file_reports_unreadable_paths_instead_of_panicking() {
+        let report = lint_file(Path::new("/nonexistent/nope.rs"), "respin-sim", false);
+        assert!(!report.is_clean());
+        assert_eq!(report.violations[0].code, "D000");
+    }
+}

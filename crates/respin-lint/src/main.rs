@@ -1,0 +1,140 @@
+//! CLI front-end for the workspace determinism linter.
+//!
+//! ```text
+//! respin-lint [--json] [--root DIR]                 lint the workspace
+//! respin-lint --file PATH --crate NAME [--lib]      lint one file (fixtures)
+//! respin-lint --list                                print the rule catalogue
+//! ```
+//!
+//! Exit code 0 only when no error-severity violation was found, so the
+//! binary doubles as the CI gate (`scripts/verify.sh`,
+//! `.github/workflows/ci.yml`). `--json` emits the same
+//! `respin_power::diag::Report` JSON shape `respin-verify --json` uses,
+//! wrapped with a schema tag and summary counts for the CI artifact.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use respin_lint::{default_root, lint_file, lint_workspace, rules};
+use respin_power::diag::Report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    list: bool,
+    root: Option<PathBuf>,
+    file: Option<PathBuf>,
+    crate_name: Option<String>,
+    lib: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: respin-lint [--json] [--root DIR] \
+     [--file PATH --crate NAME [--lib]] [--list]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        list: false,
+        root: None,
+        file: None,
+        crate_name: None,
+        lib: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--lib" => args.lib = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--file" => {
+                let v = it.next().ok_or("--file needs a path")?;
+                args.file = Some(PathBuf::from(v));
+            }
+            "--crate" => {
+                let v = it.next().ok_or("--crate needs a crate name")?;
+                args.crate_name = Some(v);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Renders the report: human lines on stderr-free stdout, or the JSON
+/// artifact shape (`respin-lint-report/v1`).
+fn emit(report: &Report, files: usize, json: bool) {
+    if json {
+        let violations =
+            serde_json::to_string(report).unwrap_or_else(|_| "{\"violations\":[]}".to_string());
+        // Hand-assembled envelope: schema + counts around the serialised
+        // Report, so CI artifacts are self-describing.
+        println!(
+            "{{\n  \"schema\": \"respin-lint-report/v1\",\n  \"files_checked\": {files},\n  \
+             \"errors\": {},\n  \"warnings\": {},\n  \"report\": {violations}\n}}",
+            report.error_count(),
+            report.warning_count()
+        );
+    } else {
+        if !report.violations.is_empty() {
+            println!("{report}");
+        }
+        println!(
+            "respin-lint: {files} file(s) checked, {} error(s), {} warning(s)",
+            report.error_count(),
+            report.warning_count()
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        println!("respin-lint rule catalogue:");
+        for id in rules::RULE_IDS {
+            println!("  {id}  {}", rules::rule_summary(id));
+        }
+        println!(
+            "waiver grammar: // respin-lint: allow(D00x[, D00y], reason=\"…\") — \
+             same line, or alone on the line above"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (report, files) = match &args.file {
+        Some(path) => {
+            let Some(crate_name) = &args.crate_name else {
+                eprintln!("--file requires --crate NAME (rule applicability is per-crate)");
+                return ExitCode::from(2);
+            };
+            (lint_file(path, crate_name, args.lib), 1)
+        }
+        None => {
+            let root = args.root.clone().unwrap_or_else(default_root);
+            if !root.join("crates").is_dir() {
+                eprintln!(
+                    "no crates/ directory under {} — wrong --root?",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+            lint_workspace(&root)
+        }
+    };
+
+    emit(&report, files, args.json);
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}

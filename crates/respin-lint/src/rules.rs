@@ -1,0 +1,586 @@
+//! The determinism rule engine.
+//!
+//! Rules run over the token stream produced by [`crate::lexer`] — never
+//! over raw text — so occurrences inside comments, strings, and raw
+//! strings are invisible by construction. Code under `#[cfg(test)]` is
+//! excluded: tests do not produce shipped results, and their own
+//! determinism is enforced dynamically by the test suite itself.
+//!
+//! ## Rule catalogue
+//!
+//! | id | hazard | where it applies |
+//! |---|---|---|
+//! | D001 | `HashMap`/`HashSet`: iteration order is randomised per process, so any traversal that reaches results, reports, or traces breaks the byte-identity contract | result-bearing crates (`respin-sim`, `respin-core`, `respin-faults`, `respin-trace`) |
+//! | D002 | `Instant::now`/`SystemTime`: wall-clock reads leaking into simulation state make results machine- and load-dependent | everywhere except `respin-bench` (its whole purpose is timing) |
+//! | D003 | `Ordering::Relaxed`: a relaxed atomic load may observe stale values, so any such value flowing into results is schedule-dependent | everywhere (the `respin-pool` claim/abort atomics carry the canonical documented waivers) |
+//! | D004 | `thread::current`: thread identity is scheduler-assigned; branching on it (or logging it into artifacts) is nondeterministic | everywhere except `respin-pool` |
+//! | D005 | missing `#![deny(missing_docs)]`: undocumented public surface; every crate must carry the attribute in its `lib.rs` | each crate root |
+//!
+//! ## Waivers
+//!
+//! Every exception is explicit, greppable, and justified:
+//!
+//! ```text
+//! // respin-lint: allow(D003, reason="claim index never reaches results")
+//! ```
+//!
+//! A waiver comment suppresses the named rule(s) on its own line, or —
+//! when the comment stands alone on a line — on the next code line. A
+//! waiver without a non-empty reason, or naming an unknown rule, is
+//! itself a violation (D000); a waiver that suppresses nothing is
+//! reported as a warning so stale exceptions get cleaned up.
+
+use crate::lexer::{lex, Token, TokenKind};
+use respin_power::diag::Violation;
+
+/// Crates whose outputs are (or feed) shipped results, reports, or trace
+/// exports: the crates where unordered iteration is a contract hazard.
+pub const RESULT_BEARING: &[&str] = &["respin-sim", "respin-core", "respin-faults", "respin-trace"];
+
+/// The one crate whose job is wall-clock measurement.
+pub const TIMING_CRATE: &str = "respin-bench";
+
+/// The one crate allowed to look at thread identity (it schedules).
+pub const POOL_CRATE: &str = "respin-pool";
+
+/// All known rule ids, in catalogue order.
+pub const RULE_IDS: &[&str] = &["D001", "D002", "D003", "D004", "D005"];
+
+/// One-line description per rule, for `--list` and reports.
+pub fn rule_summary(id: &str) -> &'static str {
+    match id {
+        "D001" => "HashMap/HashSet in a result-bearing crate: iteration order is nondeterministic",
+        "D002" => "Instant::now/SystemTime outside respin-bench: wall clock leaking toward results",
+        "D003" => "Ordering::Relaxed load: value may be schedule-dependent if it reaches results",
+        "D004" => "thread::current outside respin-pool: thread identity is scheduler-assigned",
+        "D005" => "crate root missing #![deny(missing_docs)]",
+        _ => "unknown rule",
+    }
+}
+
+/// What the linter needs to know about the file being checked.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// The owning crate's package name (e.g. `respin-sim`).
+    pub crate_name: String,
+    /// Display path used in violation locations.
+    pub path: String,
+    /// True for the crate root (`src/lib.rs`): enables D005.
+    pub is_lib_root: bool,
+}
+
+/// A parsed `// respin-lint: allow(...)` comment.
+#[derive(Debug)]
+struct Waiver {
+    rules: Vec<String>,
+    /// Line the waiver suppresses findings on.
+    target_line: u32,
+    /// Line the waiver comment itself sits on (for diagnostics).
+    comment_line: u32,
+    used: bool,
+}
+
+/// Lints one source file. Pure: the only inputs are the source text and
+/// the file context, so results are reproducible by construction.
+pub fn lint_source(src: &str, cx: &FileContext) -> Vec<Violation> {
+    let tokens = lex(src);
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let in_test = test_code_mask(&sig);
+
+    let mut violations = Vec::new();
+    let mut waivers = collect_waivers(&tokens, cx, &mut violations);
+
+    let mut pending: Vec<(String, u32, String)> = Vec::new();
+    scan_sequences(&sig, &in_test, cx, &mut pending);
+    if cx.is_lib_root && !has_deny_missing_docs(&sig) {
+        pending.push((
+            "D005".to_string(),
+            1,
+            format!(
+                "crate `{}` root does not carry #![deny(missing_docs)]",
+                cx.crate_name
+            ),
+        ));
+    }
+
+    for (rule, line, message) in pending {
+        if let Some(w) = waivers
+            .iter_mut()
+            .find(|w| w.target_line == line && w.rules.iter().any(|r| r == &rule))
+        {
+            w.used = true;
+            continue;
+        }
+        violations.push(Violation::error(
+            rule.clone(),
+            rule_summary(&rule),
+            format!("{}:{line}", cx.path),
+            message,
+        ));
+    }
+
+    for w in &waivers {
+        if !w.used {
+            violations.push(Violation::warning(
+                "D000",
+                "waivers suppress a real finding",
+                format!("{}:{}", cx.path, w.comment_line),
+                format!(
+                    "waiver for {} suppresses nothing on line {} — remove it or move it \
+                     next to the finding",
+                    w.rules.join("/"),
+                    w.target_line
+                ),
+            ));
+        }
+    }
+
+    // Deterministic output order regardless of discovery order.
+    violations.sort_by(|a, b| (&a.location, &a.code).cmp(&(&b.location, &b.code)));
+    violations
+}
+
+/// Token-sequence patterns per rule. `::` is two `:` puncts at the token
+/// level, so `Instant::now` is four tokens.
+fn scan_sequences(
+    sig: &[&Token<'_>],
+    in_test: &[bool],
+    cx: &FileContext,
+    out: &mut Vec<(String, u32, String)>,
+) {
+    struct Pattern {
+        rule: &'static str,
+        seq: &'static [&'static str],
+        message: &'static str,
+    }
+    let result_bearing = RESULT_BEARING.contains(&cx.crate_name.as_str());
+    let patterns = [
+        Pattern {
+            rule: "D001",
+            seq: &["HashMap"],
+            message: "HashMap iteration order is nondeterministic; use BTreeMap (or sort \
+                      before any traversal that can reach results)",
+        },
+        Pattern {
+            rule: "D001",
+            seq: &["HashSet"],
+            message: "HashSet iteration order is nondeterministic; use BTreeSet (or sort \
+                      before any traversal that can reach results)",
+        },
+        Pattern {
+            rule: "D002",
+            seq: &["Instant", ":", ":", "now"],
+            message: "wall-clock read: simulation state and artifacts must be a pure \
+                      function of RunOptions, never of real time",
+        },
+        Pattern {
+            rule: "D002",
+            seq: &["SystemTime"],
+            message: "wall-clock type: simulation state and artifacts must be a pure \
+                      function of RunOptions, never of real time",
+        },
+        Pattern {
+            rule: "D003",
+            seq: &["Ordering", ":", ":", "Relaxed"],
+            message: "relaxed atomic access: document why the value can never reach \
+                      results (see respin-pool's claim/abort exemplars) or strengthen \
+                      the ordering",
+        },
+        Pattern {
+            rule: "D004",
+            seq: &["thread", ":", ":", "current"],
+            message: "thread identity is scheduler-assigned and must never influence \
+                      results or artifacts outside the pool itself",
+        },
+    ];
+
+    for p in &patterns {
+        let applies = match p.rule {
+            "D001" => result_bearing,
+            "D002" => cx.crate_name != TIMING_CRATE,
+            "D004" => cx.crate_name != POOL_CRATE,
+            _ => true,
+        };
+        if !applies {
+            continue;
+        }
+        let mut i = 0usize;
+        while i + p.seq.len() <= sig.len() {
+            if in_test[i] {
+                i += 1;
+                continue;
+            }
+            let matched = p
+                .seq
+                .iter()
+                .enumerate()
+                .all(|(j, want)| sig[i + j].text == *want);
+            if matched {
+                out.push((p.rule.to_string(), sig[i].line, p.message.to_string()));
+                i += p.seq.len();
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Marks significant-token indices inside `#[cfg(test)]` items. The item
+/// body is taken as the next balanced `{…}` block (covering `mod tests {}`
+/// and annotated functions); a `;` before any `{` ends the item instead.
+fn test_code_mask(sig: &[&Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let attr: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut i = 0usize;
+    while i + attr.len() <= sig.len() {
+        let hit = attr
+            .iter()
+            .enumerate()
+            .all(|(j, want)| sig[i + j].text == *want);
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let mut j = i + attr.len();
+        // Skip any further attributes between cfg(test) and the item.
+        while j < sig.len() && sig[j].text == "#" {
+            let mut k = j + 1;
+            if k < sig.len() && sig[k].text == "[" {
+                let mut depth = 1i64;
+                k += 1;
+                while k < sig.len() && depth > 0 {
+                    match sig[k].text {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k;
+            } else {
+                break;
+            }
+        }
+        // Find the item body: `{ … }` balanced, or a terminating `;`.
+        let mut depth = 0i64;
+        let mut entered = false;
+        let mut end = sig.len();
+        for (k, t) in sig.iter().enumerate().skip(j) {
+            match t.text {
+                "{" => {
+                    depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if entered && depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                ";" if !entered => {
+                    end = k + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        for m in mask.iter_mut().take(end).skip(i) {
+            *m = true;
+        }
+        i = end.max(i + 1);
+    }
+    mask
+}
+
+/// True when the stream carries the inner attribute
+/// `#![deny(missing_docs)]`.
+fn has_deny_missing_docs(sig: &[&Token<'_>]) -> bool {
+    let seq: [&str; 8] = ["#", "!", "[", "deny", "(", "missing_docs", ")", "]"];
+    sig.windows(seq.len())
+        .any(|w| w.iter().zip(seq).all(|(t, want)| t.text == want))
+}
+
+/// Extracts waivers from line comments; malformed ones become D000
+/// violations immediately.
+fn collect_waivers(
+    tokens: &[Token<'_>],
+    cx: &FileContext,
+    violations: &mut Vec<Violation>,
+) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment || !t.text.contains("respin-lint:") {
+            continue;
+        }
+        // Doc comments (`///`, `//!`) are documentation *about* waivers,
+        // not directives — this very grammar is quoted in rustdoc.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        match parse_waiver(t.text) {
+            Ok(rules) => {
+                // A comment that shares its line with code waives that
+                // line; a standalone comment waives the next code line.
+                let alone = !tokens[..idx]
+                    .iter()
+                    .rev()
+                    .take_while(|p| p.line == t.line)
+                    .any(|p| p.is_significant());
+                let target_line = if alone {
+                    tokens[idx + 1..]
+                        .iter()
+                        .find(|n| n.is_significant())
+                        .map_or(t.line, |n| n.line)
+                } else {
+                    t.line
+                };
+                out.push(Waiver {
+                    rules,
+                    target_line,
+                    comment_line: t.line,
+                    used: false,
+                });
+            }
+            Err(why) => violations.push(Violation::error(
+                "D000",
+                "waivers are well-formed and justified",
+                format!("{}:{}", cx.path, t.line),
+                why,
+            )),
+        }
+    }
+    out
+}
+
+/// Parses `respin-lint: allow(D001[, D002…], reason="…")` out of a line
+/// comment. The reason is mandatory and must be non-empty: an exception
+/// without a recorded justification is exactly the silent hazard this
+/// linter exists to prevent.
+fn parse_waiver(comment: &str) -> Result<Vec<String>, String> {
+    let after = comment
+        .split_once("respin-lint:")
+        .map(|(_, a)| a.trim())
+        .unwrap_or("");
+    let Some(body) = after
+        .strip_prefix("allow(")
+        .and_then(|s| s.rfind(')').map(|i| &s[..i]))
+    else {
+        return Err(format!(
+            "malformed waiver `{}`: expected `respin-lint: allow(D00x, reason=\"…\")`",
+            comment.trim()
+        ));
+    };
+    let mut rules = Vec::new();
+    let mut reason: Option<&str> = None;
+    // `reason="…"` may itself contain commas; split it off first.
+    let (ids_part, reason_part) = match body.split_once("reason=") {
+        Some((ids, r)) => (ids, Some(r.trim())),
+        None => (body, None),
+    };
+    for piece in ids_part.split(',') {
+        let id = piece.trim();
+        if id.is_empty() {
+            continue;
+        }
+        if !RULE_IDS.contains(&id) {
+            return Err(format!(
+                "waiver names unknown rule `{id}` (known: {})",
+                RULE_IDS.join(", ")
+            ));
+        }
+        rules.push(id.to_string());
+    }
+    if let Some(r) = reason_part {
+        let r = r.trim().trim_matches('"').trim();
+        if !r.is_empty() {
+            reason = Some(r);
+        }
+    }
+    if rules.is_empty() {
+        return Err("waiver names no rule id".to_string());
+    }
+    if reason.is_none() {
+        return Err(format!(
+            "waiver for {} has no reason — every exception must be justified \
+             (reason=\"…\")",
+            rules.join("/")
+        ));
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx(crate_name: &str) -> FileContext {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            path: format!("crates/{crate_name}/src/test_input.rs"),
+            is_lib_root: false,
+        }
+    }
+
+    fn codes(src: &str, crate_name: &str) -> Vec<String> {
+        lint_source(src, &cx(crate_name))
+            .into_iter()
+            .map(|v| v.code)
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_only_in_result_bearing_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(codes(src, "respin-sim"), vec!["D001"]);
+        assert_eq!(codes(src, "respin-core"), vec!["D001"]);
+        assert!(codes(src, "respin-verify").is_empty());
+        assert!(codes(src, "respin-pool").is_empty());
+    }
+
+    #[test]
+    fn d001_ignores_comments_and_strings() {
+        let src = r##"
+// HashMap in a comment is fine
+let s = "HashMap in a string is fine";
+let r = r#"HashMap in a raw string is fine"#;
+"##;
+        assert!(codes(src, "respin-sim").is_empty());
+    }
+
+    #[test]
+    fn d002_exempts_the_bench_crate() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(codes(src, "respin-sim"), vec!["D002"]);
+        assert!(codes(src, "respin-bench").is_empty());
+        assert_eq!(
+            codes("let t = SystemTime::now();", "respin-core"),
+            vec!["D002"]
+        );
+    }
+
+    #[test]
+    fn d003_fires_everywhere_without_a_waiver() {
+        let src = "let v = x.load(Ordering::Relaxed);\n";
+        assert_eq!(codes(src, "respin-pool"), vec!["D003"]);
+        assert_eq!(codes(src, "respin-sim"), vec!["D003"]);
+    }
+
+    #[test]
+    fn d004_exempts_the_pool() {
+        let src = "let id = thread::current().id();\n";
+        assert_eq!(codes(src, "respin-core"), vec!["D004"]);
+        assert!(codes(src, "respin-pool").is_empty());
+    }
+
+    #[test]
+    fn d005_requires_deny_missing_docs_on_lib_roots() {
+        let mut c = cx("respin-sim");
+        c.is_lib_root = true;
+        let bad = lint_source("//! docs\npub fn f() {}\n", &c);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].code, "D005");
+        let good = lint_source("//! docs\n#![deny(missing_docs)]\npub fn f() {}\n", &c);
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = r#"
+pub fn result_path() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn helper() { let t = Instant::now(); }
+}
+"#;
+        assert!(codes(src, "respin-sim").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_exemption_does_not_leak_past_the_module() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+use std::collections::HashMap;
+"#;
+        assert_eq!(codes(src, "respin-sim"), vec!["D001"]);
+    }
+
+    #[test]
+    fn same_line_waiver_suppresses() {
+        let src = "use std::collections::HashMap; // respin-lint: allow(D001, reason=\"keyed access only, never iterated\")\n";
+        assert!(codes(src, "respin-sim").is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let src = "// respin-lint: allow(D003, reason=\"claim index, never in results\")\nlet i = next.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(codes(src, "respin-pool").is_empty());
+    }
+
+    #[test]
+    fn waiver_for_the_wrong_rule_does_not_suppress() {
+        let src =
+            "use std::collections::HashMap; // respin-lint: allow(D002, reason=\"wrong rule\")\n";
+        let got = codes(src, "respin-sim");
+        // The D001 still fires, and the D002 waiver is reported unused.
+        assert!(got.contains(&"D001".to_string()), "{got:?}");
+        assert!(got.contains(&"D000".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_violation() {
+        let src = "use std::collections::HashMap; // respin-lint: allow(D001)\n";
+        let got = lint_source(src, &cx("respin-sim"));
+        assert!(got.iter().any(|v| v.code == "D000"), "{got:?}");
+        assert!(
+            got.iter().any(|v| v.code == "D001"),
+            "waiver must not apply: {got:?}"
+        );
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_a_violation() {
+        let src = "// respin-lint: allow(D942, reason=\"no such rule\")\nlet x = 1;\n";
+        let got = lint_source(src, &cx("respin-sim"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].code, "D000");
+    }
+
+    #[test]
+    fn unused_waiver_warns_but_does_not_fail() {
+        use respin_power::diag::Severity;
+        let src = "// respin-lint: allow(D001, reason=\"stale\")\nlet x = 1;\n";
+        let got = lint_source(src, &cx("respin-sim"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].code, "D000");
+        assert_eq!(got[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_grammar_are_not_waivers() {
+        // Rustdoc that quotes the waiver grammar must neither waive
+        // anything nor count as malformed.
+        let src = "/// Use `// respin-lint: allow(D00x, reason=\"…\")` to waive.\n//! respin-lint: allow(broken grammar here)\nuse std::collections::HashMap;\n";
+        assert_eq!(codes(src, "respin-sim"), vec!["D001"]);
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let src = "// respin-lint: allow(D001, D002, reason=\"both justified here\")\nlet m: HashMap<u32, Instant> = make(Instant::now());\n";
+        // HashMap and Instant::now on the same line, both waived.
+        assert!(codes(src, "respin-sim").is_empty());
+    }
+
+    #[test]
+    fn violations_carry_file_line_locations() {
+        let src = "\n\nuse std::collections::HashMap;\n";
+        let got = lint_source(src, &cx("respin-sim"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].location, "crates/respin-sim/src/test_input.rs:3");
+    }
+}

@@ -1,0 +1,76 @@
+//! Fixture-based lint tests: one bad + one good fixture per rule.
+//!
+//! Every bad fixture must produce exactly its rule's finding (and
+//! nothing else), and every good fixture must be completely clean —
+//! including no unused-waiver warnings — so the fixtures double as
+//! documentation of the blessed patterns.
+
+use respin_lint::lint_file;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Fixtures are linted as a result-bearing crate so every rule applies;
+/// only the D005 pair is linted as a crate root.
+fn lint(name: &str, as_lib: bool) -> respin_power::diag::Report {
+    let path = fixture(name);
+    assert!(path.is_file(), "missing fixture {}", path.display());
+    lint_file(&path, "respin-sim", as_lib)
+}
+
+#[test]
+fn bad_fixtures_fail_with_their_rule_id() {
+    for (name, as_lib, rule) in [
+        ("d001_bad.rs", false, "D001"),
+        ("d002_bad.rs", false, "D002"),
+        ("d003_bad.rs", false, "D003"),
+        ("d004_bad.rs", false, "D004"),
+        ("d005_bad.rs", true, "D005"),
+    ] {
+        let report = lint(name, as_lib);
+        assert!(!report.is_clean(), "{name} must fail");
+        assert!(
+            report.violations.iter().any(|v| v.code == rule),
+            "{name} must report {rule}, got: {report}"
+        );
+        assert!(
+            report.violations.iter().all(|v| v.code == rule),
+            "{name} must report only {rule}, got: {report}"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_are_completely_clean() {
+    for (name, as_lib) in [
+        ("d001_good.rs", false),
+        ("d002_good.rs", false),
+        ("d003_good.rs", false),
+        ("d004_good.rs", false),
+        ("d005_good.rs", true),
+    ] {
+        let report = lint(name, as_lib);
+        assert!(
+            report.violations.is_empty(),
+            "{name} must be clean (no errors, no warnings), got: {report}"
+        );
+    }
+}
+
+#[test]
+fn violations_point_into_the_fixture_with_line_numbers() {
+    let report = lint("d001_bad.rs", false);
+    let v = &report.violations[0];
+    assert!(v.location.contains("d001_bad.rs:"), "{}", v.location);
+    let line: u32 = v
+        .location
+        .rsplit(':')
+        .next()
+        .and_then(|l| l.parse().ok())
+        .expect("location ends with a line number");
+    assert!(line > 1, "finding should not sit on line 1: {}", v.location);
+}

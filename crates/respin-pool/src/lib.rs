@@ -203,6 +203,14 @@ struct AbortOnPanic<'a>(&'a AtomicBool);
 impl Drop for AbortOnPanic<'_> {
     fn drop(&mut self) {
         if thread::panicking() {
+            // Safety argument (canonical D003 waiver exemplar): the abort
+            // flag only makes workers stop claiming *sooner*. Whether a
+            // racing worker observes it one iteration late changes which
+            // items execute before the panic unwinds — never any result:
+            // the batch is already doomed, its outputs are discarded, and
+            // the panic payload re-raised to the caller is the one the
+            // panicking task produced regardless of this store's timing.
+            // respin-lint: allow(D003, reason="abort flag is a shutdown hint; batch results are discarded on panic")
             self.0.store(true, Ordering::Relaxed);
         }
     }
@@ -222,7 +230,24 @@ where
 {
     let _guard = AbortOnPanic(abort);
     let mut out = Vec::new();
+    // Safety argument (canonical D003 waiver exemplars, see DESIGN.md
+    // §14): neither relaxed value can reach results.
+    //
+    // * The abort load only decides whether to *stop early* on a batch
+    //   whose results are about to be thrown away by `resume_unwind`; a
+    //   stale `false` claims at most a few extra items, it never alters
+    //   any item's output.
+    // * The claim index is made race-free by `fetch_add`'s atomicity
+    //   itself (each index is handed out exactly once — that is a
+    //   property of read-modify-write atomicity, not of ordering), and
+    //   the value only selects *which worker* computes item `i`. Results
+    //   are merged by item index after the join (a synchronising
+    //   operation), so claim order is invisible in `par_map`'s output:
+    //   `out[i] == f(&items[i])` at every thread count.
+    //
+    // respin-lint: allow(D003, reason="abort is a stop-early hint on a discarded batch")
     while !abort.load(Ordering::Relaxed) {
+        // respin-lint: allow(D003, reason="claim index picks a worker, never a value; merge is by item index after join")
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= items.len() {
             break;

@@ -37,7 +37,7 @@
 //! * [`table3`] — regenerates the paper's Table III from these models.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Tests may unwrap: a panic IS the failure report there.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]

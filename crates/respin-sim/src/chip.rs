@@ -36,7 +36,7 @@ use respin_variation::{VariationConfig, VariationMap};
 use respin_workloads::{Op, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Safety valve: a single epoch may not run longer than this many ticks
 /// (a stuck epoch means a simulator bug; fail loudly instead of hanging).
@@ -155,8 +155,12 @@ pub struct Chip {
     pub tick: u64,
     /// Tick measurement started at (0, or the end of the warm-up).
     measure_start_tick: u64,
-    barriers: HashMap<u32, u32>,
-    locks: HashMap<u32, LockEntry>,
+    // BTreeMap, not HashMap: sync state is cloned into oracle replays and
+    // walked by diagnostics/tests, and id order keeps every traversal
+    // deterministic (determinism lint D001). The maps hold at most a few
+    // dozen live ids, so tree lookups cost nothing measurable here.
+    barriers: BTreeMap<u32, u32>,
+    locks: BTreeMap<u32, LockEntry>,
     deferred: BinaryHeap<Reverse<(u64, Deferred)>>,
     pending_remote: Vec<RemoteOp>,
     ev_scratch: Vec<L1Event>,
@@ -283,8 +287,8 @@ impl Chip {
             mem: MainMemory::default(),
             tick: 0,
             measure_start_tick: 0,
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
+            barriers: BTreeMap::new(),
+            locks: BTreeMap::new(),
             deferred: BinaryHeap::new(),
             pending_remote: Vec::new(),
             ev_scratch: Vec::new(),

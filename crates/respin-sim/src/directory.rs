@@ -12,7 +12,7 @@
 
 use crate::cache::LineState;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of a read request at the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,9 +43,15 @@ struct DirEntry {
 }
 
 /// Directory over up to 64 children.
+///
+/// Entries live in a `BTreeMap` (not `HashMap`): `check_invariants` and
+/// the serialised form traverse the entries, and address order keeps both
+/// deterministic — the first invariant witness reported and the JSON key
+/// order are functions of the state alone, never of hasher seeding
+/// (determinism lint D001).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    entries: BTreeMap<u64, DirEntry>,
 }
 
 impl Directory {
@@ -205,6 +211,42 @@ mod tests {
         let o = d.write(0x100, 2);
         assert_eq!(o.invalidate_mask, 0);
         assert_eq!(o.remote_fetch_from, None);
+    }
+
+    #[test]
+    fn serialised_form_is_independent_of_construction_order() {
+        // The D001 regression this module was converted for: with a
+        // HashMap, two directories holding the *same* entries serialise
+        // (and report invariant witnesses) in hasher order, which varies
+        // per process. The BTreeMap form must be byte-identical however
+        // the state was reached.
+        let build = |lines: &[u64]| {
+            let mut d = Directory::new();
+            for &line in lines {
+                d.read(line, 1);
+                d.read(line, 2);
+            }
+            d
+        };
+        let a = build(&[0x100, 0x240, 0x080, 0x5c0]);
+        let b = build(&[0x5c0, 0x080, 0x100, 0x240]);
+        assert_eq!(a, b);
+        let ja = serde_json::to_string(&a).expect("serialise");
+        let jb = serde_json::to_string(&b).expect("serialise");
+        assert_eq!(ja, jb, "serialised directory must not depend on op order");
+    }
+
+    #[test]
+    fn entries_iterate_in_address_order() {
+        // check_invariants walks the entries, so its first witness (and
+        // any future diagnostic traversal) must be a pure function of the
+        // state: ascending line address, never hasher order.
+        let mut d = Directory::new();
+        for line in [0x400u64, 0x100, 0x7c0, 0x240] {
+            d.read(line, 0);
+        }
+        let walked: Vec<u64> = d.entries.keys().copied().collect();
+        assert_eq!(walked, vec![0x100, 0x240, 0x400, 0x7c0]);
     }
 
     #[test]

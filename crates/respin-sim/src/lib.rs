@@ -32,7 +32,7 @@
 //! Everything is deterministic in the construction seed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Tests may unwrap: a panic IS the failure report there.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]

@@ -17,7 +17,7 @@
 //! seed)` pair always produces the same [`VariationMap`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Tests may unwrap: a panic IS the failure report there.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
@@ -159,7 +159,9 @@ mod tests {
         // (1.6/2.0/2.4 ns at the 0.4 ns cache clock) and the population
         // should use more than one bin.
         let cfg = VariationConfig::default();
-        let mut seen = std::collections::HashSet::new();
+        // BTreeSet so the failure message renders the bins in order
+        // (and the D001 audit finds no unordered collections at all).
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..8 {
             let m = VariationMap::generate(&cfg, 0.4, FrequencyBand::NT, seed);
             for &p in &m.period_mult {

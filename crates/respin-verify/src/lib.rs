@@ -17,6 +17,7 @@
 //!   machine (no virtual core left on a decommissioned core).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 // Tests may unwrap: a panic IS the failure report there.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 

@@ -26,6 +26,40 @@ cargo build --release
 echo '== cargo test -q'
 cargo test -q
 
+echo '== respin-lint: workspace must be determinism-lint clean (--json artifact)'
+lint_dir=$(mktemp -d)
+cargo run --release -q -p respin-lint -- --json >"$lint_dir/lint.json"
+if ! grep -q '"schema": "respin-lint-report/v1"' "$lint_dir/lint.json"; then
+    echo "respin-lint: JSON report schema is not respin-lint-report/v1" >&2
+    exit 1
+fi
+
+echo '== respin-lint: bad fixtures must fail with their rule id, good ones must pass'
+for rule in D001 D002 D003 D004 D005; do
+    low=$(echo "$rule" | tr 'A-Z' 'a-z')
+    libflag=''
+    if [ "$rule" = D005 ]; then
+        libflag='--lib'
+    fi
+    if out=$(cargo run --release -q -p respin-lint -- \
+        --file "crates/respin-lint/fixtures/${low}_bad.rs" --crate respin-sim $libflag); then
+        echo "respin-lint: bad fixture ${low}_bad.rs was not rejected" >&2
+        exit 1
+    fi
+    case "$out" in
+        *"$rule"*) ;;
+        *)
+            echo "respin-lint: ${low}_bad.rs rejected without citing $rule" >&2
+            exit 1 ;;
+    esac
+    if ! cargo run --release -q -p respin-lint -- \
+        --file "crates/respin-lint/fixtures/${low}_good.rs" --crate respin-sim $libflag >/dev/null; then
+        echo "respin-lint: good fixture ${low}_good.rs did not pass" >&2
+        exit 1
+    fi
+done
+rm -rf "$lint_dir"
+
 echo '== respin-verify: shipped configurations and FSM proofs'
 cargo run --release -p respin-verify
 

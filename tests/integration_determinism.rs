@@ -62,6 +62,45 @@ fn results_are_serialisable_and_roundtrip() {
     assert_eq!(res.stats, back.stats);
 }
 
+#[test]
+fn serialised_results_are_byte_identical_across_thread_counts() {
+    // Regression gate for the determinism-lint D001 conversions (the
+    // directory/sync-state/run-cache maps moving to BTreeMap): not just
+    // field-equal but **byte-equal** on the full serialised RunResult, at
+    // 1 worker vs 4 workers with independent caches. Any map whose
+    // iteration order reached the serialised form — or any reintroduced
+    // hash-ordered traversal upstream of it — shows up here as a byte
+    // diff even when every scalar field still matches.
+    use respin_core::experiments::RunCache;
+    use respin_pool::Pool;
+
+    let batch: Vec<RunOptions> = [
+        (ArchConfig::ShStt, Benchmark::Fft),
+        (ArchConfig::ShSttCc, Benchmark::Lu),
+        (ArchConfig::PrSramNt, Benchmark::Radix),
+    ]
+    .iter()
+    .map(|&(a, b)| {
+        let mut o = RunOptions::new(a, b);
+        o.clusters = 2;
+        o.cores_per_cluster = 4;
+        o.instructions_per_thread = Some(8_000);
+        o.warmup_per_thread = 2_000;
+        o.epoch_instructions = Some(2_000);
+        o.seed = 9;
+        o
+    })
+    .collect();
+
+    let seq = RunCache::new().run_all_on(&Pool::with_threads(1), &batch);
+    let par = RunCache::new().run_all_on(&Pool::with_threads(4), &batch);
+    for (s, p) in seq.iter().zip(&par) {
+        let js = serde_json::to_string(&**s).expect("serialise");
+        let jp = serde_json::to_string(&**p).expect("serialise");
+        assert_eq!(js, jp, "serialised results must be byte-identical");
+    }
+}
+
 // ---- Fault injection ------------------------------------------------------
 
 /// Run options with the STT-RAM fault models and recovery enabled.
