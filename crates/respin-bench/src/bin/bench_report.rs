@@ -67,7 +67,9 @@ fn main() -> ExitCode {
     };
 
     let report = trajectory::render_json(mode, &suites, &parallel);
-    if let Err(e) = std::fs::write(&out_path, &report) {
+    if let Err(e) =
+        respin_core::persist::atomic_write(std::path::Path::new(&out_path), report.as_bytes())
+    {
         eprintln!("bench_report: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }

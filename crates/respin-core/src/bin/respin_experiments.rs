@@ -3,6 +3,7 @@
 //! ```text
 //! respin-experiments <experiment|all> [--quick] [--out DIR] [--threads N]
 //!                    [--trace-out PATH] [--trace-epochs N]
+//!                    [--checkpoint-dir DIR] [--resume]
 //!
 //! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
 //!              fig10 fig11 fig12 fig13 fig14 cluster ablation voltage
@@ -27,15 +28,28 @@
 //! first `N` epochs; discrete events (consolidations, migrations,
 //! decommissions) are always kept. Tracing is observation-only: results
 //! are bit-identical with and without it.
+//!
+//! `--checkpoint-dir DIR` makes the campaign crash-safe: every completed
+//! run is appended to `DIR/journal.jsonl` (durable, checksummed, one
+//! record per line). `--resume` replays that journal first — torn or
+//! corrupt tails are reported and truncated, `ok` records warm the run
+//! cache so only missing runs execute — and the final report is
+//! byte-identical to a never-interrupted campaign. A panicking
+//! experiment no longer aborts the campaign when a checkpoint dir is
+//! set: its keys are journaled as failed-retryable, the remaining
+//! experiments run, and the process exits non-zero with a structured
+//! partial-failure report.
 
 use respin_core::experiments::{
     ablation, cluster_sweep, fig1, fig10, fig11, fig12_13, fig14, fig6, fig7, fig8, fig9,
     resilience, tables, voltage, ExpParams, RunCache,
 };
+use respin_core::persist::{self, atomic_write, ResultJournal};
 use respin_core::report::to_json;
 use respin_trace::{canonical_order, to_chrome_trace, to_jsonl, RingSink};
 use respin_workloads::Benchmark;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,12 +82,14 @@ struct Args {
     threads: Option<usize>,
     trace_out: Option<PathBuf>,
     trace_epochs: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: respin-experiments <{}|all> [--quick] [--out DIR] [--threads N] \
-         [--trace-out PATH] [--trace-epochs N]",
+         [--trace-out PATH] [--trace-epochs N] [--checkpoint-dir DIR] [--resume]",
         EXPERIMENTS.join("|")
     )
 }
@@ -85,6 +101,8 @@ fn parse_args() -> Args {
     let mut threads = None;
     let mut trace_out = None;
     let mut trace_epochs = None;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -109,6 +127,12 @@ fn parse_args() -> Args {
                 let n = args.next().expect("--trace-epochs requires a count");
                 trace_epochs = Some(n.parse().expect("--trace-epochs takes an integer"));
             }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(
+                    args.next().expect("--checkpoint-dir requires a directory"),
+                ));
+            }
+            "--resume" => resume = true,
             "all" => names = EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
             name if EXPERIMENTS.contains(&name) => names.push(name.to_string()),
             other => {
@@ -122,6 +146,11 @@ fn parse_args() -> Args {
         eprintln!("{}", usage());
         std::process::exit(2);
     }
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
     Args {
         names,
         quick,
@@ -129,6 +158,8 @@ fn parse_args() -> Args {
         threads,
         trace_out,
         trace_epochs,
+        checkpoint_dir,
+        resume,
     }
 }
 
@@ -184,26 +215,50 @@ fn main() {
         .trace_out
         .as_ref()
         .map(|_| Arc::new(RingSink::unbounded()));
-    let cache = match &ring {
+    let mut cache = match &ring {
         Some(ring) => RunCache::with_tracer(ring.clone(), args.trace_epochs),
         None => RunCache::new(),
     };
+    if let Some(dir) = &args.checkpoint_dir {
+        if args.resume {
+            // Replay BEFORE opening the append handle: a torn tail is
+            // truncated away first, so new appends extend a clean prefix.
+            let replay = persist::replay(dir).expect("replay result journal");
+            // `JRN-TORN` is warning-severity (the campaign recovers), so
+            // gate on any violation at all, not on `is_clean()`.
+            if !replay.report.violations.is_empty() {
+                eprintln!("{}", replay.report);
+            }
+            let warmed = cache.warm(&replay.records);
+            println!(
+                "resume: replayed={} warmed={} failed_retryable={} truncated={}",
+                replay.records.len(),
+                warmed,
+                replay.failed(),
+                replay.truncated
+            );
+        }
+        let journal = ResultJournal::open(dir).expect("open result journal");
+        cache = cache.with_journal(Arc::new(journal));
+    }
+    let cache = cache;
 
     let emit = |name: &str, text: String, json: String| {
         println!("{}", annotate_status_lines(&text, threads));
         if let Some(dir) = &out_dir {
-            fs::write(dir.join(format!("{name}.txt")), &text).expect("write text");
-            fs::write(dir.join(format!("{name}.json")), &json).expect("write json");
+            atomic_write(&dir.join(format!("{name}.txt")), text.as_bytes()).expect("write text");
+            atomic_write(&dir.join(format!("{name}.json")), json.as_bytes()).expect("write json");
         }
     };
 
+    let mut failed_experiments: Vec<(String, String)> = Vec::new();
     for name in &args.names {
         // CLI progress timing: the elapsed value is printed to *stderr*
         // only ("[… done in …]" below) and never reaches stdout tables or
         // --out artifacts, so the byte-diff gate still holds.
         // respin-lint: allow(D002, reason="stderr progress timing only; never written to results or artifacts")
         let t = Instant::now();
-        match name.as_str() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match name.as_str() {
             "table1" => emit("table1", tables::table1_text(), "{}".into()),
             "table2" => emit("table2", tables::table2_text(), "{}".into()),
             "table3" => emit(
@@ -270,12 +325,26 @@ fn main() {
                 emit("resilience", d.render_text(), to_json(&d));
             }
             _ => unreachable!("validated in parse_args"),
+        }));
+        match outcome {
+            Ok(()) => eprintln!(
+                "[{name} done in {:.1?}; {} cached runs]",
+                t.elapsed(),
+                cache.len()
+            ),
+            Err(payload) => {
+                // Fault isolation: completed sibling runs are already in
+                // cache and journal; record the failure and keep going so
+                // one bad experiment cannot take down the campaign.
+                let why = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "panicked (non-string payload)".to_string());
+                eprintln!("[{name} FAILED in {:.1?}: {why}]", t.elapsed());
+                failed_experiments.push((name.clone(), why));
+            }
         }
-        eprintln!(
-            "[{name} done in {:.1?}; {} cached runs]",
-            t.elapsed(),
-            cache.len()
-        );
     }
 
     if let (Some(path), Some(ring)) = (&args.trace_out, &ring) {
@@ -290,8 +359,9 @@ fn main() {
         if let Some(dir) = jsonl_path.parent().filter(|d| !d.as_os_str().is_empty()) {
             fs::create_dir_all(dir).expect("create trace directory");
         }
-        fs::write(&jsonl_path, to_jsonl(&events)).expect("write jsonl trace");
-        fs::write(&chrome_path, to_chrome_trace(&events)).expect("write chrome trace");
+        atomic_write(&jsonl_path, to_jsonl(&events).as_bytes()).expect("write jsonl trace");
+        atomic_write(&chrome_path, to_chrome_trace(&events).as_bytes())
+            .expect("write chrome trace");
         println!(
             "trace: {} events ({} dropped) threads={} -> {} + {}",
             events.len(),
@@ -300,5 +370,20 @@ fn main() {
             jsonl_path.display(),
             chrome_path.display()
         );
+    }
+
+    if !failed_experiments.is_empty() {
+        // Structured partial-failure report: everything that did complete
+        // is journaled/written above; the exit code tells automation the
+        // campaign needs a --resume retry.
+        eprintln!(
+            "campaign: partial failure — {}/{} experiments failed",
+            failed_experiments.len(),
+            args.names.len()
+        );
+        for (name, why) in &failed_experiments {
+            eprintln!("campaign:   {name}: {why}");
+        }
+        std::process::exit(1);
     }
 }

@@ -10,15 +10,28 @@
 //! thread count. See DESIGN.md §13.
 
 use crate::arch::ArchConfig;
+use crate::persist::{JournalRecord, ResultJournal, RunOutcome};
 use crate::runner::{run, RunOptions};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use respin_pool::Pool;
+use respin_power::diag::{Report, Violation};
 use respin_sim::{CacheSizeClass, RunResult};
 use respin_trace::{ScopedSink, TraceEvent, TraceKind, TraceSink, Tracer};
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Best-effort human-readable text from a panic payload (the common
+/// `String`/`&str` payloads; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "run panicked (non-string payload)".to_string())
+}
 
 /// Scale of an experiment campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,9 +80,51 @@ impl ExpParams {
     }
 }
 
-/// One per-key in-flight/completed cell: empty while the winning caller
-/// simulates, filled exactly once with the shared result.
-type RunCell = Arc<OnceLock<Arc<RunResult>>>;
+/// Lifecycle of one cache key.
+#[derive(Debug, Default)]
+enum CellState {
+    /// Nobody is simulating this key.
+    #[default]
+    Empty,
+    /// One caller (the winner) is simulating; everyone else waits on the
+    /// cell's condvar.
+    InFlight,
+    /// The result landed; shared by every caller forever after.
+    Done(Arc<RunResult>),
+}
+
+/// One per-key in-flight/completed cell.
+///
+/// This replaces the earlier `OnceLock`-based cell, whose one-shot
+/// initialisation had a fatal recovery property: a task that panicked
+/// inside `get_or_init` left the cell empty but its waiters blocked (and
+/// any later caller re-racing an aborted slot). Here the state machine
+/// is explicit — `Empty → InFlight → Done` on success, `InFlight →
+/// Empty` (with a wake-up) when the winner unwinds — so a panicked run
+/// never poisons the key: the next caller simply becomes the new winner
+/// and retries.
+#[derive(Debug, Default)]
+struct RunCell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+}
+
+/// Resets an `InFlight` cell back to `Empty` (waking all waiters) when
+/// the winning caller unwinds instead of completing. Disarmed on the
+/// success path after `Done` is stored.
+struct ResetOnUnwind<'a> {
+    cell: &'a RunCell,
+    armed: bool,
+}
+
+impl Drop for ResetOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.cell.state.lock() = CellState::Empty;
+            self.cell.ready.notify_all();
+        }
+    }
+}
 
 /// The canonical cache key: the serialised [`RunOptions`]. One
 /// serialisation point so the key, the memoisation map, and the trace
@@ -127,7 +182,7 @@ pub struct RunCache {
     // cells and future iteration (eviction, the roadmap's on-disk store)
     // must see key order, not hasher order. Lookups are once per
     // multi-second simulation — map flavour is free here.
-    inner: Arc<Mutex<BTreeMap<String, RunCell>>>,
+    inner: Arc<Mutex<BTreeMap<String, Arc<RunCell>>>>,
     /// Optional trace sink: each de-duplicated simulation gets a
     /// [`ScopedSink`] stamping a fresh run id, and announces itself with
     /// a `RunStart` event (so "number of `RunStart`s" = "number of
@@ -135,6 +190,10 @@ pub struct RunCache {
     sink: Option<Arc<dyn TraceSink>>,
     /// Epoch cap forwarded to every scoped sink (`--trace-epochs`).
     trace_epochs: Option<u64>,
+    /// Optional result journal: every completed simulation is appended
+    /// as an `Ok` record the moment it finishes (see
+    /// [`crate::persist`]). Cache *hits* are not re-journaled.
+    journal: Option<Arc<ResultJournal>>,
 }
 
 impl RunCache {
@@ -161,6 +220,35 @@ impl RunCache {
         self.run_keyed(&canonical_key(opts), opts)
     }
 
+    /// Installs `journal` so every subsequent completed simulation is
+    /// appended as a durable `Ok` record (chained builder form).
+    pub fn with_journal(mut self, journal: Arc<ResultJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Warms the cache from replayed journal records: every `Ok` record
+    /// becomes a completed cell, so those keys never re-simulate.
+    /// `Failed` records are retryable and deliberately skipped. Returns
+    /// the number of results inserted (already-warm keys are not
+    /// overwritten — the first landing wins, as in live execution).
+    pub fn warm(&self, records: &[JournalRecord]) -> usize {
+        let mut inserted = 0;
+        let mut inner = self.inner.lock();
+        for record in records {
+            let RunOutcome::Ok(result) = &record.outcome else {
+                continue;
+            };
+            let cell = inner.entry(record.key.clone()).or_default().clone();
+            let mut state = cell.state.lock();
+            if matches!(*state, CellState::Empty) {
+                *state = CellState::Done(Arc::new(result.as_ref().clone()));
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
     /// [`RunCache::run`] with the key already serialised (the batch path
     /// computes keys up front for pre-deduplication; don't pay twice).
     fn run_keyed(&self, key: &str, opts: &RunOptions) -> Arc<RunResult> {
@@ -170,8 +258,61 @@ impl RunCache {
             .entry(key.to_string())
             .or_default()
             .clone();
-        cell.get_or_init(|| Arc::new(self.execute(key, opts)))
-            .clone()
+        // Claim loop: return a Done result, wait out another caller's
+        // InFlight claim (re-checking after every wake — a panicked
+        // winner resets to Empty, which we then claim), or claim Empty
+        // and become the winner.
+        loop {
+            let mut state = cell.state.lock();
+            match &*state {
+                CellState::Done(result) => return result.clone(),
+                CellState::InFlight => {
+                    state = cell.ready.wait(state);
+                    // Spurious wakes and reset-to-Empty both land back at
+                    // the match; drop the guard by looping.
+                    drop(state);
+                }
+                CellState::Empty => {
+                    *state = CellState::InFlight;
+                    break;
+                }
+            }
+        }
+        // Winner path. The simulation runs outside the cell lock; the
+        // guard guarantees that if it unwinds, the cell returns to
+        // `Empty` and waiters wake to retry — a panic never wedges the
+        // key (see the in-flight dedup regression test).
+        let mut guard = ResetOnUnwind {
+            cell: &cell,
+            armed: true,
+        };
+        let result = match catch_unwind(AssertUnwindSafe(|| self.execute(key, opts))) {
+            Ok(result) => Arc::new(result),
+            Err(payload) => {
+                // Journal the panic as a failed-retryable record before
+                // re-raising: the crash report survives the process, and
+                // a resume re-executes exactly this key.
+                if let Some(journal) = &self.journal {
+                    let _ = journal.append(&JournalRecord::failed(key, panic_message(&payload)));
+                }
+                std::panic::resume_unwind(payload);
+            }
+        };
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(&JournalRecord::ok(key, &result)) {
+                // Journaling is durability, not correctness: an append
+                // failure (disk full, dir removed) degrades resumability
+                // but must not fail the run that just completed.
+                eprintln!(
+                    "warning: failed to journal run to {}: {e}",
+                    journal.path().display()
+                );
+            }
+        }
+        *cell.state.lock() = CellState::Done(result.clone());
+        guard.armed = false;
+        cell.ready.notify_all();
+        result
     }
 
     /// Actually simulates (cache miss path), installing a scoped tracer
@@ -232,12 +373,56 @@ impl RunCache {
             .collect()
     }
 
+    /// Fault-isolating [`RunCache::run_all_on`]: one panicking run does
+    /// not lose the batch. Every position gets `Some(result)` on
+    /// success; a panicked key yields `None` at each of its positions,
+    /// is appended to the journal as a failed-retryable record, and
+    /// contributes one `RUN-PANIC` violation to the returned [`Report`]
+    /// — the campaign's structured partial-failure report. Successful
+    /// results land in cache and journal exactly as in `run_all_on`, so
+    /// a later resume retries only the failed keys.
+    pub fn run_all_recovering(
+        &self,
+        pool: &Pool,
+        batch: &[RunOptions],
+    ) -> (Vec<Option<Arc<RunResult>>>, Report) {
+        let keys: Vec<String> = batch.iter().map(canonical_key).collect();
+        let mut position: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            position.entry(key.as_str()).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+        }
+        let outcomes = pool.try_par_map(&unique, |&i| self.run_keyed(&keys[i], &batch[i]));
+        let mut report = Report::new();
+        for (&i, outcome) in unique.iter().zip(&outcomes) {
+            if let Err(message) = outcome {
+                // The failed-retryable journal record was already written
+                // by `run_keyed` at the moment of the panic; here we only
+                // fold the failure into the campaign report.
+                report.push(Violation::error(
+                    "RUN-PANIC",
+                    "campaign partial failure",
+                    &keys[i],
+                    format!("run panicked ({message}); key recorded as failed-retryable"),
+                ));
+            }
+        }
+        let results = keys
+            .iter()
+            .map(|key| outcomes[position[key.as_str()]].as_ref().ok().cloned())
+            .collect();
+        (results, report)
+    }
+
     /// Number of memoised (completed) runs.
     pub fn len(&self) -> usize {
         self.inner
             .lock()
             .values()
-            .filter(|cell| cell.get().is_some())
+            .filter(|cell| matches!(*cell.state.lock(), CellState::Done(_)))
             .count()
     }
 
@@ -441,6 +626,122 @@ mod tests {
         for (s, p) in seq.iter().zip(&par) {
             assert_eq!(**s, **p, "thread count must not change any result");
         }
+    }
+
+    /// Options whose chip construction panics deterministically
+    /// (`epoch_instructions = 0` fails validation with `CFG-EPOCH`) —
+    /// the workspace's standard hook for exercising panic paths.
+    fn poisoned_options() -> RunOptions {
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+        o.epoch_instructions = Some(0);
+        o
+    }
+
+    #[test]
+    fn panicked_run_leaves_key_retryable() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let cache = RunCache::new();
+        let mut o = poisoned_options();
+        // First attempt panics (invalid options)...
+        let err = catch_unwind(AssertUnwindSafe(|| cache.run(&o)));
+        assert!(err.is_err(), "zero epoch must panic in build_chip");
+        assert_eq!(cache.len(), 0, "a panicked run must not count as done");
+        // ...the same key panics again, not wedge (the old OnceLock cell
+        // would have aborted the second get_or_init or blocked forever)...
+        let err = catch_unwind(AssertUnwindSafe(|| cache.run(&o)));
+        assert!(err.is_err(), "retry of a poisoned key must re-execute");
+        // ...and once the options are repaired, the SAME cache key space
+        // works: the fixed options (a different key) simulate fine.
+        o.epoch_instructions = Some(10_000);
+        let result = cache.run(&o);
+        assert!(result.instructions > 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicked_run_wakes_concurrent_waiters_to_retry() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        // Several threads race one poisoned key: every one of them must
+        // observe the panic (either as winner or woken retrier) instead
+        // of blocking forever on an in-flight cell that will never fill.
+        let cache = RunCache::new();
+        let o = poisoned_options();
+        let outcomes: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let o = o.clone();
+                    s.spawn(move || catch_unwind(AssertUnwindSafe(|| cache.run(&o))).is_err())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("racer thread must terminate"))
+                .collect()
+        });
+        assert!(
+            outcomes.iter().all(|&panicked| panicked),
+            "every racer must see the panic, none may hang or get a result"
+        );
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn run_all_recovering_isolates_the_failed_key() {
+        let dir = std::env::temp_dir().join("respin-recovering-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Arc::new(crate::persist::ResultJournal::open(&dir).expect("journal opens"));
+        let cache = RunCache::new().with_journal(journal);
+
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let good = |b: Benchmark| {
+            let mut o = params.options(ArchConfig::ShStt, b);
+            o.clusters = 1;
+            o.cores_per_cluster = 4;
+            o
+        };
+        let batch = vec![
+            good(Benchmark::Fft),
+            poisoned_options(),
+            good(Benchmark::Lu),
+        ];
+
+        let (results, report) = cache.run_all_recovering(&Pool::with_threads(2), &batch);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_some(), "healthy run 0 must land");
+        assert!(
+            results[1].is_none(),
+            "poisoned run yields None, not a panic"
+        );
+        assert!(results[2].is_some(), "healthy run 2 must land");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].code, "RUN-PANIC");
+
+        // The journal holds the two completed results plus the
+        // failed-retryable record; a fresh cache warmed from it skips
+        // the good keys and retries (only) the failed one.
+        let replay = crate::persist::replay(&dir).expect("replay");
+        assert_eq!(replay.completed(), 2);
+        assert_eq!(replay.failed(), 1);
+        let warmed = RunCache::new();
+        assert_eq!(warmed.warm(&replay.records), 2);
+        assert_eq!(warmed.len(), 2);
+        let again = warmed.run(&batch[0]);
+        assert_eq!(
+            *again,
+            **results[0].as_ref().unwrap(),
+            "warmed result must be byte-exact vs the live one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

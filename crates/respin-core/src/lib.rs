@@ -17,6 +17,9 @@
 //! * [`experiments`] — one module per table/figure of §V, regenerating the
 //!   paper's rows; the `respin-experiments` binary is their CLI.
 //! * [`report`] — text-table and JSON rendering.
+//! * [`persist`] — crash-safe campaign persistence: atomic artifact
+//!   writes and the append-only result journal behind the experiment
+//!   CLI's `--checkpoint-dir` / `--resume` flags.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 pub mod arch;
 pub mod consolidation;
 pub mod experiments;
+pub mod persist;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,392 @@
+//! Crash-safe campaign persistence: atomic whole-file writes and the
+//! append-only result journal.
+//!
+//! ## Atomic writes
+//!
+//! Every result-bearing artifact in the workspace (report tables, JSON
+//! exports, trace files) goes through [`atomic_write`]: write to a
+//! sibling `*.tmp`, `fsync`, `rename` over the destination, then `fsync`
+//! the directory. A reader therefore sees either the old file or the new
+//! one — never a torn half-write — and a `SIGKILL` mid-campaign cannot
+//! leave a plausible-looking but truncated report behind. Lint rule D006
+//! flags bare `fs::write`/`File::create` in result-bearing crates to
+//! keep new call sites on this path.
+//!
+//! ## The result journal
+//!
+//! A campaign started with `--checkpoint-dir DIR` appends one JSONL
+//! record to `DIR/journal.jsonl` per *completed* run (and one `failed`
+//! record per panicked run). Each line is self-validating:
+//!
+//! ```json
+//! {"v":1,"crc":1234567890,"record":{"key":"{...options...}","outcome":{...}}}
+//! ```
+//!
+//! `crc` is FNV-1a 64 over the serialised `record` text (the same hash
+//! the chip snapshots use — see [`fnv1a64`]). Appends are flushed with
+//! `fdatasync` per record, so at most the final record can be torn by a
+//! crash. On `--resume`, [`replay`] validates every line, stops at the
+//! first invalid one, reports it as a structured diagnostic
+//! (`JRN-TORN`), and truncates the file back to the valid prefix via
+//! [`atomic_write`]; the surviving `ok` records warm the [`RunCache`]
+//! so only the remaining runs execute. Since the journal stores exact
+//! [`RunResult`]s (the vendored JSON round-trips every finite `f64`
+//! bit-exactly), a resumed campaign's final report is byte-identical to
+//! a never-interrupted one.
+//!
+//! `failed` records are **retryable**: they document the panic for the
+//! partial-failure report but do not warm the cache, so a resume retries
+//! those keys.
+//!
+//! [`RunCache`]: crate::experiments::common::RunCache
+
+use parking_lot::Mutex;
+use respin_power::diag::{Report, Violation};
+pub use respin_sim::snapshot::fnv1a64;
+use respin_sim::RunResult;
+use serde::{de_field, Deserialize, Serialize, Value};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal line-format version; bump on any layout change.
+pub const JOURNAL_FORMAT_VERSION: u64 = 1;
+
+/// File name of the result journal inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Writes `bytes` to `path` atomically: tmp file + `fsync` + `rename`,
+/// then a best-effort `fsync` of the parent directory so the rename
+/// itself is durable. Readers observe the old contents or the new,
+/// never a prefix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("{} has no file name", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        // The one sanctioned direct creation: this helper IS the atomic
+        // discipline every other call site is routed through.
+        // respin-lint: allow(D006, reason="atomic_write implementation itself; tmp+fsync+rename happens right here")
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            // Directory fsync is advisory on some filesystems; failure to
+            // sync the rename record is not failure to write the data.
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of one journaled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The run completed; the exact result is stored (boxed: a full
+    /// `RunResult` dwarfs the `Failed` message, and records are heap
+    /// round-trips anyway).
+    Ok(Box<RunResult>),
+    /// The run panicked with this message. Failed records are retryable:
+    /// they never warm the cache, so a resume re-executes the key.
+    Failed(String),
+}
+
+/// One journal record: a run identity (the canonical serialised
+/// `RunOptions` key) and its outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Canonical cache key (serialised `RunOptions`).
+    pub key: String,
+    /// What happened to the run.
+    pub outcome: RunOutcome,
+}
+
+impl JournalRecord {
+    /// A completed-run record.
+    pub fn ok(key: impl Into<String>, result: &RunResult) -> Self {
+        Self {
+            key: key.into(),
+            outcome: RunOutcome::Ok(Box::new(result.clone())),
+        }
+    }
+
+    /// A failed-retryable record.
+    pub fn failed(key: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            key: key.into(),
+            outcome: RunOutcome::Failed(message.into()),
+        }
+    }
+}
+
+/// Serialises one journal line (without the trailing newline).
+pub fn encode_record(record: &JournalRecord) -> String {
+    let body = serde_json::to_string(record).expect("journal record serialises");
+    let crc = fnv1a64(body.as_bytes());
+    format!("{{\"v\":{JOURNAL_FORMAT_VERSION},\"crc\":{crc},\"record\":{body}}}")
+}
+
+/// Parses and validates one journal line. The error string names what
+/// failed (for the `JRN-TORN` diagnostic); callers treat any error as
+/// "this line and everything after it is unusable".
+pub fn decode_record(line: &str) -> Result<JournalRecord, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version: u64 = de_field(&value, "v").map_err(|e| e.to_string())?;
+    if version != JOURNAL_FORMAT_VERSION {
+        return Err(format!(
+            "record format v{version}, this reader is v{JOURNAL_FORMAT_VERSION}"
+        ));
+    }
+    let crc: u64 = de_field(&value, "crc").map_err(|e| e.to_string())?;
+    let record = value.get("record").ok_or("missing record field")?;
+    // Re-serialising the parsed record reproduces the writer's exact
+    // bytes (field order preserved, floats shortest-exact), so the CRC
+    // check covers the full record content.
+    let body = serde_json::to_string(record).map_err(|e| e.to_string())?;
+    let actual = fnv1a64(body.as_bytes());
+    if actual != crc {
+        return Err(format!(
+            "checksum mismatch: stored {crc}, computed {actual}"
+        ));
+    }
+    JournalRecord::from_value(record).map_err(|e| e.to_string())
+}
+
+/// Append handle to a campaign's result journal. Cheap to clone behind
+/// an `Arc`; appends are serialised by an internal lock and flushed with
+/// `fdatasync` per record so a crash can tear at most the final line.
+#[derive(Debug)]
+pub struct ResultJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl ResultJournal {
+    /// Opens (creating if needed) the journal under `dir` for appending.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        // Append-only by construction (`OpenOptions`, not `File::create`,
+        // so D006 does not fire): existing records are never rewritten
+        // through this handle — repair happens in `replay`, before the
+        // handle is opened.
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record durably (line + newline + `fdatasync`).
+    pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
+        let mut line = encode_record(record);
+        line.push('\n');
+        let mut f = self.file.lock();
+        f.write_all(line.as_bytes())?;
+        f.sync_data()
+    }
+}
+
+/// Outcome of replaying a journal.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Every valid record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Diagnostics: one `JRN-TORN` warning when a torn/corrupt suffix
+    /// was found (and truncated away).
+    pub report: Report,
+    /// True when the file had to be truncated back to its valid prefix.
+    pub truncated: bool,
+}
+
+impl JournalReplay {
+    /// The number of `Ok` records (cache-warming entries).
+    pub fn completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, RunOutcome::Ok(_)))
+            .count()
+    }
+
+    /// The number of `Failed` (retryable) records.
+    pub fn failed(&self) -> usize {
+        self.records.len() - self.completed()
+    }
+}
+
+/// Replays the journal under `dir`, validating every record. The first
+/// invalid line — a torn tail from a mid-append crash, or any corrupted
+/// record — ends the valid prefix: it is reported as a structured
+/// `JRN-TORN` warning, everything from it onward is dropped, and the
+/// file is truncated back to the valid prefix via [`atomic_write`] so
+/// subsequent appends extend a clean journal. A missing journal is an
+/// empty (clean) replay, not an error.
+pub fn replay(dir: &Path) -> io::Result<JournalReplay> {
+    let path = dir.join(JOURNAL_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut out = JournalReplay::default();
+    let mut valid_bytes = 0usize;
+    let mut offset = 0usize;
+    for (idx, line) in text.split_inclusive('\n').enumerate() {
+        let line_start = offset;
+        offset += line.len();
+        let body = line.strip_suffix('\n');
+        let complete = body.is_some();
+        let body = body.unwrap_or(line);
+        if body.is_empty() {
+            // A bare newline is tolerated (not produced by the writer,
+            // but harmless); it stays part of the valid prefix.
+            valid_bytes = offset;
+            continue;
+        }
+        // A line without a trailing newline is by definition the torn
+        // tail of an interrupted append, even if it happens to parse.
+        let verdict = if complete {
+            decode_record(body)
+        } else {
+            Err("no trailing newline (append interrupted)".to_string())
+        };
+        match verdict {
+            Ok(record) => {
+                out.records.push(record);
+                valid_bytes = offset;
+            }
+            Err(why) => {
+                out.report.push(Violation::warning(
+                    "JRN-TORN",
+                    "result journal integrity",
+                    format!("{}:{}", path.display(), idx + 1),
+                    format!(
+                        "record at byte {line_start} is invalid ({why}); truncating journal to \
+                         its {valid_bytes}-byte valid prefix and re-running the affected keys"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    if valid_bytes < text.len() {
+        out.truncated = true;
+        atomic_write(&path, &text.as_bytes()[..valid_bytes])?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_result(ticks: u64) -> RunResult {
+        RunResult {
+            ticks,
+            time_ps: ticks as f64 * 0.4 + 0.1, // non-trivial float
+            instructions: ticks / 2,
+            energy: Default::default(),
+            stats: respin_sim::ChipStats::new(1),
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = std::env::temp_dir().join("respin-persist-aw-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No tmp residue.
+        assert!(!dir.join("out.txt.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_roundtrip_is_exact() {
+        let rec = JournalRecord::ok("{\"arch\":\"ShStt\"}", &tiny_result(12345));
+        let line = encode_record(&rec);
+        let back = decode_record(&line).unwrap();
+        assert_eq!(rec, back);
+        // Failed records too.
+        let rec = JournalRecord::failed("k", "boom: index 3");
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn corrupted_record_is_rejected() {
+        let line = encode_record(&JournalRecord::ok("key", &tiny_result(7)));
+        // Flip a digit inside the record body.
+        let pos = line.rfind("\"ticks\":7").expect("ticks field");
+        let mut bad = line.clone().into_bytes();
+        bad[pos + "\"ticks\":".len()] = b'8';
+        let bad = String::from_utf8(bad).unwrap();
+        let err = decode_record(&bad).expect_err("corruption must fail the CRC");
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn replay_truncates_torn_tail_and_keeps_prefix() {
+        let dir = std::env::temp_dir().join("respin-persist-replay-test");
+        let _ = fs::remove_dir_all(&dir);
+        let journal = ResultJournal::open(&dir).unwrap();
+        let r1 = JournalRecord::ok("k1", &tiny_result(10));
+        let r2 = JournalRecord::ok("k2", &tiny_result(20));
+        journal.append(&r1).unwrap();
+        journal.append(&r2).unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: half a third record, no newline.
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        let torn = encode_record(&JournalRecord::ok("k3", &tiny_result(30)));
+        text.push_str(&torn[..torn.len() / 2]);
+        fs::write(&path, &text).unwrap();
+
+        let replay1 = replay(&dir).unwrap();
+        assert_eq!(replay1.records, vec![r1.clone(), r2.clone()]);
+        assert!(replay1.truncated);
+        assert!(replay1
+            .report
+            .violations
+            .iter()
+            .any(|v| v.code == "JRN-TORN"));
+
+        // The file was repaired: replaying again is clean, and appending
+        // extends the valid prefix.
+        let replay2 = replay(&dir).unwrap();
+        assert!(!replay2.truncated);
+        assert_eq!(replay2.records.len(), 2);
+        let journal = ResultJournal::open(&dir).unwrap();
+        let r3 = JournalRecord::failed("k3", "panicked");
+        journal.append(&r3).unwrap();
+        let replay3 = replay(&dir).unwrap();
+        assert_eq!(replay3.records, vec![r1, r2, r3]);
+        assert_eq!(replay3.completed(), 2);
+        assert_eq!(replay3.failed(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_of_missing_journal_is_empty_and_clean() {
+        let dir = std::env::temp_dir().join("respin-persist-missing-test");
+        let _ = fs::remove_dir_all(&dir);
+        let r = replay(&dir).unwrap();
+        assert!(r.records.is_empty());
+        assert!(!r.truncated);
+        assert!(r.report.is_clean());
+    }
+}

@@ -195,16 +195,62 @@ pub fn run(opts: &RunOptions) -> RunResult {
 /// simulation output, which is why it rides alongside [`RunResult`]
 /// instead of inside it.
 pub fn run_instrumented(opts: &RunOptions) -> (RunResult, u64) {
-    let mut chip = opts.build_chip();
-    chip.run_warmup(opts.warmup_per_thread * chip.config.total_cores() as u64);
-    let result = match opts.arch.policy() {
-        PolicyKind::None => chip.run_to_completion(),
-        PolicyKind::Greedy => run_greedy(&mut chip),
-        PolicyKind::OsGreedy => run_os_greedy(&mut chip),
-        PolicyKind::Oracle => run_oracle(&mut chip, opts.oracle_radius),
-    };
+    let mut chip = prepare_chip(opts);
+    let result = drive_policy(opts, &mut chip);
     let skipped = chip.ticks_skipped();
     (result, skipped)
+}
+
+/// Builds the chip and runs the warm-up (statistics zeroed at the end).
+///
+/// The warm boundary is the canonical snapshot point: the consolidation
+/// policies are constructed *after* warm-up by [`drive_policy`], so a
+/// warm chip is the complete resumable state of a run — no policy
+/// internals exist yet to capture.
+pub fn prepare_chip(opts: &RunOptions) -> Chip {
+    let mut chip = opts.build_chip();
+    chip.run_warmup(opts.warmup_per_thread * chip.config.total_cores() as u64);
+    chip
+}
+
+/// Drives a (warm) chip to completion under the options' policy.
+pub fn drive_policy(opts: &RunOptions, chip: &mut Chip) -> RunResult {
+    match opts.arch.policy() {
+        PolicyKind::None => chip.run_to_completion(),
+        PolicyKind::Greedy => run_greedy(chip),
+        PolicyKind::OsGreedy => run_os_greedy(chip),
+        PolicyKind::Oracle => run_oracle(chip, opts.oracle_radius),
+    }
+}
+
+/// FNV-1a 64 hash of the canonical serialised options — the run
+/// identity a chip snapshot is bound to (`options_key_hash` in the
+/// snapshot header). Uses the same serialisation as the experiment
+/// cache key, so snapshot identity and cache identity can never
+/// disagree.
+pub fn options_key_hash(opts: &RunOptions) -> u64 {
+    let key = serde_json::to_string(opts).expect("options serialise");
+    respin_sim::snapshot::fnv1a64(key.as_bytes())
+}
+
+/// Builds, warms, and serialises the chip for `opts` into a versioned
+/// snapshot (epoch 0 of the measured window).
+pub fn warm_snapshot(opts: &RunOptions) -> String {
+    let chip = prepare_chip(opts);
+    respin_sim::snapshot::encode(&chip, options_key_hash(opts), 0)
+}
+
+/// Restores a snapshot taken for `opts` and drives it to completion
+/// under the configured policy. The snapshot must have been written
+/// with the same options (enforced through the header's key hash);
+/// any mismatch, version skew, or corruption comes back as a
+/// structured [`Report`] — never a panic — so callers can log it and
+/// fall back to a cold [`run`].
+pub fn run_from_snapshot(text: &str, opts: &RunOptions) -> Result<RunResult, Report> {
+    let (mut chip, _header) = respin_sim::snapshot::decode(text, options_key_hash(opts))?;
+    // The tracer is deliberately not serialised; reinstall the caller's.
+    chip.set_tracer(opts.trace.clone());
+    Ok(drive_policy(opts, &mut chip))
 }
 
 /// Chip-wide EPI of one epoch. Clusters are coupled by global barriers:
@@ -432,6 +478,40 @@ mod tests {
             serde_json::to_string(&fast).unwrap(),
             serde_json::to_string(&reference).unwrap(),
             "cache keys must distinguish the two execution strategies"
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run_under_every_policy() {
+        for arch in [
+            ArchConfig::ShStt,     // PolicyKind::None
+            ArchConfig::ShSttCc,   // Greedy
+            ArchConfig::ShSttCcOs, // OsGreedy
+        ] {
+            let o = quick(arch);
+            let snap = warm_snapshot(&o);
+            let resumed = run_from_snapshot(&snap, &o).expect("own snapshot restores");
+            let uninterrupted = run(&o);
+            assert_eq!(
+                resumed,
+                uninterrupted,
+                "{}: snapshot→restore→drive must be bit-identical",
+                arch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_for_different_options_is_rejected_structurally() {
+        let o = quick(ArchConfig::ShStt);
+        let snap = warm_snapshot(&o);
+        let mut other = o.clone();
+        other.seed = 43;
+        let report = run_from_snapshot(&snap, &other)
+            .expect_err("restoring under different options must be refused");
+        assert!(
+            report.violations.iter().any(|v| v.code == "SNAP-KEY"),
+            "{report}"
         );
     }
 

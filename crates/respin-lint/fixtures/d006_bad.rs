@@ -1,0 +1,24 @@
+//! D006 bad fixture: non-atomic artifact writes in a result-bearing
+//! crate.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// A bare `fs::write`: the kernel may flush any prefix of the bytes
+/// before a crash, so a reader can observe a torn, plausible-looking
+/// report with no way to tell it apart from a complete one.
+pub fn save_report(path: &Path, report: &str) -> std::io::Result<()> {
+    fs::write(path, report)
+}
+
+/// `File::create` + incremental writes is worse still: the destination
+/// is truncated first, so even the *old* artifact is gone the moment a
+/// crash lands between create and the final flush.
+pub fn save_trace(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    Ok(())
+}

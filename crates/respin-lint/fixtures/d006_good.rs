@@ -1,0 +1,23 @@
+//! D006 good fixture: artifact writes go through the one atomic path.
+
+use respin_core::persist::atomic_write;
+use std::path::Path;
+
+/// `atomic_write` stages the bytes in a sibling tmp file, fsyncs, and
+/// renames over the destination: a reader sees the old artifact or the
+/// new one, never a torn prefix — a crash mid-campaign cannot corrupt
+/// results on disk.
+pub fn save_report(path: &Path, report: &str) -> std::io::Result<()> {
+    atomic_write(path, report.as_bytes())
+}
+
+/// Batched lines are assembled in memory and land in one atomic rename,
+/// so the trace file is all-or-nothing too.
+pub fn save_trace(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let mut text = String::new();
+    for line in lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    atomic_write(path, text.as_bytes())
+}

@@ -15,6 +15,7 @@
 //! | D003 | `Ordering::Relaxed`: a relaxed atomic load may observe stale values, so any such value flowing into results is schedule-dependent | everywhere (the `respin-pool` claim/abort atomics carry the canonical documented waivers) |
 //! | D004 | `thread::current`: thread identity is scheduler-assigned; branching on it (or logging it into artifacts) is nondeterministic | everywhere except `respin-pool` |
 //! | D005 | missing `#![deny(missing_docs)]`: undocumented public surface; every crate must carry the attribute in its `lib.rs` | each crate root |
+//! | D006 | bare `fs::write`/`File::create`: a crash mid-write leaves a torn artifact; result-bearing writes must go through `respin_core::persist::atomic_write` (tmp + fsync + rename) | result-bearing crates plus `respin-bench` (its report is an artifact too) |
 //!
 //! ## Waivers
 //!
@@ -44,7 +45,7 @@ pub const TIMING_CRATE: &str = "respin-bench";
 pub const POOL_CRATE: &str = "respin-pool";
 
 /// All known rule ids, in catalogue order.
-pub const RULE_IDS: &[&str] = &["D001", "D002", "D003", "D004", "D005"];
+pub const RULE_IDS: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006"];
 
 /// One-line description per rule, for `--list` and reports.
 pub fn rule_summary(id: &str) -> &'static str {
@@ -54,6 +55,9 @@ pub fn rule_summary(id: &str) -> &'static str {
         "D003" => "Ordering::Relaxed load: value may be schedule-dependent if it reaches results",
         "D004" => "thread::current outside respin-pool: thread identity is scheduler-assigned",
         "D005" => "crate root missing #![deny(missing_docs)]",
+        "D006" => {
+            "bare fs::write/File::create in a result-bearing crate: crash can tear the artifact"
+        }
         _ => "unknown rule",
     }
 }
@@ -192,6 +196,18 @@ fn scan_sequences(
             message: "thread identity is scheduler-assigned and must never influence \
                       results or artifacts outside the pool itself",
         },
+        Pattern {
+            rule: "D006",
+            seq: &["fs", ":", ":", "write"],
+            message: "non-atomic artifact write: a crash mid-write leaves a torn file; \
+                      route it through respin_core::persist::atomic_write",
+        },
+        Pattern {
+            rule: "D006",
+            seq: &["File", ":", ":", "create"],
+            message: "non-atomic file creation: a crash mid-write leaves a torn file; \
+                      route it through respin_core::persist::atomic_write",
+        },
     ];
 
     for p in &patterns {
@@ -199,6 +215,8 @@ fn scan_sequences(
             "D001" => result_bearing,
             "D002" => cx.crate_name != TIMING_CRATE,
             "D004" => cx.crate_name != POOL_CRATE,
+            // The bench crate's BENCH_*.json is a shipped artifact too.
+            "D006" => result_bearing || cx.crate_name == TIMING_CRATE,
             _ => true,
         };
         if !applies {
@@ -471,6 +489,28 @@ let r = r#"HashMap in a raw string is fine"#;
         let src = "let id = thread::current().id();\n";
         assert_eq!(codes(src, "respin-core"), vec!["D004"]);
         assert!(codes(src, "respin-pool").is_empty());
+    }
+
+    #[test]
+    fn d006_fires_in_result_bearing_and_bench_crates() {
+        let src = "fs::write(&path, data).unwrap();\n";
+        assert_eq!(codes(src, "respin-sim"), vec!["D006"]);
+        assert_eq!(codes(src, "respin-core"), vec!["D006"]);
+        assert_eq!(codes(src, "respin-bench"), vec!["D006"]);
+        assert!(codes(src, "respin-pool").is_empty());
+        assert!(codes(src, "respin-verify").is_empty());
+        assert_eq!(
+            codes("let f = File::create(&tmp)?;", "respin-trace"),
+            vec!["D006"]
+        );
+        // The sanctioned path does not trip the rule.
+        assert!(codes("atomic_write(&path, data)?;", "respin-core").is_empty());
+    }
+
+    #[test]
+    fn d006_waiver_suppresses() {
+        let src = "let f = File::create(&tmp)?; // respin-lint: allow(D006, reason=\"atomic_write implementation itself\")\n";
+        assert!(codes(src, "respin-core").is_empty());
     }
 
     #[test]

@@ -194,6 +194,39 @@ impl Pool {
     {
         self.par_map(items, |item| f(item));
     }
+
+    /// Fault-isolating [`Pool::par_map`]: a panicking task becomes an
+    /// `Err(message)` **for that item only** — every other item still
+    /// runs and returns `Ok`, and the batch never aborts. Results come
+    /// back in input order, so `out[i]` is always item `i`'s outcome at
+    /// every thread count.
+    ///
+    /// This is the campaign-recovery primitive: `par_map` treats a panic
+    /// as "the batch is doomed" and re-raises it, `try_par_map` treats it
+    /// as "this run failed, record it and keep the rest". The payload is
+    /// rendered to a `String` (`&str`/`String` payloads verbatim, others
+    /// as a placeholder) because `Box<dyn Any>` is neither `Send`-shareable
+    /// across the merge nor displayable in a partial-failure report.
+    pub fn try_par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<Result<U, String>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        self.par_map(items, |item| {
+            // AssertUnwindSafe: the closure only borrows `item` and `f`
+            // immutably, and a panicking task's partial effects are
+            // confined to its own (discarded) call frame.
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| {
+                payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "task panicked (non-string payload)".to_string())
+            })
+        })
+    }
 }
 
 /// Sets the abort flag when dropped during unwinding, so one panicking
@@ -369,6 +402,35 @@ mod tests {
         }));
         assert!(res.is_err());
         assert!(executed.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_to_their_item() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<u32> = (0..64).collect();
+        let out = pool.try_par_map(&items, |&x| {
+            if x % 10 == 3 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                let msg = r.as_ref().expect_err("multiples-of-10-plus-3 panic");
+                assert!(msg.contains(&format!("boom at {i}")), "payload lost: {msg}");
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 2), "item {i} must still succeed");
+            }
+        }
+        // Identical shape at one thread.
+        let seq = Pool::with_threads(1).try_par_map(&items, |&x| {
+            if x % 10 == 3 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out, seq, "outcome vector must be thread-count invariant");
     }
 
     #[test]

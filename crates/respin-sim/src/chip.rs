@@ -66,7 +66,7 @@ enum Deferred {
 }
 
 /// Cross-cluster coherence actions applied at end of tick.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum RemoteOp {
     /// Remove the line from the cluster's caches (a remote write).
     Invalidate(usize, u64),
@@ -74,7 +74,7 @@ enum RemoteOp {
     Downgrade(usize, u64),
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct LockEntry {
     holder: Option<(usize, usize)>,
     waiters: VecDeque<(usize, usize)>,
@@ -2024,6 +2024,120 @@ fn fault_kind_label(kind: &FaultEventKind) -> &'static str {
         FaultEventKind::ScrubDrop { .. } => "ScrubDrop",
         FaultEventKind::CoreFault { .. } => "CoreFault",
         FaultEventKind::CoreDecommissioned { .. } => "CoreDecommissioned",
+    }
+}
+
+// Hand-written (rather than derived) chip serialisation: most fields are
+// private, the deferred-event heap needs flattening to a sorted vector,
+// and three fields are deliberately excluded from the persisted state —
+// the tracer (observation-only, restored disabled) and the two scratch
+// vectors (drained between steps — `step` debug-asserts both empty — so
+// an empty restore is exactly the pre-snapshot state). Everything else is
+// captured verbatim: a restored chip advances bit-identically, which the
+// snapshot roundtrip tests (here and in respin-core) enforce.
+impl Serialize for Chip {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        // BinaryHeap iteration order is unspecified; the snapshot stores
+        // the entries sorted so serialisation is deterministic. Rebuilding
+        // the heap from any order yields identical pop order (min-heap over
+        // Reverse), so the flattening is lossless.
+        let mut deferred: Vec<(u64, Deferred)> = self.deferred.iter().map(|r| r.0).collect();
+        deferred.sort_unstable();
+        Value::Object(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("core_model".to_string(), self.core_model.to_value()),
+            ("instr_e".to_string(), self.instr_e.to_value()),
+            ("clusters".to_string(), self.clusters.to_value()),
+            ("l3".to_string(), self.l3.to_value()),
+            ("l3_leak_mw".to_string(), self.l3_leak_mw.to_value()),
+            ("mesh".to_string(), self.mesh.to_value()),
+            ("cluster_dir".to_string(), self.cluster_dir.to_value()),
+            ("mem".to_string(), self.mem.to_value()),
+            ("tick".to_string(), self.tick.to_value()),
+            (
+                "measure_start_tick".to_string(),
+                self.measure_start_tick.to_value(),
+            ),
+            ("barriers".to_string(), self.barriers.to_value()),
+            ("locks".to_string(), self.locks.to_value()),
+            ("deferred".to_string(), deferred.to_value()),
+            ("pending_remote".to_string(), self.pending_remote.to_value()),
+            ("reference_loop".to_string(), self.reference_loop.to_value()),
+            ("ticks_skipped".to_string(), self.ticks_skipped.to_value()),
+            ("total_threads".to_string(), self.total_threads.to_value()),
+            (
+                "chip_interconnect_pj".to_string(),
+                self.chip_interconnect_pj.to_value(),
+            ),
+            (
+                "coherence_messages".to_string(),
+                self.coherence_messages.to_value(),
+            ),
+            ("migrations".to_string(), self.migrations.to_value()),
+            (
+                "context_switches".to_string(),
+                self.context_switches.to_value(),
+            ),
+            (
+                "consolidation_trace".to_string(),
+                self.consolidation_trace.to_value(),
+            ),
+            (
+                "ctx_cost_core_cycles".to_string(),
+                self.ctx_cost_core_cycles.to_value(),
+            ),
+            (
+                "slice_core_cycles".to_string(),
+                self.slice_core_cycles.to_value(),
+            ),
+            ("fault_key".to_string(), self.fault_key.to_value()),
+            ("fault_epochs".to_string(), self.fault_epochs.to_value()),
+            (
+                "core_fault_stats".to_string(),
+                self.core_fault_stats.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Chip {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::de_field;
+        let deferred_flat: Vec<(u64, Deferred)> = de_field(v, "deferred")?;
+        Ok(Self {
+            config: de_field(v, "config")?,
+            core_model: de_field(v, "core_model")?,
+            instr_e: de_field(v, "instr_e")?,
+            clusters: de_field(v, "clusters")?,
+            l3: de_field(v, "l3")?,
+            l3_leak_mw: de_field(v, "l3_leak_mw")?,
+            mesh: de_field(v, "mesh")?,
+            cluster_dir: de_field(v, "cluster_dir")?,
+            mem: de_field(v, "mem")?,
+            tick: de_field(v, "tick")?,
+            measure_start_tick: de_field(v, "measure_start_tick")?,
+            barriers: de_field(v, "barriers")?,
+            locks: de_field(v, "locks")?,
+            deferred: deferred_flat.into_iter().map(Reverse).collect(),
+            pending_remote: de_field(v, "pending_remote")?,
+            ev_scratch: Vec::new(),
+            scrub_scratch: Vec::new(),
+            reference_loop: de_field(v, "reference_loop")?,
+            ticks_skipped: de_field(v, "ticks_skipped")?,
+            total_threads: de_field(v, "total_threads")?,
+            chip_interconnect_pj: de_field(v, "chip_interconnect_pj")?,
+            coherence_messages: de_field(v, "coherence_messages")?,
+            migrations: de_field(v, "migrations")?,
+            context_switches: de_field(v, "context_switches")?,
+            consolidation_trace: de_field(v, "consolidation_trace")?,
+            ctx_cost_core_cycles: de_field(v, "ctx_cost_core_cycles")?,
+            slice_core_cycles: de_field(v, "slice_core_cycles")?,
+            fault_key: de_field(v, "fault_key")?,
+            fault_epochs: de_field(v, "fault_epochs")?,
+            core_fault_stats: de_field(v, "core_fault_stats")?,
+            tracer: Tracer::disabled(),
+        })
     }
 }
 

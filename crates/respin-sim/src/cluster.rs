@@ -13,9 +13,10 @@ use crate::stats::LevelStats;
 use respin_power::{array_params, CoreEnergyModel};
 use respin_variation::VariationMap;
 use respin_workloads::{ThreadGen, WorkloadSpec};
+use serde::{Deserialize, Serialize};
 
 /// Per-access L1 costs cached at build time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct L1Costs {
     /// Data-cache read energy, pJ.
     pub d_read_pj: f64,
@@ -30,7 +31,7 @@ pub struct L1Costs {
 }
 
 /// The L1 organisation of a cluster.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum L1System {
     /// One controller shared by every core (the paper's design). Boxed so
     /// the enum stays close to its `Private` variant in size.
@@ -47,7 +48,7 @@ pub enum L1System {
 }
 
 /// A cluster of cores with its cache slice.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cluster {
     /// Physical cores.
     pub cores: Vec<Core>,

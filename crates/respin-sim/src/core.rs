@@ -34,7 +34,7 @@ pub enum VcState {
 }
 
 /// A virtual core: one workload thread plus its micro-state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VirtualCore {
     /// The op stream.
     pub gen: ThreadGen,
@@ -92,7 +92,7 @@ impl VirtualCore {
 }
 
 /// A physical core.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Core {
     /// Clock period in ticks (4/5/6 at NT, 1 at nominal).
     pub mult: u64,

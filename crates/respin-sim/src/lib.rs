@@ -47,6 +47,7 @@ pub mod directory;
 pub mod energy;
 pub mod memsys;
 pub mod shared_l1;
+pub mod snapshot;
 pub mod stats;
 
 pub use chip::{Chip, EpochReport, RunResult};

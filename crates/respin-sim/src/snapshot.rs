@@ -1,0 +1,289 @@
+//! Versioned, checksummed chip snapshots.
+//!
+//! A snapshot captures the complete [`Chip`] state between steps — cores,
+//! caches, workload generators (including their RNG positions), the
+//! synchronisation maps, and the deferred-event queue — so a campaign can
+//! be killed and resumed with a bit-identical continuation. The envelope
+//! is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "respin-chip-snapshot/v1",
+//!   "format_version": 1,
+//!   "options_key_hash": 1234567890,
+//!   "epoch": 7,
+//!   "tick": 1048576,
+//!   "checksum": 9876543210,
+//!   "payload": { ...full chip state... }
+//! }
+//! ```
+//!
+//! * `format_version` gates schema evolution: a reader refuses payloads
+//!   written by a different version instead of misinterpreting them.
+//! * `options_key_hash` binds the snapshot to the run identity (an FNV-1a
+//!   hash of the canonical serialised `RunOptions` in respin-core): a
+//!   snapshot restored under different options would silently simulate a
+//!   different machine, so the mismatch is rejected up front.
+//! * `checksum` is FNV-1a 64 over the serialised payload text, catching
+//!   torn or bit-rotted files.
+//!
+//! Every rejection path reports through [`respin_power::diag`] —
+//! corruption degrades to a structured diagnostic and a cold start, never
+//! a panic. Codes: `SNAP-PARSE`, `SNAP-VERSION`, `SNAP-KEY`, `SNAP-CRC`,
+//! `SNAP-STATE`.
+
+use crate::chip::Chip;
+use respin_power::diag::{Report, Violation};
+use serde::{Deserialize, Serialize, Value};
+
+/// Current snapshot format version. Bump on any change to the payload
+/// layout or the envelope fields.
+pub const SNAPSHOT_FORMAT_VERSION: u64 = 1;
+
+/// Schema tag carried by every snapshot envelope.
+pub const SNAPSHOT_SCHEMA: &str = "respin-chip-snapshot/v1";
+
+/// Envelope metadata of a decoded (or about-to-be-encoded) snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Format version the payload was written with.
+    pub format_version: u64,
+    /// FNV-1a 64 hash of the canonical run-options serialisation.
+    pub options_key_hash: u64,
+    /// Consolidation epochs completed when the snapshot was taken.
+    pub epoch: u64,
+    /// Chip tick at capture time.
+    pub tick: u64,
+}
+
+/// FNV-1a 64-bit hash. Used for the snapshot payload checksum and the
+/// options-key binding; also the per-record checksum of the respin-core
+/// result journal (re-exported there), so every integrity check in the
+/// persistence layer shares one implementation.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialises `chip` into a snapshot envelope bound to
+/// `options_key_hash`, recording that `epoch` epochs have completed.
+pub fn encode(chip: &Chip, options_key_hash: u64, epoch: u64) -> String {
+    let payload = serde_json::to_string(chip).unwrap_or_else(|e| {
+        // The chip serialiser is total over constructible chips; an error
+        // here is a programming bug, not an I/O condition.
+        unreachable!("chip serialisation cannot fail: {e}")
+    });
+    let checksum = fnv1a64(payload.as_bytes());
+    format!(
+        "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"format_version\":{SNAPSHOT_FORMAT_VERSION},\
+         \"options_key_hash\":{options_key_hash},\"epoch\":{epoch},\"tick\":{},\
+         \"checksum\":{checksum},\"payload\":{payload}}}",
+        chip.tick
+    )
+}
+
+fn reject(code: &str, location: &str, message: String) -> Report {
+    let mut report = Report::new();
+    report.push(Violation::error(
+        code,
+        "chip snapshot integrity",
+        location,
+        message,
+    ));
+    report
+}
+
+/// Decodes a snapshot produced by [`encode`], verifying the envelope
+/// before touching the payload. `expected_key_hash` must match the hash
+/// the snapshot was written with (same options ⇒ same hash).
+///
+/// Never panics on malformed input: every failure comes back as a
+/// structured [`Report`] so callers can log it and fall back to a cold
+/// start.
+pub fn decode(text: &str, expected_key_hash: u64) -> Result<(Chip, SnapshotHeader), Report> {
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| reject("SNAP-PARSE", "snapshot", format!("not valid JSON: {e}")))?;
+    let schema: String = serde::de_field(&value, "schema")
+        .map_err(|e| reject("SNAP-PARSE", "snapshot.schema", e.to_string()))?;
+    if schema != SNAPSHOT_SCHEMA {
+        return Err(reject(
+            "SNAP-PARSE",
+            "snapshot.schema",
+            format!("expected {SNAPSHOT_SCHEMA:?}, found {schema:?}"),
+        ));
+    }
+    let header = SnapshotHeader {
+        format_version: serde::de_field(&value, "format_version")
+            .map_err(|e| reject("SNAP-PARSE", "snapshot.format_version", e.to_string()))?,
+        options_key_hash: serde::de_field(&value, "options_key_hash")
+            .map_err(|e| reject("SNAP-PARSE", "snapshot.options_key_hash", e.to_string()))?,
+        epoch: serde::de_field(&value, "epoch")
+            .map_err(|e| reject("SNAP-PARSE", "snapshot.epoch", e.to_string()))?,
+        tick: serde::de_field(&value, "tick")
+            .map_err(|e| reject("SNAP-PARSE", "snapshot.tick", e.to_string()))?,
+    };
+    if header.format_version != SNAPSHOT_FORMAT_VERSION {
+        return Err(reject(
+            "SNAP-VERSION",
+            "snapshot.format_version",
+            format!(
+                "snapshot written by format v{}, this reader is v{SNAPSHOT_FORMAT_VERSION}",
+                header.format_version
+            ),
+        ));
+    }
+    if header.options_key_hash != expected_key_hash {
+        return Err(reject(
+            "SNAP-KEY",
+            "snapshot.options_key_hash",
+            format!(
+                "snapshot bound to options key {:#018x}, caller expects {expected_key_hash:#018x} \
+                 — refusing to restore under different run options",
+                header.options_key_hash
+            ),
+        ));
+    }
+    let stored_checksum: u64 = serde::de_field(&value, "checksum")
+        .map_err(|e| reject("SNAP-PARSE", "snapshot.checksum", e.to_string()))?;
+    let payload = value
+        .get("payload")
+        .ok_or_else(|| reject("SNAP-PARSE", "snapshot.payload", "missing payload".into()))?;
+    // The checksum was computed over the payload *text* at write time.
+    // Re-serialising the parsed payload value reproduces those bytes
+    // exactly: the vendored serde_json round-trips finite floats via the
+    // shortest-exact representation and preserves object field order.
+    let payload_text = serde_json::to_string(payload)
+        .map_err(|e| reject("SNAP-PARSE", "snapshot.payload", e.to_string()))?;
+    let actual = fnv1a64(payload_text.as_bytes());
+    if actual != stored_checksum {
+        return Err(reject(
+            "SNAP-CRC",
+            "snapshot.checksum",
+            format!("stored {stored_checksum:#018x}, computed {actual:#018x} — snapshot is torn or corrupted"),
+        ));
+    }
+    let chip = Chip::from_value(payload).map_err(|e| {
+        reject(
+            "SNAP-STATE",
+            "snapshot.payload",
+            format!("payload failed to deserialise: {e}"),
+        )
+    })?;
+    if chip.tick != header.tick {
+        return Err(reject(
+            "SNAP-STATE",
+            "snapshot.tick",
+            format!(
+                "header tick {} disagrees with payload tick {}",
+                header.tick, chip.tick
+            ),
+        ));
+    }
+    Ok((chip, header))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChipConfig, L1Org};
+    use respin_workloads::Benchmark;
+
+    fn tiny_chip() -> Chip {
+        let mut c = ChipConfig::nt_base();
+        c.clusters = 2;
+        c.cores_per_cluster = 4;
+        c.l1_org = L1Org::SharedPerCluster;
+        c.instructions_per_thread = Some(3_000);
+        c.epoch_instructions = 1_000;
+        Chip::new(c, &Benchmark::Fft.spec(), 7)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_to_uninterrupted_run() {
+        let mut chip = tiny_chip();
+        let mut epoch = 0;
+        // Advance a couple of epochs so the snapshot carries live state:
+        // warm caches, mid-stream RNGs, sync maps, leakage integrals.
+        for _ in 0..2 {
+            chip.run_epoch();
+            epoch += 1;
+        }
+        let snap = encode(&chip, 42, epoch);
+        let (mut restored, header) = decode(&snap, 42).expect("clean snapshot must decode");
+        assert_eq!(header.epoch, 2);
+        assert_eq!(header.tick, chip.tick);
+
+        let uninterrupted = chip.run_to_completion();
+        let resumed = restored.run_to_completion();
+        assert_eq!(
+            uninterrupted, resumed,
+            "restored chip diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            serde_json::to_string(&uninterrupted).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "results must be byte-identical, not merely equal"
+        );
+    }
+
+    #[test]
+    fn snapshot_of_snapshot_is_stable() {
+        let mut chip = tiny_chip();
+        chip.run_epoch();
+        let a = encode(&chip, 1, 1);
+        let (restored, _) = decode(&a, 1).expect("decode");
+        let b = encode(&restored, 1, 1);
+        assert_eq!(a, b, "encode∘decode must be the identity on snapshots");
+    }
+
+    #[test]
+    fn version_mismatch_is_a_structured_rejection() {
+        let chip = tiny_chip();
+        let snap = encode(&chip, 9, 0).replace("\"format_version\":1", "\"format_version\":99");
+        let report = decode(&snap, 9).expect_err("wrong version must be rejected");
+        assert!(report.violations.iter().any(|v| v.code == "SNAP-VERSION"));
+    }
+
+    #[test]
+    fn key_mismatch_is_a_structured_rejection() {
+        let chip = tiny_chip();
+        let snap = encode(&chip, 9, 0);
+        let report = decode(&snap, 10).expect_err("wrong options key must be rejected");
+        assert!(report.violations.iter().any(|v| v.code == "SNAP-KEY"));
+    }
+
+    #[test]
+    fn corruption_is_a_structured_rejection_never_a_panic() {
+        let chip = tiny_chip();
+        let snap = encode(&chip, 9, 0);
+        // Flip one digit inside the payload: checksum must catch it.
+        let idx = snap.find("\"tick\":").unwrap();
+        let corrupted = {
+            let mut s = snap.clone().into_bytes();
+            // Corrupt a byte well inside the payload body.
+            let p = snap.len() - 40;
+            s[p] = if s[p] == b'1' { b'2' } else { b'1' };
+            String::from_utf8(s).unwrap()
+        };
+        let _ = idx;
+        let report = decode(&corrupted, 9).expect_err("corruption must be rejected");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.code == "SNAP-CRC" || v.code == "SNAP-PARSE" || v.code == "SNAP-STATE"),
+            "{report}"
+        );
+        // Truncation (a torn write) is also a structured rejection.
+        let torn = &snap[..snap.len() / 2];
+        let report = decode(torn, 9).expect_err("torn snapshot must be rejected");
+        assert!(report.violations.iter().any(|v| v.code == "SNAP-PARSE"));
+        // Arbitrary junk too.
+        let report = decode("not json at all", 9).expect_err("junk must be rejected");
+        assert!(report.violations.iter().any(|v| v.code == "SNAP-PARSE"));
+    }
+}

@@ -35,7 +35,7 @@ if ! grep -q '"schema": "respin-lint-report/v1"' "$lint_dir/lint.json"; then
 fi
 
 echo '== respin-lint: bad fixtures must fail with their rule id, good ones must pass'
-for rule in D001 D002 D003 D004 D005; do
+for rule in D001 D002 D003 D004 D005 D006; do
     low=$(echo "$rule" | tr 'A-Z' 'a-z')
     libflag=''
     if [ "$rule" = D005 ]; then
@@ -131,6 +131,40 @@ for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
 done
 echo 'determinism smoke: artifacts byte-identical at 2 workers and 1 worker'
 rm -rf "$trace_dir" "$seq_dir"
+
+echo '== kill-and-resume smoke: SIGKILL mid-campaign, resume, byte-identical report'
+kr_dir=$(mktemp -d)
+exp_bin=target/release/respin-experiments
+RESPIN_THREADS=1 "$exp_bin" fig12 --quick --out "$kr_dir/base" >/dev/null
+# Same campaign, journaled; SIGKILL it as soon as the first run lands.
+# The binary is invoked directly (not via `cargo run`) so the kill hits
+# the simulating process itself, not a wrapper that would orphan it.
+RESPIN_THREADS=1 "$exp_bin" fig12 --quick --out "$kr_dir/int" \
+    --checkpoint-dir "$kr_dir/ckpt" >/dev/null 2>&1 &
+kr_pid=$!
+i=0
+while [ ! -s "$kr_dir/ckpt/journal.jsonl" ] && [ "$i" -lt 600 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+kill -9 "$kr_pid" 2>/dev/null || true
+wait "$kr_pid" 2>/dev/null || true
+if [ ! -s "$kr_dir/ckpt/journal.jsonl" ]; then
+    echo "kill-and-resume smoke: no journal record landed before the kill" >&2
+    exit 1
+fi
+kr_records=$(wc -l <"$kr_dir/ckpt/journal.jsonl")
+kr_out=$(RESPIN_THREADS=1 "$exp_bin" fig12 --quick --out "$kr_dir/res" \
+    --checkpoint-dir "$kr_dir/ckpt" --resume)
+printf '%s\n' "$kr_out" | grep '^resume: '
+for f in fig12.txt fig12.json; do
+    if ! cmp -s "$kr_dir/base/$f" "$kr_dir/res/$f"; then
+        echo "kill-and-resume smoke: $f differs from the uninterrupted baseline" >&2
+        exit 1
+    fi
+done
+echo "kill-and-resume smoke: report byte-identical after SIGKILL at $kr_records journaled run(s)"
+rm -rf "$kr_dir"
 
 echo '== bench_report smoke: perf-trajectory harness runs and its schema holds'
 bench_dir=$(mktemp -d)

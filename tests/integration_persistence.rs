@@ -1,0 +1,140 @@
+//! Crash-safety properties of the campaign persistence layer
+//! (DESIGN.md §15): replaying *any* byte prefix of a valid result
+//! journal — including one that cuts the final record mid-line, exactly
+//! what a `SIGKILL` during an append leaves behind — must yield a cache
+//! state from which resuming the campaign reproduces the uninterrupted
+//! final report byte for byte.
+
+use proptest::prelude::*;
+use respin_core::arch::ArchConfig;
+use respin_core::experiments::RunCache;
+use respin_core::persist::{self, encode_record, JournalRecord, ResultJournal};
+use respin_core::runner::RunOptions;
+use respin_workloads::Benchmark;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The tiny campaign under test: three distinct runs, small enough that
+/// a full re-execution per proptest case stays in test-suite budget.
+fn batch() -> Vec<RunOptions> {
+    [
+        (ArchConfig::ShStt, Benchmark::Fft, 7),
+        (ArchConfig::ShSttCc, Benchmark::Ocean, 7),
+        (ArchConfig::PrSramNt, Benchmark::Fft, 9),
+    ]
+    .into_iter()
+    .map(|(arch, bench, seed)| {
+        let mut o = RunOptions::new(arch, bench);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+        o.instructions_per_thread = Some(4_000);
+        o.warmup_per_thread = 1_000;
+        o.epoch_instructions = Some(1_000);
+        o.seed = seed;
+        o
+    })
+    .collect()
+}
+
+/// The campaign's "final report": every result, in batch order, in the
+/// exact JSON the real reports are built from.
+fn final_report(cache: &RunCache) -> String {
+    cache
+        .run_all(&batch())
+        .iter()
+        .map(|r| serde_json::to_string(r.as_ref()).expect("result serialises"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    // respin-lint: allow(D003, reason="test-only temp-dir uniquifier; never reaches results")
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    // respin-lint: allow(D003, reason="test-only temp-dir uniquifier; never reaches results")
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "respin-persistence-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// Built once: the uninterrupted baseline report, and the full journal
+/// text that campaign produced — with one `Failed` (retryable) record
+/// appended so prefixes also exercise the must-not-warm path.
+fn baseline() -> &'static (String, String) {
+    static BASELINE: OnceLock<(String, String)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let dir = fresh_dir("baseline");
+        let journal = Arc::new(ResultJournal::open(&dir).expect("open journal"));
+        let cache = RunCache::new().with_journal(journal);
+        let report = final_report(&cache);
+        let mut text = fs::read_to_string(dir.join(persist::JOURNAL_FILE)).expect("journal text");
+        let failed = encode_record(&JournalRecord::failed(
+            serde_json::to_string(&batch()[0]).expect("key serialises"),
+            "injected: panicked in an earlier campaign",
+        ));
+        text.push_str(&failed);
+        text.push('\n');
+        let _ = fs::remove_dir_all(&dir);
+        (report, text)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any byte prefix of the journal — a crash can stop the writer at
+    /// any point inside an append — replays to a warm-cache state from
+    /// which the resumed campaign's report is byte-identical to the
+    /// never-interrupted baseline.
+    #[test]
+    fn any_journal_prefix_resumes_to_an_identical_report(
+        on_boundary in 0usize..2,
+        raw in 0usize..1_000_000,
+    ) {
+        let (want_report, journal_text) = baseline();
+        // Half the cases cut exactly at a record boundary (a crash
+        // between appends), half at an arbitrary byte (a torn append).
+        let cut = if on_boundary == 0 {
+            let mut boundaries = vec![0usize];
+            boundaries.extend(
+                journal_text
+                    .char_indices()
+                    .filter(|(_, c)| *c == '\n')
+                    .map(|(i, _)| i + 1),
+            );
+            boundaries[raw % boundaries.len()]
+        } else {
+            raw % (journal_text.len() + 1)
+        };
+        let prefix = &journal_text[..cut];
+
+        let dir = fresh_dir("prefix");
+        fs::write(dir.join(persist::JOURNAL_FILE), prefix).expect("seed journal prefix");
+
+        let replay = persist::replay(&dir).expect("replay");
+        // A cut strictly inside a line is the torn-tail case: replay must
+        // flag and truncate it, never error or panic.
+        let at_boundary = cut == 0 || prefix.ends_with('\n');
+        prop_assert_eq!(replay.truncated, !at_boundary);
+        prop_assert!(replay.records.len() <= batch().len() + 1);
+
+        let cache = RunCache::new()
+            .with_journal(Arc::new(ResultJournal::open(&dir).expect("reopen journal")));
+        let warmed = cache.warm(&replay.records);
+        prop_assert_eq!(warmed, replay.completed());
+
+        let got_report = final_report(&cache);
+        prop_assert_eq!(&got_report, want_report);
+
+        // And the repaired journal replays clean: resuming twice is safe.
+        let again = persist::replay(&dir).expect("second replay");
+        prop_assert!(!again.truncated);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -31,6 +31,39 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]. Because the shim's
+/// `lock()` hands out the underlying `std` guard, waiting takes and
+/// returns the guard by value (`std` style) rather than `&mut` —
+/// callers reassign: `guard = cond.wait(guard)`.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the lock while parked and
+    /// re-acquiring it (recovering from poisoning) before returning.
+    /// Spurious wakeups are possible; re-check the predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0
+            .wait(guard)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A reader-writer lock with parking_lot's panic-free API.
 #[derive(Debug, Default)]
 pub struct RwLock<T>(sync::RwLock<T>);
