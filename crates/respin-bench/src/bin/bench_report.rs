@@ -1,28 +1,32 @@
 //! Perf-trajectory harness: runs the fixed seeded suite plus the
-//! run-pool parallel sweep and writes a `BENCH_*.json` report (see
-//! DESIGN.md §12).
+//! run-pool parallel sweep and the intra-run cluster-shard measurement,
+//! and writes a `BENCH_*.json` report (see DESIGN.md §12 and §16).
 //!
 //! ```text
 //! bench_report [--smoke] [--out PATH] [--threads N]
 //! ```
 //!
 //! * `--smoke` shrinks every suite to a few seconds (verify.sh / CI).
-//! * `--out PATH` report destination (default `BENCH_PR5.json`).
-//! * `--threads N` worker count for the parallel pass of the sweep
-//!   (outranking `RESPIN_THREADS`; default is the host parallelism).
+//! * `--out PATH` report destination (default `BENCH_PR8.json`).
+//! * `--threads N` worker count for the parallel pass of the sweep and
+//!   for the cluster-sharded run (outranking `RESPIN_THREADS`; default
+//!   is the host parallelism).
 //!
 //! The harness self-gates: it exits non-zero if the idle-heavy fast-path
 //! run is not bit-identical to the reference loop, if the fast path
 //! skipped no ticks, if the parallel sweep's results differ from its
-//! threads=1 twin in any way, or (full mode, ≥ 4 workers on a host with
-//! ≥ 4 CPUs) if either speedup falls below 2x.
+//! threads=1 twin in any way, if the cluster-sharded run differs from
+//! its sequential twin in any way, or (full mode, ≥ 4 workers on a host
+//! with ≥ 4 CPUs) if the fast-path or run-pool speedup falls below 2x.
+//! The cluster-shard timing is recorded without a floor — sharding
+//! synchronises every executed tick, so the honest number is the point.
 
 use respin_bench::trajectory;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR5.json");
+    let mut out_path = String::from("BENCH_PR8.json");
     let mut threads_flag = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,7 +62,7 @@ fn main() -> ExitCode {
     }
     let threads = respin_pool::resolved_threads();
     let mode = if smoke { "smoke" } else { "full" };
-    let (suites, parallel) = match trajectory::run_suites(smoke, threads) {
+    let (suites, parallel, cluster) = match trajectory::run_suites(smoke, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench_report: FAILED: {e}");
@@ -66,7 +70,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = trajectory::render_json(mode, &suites, &parallel);
+    let report = trajectory::render_json(mode, &suites, &parallel, &cluster);
     if let Err(e) =
         respin_core::persist::atomic_write(std::path::Path::new(&out_path), report.as_bytes())
     {
@@ -89,6 +93,16 @@ fn main() -> ExitCode {
         parallel.wall_ms_t1,
         parallel.wall_ms_tn,
         parallel.speedup
+    );
+    println!(
+        "bench: cluster_shard workers={} host_cpus={} clusters={} wall_ms_w1={:.1} \
+         wall_ms_wn={:.1} speedup={:.2}",
+        cluster.workers,
+        cluster.host_cpus,
+        cluster.clusters,
+        cluster.wall_ms_w1,
+        cluster.wall_ms_wn,
+        cluster.speedup
     );
     println!("bench_report: wrote {out_path} ({mode} mode)");
     ExitCode::SUCCESS

@@ -25,8 +25,10 @@ use std::time::Instant;
 
 /// Identifies the report layout for downstream consumers (verify.sh, CI
 /// schema check, future diffing tools). v2 = v1's `suites` map unchanged
-/// plus the top-level `parallel` object (run-pool sweep timing).
-pub const SCHEMA: &str = "respin-bench-report/v2";
+/// plus the top-level `parallel` object (run-pool sweep timing). v3 =
+/// v2 plus the top-level `cluster_shard` object (intra-run
+/// cluster-parallel timing of one fixed big run at 1 vs N workers).
+pub const SCHEMA: &str = "respin-bench-report/v3";
 
 /// One timed suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,6 +186,93 @@ pub fn run_parallel_sweep(smoke: bool, threads: usize) -> Result<ParallelSweep, 
     })
 }
 
+/// Intra-run cluster-sharding measurement: one fixed big run timed
+/// sequentially (`cluster_workers = 1`) and cluster-parallel
+/// (`cluster_workers = workers`), self-gated on bit-identical
+/// [`RunResult`]s (see [`run_cluster_shard`]).
+///
+/// Unlike [`ParallelSweep`] there is **no speedup floor**: the sharded
+/// loop synchronises every executed tick, so its profit depends on how
+/// much per-cluster work each tick carries and on the host — the report
+/// records what actually happened, with `host_cpus` as context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterShard {
+    /// Cluster-worker count of the parallel pass.
+    pub workers: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// Clusters in the fixed machine (the sharding width ceiling).
+    pub clusters: usize,
+    /// Retired instructions of the fixed run (deterministic).
+    pub instructions: u64,
+    /// Wall-clock for the run at `cluster_workers = 1`.
+    pub wall_ms_w1: f64,
+    /// Wall-clock for the run at `cluster_workers = workers`.
+    pub wall_ms_wn: f64,
+    /// `wall_ms_w1 / wall_ms_wn`.
+    pub speedup: f64,
+}
+
+/// The fixed cluster-shard run: barrier-heavy Ocean on a 4-cluster
+/// SH-STT machine, where every cluster stays busy between global
+/// barriers — the workload shape intra-run sharding exists for.
+fn cluster_shard_options(smoke: bool) -> RunOptions {
+    let mut o = RunOptions::new(ArchConfig::ShStt, Benchmark::Ocean);
+    o.seed = BENCH_SEED;
+    o.clusters = 4;
+    o.cores_per_cluster = if smoke { 4 } else { 8 };
+    o.instructions_per_thread = Some(if smoke { 2_000 } else { 12_000 });
+    o.warmup_per_thread = if smoke { 500 } else { 2_000 };
+    o.epoch_instructions = Some(if smoke { 1_000 } else { 3_000 });
+    o
+}
+
+/// Times the fixed big run at `cluster_workers = 1` and at `workers`
+/// (floored at 2: the point is to measure the *sharded* loop against
+/// the sequential one, and a width-1 "parallel" pass would compare the
+/// sequential loop to itself — on a 1-CPU host the floor honestly
+/// records sharding overhead instead), and self-gates on the
+/// determinism contract.
+///
+/// # Errors
+///
+/// Returns a violated-contract description when the cluster-parallel
+/// [`RunResult`] differs from the sequential one in any field.
+pub fn run_cluster_shard(smoke: bool, workers: usize) -> Result<ClusterShard, String> {
+    let workers = workers.max(2);
+    let base = cluster_shard_options(smoke);
+    let run_at = |w: usize| {
+        let mut o = base.clone();
+        o.cluster_workers = Some(w);
+        timed(|| runner::run_instrumented(&o).0)
+    };
+
+    let (seq, wall_ms_w1) = run_at(1);
+    let (par, wall_ms_wn) = run_at(workers);
+    if par != seq {
+        return Err(format!(
+            "cluster-sharded run diverged from sequential: \
+             workers=1 {{ticks: {}, instructions: {}}} vs workers={workers} \
+             {{ticks: {}, instructions: {}}}",
+            seq.ticks, seq.instructions, par.ticks, par.instructions
+        ));
+    }
+
+    Ok(ClusterShard {
+        workers,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        clusters: base.clusters,
+        instructions: seq.instructions,
+        wall_ms_w1,
+        wall_ms_wn,
+        speedup: if wall_ms_wn > 0.0 {
+            wall_ms_w1 / wall_ms_wn
+        } else {
+            0.0
+        },
+    })
+}
+
 /// fig6-style sweep: every benchmark (a subset in smoke mode) on the
 /// ShStt configuration at quick scale, through the normal policy runner.
 fn fig6_quick(smoke: bool) -> SuiteResult {
@@ -305,10 +394,12 @@ fn run_idle_heavy(reference: bool, ipt: u64) -> (RunResult, u64, f64) {
     (result, skipped, wall_ms)
 }
 
-/// Runs the full suite plus the run-pool parallel sweep. `smoke` shrinks
-/// every budget so the whole thing finishes in a few seconds (used by
-/// verify.sh and CI); `threads` is the worker count for the parallel
-/// pass of the sweep.
+/// Runs the full suite plus the run-pool parallel sweep and the
+/// cluster-shard measurement. `smoke` shrinks every budget so the whole
+/// thing finishes in a few seconds (used by verify.sh and CI); `threads`
+/// is the worker count for the parallel pass of the sweep and for the
+/// cluster-sharded run (capped at the machine's cluster count by the
+/// chip itself).
 ///
 /// # Errors
 ///
@@ -316,15 +407,18 @@ fn run_idle_heavy(reference: bool, ipt: u64) -> (RunResult, u64, f64) {
 /// fast-path run is not bit-identical to the reference loop, when the
 /// fast path failed to skip any ticks on a workload that is nearly all
 /// idle time, when the parallel sweep diverges from its sequential twin
-/// (see [`run_parallel_sweep`]), or — in full mode on a host with ≥ 4
-/// CPUs and ≥ 4 workers — when the pool speedup lands below the 2x
-/// floor. The floor is conditional on `host_cpus` because on a
-/// single-CPU host threads time-slice one core and a wall-clock speedup
-/// is physically impossible; the determinism self-gate still runs there.
+/// (see [`run_parallel_sweep`]), when the cluster-sharded run diverges
+/// from its sequential twin (see [`run_cluster_shard`]), or — in full
+/// mode on a host with ≥ 4 CPUs and ≥ 4 workers — when the pool speedup
+/// lands below the 2x floor. The floor is conditional on `host_cpus`
+/// because on a single-CPU host threads time-slice one core and a
+/// wall-clock speedup is physically impossible; the determinism
+/// self-gates still run there. The cluster-shard measurement has no
+/// floor (see [`ClusterShard`]) — only the identity gate.
 pub fn run_suites(
     smoke: bool,
     threads: usize,
-) -> Result<(Vec<SuiteResult>, ParallelSweep), String> {
+) -> Result<(Vec<SuiteResult>, ParallelSweep, ClusterShard), String> {
     let mut out = Vec::new();
     eprintln!("bench: fig6_quick ...");
     out.push(fig6_quick(smoke));
@@ -388,15 +482,31 @@ pub fn run_suites(
             parallel.speedup, parallel.host_cpus
         ));
     }
-    Ok((out, parallel))
+
+    eprintln!("bench: cluster_shard workers={threads} ...");
+    let cluster = run_cluster_shard(smoke, threads.max(1))?;
+    eprintln!(
+        "bench: cluster_shard clusters={} w1={:.0}ms wN={:.0}ms speedup={:.2} host_cpus={}",
+        cluster.clusters,
+        cluster.wall_ms_w1,
+        cluster.wall_ms_wn,
+        cluster.speedup,
+        cluster.host_cpus
+    );
+    Ok((out, parallel, cluster))
 }
 
 /// Renders the report JSON by hand (stable key order, no new
-/// dependencies): `{"schema", "mode", "parallel": {...}, "suites":
-/// {name: {wall_ms, instructions, ips, ticks_skipped}}}`. The `suites`
-/// map is byte-compatible with the v1 layout; v2 adds only the
-/// `parallel` object.
-pub fn render_json(mode: &str, suites: &[SuiteResult], parallel: &ParallelSweep) -> String {
+/// dependencies): `{"schema", "mode", "parallel": {...}, "cluster_shard":
+/// {...}, "suites": {name: {wall_ms, instructions, ips,
+/// ticks_skipped}}}`. The `suites` map is byte-compatible with the v1
+/// layout; v2 added the `parallel` object, v3 adds `cluster_shard`.
+pub fn render_json(
+    mode: &str,
+    suites: &[SuiteResult],
+    parallel: &ParallelSweep,
+    cluster: &ClusterShard,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -413,6 +523,18 @@ pub fn render_json(mode: &str, suites: &[SuiteResult], parallel: &ParallelSweep)
         parallel.wall_ms_t1,
         parallel.wall_ms_tn,
         parallel.speedup
+    ));
+    s.push_str(&format!(
+        "  \"cluster_shard\": {{ \"workers\": {}, \"host_cpus\": {}, \"clusters\": {}, \
+         \"instructions\": {}, \"wall_ms_w1\": {:.3}, \"wall_ms_wn\": {:.3}, \
+         \"speedup\": {:.3} }},\n",
+        cluster.workers,
+        cluster.host_cpus,
+        cluster.clusters,
+        cluster.instructions,
+        cluster.wall_ms_w1,
+        cluster.wall_ms_wn,
+        cluster.speedup
     ));
     s.push_str("  \"suites\": {\n");
     for (i, r) in suites.iter().enumerate() {
@@ -443,13 +565,25 @@ mod tests {
         }
     }
 
+    fn fake_cluster() -> ClusterShard {
+        ClusterShard {
+            workers: 4,
+            host_cpus: 8,
+            clusters: 4,
+            instructions: 654_321,
+            wall_ms_w1: 300.0,
+            wall_ms_wn: 180.0,
+            speedup: 300.0 / 180.0,
+        }
+    }
+
     #[test]
     fn report_json_is_well_formed_and_parsable() {
         let suites = vec![
             SuiteResult::new("alpha", 12.5, 1_000, 0),
             SuiteResult::new("beta", 0.0, 0, 42),
         ];
-        let text = render_json("smoke", &suites, &fake_parallel());
+        let text = render_json("smoke", &suites, &fake_parallel(), &fake_cluster());
         let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
         let serde::Value::Object(top) = &v else {
             panic!("top level must be an object");
@@ -476,6 +610,28 @@ mod tests {
             assert!(
                 parallel_obj.iter().any(|(k, _)| k == key),
                 "missing parallel.{key}"
+            );
+        }
+        let cluster_v = top
+            .iter()
+            .find(|(k, _)| k == "cluster_shard")
+            .map(|(_, v)| v)
+            .expect("cluster_shard key");
+        let serde::Value::Object(cluster_obj) = cluster_v else {
+            panic!("cluster_shard must be an object");
+        };
+        for key in [
+            "workers",
+            "host_cpus",
+            "clusters",
+            "instructions",
+            "wall_ms_w1",
+            "wall_ms_wn",
+            "speedup",
+        ] {
+            assert!(
+                cluster_obj.iter().any(|(k, _)| k == key),
+                "missing cluster_shard.{key}"
             );
         }
         let suites_v = top
@@ -508,6 +664,13 @@ mod tests {
         let p = run_parallel_sweep(true, 2).expect("smoke sweep must satisfy the determinism gate");
         assert_eq!(p.runs, p.unique_runs + 1, "one deliberate duplicate");
         assert!(p.instructions > 0);
+    }
+
+    #[test]
+    fn cluster_shard_smoke_passes_its_own_gate() {
+        let c = run_cluster_shard(true, 2).expect("smoke shard must satisfy the identity gate");
+        assert_eq!(c.clusters, 4);
+        assert!(c.instructions > 0);
     }
 
     #[test]

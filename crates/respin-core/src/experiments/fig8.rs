@@ -6,6 +6,7 @@
 use super::common::{geomean, ExpParams, RunCache};
 use crate::arch::ArchConfig;
 use crate::report::{pct, TextTable};
+use respin_power::diag::Violation;
 use respin_sim::CacheSizeClass;
 use respin_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -65,7 +66,7 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig8 {
         let base = energy_of(ArchConfig::PrSramNt);
         for arch in [ArchConfig::ShStt, ArchConfig::ShSramNom] {
             let e = energy_of(arch);
-            let ratio = geomean(e.iter().zip(&base).map(|(a, b)| a / b));
+            let ratio = geomean(baseline_ratios(&e, &base, arch, size));
             rows.push(Fig8Row {
                 config: arch.name().into(),
                 size: size.name().into(),
@@ -75,6 +76,47 @@ pub fn generate(cache: &RunCache, params: &ExpParams) -> Fig8 {
         }
     }
     Fig8 { rows }
+}
+
+/// Per-benchmark `energy / baseline` ratios for the suite geomean.
+///
+/// A zero (or otherwise degenerate) PR-SRAM-NT baseline entry would turn
+/// one ratio into `inf`/`NaN`, the geomean into `NaN`, and land `NaN` in
+/// the JSON report with no indication of *which* run was broken. Such a
+/// baseline is a simulator bug, not a data point — fail loudly with a
+/// structured diagnostic naming the offending benchmark instead.
+///
+/// # Panics
+///
+/// With a `FIG8-BASELINE` violation when a baseline entry is not finite
+/// and positive. (A degenerate *numerator* still surfaces through
+/// `geomean`'s own NaN-on-invalid contract.)
+fn baseline_ratios<'a>(
+    e: &'a [f64],
+    base: &'a [f64],
+    arch: ArchConfig,
+    size: CacheSizeClass,
+) -> impl Iterator<Item = f64> + 'a {
+    assert_eq!(e.len(), base.len(), "one energy per suite benchmark");
+    e.iter().zip(base).enumerate().map(move |(i, (a, b))| {
+        if !(b.is_finite() && *b > 0.0) {
+            let bench = Benchmark::ALL.get(i).map_or("<unknown>", |bm| bm.name());
+            panic!(
+                "{}",
+                Violation::error(
+                    "FIG8-BASELINE",
+                    "PR-SRAM-NT baseline energies are finite and positive",
+                    format!("fig8: benchmark {bench}, size {}", size.name()),
+                    format!(
+                        "baseline energy {b} pJ cannot normalise {}; \
+                         the baseline run is broken",
+                        arch.name()
+                    ),
+                )
+            );
+        }
+        a / b
+    })
 }
 
 impl Fig8 {
@@ -93,5 +135,61 @@ impl Fig8 {
             "Figure 8: CMP energy vs cache size, normalised to PR-SRAM-NT (suite geomean)\n{}",
             t.render()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_ratios_pass_healthy_data_through_exactly() {
+        let e = [2.0, 9.0];
+        let base = [4.0, 3.0];
+        let ratios: Vec<f64> =
+            baseline_ratios(&e, &base, ArchConfig::ShStt, CacheSizeClass::Medium).collect();
+        assert_eq!(ratios, vec![0.5, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIG8-BASELINE")]
+    fn zero_baseline_is_a_structured_diagnostic_not_a_nan() {
+        let e = [2.0, 9.0];
+        let base = [4.0, 0.0];
+        // Force the lazy iterator: the second entry must trip the guard
+        // before any NaN can reach a geomean (or a JSON report).
+        let _: Vec<f64> =
+            baseline_ratios(&e, &base, ArchConfig::ShStt, CacheSizeClass::Medium).collect();
+    }
+
+    #[test]
+    #[should_panic(expected = "FIG8-BASELINE")]
+    fn infinite_baseline_is_rejected_too() {
+        let _: Vec<f64> = baseline_ratios(
+            &[2.0],
+            &[f64::INFINITY],
+            ArchConfig::ShSramNom,
+            CacheSizeClass::Small,
+        )
+        .collect();
+    }
+
+    #[test]
+    fn diagnostic_names_the_offending_benchmark() {
+        let mut base = vec![1.0; Benchmark::ALL.len()];
+        base[2] = 0.0;
+        let e = vec![1.0; Benchmark::ALL.len()];
+        let err = std::panic::catch_unwind(|| {
+            let _: Vec<f64> =
+                baseline_ratios(&e, &base, ArchConfig::ShStt, CacheSizeClass::Large).collect();
+        })
+        .expect_err("zero baseline must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("structured violation message");
+        assert!(
+            msg.contains(Benchmark::ALL[2].name()),
+            "diagnostic must name the benchmark: {msg}"
+        );
     }
 }

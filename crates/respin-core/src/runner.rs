@@ -11,9 +11,10 @@ use serde::{de_field, Deserialize, Error, Serialize, Value};
 /// Everything needed to reproduce one run.
 ///
 /// `PartialEq`, `Serialize` and `Deserialize` cover only the *physics*
-/// fields — the [`Tracer`] is observation-only and excluded, so two
-/// option sets that simulate identically compare (and cache) as equal
-/// whether or not one of them is being traced.
+/// fields — the [`Tracer`] (observation-only) and `cluster_workers`
+/// (host-execution speed, bit-identical results by contract) are
+/// excluded, so two option sets that simulate identically compare (and
+/// cache) as equal whether or not one is traced or sharded.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Architecture configuration (Table IV).
@@ -50,6 +51,13 @@ pub struct RunOptions {
     /// Observability handle installed on the built chip. Disabled by
     /// default; never part of equality, serialisation, or cache keys.
     pub trace: Tracer,
+    /// Worker budget for intra-run cluster sharding (`None` = resolve
+    /// from `RESPIN_CLUSTER_WORKERS`, else the shared thread budget —
+    /// see [`RunOptions::resolved_cluster_workers`]). Results are
+    /// bit-identical at every width by contract, so like the tracer this
+    /// is a host-execution knob: never part of equality, serialisation,
+    /// or cache keys.
+    pub cluster_workers: Option<usize>,
 }
 
 impl PartialEq for RunOptions {
@@ -116,6 +124,7 @@ impl Deserialize for RunOptions {
             epoch_instructions: de_field(v, "epoch_instructions")?,
             reference_loop: de_field(v, "reference_loop")?,
             trace: Tracer::disabled(),
+            cluster_workers: None,
         })
     }
 }
@@ -137,6 +146,7 @@ impl RunOptions {
             epoch_instructions: None,
             reference_loop: false,
             trace: Tracer::disabled(),
+            cluster_workers: None,
         }
     }
 
@@ -179,7 +189,33 @@ impl RunOptions {
         let mut chip = Chip::try_new(self.chip_config(), &self.benchmark.spec(), self.seed)?;
         chip.set_reference_loop(self.reference_loop);
         chip.set_tracer(self.trace.clone());
+        chip.set_cluster_workers(self.resolved_cluster_workers());
         Ok(chip)
+    }
+
+    /// The cluster-shard worker width this run should use: an explicit
+    /// `cluster_workers` wins, then the `RESPIN_CLUSTER_WORKERS`
+    /// environment variable (same spelling convention as
+    /// `RESPIN_THREADS`), then the shared thread budget. A run already
+    /// executing *on* a pool worker (run-level parallelism) resolves to
+    /// 1, so `--threads`/`RESPIN_THREADS` bounds total parallelism
+    /// whichever level is spending it; `RESPIN_CLUSTER_WORKERS` exists
+    /// to force intra-run width explicitly (the CI determinism legs use
+    /// it). Never affects results — only how fast they arrive.
+    pub fn resolved_cluster_workers(&self) -> usize {
+        if let Some(n) = self.cluster_workers {
+            return n.max(1);
+        }
+        if let Ok(raw) = std::env::var("RESPIN_CLUSTER_WORKERS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        if respin_pool::in_worker() {
+            1
+        } else {
+            respin_pool::resolved_threads()
+        }
     }
 }
 
@@ -248,8 +284,10 @@ pub fn warm_snapshot(opts: &RunOptions) -> String {
 /// fall back to a cold [`run`].
 pub fn run_from_snapshot(text: &str, opts: &RunOptions) -> Result<RunResult, Report> {
     let (mut chip, _header) = respin_sim::snapshot::decode(text, options_key_hash(opts))?;
-    // The tracer is deliberately not serialised; reinstall the caller's.
+    // The tracer and the cluster-shard width are deliberately not
+    // serialised; reinstall the caller's.
     chip.set_tracer(opts.trace.clone());
+    chip.set_cluster_workers(opts.resolved_cluster_workers());
     Ok(drive_policy(opts, &mut chip))
 }
 
@@ -513,6 +551,60 @@ mod tests {
             report.violations.iter().any(|v| v.code == "SNAP-KEY"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn cluster_workers_is_not_part_of_run_identity() {
+        let base = quick(ArchConfig::ShStt);
+        let mut wide = base.clone();
+        wide.cluster_workers = Some(4);
+        assert_eq!(base, wide, "a speed knob must not split the cache");
+        assert_eq!(
+            serde_json::to_string(&base).unwrap(),
+            serde_json::to_string(&wide).unwrap(),
+            "cache keys must not encode host parallelism"
+        );
+        assert_eq!(options_key_hash(&base), options_key_hash(&wide));
+    }
+
+    #[test]
+    fn cluster_sharded_runs_match_sequential_through_policies() {
+        // `quick` uses one cluster (sharding inert); spread the same
+        // budget over two clusters so the team actually engages, and
+        // drive through the full runner path — warm-up, policy, report.
+        let multi = |arch: ArchConfig, workers: usize| {
+            let mut o = quick(arch);
+            o.clusters = 2;
+            o.cores_per_cluster = 2;
+            o.cluster_workers = Some(workers);
+            o
+        };
+        for arch in [ArchConfig::ShStt, ArchConfig::ShSttCc] {
+            let want = run(&multi(arch, 1));
+            for workers in [2, 4] {
+                assert_eq!(
+                    run(&multi(arch, workers)),
+                    want,
+                    "sharded run diverged for {} at {workers} workers",
+                    arch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_sharding_oblivious() {
+        // A snapshot taken by a sequential session must resume
+        // bit-identically in a sharded session and vice versa.
+        let mut o = quick(ArchConfig::ShSttCc);
+        o.clusters = 2;
+        o.cores_per_cluster = 2;
+        let snap = warm_snapshot(&o);
+        let sequential = run_from_snapshot(&snap, &o).expect("own snapshot restores");
+        let mut wide = o.clone();
+        wide.cluster_workers = Some(4);
+        let sharded = run_from_snapshot(&snap, &wide).expect("same snapshot, wider session");
+        assert_eq!(sequential, sharded);
     }
 
     #[test]

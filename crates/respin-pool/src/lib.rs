@@ -48,21 +48,36 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(clippy::all)]
 
-use std::panic::resume_unwind;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread;
 
 /// Programmatic worker-count override (0 = unset). Highest-priority
 /// resolution source; written by the CLI `--threads` flags.
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Sets (n ≥ 1) or clears (0) the process-wide worker-count override.
+/// Sets the process-wide worker-count override, clamped to a minimum of
+/// 1 exactly like [`Pool::with_threads`].
 ///
 /// The override outranks `RESPIN_THREADS` and the hardware default for
 /// every subsequent [`Pool::current`] / [`par_map`] / [`par_for_each`]
 /// call. Explicitly-sized pools ([`Pool::with_threads`]) are unaffected.
+///
+/// `set_threads(0)` used to *clear* the override (0 doubles as the
+/// internal "unset" sentinel), silently diverging from
+/// `Pool::with_threads(0)` which clamps to 1. Clearing is now the
+/// explicit [`clear_threads_override`]; 0 here means "1 worker".
 pub fn set_threads(n: usize) {
-    OVERRIDE.store(n, Ordering::SeqCst);
+    OVERRIDE.store(n.max(1), Ordering::SeqCst);
+}
+
+/// Clears the [`set_threads`] override so worker-count resolution falls
+/// back to `RESPIN_THREADS`, then the hardware default.
+pub fn clear_threads_override() {
+    OVERRIDE.store(0, Ordering::SeqCst);
 }
 
 /// Parses a `RESPIN_THREADS` value: a positive integer, or `None` for
@@ -89,6 +104,24 @@ pub fn resolved_threads() -> usize {
         }
     }
     thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+thread_local! {
+    /// True on threads spawned by this crate ([`Pool::par_map`] workers
+    /// and [`with_team`] workers), false everywhere else — including the
+    /// calling thread when a batch runs inline (one worker or one item).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a respin-pool worker.
+///
+/// This is how nested parallelism shares one budget: code that could
+/// fan out again while already running inside a pool worker (e.g. the
+/// cluster-sharded chip stepper) checks this flag and degrades to width
+/// 1, so `--threads`/`RESPIN_THREADS` bounds the *total* worker count
+/// instead of multiplying per nesting level.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
 }
 
 /// A fixed-width run pool.
@@ -151,7 +184,12 @@ impl Pool {
         } else {
             let joined: Vec<thread::Result<Vec<(usize, U)>>> = thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| s.spawn(|| worker_loop(&next, &abort, items, &f)))
+                    .map(|_| {
+                        s.spawn(|| {
+                            IN_WORKER.with(|w| w.set(true));
+                            worker_loop(&next, &abort, items, &f)
+                        })
+                    })
                     .collect();
                 // Join everything before leaving the scope so a panic in
                 // one task can never leave a worker detached.
@@ -288,6 +326,186 @@ where
         out.push((i, f(&items[i])));
     }
     out
+}
+
+/// Handle the [`with_team`] driver uses to talk to its workers: submit
+/// a job to a *specific* worker, receive completed results.
+///
+/// Jobs are routed, not stolen: worker `w` processes exactly the jobs
+/// submitted to `w`, in submission order. That is what the cluster
+/// stepper needs — each worker owns the clusters handed to it for the
+/// current round, and the driver decides the (deterministic) layout.
+pub struct Team<J, R> {
+    job_tx: Vec<mpsc::Sender<J>>,
+    result_rx: mpsc::Receiver<TeamMsg<R>>,
+    fault: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+}
+
+/// Internal result-channel message: a completed job, or notice that a
+/// worker died executing one. The sentinel is what keeps a blocked
+/// [`Team::recv`] from deadlocking when one worker panics while its
+/// siblings sit idle (alive, holding the channel open): the dying
+/// worker stashes its payload in the shared fault slot and sends
+/// `Died`, so the driver wakes and re-raises immediately instead of
+/// waiting for results that can no longer arrive.
+enum TeamMsg<R> {
+    Done(R),
+    Died,
+}
+
+/// Takes the first stashed worker-panic payload, surviving lock poison
+/// (a poisoned fault slot means a *second* panic mid-stash; the slot's
+/// contents are still the root cause we want).
+fn take_fault(fault: &Mutex<Option<Box<dyn Any + Send>>>) -> Option<Box<dyn Any + Send>> {
+    fault.lock().unwrap_or_else(PoisonError::into_inner).take()
+}
+
+impl<J, R> Team<J, R> {
+    /// Number of workers in the team.
+    pub fn width(&self) -> usize {
+        self.job_tx.len()
+    }
+
+    /// Sends `job` to worker `worker % width()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that worker has died (its own panic payload is what
+    /// reaches the caller once [`with_team`] joins the scope).
+    pub fn submit(&self, worker: usize, job: J) {
+        let w = worker % self.job_tx.len();
+        if self.job_tx[w].send(job).is_err() {
+            panic!("team worker {w} died before accepting a job");
+        }
+    }
+
+    /// Receives the next completed result, in per-worker submission
+    /// order (results from *different* workers arrive in completion
+    /// order — callers that need a canonical order must carry an index
+    /// in `R` and reassemble).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a dead worker's original panic payload as soon as the
+    /// death is observed — even while sibling workers are alive and
+    /// idle — so a worker panic can never strand the driver waiting on
+    /// results that will not arrive.
+    pub fn recv(&self) -> R {
+        match self.result_rx.recv() {
+            Ok(TeamMsg::Done(r)) => r,
+            Ok(TeamMsg::Died) | Err(_) => match take_fault(&self.fault) {
+                Some(payload) => resume_unwind(payload),
+                None => panic!("a team worker died with results outstanding"),
+            },
+        }
+    }
+}
+
+/// Runs `drive` on the calling thread against a team of `workers`
+/// threads each executing `work` on the jobs routed to it, and returns
+/// `drive`'s result. The sub-batch analogue of [`Pool::par_map`] for
+/// workloads that are *rounds of small jobs* rather than one slice: the
+/// driver keeps ownership of the orchestration loop and uses the
+/// [`Team`] handle to fan each round out and collect it back.
+///
+/// `workers` is clamped to ≥ 1; with one worker the jobs still flow
+/// through the (single) worker thread so the code path is identical at
+/// every width. Workers are marked with the [`in_worker`] flag, so
+/// nested fan-out degrades to width 1 under one thread budget.
+///
+/// # Panics
+///
+/// If a worker panics, the scope is joined and the **worker's original
+/// payload** is re-raised on the caller — even when the driver also
+/// panicked as a consequence (e.g. inside [`Team::submit`] to the dead
+/// worker): the root cause outranks the symptom.
+pub fn with_team<J, R, T, W, D>(workers: usize, work: W, drive: D) -> T
+where
+    J: Send,
+    R: Send,
+    W: Fn(J) -> R + Sync,
+    D: FnOnce(&Team<J, R>) -> T,
+{
+    let workers = workers.max(1);
+    let (result_tx, result_rx) = mpsc::channel();
+    let mut job_tx = Vec::with_capacity(workers);
+    let mut job_rx = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel::<J>();
+        job_tx.push(tx);
+        job_rx.push(rx);
+    }
+    let fault: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
+    let team = Team {
+        job_tx,
+        result_rx,
+        fault: Arc::clone(&fault),
+    };
+
+    thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = job_rx
+            .into_iter()
+            .map(|rx| {
+                let result_tx = result_tx.clone();
+                let fault = Arc::clone(&fault);
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    while let Ok(job) = rx.recv() {
+                        // Catch the job's panic rather than letting the
+                        // thread die silently: the payload is stashed in
+                        // the shared fault slot and a `Died` sentinel
+                        // wakes a driver blocked in `recv` (send errors
+                        // mean the driver is gone; drain quietly either
+                        // way). The worker then stops accepting jobs —
+                        // continuing past a panic would diverge from
+                        // the sequential oracle, which stops there too.
+                        match catch_unwind(AssertUnwindSafe(|| work(job))) {
+                            Ok(r) => {
+                                let _ = result_tx.send(TeamMsg::Done(r));
+                            }
+                            Err(payload) => {
+                                let mut slot = fault.lock().unwrap_or_else(PoisonError::into_inner);
+                                slot.get_or_insert(payload);
+                                drop(slot);
+                                let _ = result_tx.send(TeamMsg::Died);
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(result_tx);
+
+        // AssertUnwindSafe: on a driver panic nothing it touched is
+        // reused — the team is dropped and the payload re-raised.
+        let drove = catch_unwind(AssertUnwindSafe(|| drive(&team)));
+        // Close the job channels so idle workers exit their recv loop.
+        drop(team);
+
+        for h in handles {
+            // Workers catch job panics, so a join error can only be a
+            // panic in the worker loop machinery itself; treat it like
+            // a job fault (first one wins).
+            if let Err(payload) = h.join() {
+                fault
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get_or_insert(payload);
+            }
+        }
+        // A worker payload outranks the driver's: when a worker dies,
+        // the driver's own panic (submit/recv on a dead worker, or the
+        // re-raise inside `recv`) is downstream of the root cause. The
+        // fault slot is empty when `recv` already re-raised (it takes
+        // the payload), in which case `drove` holds that same payload.
+        match (drove, take_fault(&fault)) {
+            (_, Some(payload)) => resume_unwind(payload),
+            (Err(payload), None) => resume_unwind(payload),
+            (Ok(value), None) => value,
+        }
+    })
 }
 
 /// [`Pool::par_map`] on the [`Pool::current`] pool.
@@ -460,12 +678,120 @@ mod tests {
         set_threads(3);
         assert_eq!(resolved_threads(), 3);
         assert_eq!(Pool::current().threads(), 3);
+        // Regression: set_threads(0) used to silently *clear* the
+        // override (0 doubles as the internal "unset" sentinel) while
+        // Pool::with_threads(0) clamps to 1. It now clamps identically…
         set_threads(0);
+        assert_eq!(resolved_threads(), 1);
+        assert_eq!(Pool::current().threads(), 1);
+        // …and clearing is its own explicit call.
+        clear_threads_override();
         assert!(resolved_threads() >= 1);
     }
 
     #[test]
     fn with_threads_clamps_zero_to_one() {
         assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn in_worker_is_set_on_workers_and_only_there() {
+        assert!(!in_worker(), "caller thread must not be marked");
+        // Multi-item batch on a multi-worker pool: spawned workers.
+        let items: Vec<u32> = (0..16).collect();
+        let flags = Pool::with_threads(4).par_map(&items, |_| in_worker());
+        assert!(flags.iter().all(|&f| f), "par_map workers must be marked");
+        // Single item runs inline on the caller: unmarked.
+        let inline = Pool::with_threads(4).par_map(&[()], |()| in_worker());
+        assert_eq!(inline, vec![false], "inline path must stay unmarked");
+        assert!(!in_worker(), "flag must not leak back to the caller");
+    }
+
+    #[test]
+    fn team_routes_jobs_to_workers_in_order() {
+        let total: u64 = with_team(
+            3,
+            |job: (usize, u64)| (job.0, job.1 * 2, in_worker()),
+            |team| {
+                assert_eq!(team.width(), 3);
+                for i in 0..30usize {
+                    team.submit(i, (i, i as u64));
+                }
+                let mut seen = vec![u64::MAX; 30];
+                let mut sum = 0;
+                for _ in 0..30 {
+                    let (i, doubled, marked) = team.recv();
+                    assert!(marked, "team workers must set the in_worker flag");
+                    seen[i] = doubled;
+                    sum += doubled;
+                }
+                assert_eq!(seen, (0..30).map(|i| i * 2).collect::<Vec<u64>>());
+                sum
+            },
+        );
+        assert_eq!(total, (0..30u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn team_single_worker_matches_wider_teams() {
+        let run = |width| {
+            with_team(
+                width,
+                |x: u64| x + 1,
+                |team| {
+                    for x in 0..20 {
+                        team.submit(x as usize, x);
+                    }
+                    let mut out: Vec<u64> = (0..20).map(|_| team.recv()).collect();
+                    out.sort_unstable();
+                    out
+                },
+            )
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(0), run(1), "width 0 must clamp to 1");
+    }
+
+    #[test]
+    fn team_worker_panic_reaches_caller_with_original_payload() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            with_team(
+                2,
+                |x: u32| {
+                    if x == 7 {
+                        panic!("team boom at {x}");
+                    }
+                    x
+                },
+                |team| {
+                    for x in 0..32 {
+                        team.submit(x as usize, x);
+                    }
+                    for _ in 0..32 {
+                        let _ = team.recv();
+                    }
+                },
+            )
+        }))
+        .expect_err("the worker panic must reach the caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap();
+        assert!(
+            msg.contains("team boom at 7"),
+            "worker payload lost (got: {msg})"
+        );
+    }
+
+    #[test]
+    fn team_driver_panic_propagates_when_workers_are_healthy() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            with_team(2, |x: u32| x, |_team| panic!("driver gave up"));
+        }))
+        .expect_err("the driver panic must reach the caller");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("driver gave up"), "payload lost: {msg}");
     }
 }

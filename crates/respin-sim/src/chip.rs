@@ -29,7 +29,8 @@ use crate::shared_l1::L1Event;
 use crate::stats::{ChipStats, LevelStats, SharedL1Stats};
 use respin_faults::{hash, FaultEventKind, FaultStats, FaultSummary};
 use respin_noc::{mesh::Endpoint, Mesh};
-use respin_power::diag::Report;
+use respin_pool::Team;
+use respin_power::diag::{Report, Violation};
 use respin_power::{array_params, CoreEnergyModel, CoreEvent};
 use respin_trace::{TraceEvent, TraceKind, Tracer};
 use respin_variation::{VariationConfig, VariationMap};
@@ -72,6 +73,418 @@ enum RemoteOp {
     Invalidate(usize, u64),
     /// Demote the line to Shared (a remote read of a Modified line).
     Downgrade(usize, u64),
+}
+
+/// The chip-global half of a core-cycle synchronisation op. The
+/// cluster-local half (retire + energy charge) happens where the op
+/// issues; the global half — barrier arrival maps, lock queues,
+/// cross-cluster wakes, the issuing thread's resulting state — is
+/// applied by [`Chip::apply_sync_op`]: immediately after the core's
+/// cycle in the sequential loop, at the round barrier in canonical
+/// (cluster, core) order in the cluster-sharded loop. Both orders are
+/// the same total order, which is what keeps contended-lock grant order
+/// (and everything downstream of it) bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncKind {
+    /// An [`Op::Barrier`] arrival.
+    Barrier(u32),
+    /// An [`Op::LockAcq`].
+    LockAcq(u32),
+    /// An [`Op::LockRel`].
+    LockRel(u32),
+}
+
+/// A sync op issued by virtual core `vc`, hosted on a core with period
+/// multiple `mult`, awaiting its global half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingSyncOp {
+    vc: usize,
+    mult: u64,
+    kind: SyncKind,
+}
+
+/// Chip-constant inputs of a cluster-local core cycle.
+#[derive(Debug, Clone, Copy)]
+struct StepCtx {
+    instr_e: InstrEnergies,
+    ctx_cost_core_cycles: u64,
+    slice_core_cycles: u64,
+    /// Hardware context-switch model (vs the OS quantum model).
+    hardware: bool,
+}
+
+/// What a cluster-local core cycle hands back to the chip.
+#[derive(Debug, Default)]
+struct CoreCycleOut {
+    /// The sync op issued this cycle, if any. Sync ops end the issue
+    /// group, so there is at most one per core per tick.
+    sync: Option<PendingSyncOp>,
+    /// Context switches taken (0 or 1), folded into the chip counter.
+    switches: u64,
+}
+
+// ----------------------------------------------------- cluster sharding
+//
+// The cluster-sharded loop ([`Chip::step_sharded`]) runs the two
+// cluster-local tick phases — shared-L1 controller arbitration and core
+// execution — on a [`respin_pool::Team`], one cluster per job, by
+// *moving* each `Cluster` to a worker and back (the workspace forbids
+// unsafe code, so no scoped-borrow tricks: ownership round-trips through
+// channels). Everything chip-global stays on the driving thread and runs
+// in canonical (cluster, core) order between the parallel rounds, which
+// is what makes the sharded loop bit-identical to [`Chip::step`]. See
+// DESIGN.md §16 for the full determinism argument.
+
+/// One cluster's worth of work for a parallel round.
+enum ShardJob {
+    /// Phase 1: arbitrate the cluster's shared-L1 ports for tick `now`,
+    /// collecting controller events into `events` (drained later on the
+    /// driving thread, in cluster order).
+    L1Tick {
+        /// Cluster index (routes the job to a stable worker).
+        k: usize,
+        /// The cluster, moved to the worker and handed back.
+        cluster: Cluster,
+        /// Persistent event buffer (comes in empty).
+        events: Vec<L1Event>,
+        /// The tick being executed.
+        now: u64,
+    },
+    /// Phase 3: run every core's cycle for tick `now`, collecting the
+    /// chip-global halves of any sync ops into `syncs`.
+    Cores {
+        /// Cluster index.
+        k: usize,
+        /// The cluster, moved to the worker and handed back.
+        cluster: Cluster,
+        /// Persistent sync-op buffer (comes in empty).
+        syncs: Vec<PendingSyncOp>,
+        /// Chip-constant cycle inputs.
+        ctx: StepCtx,
+        /// The tick being executed.
+        now: u64,
+    },
+}
+
+/// A completed [`ShardJob`]: the cluster back from the worker plus what
+/// its round produced.
+enum ShardDone {
+    /// A finished [`ShardJob::L1Tick`].
+    L1 {
+        /// Cluster index.
+        k: usize,
+        /// The cluster, handed back.
+        cluster: Cluster,
+        /// Controller events emitted this tick.
+        events: Vec<L1Event>,
+    },
+    /// A finished [`ShardJob::Cores`].
+    Cores {
+        /// Cluster index.
+        k: usize,
+        /// The cluster, handed back.
+        cluster: Cluster,
+        /// Sync ops awaiting their chip-global halves, in core order.
+        syncs: Vec<PendingSyncOp>,
+        /// Context switches taken across the cluster's cores.
+        switches: u64,
+    },
+}
+
+/// The team worker body: runs one cluster-local round. Pure with respect
+/// to chip state — it sees nothing but the moved-in cluster.
+fn shard_work(job: ShardJob) -> ShardDone {
+    match job {
+        ShardJob::L1Tick {
+            k,
+            mut cluster,
+            mut events,
+            now,
+        } => {
+            if let L1System::Shared(s) = &mut cluster.l1 {
+                s.tick(now, &mut events);
+            }
+            ShardDone::L1 { k, cluster, events }
+        }
+        ShardJob::Cores {
+            k,
+            mut cluster,
+            mut syncs,
+            ctx,
+            now,
+        } => {
+            let mut switches = 0u64;
+            for c in 0..cluster.cores.len() {
+                let out = exec_core_cycle_shared(&mut cluster, &ctx, c, now);
+                switches += out.switches;
+                if let Some(ps) = out.sync {
+                    syncs.push(ps);
+                }
+            }
+            ShardDone::Cores {
+                k,
+                cluster,
+                syncs,
+                switches,
+            }
+        }
+    }
+}
+
+/// Persistent per-cluster buffers for the sharded loop, so the steady
+/// state allocates nothing per tick.
+struct ShardScratch {
+    /// Parking slots for clusters coming back from a round (results
+    /// arrive in completion order; the slots restore index order).
+    slots: Vec<Option<Cluster>>,
+    /// Per-cluster shared-L1 event buffers.
+    ev_bufs: Vec<Vec<L1Event>>,
+    /// Per-cluster pending-sync-op buffers.
+    sync_bufs: Vec<Vec<PendingSyncOp>>,
+    /// Per-cluster context-switch counts from the last core round.
+    switch_counts: Vec<u64>,
+}
+
+impl ShardScratch {
+    fn new(clusters: usize) -> Self {
+        Self {
+            slots: (0..clusters).map(|_| None).collect(),
+            ev_bufs: (0..clusters).map(|_| Vec::new()).collect(),
+            sync_bufs: (0..clusters).map(|_| Vec::new()).collect(),
+            switch_counts: vec![0; clusters],
+        }
+    }
+}
+
+/// A live worker team plus its scratch, threaded through the run loops
+/// by [`Chip::with_shard`].
+struct ShardCtx<'t> {
+    team: &'t Team<ShardJob, ShardDone>,
+    scratch: ShardScratch,
+}
+
+#[inline]
+fn retire_local(cluster: &mut Cluster, vc_id: usize) {
+    cluster.vcores[vc_id].retired += 1;
+    cluster.instructions += 1;
+}
+
+/// One core cycle under the shared-per-cluster L1 organisation, touching
+/// nothing outside `cluster`. This is the [`Chip::exec_core_cycle`] body
+/// with the chip-global parts split out: sync ops (barriers, locks) do
+/// their cluster-local half here (retire + energy) and hand the global
+/// half back as a [`PendingSyncOp`] for [`Chip::apply_sync_op`]. Both
+/// the sequential and the sharded loop execute cycles through this one
+/// function, so the split itself cannot drift between them.
+///
+/// Relative to the pre-split code the issuing core's fetch/L1I charges
+/// now land *before* the sync op's global half instead of after; the two
+/// touch disjoint accumulators (`core_dyn_pj`/`ifetch_dyn_pj` here,
+/// sync maps, vcore states and `chip_interconnect_pj` there), so the
+/// swap is exact, not approximate.
+fn exec_core_cycle_shared(
+    cluster: &mut Cluster,
+    ctx: &StepCtx,
+    c: usize,
+    now: u64,
+) -> CoreCycleOut {
+    let mut out = CoreCycleOut::default();
+    let mult = {
+        let core = &cluster.cores[c];
+        if !core.active || !now.is_multiple_of(core.mult) {
+            return out;
+        }
+        core.mult
+    };
+    // The clock network toggles every cycle the core is powered,
+    // stalled or not; only power gating (consolidation) removes it.
+    // Counted as an integer (energy = count × clock_pj at read time)
+    // so the fast path can batch idle boundaries bit-identically.
+    cluster.clock_cycles += 1;
+    if now < cluster.cores[c].stall_until {
+        return out;
+    }
+
+    // Context-switch decision. Hardware-stacked virtual cores behave
+    // like fine-grained multithreading: the register banks of all
+    // hosted threads stay resident, so when the current thread cannot
+    // issue this cycle the core selects a runnable sibling and executes
+    // it in the *same* cycle (the paper's "hardware context switches";
+    // the expensive case is migration *between* cores). The OS variant
+    // pays its full quantum-switch cost and only reconsiders a blocked
+    // thread at quantum granularity.
+    let ctx_threshold = 2 * ctx.ctx_cost_core_cycles * mult;
+    let switch = {
+        let core = &cluster.cores[c];
+        if core.assigned.is_empty() {
+            return out;
+        }
+        core.pick_switch_with(
+            |i| cluster.vcores[core.assigned[i]].runnable(now),
+            |i| {
+                let v = &cluster.vcores[core.assigned[i]];
+                if ctx.hardware {
+                    !v.runnable(now)
+                } else {
+                    v.blocked_on_sync()
+                        || matches!(v.state, VcState::StallUntil(t) if t > now + ctx_threshold)
+                }
+            },
+        )
+    };
+    if let Some(next) = switch {
+        let core = &mut cluster.cores[c];
+        core.current = next;
+        core.slice_left = ctx.slice_core_cycles;
+        out.switches += 1;
+        if !ctx.hardware {
+            core.stall_until = now + ctx.ctx_cost_core_cycles * mult;
+            return out;
+        }
+        // Hardware: fall through and issue from the new thread now.
+    }
+
+    let vc_id = {
+        let core = &mut cluster.cores[c];
+        if core.slice_left != u64::MAX {
+            // Semantic clamp, not a masked bug: an expired slice simply
+            // stays expired until the next switch refills it.
+            core.slice_left = core.slice_left.saturating_sub(1);
+        }
+        core.assigned[core.current]
+    };
+    if !cluster.vcores[vc_id].runnable(now) {
+        return out;
+    }
+    cluster.vcores[vc_id].state = VcState::Ready;
+
+    let mut issued_any = false;
+    let mut issued_count = 0u32;
+    let mut mem_issued = false;
+    for _slot in 0..2 {
+        let op = {
+            let vc = &mut cluster.vcores[vc_id];
+            match vc.held.take() {
+                Some(op) => op,
+                None => vc.gen.next_op(),
+            }
+        };
+        match op {
+            Op::Int => {
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.int_pj;
+                issued_any = true;
+                issued_count += 1;
+            }
+            Op::Fp => {
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.fp_pj;
+                issued_any = true;
+                issued_count += 1;
+            }
+            Op::Branch { mispredict } => {
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.branch_pj;
+                issued_any = true;
+                issued_count += 1;
+                if mispredict {
+                    cluster.vcores[vc_id].state =
+                        VcState::StallUntil(now + consts::MISPREDICT_PENALTY_CORE_CYCLES * mult);
+                    break;
+                }
+            }
+            Op::Idle { cycles } => {
+                cluster.vcores[vc_id].state = VcState::StallUntil(now + cycles as u64 * mult);
+                break;
+            }
+            Op::Load { addr } => {
+                if mem_issued {
+                    cluster.vcores[vc_id].held = Some(op);
+                    break;
+                }
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.mem_pj;
+                issued_any = true;
+                issued_count += 1;
+                if let L1System::Shared(s) = &mut cluster.l1 {
+                    debug_assert!(s.can_accept_read(vc_id), "blocking loads");
+                    s.issue_read(vc_id, addr, now, mult);
+                }
+                cluster.vcores[vc_id].state = VcState::WaitRead;
+                break;
+            }
+            Op::Store { addr } => {
+                if mem_issued {
+                    cluster.vcores[vc_id].held = Some(op);
+                    break;
+                }
+                if !cluster.cores[c].store_buffer_has_room() {
+                    let vc = &mut cluster.vcores[vc_id];
+                    vc.held = Some(op);
+                    vc.state = VcState::StallUntil(now + mult);
+                    break;
+                }
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.mem_pj;
+                issued_any = true;
+                issued_count += 1;
+                mem_issued = true;
+                if let L1System::Shared(s) = &mut cluster.l1 {
+                    s.issue_store(c, addr, now);
+                }
+                cluster.cores[c].pending_stores += 1;
+            }
+            Op::Barrier { id } => {
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj;
+                issued_any = true;
+                issued_count += 1;
+                out.sync = Some(PendingSyncOp {
+                    vc: vc_id,
+                    mult,
+                    kind: SyncKind::Barrier(id),
+                });
+                break;
+            }
+            Op::LockAcq { lock } => {
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.mem_pj;
+                issued_any = true;
+                issued_count += 1;
+                out.sync = Some(PendingSyncOp {
+                    vc: vc_id,
+                    mult,
+                    kind: SyncKind::LockAcq(lock),
+                });
+                break;
+            }
+            Op::LockRel { lock } => {
+                retire_local(cluster, vc_id);
+                cluster.core_dyn_pj += ctx.instr_e.base_pj + ctx.instr_e.mem_pj;
+                issued_any = true;
+                issued_count += 1;
+                out.sync = Some(PendingSyncOp {
+                    vc: vc_id,
+                    mult,
+                    kind: SyncKind::LockRel(lock),
+                });
+                break;
+            }
+            Op::Done => {
+                cluster.vcores[vc_id].state = VcState::Finished;
+                break;
+            }
+        }
+    }
+
+    if issued_any {
+        cluster.core_dyn_pj += ctx.instr_e.fetch_pj;
+        // The L1I array is read once per ~6 sequential instructions
+        // (a 32 B line holds 8 fixed-width instructions; the fetch line
+        // buffer filters repeat reads, branches refetch early).
+        cluster.ifetch_dyn_pj += cluster.l1_costs.i_read_pj * issued_count as f64 / 6.0;
+    }
+    out
 }
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -197,6 +610,12 @@ pub struct Chip {
     /// constructs no events, and sinks can only observe — simulation
     /// outcomes are bit-identical with tracing on or off.
     tracer: Tracer,
+    /// Worker budget for cluster-sharded stepping in the run loops
+    /// (1 = sequential). A performance knob with no simulation effect:
+    /// results are bit-identical at every width, and like the tracer it
+    /// is excluded from snapshots (restored as 1) so persisted state
+    /// never encodes host parallelism.
+    cluster_workers: usize,
 }
 
 impl Chip {
@@ -307,7 +726,23 @@ impl Chip {
             fault_epochs: 0,
             core_fault_stats: FaultStats::default(),
             tracer: Tracer::disabled(),
+            cluster_workers: 1,
         })
+    }
+
+    /// Sets the worker budget for cluster-sharded stepping in the run
+    /// loops ([`Chip::run_epoch`], [`Chip::run_warmup`],
+    /// [`Chip::run_to_completion`]); clamped to ≥ 1. Widths above 1 only
+    /// engage for eligible configurations (shared-per-cluster L1 with
+    /// hardware context switches) and never change results — the
+    /// sequential loop is the bit-identity oracle at every width.
+    pub fn set_cluster_workers(&mut self, n: usize) {
+        self.cluster_workers = n.max(1);
+    }
+
+    /// The configured cluster-shard worker budget (≥ 1).
+    pub fn cluster_workers(&self) -> usize {
+        self.cluster_workers
     }
 
     /// Installs a trace sink. Cloned chips (oracle replays) inherit the
@@ -373,19 +808,7 @@ impl Chip {
         self.ev_scratch = events;
 
         // Phase 2: deferred completions.
-        while let Some(&Reverse((t, d))) = self.deferred.peek() {
-            if t > now {
-                break;
-            }
-            self.deferred.pop();
-            match d {
-                Deferred::FreeStoreSlot(k, c) => {
-                    let core = &mut self.clusters[k].cores[c];
-                    debug_assert!(core.pending_stores > 0);
-                    core.pending_stores = core.pending_stores.saturating_sub(1);
-                }
-            }
-        }
+        self.drain_deferred(now);
 
         // Phase 3: core execution.
         for k in 0..self.clusters.len() {
@@ -395,6 +818,46 @@ impl Chip {
         }
 
         // Phase 4: cross-cluster coherence actions.
+        self.drain_remote();
+
+        self.tick = now + 1;
+    }
+
+    /// Phase 2 of a tick: applies deferred completions due at `now`.
+    fn drain_deferred(&mut self, now: u64) {
+        while let Some(&Reverse((t, d))) = self.deferred.peek() {
+            if t > now {
+                break;
+            }
+            self.deferred.pop();
+            match d {
+                Deferred::FreeStoreSlot(k, c) => {
+                    let core = &mut self.clusters[k].cores[c];
+                    // Underflow here means a store-buffer slot was freed
+                    // that was never occupied — a simulator bug that a
+                    // saturating subtract would silently launder into a
+                    // permanently-roomier store buffer. Fail loudly with
+                    // the structured diagnostic instead of clamping.
+                    let Some(rest) = core.pending_stores.checked_sub(1) else {
+                        panic!(
+                            "{}",
+                            Violation::error(
+                                "SIM-STORE-UNDERFLOW",
+                                "store-buffer slots freed never exceed slots occupied",
+                                format!("Chip::drain_deferred: cluster {k}, core {c}, tick {now}"),
+                                "FreeStoreSlot fired with pending_stores == 0",
+                            )
+                        );
+                    };
+                    core.pending_stores = rest;
+                }
+            }
+        }
+    }
+
+    /// Phase 4 of a tick: applies cross-cluster coherence actions queued
+    /// during the tick.
+    fn drain_remote(&mut self) {
         if !self.pending_remote.is_empty() {
             let ops = std::mem::take(&mut self.pending_remote);
             for op in &ops {
@@ -403,8 +866,273 @@ impl Chip {
             self.pending_remote = ops;
             self.pending_remote.clear();
         }
+    }
+
+    /// Advances the chip by one cache cycle with the cluster-local phases
+    /// fanned out across `team`'s workers, one cluster per job.
+    ///
+    /// Bit-identity with [`Chip::step`] rests on three facts, each tied
+    /// to the code it describes below; the eligibility gate
+    /// ([`Chip::shard_width`]) supplies the fourth (hardware context
+    /// switches), and the differential tests enforce the whole contract.
+    ///
+    /// 1. **Phase 1 commutes.** `SharedL1::tick` takes `&mut self` only —
+    ///    a controller's arbitration reads nothing outside its own
+    ///    cluster. Draining cluster `j`'s events (`handle_l1_event`)
+    ///    touches cluster `j`'s own state plus chip-global structures
+    ///    (L3/mesh/memory/directory, the deferred heap, the remote-op
+    ///    queue) — never another cluster's controller. So `tick(0),
+    ///    drain(0), tick(1), drain(1)` (sequential) and `tick(all) ∥,
+    ///    then drain(0), drain(1)` (here) perform identical mutations in
+    ///    identical per-structure order.
+    /// 2. **Phase 3 splits exactly.** Core cycles are cluster-local
+    ///    except the chip-global halves of sync ops, which
+    ///    [`exec_core_cycle_shared`] hands back as [`PendingSyncOp`]s.
+    ///    Replaying them in (cluster, core) lexicographic order *is* the
+    ///    sequential order, so barrier-arrival counts and lock-grant
+    ///    queues are identical.
+    /// 3. **Deferring the global halves is invisible.** Between a sync
+    ///    op's cycle and its replay, other cores observe pre-replay vcore
+    ///    states. Every state the replay would have written is
+    ///    equivalently non-runnable at `now`: `AtBarrier`/`WaitLock`
+    ///    stay blocked, and every wake the replay performs is a
+    ///    `StallUntil(now + p)` with `p ≥ 1` (barrier release penalties
+    ///    are ≥ 1; lock wakes clamp `penalty.max(1)`; a zero-penalty
+    ///    lock *acquisition* leaves the issuing thread `Ready`, but only
+    ///    its own core — which already ran — reads that). Under the
+    ///    hardware context-switch model the switch predicate is exactly
+    ///    `!runnable(now)`, so pre- and post-replay states decide
+    ///    identically. (The OS model's predicate also inspects
+    ///    `blocked_on_sync` and stall *distance*, which the replay does
+    ///    change — hence the gate excludes it.)
+    fn step_sharded(&mut self, team: &Team<ShardJob, ShardDone>, scratch: &mut ShardScratch) {
+        let now = self.tick;
+        let n = self.clusters.len();
+
+        // Phase 1: shared-L1 controllers, parallel round + ordered drain.
+        let mut clusters = std::mem::take(&mut self.clusters);
+        for (k, cluster) in clusters.drain(..).enumerate() {
+            let events = std::mem::take(&mut scratch.ev_bufs[k]);
+            debug_assert!(events.is_empty(), "event scratch leaked from last tick");
+            team.submit(
+                k,
+                ShardJob::L1Tick {
+                    k,
+                    cluster,
+                    events,
+                    now,
+                },
+            );
+        }
+        for _ in 0..n {
+            match team.recv() {
+                ShardDone::L1 { k, cluster, events } => {
+                    scratch.slots[k] = Some(cluster);
+                    scratch.ev_bufs[k] = events;
+                }
+                ShardDone::Cores { .. } => {
+                    unreachable!("core-phase result during the L1 round")
+                }
+            }
+        }
+        for slot in scratch.slots.iter_mut() {
+            clusters.push(slot.take().expect("cluster missing from the L1 round"));
+        }
+        self.clusters = clusters;
+        for k in 0..n {
+            let mut events = std::mem::take(&mut scratch.ev_bufs[k]);
+            for ev in events.drain(..) {
+                self.handle_l1_event(k, ev, now);
+            }
+            scratch.ev_bufs[k] = events;
+        }
+
+        // Phase 2: deferred completions (chip-global heap, main thread).
+        self.drain_deferred(now);
+
+        // Phase 3: core execution, parallel round + ordered sync replay.
+        let ctx = self.step_ctx();
+        let mut clusters = std::mem::take(&mut self.clusters);
+        for (k, cluster) in clusters.drain(..).enumerate() {
+            let syncs = std::mem::take(&mut scratch.sync_bufs[k]);
+            debug_assert!(syncs.is_empty(), "sync scratch leaked from last tick");
+            team.submit(
+                k,
+                ShardJob::Cores {
+                    k,
+                    cluster,
+                    syncs,
+                    ctx,
+                    now,
+                },
+            );
+        }
+        for _ in 0..n {
+            match team.recv() {
+                ShardDone::Cores {
+                    k,
+                    cluster,
+                    syncs,
+                    switches,
+                } => {
+                    scratch.slots[k] = Some(cluster);
+                    scratch.sync_bufs[k] = syncs;
+                    scratch.switch_counts[k] = switches;
+                }
+                ShardDone::L1 { .. } => {
+                    unreachable!("L1-phase result during the core round")
+                }
+            }
+        }
+        for slot in scratch.slots.iter_mut() {
+            clusters.push(slot.take().expect("cluster missing from the core round"));
+        }
+        self.clusters = clusters;
+        for k in 0..n {
+            self.context_switches += scratch.switch_counts[k];
+            scratch.switch_counts[k] = 0;
+            let mut syncs = std::mem::take(&mut scratch.sync_bufs[k]);
+            for ps in syncs.drain(..) {
+                self.apply_sync_op(k, ps, now);
+            }
+            scratch.sync_bufs[k] = syncs;
+        }
+
+        // Phase 4: cross-cluster coherence actions.
+        self.drain_remote();
 
         self.tick = now + 1;
+    }
+
+    /// Chip-constant inputs of a cluster-local core cycle.
+    fn step_ctx(&self) -> StepCtx {
+        StepCtx {
+            instr_e: self.instr_e,
+            ctx_cost_core_cycles: self.ctx_cost_core_cycles,
+            slice_core_cycles: self.slice_core_cycles,
+            hardware: self.config.ctx_switch == CtxSwitchModel::Hardware,
+        }
+    }
+
+    /// The shard width the run loops should use, or `None` to stay
+    /// sequential. Sharding needs more than one eligible worker and is
+    /// restricted to the configurations where the deferred-sync-replay
+    /// argument (see [`Chip::step_sharded`]) holds:
+    ///
+    /// - **Shared-per-cluster L1.** The private-L1 core cycle walks the
+    ///   chip-level memory hierarchy inline (loads) and pushes deferred
+    ///   completions mid-issue (stores) — it has no cluster-local form.
+    /// - **Hardware context switches.** The OS model's switch predicate
+    ///   reads `blocked_on_sync` and the stall *deadline*, both of which
+    ///   differ between a barrier/lock wake applied immediately
+    ///   (sequential) and at the round boundary (sharded); the hardware
+    ///   predicate `!runnable(now)` cannot tell the two apart.
+    ///
+    /// Ineligible configurations silently run the sequential loop — the
+    /// knob is a performance hint and must never change results.
+    fn shard_width(&self) -> Option<usize> {
+        let width = self.cluster_workers.min(self.clusters.len());
+        if width > 1
+            && self.config.l1_org == L1Org::SharedPerCluster
+            && self.config.ctx_switch == CtxSwitchModel::Hardware
+        {
+            Some(width)
+        } else {
+            None
+        }
+    }
+
+    /// Runs `f` with a live worker team when [`Chip::shard_width`] says
+    /// sharding applies, and without one otherwise. The team (and its
+    /// threads) lives exactly as long as `f`.
+    fn with_shard<T>(&mut self, f: impl FnOnce(&mut Self, Option<&mut ShardCtx>) -> T) -> T {
+        match self.shard_width() {
+            Some(width) => {
+                let scratch = ShardScratch::new(self.clusters.len());
+                respin_pool::with_team(width, shard_work, |team| {
+                    let mut ctx = ShardCtx { team, scratch };
+                    f(self, Some(&mut ctx))
+                })
+            }
+            None => f(self, None),
+        }
+    }
+
+    /// Applies the chip-global half of a sync op issued by cluster `k`:
+    /// barrier arrival/release, lock acquisition/queueing/release, and
+    /// the issuing (and any woken) thread's resulting state. Called
+    /// immediately after the core's cycle in the sequential loop and in
+    /// canonical (cluster, core) order at the round boundary in the
+    /// sharded loop — the same total order either way.
+    fn apply_sync_op(&mut self, k: usize, ps: PendingSyncOp, now: u64) {
+        let PendingSyncOp {
+            vc: vc_id,
+            mult,
+            kind,
+        } = ps;
+        match kind {
+            SyncKind::Barrier(id) => {
+                let arrivals = self.barriers.entry(id).or_insert(0);
+                *arrivals += 1;
+                if *arrivals == self.total_threads {
+                    self.barriers.remove(&id);
+                    self.release_barrier(id, k, now);
+                    self.clusters[k].vcores[vc_id].state = VcState::StallUntil(now + mult);
+                } else {
+                    self.clusters[k].vcores[vc_id].state = VcState::AtBarrier(id);
+                }
+            }
+            SyncKind::LockAcq(lock) => {
+                let (acquired, transfer_from) = {
+                    let e = self.locks.entry(lock).or_default();
+                    if e.holder.is_none() {
+                        e.holder = Some((k, vc_id));
+                        let from = e.last_cluster;
+                        e.last_cluster = k;
+                        (true, from)
+                    } else {
+                        e.waiters.push_back((k, vc_id));
+                        (false, usize::MAX)
+                    }
+                };
+                if acquired {
+                    let penalty = if transfer_from == usize::MAX {
+                        0
+                    } else {
+                        self.sync_transfer_ticks(transfer_from == k)
+                    };
+                    if penalty > 0 {
+                        self.clusters[k].vcores[vc_id].state = VcState::StallUntil(now + penalty);
+                    }
+                } else {
+                    self.clusters[k].vcores[vc_id].state = VcState::WaitLock(lock);
+                }
+            }
+            SyncKind::LockRel(lock) => {
+                let wake = {
+                    let e = self
+                        .locks
+                        .get_mut(&lock)
+                        .expect("release of a lock that was never acquired");
+                    debug_assert_eq!(e.holder, Some((k, vc_id)));
+                    e.last_cluster = k;
+                    match e.waiters.pop_front() {
+                        Some(next) => {
+                            e.holder = Some(next);
+                            Some(next)
+                        }
+                        None => {
+                            e.holder = None;
+                            None
+                        }
+                    }
+                };
+                if let Some((kk, vv)) = wake {
+                    let penalty = self.sync_transfer_ticks(kk == k);
+                    self.clusters[kk].vcores[vv].state = VcState::StallUntil(now + penalty.max(1));
+                }
+            }
+        }
     }
 
     /// Advances the chip to the next tick *at which anything can happen*,
@@ -433,6 +1161,14 @@ impl Chip {
     /// finished — a genuine deadlock the reference loop would only
     /// surface as an epoch-tick-limit assertion much later.
     pub fn advance(&mut self) {
+        self.advance_with(None);
+    }
+
+    /// [`Chip::advance`] with an optional live shard context: the skip
+    /// decision (the conservative horizon — every cluster's next-wakeup
+    /// deadline folded with the shared deadlines) is always taken on the
+    /// driving thread; only the executed tick is sharded.
+    fn advance_with(&mut self, shard: Option<&mut ShardCtx<'_>>) {
         if !self.reference_loop {
             match self.next_event_tick() {
                 Some(t) if t > self.tick => self.skip_idle_ticks(t),
@@ -447,7 +1183,10 @@ impl Chip {
                 }
             }
         }
-        self.step();
+        match shard {
+            Some(ctx) => self.step_sharded(ctx.team, &mut ctx.scratch),
+            None => self.step(),
+        }
     }
 
     /// Earliest tick ≥ `self.tick` at which any component can act: the
@@ -519,6 +1258,10 @@ impl Chip {
                 if !core.assigned.is_empty() && core.slice_left != u64::MAX {
                     let issue_from = now.max(core.stall_until);
                     if issue_from < target {
+                        // Semantic clamp (audited): the batched window may
+                        // legitimately outlast the remaining slice; an
+                        // expired slice floors at 0 exactly as the
+                        // per-tick decrement in the core cycle does.
                         core.slice_left = core
                             .slice_left
                             .saturating_sub(core.boundaries_in(issue_from, target));
@@ -731,6 +1474,24 @@ impl Chip {
     // ---------------------------------------------------------------- core cycle
 
     fn exec_core_cycle(&mut self, k: usize, c: usize, now: u64) {
+        // The shared-L1 organisation runs the same cluster-local function
+        // the sharded loop runs on workers — one code path, two drivers —
+        // with the chip-global sync half applied right here (the
+        // sequential order the sharded loop's ordered replay reproduces).
+        if self.config.l1_org == L1Org::SharedPerCluster {
+            let ctx = self.step_ctx();
+            let out = exec_core_cycle_shared(&mut self.clusters[k], &ctx, c, now);
+            self.context_switches += out.switches;
+            if let Some(ps) = out.sync {
+                self.apply_sync_op(k, ps, now);
+            }
+            return;
+        }
+
+        // Private-L1 organisation: loads walk the chip-level hierarchy
+        // inline and stores push deferred completions mid-issue, so this
+        // body stays chip-global (and the sharded loop never runs it —
+        // see `shard_width`).
         let mult = {
             let core = &self.clusters[k].cores[c];
             if !core.active || !now.is_multiple_of(core.mult) {
@@ -791,6 +1552,8 @@ impl Chip {
         let vc_id = {
             let core = &mut self.clusters[k].cores[c];
             if core.slice_left != u64::MAX {
+                // Semantic clamp (audited): an expired slice stays
+                // expired until the next switch refills it.
                 core.slice_left = core.slice_left.saturating_sub(1);
             }
             core.assigned[core.current]
@@ -850,19 +1613,7 @@ impl Chip {
                     self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
                     issued_any = true;
                     issued_count += 1;
-                    match self.config.l1_org {
-                        L1Org::SharedPerCluster => {
-                            let cluster = &mut self.clusters[k];
-                            if let L1System::Shared(s) = &mut cluster.l1 {
-                                debug_assert!(s.can_accept_read(vc_id), "blocking loads");
-                                s.issue_read(vc_id, addr, now, mult);
-                            }
-                            cluster.vcores[vc_id].state = VcState::WaitRead;
-                        }
-                        L1Org::Private => {
-                            self.private_load(k, c, vc_id, addr, now, mult);
-                        }
-                    }
+                    self.private_load(k, c, vc_id, addr, now, mult);
                     break;
                 }
                 Op::Store { addr } => {
@@ -881,36 +1632,25 @@ impl Chip {
                     issued_any = true;
                     issued_count += 1;
                     mem_issued = true;
-                    match self.config.l1_org {
-                        L1Org::SharedPerCluster => {
-                            let cluster = &mut self.clusters[k];
-                            if let L1System::Shared(s) = &mut cluster.l1 {
-                                s.issue_store(c, addr, now);
-                            }
-                            cluster.cores[c].pending_stores += 1;
-                        }
-                        L1Org::Private => {
-                            let completion = self.private_store(k, c, addr, now);
-                            self.clusters[k].cores[c].pending_stores += 1;
-                            self.deferred
-                                .push(Reverse((completion, Deferred::FreeStoreSlot(k, c))));
-                        }
-                    }
+                    let completion = self.private_store(k, c, addr, now);
+                    self.clusters[k].cores[c].pending_stores += 1;
+                    self.deferred
+                        .push(Reverse((completion, Deferred::FreeStoreSlot(k, c))));
                 }
                 Op::Barrier { id } => {
                     self.retire(k, vc_id);
                     self.charge_core(k, self.instr_e.base_pj);
                     issued_any = true;
                     issued_count += 1;
-                    let arrivals = self.barriers.entry(id).or_insert(0);
-                    *arrivals += 1;
-                    if *arrivals == self.total_threads {
-                        self.barriers.remove(&id);
-                        self.release_barrier(id, k, now);
-                        self.clusters[k].vcores[vc_id].state = VcState::StallUntil(now + mult);
-                    } else {
-                        self.clusters[k].vcores[vc_id].state = VcState::AtBarrier(id);
-                    }
+                    self.apply_sync_op(
+                        k,
+                        PendingSyncOp {
+                            vc: vc_id,
+                            mult,
+                            kind: SyncKind::Barrier(id),
+                        },
+                        now,
+                    );
                     break;
                 }
                 Op::LockAcq { lock } => {
@@ -918,31 +1658,15 @@ impl Chip {
                     self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
                     issued_any = true;
                     issued_count += 1;
-                    let (acquired, transfer_from) = {
-                        let e = self.locks.entry(lock).or_default();
-                        if e.holder.is_none() {
-                            e.holder = Some((k, vc_id));
-                            let from = e.last_cluster;
-                            e.last_cluster = k;
-                            (true, from)
-                        } else {
-                            e.waiters.push_back((k, vc_id));
-                            (false, usize::MAX)
-                        }
-                    };
-                    if acquired {
-                        let penalty = if transfer_from == usize::MAX {
-                            0
-                        } else {
-                            self.sync_transfer_ticks(transfer_from == k)
-                        };
-                        if penalty > 0 {
-                            self.clusters[k].vcores[vc_id].state =
-                                VcState::StallUntil(now + penalty);
-                        }
-                    } else {
-                        self.clusters[k].vcores[vc_id].state = VcState::WaitLock(lock);
-                    }
+                    self.apply_sync_op(
+                        k,
+                        PendingSyncOp {
+                            vc: vc_id,
+                            mult,
+                            kind: SyncKind::LockAcq(lock),
+                        },
+                        now,
+                    );
                     break;
                 }
                 Op::LockRel { lock } => {
@@ -950,29 +1674,15 @@ impl Chip {
                     self.charge_core(k, self.instr_e.base_pj + self.instr_e.mem_pj);
                     issued_any = true;
                     issued_count += 1;
-                    let wake = {
-                        let e = self
-                            .locks
-                            .get_mut(&lock)
-                            .expect("release of a lock that was never acquired");
-                        debug_assert_eq!(e.holder, Some((k, vc_id)));
-                        e.last_cluster = k;
-                        match e.waiters.pop_front() {
-                            Some(next) => {
-                                e.holder = Some(next);
-                                Some(next)
-                            }
-                            None => {
-                                e.holder = None;
-                                None
-                            }
-                        }
-                    };
-                    if let Some((kk, vv)) = wake {
-                        let penalty = self.sync_transfer_ticks(kk == k);
-                        self.clusters[kk].vcores[vv].state =
-                            VcState::StallUntil(now + penalty.max(1));
-                    }
+                    self.apply_sync_op(
+                        k,
+                        PendingSyncOp {
+                            vc: vc_id,
+                            mult,
+                            kind: SyncKind::LockRel(lock),
+                        },
+                        now,
+                    );
                     break;
                 }
                 Op::Done => {
@@ -1623,7 +2333,16 @@ impl Chip {
 
     /// Runs one consolidation epoch: until `epoch_instructions × clusters`
     /// further instructions retire chip-wide (or the workload finishes).
+    ///
+    /// When [`Chip::set_cluster_workers`] granted a width > 1 and the
+    /// configuration is eligible (see `shard_width`), the epoch's ticks
+    /// run cluster-sharded on a worker team — bit-identically to the
+    /// sequential loop by contract.
     pub fn run_epoch(&mut self) -> EpochReport {
+        self.with_shard(|chip, shard| chip.run_epoch_with(shard))
+    }
+
+    fn run_epoch_with(&mut self, mut shard: Option<&mut ShardCtx<'_>>) -> EpochReport {
         let start_tick = self.tick;
         // Trace bookkeeping is only captured when a sink is installed —
         // the disabled path does no extra work at all.
@@ -1646,7 +2365,7 @@ impl Chip {
                 self.tick - start_tick < MAX_EPOCH_TICKS,
                 "epoch exceeded {MAX_EPOCH_TICKS} ticks — simulator deadlock?"
             );
-            self.advance();
+            self.advance_with(shard.as_deref_mut());
         }
 
         // Epoch-boundary fault maintenance runs before the report is
@@ -1737,7 +2456,9 @@ impl Chip {
     /// bounded per-array traces.
     fn emit_epoch_trace(&self, snap: &EpochTraceSnapshot, report: &EpochReport) {
         // `run_epoch` just incremented every cluster's epoch counter, so
-        // the 0-based index of the epoch that ended is count - 1.
+        // the 0-based index of the epoch that ended is count - 1 (the
+        // saturation is audited-unreachable — the counter is ≥ 1 here —
+        // and only guards the arithmetic, never masks state).
         let epoch = self
             .clusters
             .first()
@@ -1855,9 +2576,11 @@ impl Chip {
     /// the "startup phase excluded" treatment the paper applies — without
     /// it, short synthetic runs are dominated by compulsory misses.
     pub fn run_warmup(&mut self, total_instructions: u64) {
-        while !self.finished() && self.total_instructions() < total_instructions {
-            self.advance();
-        }
+        self.with_shard(|chip, mut shard| {
+            while !chip.finished() && chip.total_instructions() < total_instructions {
+                chip.advance_with(shard.as_deref_mut());
+            }
+        });
         self.reset_measurements();
     }
 
@@ -1898,11 +2621,14 @@ impl Chip {
         self.consolidation_trace = vec![(now, total_active)];
     }
 
-    /// Runs to completion with no consolidation decisions.
+    /// Runs to completion with no consolidation decisions. One worker
+    /// team (when sharding applies) spans every epoch.
     pub fn run_to_completion(&mut self) -> RunResult {
-        while !self.finished() {
-            self.run_epoch();
-        }
+        self.with_shard(|chip, mut shard| {
+            while !chip.finished() {
+                chip.run_epoch_with(shard.as_deref_mut());
+            }
+        });
         self.result()
     }
 
@@ -2029,10 +2755,13 @@ fn fault_kind_label(kind: &FaultEventKind) -> &'static str {
 
 // Hand-written (rather than derived) chip serialisation: most fields are
 // private, the deferred-event heap needs flattening to a sorted vector,
-// and three fields are deliberately excluded from the persisted state —
-// the tracer (observation-only, restored disabled) and the two scratch
-// vectors (drained between steps — `step` debug-asserts both empty — so
-// an empty restore is exactly the pre-snapshot state). Everything else is
+// and four fields are deliberately excluded from the persisted state —
+// the tracer (observation-only, restored disabled), the cluster-shard
+// worker budget (a host-performance knob with no simulation effect,
+// restored as 1; the runner re-applies the session's width) and the two
+// scratch vectors (drained between steps — `step` debug-asserts both
+// empty — so an empty restore is exactly the pre-snapshot state).
+// Everything else is
 // captured verbatim: a restored chip advances bit-identically, which the
 // snapshot roundtrip tests (here and in respin-core) enforce.
 impl Serialize for Chip {
@@ -2137,6 +2866,7 @@ impl Deserialize for Chip {
             fault_epochs: de_field(v, "fault_epochs")?,
             core_fault_stats: de_field(v, "core_fault_stats")?,
             tracer: Tracer::disabled(),
+            cluster_workers: 1,
         })
     }
 }
@@ -2197,6 +2927,84 @@ mod tests {
                 "fast path never engaged for {org:?}"
             );
         }
+    }
+
+    /// A 4-cluster shrink of the NT baseline so shard widths up to 4 are
+    /// meaningful (the tiny 2-cluster config clamps wider teams to 2).
+    fn quad_config() -> ChipConfig {
+        let mut c = ChipConfig::nt_base();
+        c.clusters = 4;
+        c.cores_per_cluster = 4;
+        c.instructions_per_thread = Some(2_000);
+        c.epoch_instructions = 1_500;
+        c
+    }
+
+    #[test]
+    fn cluster_sharded_loop_is_bit_identical_to_sequential() {
+        // Ocean is barrier-heavy and Radiosity lock-heavy, so the
+        // deferred sync replay — the delicate half of the sharding
+        // argument — is exercised hard, not just the independent phases.
+        for bench in [Benchmark::Fft, Benchmark::Ocean, Benchmark::Radiosity] {
+            let spec = bench.spec();
+            let mut seq = Chip::new(quad_config(), &spec, 1);
+            seq.run_warmup(2_000);
+            let want = seq.run_to_completion();
+            for workers in [2, 4] {
+                let mut sharded = Chip::new(quad_config(), &spec, 1);
+                sharded.set_cluster_workers(workers);
+                sharded.run_warmup(2_000);
+                let got = sharded.run_to_completion();
+                assert_eq!(
+                    got, want,
+                    "cluster-sharded loop diverged for {bench:?} at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_is_inert_for_ineligible_configs() {
+        // Private L1 and OS context switches fall outside the
+        // bit-identity argument; the knob must silently degrade to the
+        // sequential loop there, not change results (or panic).
+        let mut os_cfg = tiny_config(L1Org::SharedPerCluster);
+        os_cfg.ctx_switch = CtxSwitchModel::Os;
+        for cfg in [tiny_config(L1Org::Private), os_cfg] {
+            let mut seq = Chip::new(cfg.clone(), &spec(), 1);
+            let want = seq.run_to_completion();
+            let mut knobbed = Chip::new(cfg, &spec(), 1);
+            knobbed.set_cluster_workers(4);
+            let got = knobbed.run_to_completion();
+            assert_eq!(got, want, "ineligible config was perturbed by the knob");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM-STORE-UNDERFLOW")]
+    fn store_slot_underflow_is_a_structured_violation() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        // Stage a completion for a store that was never issued: a fresh
+        // chip has pending_stores == 0 everywhere, so draining this slot
+        // must surface the structured violation, not clamp to 0.
+        assert_eq!(chip.clusters[0].cores[0].pending_stores, 0);
+        chip.deferred
+            .push(Reverse((chip.tick, Deferred::FreeStoreSlot(0, 0))));
+        chip.step();
+    }
+
+    #[test]
+    fn snapshots_exclude_the_cluster_worker_knob() {
+        let mut chip = Chip::new(tiny_config(L1Org::SharedPerCluster), &spec(), 1);
+        chip.run_epoch();
+        let baseline = chip.to_value();
+        chip.set_cluster_workers(4);
+        // Same bytes with the knob set: host parallelism never leaks into
+        // persisted state...
+        assert_eq!(chip.to_value(), baseline);
+        // ...and a restore comes back sequential regardless.
+        let restored = Chip::from_value(&chip.to_value()).expect("chip snapshot roundtrip");
+        assert_eq!(restored.cluster_workers(), 1);
     }
 
     #[test]

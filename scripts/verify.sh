@@ -121,7 +121,7 @@ if [ ! -s "$trace_dir/trace.chrome.json" ]; then
     echo "trace smoke: Chrome-trace export is empty or missing" >&2
     exit 1
 fi
-RESPIN_THREADS=1 cargo run --release -q -p respin-core --bin respin-experiments -- \
+RESPIN_THREADS=1 RESPIN_CLUSTER_WORKERS=1 cargo run --release -q -p respin-core --bin respin-experiments -- \
     resilience --quick --out "$seq_dir" --trace-out "$seq_dir/trace" >/dev/null
 for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
     if ! cmp -s "$trace_dir/$f" "$seq_dir/$f"; then
@@ -130,7 +130,19 @@ for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
     fi
 done
 echo 'determinism smoke: artifacts byte-identical at 2 workers and 1 worker'
-rm -rf "$trace_dir" "$seq_dir"
+# Third leg: intra-run cluster sharding (DESIGN.md §16) must also be
+# byte-identical to the sequential stepping loop.
+cs_dir=$(mktemp -d)
+RESPIN_THREADS=1 RESPIN_CLUSTER_WORKERS=2 cargo run --release -q -p respin-core --bin respin-experiments -- \
+    resilience --quick --out "$cs_dir" --trace-out "$cs_dir/trace" >/dev/null
+for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
+    if ! cmp -s "$cs_dir/$f" "$seq_dir/$f"; then
+        echo "determinism smoke: $f differs between RESPIN_CLUSTER_WORKERS=2 and sequential" >&2
+        exit 1
+    fi
+done
+echo 'determinism smoke: artifacts byte-identical with cluster sharding at 2 workers'
+rm -rf "$trace_dir" "$seq_dir" "$cs_dir"
 
 echo '== kill-and-resume smoke: SIGKILL mid-campaign, resume, byte-identical report'
 kr_dir=$(mktemp -d)
@@ -176,14 +188,14 @@ for suite in fig6_quick resilience_smoke consolidation_heavy idle_heavy idle_hea
         exit 1
     fi
 done
-for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup; do
+for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup cluster_shard workers clusters wall_ms_w1 wall_ms_wn; do
     if ! grep -q "\"$key\"" "$bench_dir/bench.json"; then
         echo "bench smoke: key '$key' missing from report" >&2
         exit 1
     fi
 done
-if ! grep -q '"schema": "respin-bench-report/v2"' "$bench_dir/bench.json"; then
-    echo "bench smoke: report schema is not respin-bench-report/v2" >&2
+if ! grep -q '"schema": "respin-bench-report/v3"' "$bench_dir/bench.json"; then
+    echo "bench smoke: report schema is not respin-bench-report/v3" >&2
     exit 1
 fi
 if grep -q '^bench: idle_heavy .*ticks_skipped=0$' "$bench_dir/bench.log"; then
@@ -192,6 +204,10 @@ if grep -q '^bench: idle_heavy .*ticks_skipped=0$' "$bench_dir/bench.log"; then
 fi
 if ! grep -q '^bench: sweep_parallel ' "$bench_dir/bench.log"; then
     echo "bench smoke: run-pool sweep status line missing" >&2
+    exit 1
+fi
+if ! grep -q '^bench: cluster_shard ' "$bench_dir/bench.log"; then
+    echo "bench smoke: cluster-shard status line missing" >&2
     exit 1
 fi
 rm -rf "$bench_dir"

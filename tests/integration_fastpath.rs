@@ -1,12 +1,15 @@
-//! Differential test for the event-driven fast path: every run below is
-//! executed twice — once with the batched `Chip::advance` loop (the
-//! default) and once with `reference_loop = true`, the naive tick-by-tick
-//! oracle — and the two must agree **bit for bit**: same `RunResult`
-//! (ticks, picoseconds, instructions, energy, full `ChipStats`), and when
-//! tracing is on, a byte-identical exported JSONL stream. That is the
-//! contract DESIGN.md §12 states: the fast path is an execution strategy,
-//! never a model change.
+//! Differential tests for the execution strategies: every run below is
+//! executed multiple ways — the batched `Chip::advance` loop (the
+//! default) against `reference_loop = true` (the naive tick-by-tick
+//! oracle), and the sequential stepping loop against cluster-parallel
+//! sharding at 2 and 4 workers — and all of them must agree **bit for
+//! bit**: same `RunResult` (ticks, picoseconds, instructions, energy,
+//! full `ChipStats`), and when tracing is on, a byte-identical exported
+//! JSONL stream. That is the contract DESIGN.md §12 and §16 state: fast
+//! path and cluster sharding are execution strategies, never model
+//! changes.
 
+use proptest::prelude::*;
 use respin_core::arch::ArchConfig;
 use respin_core::runner::{run_instrumented, RunOptions};
 use respin_sim::{Chip, FaultConfig, RunResult};
@@ -115,6 +118,77 @@ fn fast_path_produces_identical_trace_stream() {
         fast_jsonl, oracle_jsonl,
         "exported trace streams must be byte-identical"
     );
+}
+
+proptest! {
+    // Full runs are expensive; a handful of random machine shapes per CI
+    // invocation still walks the whole space over time thanks to
+    // proptest's persisted failure corpus.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cluster-parallel loop is bit-identical to the sequential
+    /// stepping loop (which `fast_path_matches_reference_*` ties to the
+    /// naive oracle) on arbitrary small configurations at 1, 2 and 4
+    /// workers — including barrier-heavy (Ocean) and lock-heavy
+    /// (Radiosity) synchronisation patterns.
+    #[test]
+    fn cluster_parallel_matches_sequential_on_arbitrary_small_configs(
+        clusters in 2usize..=4,
+        cores in 2usize..=4,
+        bench_ix in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let bench = [
+            Benchmark::Fft,
+            Benchmark::Radix,
+            Benchmark::Ocean,
+            Benchmark::Radiosity,
+        ][bench_ix];
+        let mut o = RunOptions::new(ArchConfig::ShStt, bench);
+        o.clusters = clusters;
+        o.cores_per_cluster = cores;
+        o.instructions_per_thread = Some(3_000);
+        o.warmup_per_thread = 1_000;
+        o.epoch_instructions = Some(1_500);
+        o.seed = seed;
+        o.cluster_workers = Some(1);
+        let want = run_instrumented(&o).0;
+        for workers in [2usize, 4] {
+            let mut wide = o.clone();
+            wide.cluster_workers = Some(workers);
+            let got = run_instrumented(&wide).0;
+            prop_assert_eq!(
+                &got, &want,
+                "cluster-parallel run diverged: {} clusters × {} cores, {:?}, seed {}, {} workers",
+                clusters, cores, bench, seed, workers
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_parallel_produces_identical_trace_stream_at_every_width() {
+    // The byte-diff CI gate in miniature: same run, same trace bytes, at
+    // every cluster-worker count (consolidation on, so epoch rebuilds
+    // and VCM decisions are in the stream too).
+    let jsonl_for = |workers: usize| -> (RunResult, String) {
+        let ring = Arc::new(RingSink::unbounded());
+        let mut o =
+            quick_opts(ArchConfig::ShSttCc, Benchmark::Radix).traced(Tracer::new(ring.clone()));
+        o.cluster_workers = Some(workers);
+        let (result, _) = run_instrumented(&o);
+        (result, to_jsonl(&ring.snapshot()))
+    };
+    let (seq, seq_jsonl) = jsonl_for(1);
+    assert!(!seq_jsonl.is_empty(), "trace must capture events");
+    for workers in [2, 4] {
+        let (wide, wide_jsonl) = jsonl_for(workers);
+        assert_eq!(wide, seq, "results diverged at {workers} cluster workers");
+        assert_eq!(
+            wide_jsonl, seq_jsonl,
+            "trace streams must be byte-identical at {workers} cluster workers"
+        );
+    }
 }
 
 #[test]
