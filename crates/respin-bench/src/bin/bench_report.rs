@@ -1,13 +1,15 @@
-//! Perf-trajectory harness: runs the fixed seeded suite plus the
-//! run-pool parallel sweep and the intra-run cluster-shard measurement,
-//! and writes a `BENCH_*.json` report (see DESIGN.md §12 and §16).
+//! Perf-trajectory harness: runs the fixed seeded suite, the run-pool
+//! parallel sweep, the intra-run cluster-shard measurement, and the
+//! `respin-serve` daemon bench (cold / memo-warm / store-warm phases
+//! under concurrent clients), and writes a `BENCH_*.json` report (see
+//! DESIGN.md §12, §16, and §17).
 //!
 //! ```text
 //! bench_report [--smoke] [--out PATH] [--threads N]
 //! ```
 //!
 //! * `--smoke` shrinks every suite to a few seconds (verify.sh / CI).
-//! * `--out PATH` report destination (default `BENCH_PR8.json`).
+//! * `--out PATH` report destination (default `BENCH_PR9.json`).
 //! * `--threads N` worker count for the parallel pass of the sweep and
 //!   for the cluster-sharded run (outranking `RESPIN_THREADS`; default
 //!   is the host parallelism).
@@ -26,7 +28,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR8.json");
+    let mut out_path = String::from("BENCH_PR9.json");
     let mut threads_flag = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,7 +64,7 @@ fn main() -> ExitCode {
     }
     let threads = respin_pool::resolved_threads();
     let mode = if smoke { "smoke" } else { "full" };
-    let (suites, parallel, cluster) = match trajectory::run_suites(smoke, threads) {
+    let (suites, parallel, cluster, serve) = match trajectory::run_suites(smoke, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench_report: FAILED: {e}");
@@ -70,7 +72,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = trajectory::render_json(mode, &suites, &parallel, &cluster);
+    let report = trajectory::render_json(mode, &suites, &parallel, &cluster, &serve);
     if let Err(e) =
         respin_core::persist::atomic_write(std::path::Path::new(&out_path), report.as_bytes())
     {
@@ -103,6 +105,19 @@ fn main() -> ExitCode {
         cluster.wall_ms_w1,
         cluster.wall_ms_wn,
         cluster.speedup
+    );
+    println!(
+        "bench: serve clients={} threads={} host_cpus={} runs_per_client={} unique_runs={} \
+         wall_ms_cold={:.1} wall_ms_warm_memo={:.1} wall_ms_warm_store={:.1} warm_hit_ms={:.2}",
+        serve.clients,
+        serve.threads,
+        serve.host_cpus,
+        serve.runs_per_client,
+        serve.unique_runs,
+        serve.wall_ms_cold,
+        serve.wall_ms_warm_memo,
+        serve.wall_ms_warm_store,
+        serve.warm_hit_ms
     );
     println!("bench_report: wrote {out_path} ({mode} mode)");
     ExitCode::SUCCESS

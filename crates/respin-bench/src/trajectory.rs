@@ -28,7 +28,10 @@ use std::time::Instant;
 /// plus the top-level `parallel` object (run-pool sweep timing). v3 =
 /// v2 plus the top-level `cluster_shard` object (intra-run
 /// cluster-parallel timing of one fixed big run at 1 vs N workers).
-pub const SCHEMA: &str = "respin-bench-report/v3";
+/// v4 = v3 plus the top-level `serve` object (daemon cold / memo-warm /
+/// store-warm throughput under concurrent clients, and warm-hit
+/// latency).
+pub const SCHEMA: &str = "respin-bench-report/v4";
 
 /// One timed suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -273,6 +276,215 @@ pub fn run_cluster_shard(smoke: bool, workers: usize) -> Result<ClusterShard, St
     })
 }
 
+/// Daemon serving measurement: the fixed sweep batch pushed through a
+/// live in-process `respin-serve` daemon by `clients` concurrent
+/// connections in three phases — cold (every key simulated live),
+/// memo-warm (same daemon, same keys), and store-warm (daemon restarted
+/// over the same content-addressed store, memo empty) — self-gated on
+/// every served result being bit-identical to the one-shot runner's
+/// (see [`run_serve_bench`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// Concurrent client connections per phase.
+    pub clients: usize,
+    /// Daemon simulation thread budget.
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cpus: usize,
+    /// Batch positions each client requests per phase.
+    pub runs_per_client: usize,
+    /// Distinct simulations the cold phase actually pays for (the
+    /// daemon memo dedups across racing clients).
+    pub unique_runs: usize,
+    /// Wall-clock for the cold phase (all clients, all requests).
+    pub wall_ms_cold: f64,
+    /// Wall-clock for the memo-warm phase.
+    pub wall_ms_warm_memo: f64,
+    /// Wall-clock for the store-warm phase (after daemon restart).
+    pub wall_ms_warm_store: f64,
+    /// Mean per-request latency of single-key warm requests — the
+    /// figure a dashboard polling a resident daemon actually feels.
+    pub warm_hit_ms: f64,
+    /// Warm single-key requests timed for `warm_hit_ms`.
+    pub warm_hits: usize,
+}
+
+/// Drives one phase: `clients` threads each sweep the full `batch`
+/// through its own connection; returns per-client outcomes + wall time.
+fn serve_phase(
+    socket: &std::path::Path,
+    batch: &[RunOptions],
+    clients: usize,
+) -> Result<(Vec<respin_serve::SweepOutcome>, f64), String> {
+    let (outcomes, wall_ms) = timed(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut client = respin_serve::Client::connect(socket)
+                            .map_err(|e| format!("connect: {e}"))?;
+                        client.sweep(batch.to_vec(), false)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| "client thread panicked".to_string())?)
+                .collect::<Result<Vec<_>, String>>()
+        })
+    });
+    Ok((outcomes?, wall_ms))
+}
+
+/// Checks one phase's outcomes against the one-shot reference results
+/// and returns how many positions were served live vs warm.
+fn gate_phase(
+    phase: &str,
+    outcomes: &[respin_serve::SweepOutcome],
+    reference: &[std::sync::Arc<RunResult>],
+) -> Result<(usize, usize), String> {
+    let mut live = 0;
+    let mut warm = 0;
+    for (c, outcome) in outcomes.iter().enumerate() {
+        if !outcome.errors.is_empty() {
+            return Err(format!(
+                "serve {phase}: client {c} got errors: {:?}",
+                outcome.errors
+            ));
+        }
+        for (i, result) in outcome.results.iter().enumerate() {
+            let Some(result) = result else {
+                return Err(format!("serve {phase}: client {c} missing result {i}"));
+            };
+            if *result != *reference[i] {
+                return Err(format!(
+                    "serve {phase}: client {c} result {i} diverged from the one-shot \
+                     runner: served {{ticks: {}, instructions: {}}} vs direct \
+                     {{ticks: {}, instructions: {}}}",
+                    result.ticks,
+                    result.instructions,
+                    reference[i].ticks,
+                    reference[i].instructions
+                ));
+            }
+        }
+        live += outcome.done.live;
+        warm += outcome.done.warm_memo + outcome.done.warm_store;
+    }
+    Ok((live, warm))
+}
+
+/// Hammers an in-process daemon with `clients` concurrent connections
+/// over the fixed sweep batch: a cold phase, a memo-warm phase, a
+/// daemon restart over the same store followed by a store-warm phase,
+/// and a warm-hit latency loop — self-gated on the three-way
+/// byte-identity contract (one-shot = live = warm) and on the warm
+/// phases simulating nothing.
+///
+/// # Errors
+///
+/// Returns a violated-contract description when any served result
+/// differs from the one-shot runner's, when a warm phase reports live
+/// simulations, or when the daemon misbehaves (connection or protocol
+/// errors).
+pub fn run_serve_bench(smoke: bool, threads: usize) -> Result<ServeBench, String> {
+    let batch = sweep_batch(smoke);
+    let clients = if smoke { 3 } else { 4 };
+    let reference = RunCache::new().run_all_on(&Pool::with_threads(threads.max(1)), &batch);
+
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("respin-bench-serve-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("serve bench dir: {e}"))?;
+    let opts = respin_serve::ServeOptions {
+        socket: dir.join("bench.sock"),
+        store_dir: Some(dir.join("store")),
+        store_budget_bytes: 0,
+        threads: threads.max(1),
+        max_jobs: 2,
+        quiet: true,
+    };
+    let start = |opts: &respin_serve::ServeOptions| -> Result<std::thread::JoinHandle<()>, String> {
+        let server = respin_serve::Server::bind(opts).map_err(|e| format!("bind daemon: {e}"))?;
+        Ok(std::thread::spawn(move || {
+            server.run().expect("daemon accept loop");
+        }))
+    };
+    let stop = |handle: std::thread::JoinHandle<()>| -> Result<(), String> {
+        let mut client =
+            respin_serve::Client::connect(&opts.socket).map_err(|e| format!("connect: {e}"))?;
+        client.shutdown()?;
+        handle.join().map_err(|_| "daemon panicked".to_string())
+    };
+
+    // Phase 1+2: cold, then memo-warm, same daemon lifetime.
+    let handle = start(&opts)?;
+    eprintln!("bench: serve cold clients={clients} ...");
+    let (cold, wall_ms_cold) = serve_phase(&opts.socket, &batch, clients)?;
+    let (cold_live, _) = gate_phase("cold", &cold, &reference)?;
+    if cold_live == 0 {
+        return Err("serve cold phase simulated nothing live".to_string());
+    }
+    eprintln!("bench: serve warm-memo clients={clients} ...");
+    let (warm, wall_ms_warm_memo) = serve_phase(&opts.socket, &batch, clients)?;
+    let (warm_live, warm_warm) = gate_phase("warm-memo", &warm, &reference)?;
+    if warm_live != 0 || warm_warm != clients * batch.len() {
+        return Err(format!(
+            "serve warm-memo phase must serve everything warm: live={warm_live} warm={warm_warm}"
+        ));
+    }
+
+    // Warm-hit latency: single-key requests against the warm memo.
+    let warm_hits = if smoke { 12 } else { 40 };
+    let mut client =
+        respin_serve::Client::connect(&opts.socket).map_err(|e| format!("connect: {e}"))?;
+    let ((), warm_loop_ms) = timed(|| {
+        for i in 0..warm_hits {
+            let one = vec![batch[i % batch.len()].clone()];
+            let outcome = client.sweep(one, false).expect("warm hit");
+            assert_eq!(outcome.done.results, 1, "warm hit must serve one result");
+        }
+    });
+    stop(handle)?;
+
+    // Phase 3: restart over the same store; memo is empty, disk is not.
+    let handle = start(&opts)?;
+    eprintln!("bench: serve warm-store clients={clients} ...");
+    let (stored, wall_ms_warm_store) = serve_phase(&opts.socket, &batch, clients)?;
+    let (stored_live, stored_warm) = gate_phase("warm-store", &stored, &reference)?;
+    if stored_live != 0 {
+        return Err(format!(
+            "serve warm-store phase re-simulated {stored_live} runs after restart"
+        ));
+    }
+    if stored_warm != clients * batch.len() {
+        return Err(format!(
+            "serve warm-store phase served {stored_warm} warm, expected {}",
+            clients * batch.len()
+        ));
+    }
+    stop(handle)?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(ServeBench {
+        clients,
+        threads: threads.max(1),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs_per_client: batch.len(),
+        unique_runs: batch.len() - 1,
+        wall_ms_cold,
+        wall_ms_warm_memo,
+        wall_ms_warm_store,
+        warm_hit_ms: if warm_hits > 0 {
+            warm_loop_ms / warm_hits as f64
+        } else {
+            0.0
+        },
+        warm_hits,
+    })
+}
+
 /// fig6-style sweep: every benchmark (a subset in smoke mode) on the
 /// ShStt configuration at quick scale, through the normal policy runner.
 fn fig6_quick(smoke: bool) -> SuiteResult {
@@ -408,17 +620,19 @@ fn run_idle_heavy(reference: bool, ipt: u64) -> (RunResult, u64, f64) {
 /// fast path failed to skip any ticks on a workload that is nearly all
 /// idle time, when the parallel sweep diverges from its sequential twin
 /// (see [`run_parallel_sweep`]), when the cluster-sharded run diverges
-/// from its sequential twin (see [`run_cluster_shard`]), or — in full
-/// mode on a host with ≥ 4 CPUs and ≥ 4 workers — when the pool speedup
-/// lands below the 2x floor. The floor is conditional on `host_cpus`
-/// because on a single-CPU host threads time-slice one core and a
-/// wall-clock speedup is physically impossible; the determinism
-/// self-gates still run there. The cluster-shard measurement has no
-/// floor (see [`ClusterShard`]) — only the identity gate.
+/// from its sequential twin (see [`run_cluster_shard`]), when the serve
+/// bench violates the three-way byte-identity contract or a warm phase
+/// simulates anything (see [`run_serve_bench`]), or — in full mode on a
+/// host with ≥ 4 CPUs and ≥ 4 workers — when the pool speedup lands
+/// below the 2x floor. The floor is conditional on `host_cpus` because
+/// on a single-CPU host threads time-slice one core and a wall-clock
+/// speedup is physically impossible; the determinism self-gates still
+/// run there. The cluster-shard and serve measurements have no floors —
+/// only identity gates.
 pub fn run_suites(
     smoke: bool,
     threads: usize,
-) -> Result<(Vec<SuiteResult>, ParallelSweep, ClusterShard), String> {
+) -> Result<(Vec<SuiteResult>, ParallelSweep, ClusterShard, ServeBench), String> {
     let mut out = Vec::new();
     eprintln!("bench: fig6_quick ...");
     out.push(fig6_quick(smoke));
@@ -493,19 +707,34 @@ pub fn run_suites(
         cluster.speedup,
         cluster.host_cpus
     );
-    Ok((out, parallel, cluster))
+
+    eprintln!("bench: serve threads={threads} ...");
+    let serve = run_serve_bench(smoke, threads)?;
+    eprintln!(
+        "bench: serve clients={} cold={:.0}ms warm_memo={:.0}ms warm_store={:.0}ms \
+         warm_hit={:.2}ms host_cpus={}",
+        serve.clients,
+        serve.wall_ms_cold,
+        serve.wall_ms_warm_memo,
+        serve.wall_ms_warm_store,
+        serve.warm_hit_ms,
+        serve.host_cpus
+    );
+    Ok((out, parallel, cluster, serve))
 }
 
 /// Renders the report JSON by hand (stable key order, no new
 /// dependencies): `{"schema", "mode", "parallel": {...}, "cluster_shard":
-/// {...}, "suites": {name: {wall_ms, instructions, ips,
+/// {...}, "serve": {...}, "suites": {name: {wall_ms, instructions, ips,
 /// ticks_skipped}}}`. The `suites` map is byte-compatible with the v1
-/// layout; v2 added the `parallel` object, v3 adds `cluster_shard`.
+/// layout; v2 added the `parallel` object, v3 added `cluster_shard`, v4
+/// adds `serve`.
 pub fn render_json(
     mode: &str,
     suites: &[SuiteResult],
     parallel: &ParallelSweep,
     cluster: &ClusterShard,
+    serve: &ServeBench,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -535,6 +764,22 @@ pub fn render_json(
         cluster.wall_ms_w1,
         cluster.wall_ms_wn,
         cluster.speedup
+    ));
+    s.push_str(&format!(
+        "  \"serve\": {{ \"clients\": {}, \"threads\": {}, \"host_cpus\": {}, \
+         \"runs_per_client\": {}, \"unique_runs\": {}, \"wall_ms_cold\": {:.3}, \
+         \"wall_ms_warm_memo\": {:.3}, \"wall_ms_warm_store\": {:.3}, \
+         \"warm_hit_ms\": {:.3}, \"warm_hits\": {} }},\n",
+        serve.clients,
+        serve.threads,
+        serve.host_cpus,
+        serve.runs_per_client,
+        serve.unique_runs,
+        serve.wall_ms_cold,
+        serve.wall_ms_warm_memo,
+        serve.wall_ms_warm_store,
+        serve.warm_hit_ms,
+        serve.warm_hits
     ));
     s.push_str("  \"suites\": {\n");
     for (i, r) in suites.iter().enumerate() {
@@ -577,13 +822,34 @@ mod tests {
         }
     }
 
+    fn fake_serve() -> ServeBench {
+        ServeBench {
+            clients: 3,
+            threads: 2,
+            host_cpus: 8,
+            runs_per_client: 7,
+            unique_runs: 6,
+            wall_ms_cold: 900.0,
+            wall_ms_warm_memo: 25.0,
+            wall_ms_warm_store: 60.0,
+            warm_hit_ms: 1.5,
+            warm_hits: 12,
+        }
+    }
+
     #[test]
     fn report_json_is_well_formed_and_parsable() {
         let suites = vec![
             SuiteResult::new("alpha", 12.5, 1_000, 0),
             SuiteResult::new("beta", 0.0, 0, 42),
         ];
-        let text = render_json("smoke", &suites, &fake_parallel(), &fake_cluster());
+        let text = render_json(
+            "smoke",
+            &suites,
+            &fake_parallel(),
+            &fake_cluster(),
+            &fake_serve(),
+        );
         let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
         let serde::Value::Object(top) = &v else {
             panic!("top level must be an object");
@@ -634,6 +900,31 @@ mod tests {
                 "missing cluster_shard.{key}"
             );
         }
+        let serve_v = top
+            .iter()
+            .find(|(k, _)| k == "serve")
+            .map(|(_, v)| v)
+            .expect("serve key");
+        let serde::Value::Object(serve_obj) = serve_v else {
+            panic!("serve must be an object");
+        };
+        for key in [
+            "clients",
+            "threads",
+            "host_cpus",
+            "runs_per_client",
+            "unique_runs",
+            "wall_ms_cold",
+            "wall_ms_warm_memo",
+            "wall_ms_warm_store",
+            "warm_hit_ms",
+            "warm_hits",
+        ] {
+            assert!(
+                serve_obj.iter().any(|(k, _)| k == key),
+                "missing serve.{key}"
+            );
+        }
         let suites_v = top
             .iter()
             .find(|(k, _)| k == "suites")
@@ -671,6 +962,17 @@ mod tests {
         let c = run_cluster_shard(true, 2).expect("smoke shard must satisfy the identity gate");
         assert_eq!(c.clusters, 4);
         assert!(c.instructions > 0);
+    }
+
+    #[test]
+    fn serve_bench_smoke_passes_its_own_gates() {
+        let s = run_serve_bench(true, 2).expect("smoke serve bench must satisfy identity gates");
+        assert_eq!(
+            s.runs_per_client,
+            s.unique_runs + 1,
+            "one deliberate duplicate"
+        );
+        assert!(s.warm_hits > 0);
     }
 
     #[test]

@@ -127,10 +127,32 @@ impl Drop for ResetOnUnwind<'_> {
 }
 
 /// The canonical cache key: the serialised [`RunOptions`]. One
-/// serialisation point so the key, the memoisation map, and the trace
-/// run id can never disagree.
-fn canonical_key(opts: &RunOptions) -> String {
+/// serialisation point so the key, the memoisation map, the trace run
+/// id, and the `respin-serve` content-addressed store can never
+/// disagree.
+pub fn canonical_key(opts: &RunOptions) -> String {
     serde_json::to_string(opts).expect("options serialise")
+}
+
+/// A persistent second level behind the [`RunCache`]: somewhere completed
+/// results can be saved to and reloaded from across process lifetimes
+/// (the `respin-serve` content-addressed on-disk store implements this).
+///
+/// Contract:
+/// * `load` must return **exactly** the [`RunResult`] that was stored
+///   for this canonical key, or `None` — never a near-miss. A warm
+///   result is substituted for a live simulation, so any drift breaks
+///   the workspace byte-identity contract.
+/// * Both operations are called outside the cache's per-key cell lock
+///   but only ever by the key's single winner, so implementations need
+///   no per-key dedup of their own (just whole-store thread safety).
+/// * Failures must degrade (return `None` / skip the save), not panic:
+///   a persistence problem may cost warm starts, never a campaign.
+pub trait ResultBacking: Send + Sync {
+    /// Returns the stored result for `key`, if an intact one exists.
+    fn load(&self, key: &str) -> Option<RunResult>;
+    /// Durably saves `result` under `key` (best-effort).
+    fn save(&self, key: &str, result: &RunResult);
 }
 
 /// Deterministic trace run id: FNV-1a over the canonical options key,
@@ -194,6 +216,17 @@ pub struct RunCache {
     /// as an `Ok` record the moment it finishes (see
     /// [`crate::persist`]). Cache *hits* are not re-journaled.
     journal: Option<Arc<ResultJournal>>,
+    /// Optional persistent second level: the winner consults it before
+    /// simulating (a hit completes the key without paying for a run —
+    /// or journaling one) and saves every live result into it.
+    backing: Option<Arc<dyn ResultBacking>>,
+    /// Pool the batch entry points dispatch onto when no pool is passed
+    /// explicitly (`None` = [`Pool::current`]). The `respin-serve`
+    /// daemon hands each admitted job a cache view carrying the job's
+    /// fair-share pool, so experiment drivers deep inside
+    /// [`sweep`]/[`RunCache::run_all`] respect the per-job thread
+    /// budget without threading a pool through every signature.
+    pool: Option<Pool>,
 }
 
 impl RunCache {
@@ -225,6 +258,59 @@ impl RunCache {
     pub fn with_journal(mut self, journal: Arc<ResultJournal>) -> Self {
         self.journal = Some(journal);
         self
+    }
+
+    /// Installs a persistent second level (chained builder form): the
+    /// winner of each key consults `backing` before simulating, and
+    /// every live result is saved into it. See [`ResultBacking`].
+    pub fn with_backing(mut self, backing: Arc<dyn ResultBacking>) -> Self {
+        self.backing = Some(backing);
+        self
+    }
+
+    /// Pins the pool used by [`RunCache::run_all`] and by the sweep
+    /// helpers when no pool is passed explicitly (chained builder form).
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pinned pool, or [`Pool::current`] when none is pinned.
+    pub fn pool_or_current(&self) -> Pool {
+        self.pool.unwrap_or_else(Pool::current)
+    }
+
+    /// A view of this cache sharing the memo map, journal, and backing,
+    /// but tracing into `sink` (with its own epoch cap) — the shape the
+    /// `respin-serve` daemon needs: one process-wide cache, one trace
+    /// stream per connection. Only simulations this view actually
+    /// *executes* are traced; a key that lands warm (memo, another
+    /// job's in-flight run, or the backing store) streams nothing.
+    pub fn with_sink(&self, sink: Arc<dyn TraceSink>, trace_epochs: Option<u64>) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            sink: Some(sink),
+            trace_epochs,
+            journal: self.journal.clone(),
+            backing: self.backing.clone(),
+            pool: self.pool,
+        }
+    }
+
+    /// The memoised result for `opts`, if one has already completed —
+    /// never triggers (or waits for) a simulation.
+    pub fn peek(&self, opts: &RunOptions) -> Option<Arc<RunResult>> {
+        self.peek_key(&canonical_key(opts))
+    }
+
+    /// [`RunCache::peek`] with the key already serialised.
+    pub fn peek_key(&self, key: &str) -> Option<Arc<RunResult>> {
+        let cell = self.inner.lock().get(key).cloned()?;
+        let state = cell.state.lock();
+        match &*state {
+            CellState::Done(result) => Some(result.clone()),
+            _ => None,
+        }
     }
 
     /// Warms the cache from replayed journal records: every `Ok` record
@@ -286,6 +372,19 @@ impl RunCache {
             cell: &cell,
             armed: true,
         };
+        // Persistent second level first: a warm result substitutes for
+        // the simulation bit-for-bit (the ResultBacking contract), costs
+        // no RunStart, and is not re-journaled — exactly like a memo
+        // hit, which is what it is, one process lifetime removed.
+        if let Some(backing) = &self.backing {
+            if let Some(warm) = backing.load(key) {
+                let warm = Arc::new(warm);
+                *cell.state.lock() = CellState::Done(warm.clone());
+                guard.armed = false;
+                cell.ready.notify_all();
+                return warm;
+            }
+        }
         let result = match catch_unwind(AssertUnwindSafe(|| self.execute(key, opts))) {
             Ok(result) => Arc::new(result),
             Err(payload) => {
@@ -308,6 +407,13 @@ impl RunCache {
                     journal.path().display()
                 );
             }
+        }
+        if let Some(backing) = &self.backing {
+            // Only a *completed* result ever reaches the store — the
+            // panic path above re-raises before this point, so a failed
+            // job can journal `failed-retryable` without ever poisoning
+            // a content-addressed entry.
+            backing.save(key, &result);
         }
         *cell.state.lock() = CellState::Done(result.clone());
         guard.armed = false;
@@ -338,10 +444,10 @@ impl RunCache {
         }
     }
 
-    /// Runs a batch on the [`Pool::current`] run pool (deduplicated
-    /// through the cache), preserving input order.
+    /// Runs a batch on the cache's pinned pool (else [`Pool::current`]),
+    /// deduplicated through the cache, preserving input order.
     pub fn run_all(&self, batch: &[RunOptions]) -> Vec<Arc<RunResult>> {
-        self.run_all_on(&Pool::current(), batch)
+        self.run_all_on(&self.pool_or_current(), batch)
     }
 
     /// [`RunCache::run_all`] on an explicitly-sized pool.
@@ -432,8 +538,8 @@ impl RunCache {
     }
 }
 
-/// Sweep helper: (arch × benchmark) at `size`, on the current run pool,
-/// returning results in input order.
+/// Sweep helper: (arch × benchmark) at `size`, on the cache's pinned
+/// pool (else the current run pool), returning results in input order.
 pub fn sweep(
     cache: &RunCache,
     params: &ExpParams,
@@ -445,7 +551,7 @@ pub fn sweep(
         .iter()
         .flat_map(|&a| benches.iter().map(move |&b| (a, b)))
         .collect();
-    Pool::current().par_map(&combos, |&(a, b)| {
+    cache.pool_or_current().par_map(&combos, |&(a, b)| {
         let mut o = params.options(a, b);
         o.size = size;
         (a, b, cache.run(&o))
@@ -742,6 +848,80 @@ mod tests {
             "warmed result must be byte-exact vs the live one"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// In-memory [`ResultBacking`] with call counters, for seam tests.
+    #[derive(Default)]
+    struct MapBacking {
+        map: Mutex<BTreeMap<String, RunResult>>,
+        loads: Mutex<usize>,
+        saves: Mutex<usize>,
+    }
+
+    impl ResultBacking for MapBacking {
+        fn load(&self, key: &str) -> Option<RunResult> {
+            *self.loads.lock() += 1;
+            self.map.lock().get(key).cloned()
+        }
+        fn save(&self, key: &str, result: &RunResult) {
+            *self.saves.lock() += 1;
+            self.map.lock().insert(key.to_string(), result.clone());
+        }
+    }
+
+    #[test]
+    fn backing_receives_live_results_and_serves_them_warm() {
+        use respin_trace::RingSink;
+
+        let backing = Arc::new(MapBacking::default());
+        let mut params = ExpParams::quick();
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+
+        // Cold cache: the run executes live and is saved into the backing.
+        let ring = Arc::new(RingSink::unbounded());
+        let cold = RunCache::with_tracer(ring.clone(), None).with_backing(backing.clone());
+        let live = cold.run(&o);
+        assert_eq!(*backing.saves.lock(), 1, "live result must be saved");
+        assert_eq!(backing.map.lock().len(), 1);
+
+        // Fresh cache, same backing: the key lands warm — no simulation
+        // (no new RunStart), bit-identical result, nothing re-saved.
+        let run_starts = |r: &RingSink| {
+            r.snapshot()
+                .iter()
+                .filter(|e| matches!(e.kind, respin_trace::TraceKind::RunStart { .. }))
+                .count()
+        };
+        assert_eq!(run_starts(&ring), 1);
+        let warm_cache = RunCache::with_tracer(ring.clone(), None).with_backing(backing.clone());
+        let warm = warm_cache.run(&o);
+        assert_eq!(*warm, *live, "warm result must be bit-identical");
+        assert_eq!(run_starts(&ring), 1, "warm hit must not simulate");
+        assert_eq!(*backing.saves.lock(), 1, "warm hit must not re-save");
+        assert_eq!(warm_cache.len(), 1, "warm key completes the cell");
+        // A memo hit afterwards does not consult the backing again.
+        let loads_before = *backing.loads.lock();
+        let _ = warm_cache.run(&o);
+        assert_eq!(*backing.loads.lock(), loads_before);
+    }
+
+    #[test]
+    fn panicked_run_never_reaches_the_backing() {
+        let backing = Arc::new(MapBacking::default());
+        let cache = RunCache::new().with_backing(backing.clone());
+        let o = poisoned_options();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| cache.run(&o)));
+        assert!(err.is_err());
+        assert_eq!(
+            *backing.saves.lock(),
+            0,
+            "a failed job must not poison the store"
+        );
+        assert!(backing.map.lock().is_empty());
     }
 
     #[test]

@@ -27,3 +27,115 @@ pub mod voltage;
 
 pub use common::{ExpParams, RunCache};
 pub use respin_pool::Pool;
+
+use crate::report::to_json;
+use respin_trace::TraceSink;
+use respin_workloads::Benchmark;
+use std::sync::Arc;
+
+/// Every experiment name the dispatch understands, in CLI order.
+pub const EXPERIMENT_NAMES: [&str; 18] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "cluster",
+    "ablation",
+    "voltage",
+    "resilience",
+];
+
+/// Runs the named experiment against `cache` at `params`, returning its
+/// `(text, json)` artifact pair, or `None` for an unknown name.
+///
+/// This is the **single dispatch** behind both front-ends — the
+/// one-shot `respin-experiments` CLI and the `respin-serve` daemon — so
+/// an artifact can never depend on which of them asked. `resilience_sink`
+/// and `trace_epochs` apply only to the `resilience` experiment, whose
+/// fault-injection runs live outside the [`RunCache`] (fault
+/// configurations are not expressible as cacheable [`crate::RunOptions`])
+/// and are traced through their own scoped sinks.
+pub fn generate_named(
+    name: &str,
+    cache: &RunCache,
+    params: &ExpParams,
+    resilience_sink: Option<Arc<dyn TraceSink>>,
+    trace_epochs: Option<u64>,
+) -> Option<(String, String)> {
+    Some(match name {
+        "table1" => (tables::table1_text(), "{}".to_string()),
+        "table2" => (tables::table2_text(), "{}".to_string()),
+        "table3" => (
+            tables::table3_text(),
+            to_json(&respin_power::table3::generate()),
+        ),
+        "table4" => (tables::table4_text(), "{}".to_string()),
+        "fig1" => {
+            let d = fig1::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig6" => {
+            let d = fig6::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig7" => {
+            let d = fig7::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig8" => {
+            let d = fig8::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig9" => {
+            let d = fig9::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig10" => {
+            let d = fig10::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig11" => {
+            let d = fig11::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "fig12" => {
+            let d = fig12_13::generate(cache, params, "Figure 12", Benchmark::Radix);
+            (d.render_text(), to_json(&d))
+        }
+        "fig13" => {
+            let d = fig12_13::generate(cache, params, "Figure 13", Benchmark::Lu);
+            (d.render_text(), to_json(&d))
+        }
+        "fig14" => {
+            let d = fig14::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "cluster" => {
+            let d = cluster_sweep::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "ablation" => {
+            let d = ablation::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "voltage" => {
+            let d = voltage::generate(cache, params);
+            (d.render_text(), to_json(&d))
+        }
+        "resilience" => {
+            let d = resilience::generate_traced(params, resilience_sink, trace_epochs);
+            (d.render_text(), to_json(&d))
+        }
+        _ => return None,
+    })
+}

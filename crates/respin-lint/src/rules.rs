@@ -10,7 +10,7 @@
 //!
 //! | id | hazard | where it applies |
 //! |---|---|---|
-//! | D001 | `HashMap`/`HashSet`: iteration order is randomised per process, so any traversal that reaches results, reports, or traces breaks the byte-identity contract | result-bearing crates (`respin-sim`, `respin-core`, `respin-faults`, `respin-trace`) |
+//! | D001 | `HashMap`/`HashSet`: iteration order is randomised per process, so any traversal that reaches results, reports, or traces breaks the byte-identity contract | result-bearing crates (`respin-sim`, `respin-core`, `respin-faults`, `respin-trace`, `respin-serve`) |
 //! | D002 | `Instant::now`/`SystemTime`: wall-clock reads leaking into simulation state make results machine- and load-dependent | everywhere except `respin-bench` (its whole purpose is timing) |
 //! | D003 | `Ordering::Relaxed`: a relaxed atomic load may observe stale values, so any such value flowing into results is schedule-dependent | everywhere (the `respin-pool` claim/abort atomics carry the canonical documented waivers) |
 //! | D004 | `thread::current`: thread identity is scheduler-assigned; branching on it (or logging it into artifacts) is nondeterministic | everywhere except `respin-pool` |
@@ -36,7 +36,13 @@ use respin_power::diag::Violation;
 
 /// Crates whose outputs are (or feed) shipped results, reports, or trace
 /// exports: the crates where unordered iteration is a contract hazard.
-pub const RESULT_BEARING: &[&str] = &["respin-sim", "respin-core", "respin-faults", "respin-trace"];
+pub const RESULT_BEARING: &[&str] = &[
+    "respin-sim",
+    "respin-core",
+    "respin-faults",
+    "respin-trace",
+    "respin-serve",
+];
 
 /// The one crate whose job is wall-clock measurement.
 pub const TIMING_CRATE: &str = "respin-bench";

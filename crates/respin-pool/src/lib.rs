@@ -52,7 +52,7 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 
 /// Programmatic worker-count override (0 = unset). Highest-priority
@@ -508,6 +508,139 @@ where
     })
 }
 
+/// Fair division of one worker budget across concurrently admitted jobs.
+///
+/// A long-lived process serving several simulation jobs at once (the
+/// `respin-serve` daemon) owns **one** thread budget — the same
+/// `--threads` / `RESPIN_THREADS` number a one-shot campaign would use —
+/// and must not let each job independently claim the whole machine.
+/// `Budget` is the admission gate: at most `max_jobs` slots are out at
+/// any moment ([`Budget::acquire`] blocks until one frees), and every
+/// admitted job receives the same fair share of the total,
+/// `max(1, total / max_jobs)`, as its private [`Pool`] width.
+///
+/// The share is a function of the *configuration*, not of the instantaneous
+/// load: a job admitted alone on an idle daemon gets the same worker
+/// count it would get under full load. That trades a little idle-time
+/// throughput for a schedule-independent execution environment — and
+/// since results are bit-identical at every thread count by the
+/// workspace determinism contract, the share never affects what a job
+/// computes, only how fast.
+///
+/// ```
+/// use respin_pool::Budget;
+/// use std::sync::Arc;
+///
+/// let budget = Arc::new(Budget::new(8, 2));
+/// let slot = budget.acquire();
+/// assert_eq!(slot.threads(), 4); // 8 threads fairly split across 2 jobs
+/// assert_eq!(budget.active(), 1);
+/// drop(slot);
+/// assert_eq!(budget.active(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Budget {
+    total: usize,
+    max_jobs: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Budget {
+    /// A budget of `total` workers shared by up to `max_jobs` concurrent
+    /// jobs (both clamped to a minimum of 1, like [`Pool::with_threads`]).
+    pub fn new(total: usize, max_jobs: usize) -> Self {
+        Self {
+            total: total.max(1),
+            max_jobs: max_jobs.max(1),
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The total worker budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The concurrency ceiling.
+    pub fn max_jobs(&self) -> usize {
+        self.max_jobs
+    }
+
+    /// The fair per-job share: `max(1, total / max_jobs)`.
+    pub fn fair_share(&self) -> usize {
+        (self.total / self.max_jobs).max(1)
+    }
+
+    /// Jobs currently holding a slot.
+    pub fn active(&self) -> usize {
+        *self.active.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until a slot is free (fewer than `max_jobs` active), then
+    /// claims it. The slot is released when the returned [`BudgetSlot`]
+    /// drops — including on unwind, so a panicking job can never leak
+    /// its admission.
+    pub fn acquire(self: &Arc<Self>) -> BudgetSlot {
+        let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        while *active >= self.max_jobs {
+            active = self
+                .freed
+                .wait(active)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *active += 1;
+        BudgetSlot {
+            budget: Arc::clone(self),
+        }
+    }
+
+    /// [`Budget::acquire`] without blocking: `None` when every slot is
+    /// taken.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<BudgetSlot> {
+        let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        if *active >= self.max_jobs {
+            return None;
+        }
+        *active += 1;
+        Some(BudgetSlot {
+            budget: Arc::clone(self),
+        })
+    }
+}
+
+/// One admitted job's claim on a [`Budget`]. Dropping it frees the slot
+/// and wakes one blocked [`Budget::acquire`].
+#[derive(Debug)]
+pub struct BudgetSlot {
+    budget: Arc<Budget>,
+}
+
+impl BudgetSlot {
+    /// The worker count this job may use ([`Budget::fair_share`]).
+    pub fn threads(&self) -> usize {
+        self.budget.fair_share()
+    }
+
+    /// A [`Pool`] sized to this slot's share.
+    pub fn pool(&self) -> Pool {
+        Pool::with_threads(self.threads())
+    }
+}
+
+impl Drop for BudgetSlot {
+    fn drop(&mut self) {
+        let mut active = self
+            .budget
+            .active
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *active = active.saturating_sub(1);
+        self.budget.freed.notify_one();
+    }
+}
+
 /// [`Pool::par_map`] on the [`Pool::current`] pool.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -783,6 +916,51 @@ mod tests {
             msg.contains("team boom at 7"),
             "worker payload lost (got: {msg})"
         );
+    }
+
+    #[test]
+    fn budget_fair_share_is_total_over_max_jobs_floored_at_one() {
+        assert_eq!(Budget::new(8, 2).fair_share(), 4);
+        assert_eq!(Budget::new(3, 2).fair_share(), 1);
+        assert_eq!(Budget::new(1, 4).fair_share(), 1);
+        assert_eq!(Budget::new(0, 0).fair_share(), 1, "clamps like Pool");
+    }
+
+    #[test]
+    fn budget_blocks_at_max_jobs_and_frees_on_drop() {
+        let budget = Arc::new(Budget::new(4, 2));
+        let a = budget.acquire();
+        let b = budget.acquire();
+        assert_eq!(budget.active(), 2);
+        assert!(budget.try_acquire().is_none(), "third job must not enter");
+        // A blocked acquire must be woken by a slot release.
+        let waited = std::thread::scope(|s| {
+            let handle = {
+                let budget = budget.clone();
+                s.spawn(move || {
+                    let slot = budget.acquire();
+                    slot.threads()
+                })
+            };
+            drop(a);
+            handle.join().expect("blocked acquire must complete")
+        });
+        assert_eq!(waited, 2, "admitted job gets the fair share");
+        drop(b);
+        assert_eq!(budget.active(), 0);
+    }
+
+    #[test]
+    fn budget_slot_is_released_on_unwind() {
+        let budget = Arc::new(Budget::new(2, 1));
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _slot = budget.acquire();
+            panic!("job died");
+        }));
+        assert!(err.is_err());
+        assert_eq!(budget.active(), 0, "unwound job must not leak its slot");
+        let slot = budget.try_acquire();
+        assert!(slot.is_some(), "the slot must be reusable after a panic");
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! CLI regenerating every table and figure of the Respin paper —
+//! one-shot, as a resident daemon, or as a client of one.
+//!
+//! ```text
+//! respin-experiments <experiment|all> [--quick] [--out DIR] [--threads N]
+//!                    [--trace-out PATH] [--trace-epochs N]
+//!                    [--checkpoint-dir DIR] [--resume]
+//!
+//! respin-experiments serve [--socket PATH] [--store DIR]
+//!                    [--store-budget-bytes N] [--threads N]
+//!                    [--max-jobs N] [--quiet]
+//!
+//! respin-experiments client [--socket PATH] <experiment|all>
+//!                    [--quick] [--out DIR]
+//! respin-experiments client [--socket PATH] --stats
+//! respin-experiments client [--socket PATH] --shutdown
+//!
+//! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
+//!              fig10 fig11 fig12 fig13 fig14 cluster ablation voltage
+//!              resilience
+//! ```
+//!
+//! All three front-ends share one dispatch
+//! ([`respin_core::experiments::generate_named`]) and one persistence
+//! discipline (`atomic_write`), so an artifact is **byte-identical**
+//! whether it was computed one-shot, live by the daemon, or served
+//! warm from the daemon's content-addressed store — at every thread
+//! count. The socket defaults to `$RESPIN_SOCKET` when the flag is
+//! omitted; see `docs/OPERATIONS.md` for the daemon lifecycle and
+//! `docs/PROTOCOL.md` for the wire format.
+//!
+//! Sweeps run on the `respin-pool` run pool. `--threads N` pins the
+//! worker count (outranking `RESPIN_THREADS`; the default is the host
+//! parallelism). The resolved worker count is echoed on the greppable
+//! stdout status lines (`smoke:`/`trace:`/`serve:`) only, never into
+//! `--out` files.
+//!
+//! `--trace-out PATH` records an epoch-level trace of every simulation:
+//! `PATH.jsonl` (one structured event per line) and `PATH.chrome.json`
+//! (Chrome-trace / Perfetto events). `--trace-epochs N` caps the
+//! per-run epoch series. Tracing is observation-only.
+//!
+//! `--checkpoint-dir DIR` makes a one-shot campaign crash-safe
+//! (journal + `--resume` replay); the daemon gets the same property
+//! from its store directory, which carries both the content-addressed
+//! entries and the failed-retryable journal.
+
+use respin_core::experiments::{generate_named, ExpParams, RunCache, EXPERIMENT_NAMES};
+use respin_core::persist::{self, atomic_write, ResultJournal};
+use respin_serve::{Client, ServeOptions, Server};
+use respin_trace::{canonical_order, to_chrome_trace, to_jsonl, RingSink, TraceSink};
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    names: Vec<String>,
+    quick: bool,
+    out: Option<PathBuf>,
+    threads: Option<usize>,
+    trace_out: Option<PathBuf>,
+    trace_epochs: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: respin-experiments <{}|all> [--quick] [--out DIR] [--threads N] \
+         [--trace-out PATH] [--trace-epochs N] [--checkpoint-dir DIR] [--resume]\n\
+         \x20      respin-experiments serve [--socket PATH] [--store DIR] \
+         [--store-budget-bytes N] [--threads N] [--max-jobs N] [--quiet]\n\
+         \x20      respin-experiments client [--socket PATH] <experiment|all> \
+         [--quick] [--out DIR] | --stats | --shutdown",
+        EXPERIMENT_NAMES.join("|")
+    )
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Args {
+    let mut names = Vec::new();
+    let mut quick = false;
+    let mut out = None;
+    let mut threads = None;
+    let mut trace_out = None;
+    let mut trace_epochs = None;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next().expect("--out requires a directory"),
+                ));
+            }
+            "--threads" => {
+                let n = args.next().expect("--threads requires a count");
+                let n: usize = n.parse().expect("--threads takes a positive integer");
+                assert!(n > 0, "--threads takes a positive integer");
+                threads = Some(n);
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().expect("--trace-out requires a file path"),
+                ));
+            }
+            "--trace-epochs" => {
+                let n = args.next().expect("--trace-epochs requires a count");
+                trace_epochs = Some(n.parse().expect("--trace-epochs takes an integer"));
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(
+                    args.next().expect("--checkpoint-dir requires a directory"),
+                ));
+            }
+            "--resume" => resume = true,
+            "all" => names = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect(),
+            name if EXPERIMENT_NAMES.contains(&name) => names.push(name.to_string()),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    if names.is_empty() {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+    Args {
+        names,
+        quick,
+        out,
+        threads,
+        trace_out,
+        trace_epochs,
+        checkpoint_dir,
+        resume,
+    }
+}
+
+/// Appends ` threads=N` to the greppable `smoke:` status lines for
+/// stdout. Written artifacts keep the unannotated text: report files
+/// are bit-identical at every thread count by contract, and a worker
+/// count baked into them would break exactly the byte-diff gate that
+/// enforces it.
+fn annotate_status_lines(text: &str, threads: usize) -> String {
+    text.split('\n')
+        .map(|line| {
+            if line.starts_with("smoke: ") {
+                format!("{line} threads={threads}")
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Strips a trailing `.jsonl` so `--trace-out t.jsonl` and
+/// `--trace-out t` both produce `t.jsonl` + `t.chrome.json`.
+fn trace_base(path: &std::path::Path) -> PathBuf {
+    match path.to_str() {
+        Some(s) if s.ends_with(".jsonl") => PathBuf::from(&s[..s.len() - ".jsonl".len()]),
+        _ => path.to_path_buf(),
+    }
+}
+
+/// The socket from `--socket`, else `$RESPIN_SOCKET`, else exit 2.
+fn resolve_socket(flag: Option<PathBuf>) -> PathBuf {
+    flag.or_else(|| std::env::var_os("RESPIN_SOCKET").map(PathBuf::from))
+        .unwrap_or_else(|| {
+            eprintln!("no socket: pass --socket PATH or set RESPIN_SOCKET");
+            std::process::exit(2);
+        })
+}
+
+/// `respin-experiments serve …`: bind and run the daemon until a
+/// client requests shutdown.
+fn serve_main(args: impl Iterator<Item = String>) {
+    let mut socket = None;
+    let mut store_dir = None;
+    let mut store_budget_bytes = 0u64;
+    let mut threads = 0usize;
+    let mut max_jobs = 0usize;
+    let mut quiet = false;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(PathBuf::from(args.next().expect("--socket needs PATH"))),
+            "--store" => store_dir = Some(PathBuf::from(args.next().expect("--store needs DIR"))),
+            "--store-budget-bytes" => {
+                store_budget_bytes = args
+                    .next()
+                    .expect("--store-budget-bytes needs N")
+                    .parse()
+                    .expect("--store-budget-bytes takes an integer");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs N")
+                    .parse()
+                    .expect("--threads takes a positive integer");
+                assert!(threads > 0, "--threads takes a positive integer");
+            }
+            "--max-jobs" => {
+                max_jobs = args
+                    .next()
+                    .expect("--max-jobs needs N")
+                    .parse()
+                    .expect("--max-jobs takes a positive integer");
+            }
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown serve argument '{other}'");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    let opts = ServeOptions {
+        socket: resolve_socket(socket),
+        store_dir,
+        store_budget_bytes,
+        threads,
+        max_jobs,
+        quiet,
+    };
+    let server = Server::bind(&opts).expect("bind daemon socket");
+    println!("serve: listening socket={}", server.socket_path().display());
+    server.run().expect("daemon accept loop");
+}
+
+/// `respin-experiments client …`: run experiments through a daemon
+/// (artifacts byte-identical to the one-shot path), or poke it with
+/// `--stats` / `--shutdown`.
+fn client_main(args: impl Iterator<Item = String>) {
+    let mut socket = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(PathBuf::from(args.next().expect("--socket needs PATH"))),
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs DIR"))),
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "all" => names = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect(),
+            name if EXPERIMENT_NAMES.contains(&name) => names.push(name.to_string()),
+            other => {
+                eprintln!("unknown client argument '{other}'");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    let socket = resolve_socket(socket);
+    let mut client = Client::connect(&socket).expect("connect to daemon");
+    if stats {
+        let ev = client.stats().expect("stats request");
+        println!("stats: {ev:?}");
+    }
+    if let Some(dir) = &out {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut failed = 0usize;
+    for name in &names {
+        let outcome = client.experiment(name, quick).expect("experiment request");
+        for violation in &outcome.errors {
+            eprintln!("client: {violation}");
+        }
+        match (&outcome.text, &outcome.json) {
+            (Some(text), Some(json)) => {
+                print!("{text}");
+                if !text.ends_with('\n') {
+                    println!();
+                }
+                if let Some(dir) = &out {
+                    atomic_write(&dir.join(format!("{name}.txt")), text.as_bytes())
+                        .expect("write text");
+                    atomic_write(&dir.join(format!("{name}.json")), json.as_bytes())
+                        .expect("write json");
+                }
+                // The greppable provenance line the serve smoke gate
+                // checks (`warm_store=…` after a daemon restart).
+                println!(
+                    "serve: name={name} results={} live={} warm_memo={} warm_store={}",
+                    outcome.done.results,
+                    outcome.done.live,
+                    outcome.done.warm_memo,
+                    outcome.done.warm_store
+                );
+            }
+            _ => {
+                eprintln!("client: {name} failed on the daemon");
+                failed += 1;
+            }
+        }
+    }
+    if shutdown {
+        client.shutdown().expect("shutdown request");
+        println!("serve: shutdown acknowledged");
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1).peekable();
+    match argv.peek().map(String::as_str) {
+        Some("serve") => {
+            argv.next();
+            serve_main(argv);
+            return;
+        }
+        Some("client") => {
+            argv.next();
+            client_main(argv);
+            return;
+        }
+        _ => {}
+    }
+    let args = parse_args(argv);
+    if let Some(n) = args.threads {
+        respin_pool::set_threads(n);
+    }
+    let threads = respin_pool::resolved_threads();
+    let params = if args.quick {
+        ExpParams::quick()
+    } else {
+        ExpParams::full()
+    };
+    let out_dir = args.out.clone().or_else(|| {
+        if args.names.len() == EXPERIMENT_NAMES.len() {
+            Some(PathBuf::from("results"))
+        } else {
+            None
+        }
+    });
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    let ring = args
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(RingSink::unbounded()));
+    let mut cache = match &ring {
+        Some(ring) => RunCache::with_tracer(ring.clone(), args.trace_epochs),
+        None => RunCache::new(),
+    };
+    if let Some(dir) = &args.checkpoint_dir {
+        if args.resume {
+            // Replay BEFORE opening the append handle: a torn tail is
+            // truncated away first, so new appends extend a clean prefix.
+            let replay = persist::replay(dir).expect("replay result journal");
+            // `JRN-TORN` is warning-severity (the campaign recovers), so
+            // gate on any violation at all, not on `is_clean()`.
+            if !replay.report.violations.is_empty() {
+                eprintln!("{}", replay.report);
+            }
+            let warmed = cache.warm(&replay.records);
+            println!(
+                "resume: replayed={} warmed={} failed_retryable={} truncated={}",
+                replay.records.len(),
+                warmed,
+                replay.failed(),
+                replay.truncated
+            );
+        }
+        let journal = ResultJournal::open(dir).expect("open result journal");
+        cache = cache.with_journal(Arc::new(journal));
+    }
+    let cache = cache;
+
+    let emit = |name: &str, text: String, json: String| {
+        println!("{}", annotate_status_lines(&text, threads));
+        if let Some(dir) = &out_dir {
+            atomic_write(&dir.join(format!("{name}.txt")), text.as_bytes()).expect("write text");
+            atomic_write(&dir.join(format!("{name}.json")), json.as_bytes()).expect("write json");
+        }
+    };
+
+    let mut failed_experiments: Vec<(String, String)> = Vec::new();
+    for name in &args.names {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The resilience experiment traces through its own scoped
+            // sinks (fault runs are not cacheable); every other
+            // experiment traces through the cache's ring.
+            let sink = ring.clone().map(|r| r as Arc<dyn TraceSink>);
+            match generate_named(name, &cache, &params, sink, args.trace_epochs) {
+                Some((text, json)) => emit(name, text, json),
+                None => unreachable!("validated in parse_args"),
+            }
+        }));
+        match outcome {
+            Ok(()) => eprintln!("[{name} done; {} cached runs]", cache.len()),
+            Err(payload) => {
+                // Fault isolation: completed sibling runs are already in
+                // cache and journal; record the failure and keep going so
+                // one bad experiment cannot take down the campaign.
+                let why = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "panicked (non-string payload)".to_string());
+                eprintln!("[{name} FAILED: {why}]");
+                failed_experiments.push((name.clone(), why));
+            }
+        }
+    }
+
+    if let (Some(path), Some(ring)) = (&args.trace_out, &ring) {
+        // Canonical order (stable grouping by schedule-independent run
+        // id): parallel and sequential campaigns export byte-identical
+        // files.
+        let mut events = ring.snapshot();
+        canonical_order(&mut events);
+        let base = trace_base(path);
+        let jsonl_path = base.with_extension("jsonl");
+        let chrome_path = base.with_extension("chrome.json");
+        if let Some(dir) = jsonl_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir).expect("create trace directory");
+        }
+        atomic_write(&jsonl_path, to_jsonl(&events).as_bytes()).expect("write jsonl trace");
+        atomic_write(&chrome_path, to_chrome_trace(&events).as_bytes())
+            .expect("write chrome trace");
+        println!(
+            "trace: {} events ({} dropped) threads={} -> {} + {}",
+            events.len(),
+            ring.dropped(),
+            threads,
+            jsonl_path.display(),
+            chrome_path.display()
+        );
+    }
+
+    if !failed_experiments.is_empty() {
+        // Structured partial-failure report: everything that did complete
+        // is journaled/written above; the exit code tells automation the
+        // campaign needs a --resume retry.
+        eprintln!(
+            "campaign: partial failure — {}/{} experiments failed",
+            failed_experiments.len(),
+            args.names.len()
+        );
+        for (name, why) in &failed_experiments {
+            eprintln!("campaign:   {name}: {why}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # respin-serve — Respin-as-a-service
+//!
+//! A multi-second near-threshold simulation is too expensive to rerun
+//! every time a figure script asks for it, and a one-shot CLI forgets
+//! its memoisation the moment it exits. This crate keeps the simulator
+//! *resident*: a long-lived daemon accepts sweep and experiment jobs
+//! over a Unix-domain socket, streams epoch traces and run results back
+//! incrementally as JSONL, and backs the in-memory
+//! [`respin_core::experiments::RunCache`] with a persistent
+//! content-addressed [`store::ResultStore`] so warm results survive
+//! daemon restarts — and even `SIGKILL` (every store write goes through
+//! `respin_core::persist::atomic_write`).
+//!
+//! The determinism contract extends across process boundaries: a result
+//! served **warm from the store**, **live from the daemon**, or
+//! **computed by the one-shot CLI** is byte-identical. The store keys
+//! entries by the canonical serialised `RunOptions`
+//! ([`respin_core::experiments::common::canonical_key`]) — the same
+//! single serialisation point behind the memo map and the stable trace
+//! run ids — and stores the exact `RunResult` through the
+//! CRC-guarded journal record codec, so a warm load is the same bytes
+//! that the live run journaled.
+//!
+//! Layout:
+//! * [`protocol`] — the versioned `respin-serve/v1` JSONL wire protocol
+//!   (normative spec: `docs/PROTOCOL.md`).
+//! * [`store`] — the content-addressed on-disk result store with CRC
+//!   validation and LRU size-budget eviction.
+//! * [`server`] — the daemon: listener, per-job admission control
+//!   ([`respin_pool::Budget`]), per-connection trace streaming.
+//! * [`client`] — a blocking client library used by the
+//!   `respin-experiments client` subcommand, the integration tests, and
+//!   the `bench_report` serve suite.
+//!
+//! Operator guide: `docs/OPERATIONS.md`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// Tests may unwrap: a panic IS the failure report there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::{Client, ExperimentOutcome, SweepOutcome};
+pub use protocol::{
+    decode_event, decode_request, encode_event, encode_request, Event, EventEnvelope, Request,
+    RequestEnvelope, ResultSource, PROTOCOL_VERSION,
+};
+pub use server::{ServeOptions, Server};
+pub use store::{ResultStore, StoreStats};

@@ -1,0 +1,324 @@
+//! The `respin-serve/v1` wire protocol: JSONL envelopes exchanged over
+//! the daemon's Unix-domain socket.
+//!
+//! This module is the *implementation*; the normative specification —
+//! framing, versioning, error taxonomy, a worked session transcript —
+//! is `docs/PROTOCOL.md`. The two are kept in lockstep: the spec's
+//! field tables are generated from these types' shapes, and the
+//! round-trip tests below pin the exact JSON spellings the spec quotes.
+//!
+//! Design rules:
+//! * **One JSON object per line**, newline-terminated, UTF-8. No
+//!   framing beyond the newline; no pretty-printing on the wire.
+//! * **Every line carries the protocol version** (`"proto"`). A daemon
+//!   rejects mismatched versions with an `SRV-PROTO` error instead of
+//!   guessing — protocol errors reuse the
+//!   [`respin_power::diag::Violation`] taxonomy, so clients handle one
+//!   structured error shape everywhere in the workspace.
+//! * **Requests are correlated by client-chosen `id`**; every event the
+//!   daemon emits echoes the id of the request it answers. One request
+//!   runs at a time per connection (the connection is the job queue);
+//!   concurrency comes from opening more connections.
+
+use respin_core::RunOptions;
+use respin_power::diag::Violation;
+use respin_sim::RunResult;
+use respin_trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+
+/// The protocol version every envelope must carry.
+pub const PROTOCOL_VERSION: &str = "respin-serve/v1";
+
+/// Violation code for malformed or version-mismatched protocol traffic.
+pub const CODE_PROTO: &str = "SRV-PROTO";
+/// Violation code for a run that panicked inside the daemon.
+pub const CODE_RUN_PANIC: &str = "SRV-RUN-PANIC";
+/// Violation code for an unknown or failed experiment request.
+pub const CODE_EXPERIMENT: &str = "SRV-EXPERIMENT";
+
+/// One client → daemon line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub proto: String,
+    /// Client-chosen correlation id, echoed on every reply event.
+    pub id: u64,
+    /// The request body.
+    pub req: Request,
+}
+
+/// Request bodies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake: ask the daemon to introduce itself.
+    Hello,
+    /// Run one simulation; equivalent to `Sweep` with one entry.
+    Run {
+        /// The run to execute (or serve warm).
+        options: Box<RunOptions>,
+        /// Stream per-epoch trace events while it runs.
+        trace: bool,
+    },
+    /// Run a batch; results stream back as each completes.
+    Sweep {
+        /// The runs, in client order (echoed via `Result.index`).
+        batch: Vec<RunOptions>,
+        /// Stream per-epoch trace events while they run.
+        trace: bool,
+    },
+    /// Generate a named experiment (`fig12`, `table3`, …); artifacts
+    /// return as `Artifact` events.
+    Experiment {
+        /// Experiment name from
+        /// [`respin_core::experiments::EXPERIMENT_NAMES`].
+        name: String,
+        /// Use the quick profile instead of the paper-scale one.
+        quick: bool,
+    },
+    /// Snapshot daemon counters (memo size, store occupancy, jobs).
+    Stats,
+    /// Stop accepting connections and exit the accept loop.
+    Shutdown,
+}
+
+/// Where a served result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResultSource {
+    /// Simulated for this request.
+    Live,
+    /// Served from the daemon's in-memory memo cache.
+    WarmMemo,
+    /// Loaded from the persistent content-addressed store.
+    WarmStore,
+}
+
+/// One daemon → client line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventEnvelope {
+    /// Always [`PROTOCOL_VERSION`].
+    pub proto: String,
+    /// The id of the request this event answers (0 for connection-level
+    /// protocol errors that could not be correlated).
+    pub id: u64,
+    /// The event body.
+    pub ev: Event,
+}
+
+/// Event bodies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Handshake reply.
+    Hello {
+        /// Total simulation thread budget.
+        threads: usize,
+        /// Concurrent jobs admitted before queueing.
+        max_jobs: usize,
+        /// Threads granted to each admitted job.
+        fair_share: usize,
+        /// Entries in the persistent store (0 when storeless).
+        store_entries: usize,
+        /// Bytes in the persistent store (0 when storeless).
+        store_bytes: u64,
+    },
+    /// The job passed admission control and is running.
+    Started {
+        /// Threads granted to this job.
+        granted_threads: usize,
+    },
+    /// One streamed trace event (only when the request set `trace`).
+    Trace {
+        /// The event, stamped with its stable run id.
+        event: TraceEvent,
+    },
+    /// One completed run.
+    Result {
+        /// Position in the request batch (always 0 for `Run`).
+        index: usize,
+        /// Whether it was simulated, memo-warm, or store-warm.
+        source: ResultSource,
+        /// The result — byte-identical to a one-shot CLI run.
+        result: Box<RunResult>,
+    },
+    /// One experiment artifact (text or JSON rendering).
+    Artifact {
+        /// Experiment name.
+        name: String,
+        /// `"txt"` or `"json"`.
+        kind: String,
+        /// The artifact body, byte-identical to the CLI's file output.
+        body: String,
+    },
+    /// Daemon counters snapshot.
+    Stats {
+        /// Completed runs memoised in this daemon's lifetime.
+        memo_runs: usize,
+        /// Entries in the persistent store.
+        store_entries: usize,
+        /// Bytes in the persistent store.
+        store_bytes: u64,
+        /// Store loads that hit.
+        store_hits: u64,
+        /// Store saves.
+        store_saves: u64,
+        /// Jobs currently admitted.
+        active_jobs: usize,
+    },
+    /// A structured error. The connection stays usable unless the error
+    /// is `SRV-PROTO` (an unparseable peer is unrecoverable).
+    Error {
+        /// The violation, in the workspace diagnostic taxonomy.
+        violation: Violation,
+    },
+    /// The request is finished; counts summarise what was served.
+    Done {
+        /// Results delivered.
+        results: usize,
+        /// Of those, simulated live.
+        live: usize,
+        /// Of those, served from the in-memory memo.
+        warm_memo: usize,
+        /// Of those, loaded from the persistent store.
+        warm_store: usize,
+    },
+}
+
+/// Serialises a request envelope as one wire line (no newline).
+pub fn encode_request(env: &RequestEnvelope) -> String {
+    serde_json::to_string(env).expect("request envelope serialises")
+}
+
+/// Serialises an event envelope as one wire line (no newline).
+pub fn encode_event(env: &EventEnvelope) -> String {
+    serde_json::to_string(env).expect("event envelope serialises")
+}
+
+/// Parses and version-checks one client line. Errors come back as
+/// ready-to-send `SRV-PROTO` violations.
+pub fn decode_request(line: &str) -> Result<RequestEnvelope, Violation> {
+    let env: RequestEnvelope = serde_json::from_str(line.trim_end()).map_err(|e| {
+        Violation::error(
+            CODE_PROTO,
+            "wire protocol",
+            "request line",
+            format!("unparseable request: {e}"),
+        )
+    })?;
+    if env.proto != PROTOCOL_VERSION {
+        return Err(Violation::error(
+            CODE_PROTO,
+            "wire protocol",
+            "request envelope",
+            format!(
+                "protocol version mismatch: client speaks {:?}, daemon speaks {PROTOCOL_VERSION:?}",
+                env.proto
+            ),
+        ));
+    }
+    Ok(env)
+}
+
+/// Parses and version-checks one daemon line (client side).
+pub fn decode_event(line: &str) -> Result<EventEnvelope, Violation> {
+    let env: EventEnvelope = serde_json::from_str(line.trim_end()).map_err(|e| {
+        Violation::error(
+            CODE_PROTO,
+            "wire protocol",
+            "event line",
+            format!("unparseable event: {e}"),
+        )
+    })?;
+    if env.proto != PROTOCOL_VERSION {
+        return Err(Violation::error(
+            CODE_PROTO,
+            "wire protocol",
+            "event envelope",
+            format!(
+                "protocol version mismatch: daemon speaks {:?}, client speaks {PROTOCOL_VERSION:?}",
+                env.proto
+            ),
+        ));
+    }
+    Ok(env)
+}
+
+/// Builds an event envelope at the current protocol version.
+pub fn event(id: u64, ev: Event) -> EventEnvelope {
+    EventEnvelope {
+        proto: PROTOCOL_VERSION.to_string(),
+        id,
+        ev,
+    }
+}
+
+/// Builds a request envelope at the current protocol version.
+pub fn request(id: u64, req: Request) -> RequestEnvelope {
+    RequestEnvelope {
+        proto: PROTOCOL_VERSION.to_string(),
+        id,
+        req,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let cases = vec![
+            Request::Hello,
+            Request::Experiment {
+                name: "fig12".to_string(),
+                quick: true,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (i, req) in cases.into_iter().enumerate() {
+            let env = request(i as u64, req);
+            let line = encode_request(&env);
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let back = decode_request(&line).expect("round trip");
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_the_wire_encoding() {
+        let cases = vec![
+            Event::Started { granted_threads: 2 },
+            Event::Done {
+                results: 3,
+                live: 1,
+                warm_memo: 1,
+                warm_store: 1,
+            },
+            Event::Error {
+                violation: Violation::error(CODE_RUN_PANIC, "job isolation", "key", "boom"),
+            },
+        ];
+        for (i, ev) in cases.into_iter().enumerate() {
+            let env = event(i as u64, ev);
+            let line = encode_event(&env);
+            assert!(!line.contains('\n'));
+            let back = decode_event(&line).expect("round trip");
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_srv_proto_violation() {
+        let line = r#"{"proto":"respin-serve/v0","id":1,"req":"Hello"}"#;
+        let err = decode_request(line).expect_err("v0 must be rejected");
+        assert_eq!(err.code, CODE_PROTO);
+        assert!(err.message.contains("version mismatch"), "{}", err.message);
+    }
+
+    #[test]
+    fn garbage_is_a_srv_proto_violation_not_a_panic() {
+        let err = decode_request("not json at all").expect_err("garbage rejected");
+        assert_eq!(err.code, CODE_PROTO);
+        let err = decode_event("{\"half\":").expect_err("truncated rejected");
+        assert_eq!(err.code, CODE_PROTO);
+    }
+}

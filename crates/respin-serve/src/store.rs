@@ -1,0 +1,461 @@
+//! The content-addressed on-disk result store behind the daemon's
+//! [`RunCache`](respin_core::experiments::RunCache).
+//!
+//! Each completed run is one file, named by the 64-bit FNV-1a hash of
+//! its canonical options key (`<16 hex digits>.json`) and containing a
+//! single CRC-guarded journal line — the same
+//! [`respin_core::persist::encode_record`] codec the crash-safe
+//! campaign journal uses, so the store inherits its properties for
+//! free: exact `f64` round-trips (bit-pattern encoding) and torn/bit-rot
+//! detection on load. The full canonical key is stored *inside* the
+//! record and verified on every load, so a (astronomically unlikely)
+//! 64-bit hash collision degrades to a cache miss, never a wrong
+//! result.
+//!
+//! Durability discipline: every write — entries and the LRU index —
+//! goes through [`atomic_write`] (tmp + fsync + rename + dir fsync).
+//! `SIGKILL` at any instant leaves either the old file or the new one,
+//! never a torn hybrid; the kill-and-restart integration test and the
+//! `verify.sh` serve smoke gate exercise exactly this.
+//!
+//! Eviction: the store carries a byte budget. An `index.json` sidecar
+//! records a logical access clock per entry (no wall clock — the store
+//! lives in a result-bearing crate, rule D002); when a save pushes the
+//! total over budget, least-recently-used entries are deleted until it
+//! fits. A missing or corrupt index is rebuilt from the entry files
+//! (order unknowable, so survivors restart at clock zero) — the index
+//! is an optimisation, never a source of truth.
+
+use parking_lot::Mutex;
+use respin_core::experiments::common::ResultBacking;
+use respin_core::persist::{atomic_write, decode_record, encode_record, fnv1a64};
+use respin_core::persist::{JournalRecord, RunOutcome};
+use respin_sim::RunResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File name of the LRU index sidecar.
+pub const INDEX_FILE: &str = "index.json";
+
+/// Default store byte budget: 256 MiB (thousands of quick-profile
+/// results; a full-profile `RunResult` line is a few KiB).
+pub const DEFAULT_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Serialised LRU index: schema version, logical clock high-water mark,
+/// and one line per entry. Written atomically on every mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IndexFile {
+    v: u64,
+    clock: u64,
+    entries: Vec<IndexLine>,
+}
+
+/// One indexed entry: content hash (hex file stem), size, last access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IndexLine {
+    hash: String,
+    bytes: u64,
+    seq: u64,
+}
+
+/// In-memory index state, guarded by one store-wide mutex.
+struct Index {
+    clock: u64,
+    entries: BTreeMap<String, (u64, u64)>, // hash -> (bytes, seq)
+}
+
+impl Index {
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|(b, _)| *b).sum()
+    }
+}
+
+/// Counters snapshot for `stats` responses and the bench report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries currently on disk.
+    pub entries: usize,
+    /// Total entry bytes currently on disk.
+    pub bytes: u64,
+    /// Loads that returned a result.
+    pub hits: u64,
+    /// Loads that found nothing (or a corrupt/foreign entry).
+    pub misses: u64,
+    /// Results saved.
+    pub saves: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+}
+
+/// The persistent content-addressed result store.
+///
+/// Thread-safe ([`ResultBacking`] requires it); all failures degrade to
+/// misses or skipped saves — a persistence problem costs warm starts,
+/// never a campaign.
+pub struct ResultStore {
+    dir: PathBuf,
+    budget_bytes: u64,
+    index: Mutex<Index>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    saves: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// `<16 hex digits>` stem for a canonical key.
+fn hash_stem(key: &str) -> String {
+    format!("{:016x}", fnv1a64(key.as_bytes()))
+}
+
+/// True for file names shaped like store entries (`<16 hex>.json`).
+fn is_entry_name(name: &str) -> bool {
+    name.len() == 21 && name.ends_with(".json") && name[..16].bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir` with the given
+    /// byte budget (clamped to at least one entry's worth; `0` means
+    /// [`DEFAULT_BUDGET_BYTES`]).
+    ///
+    /// Reconciles the index against the directory: entries on disk but
+    /// not indexed join at clock zero (evicted first); index lines
+    /// whose file vanished are dropped. A missing or unparseable index
+    /// is rebuilt the same way — never an error.
+    pub fn open(dir: &Path, budget_bytes: u64) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let budget = if budget_bytes == 0 {
+            DEFAULT_BUDGET_BYTES
+        } else {
+            budget_bytes
+        };
+        let mut index = Index {
+            clock: 0,
+            entries: BTreeMap::new(),
+        };
+        if let Ok(text) = std::fs::read_to_string(dir.join(INDEX_FILE)) {
+            if let Ok(file) = serde_json::from_str::<IndexFile>(&text) {
+                index.clock = file.clock;
+                for line in file.entries {
+                    index.entries.insert(line.hash, (line.bytes, line.seq));
+                }
+            }
+        }
+        // Reconcile against what is actually on disk.
+        let mut on_disk: BTreeMap<String, u64> = BTreeMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if is_entry_name(&name) {
+                on_disk.insert(name[..16].to_string(), entry.metadata()?.len());
+            }
+        }
+        index.entries.retain(|hash, _| on_disk.contains_key(hash));
+        for (hash, bytes) in on_disk {
+            // Unindexed survivors (index lost, or a crash between entry
+            // and index write) join at clock 0: first in line to evict.
+            index.entries.entry(hash).or_insert((bytes, 0));
+        }
+        let store = Self {
+            dir: dir.to_path_buf(),
+            budget_bytes: budget,
+            index: Mutex::new(index),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            saves: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        store.persist_index();
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.lock().entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether an entry file exists for `key`'s hash. A cheap pre-run
+    /// label (`warm-store` vs `live`) — the authoritative check is the
+    /// key comparison inside [`ResultBacking::load`].
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.lock().entries.contains_key(&hash_stem(key))
+    }
+
+    /// Counters + occupancy snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let index = self.index.lock();
+        StoreStats {
+            entries: index.entries.len(),
+            bytes: index.total_bytes(),
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            saves: self.saves.load(Ordering::SeqCst),
+            evictions: self.evictions.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Absolute path of the entry file for `key`.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.json", hash_stem(key)))
+    }
+
+    /// Serialises the index sidecar with `atomic_write`. Best-effort:
+    /// an index write failure costs LRU fidelity, not correctness.
+    fn persist_index(&self) {
+        let file = {
+            let index = self.index.lock();
+            IndexFile {
+                v: 1,
+                clock: index.clock,
+                entries: index
+                    .entries
+                    .iter()
+                    .map(|(hash, &(bytes, seq))| IndexLine {
+                        hash: hash.clone(),
+                        bytes,
+                        seq,
+                    })
+                    .collect(),
+            }
+        };
+        let body = serde_json::to_string(&file).expect("index serialises");
+        if let Err(e) = atomic_write(&self.dir.join(INDEX_FILE), body.as_bytes()) {
+            eprintln!("respin-serve: store index write failed (degrading): {e}");
+        }
+    }
+
+    /// Deletes LRU entries until the total fits the budget. The entry
+    /// for `keep` (the one just written) is never evicted — a single
+    /// over-budget result is still a warm result.
+    fn evict_to_budget(&self, keep: &str) {
+        let victims: Vec<String> = {
+            let index = self.index.lock();
+            let mut by_age: Vec<(&String, u64, u64)> = index
+                .entries
+                .iter()
+                .map(|(hash, &(bytes, seq))| (hash, bytes, seq))
+                .collect();
+            by_age.sort_by_key(|&(hash, _, seq)| (seq, hash.clone()));
+            let mut total = index.total_bytes();
+            let mut victims = Vec::new();
+            for (hash, bytes, _) in by_age {
+                if total <= self.budget_bytes {
+                    break;
+                }
+                if hash == keep {
+                    continue;
+                }
+                total -= bytes;
+                victims.push(hash.clone());
+            }
+            victims
+        };
+        for hash in victims {
+            let path = self.dir.join(format!("{hash}.json"));
+            if let Err(e) = std::fs::remove_file(&path) {
+                if e.kind() != io::ErrorKind::NotFound {
+                    eprintln!("respin-serve: eviction of {} failed: {e}", path.display());
+                    continue;
+                }
+            }
+            self.index.lock().entries.remove(&hash);
+            self.evictions.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl ResultBacking for ResultStore {
+    fn load(&self, key: &str) -> Option<RunResult> {
+        let stem = hash_stem(key);
+        if !self.index.lock().entries.contains_key(&stem) {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
+        let path = self.dir.join(format!("{stem}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+        };
+        let record = match decode_record(text.trim_end()) {
+            Ok(record) => record,
+            Err(reason) => {
+                // Torn or bit-rotted: quarantine by deletion so the next
+                // save can land a clean entry, and report a miss.
+                eprintln!(
+                    "respin-serve: corrupt store entry {} ({reason}); removing",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                self.index.lock().entries.remove(&stem);
+                self.persist_index();
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+        };
+        if record.key != key {
+            // 64-bit hash collision (or a foreign file): the entry is
+            // someone else's result. A miss, emphatically not a hit.
+            self.misses.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
+        match record.outcome {
+            RunOutcome::Ok(result) => {
+                // LRU touch.
+                {
+                    let mut index = self.index.lock();
+                    index.clock += 1;
+                    let clock = index.clock;
+                    if let Some(slot) = index.entries.get_mut(&stem) {
+                        slot.1 = clock;
+                    }
+                }
+                self.persist_index();
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(*result)
+            }
+            // Failed records never warm anything (they are retryable by
+            // definition) — and the daemon never saves them here anyway.
+            RunOutcome::Failed(_) => {
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    fn save(&self, key: &str, result: &RunResult) {
+        let line = encode_record(&JournalRecord::ok(key, result));
+        let stem = hash_stem(key);
+        let path = self.dir.join(format!("{stem}.json"));
+        let bytes = line.len() as u64 + 1;
+        if let Err(e) = atomic_write(&path, format!("{line}\n").as_bytes()) {
+            eprintln!("respin-serve: store save of {} failed: {e}", path.display());
+            return;
+        }
+        {
+            let mut index = self.index.lock();
+            index.clock += 1;
+            let clock = index.clock;
+            index.entries.insert(stem.clone(), (bytes, clock));
+        }
+        self.evict_to_budget(&stem);
+        self.persist_index();
+        self.saves.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respin_core::experiments::common::canonical_key;
+    use respin_core::experiments::ExpParams;
+    use respin_core::run;
+    use respin_core::ArchConfig;
+    use respin_workloads::Benchmark;
+
+    fn tiny_result() -> (String, RunResult) {
+        let params = ExpParams::quick();
+        let opts = params.options(ArchConfig::PrSramNt, Benchmark::Fft);
+        let key = canonical_key(&opts);
+        (key, run(&opts))
+    }
+
+    fn dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("respin-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_bit_identically_across_reopen() {
+        let dir = dir("roundtrip");
+        let (key, result) = tiny_result();
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            assert!(store.load(&key).is_none(), "cold store must miss");
+            store.save(&key, &result);
+            assert!(store.contains(&key));
+            assert_eq!(store.load(&key).unwrap(), result);
+        }
+        // A fresh handle (fresh process, after a restart) sees the entry.
+        let store = ResultStore::open(&dir, 0).unwrap();
+        let warm = store.load(&key).expect("entry must survive reopen");
+        assert_eq!(warm, result, "warm result must be bit-identical");
+        assert_eq!(store.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_degrades_to_a_miss_and_is_quarantined() {
+        let dir = dir("corrupt");
+        let (key, result) = tiny_result();
+        let store = ResultStore::open(&dir, 0).unwrap();
+        store.save(&key, &result);
+        // Flip a byte in the stored line: the CRC must catch it.
+        let path = store.entry_path(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        atomic_write(&path, &bytes).unwrap();
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert!(store.load(&key).is_none(), "corrupt entry must miss");
+        assert!(
+            !store.entry_path(&key).exists(),
+            "corrupt entry must be quarantined"
+        );
+        // The slot is reusable.
+        store.save(&key, &result);
+        assert_eq!(store.load(&key).unwrap(), result);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_never_evicts_the_newest_save() {
+        let dir = dir("evict");
+        let (key, result) = tiny_result();
+        // Budget of one entry (+ slack): every save evicts the LRU.
+        let line_bytes = encode_record(&JournalRecord::ok(&key, &result)).len() as u64 + 1;
+        let store = ResultStore::open(&dir, line_bytes + 16).unwrap();
+        store.save("first-key", &result);
+        store.save("second-key", &result);
+        assert_eq!(store.len(), 1, "budget holds one entry");
+        assert!(!store.contains("first-key"), "LRU entry evicted");
+        assert!(store.contains("second-key"), "newest save kept");
+        assert_eq!(store.stats().evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lost_index_is_rebuilt_from_entry_files() {
+        let dir = dir("reindex");
+        let (key, result) = tiny_result();
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.save(&key, &result);
+        }
+        std::fs::remove_file(dir.join(INDEX_FILE)).unwrap();
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.len(), 1, "entry rediscovered without an index");
+        assert_eq!(store.load(&key).unwrap(), result);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,13 +33,20 @@ pub fn canonical_order(events: &mut [TraceEvent]) {
     events.sort_by_key(|e| e.run);
 }
 
+/// Renders one event as its JSONL line (no trailing newline) — the
+/// per-event unit [`to_jsonl`] is built from, exposed for incremental
+/// consumers (the streaming sink, the `respin-serve` wire protocol)
+/// that emit lines as events happen instead of exporting at the end.
+pub fn to_jsonl_line(event: &TraceEvent) -> String {
+    serde_json::to_string(event).expect("trace events always serialise")
+}
+
 /// Renders events as JSON Lines: one event per line, empty string for
 /// no events.
 pub fn to_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     for ev in events {
-        let line = serde_json::to_string(ev).expect("trace events always serialise");
-        out.push_str(&line);
+        out.push_str(&to_jsonl_line(ev));
         out.push('\n');
     }
     out

@@ -169,6 +169,78 @@ impl TraceSink for ScopedSink {
     }
 }
 
+/// An incremental streaming sink: every event is rendered as one JSONL
+/// line ([`crate::export::to_jsonl_line`]) and written — then flushed —
+/// immediately, so a consumer on the other end of a pipe or socket sees
+/// epoch traces *while the simulation runs* instead of after export.
+///
+/// Contrast with [`RingSink`] + [`crate::export::to_jsonl`], the batch
+/// path: the ring buffers everything and the campaign sorts into
+/// canonical cross-run order at the end. A stream cannot reorder, so a
+/// multi-run batch streamed through one `StreamSink` interleaves runs
+/// in completion order; per-run order is still deterministic (each
+/// simulation is single-threaded), and every line carries its run id
+/// for downstream grouping.
+///
+/// Write errors **latch**: after the first failed write (e.g. the
+/// consumer hung up), the sink stops writing and [`StreamSink::failed`]
+/// reports it. Observation must never take down the simulation, so the
+/// error is never propagated as a panic.
+pub struct StreamSink<W: std::io::Write + Send> {
+    inner: Mutex<StreamState<W>>,
+}
+
+struct StreamState<W> {
+    writer: W,
+    failed: bool,
+}
+
+impl<W: std::io::Write + Send> StreamSink<W> {
+    /// Streams events into `writer`, one JSONL line per event.
+    pub fn new(writer: W) -> Self {
+        Self {
+            inner: Mutex::new(StreamState {
+                writer,
+                failed: false,
+            }),
+        }
+    }
+
+    /// True once a write or flush has failed; all later events are
+    /// dropped silently.
+    pub fn failed(&self) -> bool {
+        self.inner.lock().expect("stream sink poisoned").failed
+    }
+
+    /// Consumes the sink, returning the writer (for handing a socket
+    /// back, or inspecting a buffer in tests).
+    pub fn into_inner(self) -> W {
+        self.inner
+            .into_inner()
+            .expect("stream sink poisoned")
+            .writer
+    }
+}
+
+impl<W: std::io::Write + Send> TraceSink for StreamSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut state = self.inner.lock().expect("stream sink poisoned");
+        if state.failed {
+            return;
+        }
+        let line = crate::export::to_jsonl_line(event);
+        let ok = state
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| state.writer.write_all(b"\n"))
+            .and_then(|()| state.writer.flush())
+            .is_ok();
+        if !ok {
+            state.failed = true;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +331,61 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(ring.snapshot().len(), 400);
+    }
+
+    #[test]
+    fn stream_sink_writes_one_valid_jsonl_line_per_event_incrementally() {
+        let sink = StreamSink::new(Vec::<u8>::new());
+        sink.record(&decommission(5));
+        sink.record(&chip_epoch(1));
+        assert!(!sink.failed());
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        // Streamed lines must parse exactly like the batch export.
+        let parsed = crate::export::validate_jsonl(&text).expect("streamed lines must validate");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], decommission(5));
+        assert_eq!(parsed[1], chip_epoch(1));
+    }
+
+    /// A writer that fails after `ok_writes` successful writes.
+    struct FlakyWriter {
+        ok_writes: usize,
+        written: Vec<u8>,
+    }
+
+    impl std::io::Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(std::io::Error::other("consumer hung up"));
+            }
+            self.ok_writes -= 1;
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_sink_latches_write_errors_instead_of_panicking() {
+        let sink = StreamSink::new(FlakyWriter {
+            ok_writes: 2, // one event = line + newline = two writes
+            written: Vec::new(),
+        });
+        sink.record(&decommission(1));
+        assert!(!sink.failed());
+        sink.record(&decommission(2)); // write fails here
+        assert!(sink.failed(), "the failed write must latch");
+        sink.record(&decommission(3)); // silently dropped
+        let writer = sink.into_inner();
+        let text = String::from_utf8(writer.written).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            1,
+            "only the pre-failure event may reach the writer"
+        );
     }
 }

@@ -83,7 +83,7 @@ echo '== fault-injection + trace smoke: faults fire, nothing escapes, trace expo
 echo '   (run at 2 workers and 1 worker; artifacts must be byte-identical)'
 trace_dir=$(mktemp -d)
 seq_dir=$(mktemp -d)
-out=$(RESPIN_THREADS=2 cargo run --release -q -p respin-core --bin respin-experiments -- \
+out=$(RESPIN_THREADS=2 cargo run --release -q -p respin-serve --bin respin-experiments -- \
     resilience --quick --out "$trace_dir" --trace-out "$trace_dir/trace")
 smoke=$(printf '%s\n' "$out" | grep '^smoke: ')
 echo "$smoke"
@@ -121,7 +121,7 @@ if [ ! -s "$trace_dir/trace.chrome.json" ]; then
     echo "trace smoke: Chrome-trace export is empty or missing" >&2
     exit 1
 fi
-RESPIN_THREADS=1 RESPIN_CLUSTER_WORKERS=1 cargo run --release -q -p respin-core --bin respin-experiments -- \
+RESPIN_THREADS=1 RESPIN_CLUSTER_WORKERS=1 cargo run --release -q -p respin-serve --bin respin-experiments -- \
     resilience --quick --out "$seq_dir" --trace-out "$seq_dir/trace" >/dev/null
 for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
     if ! cmp -s "$trace_dir/$f" "$seq_dir/$f"; then
@@ -133,7 +133,7 @@ echo 'determinism smoke: artifacts byte-identical at 2 workers and 1 worker'
 # Third leg: intra-run cluster sharding (DESIGN.md §16) must also be
 # byte-identical to the sequential stepping loop.
 cs_dir=$(mktemp -d)
-RESPIN_THREADS=1 RESPIN_CLUSTER_WORKERS=2 cargo run --release -q -p respin-core --bin respin-experiments -- \
+RESPIN_THREADS=1 RESPIN_CLUSTER_WORKERS=2 cargo run --release -q -p respin-serve --bin respin-experiments -- \
     resilience --quick --out "$cs_dir" --trace-out "$cs_dir/trace" >/dev/null
 for f in resilience.txt resilience.json trace.jsonl trace.chrome.json; do
     if ! cmp -s "$cs_dir/$f" "$seq_dir/$f"; then
@@ -188,14 +188,14 @@ for suite in fig6_quick resilience_smoke consolidation_heavy idle_heavy idle_hea
         exit 1
     fi
 done
-for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup cluster_shard workers clusters wall_ms_w1 wall_ms_wn; do
+for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup cluster_shard workers clusters wall_ms_w1 wall_ms_wn serve clients runs_per_client wall_ms_cold wall_ms_warm_memo wall_ms_warm_store warm_hit_ms warm_hits; do
     if ! grep -q "\"$key\"" "$bench_dir/bench.json"; then
         echo "bench smoke: key '$key' missing from report" >&2
         exit 1
     fi
 done
-if ! grep -q '"schema": "respin-bench-report/v3"' "$bench_dir/bench.json"; then
-    echo "bench smoke: report schema is not respin-bench-report/v3" >&2
+if ! grep -q '"schema": "respin-bench-report/v4"' "$bench_dir/bench.json"; then
+    echo "bench smoke: report schema is not respin-bench-report/v4" >&2
     exit 1
 fi
 if grep -q '^bench: idle_heavy .*ticks_skipped=0$' "$bench_dir/bench.log"; then
@@ -211,5 +211,70 @@ if ! grep -q '^bench: cluster_shard ' "$bench_dir/bench.log"; then
     exit 1
 fi
 rm -rf "$bench_dir"
+
+echo '== serve smoke: daemon artifacts byte-identical to one-shot; store survives SIGKILL'
+sv_dir=$(mktemp -d)
+RESPIN_THREADS=1 "$exp_bin" fig12 --quick --out "$sv_dir/oneshot" >/dev/null
+"$exp_bin" serve --socket "$sv_dir/sock" --store "$sv_dir/store" --quiet \
+    >"$sv_dir/serve1.log" 2>&1 &
+sv_pid=$!
+i=0
+while ! grep -q '^serve: listening ' "$sv_dir/serve1.log" 2>/dev/null && [ "$i" -lt 200 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if ! grep -q '^serve: listening ' "$sv_dir/serve1.log"; then
+    echo "serve smoke: daemon did not come up" >&2
+    exit 1
+fi
+sv_out=$("$exp_bin" client --socket "$sv_dir/sock" fig12 --quick --out "$sv_dir/cold")
+printf '%s\n' "$sv_out" | grep '^serve: name=fig12 '
+for f in fig12.txt fig12.json; do
+    if ! cmp -s "$sv_dir/oneshot/$f" "$sv_dir/cold/$f"; then
+        echo "serve smoke: $f from the daemon differs from the one-shot CLI" >&2
+        exit 1
+    fi
+done
+echo 'serve smoke: daemon artifacts byte-identical to the one-shot CLI'
+# SIGKILL the daemon (no clean shutdown): the content-addressed store
+# must survive, the stale socket file must be reclaimed on restart, and
+# every run must then be served warm-from-store (live=0).
+kill -9 "$sv_pid" 2>/dev/null || true
+wait "$sv_pid" 2>/dev/null || true
+"$exp_bin" serve --socket "$sv_dir/sock" --store "$sv_dir/store" --quiet \
+    >"$sv_dir/serve2.log" 2>&1 &
+sv_pid=$!
+i=0
+while ! grep -q '^serve: listening ' "$sv_dir/serve2.log" 2>/dev/null && [ "$i" -lt 200 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if ! grep -q '^serve: listening ' "$sv_dir/serve2.log"; then
+    echo "serve smoke: daemon did not restart over the SIGKILLed store" >&2
+    exit 1
+fi
+sv_out=$("$exp_bin" client --socket "$sv_dir/sock" fig12 --quick --out "$sv_dir/warm" --shutdown)
+sv_line=$(printf '%s\n' "$sv_out" | grep '^serve: name=fig12 ')
+echo "$sv_line"
+case "$sv_line" in
+    *" live=0 "*) ;;
+    *)
+        echo "serve smoke: restarted daemon re-simulated instead of serving from the store" >&2
+        exit 1 ;;
+esac
+case "$sv_line" in
+    *"warm_store=0")
+        echo "serve smoke: restarted daemon reported no warm-store hits" >&2
+        exit 1 ;;
+esac
+for f in fig12.txt fig12.json; do
+    if ! cmp -s "$sv_dir/oneshot/$f" "$sv_dir/warm/$f"; then
+        echo "serve smoke: warm-from-store $f differs from the one-shot CLI" >&2
+        exit 1
+    fi
+done
+wait "$sv_pid" 2>/dev/null || true
+echo 'serve smoke: store survived SIGKILL; warm-from-store artifacts byte-identical'
+rm -rf "$sv_dir"
 
 echo 'verify: all gates green'

@@ -1,0 +1,314 @@
+//! End-to-end properties of the `respin-serve` daemon (DESIGN.md §17):
+//!
+//! * **Three-way byte-identity** — a result computed by the one-shot
+//!   runner, served live by the daemon, or served warm from its
+//!   persistent store is the same bytes, under concurrent clients
+//!   mixing warm and cold keys.
+//! * **Restart warmth** — a daemon killed and rebound over the same
+//!   store directory serves every previously-computed key warm, with
+//!   bit-identical payloads and zero re-simulation.
+//! * **Fault isolation** — a run that panics mid-job is journaled
+//!   failed-retryable, surfaces as a structured `SRV-RUN-PANIC` error,
+//!   and never poisons the content-addressed store; the connection and
+//!   the daemon survive it.
+//! * **Disconnect tolerance** — a client that hangs up mid-stream
+//!   cannot take down the daemon or lose the job: the admitted run
+//!   completes and lands warm for the next client.
+
+use respin_core::arch::ArchConfig;
+use respin_core::experiments::common::canonical_key;
+use respin_core::experiments::{generate_named, ExpParams, RunCache};
+use respin_core::runner::RunOptions;
+use respin_serve::protocol::{encode_request, request, Request, CODE_RUN_PANIC};
+use respin_serve::{Client, ResultSource, ServeOptions, Server};
+use respin_workloads::Benchmark;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Small distinct runs: cheap enough to simulate several times in the
+/// suite, distinct enough to exercise the content addressing.
+fn batch() -> Vec<RunOptions> {
+    [
+        (ArchConfig::ShStt, Benchmark::Fft, 7),
+        (ArchConfig::ShSttCc, Benchmark::Ocean, 7),
+        (ArchConfig::PrSramNt, Benchmark::Fft, 9),
+    ]
+    .into_iter()
+    .map(|(arch, bench, seed)| {
+        let mut o = RunOptions::new(arch, bench);
+        o.clusters = 1;
+        o.cores_per_cluster = 4;
+        o.instructions_per_thread = Some(4_000);
+        o.warmup_per_thread = 1_000;
+        o.epoch_instructions = Some(1_000);
+        o.seed = seed;
+        o
+    })
+    .collect()
+}
+
+/// A run constructed to panic inside the simulator (zero-length epochs).
+fn poisoned_options() -> RunOptions {
+    let mut params = ExpParams::quick();
+    params.instructions_per_thread = 2_000;
+    params.warmup_per_thread = 500;
+    let mut o = params.options(ArchConfig::ShStt, Benchmark::Fft);
+    o.clusters = 1;
+    o.cores_per_cluster = 4;
+    o.epoch_instructions = Some(0);
+    o
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    // respin-lint: allow(D003, reason="test-only temp-dir uniquifier; never reaches results")
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    // respin-lint: allow(D003, reason="test-only temp-dir uniquifier; never reaches results")
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("respin-serve-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// Starts an in-process daemon; returns its socket path and the accept
+/// loop's join handle (joined after a client sends `Shutdown`).
+fn start_daemon(
+    dir: &std::path::Path,
+    store: bool,
+    threads: usize,
+    max_jobs: usize,
+) -> (PathBuf, std::thread::JoinHandle<()>) {
+    let socket = dir.join("daemon.sock");
+    let opts = ServeOptions {
+        socket: socket.clone(),
+        store_dir: store.then(|| dir.join("store")),
+        store_budget_bytes: 0,
+        threads,
+        max_jobs,
+        quiet: true,
+    };
+    let server = Server::bind(&opts).expect("bind daemon");
+    let handle = std::thread::spawn(move || server.run().expect("accept loop"));
+    // bind() returns with the socket live; connecting needs no polling.
+    (socket, handle)
+}
+
+/// The one-shot reference: serialised results straight from the runner,
+/// no daemon involved.
+fn direct_bytes(batch: &[RunOptions]) -> Vec<String> {
+    batch
+        .iter()
+        .map(|o| serde_json::to_string(&respin_core::run(o)).expect("result serialises"))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_serve_byte_identical_results_with_warm_and_cold_keys() {
+    let dir = fresh_dir("concurrent");
+    let (socket, handle) = start_daemon(&dir, true, 2, 2);
+    let reference = direct_bytes(&batch());
+
+    // Seed one key warm so concurrent clients mix warm and cold.
+    let mut seeder = Client::connect(&socket).expect("connect seeder");
+    let seeded = seeder.sweep(vec![batch()[0].clone()], false).expect("seed");
+    assert_eq!(seeded.done.live, 1, "seed run must simulate live");
+
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let socket = socket.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                let outcome = client.sweep(batch(), false).expect("sweep");
+                assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+                assert_eq!(outcome.done.results, batch().len());
+                for (i, result) in outcome.results.iter().enumerate() {
+                    let served = serde_json::to_string(result.as_ref().expect("result present"))
+                        .expect("serialises");
+                    assert_eq!(
+                        served, reference[i],
+                        "served result {i} must be byte-identical to the one-shot runner"
+                    );
+                }
+                outcome
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client"))
+        .collect();
+    // The seeded key must never have been re-simulated: every client
+    // sees it warm (memo or store), and the daemon's memo dedups the
+    // cold keys across racing clients.
+    for outcome in &outcomes {
+        assert_ne!(
+            outcome.sources[0],
+            Some(ResultSource::Live),
+            "seeded key must be served warm"
+        );
+    }
+
+    let mut closer = Client::connect(&socket).expect("connect closer");
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_restart_over_the_same_store_serves_every_key_warm_and_identical() {
+    let dir = fresh_dir("restart");
+    let reference = direct_bytes(&batch());
+
+    // First daemon lifetime: compute everything live.
+    let (socket, handle) = start_daemon(&dir, true, 1, 1);
+    let mut client = Client::connect(&socket).expect("connect");
+    let first = client.sweep(batch(), false).expect("first sweep");
+    assert_eq!(first.done.live, batch().len(), "cold daemon simulates all");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("first daemon exits");
+
+    // Second lifetime, same store, fresh memo: everything store-warm.
+    let (socket, handle) = start_daemon(&dir, true, 1, 1);
+    let mut client = Client::connect(&socket).expect("reconnect");
+    let second = client.sweep(batch(), false).expect("second sweep");
+    assert_eq!(
+        second.done.warm_store,
+        batch().len(),
+        "restarted daemon must serve every key from the store: {:?}",
+        second.done
+    );
+    assert_eq!(second.done.live, 0, "no re-simulation after restart");
+    for (i, result) in second.results.iter().enumerate() {
+        let served =
+            serde_json::to_string(result.as_ref().expect("result present")).expect("serialises");
+        assert_eq!(
+            served, reference[i],
+            "store-warm result {i} must be byte-identical to the one-shot runner"
+        );
+    }
+    client.shutdown().expect("shutdown");
+    handle.join().expect("second daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_artifacts_are_byte_identical_to_the_shared_dispatch() {
+    let dir = fresh_dir("artifact");
+    let (socket, handle) = start_daemon(&dir, false, 1, 1);
+    let params = ExpParams::quick();
+    let (want_text, want_json) =
+        generate_named("table3", &RunCache::new(), &params, None, None).expect("table3 exists");
+
+    let mut client = Client::connect(&socket).expect("connect");
+    let outcome = client.experiment("table3", true).expect("experiment");
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    assert_eq!(outcome.text.as_deref(), Some(want_text.as_str()));
+    assert_eq!(outcome.json.as_deref(), Some(want_json.as_str()));
+
+    // Unknown names come back as structured errors, not hangups.
+    let bogus = client.experiment("fig99", true).expect("request survives");
+    assert_eq!(bogus.errors.len(), 1);
+    assert_eq!(bogus.errors[0].code, "SRV-EXPERIMENT");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_run_is_journaled_retryable_and_never_poisons_the_store() {
+    let dir = fresh_dir("panic");
+    let (socket, handle) = start_daemon(&dir, true, 1, 1);
+    let good = batch()[0].clone();
+    let bad = poisoned_options();
+
+    let mut client = Client::connect(&socket).expect("connect");
+    let outcome = client
+        .sweep(vec![good.clone(), bad.clone()], false)
+        .expect("sweep survives the panic");
+    assert!(outcome.results[0].is_some(), "good run completes");
+    assert!(outcome.results[1].is_none(), "bad run yields no result");
+    assert_eq!(outcome.errors.len(), 1, "one structured error");
+    assert_eq!(outcome.errors[0].code, CODE_RUN_PANIC);
+    assert_eq!(outcome.done.results, 1);
+
+    // The journal records the failure as retryable; the store holds the
+    // good key and emphatically not the bad one.
+    let store_dir = dir.join("store");
+    let replay = respin_core::persist::replay(&store_dir).expect("replay journal");
+    assert_eq!(replay.failed(), 1, "panic journaled failed-retryable");
+    assert_eq!(replay.completed(), 1, "good run journaled ok");
+    let store = respin_serve::ResultStore::open(&store_dir, 0).expect("reopen store");
+    assert!(store.contains(&canonical_key(&good)), "good key stored");
+    assert!(
+        !store.contains(&canonical_key(&bad)),
+        "failed key must not reach the content-addressed store"
+    );
+
+    // The connection and daemon survive: the same client runs again.
+    let again = client.sweep(vec![good], false).expect("connection healthy");
+    assert_eq!(again.done.results, 1);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_disconnect_mid_stream_leaves_the_job_running_to_completion() {
+    let dir = fresh_dir("hangup");
+    let (socket, handle) = start_daemon(&dir, true, 1, 1);
+    let run = batch()[2].clone();
+    let key = canonical_key(&run);
+
+    // A raw connection that requests a traced run and hangs up without
+    // reading a single reply line.
+    {
+        let mut raw = UnixStream::connect(&socket).expect("connect raw");
+        let line = encode_request(&request(
+            1,
+            Request::Run {
+                options: Box::new(run.clone()),
+                trace: true,
+            },
+        ));
+        raw.write_all(line.as_bytes()).expect("send");
+        raw.write_all(b"\n").expect("send newline");
+        raw.flush().expect("flush");
+        // Dropping the stream here closes both halves mid-stream.
+    }
+
+    // The admitted job must finish and land in the store regardless.
+    // (Polled with a bounded retry count, not a wall-clock deadline —
+    // rule D002 keeps `Instant` out of result-bearing crates' tests.)
+    let store_dir = dir.join("store");
+    let mut retries = 1200;
+    loop {
+        let store = respin_serve::ResultStore::open(&store_dir, 0).expect("open store");
+        if store.contains(&key) {
+            break;
+        }
+        retries -= 1;
+        assert!(retries > 0, "abandoned job never reached the store");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // And the daemon is still healthy: a new client gets the result
+    // warm (memo or store), byte-identical to the one-shot runner.
+    let mut client = Client::connect(&socket).expect("reconnect");
+    let outcome = client.sweep(vec![run.clone()], false).expect("sweep");
+    assert_ne!(
+        outcome.sources[0],
+        Some(ResultSource::Live),
+        "abandoned job's result must be served warm"
+    );
+    let served =
+        serde_json::to_string(outcome.results[0].as_ref().expect("result")).expect("serialises");
+    assert_eq!(served, direct_bytes(&[run])[0]);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
