@@ -9,10 +9,16 @@
 //! ```
 //!
 //! * `--smoke` shrinks every suite to a few seconds (verify.sh / CI).
-//! * `--out PATH` report destination (default `BENCH_PR9.json`).
+//! * `--out PATH` report destination (default `BENCH_PR10.json`).
 //! * `--threads N` worker count for the parallel pass of the sweep and
 //!   for the cluster-sharded run (outranking `RESPIN_THREADS`; default
 //!   is the host parallelism).
+//!
+//! The report's `delta_vs_prev` block compares this run's per-suite ips
+//! against the most recent `BENCH_PR<n>.json` already present in the
+//! output directory (the target file itself excluded), flagging > 10%
+//! regressions. The delta is advisory context — wall-clock noise on a
+//! shared host can trip it — so it never fails the run.
 //!
 //! The harness self-gates: it exits non-zero if the idle-heavy fast-path
 //! run is not bit-identical to the reference loop, if the fast path
@@ -26,14 +32,50 @@
 use respin_bench::trajectory;
 use std::process::ExitCode;
 
+/// Finds the most recent `BENCH_PR<n>.json` (highest `<n>`) in the
+/// output path's directory, excluding the output file itself, and
+/// returns its file name and contents. Any I/O or parse trouble
+/// degrades to `None`: the delta block is context, not a gate.
+fn previous_report(out_path: &str) -> Option<(String, String)> {
+    let out = std::path::Path::new(out_path);
+    let dir = match out.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let out_name = out.file_name()?.to_str()?.to_string();
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(&dir).ok()? {
+        let name = entry.ok()?.file_name().to_str()?.to_string();
+        if name == out_name {
+            continue;
+        }
+        let n: u64 = match name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse().ok())
+        {
+            Some(n) => n,
+            None => continue,
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, name));
+        }
+    }
+    let (_, name) = best?;
+    let text = std::fs::read_to_string(dir.join(&name)).ok()?;
+    Some((name, text))
+}
+
 fn main() -> ExitCode {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR9.json");
+    let mut fig6_only = false;
+    let mut out_path = String::from("BENCH_PR10.json");
     let mut threads_flag = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--fig6-only" => fig6_only = true,
             "--out" => match args.next() {
                 Some(p) => out_path = p,
                 None => {
@@ -49,7 +91,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: bench_report [--smoke] [--out PATH] [--threads N]");
+                eprintln!("usage: bench_report [--smoke] [--fig6-only] [--out PATH] [--threads N]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -62,6 +104,17 @@ fn main() -> ExitCode {
     if let Some(n) = threads_flag {
         respin_pool::set_threads(n);
     }
+    // `--fig6-only`: run just the fig6_quick suite and print its line —
+    // the cheap measurement the CI self-gating ips floor compares
+    // against the committed baseline. No report is written.
+    if fig6_only {
+        let s = trajectory::fig6_quick(smoke);
+        println!(
+            "bench: {} wall_ms={:.1} instructions={} ips={:.0} ticks_skipped={}",
+            s.name, s.wall_ms, s.instructions, s.ips, s.ticks_skipped
+        );
+        return ExitCode::SUCCESS;
+    }
     let threads = respin_pool::resolved_threads();
     let mode = if smoke { "smoke" } else { "full" };
     let (suites, parallel, cluster, serve) = match trajectory::run_suites(smoke, threads) {
@@ -72,7 +125,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = trajectory::render_json(mode, &suites, &parallel, &cluster, &serve);
+    let delta = previous_report(&out_path)
+        .and_then(|(name, text)| trajectory::compute_delta(&name, &text, &suites));
+    let report =
+        trajectory::render_json(mode, &suites, &parallel, &cluster, &serve, delta.as_ref());
     if let Err(e) =
         respin_core::persist::atomic_write(std::path::Path::new(&out_path), report.as_bytes())
     {
@@ -96,16 +152,28 @@ fn main() -> ExitCode {
         parallel.wall_ms_tn,
         parallel.speedup
     );
-    println!(
-        "bench: cluster_shard workers={} host_cpus={} clusters={} wall_ms_w1={:.1} \
-         wall_ms_wn={:.1} speedup={:.2}",
-        cluster.workers,
-        cluster.host_cpus,
-        cluster.clusters,
-        cluster.wall_ms_w1,
-        cluster.wall_ms_wn,
-        cluster.speedup
-    );
+    if cluster.gated {
+        println!(
+            "bench: cluster_shard workers={} host_cpus={} clusters={} wall_ms_w1={:.1} \
+             wall_ms_wn={:.1} gated (no speedup claim)",
+            cluster.workers,
+            cluster.host_cpus,
+            cluster.clusters,
+            cluster.wall_ms_w1,
+            cluster.wall_ms_wn
+        );
+    } else {
+        println!(
+            "bench: cluster_shard workers={} host_cpus={} clusters={} wall_ms_w1={:.1} \
+             wall_ms_wn={:.1} speedup={:.2}",
+            cluster.workers,
+            cluster.host_cpus,
+            cluster.clusters,
+            cluster.wall_ms_w1,
+            cluster.wall_ms_wn,
+            cluster.speedup
+        );
+    }
     println!(
         "bench: serve clients={} threads={} host_cpus={} runs_per_client={} unique_runs={} \
          wall_ms_cold={:.1} wall_ms_warm_memo={:.1} wall_ms_warm_store={:.1} warm_hit_ms={:.2}",
@@ -119,6 +187,20 @@ fn main() -> ExitCode {
         serve.wall_ms_warm_store,
         serve.warm_hit_ms
     );
+    match &delta {
+        Some(d) => {
+            for x in &d.suites {
+                println!(
+                    "bench: delta {} ratio={:.3} ({}){}",
+                    x.name,
+                    x.ratio,
+                    d.baseline,
+                    if x.regression { " REGRESSION" } else { "" }
+                );
+            }
+        }
+        None => println!("bench: delta no previous BENCH_PR*.json found"),
+    }
     println!("bench_report: wrote {out_path} ({mode} mode)");
     ExitCode::SUCCESS
 }

@@ -30,8 +30,13 @@ use std::time::Instant;
 /// cluster-parallel timing of one fixed big run at 1 vs N workers).
 /// v4 = v3 plus the top-level `serve` object (daemon cold / memo-warm /
 /// store-warm throughput under concurrent clients, and warm-hit
-/// latency).
-pub const SCHEMA: &str = "respin-bench-report/v4";
+/// latency). v5 = v4 plus the `cluster_shard.gated` flag (the speedup
+/// key is omitted when the measurement ran with more workers than host
+/// CPUs, where a wall-clock speedup claim would be dishonest) and the
+/// top-level `delta_vs_prev` object (per-suite ips ratio against the
+/// previous committed `BENCH_PR<n>.json`; `null` when no prior report
+/// was found).
+pub const SCHEMA: &str = "respin-bench-report/v5";
 
 /// One timed suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,6 +219,11 @@ pub struct ClusterShard {
     pub wall_ms_wn: f64,
     /// `wall_ms_w1 / wall_ms_wn`.
     pub speedup: f64,
+    /// True when `workers > host_cpus`: the passes time-sliced one CPU,
+    /// so the wall-clock ratio measures scheduling overhead, not
+    /// sharding profit. A gated report records the raw wall times but
+    /// makes no speedup claim (the JSON omits the key).
+    pub gated: bool,
 }
 
 /// The fixed cluster-shard run: barrier-heavy Ocean on a 4-cluster
@@ -261,9 +271,10 @@ pub fn run_cluster_shard(smoke: bool, workers: usize) -> Result<ClusterShard, St
         ));
     }
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     Ok(ClusterShard {
         workers,
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus,
         clusters: base.clusters,
         instructions: seq.instructions,
         wall_ms_w1,
@@ -273,6 +284,7 @@ pub fn run_cluster_shard(smoke: bool, workers: usize) -> Result<ClusterShard, St
         } else {
             0.0
         },
+        gated: workers > host_cpus,
     })
 }
 
@@ -487,7 +499,9 @@ pub fn run_serve_bench(smoke: bool, threads: usize) -> Result<ServeBench, String
 
 /// fig6-style sweep: every benchmark (a subset in smoke mode) on the
 /// ShStt configuration at quick scale, through the normal policy runner.
-fn fig6_quick(smoke: bool) -> SuiteResult {
+/// Public so `bench_report --fig6-only` can run just this suite for the
+/// CI self-gating ips floor.
+pub fn fig6_quick(smoke: bool) -> SuiteResult {
     let mut params = ExpParams::quick();
     let benches: &[Benchmark] = if smoke {
         params.instructions_per_thread = 2_000;
@@ -699,14 +713,26 @@ pub fn run_suites(
 
     eprintln!("bench: cluster_shard workers={threads} ...");
     let cluster = run_cluster_shard(smoke, threads.max(1))?;
-    eprintln!(
-        "bench: cluster_shard clusters={} w1={:.0}ms wN={:.0}ms speedup={:.2} host_cpus={}",
-        cluster.clusters,
-        cluster.wall_ms_w1,
-        cluster.wall_ms_wn,
-        cluster.speedup,
-        cluster.host_cpus
-    );
+    if cluster.gated {
+        eprintln!(
+            "bench: cluster_shard clusters={} w1={:.0}ms wN={:.0}ms gated \
+             (workers={} > host_cpus={}; no speedup claim)",
+            cluster.clusters,
+            cluster.wall_ms_w1,
+            cluster.wall_ms_wn,
+            cluster.workers,
+            cluster.host_cpus
+        );
+    } else {
+        eprintln!(
+            "bench: cluster_shard clusters={} w1={:.0}ms wN={:.0}ms speedup={:.2} host_cpus={}",
+            cluster.clusters,
+            cluster.wall_ms_w1,
+            cluster.wall_ms_wn,
+            cluster.speedup,
+            cluster.host_cpus
+        );
+    }
 
     eprintln!("bench: serve threads={threads} ...");
     let serve = run_serve_bench(smoke, threads)?;
@@ -723,18 +749,107 @@ pub fn run_suites(
     Ok((out, parallel, cluster, serve))
 }
 
+/// One suite's ips compared against the previous committed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaSuite {
+    /// Suite name (present in both reports).
+    pub name: String,
+    /// The previous report's ips for this suite.
+    pub ips_prev: f64,
+    /// This report's ips.
+    pub ips_now: f64,
+    /// `ips_now / ips_prev` (> 1 is faster).
+    pub ratio: f64,
+    /// True when the ratio fell below [`REGRESSION_FLOOR`] — a > 10%
+    /// throughput regression worth a second look. Wall-clock noise on a
+    /// shared host can trip this; the flag is a prompt, not a gate.
+    pub regression: bool,
+}
+
+/// Ratio below which a suite is flagged as a regression in
+/// `delta_vs_prev` (> 10% slower than the previous report).
+pub const REGRESSION_FLOOR: f64 = 0.9;
+
+/// Per-suite throughput delta against the previous committed
+/// `BENCH_PR<n>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaVsPrev {
+    /// File name of the baseline report the delta is computed against.
+    pub baseline: String,
+    /// One entry per suite present in both reports, in this report's
+    /// suite order.
+    pub suites: Vec<DeltaSuite>,
+}
+
+/// Numeric coercion over the vendored JSON value (ips is rendered
+/// `{:.0}`, so it usually parses back as an unsigned integer).
+fn value_as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::UInt(n) => Some(*n as f64),
+        serde::Value::Int(n) => Some(*n as f64),
+        serde::Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Computes the per-suite ips delta between this run's suites and a
+/// previous report's JSON text (`baseline` is the file name recorded in
+/// the output). Returns `None` when the previous text does not parse as
+/// a bench report or shares no suite names — the report then renders
+/// `"delta_vs_prev": null` rather than failing the run: the delta is
+/// advisory context, never a reason to lose fresh measurements.
+pub fn compute_delta(
+    baseline: &str,
+    prev_text: &str,
+    suites: &[SuiteResult],
+) -> Option<DeltaVsPrev> {
+    let prev: serde::Value = serde_json::from_str(prev_text).ok()?;
+    let prev_suites = prev.get("suites")?;
+    let mut out = Vec::new();
+    for s in suites {
+        let Some(ips_prev) = prev_suites
+            .get(s.name)
+            .and_then(|e| e.get("ips"))
+            .and_then(value_as_f64)
+        else {
+            continue;
+        };
+        if ips_prev <= 0.0 {
+            continue;
+        }
+        let ratio = s.ips / ips_prev;
+        out.push(DeltaSuite {
+            name: s.name.to_string(),
+            ips_prev,
+            ips_now: s.ips,
+            ratio,
+            regression: ratio < REGRESSION_FLOOR,
+        });
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(DeltaVsPrev {
+        baseline: baseline.to_string(),
+        suites: out,
+    })
+}
+
 /// Renders the report JSON by hand (stable key order, no new
 /// dependencies): `{"schema", "mode", "parallel": {...}, "cluster_shard":
-/// {...}, "serve": {...}, "suites": {name: {wall_ms, instructions, ips,
-/// ticks_skipped}}}`. The `suites` map is byte-compatible with the v1
-/// layout; v2 added the `parallel` object, v3 added `cluster_shard`, v4
-/// adds `serve`.
+/// {...}, "serve": {...}, "delta_vs_prev": {...}|null, "suites": {name:
+/// {wall_ms, instructions, ips, ticks_skipped}}}`. The `suites` map is
+/// byte-compatible with the v1 layout; v2 added the `parallel` object,
+/// v3 added `cluster_shard`, v4 added `serve`, v5 adds
+/// `cluster_shard.gated` (speedup omitted when set) and
+/// `delta_vs_prev`.
 pub fn render_json(
     mode: &str,
     suites: &[SuiteResult],
     parallel: &ParallelSweep,
     cluster: &ClusterShard,
     serve: &ServeBench,
+    delta: Option<&DeltaVsPrev>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -753,17 +868,24 @@ pub fn render_json(
         parallel.wall_ms_tn,
         parallel.speedup
     ));
+    // A gated measurement (more workers than CPUs) records the raw wall
+    // times but omits the speedup key entirely: an absent claim cannot
+    // be misquoted as a slowdown.
+    let shard_tail = if cluster.gated {
+        "\"gated\": true".to_string()
+    } else {
+        format!("\"speedup\": {:.3}, \"gated\": false", cluster.speedup)
+    };
     s.push_str(&format!(
         "  \"cluster_shard\": {{ \"workers\": {}, \"host_cpus\": {}, \"clusters\": {}, \
          \"instructions\": {}, \"wall_ms_w1\": {:.3}, \"wall_ms_wn\": {:.3}, \
-         \"speedup\": {:.3} }},\n",
+         {shard_tail} }},\n",
         cluster.workers,
         cluster.host_cpus,
         cluster.clusters,
         cluster.instructions,
         cluster.wall_ms_w1,
         cluster.wall_ms_wn,
-        cluster.speedup
     ));
     s.push_str(&format!(
         "  \"serve\": {{ \"clients\": {}, \"threads\": {}, \"host_cpus\": {}, \
@@ -781,6 +903,24 @@ pub fn render_json(
         serve.warm_hit_ms,
         serve.warm_hits
     ));
+    match delta {
+        Some(d) => {
+            s.push_str(&format!(
+                "  \"delta_vs_prev\": {{ \"baseline\": \"{}\", \"regressions\": {}, \"suites\": {{\n",
+                d.baseline,
+                d.suites.iter().filter(|x| x.regression).count()
+            ));
+            for (i, x) in d.suites.iter().enumerate() {
+                let comma = if i + 1 == d.suites.len() { "" } else { "," };
+                s.push_str(&format!(
+                    "    \"{}\": {{ \"ips_prev\": {:.0}, \"ips_now\": {:.0}, \"ratio\": {:.3}, \"regression\": {} }}{}\n",
+                    x.name, x.ips_prev, x.ips_now, x.ratio, x.regression, comma
+                ));
+            }
+            s.push_str("  } },\n");
+        }
+        None => s.push_str("  \"delta_vs_prev\": null,\n"),
+    }
     s.push_str("  \"suites\": {\n");
     for (i, r) in suites.iter().enumerate() {
         let comma = if i + 1 == suites.len() { "" } else { "," };
@@ -819,6 +959,7 @@ mod tests {
             wall_ms_w1: 300.0,
             wall_ms_wn: 180.0,
             speedup: 300.0 / 180.0,
+            gated: false,
         }
     }
 
@@ -849,6 +990,7 @@ mod tests {
             &fake_parallel(),
             &fake_cluster(),
             &fake_serve(),
+            None,
         );
         let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
         let serde::Value::Object(top) = &v else {
@@ -894,12 +1036,17 @@ mod tests {
             "wall_ms_w1",
             "wall_ms_wn",
             "speedup",
+            "gated",
         ] {
             assert!(
                 cluster_obj.iter().any(|(k, _)| k == key),
                 "missing cluster_shard.{key}"
             );
         }
+        assert!(
+            top.iter().any(|(k, _)| k == "delta_vs_prev"),
+            "missing delta_vs_prev"
+        );
         let serve_v = top
             .iter()
             .find(|(k, _)| k == "serve")
@@ -942,6 +1089,77 @@ mod tests {
                 assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
             }
         }
+    }
+
+    #[test]
+    fn gated_cluster_shard_renders_no_speedup_claim() {
+        let suites = vec![SuiteResult::new("alpha", 12.5, 1_000, 0)];
+        let mut cluster = fake_cluster();
+        cluster.workers = 2;
+        cluster.host_cpus = 1;
+        cluster.gated = true;
+        let text = render_json(
+            "smoke",
+            &suites,
+            &fake_parallel(),
+            &cluster,
+            &fake_serve(),
+            None,
+        );
+        let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
+        let shard = v.get("cluster_shard").expect("cluster_shard key");
+        assert_eq!(shard.get("gated"), Some(&serde::Value::Bool(true)));
+        assert!(
+            shard.get("speedup").is_none(),
+            "gated report must not claim a speedup"
+        );
+        // The raw wall times stay: the data is recorded, only the claim
+        // is withheld.
+        assert!(shard.get("wall_ms_w1").is_some());
+        assert!(shard.get("wall_ms_wn").is_some());
+    }
+
+    #[test]
+    fn delta_vs_prev_flags_regressions_and_renders() {
+        let suites = vec![
+            SuiteResult::new("fast", 10.0, 2_000, 0), // 200k ips
+            SuiteResult::new("slow", 10.0, 500, 0),   // 50k ips
+            SuiteResult::new("new_suite", 10.0, 100, 0),
+        ];
+        let prev = r#"{
+            "schema": "respin-bench-report/v4",
+            "suites": {
+                "fast": { "wall_ms": 10.0, "instructions": 1000, "ips": 100000, "ticks_skipped": 0 },
+                "slow": { "wall_ms": 10.0, "instructions": 1000, "ips": 100000, "ticks_skipped": 0 }
+            }
+        }"#;
+        let d = compute_delta("BENCH_PR9.json", prev, &suites).expect("delta");
+        assert_eq!(d.baseline, "BENCH_PR9.json");
+        assert_eq!(d.suites.len(), 2, "suites only present in both reports");
+        let fast = &d.suites[0];
+        assert!((fast.ratio - 2.0).abs() < 1e-9 && !fast.regression);
+        let slow = &d.suites[1];
+        assert!((slow.ratio - 0.5).abs() < 1e-9 && slow.regression);
+
+        let text = render_json(
+            "smoke",
+            &suites,
+            &fake_parallel(),
+            &fake_cluster(),
+            &fake_serve(),
+            Some(&d),
+        );
+        let v: serde::Value = serde_json::from_str(&text).expect("report must be valid JSON");
+        let delta = v.get("delta_vs_prev").expect("delta_vs_prev key");
+        assert_eq!(delta.get("regressions"), Some(&serde::Value::UInt(1)));
+        assert!(delta.get("suites").and_then(|s| s.get("slow")).is_some());
+    }
+
+    #[test]
+    fn delta_vs_prev_degrades_to_none_on_garbage() {
+        let suites = vec![SuiteResult::new("alpha", 10.0, 1_000, 0)];
+        assert!(compute_delta("x.json", "not json", &suites).is_none());
+        assert!(compute_delta("x.json", "{\"suites\": {}}", &suites).is_none());
     }
 
     #[test]

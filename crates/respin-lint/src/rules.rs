@@ -10,7 +10,7 @@
 //!
 //! | id | hazard | where it applies |
 //! |---|---|---|
-//! | D001 | `HashMap`/`HashSet`: iteration order is randomised per process, so any traversal that reaches results, reports, or traces breaks the byte-identity contract | result-bearing crates (`respin-sim`, `respin-core`, `respin-faults`, `respin-trace`, `respin-serve`) |
+//! | D001 | `HashMap`/`HashSet`: iteration order is randomised per process, so any traversal that reaches results, reports, or traces breaks the byte-identity contract. The sanctioned replacements are `BTreeMap`/`BTreeSet` — or the dense index-keyed tables of `respin-sim`'s hot path (`Vec`s indexed by core/cluster/barrier id, open-addressed maps over fixed keys), which are deterministic because their probe order is a pure function of the keys **and** every result/serialisation boundary re-emits them in canonical sorted order (DESIGN.md §18) | result-bearing crates (`respin-sim`, `respin-core`, `respin-faults`, `respin-trace`, `respin-serve`) |
 //! | D002 | `Instant::now`/`SystemTime`: wall-clock reads leaking into simulation state make results machine- and load-dependent | everywhere except `respin-bench` (its whole purpose is timing) |
 //! | D003 | `Ordering::Relaxed`: a relaxed atomic load may observe stale values, so any such value flowing into results is schedule-dependent | everywhere (the `respin-pool` claim/abort atomics carry the canonical documented waivers) |
 //! | D004 | `thread::current`: thread identity is scheduler-assigned; branching on it (or logging it into artifacts) is nondeterministic | everywhere except `respin-pool` |
@@ -168,14 +168,16 @@ fn scan_sequences(
         Pattern {
             rule: "D001",
             seq: &["HashMap"],
-            message: "HashMap iteration order is nondeterministic; use BTreeMap (or sort \
-                      before any traversal that can reach results)",
+            message: "HashMap iteration order is nondeterministic; use BTreeMap, or a \
+                      dense index-keyed table that sorts into canonical order at every \
+                      result boundary (DESIGN.md \u{a7}18)",
         },
         Pattern {
             rule: "D001",
             seq: &["HashSet"],
-            message: "HashSet iteration order is nondeterministic; use BTreeSet (or sort \
-                      before any traversal that can reach results)",
+            message: "HashSet iteration order is nondeterministic; use BTreeSet, or a \
+                      dense index-keyed table that sorts into canonical order at every \
+                      result boundary (DESIGN.md \u{a7}18)",
         },
         Pattern {
             rule: "D002",

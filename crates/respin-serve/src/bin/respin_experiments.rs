@@ -15,6 +15,8 @@
 //! respin-experiments client [--socket PATH] --stats
 //! respin-experiments client [--socket PATH] --shutdown
 //!
+//! respin-experiments bench --profile [--smoke] [--out PATH]
+//!
 //! experiments: table1 table2 table3 table4 fig1 fig6 fig7 fig8 fig9
 //!              fig10 fig11 fig12 fig13 fig14 cluster ablation voltage
 //!              resilience
@@ -72,7 +74,8 @@ fn usage() -> String {
          \x20      respin-experiments serve [--socket PATH] [--store DIR] \
          [--store-budget-bytes N] [--threads N] [--max-jobs N] [--quiet]\n\
          \x20      respin-experiments client [--socket PATH] <experiment|all> \
-         [--quick] [--out DIR] | --stats | --shutdown",
+         [--quick] [--out DIR] | --stats | --shutdown\n\
+         \x20      respin-experiments bench --profile [--smoke] [--out PATH]",
         EXPERIMENT_NAMES.join("|")
     )
 }
@@ -318,6 +321,116 @@ fn client_main(args: impl Iterator<Item = String>) {
     }
 }
 
+/// `respin-experiments bench --profile`: run a representative sequential
+/// workload with the [`respin_sim::profile::PhaseProfiler`] probe
+/// installed and emit a `respin-profile/v1` report attributing run-loop
+/// wall time to the five hot-path phases. The profiled chip is
+/// bit-identical to an unprofiled one (probes are observation-only), so
+/// this is safe to run against the same binary the byte-identity gates
+/// check.
+///
+/// `--smoke` shrinks the workload to CI scale (seconds); `--out PATH`
+/// writes the JSON atomically instead of printing it.
+fn bench_main(args: impl Iterator<Item = String>) {
+    let mut profile = false;
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--profile" => profile = true,
+            "--smoke" => smoke = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs PATH"))),
+            other => {
+                eprintln!("unknown bench argument '{other}'");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    if !profile {
+        eprintln!("bench requires --profile (the unprofiled suites live in respin-bench)");
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+
+    use respin_core::arch::ArchConfig;
+    use respin_sim::profile::{PhaseProfiler, PHASE_NAMES};
+    use respin_workloads::Benchmark;
+
+    // The representative workload: the shared-L1 STT-RAM organisation on
+    // Radix — the same shape `fig6_quick` measures — at the experiment
+    // campaign's quick scale, shrunk further under `--smoke`.
+    let mut params = ExpParams::quick();
+    let mut opts = params.options(ArchConfig::ShStt, Benchmark::Radix);
+    if smoke {
+        params.instructions_per_thread = 2_000;
+        params.warmup_per_thread = 500;
+        params.epoch_instructions = 1_000;
+        opts = params.options(ArchConfig::ShStt, Benchmark::Radix);
+        opts.clusters = 1;
+        opts.cores_per_cluster = 8;
+    }
+    // The profiled loop is the sequential reference semantics; force the
+    // shard width so a pool default cannot route ticks off it.
+    opts.cluster_workers = Some(1);
+
+    let mut chip = opts.build_chip();
+    chip.run_warmup(opts.warmup_per_thread * chip.config.total_cores() as u64);
+
+    // Wall clocks are confined to bench/CLI code by determinism lint
+    // D002; this binary is CLI code and the time never reaches an
+    // artifact the byte-identity gates compare.
+    // respin-lint: allow(D002, reason="bench --profile measures wall time; never written to result artifacts")
+    let t0 = std::time::Instant::now();
+    let mut clock = move || u64::try_from(t0.elapsed().as_nanos()).expect("run under 584 years");
+    let mut profiler = PhaseProfiler::new(&mut clock);
+    loop {
+        let report = chip.run_epoch_profiled(&mut profiler);
+        if report.finished {
+            break;
+        }
+    }
+    // Copying the accumulator is the profiler's last use, which releases
+    // its borrow of `clock`.
+    let acc = profiler.acc;
+    let wall_ns = clock().max(1);
+    let instructions = chip.total_instructions();
+
+    let attributed_ns = acc.total_ns();
+    let coverage_pct = attributed_ns as f64 / wall_ns as f64 * 100.0;
+    let ips = instructions * 1_000_000_000 / wall_ns;
+    let mut phases = String::new();
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        let pct = acc.ns[i] as f64 / wall_ns as f64 * 100.0;
+        phases.push_str(&format!(
+            "\"{name}\":{{\"ns\":{},\"pct\":{pct:.2}}}",
+            acc.ns[i]
+        ));
+    }
+    let json = format!(
+        "{{\"schema\":\"respin-profile/v1\",\"mode\":\"{}\",\"arch\":\"sh_stt\",\
+         \"benchmark\":\"radix\",\"executed_ticks\":{},\"instructions\":{instructions},\
+         \"wall_ns\":{wall_ns},\"attributed_ns\":{attributed_ns},\
+         \"coverage_pct\":{coverage_pct:.2},\"ips\":{ips},\"phases\":{{{phases}}}}}\n",
+        if smoke { "smoke" } else { "quick" },
+        acc.executed_ticks,
+    );
+    match &out {
+        Some(path) => {
+            atomic_write(path, json.as_bytes()).expect("write profile report");
+            println!(
+                "bench: profile coverage={coverage_pct:.2}% ips={ips} -> {}",
+                path.display()
+            );
+        }
+        None => print!("{json}"),
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
@@ -329,6 +442,11 @@ fn main() {
         Some("client") => {
             argv.next();
             client_main(argv);
+            return;
+        }
+        Some("bench") => {
+            argv.next();
+            bench_main(argv);
             return;
         }
         _ => {}

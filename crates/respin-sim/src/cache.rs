@@ -60,8 +60,13 @@ impl CacheArray {
             .validate()
             .expect("cache geometry must be valid before building the array");
         let sets = geometry.sets() as usize;
+        let ways = geometry.associativity as usize;
         Self {
-            sets: vec![Vec::with_capacity(geometry.associativity as usize); sets],
+            // Built per-set (not `vec![proto; n]`): cloning an empty Vec
+            // drops its capacity, which would silently re-introduce a
+            // heap allocation on every set's first fills — the hot-path
+            // allocation audit counts those.
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways: geometry.associativity as usize,
             block_bits: geometry.block_bytes.trailing_zeros(),
             num_sets: sets as u64,

@@ -24,7 +24,9 @@ use crate::consts;
 use crate::core::VcState;
 use crate::directory::Directory;
 use crate::energy::EnergyBreakdown;
+use crate::hotpath::{BarrierTable, BoundarySchedule, DeferredWheel, IdTable};
 use crate::memsys::{MainMemory, MemLevel};
+use crate::profile::{NoProbe, Phase, PhaseProfiler, StepProbe};
 use crate::shared_l1::L1Event;
 use crate::stats::{ChipStats, LevelStats, SharedL1Stats};
 use respin_faults::{hash, FaultEventKind, FaultStats, FaultSummary};
@@ -36,8 +38,7 @@ use respin_trace::{TraceEvent, TraceKind, Tracer};
 use respin_variation::{VariationConfig, VariationMap};
 use respin_workloads::{Op, WorkloadSpec};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Safety valve: a single epoch may not run longer than this many ticks
 /// (a stuck epoch means a simulator bug; fail loudly instead of hanging).
@@ -568,13 +569,25 @@ pub struct Chip {
     pub tick: u64,
     /// Tick measurement started at (0, or the end of the warm-up).
     measure_start_tick: u64,
-    // BTreeMap, not HashMap: sync state is cloned into oracle replays and
-    // walked by diagnostics/tests, and id order keeps every traversal
-    // deterministic (determinism lint D001). The maps hold at most a few
-    // dozen live ids, so tree lookups cost nothing measurable here.
-    barriers: BTreeMap<u32, u32>,
-    locks: BTreeMap<u32, LockEntry>,
-    deferred: BinaryHeap<Reverse<(u64, Deferred)>>,
+    // Dense id-indexed tables (crate::hotpath), not BTreeMaps: sync state
+    // is touched on the executed-tick hot path, the id spaces are small
+    // and dense, and every observable traversal (diagnostics, tests, the
+    // snapshot form) is in ascending id order by construction — the same
+    // canonical-order guarantee the old maps gave (determinism lint
+    // D001), without the per-op tree rebalancing.
+    barriers: BarrierTable,
+    locks: IdTable<LockEntry>,
+    /// Per-cluster boundary-core schedules (see
+    /// [`crate::hotpath::BoundarySchedule`]): derived from the cores'
+    /// fixed period mults, rebuilt at construction and snapshot restore,
+    /// never serialised. Purely a stepping-loop accelerator — skipped
+    /// cores are exactly the ones whose core cycle is a no-op.
+    boundary_scheds: Vec<BoundarySchedule>,
+    /// Deferred completions in a bucketed wakeup wheel (drained in the
+    /// old heap's exact pop order; see [`crate::hotpath::DeferredWheel`]).
+    deferred: DeferredWheel<Deferred>,
+    /// Reusable drain buffer for [`Chip::drain_deferred`].
+    deferred_scratch: Vec<(u64, Deferred)>,
     pending_remote: Vec<RemoteOp>,
     ev_scratch: Vec<L1Event>,
     /// Persistent scratch for the epoch-boundary scrub walk (avoids a
@@ -694,6 +707,7 @@ impl Chip {
         let total_cores = config.total_cores();
         let mesh = Mesh::new(config.clusters);
         let fault_key = hash::combine(&[seed, config.faults.seed, hash::DOMAIN_CORE]);
+        let boundary_scheds = Self::build_boundary_scheds(&clusters);
         Ok(Self {
             config,
             core_model,
@@ -706,9 +720,11 @@ impl Chip {
             mem: MainMemory::default(),
             tick: 0,
             measure_start_tick: 0,
-            barriers: BTreeMap::new(),
-            locks: BTreeMap::new(),
-            deferred: BinaryHeap::new(),
+            barriers: BarrierTable::new(),
+            locks: IdTable::new(),
+            boundary_scheds,
+            deferred: DeferredWheel::new(),
+            deferred_scratch: Vec::new(),
             pending_remote: Vec::new(),
             ev_scratch: Vec::new(),
             scrub_scratch: Vec::new(),
@@ -728,6 +744,15 @@ impl Chip {
             tracer: Tracer::disabled(),
             cluster_workers: 1,
         })
+    }
+
+    /// Builds the per-cluster boundary-core schedules from the cores'
+    /// period mults (fixed for the chip's lifetime).
+    fn build_boundary_scheds(clusters: &[Cluster]) -> Vec<BoundarySchedule> {
+        clusters
+            .iter()
+            .map(|cl| BoundarySchedule::build(cl.cores.iter().map(|c| c.mult)))
+            .collect()
     }
 
     /// Sets the worker budget for cluster-sharded stepping in the run
@@ -788,6 +813,18 @@ impl Chip {
 
     /// Advances the chip by one cache cycle.
     pub fn step(&mut self) {
+        self.step_probed(&mut NoProbe);
+    }
+
+    /// [`Chip::step`] with a phase-attribution probe. The probe is
+    /// observation-only (it never sees simulator state), so every probed
+    /// run is bit-identical to an unprobed one; with [`NoProbe`] the
+    /// marks monomorphise to nothing and this *is* `step`.
+    fn step_probed<P: StepProbe>(&mut self, probe: &mut P) {
+        // Time since the previous tick's last phase — next-event
+        // computation, idle skipping, run-loop control — belongs to the
+        // between-steps bucket.
+        probe.mark(Phase::EpochMaintenance);
         let now = self.tick;
 
         // Phase 1: shared-L1 controllers. One persistent scratch buffer
@@ -800,36 +837,60 @@ impl Chip {
             if let L1System::Shared(s) = &mut self.clusters[k].l1 {
                 s.tick(now, &mut events);
             }
+            probe.mark(Phase::SharedL1Tick);
             for ev in events.drain(..) {
                 self.handle_l1_event(k, ev, now);
             }
             debug_assert!(events.is_empty(), "events must not outlive their cluster");
+            probe.mark(Phase::EventDrain);
         }
         self.ev_scratch = events;
 
         // Phase 2: deferred completions.
         self.drain_deferred(now);
+        probe.mark(Phase::EventDrain);
 
-        // Phase 3: core execution.
-        for k in 0..self.clusters.len() {
-            for c in 0..self.clusters[k].cores.len() {
-                self.exec_core_cycle(k, c, now);
+        // Phase 3: core execution. The boundary schedule names exactly
+        // the cores whose cycle can do anything at `now` (the rest
+        // would early-return before any side effect), so visiting only
+        // those is the same computation. Moved out during the loop so
+        // `exec_core_cycle` can borrow `self` mutably.
+        let scheds = std::mem::take(&mut self.boundary_scheds);
+        for (k, sched) in scheds.iter().enumerate() {
+            match sched.cores_at(now) {
+                Some(on_boundary) => {
+                    for &c in on_boundary {
+                        self.exec_core_cycle(k, c as usize, now);
+                    }
+                }
+                None => {
+                    for c in 0..self.clusters[k].cores.len() {
+                        self.exec_core_cycle(k, c, now);
+                    }
+                }
             }
         }
+        self.boundary_scheds = scheds;
+        probe.mark(Phase::CoreExecute);
 
         // Phase 4: cross-cluster coherence actions.
         self.drain_remote();
+        probe.mark(Phase::SyncReplay);
 
         self.tick = now + 1;
+        probe.tick_executed();
     }
 
     /// Phase 2 of a tick: applies deferred completions due at `now`.
     fn drain_deferred(&mut self, now: u64) {
-        while let Some(&Reverse((t, d))) = self.deferred.peek() {
-            if t > now {
-                break;
-            }
-            self.deferred.pop();
+        if self.deferred.peek_next().is_none_or(|t| t > now) {
+            return;
+        }
+        // Pop due entries into the persistent scratch (the wheel hands
+        // them out in the old heap's exact ascending order), then apply.
+        self.deferred.drain_into(now, &mut self.deferred_scratch);
+        let drained = std::mem::take(&mut self.deferred_scratch);
+        for &(_, d) in &drained {
             match d {
                 Deferred::FreeStoreSlot(k, c) => {
                     let core = &mut self.clusters[k].cores[c];
@@ -853,6 +914,8 @@ impl Chip {
                 }
             }
         }
+        // Hand the buffer back so steady-state draining never allocates.
+        self.deferred_scratch = drained;
     }
 
     /// Phase 4 of a tick: applies cross-cluster coherence actions queued
@@ -1072,10 +1135,9 @@ impl Chip {
         } = ps;
         match kind {
             SyncKind::Barrier(id) => {
-                let arrivals = self.barriers.entry(id).or_insert(0);
-                *arrivals += 1;
-                if *arrivals == self.total_threads {
-                    self.barriers.remove(&id);
+                let arrivals = self.barriers.arrive(id);
+                if arrivals == self.total_threads {
+                    self.barriers.reset(id);
                     self.release_barrier(id, k, now);
                     self.clusters[k].vcores[vc_id].state = VcState::StallUntil(now + mult);
                 } else {
@@ -1084,7 +1146,7 @@ impl Chip {
             }
             SyncKind::LockAcq(lock) => {
                 let (acquired, transfer_from) = {
-                    let e = self.locks.entry(lock).or_default();
+                    let e = self.locks.get_or_default(lock);
                     if e.holder.is_none() {
                         e.holder = Some((k, vc_id));
                         let from = e.last_cluster;
@@ -1112,7 +1174,7 @@ impl Chip {
                 let wake = {
                     let e = self
                         .locks
-                        .get_mut(&lock)
+                        .get_mut(lock)
                         .expect("release of a lock that was never acquired");
                     debug_assert_eq!(e.holder, Some((k, vc_id)));
                     e.last_cluster = k;
@@ -1161,14 +1223,16 @@ impl Chip {
     /// finished — a genuine deadlock the reference loop would only
     /// surface as an epoch-tick-limit assertion much later.
     pub fn advance(&mut self) {
-        self.advance_with(None);
+        self.advance_with(None, &mut NoProbe);
     }
 
-    /// [`Chip::advance`] with an optional live shard context: the skip
-    /// decision (the conservative horizon — every cluster's next-wakeup
-    /// deadline folded with the shared deadlines) is always taken on the
-    /// driving thread; only the executed tick is sharded.
-    fn advance_with(&mut self, shard: Option<&mut ShardCtx<'_>>) {
+    /// [`Chip::advance`] with an optional live shard context and a phase
+    /// probe: the skip decision (the conservative horizon — every
+    /// cluster's next-wakeup deadline folded with the shared deadlines)
+    /// is always taken on the driving thread; only the executed tick is
+    /// sharded. The probe only instruments the sequential step (profiled
+    /// runs force `shard = None`); the sharded step runs unprobed.
+    fn advance_with<P: StepProbe>(&mut self, shard: Option<&mut ShardCtx<'_>>, probe: &mut P) {
         if !self.reference_loop {
             match self.next_event_tick() {
                 Some(t) if t > self.tick => self.skip_idle_ticks(t),
@@ -1185,7 +1249,7 @@ impl Chip {
         }
         match shard {
             Some(ctx) => self.step_sharded(ctx.team, &mut ctx.scratch),
-            None => self.step(),
+            None => self.step_probed(probe),
         }
     }
 
@@ -1197,17 +1261,30 @@ impl Chip {
     /// component sleeps forever (normally: the workload finished).
     fn next_event_tick(&self) -> Option<u64> {
         let now = self.tick;
-        let mut next: Option<u64> = None;
-        let mut fold = |t: u64| {
-            let t = t.max(now);
-            next = Some(next.map_or(t, |n| n.min(t)));
-        };
+        // Every deadline folds in clamped to `now`, so `now` itself is a
+        // floor: the moment any component is due at or before the
+        // current tick the answer is known and the scan stops. Sources
+        // are visited cheapest-first — the wheel's cached minimum is
+        // O(1), a busy controller usually trips in its first few request
+        // slots, and the per-core vcore walk runs only when everything
+        // else is quiet (the case where its exact minimum is needed).
+        let mut next = u64::MAX;
+        if let Some(t) = self.deferred.peek_next() {
+            if t <= now {
+                return Some(now);
+            }
+            next = next.min(t);
+        }
         for cl in &self.clusters {
             if let L1System::Shared(s) = &cl.l1 {
-                if let Some(t) = s.next_work_tick() {
-                    fold(t);
+                match s.next_work_tick_from(now) {
+                    Some(t) if t <= now => return Some(now),
+                    Some(t) => next = next.min(t),
+                    None => {}
                 }
             }
+        }
+        for cl in &self.clusters {
             for core in &cl.cores {
                 if !core.active || core.assigned.is_empty() {
                     continue;
@@ -1218,14 +1295,19 @@ impl Chip {
                     .filter_map(|&vc| cl.vcores[vc].wake_tick(now))
                     .min();
                 if let Some(w) = wake {
-                    fold(core.next_boundary(w.max(core.stall_until).max(now)));
+                    let t = core.next_boundary(w.max(core.stall_until).max(now));
+                    if t <= now {
+                        return Some(now);
+                    }
+                    next = next.min(t);
                 }
             }
         }
-        if let Some(&Reverse((t, _))) = self.deferred.peek() {
-            fold(t);
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
         }
-        next
     }
 
     /// Batch-applies the effects of the naive loop over the idle window
@@ -1270,10 +1352,7 @@ impl Chip {
             }
             cl.clock_cycles += clock_cycles;
         }
-        debug_assert!(self
-            .deferred
-            .peek()
-            .is_none_or(|&Reverse((t, _))| t >= target));
+        debug_assert!(self.deferred.peek_next().is_none_or(|t| t >= target));
         debug_assert!(self.pending_remote.is_empty());
         self.ticks_skipped += target - now;
         self.tick = target;
@@ -1350,7 +1429,7 @@ impl Chip {
                     completion += self.acquire_cluster_ownership(k, addr);
                 }
                 self.deferred
-                    .push(Reverse((completion, Deferred::FreeStoreSlot(k, core))));
+                    .push(completion, Deferred::FreeStoreSlot(k, core));
             }
             L1Event::StoreMiss { core, addr } => {
                 let ready = {
@@ -1363,10 +1442,8 @@ impl Chip {
                 } else {
                     1
                 };
-                self.deferred.push(Reverse((
-                    ready + write_ticks,
-                    Deferred::FreeStoreSlot(k, core),
-                )));
+                self.deferred
+                    .push(ready + write_ticks, Deferred::FreeStoreSlot(k, core));
             }
             L1Event::Writeback { addr } => {
                 let l2_addr = self.clusters[k].l2.block_addr(addr);
@@ -1635,7 +1712,7 @@ impl Chip {
                     let completion = self.private_store(k, c, addr, now);
                     self.clusters[k].cores[c].pending_stores += 1;
                     self.deferred
-                        .push(Reverse((completion, Deferred::FreeStoreSlot(k, c))));
+                        .push(completion, Deferred::FreeStoreSlot(k, c));
                 }
                 Op::Barrier { id } => {
                     self.retire(k, vc_id);
@@ -2339,10 +2416,23 @@ impl Chip {
     /// run cluster-sharded on a worker team — bit-identically to the
     /// sequential loop by contract.
     pub fn run_epoch(&mut self) -> EpochReport {
-        self.with_shard(|chip, shard| chip.run_epoch_with(shard))
+        self.with_shard(|chip, shard| chip.run_epoch_with(shard, &mut NoProbe))
     }
 
-    fn run_epoch_with(&mut self, mut shard: Option<&mut ShardCtx<'_>>) -> EpochReport {
+    /// [`Chip::run_epoch`], sequential, with wall time attributed to the
+    /// five hot-path phases through `profiler` (the `respin-profile/v1`
+    /// data source). Bit-identical to an unprofiled epoch: probes are
+    /// observation-only and the sequential loop is the reference
+    /// semantics.
+    pub fn run_epoch_profiled(&mut self, profiler: &mut PhaseProfiler<'_>) -> EpochReport {
+        self.run_epoch_with(None, profiler)
+    }
+
+    fn run_epoch_with<P: StepProbe>(
+        &mut self,
+        mut shard: Option<&mut ShardCtx<'_>>,
+        probe: &mut P,
+    ) -> EpochReport {
         let start_tick = self.tick;
         // Trace bookkeeping is only captured when a sink is installed —
         // the disabled path does no extra work at all.
@@ -2365,7 +2455,7 @@ impl Chip {
                 self.tick - start_tick < MAX_EPOCH_TICKS,
                 "epoch exceeded {MAX_EPOCH_TICKS} ticks — simulator deadlock?"
             );
-            self.advance_with(shard.as_deref_mut());
+            self.advance_with(shard.as_deref_mut(), probe);
         }
 
         // Epoch-boundary fault maintenance runs before the report is
@@ -2406,6 +2496,9 @@ impl Chip {
         if let Some(snap) = &trace_snap {
             self.emit_epoch_trace(snap, &report);
         }
+        // Fault maintenance and report assembly above belong to the
+        // between-steps bucket (no-op under NoProbe).
+        probe.mark(Phase::EpochMaintenance);
         report
     }
 
@@ -2578,7 +2671,7 @@ impl Chip {
     pub fn run_warmup(&mut self, total_instructions: u64) {
         self.with_shard(|chip, mut shard| {
             while !chip.finished() && chip.total_instructions() < total_instructions {
-                chip.advance_with(shard.as_deref_mut());
+                chip.advance_with(shard.as_deref_mut(), &mut NoProbe);
             }
         });
         self.reset_measurements();
@@ -2626,7 +2719,7 @@ impl Chip {
     pub fn run_to_completion(&mut self) -> RunResult {
         self.with_shard(|chip, mut shard| {
             while !chip.finished() {
-                chip.run_epoch_with(shard.as_deref_mut());
+                chip.run_epoch_with(shard.as_deref_mut(), &mut NoProbe);
             }
         });
         self.result()
@@ -2754,25 +2847,26 @@ fn fault_kind_label(kind: &FaultEventKind) -> &'static str {
 }
 
 // Hand-written (rather than derived) chip serialisation: most fields are
-// private, the deferred-event heap needs flattening to a sorted vector,
-// and four fields are deliberately excluded from the persisted state —
+// private, the deferred wheel needs flattening to a sorted vector, and
+// several fields are deliberately excluded from the persisted state —
 // the tracer (observation-only, restored disabled), the cluster-shard
 // worker budget (a host-performance knob with no simulation effect,
-// restored as 1; the runner re-applies the session's width) and the two
-// scratch vectors (drained between steps — `step` debug-asserts both
-// empty — so an empty restore is exactly the pre-snapshot state).
-// Everything else is
+// restored as 1; the runner re-applies the session's width), the
+// scratch vectors (drained between steps — `step` debug-asserts them
+// empty — so an empty restore is exactly the pre-snapshot state), and
+// the boundary-core schedules (derived from the cores' mults, rebuilt
+// on restore). Everything else is
 // captured verbatim: a restored chip advances bit-identically, which the
 // snapshot roundtrip tests (here and in respin-core) enforce.
 impl Serialize for Chip {
     fn to_value(&self) -> serde::Value {
         use serde::Value;
-        // BinaryHeap iteration order is unspecified; the snapshot stores
-        // the entries sorted so serialisation is deterministic. Rebuilding
-        // the heap from any order yields identical pop order (min-heap over
-        // Reverse), so the flattening is lossless.
-        let mut deferred: Vec<(u64, Deferred)> = self.deferred.iter().map(|r| r.0).collect();
-        deferred.sort_unstable();
+        // The wheel's bucket layout is internal; the snapshot stores the
+        // entries sorted (the canonical boundary form, byte-identical to
+        // the old heap's sorted flattening). Rebuilding the wheel from
+        // the flat form is lossless: drain order depends only on the
+        // (tick, entry) multiset.
+        let deferred: Vec<(u64, Deferred)> = self.deferred.to_sorted();
         Value::Object(vec![
             ("config".to_string(), self.config.to_value()),
             ("core_model".to_string(), self.core_model.to_value()),
@@ -2834,11 +2928,14 @@ impl Deserialize for Chip {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         use serde::de_field;
         let deferred_flat: Vec<(u64, Deferred)> = de_field(v, "deferred")?;
+        let clusters: Vec<Cluster> = de_field(v, "clusters")?;
         Ok(Self {
             config: de_field(v, "config")?,
             core_model: de_field(v, "core_model")?,
             instr_e: de_field(v, "instr_e")?,
-            clusters: de_field(v, "clusters")?,
+            // Derived stepping-loop state, rebuilt rather than persisted.
+            boundary_scheds: Self::build_boundary_scheds(&clusters),
+            clusters,
             l3: de_field(v, "l3")?,
             l3_leak_mw: de_field(v, "l3_leak_mw")?,
             mesh: de_field(v, "mesh")?,
@@ -2848,7 +2945,8 @@ impl Deserialize for Chip {
             measure_start_tick: de_field(v, "measure_start_tick")?,
             barriers: de_field(v, "barriers")?,
             locks: de_field(v, "locks")?,
-            deferred: deferred_flat.into_iter().map(Reverse).collect(),
+            deferred: DeferredWheel::from_sorted(deferred_flat),
+            deferred_scratch: Vec::new(),
             pending_remote: de_field(v, "pending_remote")?,
             ev_scratch: Vec::new(),
             scrub_scratch: Vec::new(),
@@ -2988,8 +3086,7 @@ mod tests {
         // chip has pending_stores == 0 everywhere, so draining this slot
         // must surface the structured violation, not clamp to 0.
         assert_eq!(chip.clusters[0].cores[0].pending_stores, 0);
-        chip.deferred
-            .push(Reverse((chip.tick, Deferred::FreeStoreSlot(0, 0))));
+        chip.deferred.push(chip.tick, Deferred::FreeStoreSlot(0, 0));
         chip.step();
     }
 
@@ -3341,7 +3438,7 @@ mod tests {
         // critical section always completes before Done so locks balance.
         assert!(res.instructions >= 8 * 5_000);
         assert!(res.instructions < 8 * 5_000 + 100);
-        for (id, e) in &chip.locks {
+        for (id, e) in chip.locks.iter() {
             assert!(e.holder.is_none(), "lock {id} still held at exit");
             assert!(e.waiters.is_empty(), "lock {id} still has waiters");
         }

@@ -9,10 +9,33 @@
 //! The directory decides *protocol outcomes*; the caller applies them to the
 //! child tag arrays and charges the latency/energy adders from
 //! [`crate::consts`].
+//!
+//! # Storage: dense open addressing, canonical order at boundaries
+//!
+//! Entries live in an open-addressed table keyed by block address (linear
+//! probing with backward-shift deletion), not in a `BTreeMap`: the lookup
+//! on every miss/upgrade is a single multiply-shift hash plus a short
+//! probe over a contiguous slot array, instead of a pointer chase through
+//! tree nodes, and steady-state traffic allocates nothing.
+//!
+//! The *physical* slot order is history-dependent (it depends on the
+//! insertion/removal sequence), so it is never allowed to escape: every
+//! observable traversal — [`Directory::check_invariants`] witnesses, the
+//! serialised form, `Debug`, equality — first materialises the entries in
+//! ascending address order. That is the same canonical-order-at-boundaries
+//! argument the determinism lint (D001) encodes for maps: internal layout
+//! may be anything, but anything *reported* must be a pure function of the
+//! map contents. The serialised form is byte-identical to the previous
+//! `BTreeMap<u64, DirEntry>` representation, so chip snapshots round-trip
+//! across the representation change.
+//!
+//! The old tree-backed implementation is retained as
+//! [`reference::BTreeDirectory`], the oracle for differential tests.
 
 use crate::cache::LineState;
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Error as SerdeError, Serialize, Value};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Outcome of a read request at the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,16 +65,42 @@ struct DirEntry {
     owner: Option<u8>,
 }
 
+/// One open-addressing slot: a key/entry pair plus liveness. A dead slot
+/// carries stale key/entry bytes that are never read.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    entry: DirEntry,
+    used: bool,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: 0,
+    entry: DirEntry {
+        sharers: 0,
+        owner: None,
+    },
+    used: false,
+};
+
+/// Fibonacci multiplier for the multiply-shift hash (2^64 / φ, odd).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Smallest table allocated once the directory is non-empty.
+const MIN_CAPACITY: usize = 64;
+
 /// Directory over up to 64 children.
 ///
-/// Entries live in a `BTreeMap` (not `HashMap`): `check_invariants` and
-/// the serialised form traverse the entries, and address order keeps both
-/// deterministic — the first invariant witness reported and the JSON key
-/// order are functions of the state alone, never of hasher seeding
-/// (determinism lint D001).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Backed by a dense open-addressed table (see the module docs for the
+/// canonical-order-at-boundaries determinism argument). The table grows at
+/// 3/4 load and uses backward-shift deletion, so probe chains stay short
+/// and no tombstones accumulate.
+#[derive(Clone, Default)]
 pub struct Directory {
-    entries: BTreeMap<u64, DirEntry>,
+    /// Power-of-two slot array (empty until the first insertion).
+    slots: Vec<Slot>,
+    /// Number of live entries.
+    live: usize,
 }
 
 impl Directory {
@@ -60,9 +109,116 @@ impl Directory {
         Self::default()
     }
 
+    /// Home slot index for `key` (table must be non-empty).
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        // Multiply-shift: the high bits of key * 2^64/φ, folded down to
+        // the table size. Block addresses share low zero bits; the
+        // multiply diffuses them across the whole word.
+        (key.wrapping_mul(HASH_MUL) >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    /// Index of `key`'s live slot, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.home(key);
+        loop {
+            let s = &self.slots[i];
+            if !s.used {
+                return None;
+            }
+            if s.key == key {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Mutable entry for `key`, inserted (default) if absent.
+    fn entry_mut(&mut self, key: u64) -> &mut DirEntry {
+        if self.slots.len() * 3 < (self.live + 1) * 4 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.home(key);
+        loop {
+            if !self.slots[i].used {
+                self.slots[i] = Slot {
+                    key,
+                    entry: DirEntry::default(),
+                    used: true,
+                };
+                self.live += 1;
+                return &mut self.slots[i].entry;
+            }
+            if self.slots[i].key == key {
+                return &mut self.slots[i].entry;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the table (or allocates the first one) and re-homes every
+    /// live entry. Amortised over insertions; steady-state traffic never
+    /// gets here.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let mask = new_cap - 1;
+        for s in old.into_iter().filter(|s| s.used) {
+            let mut i = self.home(s.key);
+            while self.slots[i].used {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+
+    /// Removes the live slot at `i`, backward-shifting the probe chain so
+    /// no tombstone is left behind.
+    fn remove_at(&mut self, i: usize) {
+        let mask = self.slots.len() - 1;
+        self.live -= 1;
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if !self.slots[j].used {
+                self.slots[hole].used = false;
+                return;
+            }
+            let home = self.home(self.slots[j].key);
+            // `j` may fill the hole iff its probe distance reaches back to
+            // (or past) the hole; otherwise moving it would place it
+            // before its home slot.
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+        }
+    }
+
+    /// Live entries in ascending address order — the canonical traversal
+    /// every observable boundary (serialisation, invariant witnesses,
+    /// `Debug`, equality) goes through.
+    fn sorted_entries(&self) -> Vec<(u64, DirEntry)> {
+        let mut v: Vec<(u64, DirEntry)> = self
+            .slots
+            .iter()
+            .filter(|s| s.used)
+            .map(|s| (s.key, s.entry))
+            .collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
     /// Child `child` wants to read `line` (block-aligned address).
     pub fn read(&mut self, line: u64, child: u8) -> ReadOutcome {
-        let e = self.entries.entry(line).or_default();
+        let e = self.entry_mut(line);
         let prior = e.sharers & !(1 << child);
         let remote = match e.owner {
             Some(o) if o != child => {
@@ -87,7 +243,7 @@ impl Directory {
 
     /// Child `child` wants ownership of `line` to write it.
     pub fn write(&mut self, line: u64, child: u8) -> WriteOutcome {
-        let e = self.entries.entry(line).or_default();
+        let e = self.entry_mut(line);
         let remote = match e.owner {
             Some(o) if o != child => Some(o),
             _ => None,
@@ -103,35 +259,38 @@ impl Directory {
 
     /// Child `child` evicted its copy of `line`.
     pub fn evict(&mut self, line: u64, child: u8) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(i) = self.find(line) {
+            let e = &mut self.slots[i].entry;
             e.sharers &= !(1 << child);
             if e.owner == Some(child) {
                 e.owner = None;
             }
             if e.sharers == 0 {
-                self.entries.remove(&line);
+                self.remove_at(i);
             }
         }
     }
 
     /// Current sharer mask (testing/diagnostics).
     pub fn sharers(&self, line: u64) -> u64 {
-        self.entries.get(&line).map_or(0, |e| e.sharers)
+        self.find(line).map_or(0, |i| self.slots[i].entry.sharers)
     }
 
     /// Current owner (testing/diagnostics).
     pub fn owner(&self, line: u64) -> Option<u8> {
-        self.entries.get(&line).and_then(|e| e.owner)
+        self.find(line).and_then(|i| self.slots[i].entry.owner)
     }
 
     /// Number of tracked lines.
     pub fn tracked_lines(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
-    /// Protocol invariant: an owner is always the sole sharer.
+    /// Protocol invariant: an owner is always the sole sharer. Witnesses
+    /// are reported in ascending address order (canonical, never layout
+    /// order).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (&line, e) in &self.entries {
+        for (line, e) in self.sorted_entries() {
             if let Some(o) = e.owner {
                 if e.sharers != 1 << o {
                     return Err(format!(
@@ -145,6 +304,147 @@ impl Directory {
             }
         }
         Ok(())
+    }
+}
+
+/// Equality is over map contents, not slot layout: two directories that
+/// hold the same entries compare equal regardless of the operation
+/// histories that produced them.
+impl PartialEq for Directory {
+    fn eq(&self, other: &Self) -> bool {
+        self.live == other.live
+            && self
+                .slots
+                .iter()
+                .filter(|s| s.used)
+                .all(|s| other.find(s.key).map(|i| other.slots[i].entry) == Some(s.entry))
+    }
+}
+
+/// Debug shows the canonical (address-ordered) view, so diagnostics that
+/// embed a directory — proptest failure messages, invariant reports — are
+/// pure functions of the state.
+impl fmt::Debug for Directory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Directory")
+            .field("entries", &self.sorted_entries())
+            .finish()
+    }
+}
+
+/// Serialises exactly like the previous `{ "entries": BTreeMap }` layout
+/// (stringified keys in the vendored serde's sorted order), so snapshots
+/// taken before and after the dense-table change are byte-identical.
+impl Serialize for Directory {
+    fn to_value(&self) -> Value {
+        let map: BTreeMap<u64, DirEntry> = self.sorted_entries().into_iter().collect();
+        Value::Object(vec![("entries".to_string(), map.to_value())])
+    }
+}
+
+impl Deserialize for Directory {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map: BTreeMap<u64, DirEntry> = de_field(v, "entries")?;
+        let mut d = Directory::new();
+        for (line, e) in map {
+            *d.entry_mut(line) = e;
+        }
+        Ok(d)
+    }
+}
+
+/// The retained `BTreeMap` implementation: the differential-test oracle
+/// the dense table is checked against (same protocol logic, tree-backed
+/// storage whose iteration order is trivially canonical).
+#[doc(hidden)]
+pub mod reference {
+    use super::{DirEntry, LineState, ReadOutcome, WriteOutcome};
+    use std::collections::BTreeMap;
+
+    /// Tree-backed directory with the exact pre-dense-table behaviour.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct BTreeDirectory {
+        entries: BTreeMap<u64, DirEntry>,
+    }
+
+    impl BTreeDirectory {
+        /// Empty directory.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Child `child` wants to read `line`.
+        pub fn read(&mut self, line: u64, child: u8) -> ReadOutcome {
+            let e = self.entries.entry(line).or_default();
+            let prior = e.sharers & !(1 << child);
+            let remote = match e.owner {
+                Some(o) if o != child => {
+                    e.owner = None;
+                    Some(o)
+                }
+                _ => None,
+            };
+            e.sharers |= 1 << child;
+            let alone = e.sharers == 1 << child && e.owner.is_none();
+            ReadOutcome {
+                remote_fetch_from: remote,
+                fill_state: if alone {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                },
+                prior_sharers: prior,
+            }
+        }
+
+        /// Child `child` wants ownership of `line` to write it.
+        pub fn write(&mut self, line: u64, child: u8) -> WriteOutcome {
+            let e = self.entries.entry(line).or_default();
+            let remote = match e.owner {
+                Some(o) if o != child => Some(o),
+                _ => None,
+            };
+            let invalidate = e.sharers & !(1 << child);
+            e.sharers = 1 << child;
+            e.owner = Some(child);
+            WriteOutcome {
+                invalidate_mask: invalidate,
+                remote_fetch_from: remote,
+            }
+        }
+
+        /// Child `child` evicted its copy of `line`.
+        pub fn evict(&mut self, line: u64, child: u8) {
+            if let Some(e) = self.entries.get_mut(&line) {
+                e.sharers &= !(1 << child);
+                if e.owner == Some(child) {
+                    e.owner = None;
+                }
+                if e.sharers == 0 {
+                    self.entries.remove(&line);
+                }
+            }
+        }
+
+        /// Current sharer mask.
+        pub fn sharers(&self, line: u64) -> u64 {
+            self.entries.get(&line).map_or(0, |e| e.sharers)
+        }
+
+        /// Current owner.
+        pub fn owner(&self, line: u64) -> Option<u8> {
+            self.entries.get(&line).and_then(|e| e.owner)
+        }
+
+        /// Number of tracked lines.
+        pub fn tracked_lines(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// Entry lines in ascending order.
+        pub fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+            self.entries.keys().copied()
+        }
     }
 }
 
@@ -218,8 +518,10 @@ mod tests {
         // The D001 regression this module was converted for: with a
         // HashMap, two directories holding the *same* entries serialise
         // (and report invariant witnesses) in hasher order, which varies
-        // per process. The BTreeMap form must be byte-identical however
-        // the state was reached.
+        // per process. The dense table's slot layout *does* depend on the
+        // op order, but the serialised form is materialised in canonical
+        // order at the boundary, so it must be byte-identical however the
+        // state was reached.
         let build = |lines: &[u64]| {
             let mut d = Directory::new();
             for &line in lines {
@@ -237,15 +539,34 @@ mod tests {
     }
 
     #[test]
+    fn serialised_form_matches_the_btreemap_layout() {
+        // Snapshots taken by the old BTreeMap-backed directory must load
+        // into the dense one (and vice versa): the wire form is pinned to
+        // `{"entries": {"<line>": {"sharers": .., "owner": ..}, ...}}`
+        // with the vendored serde's sorted string keys.
+        let mut d = Directory::new();
+        d.read(0x100, 0);
+        d.write(0x240, 3);
+        let j = serde_json::to_string(&d).expect("serialise");
+        assert_eq!(
+            j,
+            "{\"entries\":{\"256\":{\"sharers\":1,\"owner\":null},\
+             \"576\":{\"sharers\":8,\"owner\":3}}}"
+        );
+        let back: Directory = serde_json::from_str(&j).expect("deserialise");
+        assert_eq!(back, d);
+    }
+
+    #[test]
     fn entries_iterate_in_address_order() {
         // check_invariants walks the entries, so its first witness (and
         // any future diagnostic traversal) must be a pure function of the
-        // state: ascending line address, never hasher order.
+        // state: ascending line address, never slot-layout order.
         let mut d = Directory::new();
         for line in [0x400u64, 0x100, 0x7c0, 0x240] {
             d.read(line, 0);
         }
-        let walked: Vec<u64> = d.entries.keys().copied().collect();
+        let walked: Vec<u64> = d.sorted_entries().iter().map(|&(k, _)| k).collect();
         assert_eq!(walked, vec![0x100, 0x240, 0x400, 0x7c0]);
     }
 
@@ -259,10 +580,31 @@ mod tests {
         d.evict(0x100, 1);
         assert_eq!(d.tracked_lines(), 0);
     }
+
+    #[test]
+    fn table_grows_and_shrunken_chains_stay_consistent() {
+        // Push well past the initial capacity, then evict everything:
+        // growth re-homing and backward-shift deletion must preserve
+        // every entry and leave no tombstone artefacts behind.
+        let mut d = Directory::new();
+        for i in 0..500u64 {
+            d.read(i << 6, (i % 8) as u8);
+        }
+        assert_eq!(d.tracked_lines(), 500);
+        for i in 0..500u64 {
+            assert_eq!(d.sharers(i << 6), 1 << (i % 8), "line {i} after growth");
+        }
+        for i in (0..500u64).rev() {
+            d.evict(i << 6, (i % 8) as u8);
+        }
+        assert_eq!(d.tracked_lines(), 0);
+        assert!(d.check_invariants().is_ok());
+    }
 }
 
 #[cfg(test)]
 mod proptests {
+    use super::reference::BTreeDirectory;
     use super::*;
     use proptest::prelude::*;
 
@@ -297,6 +639,51 @@ mod proptests {
             d.write(0x40, writer);
             prop_assert_eq!(d.sharers(0x40), 1u64 << writer);
             prop_assert_eq!(d.owner(0x40), Some(writer));
+        }
+
+        /// The dense table against the retained BTreeMap oracle: every
+        /// protocol outcome, every observable query, and the serialised
+        /// form must agree op-for-op under random traffic (including the
+        /// growth and backward-shift-deletion paths — a wide line space
+        /// forces both).
+        #[test]
+        fn dense_table_matches_btreemap_reference(
+            ops in proptest::collection::vec(
+                (0u64..512, 0u8..8, 0u8..3), 1..1000),
+        ) {
+            let mut dense = Directory::new();
+            let mut oracle = BTreeDirectory::new();
+            for (i, (line, child, kind)) in ops.into_iter().enumerate() {
+                let line = line << 6;
+                match kind {
+                    0 => {
+                        prop_assert_eq!(
+                            dense.read(line, child),
+                            oracle.read(line, child),
+                            "read outcome diverged at op {}", i
+                        );
+                    }
+                    1 => {
+                        prop_assert_eq!(
+                            dense.write(line, child),
+                            oracle.write(line, child),
+                            "write outcome diverged at op {}", i
+                        );
+                    }
+                    _ => {
+                        dense.evict(line, child);
+                        oracle.evict(line, child);
+                    }
+                }
+                prop_assert_eq!(dense.sharers(line), oracle.sharers(line));
+                prop_assert_eq!(dense.owner(line), oracle.owner(line));
+                prop_assert_eq!(dense.tracked_lines(), oracle.tracked_lines());
+            }
+            let canonical: Vec<u64> =
+                dense.sorted_entries().iter().map(|&(k, _)| k).collect();
+            let oracle_lines: Vec<u64> = oracle.lines().collect();
+            prop_assert_eq!(canonical, oracle_lines);
+            prop_assert!(dense.check_invariants().is_ok());
         }
     }
 }

@@ -1,0 +1,684 @@
+//! Dense executed-tick data structures: sync tables and the deferred
+//! wakeup wheel.
+//!
+//! The chip used to keep its barrier counters and lock records in
+//! `BTreeMap`s and its deferred completions in a `BinaryHeap`. All three
+//! are touched on the executed-tick hot path, where tree rebalancing and
+//! heap sift allocations cost real wall-clock time. This module replaces
+//! them with flat structures over the small, dense id/tick spaces they
+//! actually index:
+//!
+//! - [`BarrierTable`] — arrival counters in a `Vec<u32>` keyed by barrier
+//!   id (a count of zero means "no arrivals outstanding", exactly the
+//!   states the old map never stored);
+//! - [`IdTable`] — lock records in a `Vec<Option<T>>` keyed by lock id
+//!   (entries are created on first acquire and never removed, matching
+//!   the old map's lifetime);
+//! - [`DeferredWheel`] — a bucketed timing wheel over future ticks with a
+//!   cached next-due tick, replacing the heap while preserving its exact
+//!   pop order.
+//!
+//! # Determinism
+//!
+//! Internal layout here is either trivially canonical (tables are indexed
+//! by the id itself) or never observable (wheel buckets are sorted on
+//! drain and at snapshot boundaries). Every serialised form is
+//! byte-identical to the `BTreeMap`/sorted-`Vec` layouts the chip
+//! snapshot format already pinned, so `respin-chip-snapshot/v1` is
+//! unchanged. The same canonical-order-at-boundaries argument as the
+//! dense directory (see `directory.rs` module docs) applies.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Dense barrier arrival counters keyed by barrier id.
+///
+/// Semantically a map `id -> arrivals` that never holds zero values: the
+/// old `BTreeMap` inserted on first arrival and removed the entry when
+/// the barrier released, so `count == 0` and "absent" were the same
+/// state. The dense table makes that identity literal.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BarrierTable {
+    counts: Vec<u32>,
+    /// Number of ids with a non-zero count (for O(1) `is_empty`).
+    live: usize,
+}
+
+impl BarrierTable {
+    /// Empty table.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one arrival at `id` and returns the new arrival count.
+    pub(crate) fn arrive(&mut self, id: u32) -> u32 {
+        let idx = id as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        if self.counts[idx] == 0 {
+            self.live += 1;
+        }
+        self.counts[idx] += 1;
+        self.counts[idx]
+    }
+
+    /// Clears `id`'s counter (the barrier released).
+    pub(crate) fn reset(&mut self, id: u32) {
+        let idx = id as usize;
+        if idx < self.counts.len() && self.counts[idx] != 0 {
+            self.counts[idx] = 0;
+            self.live -= 1;
+        }
+    }
+
+    /// True when no barrier has outstanding arrivals.
+    #[cfg_attr(not(test), allow(dead_code))] // diagnostics/test-only view
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+/// Serialises as the `BTreeMap<u32, u32>` view of the non-zero counters —
+/// byte-identical to the old map-backed field in chip snapshots.
+impl Serialize for BarrierTable {
+    fn to_value(&self) -> Value {
+        let map: BTreeMap<u32, u32> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(id, &c)| (id as u32, c))
+            .collect();
+        map.to_value()
+    }
+}
+
+impl Deserialize for BarrierTable {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map: BTreeMap<u32, u32> = BTreeMap::from_value(v)?;
+        let mut t = BarrierTable::new();
+        for (id, c) in map {
+            let idx = id as usize;
+            if idx >= t.counts.len() {
+                t.counts.resize(idx + 1, 0);
+            }
+            if c != 0 && t.counts[idx] == 0 {
+                t.live += 1;
+            }
+            t.counts[idx] = c;
+        }
+        Ok(t)
+    }
+}
+
+/// Dense id-keyed record table: a map `u32 -> T` where entries are
+/// created on demand and live forever (the chip's lock records keep their
+/// `last_cluster` after release, so the old `BTreeMap` never removed
+/// them).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdTable<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T: Default> IdTable<T> {
+    /// Empty table.
+    pub(crate) fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// The record for `id`, created with `T::default()` if absent.
+    pub(crate) fn get_or_default(&mut self, id: u32) -> &mut T {
+        let idx = id as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.slots[idx].get_or_insert_with(T::default)
+    }
+
+    /// The record for `id`, if it was ever created.
+    pub(crate) fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        self.slots.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    /// Present records in ascending id order (trivially canonical: the
+    /// index *is* the id).
+    #[cfg_attr(not(test), allow(dead_code))] // diagnostics/test-only view
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|t| (id as u32, t)))
+    }
+}
+
+/// Serialises as the `BTreeMap<u32, T>` view of the present records.
+impl<T: Serialize> Serialize for IdTable<T> {
+    fn to_value(&self) -> Value {
+        let map: BTreeMap<u32, &T> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|t| (id as u32, t)))
+            .collect();
+        map.to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for IdTable<T> {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map: BTreeMap<u32, T> = BTreeMap::from_value(v)?;
+        let mut t = IdTable { slots: Vec::new() };
+        for (id, rec) in map {
+            let idx = id as usize;
+            if idx >= t.slots.len() {
+                t.slots.resize_with(idx + 1, || None);
+            }
+            t.slots[idx] = Some(rec);
+        }
+        Ok(t)
+    }
+}
+
+/// Bucket count: a power of two covering every deferred completion the
+/// chip schedules (store drains and line-transfer penalties land within a
+/// few hundred ticks of `now`). Entries beyond the window spill to an
+/// overflow list and migrate in as the cursor advances.
+const WHEEL_BUCKETS: usize = 1024;
+const WHEEL_WORDS: usize = WHEEL_BUCKETS / 64;
+const WHEEL_MASK: u64 = WHEEL_BUCKETS as u64 - 1;
+
+/// Seed capacity for each bucket (and the overflow list) when the wheel
+/// lazily materialises its buckets. Bucket buffers are swapped back
+/// after every drain, so capacity is monotone per bucket — but a bucket
+/// that starts at zero still reallocates each time its tick-load hits a
+/// new maximum, which the hot-path allocation audit would count. 64
+/// comfortably covers the completions one tick can carry (a few per
+/// core) at ~1 MiB total for the wheel.
+const WHEEL_BUCKET_SEED_CAP: usize = 64;
+
+/// A bucketed timing wheel replacing `BinaryHeap<Reverse<(u64, T)>>` on
+/// the deferred-completion path.
+///
+/// Each bucket holds the entries of exactly one tick in the window
+/// `[cursor, cursor + WHEEL_BUCKETS)`; a bitmap over buckets plus a
+/// cached next-due tick make the peek the fast path needs O(1) and the
+/// post-drain rescan O(pending ticks). Buckets are sorted before their
+/// entries are handed out, so the drain order is exactly the heap's
+/// ascending `(tick, T)` pop order — the wheel is observationally
+/// identical to the heap it replaces.
+///
+/// Aligned with the PR4 next-wakeup invariant: [`DeferredWheel::peek_next`]
+/// is the deferred component of `Chip::next_event_tick`, and the idle-skip
+/// fast path never jumps past it.
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredWheel<T> {
+    buckets: Vec<Vec<(u64, T)>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WHEEL_WORDS],
+    /// Lowest tick that may still hold undrained entries. Every entry in
+    /// the wheel has `tick >= cursor`.
+    cursor: u64,
+    /// Cached minimum pending tick (`u64::MAX` when empty).
+    next_due: u64,
+    /// Entries beyond the bucket window, with their minimum tick.
+    overflow: Vec<(u64, T)>,
+    overflow_min: u64,
+    /// Total entries (buckets + overflow).
+    len: usize,
+    /// Reusable drain buffer (swapped with the due bucket, so steady-state
+    /// draining allocates nothing).
+    scratch: Vec<(u64, T)>,
+}
+
+impl<T> Default for DeferredWheel<T> {
+    fn default() -> Self {
+        Self {
+            buckets: Vec::new(),
+            occupied: [0; WHEEL_WORDS],
+            cursor: 0,
+            next_due: u64::MAX,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<T: Ord + Copy> DeferredWheel<T> {
+    /// Empty wheel.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending entries.
+    #[cfg_attr(not(test), allow(dead_code))] // diagnostics/test-only view
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Earliest pending tick, if any. O(1): the value is cached across
+    /// pushes and rescanned only after a drain actually popped something.
+    pub(crate) fn peek_next(&self) -> Option<u64> {
+        (self.len != 0).then_some(self.next_due)
+    }
+
+    /// Schedules `item` at `tick`. Ticks already drained (below the
+    /// cursor) are rejected in debug builds; the chip only schedules
+    /// completions at or after the tick being executed.
+    pub(crate) fn push(&mut self, tick: u64, item: T) {
+        debug_assert!(
+            tick >= self.cursor,
+            "deferred completion scheduled at already-drained tick {tick} (cursor {})",
+            self.cursor
+        );
+        if self.buckets.is_empty() {
+            self.buckets = (0..WHEEL_BUCKETS)
+                .map(|_| Vec::with_capacity(WHEEL_BUCKET_SEED_CAP))
+                .collect();
+            self.overflow.reserve(WHEEL_BUCKET_SEED_CAP);
+        }
+        self.len += 1;
+        self.next_due = self.next_due.min(tick);
+        if tick >= self.cursor + WHEEL_BUCKETS as u64 {
+            self.overflow_min = self.overflow_min.min(tick);
+            self.overflow.push((tick, item));
+            return;
+        }
+        let b = (tick & WHEEL_MASK) as usize;
+        self.buckets[b].push((tick, item));
+        self.occupied[b / 64] |= 1 << (b % 64);
+    }
+
+    /// Pops every entry due at or before `now` into `out` (cleared
+    /// first), in exactly the heap's ascending `(tick, item)` order, and
+    /// advances the cursor past `now`.
+    pub(crate) fn drain_into(&mut self, now: u64, out: &mut Vec<(u64, T)>) {
+        out.clear();
+        if self.len == 0 || self.next_due > now {
+            // Nothing due, but the cursor still tracks the drained
+            // horizon; overflow entries the advance brings into the
+            // window move to their buckets so they stay cheap to reach.
+            self.cursor = self.cursor.max(now + 1);
+            if self.overflow_min < self.cursor + WHEEL_BUCKETS as u64 {
+                self.migrate_overflow();
+            }
+            return;
+        }
+        while self.len != 0 && self.next_due <= now {
+            let t = self.next_due;
+            if t >= self.cursor + WHEEL_BUCKETS as u64 {
+                // Only overflow entries remain this early: slide the
+                // window forward and pull the near ones into buckets.
+                self.cursor = t;
+                self.migrate_overflow();
+                continue;
+            }
+            let b = (t & WHEEL_MASK) as usize;
+            std::mem::swap(&mut self.buckets[b], &mut self.scratch);
+            self.occupied[b / 64] &= !(1 << (b % 64));
+            self.scratch.sort_unstable();
+            self.len -= self.scratch.len();
+            out.append(&mut self.scratch);
+            std::mem::swap(&mut self.buckets[b], &mut self.scratch);
+            self.cursor = t + 1;
+            if self.overflow_min < self.cursor + WHEEL_BUCKETS as u64 {
+                self.migrate_overflow();
+            }
+            self.rescan_next_due();
+        }
+        self.cursor = self.cursor.max(now + 1);
+    }
+
+    /// Moves overflow entries that now fit the window into their buckets.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cursor + WHEEL_BUCKETS as u64;
+        let mut kept_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let (tick, item) = self.overflow[i];
+            if tick < horizon {
+                self.overflow.swap_remove(i);
+                let b = (tick & WHEEL_MASK) as usize;
+                self.buckets[b].push((tick, item));
+                self.occupied[b / 64] |= 1 << (b % 64);
+            } else {
+                kept_min = kept_min.min(tick);
+                i += 1;
+            }
+        }
+        self.overflow_min = kept_min;
+    }
+
+    /// Recomputes the cached next-due tick: the nearest occupied bucket
+    /// in window order from the cursor, folded with the overflow minimum.
+    fn rescan_next_due(&mut self) {
+        let start = self.cursor & WHEEL_MASK;
+        let mut best_rel = u64::MAX;
+        for (w, &word) in self.occupied.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = (w as u64) * 64 + u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
+                let rel = idx.wrapping_sub(start) & WHEEL_MASK;
+                best_rel = best_rel.min(rel);
+            }
+        }
+        let bucket_min = if best_rel == u64::MAX {
+            u64::MAX
+        } else {
+            self.cursor + best_rel
+        };
+        self.next_due = bucket_min.min(self.overflow_min);
+    }
+
+    /// Every pending entry in ascending `(tick, item)` order — the
+    /// canonical boundary traversal for snapshots and diagnostics
+    /// (identical bytes to the old heap's sorted flattening).
+    pub(crate) fn to_sorted(&self) -> Vec<(u64, T)> {
+        let mut v: Vec<(u64, T)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .chain(self.overflow.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuilds a wheel from a snapshot's sorted flat form.
+    pub(crate) fn from_sorted(entries: Vec<(u64, T)>) -> Self {
+        let mut w = Self::new();
+        for (tick, item) in entries {
+            w.push(tick, item);
+        }
+        w
+    }
+}
+
+/// Precomputed boundary-core schedule for one cluster.
+///
+/// A core only does anything on its cycle boundaries (`tick % mult ==
+/// 0`); on every other tick its core cycle is a guaranteed no-op that
+/// still costs a call and two bounds-checked loads per core. Core
+/// periods never change after construction, so the pattern of
+/// on-boundary cores repeats with period `lcm` of the cluster's mults
+/// (1/4/5/6 → at most 60). This table stores, for each tick residue,
+/// the ascending core indices on a boundary there, letting the stepping
+/// loop iterate exactly the cores that can act.
+///
+/// Skipping the others is exact, not approximate: the core cycle's
+/// first action is the boundary check, before any side effect.
+///
+/// Derived state: rebuilt from the cores' mults at construction and
+/// snapshot restore, never serialised.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundarySchedule {
+    /// Schedule period in ticks (lcm of the mults), or 0 when the lcm
+    /// overflowed [`Self::MAX_PERIOD`] and callers must fall back to
+    /// visiting every core.
+    period: u64,
+    /// `slots[tick % period]` = ascending indices of cores with
+    /// `tick % mult == 0`.
+    slots: Vec<Vec<u16>>,
+}
+
+impl BoundarySchedule {
+    /// Largest period the table will materialise. Mults are 1 or 4/5/6
+    /// (lcm 60); the cap only exists so a hypothetical exotic mult set
+    /// degrades to the visit-every-core loop instead of a huge table.
+    const MAX_PERIOD: u64 = 4096;
+
+    /// Builds the schedule for cores with the given periods.
+    pub(crate) fn build(mults: impl Iterator<Item = u64> + Clone) -> Self {
+        let mut period = 1u64;
+        for m in mults.clone() {
+            debug_assert!(m >= 1, "core period mult must be >= 1");
+            period = period / gcd(period, m) * m;
+            if period > Self::MAX_PERIOD {
+                return Self {
+                    period: 0,
+                    slots: Vec::new(),
+                };
+            }
+        }
+        let slots = (0..period)
+            .map(|s| {
+                mults
+                    .clone()
+                    .enumerate()
+                    .filter(|&(_, m)| s % m == 0)
+                    .map(|(c, _)| u16::try_from(c).expect("cluster core index fits u16"))
+                    .collect()
+            })
+            .collect();
+        Self { period, slots }
+    }
+
+    /// Ascending indices of the cores on a cycle boundary at `now`, or
+    /// `None` when no schedule was materialised (visit every core).
+    #[inline]
+    pub(crate) fn cores_at(&self, now: u64) -> Option<&[u16]> {
+        if self.period == 0 {
+            return None;
+        }
+        Some(&self.slots[(now % self.period) as usize])
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn barrier_counts_and_resets() {
+        let mut b = BarrierTable::new();
+        assert!(b.is_empty());
+        assert_eq!(b.arrive(3), 1);
+        assert_eq!(b.arrive(3), 2);
+        assert_eq!(b.arrive(7), 1);
+        assert!(!b.is_empty());
+        b.reset(3);
+        assert!(!b.is_empty());
+        b.reset(7);
+        assert!(b.is_empty());
+        // Reset of an untouched id is a no-op.
+        b.reset(100);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn barrier_serialises_like_a_btreemap() {
+        let mut b = BarrierTable::new();
+        b.arrive(10);
+        b.arrive(2);
+        b.arrive(2);
+        let mut map = BTreeMap::new();
+        map.insert(10u32, 1u32);
+        map.insert(2u32, 2u32);
+        assert_eq!(b.to_value(), map.to_value());
+        let back = BarrierTable::from_value(&b.to_value()).expect("roundtrip");
+        assert_eq!(back.to_value(), b.to_value());
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn id_table_creates_on_demand_and_iterates_in_id_order() {
+        let mut t: IdTable<u32> = IdTable::new();
+        *t.get_or_default(5) = 50;
+        *t.get_or_default(1) = 10;
+        assert_eq!(t.get_mut(5), Some(&mut 50));
+        assert_eq!(t.get_mut(2), None);
+        let seen: Vec<(u32, u32)> = t.iter().map(|(id, &v)| (id, v)).collect();
+        assert_eq!(seen, vec![(1, 10), (5, 50)]);
+        let mut map = BTreeMap::new();
+        map.insert(1u32, 10u32);
+        map.insert(5u32, 50u32);
+        assert_eq!(t.to_value(), map.to_value());
+    }
+
+    #[test]
+    fn wheel_drains_in_heap_order() {
+        let mut w: DeferredWheel<u32> = DeferredWheel::new();
+        w.push(5, 2);
+        w.push(5, 1);
+        w.push(3, 9);
+        assert_eq!(w.peek_next(), Some(3));
+        let mut out = Vec::new();
+        w.drain_into(4, &mut out);
+        assert_eq!(out, vec![(3, 9)]);
+        assert_eq!(w.peek_next(), Some(5));
+        w.drain_into(5, &mut out);
+        assert_eq!(out, vec![(5, 1), (5, 2)]);
+        assert_eq!(w.peek_next(), None);
+        w.drain_into(6, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wheel_handles_far_future_entries_via_overflow() {
+        let mut w: DeferredWheel<u32> = DeferredWheel::new();
+        w.push(0, 1);
+        let far = WHEEL_BUCKETS as u64 * 3 + 17;
+        w.push(far, 2);
+        assert_eq!(w.peek_next(), Some(0));
+        let mut out = Vec::new();
+        w.drain_into(0, &mut out);
+        assert_eq!(out, vec![(0, 1)]);
+        assert_eq!(w.peek_next(), Some(far));
+        w.drain_into(far, &mut out);
+        assert_eq!(out, vec![(far, 2)]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn wheel_rebases_after_long_idle() {
+        let mut w: DeferredWheel<u32> = DeferredWheel::new();
+        w.push(1, 1);
+        let mut out = Vec::new();
+        w.drain_into(1, &mut out);
+        // A long idle-skip later, a push far ahead of the stale cursor
+        // must still surface (overflow, then the window slides to it).
+        let late = 1_000_000;
+        w.push(late, 7);
+        assert_eq!(w.peek_next(), Some(late));
+        w.drain_into(late, &mut out);
+        assert_eq!(out, vec![(late, 7)]);
+    }
+
+    #[test]
+    fn wheel_snapshot_form_matches_sorted_heap_flattening() {
+        let mut w: DeferredWheel<u32> = DeferredWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        for &(t, x) in &[(9u64, 1u32), (2, 5), (2, 3), (4000, 0), (7, 7)] {
+            w.push(t, x);
+            heap.push(Reverse((t, x)));
+        }
+        let mut flat: Vec<(u64, u32)> = heap.iter().map(|r| r.0).collect();
+        flat.sort_unstable();
+        assert_eq!(w.to_sorted(), flat);
+        let back = DeferredWheel::from_sorted(w.to_sorted());
+        assert_eq!(back.to_sorted(), flat);
+        assert_eq!(back.peek_next(), w.peek_next());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Differential check against the heap the wheel replaces: random
+        /// interleavings of pushes and drains must pop the same entries
+        /// in the same order at every step, including far-future ticks
+        /// that exercise the overflow list.
+        #[test]
+        fn wheel_matches_binary_heap(
+            ops in proptest::collection::vec(
+                // (advance ticks, pushes at now+delta); delta >= 1 because
+                // the chip only schedules completions strictly after the
+                // tick being executed (the wheel's cursor invariant).
+                (0u64..200, proptest::collection::vec((1u64..3000, 0u32..8), 0..4)),
+                1..64),
+        ) {
+            let mut w: DeferredWheel<u32> = DeferredWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+            let mut now = 0u64;
+            let mut out = Vec::new();
+            for (adv, pushes) in ops {
+                for (delta, item) in pushes {
+                    w.push(now + delta, item);
+                    heap.push(Reverse((now + delta, item)));
+                }
+                now += adv;
+                w.drain_into(now, &mut out);
+                let mut expect = Vec::new();
+                while let Some(&Reverse((t, x))) = heap.peek() {
+                    if t > now {
+                        break;
+                    }
+                    heap.pop();
+                    expect.push((t, x));
+                }
+                prop_assert_eq!(&out, &expect, "drain at now={} diverged", now);
+                prop_assert_eq!(w.len(), heap.len());
+                let heap_peek = heap.peek().map(|r| r.0 .0);
+                prop_assert_eq!(w.peek_next(), heap_peek);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_schedule_matches_the_modulo_check() {
+        let mults = [4u64, 5, 6, 4, 1];
+        let sched = BoundarySchedule::build(mults.iter().copied());
+        for now in 0..200u64 {
+            let expect: Vec<u16> = mults
+                .iter()
+                .enumerate()
+                .filter(|&(_, &m)| now.is_multiple_of(m))
+                .map(|(c, _)| c as u16)
+                .collect();
+            assert_eq!(
+                sched.cores_at(now).unwrap(),
+                expect.as_slice(),
+                "tick {now}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_schedule_falls_back_when_the_lcm_explodes() {
+        // Coprime periods whose lcm exceeds the cap: no table, callers
+        // visit every core.
+        let sched = BoundarySchedule::build([4093u64, 4091].into_iter());
+        assert!(sched.cores_at(0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn boundary_schedule_is_exact_for_arbitrary_mults(
+            mults in proptest::collection::vec(1u64..8, 1..12),
+            now in 0u64..10_000,
+        ) {
+            let sched = BoundarySchedule::build(mults.iter().copied());
+            let expect: Vec<u16> = mults
+                .iter()
+                .enumerate()
+                .filter(|&(_, &m)| now.is_multiple_of(m))
+                .map(|(c, _)| c as u16)
+                .collect();
+            prop_assert_eq!(sched.cores_at(now).unwrap(), expect.as_slice());
+        }
+    }
+}

@@ -45,7 +45,9 @@ pub mod consts;
 pub mod core;
 pub mod directory;
 pub mod energy;
+pub(crate) mod hotpath;
 pub mod memsys;
+pub mod profile;
 pub mod shared_l1;
 pub mod snapshot;
 pub mod stats;

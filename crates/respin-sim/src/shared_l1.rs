@@ -255,6 +255,28 @@ impl SharedL1 {
         reads.chain(writes).min()
     }
 
+    /// [`next_work_tick`](SharedL1::next_work_tick) for a caller that
+    /// clamps the answer to `now` anyway (the chip's next-wakeup fold):
+    /// returns `Some(now)` as soon as any arrival at or before `now` is
+    /// seen, instead of scanning the rest for an exact minimum the
+    /// clamp would discard.
+    pub fn next_work_tick_from(&self, now: u64) -> Option<u64> {
+        let reads = self.reads.iter().flatten().map(|r| r.arrival_tick);
+        let writes = self.writes.iter().map(|w| w.arrival_tick);
+        let mut min = u64::MAX;
+        for t in reads.chain(writes) {
+            if t <= now {
+                return Some(now);
+            }
+            min = min.min(t);
+        }
+        if min == u64::MAX {
+            None
+        } else {
+            Some(min)
+        }
+    }
+
     /// Batched equivalent of `n` calls to [`SharedL1::tick`] on cycles
     /// where no request is pending or arriving: only the Figure 10
     /// arrival histogram advances. The caller (the chip's fast path)
@@ -267,38 +289,49 @@ impl SharedL1 {
     /// Advances the controller by one cache cycle, appending events to
     /// `events`.
     pub fn tick(&mut self, now: u64, events: &mut Vec<L1Event>) {
-        // 1. Arrival accounting (Figure 10).
+        // One fused pass per port queue does the arrival accounting
+        // (Figure 10), the read-port pick, and the write-port FIFO
+        // position — the three scans the pre-fusion code ran
+        // separately. All three read the same pre-service state, so
+        // fusing them is exact.
         let mut arrivals = 0usize;
-        for r in self.reads.iter().flatten() {
-            if r.arrival_tick == now {
-                arrivals += 1;
+
+        // Read port: pick the pending request that expires soonest.
+        let mut best: Option<(u64, usize, usize)> = None; // (deadline, rot, slot)
+        for (slot, r) in self.reads.iter().enumerate() {
+            if let Some(r) = r {
+                if r.arrival_tick > now {
+                    continue;
+                }
+                if r.arrival_tick == now {
+                    arrivals += 1;
+                }
+                // Deterministic tie-break standing in for the paper's
+                // random choice: rotate priority with the tick.
+                let rot = (slot + now as usize) % self.reads.len();
+                let key = r.effective_deadline(now);
+                if best.is_none_or(|(bk, brot, _)| (key, rot) < (bk, brot)) {
+                    best = Some((key, rot, slot));
+                }
             }
         }
-        for w in &self.writes {
+
+        // Write port: FIFO among arrived operations.
+        let mut write_pos: Option<usize> = None;
+        for (i, w) in self.writes.iter().enumerate() {
+            if w.arrival_tick > now {
+                continue;
+            }
             if w.arrival_tick == now {
                 arrivals += 1;
+            }
+            if write_pos.is_none() {
+                write_pos = Some(i);
             }
         }
         self.stats.record_arrivals(arrivals);
 
-        // 2. Read port: pick the pending request that expires soonest.
-        let mut best: Option<(u64, usize)> = None;
-        for (slot, r) in self.reads.iter().enumerate() {
-            if let Some(r) = r {
-                if r.arrival_tick <= now {
-                    // Deterministic tie-break standing in for the paper's
-                    // random choice: rotate priority with the tick.
-                    let rot = (slot + now as usize) % self.reads.len();
-                    let key = r.effective_deadline(now);
-                    if best.is_none_or(|(bk, bslot)| {
-                        (key, rot) < (bk, (bslot + now as usize) % self.reads.len())
-                    }) {
-                        best = Some((key, slot));
-                    }
-                }
-            }
-        }
-        if let Some((_, slot)) = best {
+        if let Some((_, _, slot)) = best {
             let req = self.reads[slot].take().expect("slot checked");
             self.dyn_energy_pj += self.read_energy_pj;
             match self.array.touch(req.addr) {
@@ -360,8 +393,9 @@ impl SharedL1 {
         // to the next core-cycle boundary, the paper's re-initialised
         // priority register.
 
-        // 3. Write port: FIFO among arrived operations.
-        if let Some(pos) = self.writes.iter().position(|w| w.arrival_tick <= now) {
+        // Service the write port (position found in the fused scan; the
+        // read path above never touches the write queue).
+        if let Some(pos) = write_pos {
             let w = self.writes.remove(pos).expect("position valid");
             self.dyn_energy_pj += self.write_energy_pj;
             match w.kind {

@@ -240,6 +240,57 @@ mod tests {
         assert_eq!(a, b, "encode∘decode must be the identity on snapshots");
     }
 
+    /// PR-10 layouts: the dense open-addressed directory (Private L1
+    /// org), the Vec-indexed barrier/lock tables, and the bucketed
+    /// deferred wheel all serialise through canonical sorted flattenings.
+    /// Snapshot mid-epoch — at an arbitrary tick where the wheel holds
+    /// pending completions and the sync tables hold live waiters — and
+    /// the restored chip must finish byte-identically.
+    #[test]
+    fn dense_layouts_roundtrip_mid_tick() {
+        for l1_org in [L1Org::Private, L1Org::SharedPerCluster] {
+            let mut c = ChipConfig::nt_base();
+            c.clusters = 2;
+            c.cores_per_cluster = 4;
+            c.l1_org = l1_org;
+            c.instructions_per_thread = Some(3_000);
+            c.epoch_instructions = 1_000;
+            let mut chip = Chip::new(c, &Benchmark::Radix.spec(), 11);
+            // A raw-tick count that lands nowhere near an epoch boundary,
+            // so deferred completions and sync waiters are in flight.
+            for _ in 0..4_321 {
+                chip.advance();
+            }
+            assert!(!chip.finished(), "workload must still be mid-flight");
+
+            let snap = encode(&chip, 77, 0);
+            let (mut restored, _) = decode(&snap, 77).expect("mid-tick snapshot must decode");
+            let uninterrupted = chip.run_to_completion();
+            let resumed = restored.run_to_completion();
+            assert_eq!(
+                serde_json::to_string(&uninterrupted).unwrap(),
+                serde_json::to_string(&resumed).unwrap(),
+                "dense-layout snapshot diverged ({l1_org:?})"
+            );
+
+            // Corruption inside the payload body (where the flattened
+            // tables live) must come back as a SNAP-* diagnostic, never
+            // a panic.
+            let mut bytes = snap.clone().into_bytes();
+            let mid = bytes.len() / 2;
+            bytes[mid] = if bytes[mid] == b'3' { b'4' } else { b'3' };
+            let corrupted = String::from_utf8(bytes).unwrap();
+            let report = decode(&corrupted, 77).expect_err("corruption must be rejected");
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.code.starts_with("SNAP-")),
+                "{report}"
+            );
+        }
+    }
+
     #[test]
     fn version_mismatch_is_a_structured_rejection() {
         let chip = tiny_chip();

@@ -1,0 +1,91 @@
+//! Allocation audit for the executed-tick hot path.
+//!
+//! The PR-10 flattening (dense directory, Vec-indexed sync tables, the
+//! bucketed deferred wheel, reusable event/sync scratch buffers) exists
+//! so that a warmed-up chip steps without touching the heap. This test
+//! enforces that property with a counting global allocator: after a
+//! warm-up long enough to reach every steady-state capacity, a window
+//! of `Chip::advance` calls must perform **zero** allocations.
+//!
+//! The file holds exactly one test so no sibling test thread can
+//! allocate inside the armed window.
+
+// A counting global allocator requires `unsafe impl GlobalAlloc`; the
+// unsafety is confined to delegating to `System`.
+#![allow(unsafe_code)]
+#![allow(clippy::unwrap_used)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::SeqCst) {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow counts as an allocation: the hot path must not be
+        // quietly resizing its scratch either.
+        if ARMED.load(Ordering::SeqCst) {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_hot_path_steps_without_allocating() {
+    use respin_sim::{CacheSizeClass, Chip, ChipConfig};
+    use respin_workloads::Benchmark;
+
+    // The shared-L1 near-threshold organisation the paper (and
+    // fig6_quick) spends its cycles in: 2 clusters x 8 cores, real
+    // benchmark ops with barriers and locks so the sync tables see
+    // traffic.
+    let mut config = ChipConfig::nt_base();
+    config.clusters = 2;
+    config.cores_per_cluster = 8;
+    config.size_class = CacheSizeClass::Medium;
+    config.instructions_per_thread = Some(40_000);
+    let mut chip = Chip::new(config, &Benchmark::Radix.spec(), 42);
+
+    // Warm-up: long enough for every table, wheel bucket, scratch
+    // buffer, and store-buffer Vec to reach steady-state capacity.
+    for _ in 0..60_000 {
+        if chip.finished() {
+            panic!("workload finished during warm-up; grow instructions_per_thread");
+        }
+        chip.advance();
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..20_000 {
+        if chip.finished() {
+            break;
+        }
+        chip.advance();
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+
+    assert_eq!(
+        delta, 0,
+        "the warmed executed-tick hot path allocated {delta} time(s) in 20k advances"
+    );
+}

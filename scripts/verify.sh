@@ -188,14 +188,14 @@ for suite in fig6_quick resilience_smoke consolidation_heavy idle_heavy idle_hea
         exit 1
     fi
 done
-for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup cluster_shard workers clusters wall_ms_w1 wall_ms_wn serve clients runs_per_client wall_ms_cold wall_ms_warm_memo wall_ms_warm_store warm_hit_ms warm_hits; do
+for key in schema wall_ms instructions ips ticks_skipped parallel threads host_cpus unique_runs speedup cluster_shard workers clusters wall_ms_w1 wall_ms_wn gated delta_vs_prev serve clients runs_per_client wall_ms_cold wall_ms_warm_memo wall_ms_warm_store warm_hit_ms warm_hits; do
     if ! grep -q "\"$key\"" "$bench_dir/bench.json"; then
         echo "bench smoke: key '$key' missing from report" >&2
         exit 1
     fi
 done
-if ! grep -q '"schema": "respin-bench-report/v4"' "$bench_dir/bench.json"; then
-    echo "bench smoke: report schema is not respin-bench-report/v4" >&2
+if ! grep -q '"schema": "respin-bench-report/v5"' "$bench_dir/bench.json"; then
+    echo "bench smoke: report schema is not respin-bench-report/v5" >&2
     exit 1
 fi
 if grep -q '^bench: idle_heavy .*ticks_skipped=0$' "$bench_dir/bench.log"; then
@@ -211,6 +211,54 @@ if ! grep -q '^bench: cluster_shard ' "$bench_dir/bench.log"; then
     exit 1
 fi
 rm -rf "$bench_dir"
+
+echo '== profile smoke: bench --profile attributes executed-tick wall time (respin-profile/v1)'
+prof_dir=$(mktemp -d)
+"$exp_bin" bench --profile --smoke --out "$prof_dir/profile.json"
+if ! grep -q '"schema":"respin-profile/v1"' "$prof_dir/profile.json"; then
+    echo "profile smoke: report schema is not respin-profile/v1" >&2
+    exit 1
+fi
+for phase in shared_l1_tick event_drain core_execute sync_replay epoch_maintenance; do
+    if ! grep -q "\"$phase\"" "$prof_dir/profile.json"; then
+        echo "profile smoke: phase '$phase' missing from report" >&2
+        exit 1
+    fi
+done
+coverage=$(sed -n 's/.*"coverage_pct":\([0-9]*\)\..*/\1/p' "$prof_dir/profile.json")
+if [ -z "$coverage" ] || [ "$coverage" -lt 95 ]; then
+    echo "profile smoke: coverage_pct '$coverage' is below the 95% attribution floor" >&2
+    exit 1
+fi
+echo "profile smoke: coverage ${coverage}% of wall time attributed across the five phases"
+rm -rf "$prof_dir"
+
+echo '== fig6_quick ips floor (self-gating: applies only when the host matches the committed baseline)'
+# Same honesty convention as the PR5 speedup floors: a wall-clock gate
+# is only meaningful on a host shaped like the one the baseline was
+# recorded on. The floor is baseline/4 — a gross-regression tripwire
+# that tolerates contention on a shared host, not a precision gate.
+floor_baseline=BENCH_PR10.json
+if [ -f "$floor_baseline" ]; then
+    base_cpus=$(sed -n 's/.*"parallel": { "threads": [0-9]*, "host_cpus": \([0-9]*\),.*/\1/p' "$floor_baseline")
+    cur_cpus=$( (nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null) | head -n 1)
+    if [ -n "$base_cpus" ] && [ "$cur_cpus" = "$base_cpus" ]; then
+        fig6_line=$(./target/release/bench_report --fig6-only)
+        echo "$fig6_line"
+        fig6_ips=$(printf '%s\n' "$fig6_line" | sed -n 's/.*ips=\([0-9]*\).*/\1/p')
+        base_ips=$(sed -n 's/.*"fig6_quick": { "wall_ms": [0-9.]*, "instructions": [0-9]*, "ips": \([0-9]*\),.*/\1/p' "$floor_baseline")
+        floor=$((base_ips / 4))
+        if [ -z "$fig6_ips" ] || [ "$fig6_ips" -lt "$floor" ]; then
+            echo "fig6 floor: ips ${fig6_ips:-?} is below floor $floor (baseline $base_ips / 4)" >&2
+            exit 1
+        fi
+        echo "fig6 floor: ips $fig6_ips >= floor $floor (baseline $base_ips / 4)"
+    else
+        echo "fig6 floor: skipped (host_cpus=$cur_cpus, baseline host_cpus=${base_cpus:-?})"
+    fi
+else
+    echo "fig6 floor: skipped (no $floor_baseline committed)"
+fi
 
 echo '== serve smoke: daemon artifacts byte-identical to one-shot; store survives SIGKILL'
 sv_dir=$(mktemp -d)
